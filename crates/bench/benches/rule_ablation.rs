@@ -1,0 +1,63 @@
+//! E4 — rewrite-rule ablation: simplification cost with rule subsets
+//! disabled (DESIGN.md's ✦ ablation of the fifteen-rule set).
+//!
+//! The `tables` binary reports the resulting *sizes* per disabled rule;
+//! this bench measures the *time* for representative masks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netexpl_bench::{paper_vocab, scenario3};
+use netexpl_core::seed::seed_spec;
+use netexpl_core::symbolize::{symbolize, Selector};
+use netexpl_logic::simplify::{RuleMask, Simplifier};
+use netexpl_logic::term::Ctx;
+use netexpl_synth::encode::EncodeOptions;
+use netexpl_synth::sketch::HoleFactory;
+
+fn bench_rule_ablation(c: &mut Criterion) {
+    let (topo, h, net, spec) = scenario3();
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let factory = HoleFactory::new(&vocab, sorts);
+    let (sym, _) = symbolize(&mut ctx, &factory, &topo, &net, h.r2, &Selector::Router);
+    let seed =
+        seed_spec(&mut ctx, &topo, &vocab, sorts, &sym, &spec, EncodeOptions::default()).unwrap();
+    let conj = seed.conjunction(&mut ctx);
+
+    let masks: Vec<(&str, RuleMask)> = vec![
+        ("all", RuleMask::ALL),
+        ("no_substitution_R13", RuleMask::all_except(13)),
+        ("no_flatten_R14", RuleMask::all_except(14)),
+        ("no_theory_fold_R12", RuleMask::all_except(12)),
+        ("constant_rules_only", {
+            // R1-R5: the pure constant-propagation core.
+            let mut m = RuleMask::NONE;
+            for r in 1..=5 {
+                m = m.with(r);
+            }
+            m
+        }),
+    ];
+    let mut group = c.benchmark_group("rule_ablation");
+    group.sample_size(20);
+    for (label, mask) in masks {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut simplifier = Simplifier::new(mask);
+                simplifier.simplify(&mut ctx, conj)
+            })
+        });
+    }
+    // Memoization ablation (DESIGN.md ✦): the same full rule set without
+    // the hash-consed memo table.
+    group.bench_function(BenchmarkId::from_parameter("all_no_memo"), |b| {
+        b.iter(|| {
+            let mut simplifier = Simplifier::new(RuleMask::ALL).without_memo();
+            simplifier.simplify(&mut ctx, conj)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_ablation);
+criterion_main!(benches);

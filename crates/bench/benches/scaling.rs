@@ -1,0 +1,76 @@
+//! E3 — explanation pipeline scaling with topology size (the paper's
+//! "remains untested" future work).
+//!
+//! Measures seed extraction + simplification on ring topologies of growing
+//! size, with a no-transit + reachability specification. Lifting is
+//! excluded here (it is measured once by the `tables` binary — its solver
+//! queries dominate and would drown the signal of the stages the paper's
+//! prototype actually implements).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netexpl_bench::ring_workload;
+use netexpl_core::seed::seed_spec;
+use netexpl_core::symbolize::{symbolize, Dir, Selector};
+use netexpl_logic::simplify::Simplifier;
+use netexpl_logic::term::Ctx;
+use netexpl_synth::encode::EncodeOptions;
+use netexpl_synth::sketch::HoleFactory;
+use netexpl_synth::synthesize::{default_sketch, synthesize, SynthOptions};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explain_scaling");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let (topo, base, spec, vocab) = ring_workload(n);
+        // Synthesize the configuration under explanation once.
+        let mut sctx = Ctx::new();
+        let ssorts = vocab.sorts(&mut sctx);
+        let sfactory = HoleFactory::new(&vocab, ssorts);
+        let sketch = default_sketch(&mut sctx, &topo, &sfactory, &base);
+        let config = synthesize(
+            &mut sctx,
+            &topo,
+            &vocab,
+            ssorts,
+            &sketch,
+            &spec,
+            SynthOptions::default(),
+        )
+        .expect("ring workload synthesizes")
+        .config;
+        let r0 = topo.router_by_name("R0").unwrap();
+        let pa = topo.router_by_name("Pa").unwrap();
+
+        group.bench_function(BenchmarkId::new("seed_plus_simplify", n), |b| {
+            b.iter(|| {
+                let mut ctx = Ctx::new();
+                let sorts = vocab.sorts(&mut ctx);
+                let factory = HoleFactory::new(&vocab, sorts);
+                let (sym, _) = symbolize(
+                    &mut ctx,
+                    &factory,
+                    &topo,
+                    &config,
+                    r0,
+                    &Selector::Session { neighbor: pa, dir: Dir::Export },
+                );
+                let seed = seed_spec(
+                    &mut ctx,
+                    &topo,
+                    &vocab,
+                    sorts,
+                    &sym,
+                    &spec,
+                    EncodeOptions { max_path_len: topo.num_routers() },
+                )
+                .unwrap();
+                let conj = seed.conjunction(&mut ctx);
+                Simplifier::default().simplify(&mut ctx, conj)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

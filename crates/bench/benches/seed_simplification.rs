@@ -1,0 +1,61 @@
+//! E1 — seed-specification extraction and simplification time per scenario.
+//!
+//! The paper's §3 insight: the raw encoding is large (">1000 constraints")
+//! but collapses once all-but-one router is frozen. This bench measures the
+//! two pipeline stages (seed extraction, rewrite simplification) separately
+//! for each scenario; the companion `tables` binary reports the sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netexpl_bench::{paper_vocab, scenario1, scenario2, scenario3};
+use netexpl_core::symbolize::{symbolize, Selector};
+use netexpl_core::seed::seed_spec;
+use netexpl_logic::simplify::Simplifier;
+use netexpl_logic::term::Ctx;
+use netexpl_synth::encode::EncodeOptions;
+use netexpl_synth::sketch::HoleFactory;
+
+fn bench_seed_simplification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seed_simplification");
+    group.sample_size(20);
+    let cases = [
+        ("scenario1", scenario1()),
+        ("scenario2", scenario2()),
+        ("scenario3", scenario3()),
+    ];
+    for (name, (topo, h, net, spec)) in cases {
+        let vocab = paper_vocab(&topo, net.prefixes());
+        group.bench_function(BenchmarkId::new("seed_extraction", name), |b| {
+            b.iter(|| {
+                let mut ctx = Ctx::new();
+                let sorts = vocab.sorts(&mut ctx);
+                let factory = HoleFactory::new(&vocab, sorts);
+                let (sym, _) =
+                    symbolize(&mut ctx, &factory, &topo, &net, h.r2, &Selector::Router);
+                seed_spec(&mut ctx, &topo, &vocab, sorts, &sym, &spec, EncodeOptions::default())
+                    .unwrap()
+                    .size
+            })
+        });
+        group.bench_function(BenchmarkId::new("simplification", name), |b| {
+            // Build the seed once; time only the rewrite pass (fresh
+            // simplifier per iteration so memoization does not carry over;
+            // the context's interning does, as it would in production).
+            let mut ctx = Ctx::new();
+            let sorts = vocab.sorts(&mut ctx);
+            let factory = HoleFactory::new(&vocab, sorts);
+            let (sym, _) = symbolize(&mut ctx, &factory, &topo, &net, h.r2, &Selector::Router);
+            let seed =
+                seed_spec(&mut ctx, &topo, &vocab, sorts, &sym, &spec, EncodeOptions::default())
+                    .unwrap();
+            let conj = seed.conjunction(&mut ctx);
+            b.iter(|| {
+                let mut simplifier = Simplifier::default();
+                simplifier.simplify(&mut ctx, conj)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seed_simplification);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! E5 — the solver substrate: CDCL versus plain DPLL.
+//!
+//! Pigeonhole instances are hard for both (resolution lower bound), random
+//! 3-SAT near the phase transition separates clause learning from plain
+//! backtracking, and a real synthesis encoding shows the workload the rest
+//! of the workspace produces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netexpl_bench::{paper_vocab, scenario3};
+use netexpl_core::seed::seed_spec;
+use netexpl_core::symbolize::{symbolize, Selector};
+use netexpl_logic::sat::{Lit, SatSolver};
+use netexpl_logic::solver::SmtSolver;
+use netexpl_logic::term::Ctx;
+use netexpl_synth::encode::EncodeOptions;
+use netexpl_synth::sketch::HoleFactory;
+use rand::{Rng, SeedableRng};
+
+fn pigeonhole(pigeons: usize, holes: usize) -> (usize, Vec<Vec<Lit>>) {
+    let var = |p: usize, h: usize| p * holes + h;
+    let mut clauses = Vec::new();
+    for p in 0..pigeons {
+        clauses.push((0..holes).map(|h| Lit::pos(var(p, h))).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                clauses.push(vec![Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    (pigeons * holes, clauses)
+}
+
+fn random_3sat(n: usize, m: usize, seed: u64) -> (usize, Vec<Vec<Lit>>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let clauses = (0..m)
+        .map(|_| {
+            (0..3)
+                .map(|_| Lit::with_polarity(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect();
+    (n, clauses)
+}
+
+fn run_cdcl(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    let mut s = SatSolver::new();
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        if !s.add_clause(c) {
+            return false;
+        }
+    }
+    s.solve().is_sat()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+
+    for n in [5usize, 6] {
+        let (nv, clauses) = pigeonhole(n + 1, n);
+        group.bench_function(BenchmarkId::new("cdcl_php", n), |b| {
+            b.iter(|| run_cdcl(nv, &clauses))
+        });
+        group.bench_function(BenchmarkId::new("dpll_php", n), |b| {
+            b.iter(|| netexpl_logic::dpll::solve(nv, &clauses).is_sat())
+        });
+    }
+
+    // Random 3-SAT at clause/variable ratio 4.26 (phase transition).
+    for n in [40usize, 60] {
+        let (nv, clauses) = random_3sat(n, (n as f64 * 4.26) as usize, 0xC0FFEE);
+        group.bench_function(BenchmarkId::new("cdcl_3sat", n), |b| {
+            b.iter(|| run_cdcl(nv, &clauses))
+        });
+        if n <= 40 {
+            group.bench_function(BenchmarkId::new("dpll_3sat", n), |b| {
+                b.iter(|| netexpl_logic::dpll::solve(nv, &clauses).is_sat())
+            });
+        }
+    }
+
+    // A real workload: deciding a scenario-3 seed specification.
+    let (topo, h, net, spec) = scenario3();
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let factory = HoleFactory::new(&vocab, sorts);
+    let (sym, _) = symbolize(&mut ctx, &factory, &topo, &net, h.r3, &Selector::Router);
+    let seed =
+        seed_spec(&mut ctx, &topo, &vocab, sorts, &sym, &spec, EncodeOptions::default()).unwrap();
+    let conj = seed.conjunction(&mut ctx);
+    group.bench_function("smt_seed_scenario3", |b| {
+        b.iter(|| {
+            let mut solver = SmtSolver::new();
+            solver.assert(conj);
+            solver.check(&mut ctx).is_sat()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

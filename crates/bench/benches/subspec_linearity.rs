@@ -1,0 +1,53 @@
+//! E2 — explanation cost versus the number of symbolized variables.
+//!
+//! Paper §4 observation (2): sub-specification sizes are "linear in relation
+//! to the configuration variables in question"; explaining one variable at a
+//! time keeps them small. This bench measures the seed+simplify pipeline at
+//! increasing symbolization granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netexpl_bench::{paper_vocab, scenario3};
+use netexpl_core::symbolize::{Dir, Field, Selector};
+use netexpl_core::{explain, ExplainOptions};
+use netexpl_logic::term::Ctx;
+
+fn bench_linearity(c: &mut Criterion) {
+    let (topo, h, net, spec) = scenario3();
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let selectors: Vec<(&str, Selector)> = vec![
+        (
+            "1var_action",
+            Selector::Field { neighbor: h.p2, dir: Dir::Export, entry: 0, field: Field::Action },
+        ),
+        ("2var_entry", Selector::Entry { neighbor: h.p2, dir: Dir::Export, entry: 0 }),
+        ("3var_session", Selector::Session { neighbor: h.p2, dir: Dir::Export }),
+        ("5var_router", Selector::Router),
+    ];
+    let mut group = c.benchmark_group("subspec_linearity");
+    group.sample_size(20);
+    for (label, sel) in selectors {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut ctx = Ctx::new();
+                let sorts = vocab.sorts(&mut ctx);
+                explain(
+                    &mut ctx,
+                    &topo,
+                    &vocab,
+                    sorts,
+                    &net,
+                    &spec,
+                    h.r2,
+                    &sel,
+                    ExplainOptions { skip_lift: true, ..Default::default() },
+                )
+                .unwrap()
+                .simplified_size
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linearity);
+criterion_main!(benches);

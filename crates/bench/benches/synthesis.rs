@@ -1,0 +1,66 @@
+//! E6 — synthesis scaling with topology size and topology family.
+//!
+//! One benchmark per (family, size): sketch construction, encoding, solving
+//! and concretization (validation excluded — it is the simulator's cost,
+//! not the synthesizer's).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netexpl_bench::{line_workload, ring_workload};
+use netexpl_logic::term::Ctx;
+use netexpl_synth::sketch::HoleFactory;
+use netexpl_synth::synthesize::{default_sketch, synthesize, SynthOptions};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for n in [3usize, 6, 9] {
+        let (topo, base, spec, vocab) = line_workload(n);
+        group.bench_function(BenchmarkId::new("line", n), |b| {
+            b.iter(|| {
+                let mut ctx = Ctx::new();
+                let sorts = vocab.sorts(&mut ctx);
+                let factory = HoleFactory::new(&vocab, sorts);
+                let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
+                synthesize(
+                    &mut ctx,
+                    &topo,
+                    &vocab,
+                    sorts,
+                    &sketch,
+                    &spec,
+                    SynthOptions { skip_validation: true, ..Default::default() },
+                )
+                .unwrap()
+                .stats
+                .num_constraints
+            })
+        });
+    }
+    for n in [4usize, 6, 8] {
+        let (topo, base, spec, vocab) = ring_workload(n);
+        group.bench_function(BenchmarkId::new("ring", n), |b| {
+            b.iter(|| {
+                let mut ctx = Ctx::new();
+                let sorts = vocab.sorts(&mut ctx);
+                let factory = HoleFactory::new(&vocab, sorts);
+                let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
+                synthesize(
+                    &mut ctx,
+                    &topo,
+                    &vocab,
+                    sorts,
+                    &sketch,
+                    &spec,
+                    SynthOptions { skip_validation: true, ..Default::default() },
+                )
+                .unwrap()
+                .stats
+                .num_constraints
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

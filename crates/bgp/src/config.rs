@@ -1,0 +1,180 @@
+//! Per-router configurations and the network-wide configuration.
+
+use std::collections::BTreeMap;
+
+use netexpl_topology::{Prefix, RouterId, Topology};
+
+use crate::policy::RouteMap;
+
+/// An external router originating a prefix (the environment assumption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Origination {
+    /// The originating (external) router.
+    pub router: RouterId,
+    /// The prefix it announces.
+    pub prefix: Prefix,
+}
+
+/// Configuration of a single (internal) router: one optional import and one
+/// optional export route map per neighbor session.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouterConfig {
+    import: BTreeMap<RouterId, RouteMap>,
+    export: BTreeMap<RouterId, RouteMap>,
+}
+
+impl RouterConfig {
+    /// Empty configuration (all sessions default-permit).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach the import map for routes received from `neighbor`.
+    pub fn set_import(&mut self, neighbor: RouterId, map: RouteMap) {
+        self.import.insert(neighbor, map);
+    }
+
+    /// Attach the export map for routes advertised to `neighbor`.
+    pub fn set_export(&mut self, neighbor: RouterId, map: RouteMap) {
+        self.export.insert(neighbor, map);
+    }
+
+    /// The import map for a neighbor, if configured.
+    pub fn import(&self, neighbor: RouterId) -> Option<&RouteMap> {
+        self.import.get(&neighbor)
+    }
+
+    /// The export map for a neighbor, if configured.
+    pub fn export(&self, neighbor: RouterId) -> Option<&RouteMap> {
+        self.export.get(&neighbor)
+    }
+
+    /// All configured import sessions.
+    pub fn imports(&self) -> impl Iterator<Item = (RouterId, &RouteMap)> {
+        self.import.iter().map(|(&n, m)| (n, m))
+    }
+
+    /// All configured export sessions.
+    pub fn exports(&self) -> impl Iterator<Item = (RouterId, &RouteMap)> {
+        self.export.iter().map(|(&n, m)| (n, m))
+    }
+}
+
+/// The whole network's configuration: router configs plus the environment's
+/// originations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetworkConfig {
+    configs: BTreeMap<RouterId, RouterConfig>,
+    originations: Vec<Origination>,
+}
+
+impl NetworkConfig {
+    /// Empty network configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable access to a router's config, created on demand.
+    pub fn router_mut(&mut self, r: RouterId) -> &mut RouterConfig {
+        self.configs.entry(r).or_default()
+    }
+
+    /// A router's config, if any maps were set.
+    pub fn router(&self, r: RouterId) -> Option<&RouterConfig> {
+        self.configs.get(&r)
+    }
+
+    /// Record that external `router` originates `prefix`.
+    pub fn originate(&mut self, router: RouterId, prefix: Prefix) {
+        let o = Origination { router, prefix };
+        if !self.originations.contains(&o) {
+            self.originations.push(o);
+        }
+    }
+
+    /// All originations.
+    pub fn originations(&self) -> &[Origination] {
+        &self.originations
+    }
+
+    /// All distinct announced prefixes, sorted.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        let mut ps: Vec<Prefix> = self.originations.iter().map(|o| o.prefix).collect();
+        ps.sort();
+        ps.dedup();
+        ps
+    }
+
+    /// Routers with explicit configuration.
+    pub fn configured_routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.configs.keys().copied()
+    }
+
+    /// Render every router's maps in a Cisco-like textual form.
+    pub fn render(&self, topo: &Topology) -> String {
+        let mut out = String::new();
+        for (&r, cfg) in &self.configs {
+            out.push_str(&format!("! ===== router {} =====\n", topo.name(r)));
+            for (n, map) in cfg.imports() {
+                out.push_str(&format!("! import from {}\n", topo.name(n)));
+                out.push_str(&map.render(topo));
+            }
+            for (n, map) in cfg.exports() {
+                out.push_str(&format!("! export to {}\n", topo.name(n)));
+                out.push_str(&map.render(topo));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Action, RouteMapEntry};
+    use netexpl_topology::builders::paper_topology;
+
+    #[test]
+    fn router_config_sessions() {
+        let (_, h) = paper_topology();
+        let mut cfg = RouterConfig::new();
+        assert!(cfg.import(h.p1).is_none());
+        cfg.set_import(h.p1, RouteMap::new("in", vec![]));
+        cfg.set_export(h.p1, RouteMap::new("out", vec![]));
+        assert!(cfg.import(h.p1).is_some());
+        assert!(cfg.export(h.p1).is_some());
+        assert_eq!(cfg.imports().count(), 1);
+        assert_eq!(cfg.exports().count(), 1);
+    }
+
+    #[test]
+    fn originations_dedup_and_sort() {
+        let (_, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        let d1: Prefix = "200.7.0.0/16".parse().unwrap();
+        let d2: Prefix = "100.0.0.0/8".parse().unwrap();
+        net.originate(h.p1, d1);
+        net.originate(h.p2, d1);
+        net.originate(h.p1, d1); // duplicate
+        net.originate(h.customer, d2);
+        assert_eq!(net.originations().len(), 3);
+        assert_eq!(net.prefixes(), vec![d2, d1]);
+    }
+
+    #[test]
+    fn render_mentions_routers_and_maps() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "R1_to_P1",
+                vec![RouteMapEntry { seq: 1, action: Action::Deny, matches: vec![], sets: vec![] }],
+            ),
+        );
+        let text = net.render(&topo);
+        assert!(text.contains("router R1"), "{text}");
+        assert!(text.contains("export to P1"), "{text}");
+        assert!(text.contains("route-map R1_to_P1 deny 1"), "{text}");
+    }
+}

@@ -1,0 +1,140 @@
+//! The BGP decision process.
+//!
+//! Restricted to the criteria the paper's fragment needs, applied in order:
+//!
+//! 1. highest local preference,
+//! 2. shortest AS path,
+//! 3. shortest propagation path — the stand-in for real BGP's IGP-metric
+//!    step (prefer the closest egress). Without it, two routers can each
+//!    prefer the other's longer internal detour and oscillate forever (the
+//!    classic dispute wheel),
+//! 4. lowest neighbor (next-hop) router id — a deterministic stand-in for
+//!    the router-id tiebreak, guaranteeing a total order.
+//!
+//! The symbolic encoder in `netexpl-synth` encodes exactly this comparison;
+//! keeping it in one small, heavily tested function is what lets the
+//! simulator cross-validate the encoding.
+
+use std::cmp::Ordering;
+
+use crate::route::Route;
+
+/// Compare two routes for the same prefix: `Ordering::Greater` means `a` is
+/// preferred over `b`.
+pub fn compare(a: &Route, b: &Route) -> Ordering {
+    debug_assert_eq!(a.prefix, b.prefix, "decision process compares same-prefix routes");
+    a.local_pref
+        .cmp(&b.local_pref)
+        .then_with(|| b.as_path_len().cmp(&a.as_path_len()))
+        .then_with(|| b.propagation.len().cmp(&a.propagation.len()))
+        .then_with(|| b.next_hop.cmp(&a.next_hop))
+}
+
+/// Select the best route among candidates, or `None` if empty.
+pub fn best_route<'a>(candidates: impl IntoIterator<Item = &'a Route>) -> Option<&'a Route> {
+    candidates.into_iter().max_by(|a, b| compare(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_topology::{AsNum, Prefix, RouterId};
+
+    fn mk(lp: u32, as_len: usize, nh: u32) -> Route {
+        let prefix: Prefix = "10.0.0.0/8".parse().unwrap();
+        Route {
+            prefix,
+            as_path: (0..as_len).map(|i| AsNum(i as u32 + 1)).collect(),
+            propagation: vec![RouterId(nh), RouterId(99)],
+            next_hop: RouterId(nh),
+            local_pref: lp,
+            communities: Default::default(),
+        }
+    }
+
+    #[test]
+    fn local_pref_dominates() {
+        let hi = mk(200, 5, 7);
+        let lo = mk(100, 1, 1);
+        assert_eq!(compare(&hi, &lo), Ordering::Greater);
+        assert_eq!(compare(&lo, &hi), Ordering::Less);
+    }
+
+    #[test]
+    fn as_path_breaks_lp_ties() {
+        let short = mk(100, 1, 7);
+        let long = mk(100, 3, 1);
+        assert_eq!(compare(&short, &long), Ordering::Greater);
+    }
+
+    #[test]
+    fn shorter_propagation_breaks_as_path_ties() {
+        let mut near = mk(100, 2, 7);
+        let mut far = mk(100, 2, 1);
+        near.propagation = vec![RouterId(7), RouterId(99)];
+        far.propagation = vec![RouterId(1), RouterId(50), RouterId(99)];
+        assert_eq!(compare(&near, &far), Ordering::Greater, "closest egress wins");
+    }
+
+    #[test]
+    fn neighbor_id_breaks_remaining_ties() {
+        let low = mk(100, 2, 1);
+        let high = mk(100, 2, 9);
+        assert_eq!(compare(&low, &high), Ordering::Greater, "lower id preferred");
+    }
+
+    #[test]
+    fn equal_routes_compare_equal() {
+        let a = mk(100, 2, 3);
+        let b = mk(100, 2, 3);
+        assert_eq!(compare(&a, &b), Ordering::Equal);
+    }
+
+    #[test]
+    fn best_route_selects_maximum() {
+        let routes = vec![mk(100, 2, 5), mk(150, 4, 9), mk(150, 2, 9), mk(150, 2, 3)];
+        let best = best_route(&routes).unwrap();
+        assert_eq!(best.local_pref, 150);
+        assert_eq!(best.as_path_len(), 2);
+        assert_eq!(best.next_hop, RouterId(3));
+        assert!(best_route(std::iter::empty()).is_none());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_route() -> impl Strategy<Value = Route> {
+            (0u32..300, 1usize..5, 0u32..16).prop_map(|(lp, len, nh)| mk(lp, len, nh))
+        }
+
+        proptest! {
+            #[test]
+            fn comparison_is_total_and_antisymmetric(a in arb_route(), b in arb_route()) {
+                let ab = compare(&a, &b);
+                let ba = compare(&b, &a);
+                prop_assert_eq!(ab, ba.reverse());
+            }
+
+            #[test]
+            fn comparison_is_transitive(a in arb_route(), b in arb_route(), c in arb_route()) {
+                use Ordering::*;
+                let (ab, bc, ac) = (compare(&a, &b), compare(&b, &c), compare(&a, &c));
+                if ab != Less && bc != Less {
+                    prop_assert_ne!(ac, Less);
+                }
+                if ab == Equal && bc == Equal {
+                    prop_assert_eq!(ac, Equal);
+                }
+            }
+
+            #[test]
+            fn best_is_undominated(routes in proptest::collection::vec(arb_route(), 1..8)) {
+                let best = best_route(&routes).unwrap();
+                for r in &routes {
+                    prop_assert_ne!(compare(best, r), Ordering::Less);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # netexpl-bgp
+//!
+//! The eBGP policy fragment used by NetComplete-style synthesis, modelled
+//! concretely: route announcements with the attributes the paper's scenarios
+//! exercise (prefix, AS path, propagation path, next hop, local preference,
+//! communities), Cisco-flavoured route-map policies, the BGP decision
+//! process, and a stable-state propagation simulator.
+//!
+//! The simulator is the semantic ground truth for the whole workspace: the
+//! synthesizer's symbolic encoding (in `netexpl-synth`) mirrors exactly the
+//! evaluation rules implemented here, and every synthesized configuration is
+//! validated by running this simulator over it. That shared-semantics
+//! discipline is what makes the explanation pipeline's claims checkable.
+//!
+//! ## Modelled fragment
+//!
+//! * eBGP only (every policy decision happens at AS boundaries plus the
+//!   internal propagation the paper's six-node network needs).
+//! * Decision process: highest local preference, then shortest AS path,
+//!   then lowest neighbor router id (a deterministic stand-in for the
+//!   router-id tiebreak).
+//! * Route maps: ordered entries, first match wins, implicit deny at the
+//!   end of a non-empty map, sessions without a map default-permit.
+//! * Match clauses: destination prefix(es), community tag, AS in path,
+//!   learned-from next hop. Set clauses: local preference, add community,
+//!   strip communities, next-hop override.
+//!
+//! MED, IGP metrics, route reflection and confederations are out of scope —
+//! the paper's scenarios never touch them (see DESIGN.md §7).
+
+pub mod config;
+pub mod decision;
+pub mod parse;
+pub mod policy;
+pub mod route;
+pub mod sim;
+
+pub use config::{NetworkConfig, Origination, RouterConfig};
+pub use parse::parse_config;
+pub use decision::best_route;
+pub use policy::{Action, MatchClause, RouteMap, RouteMapEntry, SetClause};
+pub use route::{Community, Route};
+pub use sim::{ForwardingPath, StableState};

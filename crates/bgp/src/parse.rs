@@ -1,0 +1,333 @@
+//! Parser for the Cisco-like configuration text emitted by
+//! [`NetworkConfig::render`] — the round-trip makes synthesized
+//! configurations storable and lets the CLI and tests load hand-written
+//! configurations.
+//!
+//! Grammar (line-oriented):
+//!
+//! ```text
+//! ! ===== router <NAME> =====
+//! ! import from <NEIGHBOR>          | ! export to <NEIGHBOR>
+//! route-map <name> <permit|deny> <seq>
+//!   match ip address prefix-list <prefix> [<prefix>...]
+//!   match community <asn>:<value>
+//!   match as-path <asn>
+//!   match source-neighbor <NAME>
+//!   set local-preference <n>
+//!   set community <asn>:<value> additive
+//!   set comm-list all delete
+//!   set next-hop <NAME>
+//! originate <NAME> <prefix>          (extension: environment declaration)
+//! ```
+
+use std::fmt;
+
+use netexpl_topology::{AsNum, Prefix, Topology};
+
+use crate::config::NetworkConfig;
+use crate::policy::{Action, MatchClause, RouteMap, RouteMapEntry, SetClause};
+use crate::route::Community;
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigParseError {}
+
+enum SessionDir {
+    Import,
+    Export,
+}
+
+/// Parse a configuration rendered by [`NetworkConfig::render`] (plus
+/// optional `originate` lines) back into a [`NetworkConfig`].
+pub fn parse_config(topo: &Topology, text: &str) -> Result<NetworkConfig, ConfigParseError> {
+    let mut net = NetworkConfig::new();
+    let mut router: Option<netexpl_topology::RouterId> = None;
+    let mut session: Option<(netexpl_topology::RouterId, SessionDir)> = None;
+    // The map currently being built: (name, entries).
+    let mut current: Option<(String, Vec<RouteMapEntry>)> = None;
+
+    let err = |line: usize, msg: String| ConfigParseError { line, message: msg };
+    let lookup = |line: usize, name: &str| {
+        topo.router_by_name(name)
+            .ok_or_else(|| err(line, format!("unknown router `{name}`")))
+    };
+
+    // Attach the finished map to the active session.
+    fn flush(
+        net: &mut NetworkConfig,
+        router: Option<netexpl_topology::RouterId>,
+        session: &Option<(netexpl_topology::RouterId, SessionDir)>,
+        current: &mut Option<(String, Vec<RouteMapEntry>)>,
+        line: usize,
+    ) -> Result<(), ConfigParseError> {
+        let Some((name, entries)) = current.take() else { return Ok(()) };
+        let (Some(r), Some((neighbor, dir))) = (router, session.as_ref()) else {
+            return Err(ConfigParseError {
+                line,
+                message: "route-map outside a router/session context".into(),
+            });
+        };
+        let map = RouteMap::new(&name, entries);
+        match dir {
+            SessionDir::Import => net.router_mut(r).set_import(*neighbor, map),
+            SessionDir::Export => net.router_mut(r).set_export(*neighbor, map),
+        }
+        Ok(())
+    }
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line == "!" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("! ===== router ") {
+            flush(&mut net, router, &session, &mut current, lineno)?;
+            let name = rest.trim_end_matches(['=', ' ']).trim();
+            router = Some(lookup(lineno, name)?);
+            session = None;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("! import from ") {
+            flush(&mut net, router, &session, &mut current, lineno)?;
+            session = Some((lookup(lineno, rest.trim())?, SessionDir::Import));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("! export to ") {
+            flush(&mut net, router, &session, &mut current, lineno)?;
+            session = Some((lookup(lineno, rest.trim())?, SessionDir::Export));
+            continue;
+        }
+        if line.starts_with('!') {
+            continue; // other comments
+        }
+        if let Some(rest) = line.strip_prefix("originate ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(prefix)) = (parts.next(), parts.next()) else {
+                return Err(err(lineno, "originate needs <Router> <prefix>".into()));
+            };
+            let r = lookup(lineno, name)?;
+            let prefix: Prefix =
+                prefix.parse().map_err(|e| err(lineno, format!("{e}")))?;
+            net.originate(r, prefix);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("route-map ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let [name, action, seq] = parts[..] else {
+                return Err(err(lineno, "route-map needs <name> <permit|deny> <seq>".into()));
+            };
+            let action = match action {
+                "permit" => Action::Permit,
+                "deny" => Action::Deny,
+                other => return Err(err(lineno, format!("bad action `{other}`"))),
+            };
+            let seq: u32 = seq.parse().map_err(|_| err(lineno, format!("bad seq `{seq}`")))?;
+            let entry = RouteMapEntry { seq, action, matches: vec![], sets: vec![] };
+            match &mut current {
+                Some((cur_name, entries)) if *cur_name == name => entries.push(entry),
+                _ => {
+                    flush(&mut net, router, &session, &mut current, lineno)?;
+                    current = Some((name.to_string(), vec![entry]));
+                }
+            }
+            continue;
+        }
+        // Clause lines belong to the last entry of the current map.
+        let Some((_, entries)) = &mut current else {
+            return Err(err(lineno, format!("clause outside a route-map: `{line}`")));
+        };
+        let entry = entries.last_mut().expect("route-map line created an entry");
+        if let Some(rest) = line.strip_prefix("match ip address prefix-list ") {
+            let mut prefixes = Vec::new();
+            for p in rest.split_whitespace() {
+                prefixes.push(p.parse::<Prefix>().map_err(|e| err(lineno, format!("{e}")))?);
+            }
+            entry.matches.push(MatchClause::PrefixList(prefixes));
+        } else if let Some(rest) = line.strip_prefix("match community ") {
+            entry.matches.push(MatchClause::Community(parse_community(rest, lineno)?));
+        } else if let Some(rest) = line.strip_prefix("match as-path ") {
+            let asn: u32 =
+                rest.trim().parse().map_err(|_| err(lineno, format!("bad AS `{rest}`")))?;
+            entry.matches.push(MatchClause::AsInPath(AsNum(asn)));
+        } else if let Some(rest) = line.strip_prefix("match source-neighbor ") {
+            entry.matches.push(MatchClause::FromNeighbor(lookup(lineno, rest.trim())?));
+        } else if let Some(rest) = line.strip_prefix("set local-preference ") {
+            let lp: u32 =
+                rest.trim().parse().map_err(|_| err(lineno, format!("bad lp `{rest}`")))?;
+            entry.sets.push(SetClause::LocalPref(lp));
+        } else if let Some(rest) = line.strip_prefix("set community ") {
+            let c = rest.trim_end_matches(" additive");
+            entry.sets.push(SetClause::AddCommunity(parse_community(c, lineno)?));
+        } else if line == "set comm-list all delete" {
+            entry.sets.push(SetClause::ClearCommunities);
+        } else if let Some(rest) = line.strip_prefix("set next-hop ") {
+            entry.sets.push(SetClause::NextHop(lookup(lineno, rest.trim())?));
+        } else {
+            return Err(err(lineno, format!("unrecognized line `{line}`")));
+        }
+    }
+    let last_line = text.lines().count();
+    flush(&mut net, router, &session, &mut current, last_line)?;
+    Ok(net)
+}
+
+fn parse_community(s: &str, line: usize) -> Result<Community, ConfigParseError> {
+    let err = |msg: String| ConfigParseError { line, message: msg };
+    let (a, b) = s
+        .trim()
+        .split_once(':')
+        .ok_or_else(|| err(format!("bad community `{s}` (want asn:value)")))?;
+    Ok(Community(
+        a.parse().map_err(|_| err(format!("bad community asn `{a}`")))?,
+        b.parse().map_err(|_| err(format!("bad community value `{b}`")))?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_topology::builders::paper_topology;
+
+    fn sample() -> (netexpl_topology::Topology, NetworkConfig) {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "R1_to_P1",
+                vec![
+                    RouteMapEntry {
+                        seq: 1,
+                        action: Action::Deny,
+                        matches: vec![MatchClause::PrefixList(vec![
+                            "123.0.0.0/20".parse().unwrap(),
+                        ])],
+                        sets: vec![SetClause::NextHop(h.p1)],
+                    },
+                    RouteMapEntry { seq: 100, action: Action::Deny, matches: vec![], sets: vec![] },
+                ],
+            ),
+        );
+        net.router_mut(h.r3).set_import(
+            h.r1,
+            RouteMap::new(
+                "R3_from_R1",
+                vec![
+                    RouteMapEntry {
+                        seq: 10,
+                        action: Action::Deny,
+                        matches: vec![
+                            MatchClause::Community(Community(100, 2)),
+                            MatchClause::AsInPath(AsNum(500)),
+                            MatchClause::FromNeighbor(h.r1),
+                        ],
+                        sets: vec![],
+                    },
+                    RouteMapEntry {
+                        seq: 20,
+                        action: Action::Permit,
+                        matches: vec![],
+                        sets: vec![
+                            SetClause::LocalPref(200),
+                            SetClause::AddCommunity(Community(100, 1)),
+                            SetClause::ClearCommunities,
+                        ],
+                    },
+                ],
+            ),
+        );
+        (topo, net)
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let (topo, net) = sample();
+        let text = net.render(&topo);
+        let parsed = parse_config(&topo, &text).unwrap();
+        assert_eq!(parsed, net, "rendered:\n{text}");
+    }
+
+    #[test]
+    fn originate_extension() {
+        let (topo, _) = sample();
+        let net = parse_config(
+            &topo,
+            "originate P1 200.7.0.0/16\noriginate Customer 123.0.1.0/20\n",
+        )
+        .unwrap();
+        assert_eq!(net.originations().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let (topo, _) = sample();
+        let err = parse_config(&topo, "originate Bogus 1.0.0.0/8").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unknown router"), "{err}");
+
+        let err2 = parse_config(
+            &topo,
+            "! ===== router R1 =====\n! export to P1\nroute-map m permit ten",
+        )
+        .unwrap_err();
+        assert_eq!(err2.line, 3);
+        assert!(err2.message.contains("bad seq"), "{err2}");
+
+        let err3 = parse_config(&topo, "set local-preference 100").unwrap_err();
+        assert!(err3.message.contains("outside a route-map"), "{err3}");
+
+        let err4 = parse_config(
+            &topo,
+            "! ===== router R1 =====\nroute-map m permit 10",
+        )
+        .unwrap_err();
+        assert!(err4.message.contains("outside a router/session"), "{err4}");
+    }
+
+    #[test]
+    fn unrecognized_lines_rejected() {
+        let (topo, _) = sample();
+        let err = parse_config(
+            &topo,
+            "! ===== router R1 =====\n! export to P1\nroute-map m permit 10\n  set metric 5",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unrecognized"), "{err}");
+    }
+
+    #[test]
+    fn multiple_maps_and_sessions() {
+        let (topo, h) = paper_topology();
+        let text = "\
+! ===== router R1 =====
+! import from P1
+route-map in permit 10
+  set community 100:1 additive
+! export to P1
+route-map out deny 10
+  match community 100:2
+route-map out permit 20
+";
+        let net = parse_config(&topo, text).unwrap();
+        let rc = net.router(h.r1).unwrap();
+        assert!(rc.import(h.p1).is_some());
+        let out = rc.export(h.p1).unwrap();
+        assert_eq!(out.entries.len(), 2);
+        assert_eq!(out.entries[0].action, Action::Deny);
+        assert_eq!(out.entries[1].action, Action::Permit);
+    }
+}

@@ -1,0 +1,329 @@
+//! Route maps: the Cisco-flavoured policy language.
+//!
+//! A [`RouteMap`] is an ordered list of entries; the first entry whose match
+//! clauses all hold decides the route's fate (permit with the entry's set
+//! clauses applied, or deny). A non-empty map that no entry matches denies
+//! the route (Cisco's implicit deny); a session with no map attached
+//! permits everything unchanged.
+
+use std::fmt;
+
+use netexpl_topology::{AsNum, Prefix, RouterId, Topology};
+
+use crate::route::{Community, Route};
+
+/// Permit or deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Accept the route (after applying set clauses).
+    Permit,
+    /// Drop the route.
+    Deny,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Permit => write!(f, "permit"),
+            Action::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// A single match condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchClause {
+    /// Destination prefix is contained in one of these prefixes.
+    PrefixList(Vec<Prefix>),
+    /// Route carries this community.
+    Community(Community),
+    /// Route's AS path contains this AS.
+    AsInPath(AsNum),
+    /// Route was learned from this neighbor.
+    FromNeighbor(RouterId),
+}
+
+impl MatchClause {
+    /// Does the clause hold for this route?
+    pub fn matches(&self, route: &Route) -> bool {
+        match self {
+            MatchClause::PrefixList(ps) => ps.iter().any(|p| p.contains(&route.prefix)),
+            MatchClause::Community(c) => route.communities.contains(c),
+            MatchClause::AsInPath(a) => route.as_path.contains(a),
+            MatchClause::FromNeighbor(n) => route.next_hop == *n,
+        }
+    }
+}
+
+/// A single attribute modification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetClause {
+    /// Overwrite local preference.
+    LocalPref(u32),
+    /// Attach a community.
+    AddCommunity(Community),
+    /// Remove all communities.
+    ClearCommunities,
+    /// Override the next hop (the paper's `set next-hop 10.0.0.1` — kept as
+    /// a router reference; the synthesizer maps addresses to routers).
+    NextHop(RouterId),
+}
+
+impl SetClause {
+    /// Apply the modification in place.
+    pub fn apply(&self, route: &mut Route) {
+        match self {
+            SetClause::LocalPref(lp) => route.local_pref = *lp,
+            SetClause::AddCommunity(c) => {
+                route.communities.insert(*c);
+            }
+            SetClause::ClearCommunities => route.communities.clear(),
+            SetClause::NextHop(n) => route.next_hop = *n,
+        }
+    }
+}
+
+/// One `route-map <name> <action> <seq>` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteMapEntry {
+    /// Sequence number (ordering handled by position; kept for display).
+    pub seq: u32,
+    /// Permit or deny on match.
+    pub action: Action,
+    /// All clauses must hold for the entry to match; an empty list matches
+    /// every route.
+    pub matches: Vec<MatchClause>,
+    /// Modifications applied on permit.
+    pub sets: Vec<SetClause>,
+}
+
+impl RouteMapEntry {
+    /// Does this entry match the route?
+    pub fn matches(&self, route: &Route) -> bool {
+        self.matches.iter().all(|m| m.matches(route))
+    }
+}
+
+/// An ordered route map.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouteMap {
+    /// Display name (e.g. `R1_to_P1`).
+    pub name: String,
+    /// Entries in evaluation order.
+    pub entries: Vec<RouteMapEntry>,
+}
+
+impl RouteMap {
+    /// An empty-named map from entries.
+    pub fn new(name: &str, entries: Vec<RouteMapEntry>) -> RouteMap {
+        RouteMap { name: name.to_string(), entries }
+    }
+
+    /// Evaluate the map: `Some(route')` if permitted (with sets applied),
+    /// `None` if denied. Cisco semantics: first match wins; no match on a
+    /// non-empty map denies; an *empty map* permits unchanged (treated the
+    /// same as no map).
+    pub fn apply(&self, route: &Route) -> Option<Route> {
+        if self.entries.is_empty() {
+            return Some(route.clone());
+        }
+        for entry in &self.entries {
+            if entry.matches(route) {
+                return match entry.action {
+                    Action::Deny => None,
+                    Action::Permit => {
+                        let mut r = route.clone();
+                        for s in &entry.sets {
+                            s.apply(&mut r);
+                        }
+                        Some(r)
+                    }
+                };
+            }
+        }
+        None
+    }
+
+    /// Render in a Cisco-like textual form.
+    pub fn render(&self, topo: &Topology) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("route-map {} {} {}\n", self.name, e.action, e.seq));
+            for m in &e.matches {
+                match m {
+                    MatchClause::PrefixList(ps) => {
+                        let list: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                        out.push_str(&format!(
+                            "  match ip address prefix-list {}\n",
+                            list.join(" ")
+                        ));
+                    }
+                    MatchClause::Community(c) => {
+                        out.push_str(&format!("  match community {c}\n"));
+                    }
+                    MatchClause::AsInPath(a) => {
+                        out.push_str(&format!("  match as-path {}\n", a.0));
+                    }
+                    MatchClause::FromNeighbor(n) => {
+                        out.push_str(&format!("  match source-neighbor {}\n", topo.name(*n)));
+                    }
+                }
+            }
+            // Set clauses print on deny entries too — inert, but faithful to
+            // real configurations (the paper's Figure 1c shows `deny 1` with
+            // a `set next-hop` line).
+            for s in &e.sets {
+                match s {
+                    SetClause::LocalPref(lp) => {
+                        out.push_str(&format!("  set local-preference {lp}\n"))
+                    }
+                    SetClause::AddCommunity(c) => {
+                        out.push_str(&format!("  set community {c} additive\n"))
+                    }
+                    SetClause::ClearCommunities => out.push_str("  set comm-list all delete\n"),
+                    SetClause::NextHop(n) => {
+                        out.push_str(&format!("  set next-hop {}\n", topo.name(*n)))
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_topology::builders::paper_topology;
+
+    fn d1() -> Prefix {
+        "200.7.0.0/16".parse().unwrap()
+    }
+
+    fn route() -> (netexpl_topology::Topology, Route) {
+        let (topo, h) = paper_topology();
+        let r = Route::originate(d1(), h.p1, AsNum(500));
+        let r = r.advanced(&topo, h.p1, h.r1);
+        (topo, r)
+    }
+
+    #[test]
+    fn empty_map_permits_unchanged() {
+        let (_, r) = route();
+        let m = RouteMap::new("m", vec![]);
+        assert_eq!(m.apply(&r), Some(r));
+    }
+
+    #[test]
+    fn implicit_deny_when_nothing_matches() {
+        let (_, r) = route();
+        let other: Prefix = "9.9.9.0/24".parse().unwrap();
+        let m = RouteMap::new(
+            "m",
+            vec![RouteMapEntry {
+                seq: 10,
+                action: Action::Permit,
+                matches: vec![MatchClause::PrefixList(vec![other])],
+                sets: vec![],
+            }],
+        );
+        assert_eq!(m.apply(&r), None);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let (_, r) = route();
+        let m = RouteMap::new(
+            "m",
+            vec![
+                RouteMapEntry { seq: 10, action: Action::Deny, matches: vec![], sets: vec![] },
+                RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+            ],
+        );
+        assert_eq!(m.apply(&r), None, "earlier deny shadows later permit");
+    }
+
+    #[test]
+    fn permit_applies_sets_in_order() {
+        let (_, r) = route();
+        let m = RouteMap::new(
+            "m",
+            vec![RouteMapEntry {
+                seq: 10,
+                action: Action::Permit,
+                matches: vec![],
+                sets: vec![
+                    SetClause::LocalPref(50),
+                    SetClause::AddCommunity(Community(100, 2)),
+                    SetClause::LocalPref(200),
+                ],
+            }],
+        );
+        let out = m.apply(&r).unwrap();
+        assert_eq!(out.local_pref, 200, "later set overwrites earlier");
+        assert!(out.communities.contains(&Community(100, 2)));
+    }
+
+    #[test]
+    fn deny_ignores_sets() {
+        let (_, r) = route();
+        let m = RouteMap::new(
+            "m",
+            vec![RouteMapEntry {
+                seq: 10,
+                action: Action::Deny,
+                matches: vec![],
+                sets: vec![SetClause::LocalPref(999)],
+            }],
+        );
+        assert_eq!(m.apply(&r), None);
+    }
+
+    #[test]
+    fn match_clause_semantics() {
+        let (topo, mut r) = route();
+        let (_, h) = paper_topology();
+        // Prefix containment.
+        let wide: Prefix = "200.0.0.0/8".parse().unwrap();
+        assert!(MatchClause::PrefixList(vec![wide]).matches(&r));
+        let narrow: Prefix = "200.7.1.0/24".parse().unwrap();
+        assert!(!MatchClause::PrefixList(vec![narrow]).matches(&r));
+        // Community.
+        assert!(!MatchClause::Community(Community(100, 2)).matches(&r));
+        r.communities.insert(Community(100, 2));
+        assert!(MatchClause::Community(Community(100, 2)).matches(&r));
+        // AS in path.
+        assert!(MatchClause::AsInPath(AsNum(500)).matches(&r));
+        assert!(!MatchClause::AsInPath(AsNum(600)).matches(&r));
+        // Learned-from neighbor.
+        assert!(MatchClause::FromNeighbor(h.p1).matches(&r));
+        assert!(!MatchClause::FromNeighbor(h.r2).matches(&r));
+        let _ = topo;
+    }
+
+    #[test]
+    fn clear_communities() {
+        let (_, mut r) = route();
+        r.communities.insert(Community(1, 1));
+        r.communities.insert(Community(2, 2));
+        SetClause::ClearCommunities.apply(&mut r);
+        assert!(r.communities.is_empty());
+    }
+
+    #[test]
+    fn render_is_cisco_like() {
+        let (topo, _) = route();
+        let m = RouteMap::new(
+            "R1_to_P1",
+            vec![RouteMapEntry {
+                seq: 10,
+                action: Action::Deny,
+                matches: vec![MatchClause::Community(Community(100, 2))],
+                sets: vec![],
+            }],
+        );
+        let text = m.render(&topo);
+        assert!(text.contains("route-map R1_to_P1 deny 10"), "{text}");
+        assert!(text.contains("match community 100:2"), "{text}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Route announcements and their attributes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use netexpl_topology::{AsNum, Prefix, RouterId, Topology};
+
+/// A BGP community tag `asn:value` (e.g. the paper's `100:2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Community(pub u16, pub u16);
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.0, self.1)
+    }
+}
+
+/// Default local preference assigned to routes that no policy touched.
+pub const DEFAULT_LOCAL_PREF: u32 = 100;
+
+/// A route announcement as held by some router.
+///
+/// Besides the wire attributes, a route carries its **propagation path**:
+/// the sequence of routers the announcement traversed from the originating
+/// external router to the current holder (inclusive on both ends). Traffic
+/// forwarded over this route follows the propagation path in reverse, which
+/// is how the specification language's traffic paths are checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// ASes traversed, most recent first (the holder's own AS excluded).
+    pub as_path: Vec<AsNum>,
+    /// Routers traversed from origin to the current holder, inclusive.
+    pub propagation: Vec<RouterId>,
+    /// The neighbor this route was learned from (equals the origin for the
+    /// origination itself).
+    pub next_hop: RouterId,
+    /// Local preference (meaningful within the receiving AS).
+    pub local_pref: u32,
+    /// Attached community tags.
+    pub communities: BTreeSet<Community>,
+}
+
+impl Route {
+    /// A fresh origination of `prefix` by external router `origin` in `asn`.
+    pub fn originate(prefix: Prefix, origin: RouterId, asn: AsNum) -> Route {
+        Route {
+            prefix,
+            as_path: vec![asn],
+            propagation: vec![origin],
+            next_hop: origin,
+            local_pref: DEFAULT_LOCAL_PREF,
+            communities: BTreeSet::new(),
+        }
+    }
+
+    /// The originating router (first element of the propagation path).
+    pub fn origin(&self) -> RouterId {
+        self.propagation[0]
+    }
+
+    /// The router currently holding the route (last propagation element).
+    pub fn holder(&self) -> RouterId {
+        *self.propagation.last().unwrap()
+    }
+
+    /// AS-path length, the second decision-process criterion.
+    pub fn as_path_len(&self) -> usize {
+        self.as_path.len()
+    }
+
+    /// The route as advertised across the session `from → to`: propagation
+    /// extended, next hop set to `from`, local preference reset (local pref
+    /// is not transitive across eBGP), and `from`'s AS prepended when the
+    /// session crosses an AS boundary.
+    #[must_use]
+    pub fn advanced(&self, topo: &Topology, from: RouterId, to: RouterId) -> Route {
+        debug_assert_eq!(self.holder(), from, "route must be advertised by its holder");
+        let mut r = self.clone();
+        let from_as = topo.router(from).as_num;
+        let to_as = topo.router(to).as_num;
+        if from_as != to_as && r.as_path.first() != Some(&from_as) {
+            r.as_path.insert(0, from_as);
+        }
+        if from_as != to_as {
+            r.local_pref = DEFAULT_LOCAL_PREF;
+        }
+        r.propagation.push(to);
+        r.next_hop = from;
+        r
+    }
+
+    /// Would extending this route to `to` revisit a router? (BGP loop
+    /// prevention at router granularity.)
+    pub fn would_loop(&self, to: RouterId) -> bool {
+        self.propagation.contains(&to)
+    }
+
+    /// Render the propagation path with names.
+    pub fn display_propagation(&self, topo: &Topology) -> String {
+        self.propagation
+            .iter()
+            .map(|&r| topo.name(r).to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_topology::builders::paper_topology;
+
+    fn d1() -> Prefix {
+        "200.7.0.0/16".parse().unwrap()
+    }
+
+    #[test]
+    fn origination_shape() {
+        let (_, h) = paper_topology();
+        let r = Route::originate(d1(), h.p1, AsNum(500));
+        assert_eq!(r.origin(), h.p1);
+        assert_eq!(r.holder(), h.p1);
+        assert_eq!(r.as_path, vec![AsNum(500)]);
+        assert_eq!(r.local_pref, DEFAULT_LOCAL_PREF);
+        assert!(r.communities.is_empty());
+        assert_eq!(r.next_hop, h.p1);
+    }
+
+    #[test]
+    fn advance_across_as_boundary_prepends_as_and_resets_lp() {
+        let (topo, h) = paper_topology();
+        let mut r = Route::originate(d1(), h.p1, AsNum(500));
+        r.local_pref = 250; // will be reset at the eBGP hop
+        let r2 = r.advanced(&topo, h.p1, h.r1);
+        assert_eq!(r2.propagation, vec![h.p1, h.r1]);
+        assert_eq!(r2.next_hop, h.p1);
+        assert_eq!(r2.local_pref, DEFAULT_LOCAL_PREF);
+        assert_eq!(r2.as_path, vec![AsNum(500)]);
+
+        // R1 → R2 stays inside AS100: AS path unchanged, local pref sticks.
+        let mut r2 = r2;
+        r2.local_pref = 180;
+        let r3 = r2.advanced(&topo, h.r1, h.r2);
+        assert_eq!(r3.as_path, vec![AsNum(500)]);
+        assert_eq!(r3.local_pref, 180);
+        assert_eq!(r3.propagation, vec![h.p1, h.r1, h.r2]);
+    }
+
+    #[test]
+    fn advance_out_of_internal_as_prepends_internal_as() {
+        let (topo, h) = paper_topology();
+        let r = Route::originate(d1(), h.p2, AsNum(600));
+        let r = r.advanced(&topo, h.p2, h.r2);
+        let r = r.advanced(&topo, h.r2, h.r1);
+        let r = r.advanced(&topo, h.r1, h.p1);
+        assert_eq!(r.as_path, vec![AsNum(100), AsNum(600)]);
+        assert_eq!(r.as_path_len(), 2);
+    }
+
+    #[test]
+    fn loop_detection() {
+        let (topo, h) = paper_topology();
+        let r = Route::originate(d1(), h.p1, AsNum(500));
+        let r = r.advanced(&topo, h.p1, h.r1);
+        assert!(r.would_loop(h.p1));
+        assert!(r.would_loop(h.r1));
+        assert!(!r.would_loop(h.r2));
+    }
+
+    #[test]
+    fn community_display() {
+        assert_eq!(Community(100, 2).to_string(), "100:2");
+    }
+
+    #[test]
+    fn display_propagation_names() {
+        let (topo, h) = paper_topology();
+        let r = Route::originate(d1(), h.p1, AsNum(500));
+        let r = r.advanced(&topo, h.p1, h.r1);
+        assert_eq!(r.display_propagation(&topo), "P1 -> R1");
+    }
+}

@@ -1,0 +1,499 @@
+//! Stable-state propagation simulator.
+//!
+//! Synchronous (Jacobi) iteration of the BGP propagation equations until a
+//! fixpoint: every router's Adj-RIB-In holds at most one route per
+//! (prefix, neighbor); internal routers advertise their *best* route per
+//! prefix on every session except the one it was learned from, passing it
+//! through the sender's export map and the receiver's import map; external
+//! routers originate their prefixes and never re-advertise (they are the
+//! environment). Oscillating policies (BGP wedgies) are detected by an
+//! iteration bound and reported as [`SimError::Unstable`].
+
+use std::collections::BTreeMap;
+
+use netexpl_topology::{Link, Prefix, RouterId, RouterKind, Topology};
+
+use crate::config::NetworkConfig;
+use crate::decision::best_route;
+use crate::route::Route;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The propagation equations did not reach a fixpoint within the bound —
+    /// the configuration has no stable routing solution (or oscillates).
+    Unstable {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Unstable { iterations } => {
+                write!(f, "routing did not stabilize within {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A realized traffic path: the routers a packet traverses from a source
+/// router to the route's origin.
+pub type ForwardingPath = Vec<RouterId>;
+
+/// The stable routing state.
+#[derive(Debug, Clone, Default)]
+pub struct StableState {
+    /// Adj-RIB-In: per (prefix, receiving router, sending neighbor).
+    rib_in: BTreeMap<(Prefix, RouterId, RouterId), Route>,
+    /// Selected best route per (prefix, router).
+    best: BTreeMap<(Prefix, RouterId), Route>,
+}
+
+impl StableState {
+    /// All candidate routes available at `router` for `prefix`, including
+    /// an external router's own origination.
+    pub fn available(&self, prefix: Prefix, router: RouterId) -> Vec<&Route> {
+        self.rib_in
+            .range((prefix, router, RouterId(0))..=(prefix, router, RouterId(u32::MAX)))
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// The selected route at `router` for `prefix`.
+    pub fn best(&self, prefix: Prefix, router: RouterId) -> Option<&Route> {
+        self.best.get(&(prefix, router))
+    }
+
+    /// The realized traffic path from `router` toward `prefix`: the selected
+    /// route's propagation path reversed (BGP advertises only best routes,
+    /// so forwarding follows the selected propagation in reverse).
+    pub fn forwarding_path(&self, prefix: Prefix, router: RouterId) -> Option<ForwardingPath> {
+        self.best(prefix, router).map(|r| {
+            let mut p = r.propagation.clone();
+            p.reverse();
+            p
+        })
+    }
+
+    /// Iterate over all (prefix, router) pairs with a selected route.
+    pub fn selections(&self) -> impl Iterator<Item = (Prefix, RouterId, &Route)> {
+        self.best.iter().map(|(&(p, r), route)| (p, r, route))
+    }
+}
+
+/// Compute the stable state of `config` over `topo`.
+pub fn stabilize(topo: &Topology, config: &NetworkConfig) -> Result<StableState, SimError> {
+    stabilize_with_failures(topo, config, &[])
+}
+
+/// Compute the stable state with the given links removed — used to check
+/// path-preference fallback behavior under failures.
+pub fn stabilize_with_failures(
+    topo: &Topology,
+    config: &NetworkConfig,
+    failed: &[Link],
+) -> Result<StableState, SimError> {
+    let link_up = |a: RouterId, b: RouterId| !failed.contains(&Link::new(a, b));
+
+    let mut state = StableState::default();
+    // Seed: originations are their routers' (external) fixed best routes.
+    for o in config.originations() {
+        let asn = topo.router(o.router).as_num;
+        debug_assert_eq!(
+            topo.router(o.router).kind,
+            RouterKind::External,
+            "only external routers originate prefixes in this model"
+        );
+        state
+            .best
+            .insert((o.prefix, o.router), Route::originate(o.prefix, o.router, asn));
+    }
+
+    let max_iters = 4 * topo.num_routers() + 16;
+    for _ in 0..max_iters {
+        let mut next_rib: BTreeMap<(Prefix, RouterId, RouterId), Route> = BTreeMap::new();
+
+        // Every router advertises its current best per prefix.
+        for ((prefix, sender), route) in &state.best {
+            // External routers advertise only their own originations.
+            let is_external = topo.router(*sender).kind == RouterKind::External;
+            if is_external && route.origin() != *sender {
+                continue;
+            }
+            for &neighbor in topo.neighbors(*sender) {
+                if !link_up(*sender, neighbor) {
+                    continue;
+                }
+                // Split horizon: never back to the session it came from.
+                if neighbor == route.next_hop && route.holder() == *sender && route.origin() != *sender
+                {
+                    continue;
+                }
+                // Loop prevention at router granularity.
+                if route.would_loop(neighbor) {
+                    continue;
+                }
+                // Sender's export policy.
+                let exported = match config.router(*sender).and_then(|c| c.export(neighbor)) {
+                    Some(map) => match map.apply(route) {
+                        Some(r) => r,
+                        None => continue,
+                    },
+                    None => route.clone(),
+                };
+                // Across the session.
+                let advanced = exported.advanced(topo, *sender, neighbor);
+                // Receiver's import policy (externals have none: environment).
+                let imported = match config.router(neighbor).and_then(|c| c.import(*sender)) {
+                    Some(map) => match map.apply(&advanced) {
+                        Some(r) => r,
+                        None => continue,
+                    },
+                    None => advanced,
+                };
+                next_rib.insert((*prefix, neighbor, *sender), imported);
+            }
+        }
+
+        // Recompute selections: originations stay pinned; everyone else
+        // picks the best of their Adj-RIB-In.
+        let mut next_best: BTreeMap<(Prefix, RouterId), Route> = BTreeMap::new();
+        for o in config.originations() {
+            let asn = topo.router(o.router).as_num;
+            next_best.insert((o.prefix, o.router), Route::originate(o.prefix, o.router, asn));
+        }
+        let mut keys: Vec<(Prefix, RouterId)> =
+            next_rib.keys().map(|&(p, r, _)| (p, r)).collect();
+        keys.sort();
+        keys.dedup();
+        for (prefix, router) in keys {
+            if next_best.contains_key(&(prefix, router)) {
+                continue; // origination wins at its origin
+            }
+            let candidates: Vec<&Route> = next_rib
+                .range((prefix, router, RouterId(0))..=(prefix, router, RouterId(u32::MAX)))
+                .map(|(_, r)| r)
+                .collect();
+            if let Some(best) = best_route(candidates) {
+                next_best.insert((prefix, router), best.clone());
+            }
+        }
+
+        let converged = next_rib == state.rib_in && next_best == state.best;
+        state.rib_in = next_rib;
+        state.best = next_best;
+        if converged {
+            return Ok(state);
+        }
+    }
+    Err(SimError::Unstable { iterations: max_iters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Action, MatchClause, RouteMap, RouteMapEntry, SetClause};
+    use crate::route::Community;
+    use netexpl_topology::builders::paper_topology;
+
+    fn d1() -> Prefix {
+        "200.7.0.0/16".parse().unwrap()
+    }
+
+    fn customer_prefix() -> Prefix {
+        "123.0.1.0/20".parse().unwrap()
+    }
+
+    #[test]
+    fn unconfigured_network_floods_routes() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1());
+        let state = stabilize(&topo, &net).unwrap();
+        // Every internal router learns the route.
+        for r in [h.r1, h.r2, h.r3] {
+            assert!(state.best(d1(), r).is_some(), "router {:?} missing route", r);
+        }
+        // Transit: P2 receives the route from R2 — the misconfiguration the
+        // no-transit requirement exists to prevent.
+        assert!(!state.available(d1(), h.p2).is_empty(), "default-permit leaks transit");
+        // R1 selects the direct path (shorter than via R2/R3).
+        let best = state.best(d1(), h.r1).unwrap();
+        assert_eq!(best.propagation, vec![h.p1, h.r1]);
+        assert_eq!(
+            state.forwarding_path(d1(), h.r1).unwrap(),
+            vec![h.r1, h.p1]
+        );
+    }
+
+    #[test]
+    fn deny_all_export_stops_transit() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1());
+        net.originate(h.p2, "201.0.0.0/16".parse().unwrap());
+        // R1 blocks all exports to P1; R2 blocks all exports to P2.
+        let deny_all = RouteMap::new(
+            "deny_all",
+            vec![RouteMapEntry { seq: 1, action: Action::Deny, matches: vec![], sets: vec![] }],
+        );
+        net.router_mut(h.r1).set_export(h.p1, deny_all.clone());
+        net.router_mut(h.r2).set_export(h.p2, deny_all);
+        let state = stabilize(&topo, &net).unwrap();
+        let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+        assert!(state.available(d2, h.p1).is_empty(), "no transit to P1");
+        assert!(state.available(d1(), h.p2).is_empty(), "no transit to P2");
+        // But the customer still reaches both destinations.
+        assert!(state.best(d1(), h.customer).is_some());
+        assert!(state.best(d2, h.customer).is_some());
+    }
+
+    #[test]
+    fn local_pref_steers_selection() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        // D1 reachable via both providers.
+        net.originate(h.p1, d1());
+        net.originate(h.p2, d1());
+        // R3 prefers routes learned from R1 (lp 200 vs default 100).
+        net.router_mut(h.r3).set_import(
+            h.r1,
+            RouteMap::new(
+                "prefer_r1",
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::LocalPref(200)],
+                }],
+            ),
+        );
+        let state = stabilize(&topo, &net).unwrap();
+        let best = state.best(d1(), h.r3).unwrap();
+        assert_eq!(best.next_hop, h.r1);
+        assert_eq!(
+            state.forwarding_path(d1(), h.r3).unwrap(),
+            vec![h.r3, h.r1, h.p1]
+        );
+    }
+
+    #[test]
+    fn failover_when_preferred_link_dies() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1());
+        net.originate(h.p2, d1());
+        net.router_mut(h.r3).set_import(
+            h.r1,
+            RouteMap::new(
+                "prefer_r1",
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::LocalPref(200)],
+                }],
+            ),
+        );
+        let failed = [Link::new(h.r3, h.r1)];
+        let state = stabilize_with_failures(&topo, &net, &failed).unwrap();
+        let best = state.best(d1(), h.r3).unwrap();
+        assert_eq!(best.next_hop, h.r2, "fallback via R2");
+    }
+
+    #[test]
+    fn community_tagging_then_filtering() {
+        // R2 tags routes imported from P2 with 100:2; R1 denies exports to
+        // P1 carrying 100:2 — the paper's §5 example mechanism.
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+        net.originate(h.p2, d2);
+        net.router_mut(h.r2).set_import(
+            h.p2,
+            RouteMap::new(
+                "tag_p2",
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::AddCommunity(Community(100, 2))],
+                }],
+            ),
+        );
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "filter_tagged",
+                vec![
+                    RouteMapEntry {
+                        seq: 10,
+                        action: Action::Deny,
+                        matches: vec![MatchClause::Community(Community(100, 2))],
+                        sets: vec![],
+                    },
+                    RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+                ],
+            ),
+        );
+        let state = stabilize(&topo, &net).unwrap();
+        // R1 holds the tagged route…
+        let at_r1 = state.best(d2, h.r1).unwrap();
+        assert!(at_r1.communities.contains(&Community(100, 2)));
+        // …but P1 never sees it.
+        assert!(state.available(d2, h.p1).is_empty());
+    }
+
+    #[test]
+    fn prefix_scoped_policy_only_affects_matching_prefix() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1());
+        net.originate(h.customer, customer_prefix());
+        // R1 denies exporting the customer prefix to P1 but permits the rest.
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "scoped",
+                vec![
+                    RouteMapEntry {
+                        seq: 10,
+                        action: Action::Deny,
+                        matches: vec![MatchClause::PrefixList(vec![customer_prefix()])],
+                        sets: vec![],
+                    },
+                    RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+                ],
+            ),
+        );
+        let state = stabilize(&topo, &net).unwrap();
+        assert!(state.available(customer_prefix(), h.p1).is_empty());
+        // P1's own prefix is irrelevant to P1; but P2 receives the customer
+        // prefix (no policy on R2).
+        assert!(!state.available(customer_prefix(), h.p2).is_empty());
+    }
+
+    #[test]
+    fn split_horizon_no_echo() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1());
+        let state = stabilize(&topo, &net).unwrap();
+        // P1 must not be offered its own route back by R1 (split horizon +
+        // loop prevention).
+        assert!(state.available(d1(), h.p1).is_empty());
+    }
+
+    #[test]
+    fn multi_origin_shortest_as_path_wins_by_default() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1());
+        net.originate(h.p2, d1());
+        let state = stabilize(&topo, &net).unwrap();
+        // R1 hears D1 from P1 directly (path len 1) and via R2/R3; it picks P1.
+        let best = state.best(d1(), h.r1).unwrap();
+        assert_eq!(best.origin(), h.p1);
+        assert_eq!(best.as_path_len(), 1);
+        // Customer picks whichever egress R3 selected; its forwarding path
+        // must be consistent (starts at Customer, ends at an origin).
+        let fwd = state.forwarding_path(d1(), h.customer).unwrap();
+        assert_eq!(fwd[0], h.customer);
+        assert!(fwd.last() == Some(&h.p1) || fwd.last() == Some(&h.p2));
+    }
+
+    #[test]
+    fn bad_gadget_reports_unstable() {
+        // The classic BAD GADGET dispute wheel: three routers in a ring
+        // around an origin, each preferring (via local-pref) the route that
+        // goes through its clockwise neighbor over its direct route. No
+        // stable assignment exists; the simulator must detect oscillation.
+        let mut t = netexpl_topology::Topology::new();
+        use netexpl_topology::{AsNum, RouterKind};
+        let o = t.add_router("O", AsNum(900), RouterKind::External);
+        let r0 = t.add_router("R0", AsNum(100), RouterKind::Internal);
+        let r1 = t.add_router("R1", AsNum(101), RouterKind::Internal);
+        let r2 = t.add_router("R2", AsNum(102), RouterKind::Internal);
+        for r in [r0, r1, r2] {
+            t.add_link(o, r);
+        }
+        t.add_link(r0, r1);
+        t.add_link(r1, r2);
+        t.add_link(r2, r0);
+
+        let d: Prefix = "9.9.0.0/16".parse().unwrap();
+        let mut net = NetworkConfig::new();
+        net.originate(o, d);
+        // Each router prefers the route learned from its clockwise internal
+        // neighbor (lp 200) over the direct route from O (lp 100).
+        let prefer = |name: &str, lp: u32| {
+            RouteMap::new(
+                name,
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::LocalPref(lp)],
+                }],
+            )
+        };
+        for (me, cw) in [(r0, r1), (r1, r2), (r2, r0)] {
+            net.router_mut(me).set_import(cw, prefer("cw", 200));
+            net.router_mut(me).set_import(o, prefer("direct", 100));
+            // Only advertise the direct route onward (the wheel's "export
+            // only your direct path" rule): deny routes that already passed
+            // through another internal router.
+            net.router_mut(me).set_export(
+                if me == r0 { r2 } else if me == r1 { r0 } else { r1 },
+                RouteMap::new(
+                    "spoke",
+                    vec![
+                        RouteMapEntry {
+                            seq: 10,
+                            action: Action::Deny,
+                            matches: vec![MatchClause::AsInPath(AsNum(
+                                if me == r0 { 101 } else if me == r1 { 102 } else { 100 },
+                            ))],
+                            sets: vec![],
+                        },
+                        RouteMapEntry {
+                            seq: 20,
+                            action: Action::Permit,
+                            matches: vec![],
+                            sets: vec![],
+                        },
+                    ],
+                ),
+            );
+        }
+        match stabilize(&t, &net) {
+            Err(SimError::Unstable { .. }) => {}
+            Ok(state) => {
+                // If a stable state exists with these preferences, the
+                // gadget was not faithfully encoded — fail loudly with it.
+                let shown: Vec<String> = state
+                    .selections()
+                    .map(|(p, r, rt)| format!("{p} @ {} : {}", t.name(r), rt.display_propagation(&t)))
+                    .collect();
+                panic!("expected oscillation, converged to:\n{}", shown.join("\n"));
+            }
+        }
+    }
+
+    #[test]
+    fn stable_state_is_deterministic() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1());
+        net.originate(h.p2, d1());
+        let a = stabilize(&topo, &net).unwrap();
+        let b = stabilize(&topo, &net).unwrap();
+        let sa: Vec<_> = a.selections().map(|(p, r, rt)| (p, r, rt.clone())).collect();
+        let sb: Vec<_> = b.selections().map(|(p, r, rt)| (p, r, rt.clone())).collect();
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,232 @@
+//! The CLI subcommands.
+
+use netexpl_core::symbolize::{Dir, Selector};
+use netexpl_core::{explain, ExplainOptions};
+use netexpl_logic::term::Ctx;
+use netexpl_spec::check_specification;
+use netexpl_synth::sketch::HoleFactory;
+use netexpl_synth::synthesize::{default_sketch, synthesize, SynthOptions, SynthResult};
+use netexpl_topology::{Link, Topology};
+use serde::Serialize;
+
+use crate::input::{load_problem, topology, Options, Problem};
+
+#[derive(Serialize)]
+struct SynthReport {
+    topology: String,
+    holes: usize,
+    constraints: usize,
+    constraint_nodes: usize,
+    candidate_paths: usize,
+    config: String,
+}
+
+fn synthesize_problem(
+    topo: &Topology,
+    problem: &Problem,
+    ctx: &mut Ctx,
+    sorts: netexpl_synth::vocab::VocabSorts,
+) -> Result<SynthResult, String> {
+    let factory = HoleFactory::new(&problem.vocab, sorts);
+    let sketch = default_sketch(ctx, topo, &factory, &problem.base);
+    synthesize(ctx, topo, &problem.vocab, sorts, &sketch, &problem.spec, SynthOptions::default())
+        .map_err(|e| e.to_string())
+}
+
+/// `netexpl synth` — synthesize a configuration and print it.
+pub fn synth(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &["json"])?;
+    let topo = topology(opts.require("topology")?)?;
+    let problem = load_problem(&topo, opts.require("spec")?)?;
+    let mut ctx = Ctx::new();
+    let sorts = problem.vocab.sorts(&mut ctx);
+    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts)?;
+    let report = SynthReport {
+        topology: opts.require("topology")?.to_string(),
+        holes: result.stats.num_holes,
+        constraints: result.stats.num_constraints,
+        constraint_nodes: result.stats.constraint_size,
+        candidate_paths: result.stats.num_paths,
+        config: result.config.render(&topo),
+    };
+    if opts.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    } else {
+        println!(
+            "synthesized with {} holes, {} constraints ({} nodes), {} candidate paths\n",
+            report.holes, report.constraints, report.constraint_nodes, report.candidate_paths
+        );
+        print!("{}", report.config);
+    }
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct ExplainReport {
+    router: String,
+    symbolized: Vec<String>,
+    seed_conjuncts: usize,
+    seed_nodes: usize,
+    simplified_conjuncts: usize,
+    simplified_nodes: usize,
+    rule_firings: u64,
+    simplified_constraints: Vec<String>,
+    subspecification: String,
+    exact: bool,
+}
+
+/// `netexpl explain` — synthesize, then run the explanation pipeline.
+pub fn explain_cmd(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &["json", "skip-lift"])?;
+    let topo = topology(opts.require("topology")?)?;
+    let problem = load_problem(&topo, opts.require("spec")?)?;
+    let router_name = opts.require("router")?;
+    let router = topo
+        .router_by_name(router_name)
+        .ok_or_else(|| format!("unknown router `{router_name}`"))?;
+
+    let selector = match opts.get("neighbor") {
+        None => Selector::Router,
+        Some(nname) => {
+            let neighbor = topo
+                .router_by_name(nname)
+                .ok_or_else(|| format!("unknown neighbor `{nname}`"))?;
+            let dir = match opts.get("dir").unwrap_or("export") {
+                "import" => Dir::Import,
+                "export" => Dir::Export,
+                other => return Err(format!("--dir must be import or export, not `{other}`")),
+            };
+            match opts.get("entry") {
+                None => Selector::Session { neighbor, dir },
+                Some(e) => Selector::Entry {
+                    neighbor,
+                    dir,
+                    entry: e.parse().map_err(|_| format!("bad entry index `{e}`"))?,
+                },
+            }
+        }
+    };
+
+    let mut ctx = Ctx::new();
+    let sorts = problem.vocab.sorts(&mut ctx);
+    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts)?;
+
+    let explanation = explain(
+        &mut ctx,
+        &topo,
+        &problem.vocab,
+        sorts,
+        &result.config,
+        &problem.spec,
+        router,
+        &selector,
+        ExplainOptions { skip_lift: opts.flag("skip-lift"), ..Default::default() },
+    )
+    .map_err(|e| e.to_string())?;
+
+    if opts.flag("json") {
+        let report = ExplainReport {
+            router: explanation.router.clone(),
+            symbolized: explanation.symbolized.clone(),
+            seed_conjuncts: explanation.seed_conjuncts,
+            seed_nodes: explanation.seed_size,
+            simplified_conjuncts: explanation.simplified_conjuncts,
+            simplified_nodes: explanation.simplified_size,
+            rule_firings: explanation.rule_stats.total(),
+            simplified_constraints: explanation.simplified_text.clone(),
+            subspecification: explanation.subspec.to_string(),
+            exact: explanation.lift_complete,
+        };
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    } else {
+        println!("{explanation}");
+    }
+    Ok(())
+}
+
+/// `netexpl assumptions` — synthesize, then compute the environment
+/// assumptions for one router (the paper's §5 extension).
+pub fn assumptions(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let topo = topology(opts.require("topology")?)?;
+    let problem = load_problem(&topo, opts.require("spec")?)?;
+    let router_name = opts.require("router")?;
+    let router = topo
+        .router_by_name(router_name)
+        .ok_or_else(|| format!("unknown router `{router_name}`"))?;
+    let mut ctx = Ctx::new();
+    let sorts = problem.vocab.sorts(&mut ctx);
+    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts)?;
+    let env = netexpl_core::environment_assumptions(
+        &mut ctx,
+        &topo,
+        &problem.vocab,
+        sorts,
+        &result.config,
+        &problem.spec,
+        router,
+        ExplainOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{env}");
+    Ok(())
+}
+
+/// `netexpl simulate` — synthesize and show the stable routing state.
+pub fn simulate(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &["json"])?;
+    let topo = topology(opts.require("topology")?)?;
+    let problem = load_problem(&topo, opts.require("spec")?)?;
+    let mut ctx = Ctx::new();
+    let sorts = problem.vocab.sorts(&mut ctx);
+    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts)?;
+
+    let mut failed: Vec<Link> = Vec::new();
+    for f in opts.all("fail") {
+        let (a, b) = f
+            .split_once('-')
+            .ok_or_else(|| format!("--fail takes A-B, not `{f}`"))?;
+        let a = topo.router_by_name(a).ok_or_else(|| format!("unknown router `{a}`"))?;
+        let b = topo.router_by_name(b).ok_or_else(|| format!("unknown router `{b}`"))?;
+        failed.push(Link::new(a, b));
+    }
+
+    let state = netexpl_bgp::sim::stabilize_with_failures(&topo, &result.config, &failed)
+        .map_err(|e| e.to_string())?;
+    println!("stable routing state{}:", if failed.is_empty() { String::new() } else { format!(" ({} failed links)", failed.len()) });
+    for (prefix, router, route) in state.selections() {
+        println!(
+            "  {:<18} @ {:<10} via {:<10} lp={:<4} path: {}",
+            prefix.to_string(),
+            topo.name(router),
+            topo.name(route.next_hop),
+            route.local_pref,
+            route.display_propagation(&topo),
+        );
+    }
+    let violations = check_specification(&topo, &result.config, &problem.spec);
+    if violations.is_empty() {
+        println!("\nspecification: satisfied");
+    } else {
+        println!("\nspecification: {} violation(s)", violations.len());
+        for v in &violations {
+            println!("  {v:?}");
+        }
+    }
+    Ok(())
+}
+
+/// `netexpl scenario <1|2|3>` — run the paper's motivating scenarios.
+pub fn scenario(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let which = opts.positional().first().map(String::as_str).unwrap_or("1");
+    let example = match which {
+        "1" => "scenario1_underspecified",
+        "2" => "scenario2_ambiguous",
+        "3" => "scenario3_complexity",
+        other => return Err(format!("unknown scenario `{other}` (1, 2 or 3)")),
+    };
+    Err(format!(
+        "the scenarios ship as runnable examples — use `cargo run --example {example}`"
+    ))
+}

@@ -1,0 +1,164 @@
+//! CLI input handling: argument parsing, topology selection, and spec files
+//! with `@originate` directives.
+
+use netexpl_bgp::{Community, NetworkConfig};
+use netexpl_spec::Specification;
+use netexpl_synth::vocab::Vocabulary;
+use netexpl_topology::builders;
+use netexpl_topology::{Prefix, Topology};
+
+/// Parsed `--key value` / `--flag` arguments.
+#[derive(Debug, Default)]
+pub struct Options {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Options {
+    /// Parse a raw argument list. Known flags take no value.
+    pub fn parse(args: &[String], flag_names: &[&str]) -> Result<Options, String> {
+        let mut out = Options::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if flag_names.contains(&name) {
+                    out.flags.push(name.to_string());
+                    i += 1;
+                } else {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    out.pairs.push((name.to_string(), value.clone()));
+                    i += 2;
+                }
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The value of `--key`, if given. Repeatable keys: use [`Options::all`].
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable `--key`.
+    pub fn all(&self, key: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
+    }
+
+    /// A required `--key`.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Is `--flag` present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+/// Build a topology from its CLI name.
+pub fn topology(name: &str) -> Result<Topology, String> {
+    if name == "paper" {
+        return Ok(builders::paper_topology().0);
+    }
+    if let Some((kind, n)) = name.split_once(':') {
+        let n: usize = n.parse().map_err(|_| format!("bad size in `{name}`"))?;
+        return match kind {
+            "line" => Ok(builders::line(n)),
+            "ring" => Ok(builders::ring(n)),
+            "star" => Ok(builders::star(n)),
+            other => Err(format!("unknown topology kind `{other}`")),
+        };
+    }
+    Err(format!("unknown topology `{name}` (try paper, line:N, ring:N, star:N)"))
+}
+
+/// A loaded problem: topology-independent pieces of a spec file.
+pub struct Problem {
+    /// The parsed specification.
+    pub spec: Specification,
+    /// The environment (originations from `@originate` directives).
+    pub base: NetworkConfig,
+    /// The derived vocabulary.
+    pub vocab: Vocabulary,
+}
+
+/// Load a spec file, extracting `// @originate <Router> <prefix>`
+/// directives into a base configuration.
+pub fn load_problem(topo: &Topology, path: &str) -> Result<Problem, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut base = NetworkConfig::new();
+    let mut prefixes: Vec<Prefix> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let Some(rest) = line.trim().strip_prefix("// @originate ") else { continue };
+        let mut parts = rest.split_whitespace();
+        let (Some(router), Some(prefix)) = (parts.next(), parts.next()) else {
+            return Err(format!("{path}:{}: @originate needs <Router> <prefix>", lineno + 1));
+        };
+        let router_id = topo
+            .router_by_name(router)
+            .ok_or_else(|| format!("{path}:{}: unknown router `{router}`", lineno + 1))?;
+        let prefix: Prefix = prefix
+            .parse()
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        base.originate(router_id, prefix);
+        prefixes.push(prefix);
+    }
+    if base.originations().is_empty() {
+        return Err(format!(
+            "{path}: no `// @originate <Router> <prefix>` directives — nothing is announced"
+        ));
+    }
+    let spec = netexpl_spec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    prefixes.extend(spec.destinations.values().copied());
+    let vocab = Vocabulary::new(
+        topo,
+        vec![Community(100, 1), Community(100, 2)],
+        vec![50, 100, 200],
+        prefixes,
+    );
+    Ok(Problem { spec, base, vocab })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parsing() {
+        let args: Vec<String> = ["--topology", "paper", "--json", "--fail", "A-B", "--fail", "C-D", "pos"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Options::parse(&args, &["json", "skip-lift"]).unwrap();
+        assert_eq!(o.get("topology"), Some("paper"));
+        assert!(o.flag("json"));
+        assert!(!o.flag("skip-lift"));
+        assert_eq!(o.all("fail"), vec!["A-B", "C-D"]);
+        assert_eq!(o.positional(), &["pos".to_string()]);
+        assert!(o.require("missing").is_err());
+    }
+
+    #[test]
+    fn topology_names() {
+        assert_eq!(topology("paper").unwrap().num_routers(), 6);
+        assert_eq!(topology("line:3").unwrap().num_routers(), 5);
+        assert_eq!(topology("ring:4").unwrap().num_routers(), 6);
+        assert_eq!(topology("star:3").unwrap().num_routers(), 6);
+        assert!(topology("mesh:3").is_err());
+        assert!(topology("bogus").is_err());
+        assert!(topology("line:x").is_err());
+    }
+}

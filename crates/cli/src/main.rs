@@ -1,0 +1,84 @@
+//! `netexpl` — synthesize, check, simulate, and explain network
+//! configurations from the command line.
+//!
+//! ```text
+//! netexpl synth    --topology paper --spec spec.txt [--json]
+//! netexpl explain  --topology paper --spec spec.txt --router R1 \
+//!                  [--neighbor P1 --dir export [--entry N]] [--skip-lift] [--json]
+//! netexpl simulate --topology paper --spec spec.txt [--fail R1-R3]
+//! netexpl scenario <1|2|3>
+//! ```
+//!
+//! The specification file uses the `netexpl-spec` DSL, extended with one
+//! CLI-level directive embedded in comments:
+//!
+//! ```text
+//! // @originate P1 200.7.0.0/16
+//! dest D1 = 200.7.0.0/16
+//! Req1 { !(P1 -> ... -> P2) }
+//! ```
+//!
+//! `@originate` declares the environment (which external router announces
+//! which prefix); everything else is the paper's requirement language.
+
+mod commands;
+mod input;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Err("missing command".into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "synth" => commands::synth(rest),
+        "explain" => commands::explain_cmd(rest),
+        "assumptions" => commands::assumptions(rest),
+        "simulate" => commands::simulate(rest),
+        "scenario" => commands::scenario(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown command `{other}`"))
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "netexpl — explainable network configuration synthesis\n\
+         \n\
+         USAGE:\n\
+           netexpl synth    --topology <T> --spec <FILE> [--json]\n\
+           netexpl explain  --topology <T> --spec <FILE> --router <NAME>\n\
+                            [--neighbor <NAME> --dir <import|export> [--entry <N>]]\n\
+                            [--skip-lift] [--json]\n\
+           netexpl assumptions --topology <T> --spec <FILE> --router <NAME>\n\
+           netexpl simulate --topology <T> --spec <FILE> [--fail <A-B>]...\n\
+           netexpl scenario <1|2|3>\n\
+         \n\
+         TOPOLOGIES:\n\
+           paper      the six-router network of the paper's Figure 1b\n\
+           line:N     N internal routers in a line, a provider at each end\n\
+           ring:N     N internal routers in a ring, two providers\n\
+           star:N     hub and N spokes, two providers\n\
+         \n\
+         SPEC FILES use the requirement DSL plus `// @originate <Router> <prefix>`."
+    );
+}

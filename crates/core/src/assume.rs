@@ -1,0 +1,224 @@
+//! Environment assumptions — the paper's §5 "High-level summary of the
+//! global behaviors" extension.
+//!
+//! When an operator inspects one router's subspecification, its validity
+//! rests on assumptions about the rest of the network: "when inspecting the
+//! local subspecification for router R1, which denies routes with community
+//! 100:2 from R1 to P1, it is essential to ensure a route is tagged with
+//! community 100:2 if received from P2." The paper proposes to "view the
+//! rest of the network as a single component and determine the necessary
+//! actions of other devices … given the concrete configurations of a
+//! particular router".
+//!
+//! [`environment_assumptions`] implements exactly that dual: freeze the
+//! router under inspection, symbolize every *other* configured internal
+//! router, extract one shared seed specification, and lift a
+//! subspecification for each of the other routers. The result is the list
+//! of local obligations the environment must uphold for the inspected
+//! router's configuration to make sense.
+
+use netexpl_bgp::NetworkConfig;
+use netexpl_logic::term::Ctx;
+use netexpl_spec::{Specification, SubSpec};
+use netexpl_synth::sketch::{HoleFactory, SymNetworkConfig};
+use netexpl_synth::vocab::{Vocabulary, VocabSorts};
+use netexpl_topology::{RouterId, Topology};
+
+use crate::explain::{ExplainError, ExplainOptions};
+use crate::lift::{lift, LiftResult};
+use crate::seed::seed_spec;
+use crate::symbolize::{symbolize, Selector, SymbolTable};
+
+/// The environment's obligations toward one inspected router.
+#[derive(Debug)]
+pub struct EnvironmentAssumptions {
+    /// The router whose configuration was held concrete.
+    pub inspected: String,
+    /// One subspecification per other configured internal router, with
+    /// lifting exactness, in router-id order.
+    pub assumptions: Vec<(SubSpec, bool)>,
+    /// Seed statistics (shared across all assumptions).
+    pub seed_conjuncts: usize,
+    /// Seed AST size.
+    pub seed_size: usize,
+}
+
+impl std::fmt::Display for EnvironmentAssumptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "=== Environment assumptions for {} (seed: {} conjuncts, {} nodes) ===",
+            self.inspected, self.seed_conjuncts, self.seed_size
+        )?;
+        for (sub, exact) in &self.assumptions {
+            writeln!(f, "{} {}", sub, if *exact { "(exact)" } else { "(necessary conditions)" })?;
+        }
+        Ok(())
+    }
+}
+
+/// Compute what every other configured internal router must do, given
+/// `router`'s concrete configuration.
+#[allow(clippy::too_many_arguments)]
+pub fn environment_assumptions(
+    ctx: &mut Ctx,
+    topo: &Topology,
+    vocab: &Vocabulary,
+    sorts: VocabSorts,
+    config: &NetworkConfig,
+    spec: &Specification,
+    router: RouterId,
+    options: ExplainOptions,
+) -> Result<EnvironmentAssumptions, ExplainError> {
+    let factory = HoleFactory::new(vocab, sorts);
+    // Symbolize every configured internal router except the inspected one,
+    // into one shared partially symbolic configuration.
+    let mut sym = SymNetworkConfig::from_concrete(config);
+    let mut table = SymbolTable::default();
+    let mut others: Vec<RouterId> = Vec::new();
+    for r in topo.internal_routers() {
+        if r == router || config.router(r).is_none() {
+            continue;
+        }
+        let (s, t) = symbolize(ctx, &factory, topo, config, r, &Selector::Router);
+        // Merge: adopt r's symbolic maps into the shared configuration.
+        if let Some(rc) = s.routers.get(&r) {
+            *sym.router_mut(r) = rc.clone();
+        }
+        table.symbols.extend(t.symbols);
+        others.push(r);
+    }
+    if table.is_empty() {
+        return Err(ExplainError::NothingSymbolized);
+    }
+
+    let seed = seed_spec(ctx, topo, vocab, sorts, &sym, spec, options.encode)?;
+    let mut assumptions = Vec::with_capacity(others.len());
+    for r in others {
+        let LiftResult { subspec, complete, .. } = lift(ctx, topo, spec, &seed, r, options.lift);
+        assumptions.push((subspec, complete));
+    }
+    Ok(EnvironmentAssumptions {
+        inspected: topo.name(router).to_string(),
+        assumptions,
+        seed_conjuncts: seed.num_conjuncts,
+        seed_size: seed.size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_bgp::{Action, Community, MatchClause, RouteMap, RouteMapEntry, SetClause};
+    use netexpl_topology::builders::paper_topology;
+    use netexpl_topology::Prefix;
+
+    /// The §5 example: R1 denies community-tagged routes toward P1; the
+    /// environment must guarantee the tag is applied — here by R2.
+    #[test]
+    fn tagging_obligation_is_surfaced() {
+        let (topo, h) = paper_topology();
+        let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+        let tag = Community(100, 2);
+        let mut net = netexpl_bgp::NetworkConfig::new();
+        net.originate(h.p2, d2);
+        // R2 tags P2 routes.
+        net.router_mut(h.r2).set_import(
+            h.p2,
+            RouteMap::new(
+                "R2_from_P2",
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::AddCommunity(tag)],
+                }],
+            ),
+        );
+        // R1 filters the tag toward P1 (the inspected router's config).
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "R1_to_P1",
+                vec![
+                    RouteMapEntry {
+                        seq: 10,
+                        action: Action::Deny,
+                        matches: vec![MatchClause::Community(tag)],
+                        sets: vec![],
+                    },
+                    RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+                ],
+            ),
+        );
+        let spec = netexpl_spec::parse("Req1 { !(P2 -> ... -> P1) }").unwrap();
+        let vocab = Vocabulary::new(&topo, vec![tag], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let env = environment_assumptions(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            h.r1,
+            ExplainOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(env.inspected, "R1");
+        // R2 carries an obligation (its tagging feeds R1's filter); its
+        // subspecification is non-empty.
+        let r2 = env
+            .assumptions
+            .iter()
+            .find(|(s, _)| s.router == "R2")
+            .expect("R2 is a configured environment router");
+        assert!(
+            !r2.0.is_empty(),
+            "R2 must uphold an obligation for R1's filter to suffice:\n{env}"
+        );
+    }
+
+    #[test]
+    fn unconstrained_environment_is_empty() {
+        // If the inspected router alone enforces the requirement, the
+        // environment owes nothing.
+        let (topo, h) = paper_topology();
+        let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+        let mut net = netexpl_bgp::NetworkConfig::new();
+        net.originate(h.p2, d2);
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "R1_to_P1",
+                vec![RouteMapEntry { seq: 10, action: Action::Deny, matches: vec![], sets: vec![] }],
+            ),
+        );
+        // Give R2 some innocuous config so it participates.
+        net.router_mut(h.r2).set_export(
+            h.p2,
+            RouteMap::new(
+                "R2_to_P2",
+                vec![RouteMapEntry { seq: 10, action: Action::Permit, matches: vec![], sets: vec![] }],
+            ),
+        );
+        let spec = netexpl_spec::parse("Req1 { !(P2 -> ... -> P1) }").unwrap();
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let env = environment_assumptions(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            h.r1,
+            ExplainOptions::default(),
+        )
+        .unwrap();
+        let r2 = env.assumptions.iter().find(|(s, _)| s.router == "R2").unwrap();
+        assert!(r2.0.is_empty(), "R1 blocks everything itself:\n{env}");
+    }
+}

@@ -1,0 +1,569 @@
+//! The end-to-end explanation pipeline (the paper's Figure 6).
+
+use std::fmt;
+
+use netexpl_bgp::NetworkConfig;
+use netexpl_logic::simplify::{RuleMask, Simplifier, SimplifyStats};
+use netexpl_logic::term::{Ctx, TermId, TermNode};
+use netexpl_spec::{Specification, SubSpec};
+use netexpl_synth::encode::{EncodeError, EncodeOptions};
+use netexpl_synth::sketch::HoleFactory;
+use netexpl_synth::vocab::{Vocabulary, VocabSorts};
+use netexpl_topology::{RouterId, Topology};
+
+use crate::lift::{lift, LiftOptions, LiftResult};
+use crate::seed::seed_spec;
+use crate::symbolize::{symbolize, Selector, SymbolTable};
+
+/// Options for an explanation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExplainOptions {
+    /// Encoding options (path enumeration bound).
+    pub encode: EncodeOptions,
+    /// Which of the fifteen rewrite rules to apply (rule-ablation hook).
+    pub rules: RuleMask,
+    /// Lifting bounds.
+    pub lift: LiftOptions,
+    /// Skip the lifting step (seed + simplification only — the paper's
+    /// actual prototype scope).
+    pub skip_lift: bool,
+}
+
+/// Explanation failure.
+#[derive(Debug)]
+pub enum ExplainError {
+    /// The requirements could not be encoded.
+    Encode(EncodeError),
+    /// Nothing was symbolized (unknown router or empty selector).
+    NothingSymbolized,
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::Encode(e) => write!(f, "encoding failed: {e}"),
+            ExplainError::NothingSymbolized => {
+                write!(f, "the selector matched no configuration lines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {}
+
+impl From<EncodeError> for ExplainError {
+    fn from(e: EncodeError) -> Self {
+        ExplainError::Encode(e)
+    }
+}
+
+/// The full explanation artifact.
+#[derive(Debug)]
+pub struct Explanation {
+    /// The explained router's name.
+    pub router: String,
+    /// Descriptions of the symbolized variables (Figure 6b).
+    pub symbolized: Vec<String>,
+    /// Seed size: number of top-level conjuncts before simplification.
+    pub seed_conjuncts: usize,
+    /// Seed size: total AST nodes before simplification.
+    pub seed_size: usize,
+    /// The simplified seed specification (Figure 6c).
+    pub simplified: TermId,
+    /// Conjuncts after simplification.
+    pub simplified_conjuncts: usize,
+    /// AST nodes after simplification.
+    pub simplified_size: usize,
+    /// The simplified conjuncts that mention symbolized variables, rendered.
+    pub simplified_text: Vec<String>,
+    /// Rewrite-rule firing statistics.
+    pub rule_stats: SimplifyStats,
+    /// The lifted subspecification (empty when `skip_lift`).
+    pub subspec: SubSpec,
+    /// Whether lifting proved the subspecification sufficient.
+    pub lift_complete: bool,
+    /// Solver queries spent on lifting.
+    pub lift_candidates_checked: usize,
+    /// Per-subspec-entry provenance: the global requirement blocks forcing
+    /// each entry (parallel to `subspec.requirements`).
+    pub provenance: Vec<Vec<String>>,
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Explanation for {} ===", self.router)?;
+        writeln!(f, "symbolized variables ({}):", self.symbolized.len())?;
+        for s in &self.symbolized {
+            writeln!(f, "  {s}")?;
+        }
+        writeln!(
+            f,
+            "seed specification: {} conjuncts, {} nodes",
+            self.seed_conjuncts, self.seed_size
+        )?;
+        writeln!(
+            f,
+            "simplified:         {} conjuncts, {} nodes ({} rule firings)",
+            self.simplified_conjuncts,
+            self.simplified_size,
+            self.rule_stats.total()
+        )?;
+        if self.simplified_text.is_empty() {
+            writeln!(f, "simplified constraints on this router: (none — unconstrained)")?;
+        } else {
+            writeln!(f, "simplified constraints on this router:")?;
+            for c in &self.simplified_text {
+                writeln!(f, "  {c}")?;
+            }
+        }
+        writeln!(
+            f,
+            "subspecification ({}):",
+            if self.lift_complete { "exact" } else { "necessary conditions" }
+        )?;
+        write!(f, "{}", self.subspec)?;
+        if self.provenance.iter().any(|p| !p.is_empty()) {
+            writeln!(f, "\nrequired by:")?;
+            for (req, blocks) in self.subspec.requirements.iter().zip(&self.provenance) {
+                if !blocks.is_empty() {
+                    writeln!(f, "  {req}  <=  {}", blocks.join(", "))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run the full pipeline: symbolize → seed → simplify → lift.
+#[allow(clippy::too_many_arguments)]
+pub fn explain(
+    ctx: &mut Ctx,
+    topo: &Topology,
+    vocab: &Vocabulary,
+    sorts: VocabSorts,
+    config: &NetworkConfig,
+    spec: &Specification,
+    router: RouterId,
+    selector: &Selector,
+    options: ExplainOptions,
+) -> Result<Explanation, ExplainError> {
+    // (1) Symbolize.
+    let factory = HoleFactory::new(vocab, sorts);
+    let (sym, table) = symbolize(ctx, &factory, topo, config, router, selector);
+    if table.is_empty() {
+        return Err(ExplainError::NothingSymbolized);
+    }
+
+    // (2) Seed specification via the synthesizer's encoder.
+    let seed = seed_spec(ctx, topo, vocab, sorts, &sym, spec, options.encode)?;
+
+    // (3) Simplify to a fixpoint of the enabled rewrite rules, then project
+    // out dangling definition variables (an auxiliary `lp`/`nh`/`sel`
+    // variable constrained by a single definitional conjunct is
+    // existentially solvable whatever the holes are, so the conjunct says
+    // nothing about the router).
+    let mut simplifier = Simplifier::new(options.rules);
+    let conj = seed.conjunction(ctx);
+    let simplified_raw = simplifier.simplify(ctx, conj);
+    let hole_vars = hole_var_set(ctx, &table);
+    let projected = eliminate_dangling_defs(ctx, simplified_raw, &hole_vars);
+    let simplified = ctx.and(&projected);
+    let simplified_conjuncts = ctx.conjuncts(simplified).len();
+    let simplified_size = ctx.term_size(simplified);
+    let simplified_text = render_relevant(ctx, simplified, &hole_vars);
+
+    // (4) Lift into the specification language.
+    let (subspec, lift_complete, lift_checked, provenance) = if options.skip_lift {
+        (SubSpec::empty(topo.name(router)), false, 0, Vec::new())
+    } else {
+        let LiftResult { subspec, complete, candidates_checked, provenance } =
+            lift(ctx, topo, spec, &seed, router, options.lift);
+        (subspec, complete, candidates_checked, provenance)
+    };
+
+    Ok(Explanation {
+        router: topo.name(router).to_string(),
+        symbolized: table.symbols.iter().map(|s| s.description.clone()).collect(),
+        seed_conjuncts: seed.num_conjuncts,
+        seed_size: seed.size,
+        simplified,
+        simplified_conjuncts,
+        simplified_size,
+        simplified_text,
+        rule_stats: simplifier.stats,
+        subspec,
+        lift_complete,
+        lift_candidates_checked: lift_checked,
+        provenance,
+    })
+}
+
+/// The set of symbolized (hole) variables.
+fn hole_var_set(ctx: &Ctx, table: &SymbolTable) -> std::collections::HashSet<netexpl_logic::term::VarId> {
+    table
+        .terms()
+        .iter()
+        .filter_map(|&t| match ctx.node(t) {
+            TermNode::BoolVar(v) | TermNode::EnumVar(v) | TermNode::IntVar(v) => Some(*v),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Render the simplified conjuncts that mention at least one symbolized
+/// variable — the constraints "on this router" (definition conjuncts about
+/// frozen parts of the network are noise for the reader).
+fn render_relevant(
+    ctx: &Ctx,
+    simplified: TermId,
+    hole_vars: &std::collections::HashSet<netexpl_logic::term::VarId>,
+) -> Vec<String> {
+    ctx.conjuncts(simplified)
+        .into_iter()
+        .filter(|&c| ctx.free_vars(c).iter().any(|v| hole_vars.contains(v)))
+        .map(|c| format!("{}", ctx.display(c)))
+        .collect()
+}
+
+/// Sound existential projection of *dangling definition variables*.
+///
+/// An auxiliary (non-hole) variable `v` whose every occurrence is inside a
+/// guarded definition — a conjunct of the shape `v = t`, `g → v = t` or
+/// `¬g ∨ v = t` with `v` absent from `g` and `t` — can always be solved for
+/// `v` provided at most one guard can be active at a time (guards pairwise
+/// contain complementary literals, which the route-map fold's
+/// first-match-wins structure guarantees). All of `v`'s defining conjuncts
+/// are then dropped; iterating to a fixpoint removes chains of dead
+/// definitions. This is exactly the projection that turns the paper's
+/// "low-level encoding variables" into constraints over the symbolized
+/// variables only.
+fn eliminate_dangling_defs(
+    ctx: &mut Ctx,
+    simplified: TermId,
+    hole_vars: &std::collections::HashSet<netexpl_logic::term::VarId>,
+) -> Vec<TermId> {
+    use std::collections::{HashMap, HashSet};
+    let mut conjuncts = ctx.conjuncts(simplified);
+    loop {
+        let mut by_var: HashMap<netexpl_logic::term::VarId, Vec<usize>> = HashMap::new();
+        for (i, &c) in conjuncts.iter().enumerate() {
+            for v in ctx.free_vars(c) {
+                if !hole_vars.contains(&v) {
+                    by_var.entry(v).or_default().push(i);
+                }
+            }
+        }
+        let mut to_drop: HashSet<usize> = HashSet::new();
+        'vars: for (&v, idxs) in &by_var {
+            let mut guards: Vec<Vec<TermId>> = Vec::with_capacity(idxs.len());
+            for &i in idxs {
+                let c = conjuncts[i];
+                match definition_guard(ctx, c, v) {
+                    Some(g) => guards.push(g),
+                    None => continue 'vars, // v used non-definitionally
+                }
+            }
+            // Pairwise exclusivity: each pair of guards shares a
+            // complementary literal (or one pair member is identical — then
+            // the definitions must be reconciled, so keep them).
+            for a in 0..guards.len() {
+                for b in (a + 1)..guards.len() {
+                    let exclusive = guards[a].iter().any(|&l| {
+                        guards[b].iter().any(|&m| complements(ctx, l, m))
+                    });
+                    if !exclusive {
+                        continue 'vars;
+                    }
+                }
+            }
+            to_drop.extend(idxs.iter().copied());
+        }
+        if to_drop.is_empty() {
+            return conjuncts;
+        }
+        conjuncts = conjuncts
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !to_drop.contains(i))
+            .map(|(_, c)| c)
+            .collect();
+    }
+}
+
+/// Are `a` and `b` complementary literals (`t` vs `¬t`)?
+fn complements(ctx: &Ctx, a: TermId, b: TermId) -> bool {
+    matches!(ctx.node(a), TermNode::Not(inner) if *inner == b)
+        || matches!(ctx.node(b), TermNode::Not(inner) if *inner == a)
+}
+
+/// If the conjunct is a guarded definition of `v` — `v = t`, `g → (v = t)`
+/// or `¬g₁ ∨ … ∨ (v = t)` with `v` absent from the guard and `t` — return
+/// the guard's literal list (empty for an unconditional definition).
+fn definition_guard(
+    ctx: &mut Ctx,
+    c: TermId,
+    v: netexpl_logic::term::VarId,
+) -> Option<Vec<TermId>> {
+    match ctx.node(c).clone() {
+        TermNode::Implies(g, body) if is_solvable_body(ctx, body, v) => {
+            if ctx.free_vars(g).contains(&v) {
+                return None;
+            }
+            Some(ctx.conjuncts(g))
+        }
+        TermNode::Or(ds) => {
+            // ¬g ∨ (v = t): exactly one disjunct defines v; the guard is the
+            // conjunction of the other disjuncts' negations.
+            let flags: Vec<bool> = ds.iter().map(|&d| is_def_eq(ctx, d, v)).collect();
+            if flags.iter().filter(|&&f| f).count() != 1 {
+                return None;
+            }
+            let mut guard = Vec::new();
+            for (&d, &is_def) in ds.iter().zip(&flags) {
+                if is_def {
+                    continue;
+                }
+                if ctx.free_vars(d).contains(&v) {
+                    return None;
+                }
+                // The guard literal is ¬d (the definition activates when
+                // every other disjunct is false).
+                let lit = if let TermNode::Not(inner) = ctx.node(d) {
+                    *inner
+                } else {
+                    ctx.not(d)
+                };
+                guard.push(lit);
+            }
+            Some(guard)
+        }
+        _ if is_def_eq(ctx, c, v) => Some(Vec::new()),
+        _ => None,
+    }
+}
+
+/// Is `body` solvable for `v` whatever the other variables are? Either a
+/// plain definition (`v = t`), or a conjunction of guarded definitions
+/// `⋀ (gᵢ → v = tᵢ)` whose inner guards are pairwise exclusive (they share
+/// complementary literals) — the shape the encoder's generic-set lowering
+/// produces (`(attr = NextHop → v = param) ∧ (¬attr = NextHop → v = old)`).
+fn is_solvable_body(ctx: &Ctx, body: TermId, v: netexpl_logic::term::VarId) -> bool {
+    if is_def_eq(ctx, body, v) {
+        return true;
+    }
+    let TermNode::And(parts) = ctx.node(body) else { return false };
+    let mut guards: Vec<Vec<TermId>> = Vec::new();
+    for &part in parts.iter() {
+        let TermNode::Implies(g, inner) = ctx.node(part) else { return false };
+        if !is_def_eq(ctx, *inner, v) || ctx.free_vars(*g).contains(&v) {
+            return false;
+        }
+        guards.push(ctx.conjuncts(*g));
+    }
+    for a in 0..guards.len() {
+        for b in (a + 1)..guards.len() {
+            let exclusive =
+                guards[a].iter().any(|&l| guards[b].iter().any(|&m| complements(ctx, l, m)));
+            if !exclusive {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Is `eq` a definition body for `v`: `v = t` (with `v` not in `t`), the
+/// bare boolean variable, or its negation?
+fn is_def_eq(ctx: &Ctx, eq: TermId, v: netexpl_logic::term::VarId) -> bool {
+    match ctx.node(eq) {
+        TermNode::Eq(a, b) => {
+            let var_side = |t: TermId| {
+                matches!(ctx.node(t), TermNode::EnumVar(x) | TermNode::IntVar(x) if *x == v)
+            };
+            (var_side(*a) && !ctx.free_vars(*b).contains(&v))
+                || (var_side(*b) && !ctx.free_vars(*a).contains(&v))
+        }
+        TermNode::BoolVar(x) => *x == v,
+        TermNode::Not(inner) => matches!(ctx.node(*inner), TermNode::BoolVar(x) if *x == v),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolize::Dir;
+    use netexpl_bgp::{Action, RouteMap, RouteMapEntry};
+    use netexpl_topology::builders::paper_topology;
+    use netexpl_topology::Prefix;
+
+    fn scenario1_synthesized() -> (
+        netexpl_topology::Topology,
+        netexpl_topology::builders::PaperTopology,
+        NetworkConfig,
+        Specification,
+    ) {
+        let (topo, h) = paper_topology();
+        let d1: Prefix = "200.7.0.0/16".parse().unwrap();
+        let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1);
+        net.originate(h.p2, d2);
+        let deny_all = |name: &str| {
+            RouteMap::new(
+                name,
+                vec![RouteMapEntry { seq: 100, action: Action::Deny, matches: vec![], sets: vec![] }],
+            )
+        };
+        net.router_mut(h.r1).set_export(h.p1, deny_all("R1_to_P1"));
+        net.router_mut(h.r2).set_export(h.p2, deny_all("R2_to_P2"));
+        let spec =
+            netexpl_spec::parse("Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }").unwrap();
+        (topo, h, net, spec)
+    }
+
+    #[test]
+    fn explain_r1_reproduces_figure_2() {
+        let (topo, h, net, spec) = scenario1_synthesized();
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let expl = explain(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            h.r1,
+            &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+            ExplainOptions::default(),
+        )
+        .unwrap();
+        // Figure 2: R1 { !(R1 -> P1) }.
+        assert_eq!(expl.subspec.to_string(), "R1 {\n  !(R1 -> P1)\n}", "\n{expl}");
+        assert!(expl.lift_complete, "the subspec is exact for this seed");
+        // Simplification collapsed the seed substantially.
+        assert!(expl.simplified_size < expl.seed_size / 4, "\n{expl}");
+    }
+
+    #[test]
+    fn explain_irrelevant_router_is_empty() {
+        // Scenario 3: R3 can do anything w.r.t. the no-transit requirement.
+        let (topo, h, mut net, spec) = scenario1_synthesized();
+        net.router_mut(h.r3).set_export(
+            h.customer,
+            RouteMap::new(
+                "R3_to_C",
+                vec![RouteMapEntry { seq: 10, action: Action::Permit, matches: vec![], sets: vec![] }],
+            ),
+        );
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let expl = explain(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            h.r3,
+            &Selector::Router,
+            ExplainOptions::default(),
+        )
+        .unwrap();
+        assert!(expl.subspec.is_empty(), "\n{expl}");
+        assert!(expl.lift_complete);
+        assert!(expl.simplified_text.is_empty(), "\n{expl}");
+    }
+
+    #[test]
+    fn nothing_symbolized_is_an_error() {
+        let (topo, h, net, spec) = scenario1_synthesized();
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let err = explain(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            h.r3, // unconfigured
+            &Selector::Router,
+            ExplainOptions::default(),
+        );
+        assert!(matches!(err, Err(ExplainError::NothingSymbolized)));
+    }
+
+    #[test]
+    fn skip_lift_reports_seed_and_simplification_only() {
+        let (topo, h, net, spec) = scenario1_synthesized();
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let expl = explain(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            h.r1,
+            &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+            ExplainOptions { skip_lift: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(expl.subspec.is_empty());
+        assert_eq!(expl.lift_candidates_checked, 0);
+        assert!(expl.seed_conjuncts > 0);
+        let shown = expl.to_string();
+        assert!(shown.contains("seed specification"), "{shown}");
+    }
+
+    #[test]
+    fn dangling_definition_pairs_are_projected() {
+        // Two guarded definitions of one auxiliary variable with mutually
+        // exclusive guards must both disappear.
+        let mut ctx = Ctx::new();
+        let g = ctx.bool_var("hole");
+        let aux = ctx.int_var("lp#1", 0, 10);
+        let five = ctx.int_const(5);
+        let seven = ctx.int_const(7);
+        let ng = ctx.not(g);
+        let e1 = ctx.eq(aux, five);
+        let e2 = ctx.eq(aux, seven);
+        let c1 = ctx.implies(g, e1);
+        let c2 = ctx.implies(ng, e2);
+        let both = ctx.and2(c1, c2);
+        let holes: std::collections::HashSet<_> =
+            [netexpl_logic::term::VarId(0)].into_iter().collect();
+        let out = eliminate_dangling_defs(&mut ctx, both, &holes);
+        assert!(out.is_empty(), "{out:?}");
+        // With overlapping guards (both can fire), nothing is dropped.
+        let c3 = ctx.implies(g, e2);
+        let conflict = ctx.and2(c1, c3);
+        let out2 = eliminate_dangling_defs(&mut ctx, conflict, &holes);
+        assert_eq!(out2.len(), 2, "conflicting definitions must stay");
+    }
+
+    #[test]
+    fn used_definitions_are_kept() {
+        // An auxiliary variable also used non-definitionally must keep its
+        // definitions.
+        let mut ctx = Ctx::new();
+        let _hole = ctx.bool_var("hole");
+        let aux = ctx.int_var("lp#1", 0, 10);
+        let five = ctx.int_const(5);
+        let three = ctx.int_const(3);
+        let def = ctx.eq(aux, five);
+        let use_ = ctx.gt(aux, three);
+        let both = ctx.and2(def, use_);
+        let holes: std::collections::HashSet<_> =
+            [netexpl_logic::term::VarId(0)].into_iter().collect();
+        let out = eliminate_dangling_defs(&mut ctx, both, &holes);
+        assert_eq!(out.len(), 2);
+    }
+}

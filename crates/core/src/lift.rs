@@ -1,0 +1,379 @@
+//! Lifting simplified constraints back into the specification language
+//! (Figure 6, step 4).
+//!
+//! The paper frames this step as an open problem ("the specific methods for
+//! efficiently searching the specification language space remain an open
+//! question") and ships without it. This module implements a sound
+//! enumerative lifter for the paper's fragment:
+//!
+//! * **Candidates** are forbidden-path requirements built from windows of
+//!   the enumerated propagation paths that cross the router under question
+//!   (`!(R1 -> P1)`, `!(P1 -> R1 -> R2 -> P2)`, …), plus localized versions
+//!   of the global preference requirements whose constraints touch the
+//!   router.
+//! * A candidate is **kept** when it is *necessary* — implied by the seed
+//!   specification (`defs ∧ reqs ⊨ candidate`) — and *non-trivial* — not
+//!   already guaranteed by the frozen rest of the network
+//!   (`defs ⊭ candidate`). Both checks run on the home-grown SAT solver.
+//! * Kept candidates are ordered shortest-first and greedily deduplicated
+//!   (a candidate already implied by the chosen set adds nothing); finally
+//!   the chosen set is checked for **sufficiency** (`defs ∧ chosen ⊨ reqs`).
+//!
+//! The result is a [`SubSpec`] in the same language as the global
+//! specification — Figures 2, 4 and 5 of the paper fall out of this search
+//! (see the workspace integration tests).
+
+use netexpl_logic::solver::{entails, SmtSolver};
+use netexpl_logic::term::{Ctx, TermId};
+use netexpl_spec::{PathPattern, Requirement, Seg, Specification, SubSpec};
+use netexpl_topology::{RouterId, RouterKind, Topology};
+
+use crate::seed::SeedSpec;
+
+/// Options bounding the lifting search.
+#[derive(Debug, Clone, Copy)]
+pub struct LiftOptions {
+    /// Maximum number of routers in a candidate forbidden window.
+    pub max_window: usize,
+    /// Cap on the number of candidate patterns examined.
+    pub max_candidates: usize,
+}
+
+impl Default for LiftOptions {
+    fn default() -> Self {
+        LiftOptions { max_window: 6, max_candidates: 256 }
+    }
+}
+
+/// The lifting outcome.
+#[derive(Debug)]
+pub struct LiftResult {
+    /// The lifted subspecification (empty = the router is unconstrained).
+    pub subspec: SubSpec,
+    /// Whether the chosen requirements are jointly *sufficient* for the
+    /// seed's requirement constraints. When `false` the subspecification is
+    /// a sound but incomplete summary (necessary conditions only) — the
+    /// situation the paper describes as remaining future work.
+    pub complete: bool,
+    /// Number of candidates whose necessity was checked by the solver.
+    pub candidates_checked: usize,
+    /// For each subspecification entry (parallel to
+    /// `subspec.requirements`), the global requirement blocks that force it
+    /// — computed from solver unsat cores. Lets the operator trace every
+    /// local obligation back to the intent that caused it.
+    pub provenance: Vec<Vec<String>>,
+}
+
+/// Lift the seed specification of `router` into the specification language.
+pub fn lift(
+    ctx: &mut Ctx,
+    topo: &Topology,
+    spec: &Specification,
+    seed: &SeedSpec,
+    router: RouterId,
+    options: LiftOptions,
+) -> LiftResult {
+    let defs = seed.def_conjunction;
+    let reqs = seed.req_conjunction;
+    let mut checked = 0usize;
+
+    // ---- forbidden-path candidates -----------------------------------------
+    let mut patterns: Vec<Vec<RouterId>> = Vec::new();
+    for infos in seed.encoded.paths.values() {
+        for info in infos {
+            let routers = &info.routers;
+            let Some(pos) = routers.iter().position(|&r| r == router) else { continue };
+            for start in 0..=pos {
+                for end in (pos + 1).max(start + 2)..=routers.len() {
+                    if end - start > options.max_window {
+                        continue;
+                    }
+                    let window = routers[start..end].to_vec();
+                    if !patterns.contains(&window) {
+                        patterns.push(window);
+                    }
+                }
+            }
+        }
+    }
+    // Shortest patterns first: prefer the most general statement (the
+    // paper's Figure 2 `!(R1 -> P1)` over an origin-qualified variant).
+    patterns.sort_by_key(|w| (w.len(), w.clone()));
+    patterns.truncate(options.max_candidates);
+
+    let mut kept: Vec<(Requirement, TermId)> = Vec::new();
+    // Paths already covered by a chosen forbidden candidate, identified by
+    // (prefix, path-routers). Redundancy is judged on *matched path sets*
+    // (a candidate constraint is exactly "all matched paths dead"), which
+    // keeps syntactically distinct but jointly needed statements — the
+    // paper's Figure 5 lists both transit paths even though, with the rest
+    // of the network frozen, their constraints coincide.
+    let mut covered: std::collections::HashSet<(netexpl_topology::Prefix, Vec<RouterId>)> =
+        std::collections::HashSet::new();
+    for window in &patterns {
+        let names: Vec<&str> = window.iter().map(|&r| topo.name(r)).collect();
+        let pattern = PathPattern::routers(&names);
+        // The candidate's own constraint: every enumerated path matching the
+        // window must be dead — the same availability semantics the encoder
+        // gives a global forbidden requirement.
+        let mut dead_terms = Vec::new();
+        let mut matched: Vec<(netexpl_topology::Prefix, Vec<RouterId>)> = Vec::new();
+        for (prefix, infos) in &seed.encoded.paths {
+            let dest_ok = |d: &str| spec.prefix_of(d) == Some(*prefix);
+            for info in infos {
+                if pattern.matches_route(topo, &info.routers, &dest_ok) {
+                    dead_terms.push(info.alive);
+                    matched.push((*prefix, info.routers.clone()));
+                }
+            }
+        }
+        // Redundant: everything it would forbid is already forbidden by a
+        // chosen (shorter) candidate.
+        if matched.iter().all(|m| covered.contains(m)) {
+            continue;
+        }
+        let cand = {
+            let negs: Vec<TermId> = dead_terms.iter().map(|&a| ctx.not(a)).collect();
+            ctx.and(&negs)
+        };
+        checked += 1;
+        // Non-trivial: not already guaranteed by the frozen network.
+        if entails(ctx, defs, cand) {
+            continue;
+        }
+        // Necessary: implied by the seed.
+        let seed_conj = ctx.and2(defs, reqs);
+        if !entails(ctx, seed_conj, cand) {
+            continue;
+        }
+        covered.extend(matched);
+        kept.push((Requirement::Forbidden(pattern), cand));
+    }
+
+    // ---- localized preference candidates ------------------------------------
+    for (idx, req) in spec.requirements().enumerate() {
+        let Requirement::Preference { chain } = req else { continue };
+        let Some(local) = localize_preference(topo, router, chain) else { continue };
+        // This requirement's own constraint conjunction.
+        let own: Vec<TermId> = seed
+            .encoded
+            .reqs
+            .iter()
+            .zip(&seed.encoded.req_origins)
+            .filter(|&(_, &o)| o == idx)
+            .map(|(&t, _)| t)
+            .collect();
+        let own_conj = ctx.and(&own);
+        checked += 1;
+        // Relevant only if the preference genuinely constrains this router —
+        // i.e. the frozen rest of the network does not already guarantee it.
+        if entails(ctx, defs, own_conj) {
+            continue;
+        }
+        kept.push((local, own_conj));
+    }
+
+    // ---- localized reachability candidates -----------------------------------
+    // For each declared destination whose prefix has a selection fixpoint
+    // (i.e. some requirement constrained it), "x ~> D" for the router and
+    // its neighbors: the local obligation to keep a destination reachable.
+    let mut reach_holders: Vec<RouterId> = vec![router];
+    reach_holders.extend(topo.neighbors(router).iter().copied());
+    for (dname, prefix) in &spec.destinations {
+        let Some(fam) = seed.encoded.nominal_sel.get(prefix) else { continue };
+        let infos = &seed.encoded.paths[prefix];
+        for &x in &reach_holders {
+            let sels: Vec<TermId> = infos
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| i.holder() == x)
+                .filter_map(|(k, _)| fam[k])
+                .collect();
+            if sels.is_empty() {
+                continue;
+            }
+            let cand = ctx.or(&sels);
+            checked += 1;
+            if entails(ctx, defs, cand) {
+                continue; // guaranteed by the frozen network: not local
+            }
+            let seed_conj = ctx.and2(defs, reqs);
+            if !entails(ctx, seed_conj, cand) {
+                continue; // not necessary
+            }
+            kept.push((
+                Requirement::Reachable { src: topo.name(x).to_string(), dst: dname.clone() },
+                cand,
+            ));
+        }
+    }
+
+    // ---- sufficiency ---------------------------------------------------------
+    let chosen_terms: Vec<TermId> =
+        std::iter::once(defs).chain(kept.iter().map(|(_, t)| *t)).collect();
+    let chosen_conj = ctx.and(&chosen_terms);
+    let complete = entails(ctx, chosen_conj, reqs);
+
+    // ---- provenance ------------------------------------------------------------
+    // Trace each chosen entry to the global requirement blocks that force
+    // it: assume each requirement's constraint conjunction retractably and
+    // take the unsat core of defs ∧ assumptions ∧ ¬entry.
+    let block_names: Vec<String> = spec
+        .blocks
+        .iter()
+        .flat_map(|(name, rs)| std::iter::repeat_n(name.clone(), rs.len()))
+        .collect();
+    let n_reqs = spec.requirements().count();
+    let req_groups: Vec<TermId> = (0..n_reqs)
+        .map(|idx| {
+            let own: Vec<TermId> = seed
+                .encoded
+                .reqs
+                .iter()
+                .zip(&seed.encoded.req_origins)
+                .filter(|&(_, &o)| o == idx)
+                .map(|(&t, _)| t)
+                .collect();
+            ctx.and(&own)
+        })
+        .collect();
+    let mut provenance: Vec<Vec<String>> = Vec::with_capacity(kept.len());
+    for (_, cand) in &kept {
+        let mut solver = SmtSolver::new();
+        solver.assert(defs);
+        let neg = ctx.not(*cand);
+        solver.assert(neg);
+        let (_, core) = solver.check_assuming(ctx, &req_groups);
+        let mut blocks: Vec<String> = core
+            .iter()
+            .filter_map(|&i| block_names.get(i).cloned())
+            .collect();
+        blocks.sort();
+        blocks.dedup();
+        provenance.push(blocks);
+    }
+
+    let requirements: Vec<Requirement> = kept.into_iter().map(|(r, _)| r).collect();
+    LiftResult {
+        subspec: SubSpec { router: topo.name(router).to_string(), requirements },
+        complete,
+        candidates_checked: checked,
+        provenance,
+    }
+}
+
+/// Truncate a global preference requirement to start at `router`, as in the
+/// paper's Figure 4 (`C -> R3 -> R1 -> …` becomes `R3 -> R1 -> …` when
+/// explaining R3). Returns `None` when the router is not on every chain
+/// member (there is no local decision to express otherwise).
+fn localize_preference(
+    topo: &Topology,
+    router: RouterId,
+    chain: &[PathPattern],
+) -> Option<Requirement> {
+    if topo.router(router).kind != RouterKind::Internal {
+        return None;
+    }
+    let name = topo.name(router);
+    let cut = |p: &PathPattern| -> Option<PathPattern> {
+        let pos = p
+            .segs
+            .iter()
+            .position(|s| matches!(s, Seg::Router(n) if n == name))?;
+        Some(PathPattern::new(p.segs[pos..].to_vec()))
+    };
+    let localized: Option<Vec<PathPattern>> = chain.iter().map(cut).collect();
+    Some(Requirement::Preference { chain: localized? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_spec::parse;
+    use netexpl_topology::builders::paper_topology;
+
+    #[test]
+    fn localize_preference_truncates_at_router() {
+        let (topo, h) = paper_topology();
+        let spec = parse(
+            "dest D1 = 200.7.0.0/16\n\
+             Req2 {\n\
+               (Customer -> R3 -> R1 -> P1 -> ... -> D1)\n\
+               >> (Customer -> R3 -> R2 -> P2 -> ... -> D1)\n\
+             }",
+        )
+        .unwrap();
+        let req = spec.requirements().next().unwrap();
+        let Requirement::Preference { chain } = req else { panic!() };
+        let local = localize_preference(&topo, h.r3, chain).unwrap();
+        let Requirement::Preference { chain: lc } = &local else { panic!() };
+        assert_eq!(lc[0].to_string(), "R3 -> R1 -> P1 -> ... -> D1");
+        assert_eq!(lc[1].to_string(), "R3 -> R2 -> P2 -> ... -> D1");
+        // A router on only one of the two paths localizes to nothing —
+        // there is no local decision to express.
+        assert!(localize_preference(&topo, h.r1, chain).is_none());
+        // External routers never get local preferences.
+        assert!(localize_preference(&topo, h.p1, chain).is_none());
+    }
+}
+
+#[cfg(test)]
+mod option_tests {
+    use super::*;
+    use crate::seed::seed_spec;
+    use crate::symbolize::{symbolize, Selector};
+    use netexpl_bgp::{Action, NetworkConfig, RouteMap, RouteMapEntry};
+    use netexpl_logic::term::Ctx;
+    use netexpl_synth::encode::EncodeOptions;
+    use netexpl_synth::sketch::HoleFactory;
+    use netexpl_synth::vocab::Vocabulary;
+    use netexpl_topology::builders::paper_topology;
+    use netexpl_topology::Prefix;
+
+    #[test]
+    fn window_and_candidate_caps_bound_the_search() {
+        let (topo, h) = paper_topology();
+        let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p2, d2);
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "R1_to_P1",
+                vec![RouteMapEntry { seq: 10, action: Action::Deny, matches: vec![], sets: vec![] }],
+            ),
+        );
+        let spec = netexpl_spec::parse("Req1 { !(P2 -> ... -> P1) }").unwrap();
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let factory = HoleFactory::new(&vocab, sorts);
+        let (sym, _) = symbolize(&mut ctx, &factory, &topo, &net, h.r1, &Selector::Router);
+        let seed =
+            seed_spec(&mut ctx, &topo, &vocab, sorts, &sym, &spec, EncodeOptions::default())
+                .unwrap();
+
+        // With generous bounds the lift is exact.
+        let full = lift(&mut ctx, &topo, &spec, &seed, h.r1, LiftOptions::default());
+        assert!(full.complete);
+        assert!(!full.subspec.is_empty());
+
+        // A candidate cap of 1 examines at most one pattern (the necessity
+        // check may reject it, leaving an incomplete but sound result).
+        let capped = lift(
+            &mut ctx,
+            &topo,
+            &spec,
+            &seed,
+            h.r1,
+            LiftOptions { max_window: 2, max_candidates: 1 },
+        );
+        assert!(capped.candidates_checked <= 2, "{}", capped.candidates_checked);
+        // Window cap of 2 only permits length-2 windows like !(R1 -> P1).
+        for req in &capped.subspec.requirements {
+            if let Requirement::Forbidden(p) = req {
+                assert!(p.segs.len() <= 2, "{p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Symbolization: re-opening concrete configuration lines as holes.
+//!
+//! This is the paper's Figure 6 step (1): "for the device in question, it
+//! replaces the concrete configuration lines with symbolic variables,
+//! resulting in a partially symbolic configuration. Concrete configuration
+//! lines are replaced by symbolic variables representing the matching
+//! attribute (`Var_Attr`), action (`Var_Action`), and the corresponding
+//! parameters (`Var_Val`, `Var_Param`)."
+//!
+//! Granularity is selectable — whole router, one session's map, one entry,
+//! or a single field — because the paper's §4 found that "generating and
+//! inspecting sub-specifications one variable at a time was an effective
+//! strategy".
+
+use netexpl_bgp::{MatchClause, NetworkConfig, RouteMap, SetClause};
+use netexpl_logic::term::{Ctx, TermId};
+use netexpl_synth::sketch::{Hole, HoleFactory, SymMatch, SymNetworkConfig, SymRouteMap, SymSet};
+use netexpl_topology::{RouterId, Topology};
+
+/// Direction of the route map a selector refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Routes received from the neighbor.
+    Import,
+    /// Routes advertised to the neighbor.
+    Export,
+}
+
+impl std::fmt::Display for Dir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dir::Import => write!(f, "import"),
+            Dir::Export => write!(f, "export"),
+        }
+    }
+}
+
+/// A field within a route-map entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// The permit/deny action.
+    Action,
+    /// The i-th match clause.
+    Match(usize),
+    /// The i-th set clause.
+    Set(usize),
+}
+
+/// What to symbolize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selector {
+    /// Every entry of every map of the router.
+    Router,
+    /// Every entry of one session's map.
+    Session {
+        /// The session neighbor.
+        neighbor: RouterId,
+        /// Import or export.
+        dir: Dir,
+    },
+    /// One entry of one map (by index in evaluation order).
+    Entry {
+        /// The session neighbor.
+        neighbor: RouterId,
+        /// Import or export.
+        dir: Dir,
+        /// Entry index (0-based, evaluation order).
+        entry: usize,
+    },
+    /// A single field of a single entry — "one variable at a time".
+    Field {
+        /// The session neighbor.
+        neighbor: RouterId,
+        /// Import or export.
+        dir: Dir,
+        /// Entry index.
+        entry: usize,
+        /// Which field.
+        field: Field,
+    },
+}
+
+/// One symbolic variable introduced by symbolization, with provenance.
+#[derive(Debug, Clone)]
+pub struct SymbolInfo {
+    /// The variable term.
+    pub term: TermId,
+    /// Human-readable description (router, session, entry, role).
+    pub description: String,
+}
+
+/// All variables introduced by one symbolization.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Introduced variables in creation order.
+    pub symbols: Vec<SymbolInfo>,
+}
+
+impl SymbolTable {
+    /// The variable terms.
+    pub fn terms(&self) -> Vec<TermId> {
+        self.symbols.iter().map(|s| s.term).collect()
+    }
+
+    /// Number of introduced variables.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True if nothing was symbolized.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+}
+
+/// Symbolize the selected parts of `router`'s configuration inside an
+/// otherwise fully concrete network configuration.
+pub fn symbolize(
+    ctx: &mut Ctx,
+    factory: &HoleFactory<'_>,
+    topo: &Topology,
+    config: &NetworkConfig,
+    router: RouterId,
+    selector: &Selector,
+) -> (SymNetworkConfig, SymbolTable) {
+    let mut sym = SymNetworkConfig::from_concrete(config);
+    let mut table = SymbolTable::default();
+    let Some(rc) = config.router(router) else {
+        return (sym, table);
+    };
+
+    let sessions: Vec<(RouterId, Dir, &RouteMap)> = rc
+        .imports()
+        .map(|(n, m)| (n, Dir::Import, m))
+        .chain(rc.exports().map(|(n, m)| (n, Dir::Export, m)))
+        .collect();
+
+    for (neighbor, dir, map) in sessions {
+        let selected_entries: Option<Vec<(usize, Option<Field>)>> = match *selector {
+            Selector::Router => Some((0..map.entries.len()).map(|i| (i, None)).collect()),
+            Selector::Session { neighbor: n, dir: d } if n == neighbor && d == dir => {
+                Some((0..map.entries.len()).map(|i| (i, None)).collect())
+            }
+            Selector::Entry { neighbor: n, dir: d, entry } if n == neighbor && d == dir => {
+                Some(vec![(entry, None)])
+            }
+            Selector::Field { neighbor: n, dir: d, entry, field } if n == neighbor && d == dir => {
+                Some(vec![(entry, Some(field))])
+            }
+            _ => None,
+        };
+        let Some(selected) = selected_entries else { continue };
+
+        let tag = format!("{}_{}_{}", topo.name(router), dir, topo.name(neighbor));
+        let sym_map = symbolize_map(ctx, factory, map, &tag, &selected, &mut table);
+        let target = sym.router_mut(router);
+        match dir {
+            Dir::Import => target.import.insert(neighbor, sym_map),
+            Dir::Export => target.export.insert(neighbor, sym_map),
+        };
+    }
+    (sym, table)
+}
+
+fn symbolize_map(
+    ctx: &mut Ctx,
+    factory: &HoleFactory<'_>,
+    map: &RouteMap,
+    tag: &str,
+    selected: &[(usize, Option<Field>)],
+    table: &mut SymbolTable,
+) -> SymRouteMap {
+    let mut sym = SymRouteMap::from_concrete(map);
+    for &(entry_idx, field) in selected {
+        let Some(entry) = map.entries.get(entry_idx) else { continue };
+        let etag = format!("{tag}!e{}", entry.seq);
+        let sym_entry = &mut sym.entries[entry_idx];
+        let sel_action = field.is_none() || field == Some(Field::Action);
+        if sel_action {
+            let hole = factory.action(ctx, &format!("{etag}!Var_Action"));
+            record(table, &hole, ctx, format!("{etag}: action"));
+            sym_entry.action = hole;
+        }
+        for (mi, m) in entry.matches.iter().enumerate() {
+            let sel = field.is_none() || field == Some(Field::Match(mi));
+            if !sel {
+                continue;
+            }
+            let mtag = format!("{etag}!m{mi}");
+            sym_entry.matches[mi] = symbolize_match(ctx, factory, m, &mtag, table);
+        }
+        for (si, s) in entry.sets.iter().enumerate() {
+            let sel = field.is_none() || field == Some(Field::Set(si));
+            if !sel {
+                continue;
+            }
+            let stag = format!("{etag}!s{si}");
+            sym_entry.sets[si] = symbolize_set(ctx, factory, s, &stag, table);
+        }
+    }
+    sym
+}
+
+fn record<T>(table: &mut SymbolTable, hole: &Hole<T>, _ctx: &Ctx, description: String) {
+    if let Some(term) = hole.term() {
+        table.symbols.push(SymbolInfo { term, description });
+    }
+}
+
+fn record_term(table: &mut SymbolTable, term: TermId, description: String) {
+    table.symbols.push(SymbolInfo { term, description });
+}
+
+fn symbolize_match(
+    ctx: &mut Ctx,
+    factory: &HoleFactory<'_>,
+    m: &MatchClause,
+    tag: &str,
+    table: &mut SymbolTable,
+) -> SymMatch {
+    match m {
+        MatchClause::Community(_) => {
+            let hole = factory.community(ctx, &format!("{tag}!Var_Val"));
+            record(table, &hole, ctx, format!("{tag}: match community value"));
+            SymMatch::Community(hole)
+        }
+        MatchClause::PrefixList(_) | MatchClause::FromNeighbor(_) => {
+            // Figure 6b: the whole line becomes `match Var_Attr Var_Val`.
+            let g = factory.generic_match(ctx, tag);
+            if let SymMatch::Generic { attr, value } = g {
+                record_term(table, attr, format!("{tag}: match attribute (Var_Attr)"));
+                record_term(table, value, format!("{tag}: match value (Var_Val)"));
+            }
+            g
+        }
+        // AS-path matches have no generic encoding in the `Attr` sort; they
+        // stay concrete (the paper's scenarios never symbolize them).
+        MatchClause::AsInPath(a) => SymMatch::AsInPath(*a),
+    }
+}
+
+fn symbolize_set(
+    ctx: &mut Ctx,
+    factory: &HoleFactory<'_>,
+    s: &SetClause,
+    tag: &str,
+    table: &mut SymbolTable,
+) -> SymSet {
+    match s {
+        SetClause::LocalPref(_) => {
+            let hole = factory.local_pref(ctx, &format!("{tag}!Var_Param"));
+            record(table, &hole, ctx, format!("{tag}: set local-preference value"));
+            SymSet::LocalPref(hole)
+        }
+        SetClause::AddCommunity(_) => {
+            let hole = factory.community(ctx, &format!("{tag}!Var_Param"));
+            record(table, &hole, ctx, format!("{tag}: set community value"));
+            SymSet::AddCommunity(hole)
+        }
+        SetClause::NextHop(_) => {
+            // Figure 6c: the `set next-hop …` line becomes the generic
+            // `set Var_Attr Var_Param`.
+            let g = factory.generic_set(ctx, tag);
+            if let SymSet::Generic { attr, param } = g {
+                record_term(table, attr, format!("{tag}: set attribute (Var_Attr)"));
+                record_term(table, param, format!("{tag}: set parameter (Var_Param)"));
+            }
+            g
+        }
+        SetClause::ClearCommunities => SymSet::ClearCommunities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_bgp::{Action, Community, RouteMapEntry};
+    use netexpl_synth::vocab::Vocabulary;
+    use netexpl_topology::builders::paper_topology;
+    use netexpl_topology::Prefix;
+
+    fn fig1c_config() -> (netexpl_topology::Topology, netexpl_topology::builders::PaperTopology, NetworkConfig) {
+        let (topo, h) = paper_topology();
+        let customer_prefix: Prefix = "123.0.1.0/20".parse().unwrap();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p2, "201.0.0.0/16".parse().unwrap());
+        net.originate(h.customer, customer_prefix);
+        // Figure 1c: R1's export to P1 — deny 1 matching the customer
+        // prefix with a (redundant) set next-hop, then deny 100 catch-all.
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "R1_to_P1",
+                vec![
+                    RouteMapEntry {
+                        seq: 1,
+                        action: Action::Deny,
+                        matches: vec![MatchClause::PrefixList(vec![customer_prefix])],
+                        sets: vec![SetClause::NextHop(h.p1)],
+                    },
+                    RouteMapEntry { seq: 100, action: Action::Deny, matches: vec![], sets: vec![] },
+                ],
+            ),
+        );
+        net.router_mut(h.r1).set_import(
+            h.p1,
+            RouteMap::new(
+                "R1_from_P1",
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::AddCommunity(Community(100, 1))],
+                }],
+            ),
+        );
+        (topo, h, net)
+    }
+
+    fn setup(topo: &netexpl_topology::Topology) -> (Ctx, Vocabulary, netexpl_synth::vocab::VocabSorts) {
+        let vocab = Vocabulary::new(
+            topo,
+            vec![Community(100, 1), Community(100, 2)],
+            vec![50, 100, 200],
+            vec!["123.0.1.0/20".parse().unwrap(), "201.0.0.0/16".parse().unwrap()],
+        );
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        (ctx, vocab, sorts)
+    }
+
+    #[test]
+    fn session_selector_symbolizes_whole_map() {
+        let (topo, h, net) = fig1c_config();
+        let (mut ctx, vocab, sorts) = setup(&topo);
+        let factory = HoleFactory::new(&vocab, sorts);
+        let (sym, table) = symbolize(
+            &mut ctx,
+            &factory,
+            &topo,
+            &net,
+            h.r1,
+            &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+        );
+        // Entry 1: action + generic match (2 vars) + generic set (2 vars);
+        // entry 100: action. Total 1+2+2+1 = 6.
+        assert_eq!(table.len(), 6, "{:#?}", table.symbols);
+        // The import map stays concrete.
+        let import = &sym.routers[&h.r1].import[&h.p1];
+        assert!(import.symbolic_terms().is_empty());
+        let export = &sym.routers[&h.r1].export[&h.p1];
+        assert_eq!(export.symbolic_terms().len(), 6);
+        // Names carry the paper's Var_* conventions.
+        let names: Vec<&str> = table.symbols.iter().map(|s| s.description.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains("action")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("Var_Attr")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("Var_Param")), "{names:?}");
+    }
+
+    #[test]
+    fn field_selector_symbolizes_one_variable() {
+        let (topo, h, net) = fig1c_config();
+        let (mut ctx, vocab, sorts) = setup(&topo);
+        let factory = HoleFactory::new(&vocab, sorts);
+        let (sym, table) = symbolize(
+            &mut ctx,
+            &factory,
+            &topo,
+            &net,
+            h.r1,
+            &Selector::Field {
+                neighbor: h.p1,
+                dir: Dir::Export,
+                entry: 1,
+                field: Field::Action,
+            },
+        );
+        assert_eq!(table.len(), 1, "one variable at a time");
+        let export = &sym.routers[&h.r1].export[&h.p1];
+        assert_eq!(export.symbolic_terms().len(), 1);
+        // Entry 0 untouched.
+        assert!(matches!(export.entries[0].action, Hole::Concrete(Action::Deny)));
+        assert!(matches!(export.entries[1].action, Hole::Symbolic(_)));
+    }
+
+    #[test]
+    fn router_selector_covers_all_maps() {
+        let (topo, h, net) = fig1c_config();
+        let (mut ctx, vocab, sorts) = setup(&topo);
+        let factory = HoleFactory::new(&vocab, sorts);
+        let (sym, table) =
+            symbolize(&mut ctx, &factory, &topo, &net, h.r1, &Selector::Router);
+        // Export map (6) + import map (action 1 + set-community 1) = 8.
+        assert_eq!(table.len(), 8, "{:#?}", table.symbols);
+        assert_eq!(sym.symbolic_terms().len(), 8);
+    }
+
+    #[test]
+    fn unconfigured_router_yields_empty_table() {
+        let (topo, h, net) = fig1c_config();
+        let (mut ctx, vocab, sorts) = setup(&topo);
+        let factory = HoleFactory::new(&vocab, sorts);
+        let (sym, table) =
+            symbolize(&mut ctx, &factory, &topo, &net, h.r3, &Selector::Router);
+        assert!(table.is_empty());
+        assert!(sym.symbolic_terms().is_empty());
+    }
+
+    #[test]
+    fn other_session_selector_leaves_map_concrete() {
+        let (topo, h, net) = fig1c_config();
+        let (mut ctx, vocab, sorts) = setup(&topo);
+        let factory = HoleFactory::new(&vocab, sorts);
+        let (sym, table) = symbolize(
+            &mut ctx,
+            &factory,
+            &topo,
+            &net,
+            h.r1,
+            &Selector::Session { neighbor: h.p1, dir: Dir::Import },
+        );
+        assert_eq!(table.len(), 2, "import action is concrete-permit, set community + action? no: permit entry action symbolized too");
+        let export = &sym.routers[&h.r1].export[&h.p1];
+        assert!(export.symbolic_terms().is_empty(), "export untouched");
+    }
+}

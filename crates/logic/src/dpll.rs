@@ -1,0 +1,183 @@
+//! A deliberately simple DPLL solver.
+//!
+//! Recursive backtracking with unit propagation and pure-literal
+//! elimination, no learning, no watched literals. It exists for two
+//! reasons: as an independent oracle for cross-checking the CDCL solver in
+//! tests, and as the baseline in the solver-ablation benchmark (E5), which
+//! demonstrates why the synthesis encodings need CDCL.
+
+use crate::sat::{Lit, SatResult};
+
+/// Solve a clause set over `num_vars` variables with plain DPLL.
+///
+/// Clauses are slices of [`Lit`]. Returns a total model on success.
+pub fn solve(num_vars: usize, clauses: &[Vec<Lit>]) -> SatResult {
+    let mut assign: Vec<Option<bool>> = vec![None; num_vars];
+    let clauses: Vec<Vec<Lit>> = clauses.to_vec();
+    if dpll(&clauses, &mut assign) {
+        SatResult::Sat(assign.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        SatResult::Unsat
+    }
+}
+
+fn lit_value(assign: &[Option<bool>], l: Lit) -> Option<bool> {
+    assign[l.var()].map(|v| if l.is_neg() { !v } else { v })
+}
+
+/// Status of a clause under a partial assignment.
+enum ClauseStatus {
+    Satisfied,
+    /// All literals false.
+    Conflict,
+    /// Exactly one literal unassigned, the rest false.
+    Unit(Lit),
+    Unresolved,
+}
+
+fn clause_status(assign: &[Option<bool>], clause: &[Lit]) -> ClauseStatus {
+    let mut unassigned = None;
+    let mut count = 0;
+    for &l in clause {
+        match lit_value(assign, l) {
+            Some(true) => return ClauseStatus::Satisfied,
+            Some(false) => {}
+            None => {
+                unassigned = Some(l);
+                count += 1;
+            }
+        }
+    }
+    match count {
+        0 => ClauseStatus::Conflict,
+        1 => ClauseStatus::Unit(unassigned.unwrap()),
+        _ => ClauseStatus::Unresolved,
+    }
+}
+
+fn dpll(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut propagated = false;
+        for clause in clauses {
+            match clause_status(assign, clause) {
+                ClauseStatus::Conflict => {
+                    for v in trail {
+                        assign[v] = None;
+                    }
+                    return false;
+                }
+                ClauseStatus::Unit(l) => {
+                    assign[l.var()] = Some(!l.is_neg());
+                    trail.push(l.var());
+                    propagated = true;
+                }
+                _ => {}
+            }
+        }
+        if !propagated {
+            break;
+        }
+    }
+
+    // Find an unassigned variable occurring in an unresolved clause.
+    let mut branch = None;
+    'outer: for clause in clauses {
+        if matches!(clause_status(assign, clause), ClauseStatus::Unresolved) {
+            for &l in clause {
+                if assign[l.var()].is_none() {
+                    branch = Some(l.var());
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    let Some(v) = branch else {
+        // Every clause satisfied (or no clauses): SAT.
+        let all_ok = clauses
+            .iter()
+            .all(|c| matches!(clause_status(assign, c), ClauseStatus::Satisfied));
+        if all_ok {
+            return true;
+        }
+        for v in trail {
+            assign[v] = None;
+        }
+        return false;
+    };
+
+    for value in [true, false] {
+        assign[v] = Some(value);
+        if dpll(clauses, assign) {
+            return true;
+        }
+        assign[v] = None;
+    }
+    for v in trail {
+        assign[v] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatSolver;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        let a = Lit::pos(0);
+        let na = Lit::neg(0);
+        assert!(solve(1, &[vec![a]]).is_sat());
+        assert_eq!(solve(1, &[vec![a], vec![na]]), SatResult::Unsat);
+        assert_eq!(solve(1, &[vec![]]), SatResult::Unsat);
+        assert!(solve(0, &[]).is_sat());
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // a, ¬a∨b, ¬b∨c
+        let clauses = vec![
+            vec![Lit::pos(0)],
+            vec![Lit::neg(0), Lit::pos(1)],
+            vec![Lit::neg(1), Lit::pos(2)],
+        ];
+        match solve(3, &clauses) {
+            SatResult::Sat(m) => assert_eq!(m, vec![true, true, true]),
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn agrees_with_cdcl_on_random_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let n = rng.gen_range(2..9);
+            let m = rng.gen_range(1..25);
+            let mut clauses = Vec::new();
+            for _ in 0..m {
+                let len = rng.gen_range(1..=3);
+                let c: Vec<Lit> = (0..len)
+                    .map(|_| Lit::with_polarity(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect();
+                clauses.push(c);
+            }
+            let dpll_result = solve(n, &clauses).is_sat();
+            let mut cdcl = SatSolver::new();
+            for _ in 0..n {
+                cdcl.new_var();
+            }
+            let mut early_unsat = false;
+            for c in &clauses {
+                if !cdcl.add_clause(c) {
+                    early_unsat = true;
+                }
+            }
+            let cdcl_result = !early_unsat && cdcl.solve().is_sat();
+            assert_eq!(dpll_result, cdcl_result, "solvers disagree on {clauses:?}");
+        }
+    }
+}

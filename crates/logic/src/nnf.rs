@@ -1,0 +1,239 @@
+//! Negation normal form and polarity-aware structural transforms.
+//!
+//! NNF is used by the explanation pipeline when rendering simplified seed
+//! specifications: pushing negations onto atoms makes the output match the
+//! shape the paper shows in Figure 6c (`¬(Var_Attr = NextHop ∧ …)` becomes a
+//! disjunction of atomic disequalities only when the user asks for it).
+
+use crate::term::{Ctx, TermId, TermNode};
+
+/// Convert a boolean term to negation normal form: negations appear only
+/// directly above atoms; `Implies`, `Iff` and `Ite` are expanded into
+/// ∧/∨/¬ structure.
+pub fn to_nnf(ctx: &mut Ctx, t: TermId) -> TermId {
+    nnf(ctx, t, false)
+}
+
+fn nnf(ctx: &mut Ctx, t: TermId, negate: bool) -> TermId {
+    match ctx.node(t).clone() {
+        TermNode::True => ctx.mk_bool(!negate),
+        TermNode::False => ctx.mk_bool(negate),
+        TermNode::BoolVar(_) | TermNode::Eq(..) | TermNode::Le(..) | TermNode::Lt(..) => {
+            if negate {
+                ctx.not(t)
+            } else {
+                t
+            }
+        }
+        TermNode::Not(a) => nnf(ctx, a, !negate),
+        TermNode::And(cs) => {
+            let cs2: Vec<TermId> = cs.iter().map(|&c| nnf(ctx, c, negate)).collect();
+            if negate {
+                ctx.or(&cs2)
+            } else {
+                ctx.and(&cs2)
+            }
+        }
+        TermNode::Or(cs) => {
+            let cs2: Vec<TermId> = cs.iter().map(|&c| nnf(ctx, c, negate)).collect();
+            if negate {
+                ctx.and(&cs2)
+            } else {
+                ctx.or(&cs2)
+            }
+        }
+        TermNode::Implies(a, b) => {
+            // a → b  ≡  ¬a ∨ b ;  ¬(a → b)  ≡  a ∧ ¬b
+            if negate {
+                let a2 = nnf(ctx, a, false);
+                let b2 = nnf(ctx, b, true);
+                ctx.and2(a2, b2)
+            } else {
+                let a2 = nnf(ctx, a, true);
+                let b2 = nnf(ctx, b, false);
+                ctx.or2(a2, b2)
+            }
+        }
+        TermNode::Iff(a, b) => {
+            // a ↔ b ≡ (a ∧ b) ∨ (¬a ∧ ¬b); negation swaps one side's polarity.
+            let (pa, pb) = (nnf(ctx, a, false), nnf(ctx, b, negate));
+            let (na, nb) = (nnf(ctx, a, true), nnf(ctx, b, !negate));
+            let both = ctx.and2(pa, pb);
+            let neither = ctx.and2(na, nb);
+            ctx.or2(both, neither)
+        }
+        TermNode::Ite(c, a, b) => {
+            // ite(c,a,b) ≡ (c ∧ a) ∨ (¬c ∧ b); negation applies to branches.
+            let pc = nnf(ctx, c, false);
+            let nc = nnf(ctx, c, true);
+            let a2 = nnf(ctx, a, negate);
+            let b2 = nnf(ctx, b, negate);
+            let then_ = ctx.and2(pc, a2);
+            let else_ = ctx.and2(nc, b2);
+            ctx.or2(then_, else_)
+        }
+        TermNode::EnumVar(_)
+        | TermNode::EnumConst(..)
+        | TermNode::IntVar(_)
+        | TermNode::IntConst(_) => {
+            unreachable!("to_nnf called on a non-boolean term")
+        }
+    }
+}
+
+/// True if the term is in negation normal form.
+pub fn is_nnf(ctx: &Ctx, t: TermId) -> bool {
+    match ctx.node(t) {
+        TermNode::True | TermNode::False | TermNode::BoolVar(_) | TermNode::Eq(..)
+        | TermNode::Le(..) | TermNode::Lt(..) => true,
+        TermNode::Not(a) => matches!(
+            ctx.node(*a),
+            TermNode::BoolVar(_) | TermNode::Eq(..) | TermNode::Le(..) | TermNode::Lt(..)
+        ),
+        TermNode::And(cs) | TermNode::Or(cs) => cs.iter().all(|&c| is_nnf(ctx, c)),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::brute_force_equivalent;
+
+    #[test]
+    fn nnf_pushes_negation_through_and() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let ab = ctx.and2(a, b);
+        let nab = ctx.not(ab);
+        let out = to_nnf(&mut ctx, nab);
+        let na = ctx.not(a);
+        let nb = ctx.not(b);
+        assert_eq!(out, ctx.or2(na, nb));
+        assert!(is_nnf(&ctx, out));
+    }
+
+    #[test]
+    fn nnf_expands_implication() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let imp = ctx.implies(a, b);
+        let out = to_nnf(&mut ctx, imp);
+        assert!(is_nnf(&ctx, out));
+        assert!(brute_force_equivalent(&ctx, imp, out, 100));
+    }
+
+    #[test]
+    fn nnf_preserves_equivalence_on_mixed_structure() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let c = ctx.bool_var("c");
+        let iff = ctx.iff(a, b);
+        let ite = ctx.ite(c, iff, a);
+        let neg = ctx.not(ite);
+        let out = to_nnf(&mut ctx, neg);
+        assert!(is_nnf(&ctx, out), "{}", ctx.display(out));
+        assert!(brute_force_equivalent(&ctx, neg, out, 100));
+    }
+
+    #[test]
+    fn nnf_keeps_theory_atoms_atomic() {
+        let mut ctx = Ctx::new();
+        let i = ctx.int_var("i", 0, 5);
+        let c = ctx.int_const(3);
+        let le = ctx.le(i, c);
+        let nle = ctx.not(le);
+        let out = to_nnf(&mut ctx, nle);
+        assert_eq!(out, nle, "negated atom stays as-is");
+        assert!(is_nnf(&ctx, out));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum F {
+            Var(u8),
+            Not(Box<F>),
+            And(Box<F>, Box<F>),
+            Or(Box<F>, Box<F>),
+            Implies(Box<F>, Box<F>),
+            Iff(Box<F>, Box<F>),
+            Ite(Box<F>, Box<F>, Box<F>),
+        }
+
+        fn arb() -> impl Strategy<Value = F> {
+            let leaf = (0u8..3).prop_map(F::Var);
+            leaf.prop_recursive(4, 32, 3, |inner| {
+                prop_oneof![
+                    inner.clone().prop_map(|f| F::Not(Box::new(f))),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(a.into(), b.into())),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Or(a.into(), b.into())),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| F::Implies(a.into(), b.into())),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Iff(a.into(), b.into())),
+                    (inner.clone(), inner.clone(), inner)
+                        .prop_map(|(a, b, c)| F::Ite(a.into(), b.into(), c.into())),
+                ]
+            })
+        }
+
+        fn build(ctx: &mut Ctx, vars: &[TermId], f: &F) -> TermId {
+            match f {
+                F::Var(i) => vars[*i as usize % vars.len()],
+                F::Not(a) => {
+                    let a = build(ctx, vars, a);
+                    ctx.not(a)
+                }
+                F::And(a, b) => {
+                    let (a, b) = (build(ctx, vars, a), build(ctx, vars, b));
+                    ctx.and2(a, b)
+                }
+                F::Or(a, b) => {
+                    let (a, b) = (build(ctx, vars, a), build(ctx, vars, b));
+                    ctx.or2(a, b)
+                }
+                F::Implies(a, b) => {
+                    let (a, b) = (build(ctx, vars, a), build(ctx, vars, b));
+                    ctx.implies(a, b)
+                }
+                F::Iff(a, b) => {
+                    let (a, b) = (build(ctx, vars, a), build(ctx, vars, b));
+                    ctx.iff(a, b)
+                }
+                F::Ite(a, b, c) => {
+                    let (a, b, c) =
+                        (build(ctx, vars, a), build(ctx, vars, b), build(ctx, vars, c));
+                    ctx.ite(a, b, c)
+                }
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn nnf_is_normal_and_equivalent(f in arb()) {
+                let mut ctx = Ctx::new();
+                let vars: Vec<TermId> =
+                    (0..3).map(|i| ctx.bool_var(&format!("v{i}"))).collect();
+                let t = build(&mut ctx, &vars, &f);
+                let out = to_nnf(&mut ctx, t);
+                prop_assert!(is_nnf(&ctx, out), "{}", ctx.display(out));
+                prop_assert!(brute_force_equivalent(&ctx, t, out, 100));
+            }
+        }
+    }
+
+    #[test]
+    fn is_nnf_rejects_inner_negation() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let ab = ctx.and2(a, b);
+        let nab = ctx.not(ab);
+        assert!(!is_nnf(&ctx, nab));
+    }
+}

@@ -1,0 +1,854 @@
+//! A CDCL SAT solver.
+//!
+//! Conflict-driven clause learning with two-watched-literal propagation,
+//! VSIDS variable activity, first-UIP conflict analysis, non-chronological
+//! backjumping, Luby-sequence restarts, and solving under assumptions. This
+//! is the decision engine behind [`crate::solver::SmtSolver`]; the eager
+//! bit-blasting pipeline reduces every finite-domain formula in the
+//! workspace to the clause sets solved here.
+//!
+//! The implementation follows the MiniSat architecture. It is deliberately
+//! free of unsafe code and of heuristics that only pay off on industrial
+//! instances (clause deletion, phase saving beyond polarity caching,
+//! preprocessing): the synthesis encodings in this workspace are thousands,
+//! not millions, of clauses.
+
+/// A literal: a variable index with a sign. Encoded as `var << 1 | sign`
+/// where sign 1 means negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of variable `v`.
+    pub fn pos(v: usize) -> Lit {
+        Lit((v as u32) << 1)
+    }
+
+    /// Negative literal of variable `v`.
+    pub fn neg(v: usize) -> Lit {
+        Lit(((v as u32) << 1) | 1)
+    }
+
+    /// Literal of `v` with the given polarity (`true` = positive).
+    pub fn with_polarity(v: usize, polarity: bool) -> Lit {
+        if polarity {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable index.
+    pub fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// True if the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index usable for watch lists (0..2*num_vars).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_neg() {
+            write!(f, "-{}", self.var() + 1)
+        } else {
+            write!(f, "{}", self.var() + 1)
+        }
+    }
+}
+
+/// Result of a SAT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a total assignment indexed by variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable (under the given assumptions, if any).
+    Unsat,
+}
+
+impl SatResult {
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Undef,
+    True,
+    False,
+}
+
+impl Val {
+    fn from_bool(b: bool) -> Val {
+        if b {
+            Val::True
+        } else {
+            Val::False
+        }
+    }
+}
+
+/// Solver statistics, exposed for the solver benchmark (E5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses.
+    pub learned: u64,
+}
+
+/// The CDCL solver.
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    num_vars: usize,
+    /// Clause database; indices are stable (no deletion).
+    clauses: Vec<Vec<Lit>>,
+    /// For each literal index, the clauses currently watching that literal.
+    watches: Vec<Vec<usize>>,
+    assign: Vec<Val>,
+    /// Saved polarity per variable (phase saving).
+    polarity: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Set at level 0 when the instance is discovered unsatisfiable.
+    unsat: bool,
+    /// Assumption literals found responsible for the last
+    /// assumption-`Unsat` answer (an unsat core over the assumptions).
+    last_core: Vec<Lit>,
+    /// Statistics for the current/last `solve` call.
+    pub stats: SatStats,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const RESCALE_LIMIT: f64 = 1e100;
+
+impl SatSolver {
+    /// Create an empty solver.
+    pub fn new() -> Self {
+        SatSolver { var_inc: 1.0, ..Default::default() }
+    }
+
+    /// Allocate a fresh variable and return its index.
+    pub fn new_var(&mut self) -> usize {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        self.assign.push(Val::Undef);
+        self.polarity.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new()); // positive literal
+        self.watches.push(Vec::new()); // negative literal
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Add a clause. Returns `false` if the solver is already known
+    /// unsatisfiable (including via this clause being empty after
+    /// level-0 simplification).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if self.unsat {
+            return false;
+        }
+        // Level-0 simplification: drop false literals, detect satisfied or
+        // tautological clauses, dedup.
+        let mut simplified: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!(l.var() < self.num_vars, "literal references unknown variable");
+            match self.value(l) {
+                Val::True => return true, // already satisfied
+                Val::False => continue,
+                Val::Undef => {
+                    if simplified.contains(&l.negated()) {
+                        return true; // tautology
+                    }
+                    if !simplified.contains(&l) {
+                        simplified.push(l);
+                    }
+                }
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watch(simplified[0], idx);
+                self.watch(simplified[1], idx);
+                self.clauses.push(simplified);
+                true
+            }
+        }
+    }
+
+    fn watch(&mut self, l: Lit, clause: usize) {
+        self.watches[l.index()].push(clause);
+    }
+
+    fn value(&self, l: Lit) -> Val {
+        match self.assign[l.var()] {
+            Val::Undef => Val::Undef,
+            Val::True => {
+                if l.is_neg() {
+                    Val::False
+                } else {
+                    Val::True
+                }
+            }
+            Val::False => {
+                if l.is_neg() {
+                    Val::True
+                } else {
+                    Val::False
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        debug_assert_eq!(self.value(l), Val::Undef);
+        let v = l.var();
+        self.assign[v] = Val::from_bool(!l.is_neg());
+        self.polarity[v] = !l.is_neg();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation over watched literals. Returns a conflicting clause
+    /// index if a conflict is found.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = p.negated(); // literals equal to ¬p are now false
+            let mut ws = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let ci = ws[i];
+                // Ensure the false literal is at position 1.
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci][1], false_lit);
+                let first = self.clauses[ci][0];
+                if self.value(first) == Val::True {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[ci].len() {
+                    let l = self.clauses[ci][k];
+                    if self.value(l) != Val::False {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[l.index()].push(ci);
+                        ws.swap_remove(i);
+                        continue 'clauses;
+                    }
+                }
+                // Clause is unit or conflicting.
+                if self.value(first) == Val::False {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[false_lit.index()].extend_from_slice(&ws[i..]);
+                    ws.truncate(i);
+                    self.watches[false_lit.index()].append(&mut ws);
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                self.enqueue(first, Some(ci));
+                i += 1;
+            }
+            self.watches[false_lit.index()].append(&mut ws);
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a /= RESCALE_LIMIT;
+            }
+            self.var_inc /= RESCALE_LIMIT;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::pos(0)]; // placeholder for UIP
+        let mut seen = vec![false; self.num_vars];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut clause = confl;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            let start = if p.is_none() { 0 } else { 1 };
+            // For the reason clause of p, skip position 0 (p itself).
+            let lits: Vec<Lit> = self.clauses[clause][start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var();
+            seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = p.unwrap().negated();
+                break;
+            }
+            clause = self.reason[pv].expect("non-decision literal must have a reason");
+        }
+
+        // Backjump level: second-highest level in the learned clause.
+        let bt_level = if learned.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learned.len() {
+                if self.level[learned[i].var()] > self.level[learned[max_i].var()] {
+                    max_i = i;
+                }
+            }
+            learned.swap(1, max_i);
+            self.level[learned[1].var()]
+        };
+        (learned, bt_level)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v] = Val::Undef;
+            self.reason[v] = None;
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&self) -> Option<usize> {
+        // Linear VSIDS scan: adequate at this workspace's instance sizes and
+        // keeps the solver free of heap bookkeeping bugs.
+        let mut best: Option<usize> = None;
+        for v in 0..self.num_vars {
+            if self.assign[v] == Val::Undef
+                && best.is_none_or(|b| self.activity[v] > self.activity[b])
+            {
+                best = Some(v);
+            }
+        }
+        best
+    }
+
+    /// Solve the current clause set.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// The subset of assumption literals responsible for the last
+    /// [`SatSolver::solve_with_assumptions`] returning `Unsat` (an unsat
+    /// core). Empty when the clause set itself is unsatisfiable.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.last_core
+    }
+
+    /// Solve under the given assumption literals: the solver searches for a
+    /// model in which every assumption holds; `Unsat` means no such model
+    /// exists (the clause set itself may still be satisfiable), in which
+    /// case [`SatSolver::unsat_core`] names the responsible assumptions.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.stats = SatStats::default();
+        self.last_core.clear();
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+
+        let mut restart_count = 0u64;
+        loop {
+            let budget = 64 * luby(restart_count);
+            match self.search(assumptions, budget) {
+                SearchOutcome::Sat => {
+                    let model: Vec<bool> =
+                        self.assign.iter().map(|&v| v == Val::True).collect();
+                    self.cancel_until(0);
+                    return SatResult::Sat(model);
+                }
+                SearchOutcome::Unsat => {
+                    self.cancel_until(0);
+                    return SatResult::Unsat;
+                }
+                SearchOutcome::Restart => {
+                    self.cancel_until(0);
+                    self.stats.restarts += 1;
+                    restart_count += 1;
+                }
+            }
+        }
+    }
+
+    fn search(&mut self, assumptions: &[Lit], conflict_budget: u64) -> SearchOutcome {
+        let mut conflicts = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SearchOutcome::Unsat;
+                }
+                // Conflicts below or at the assumption prefix mean the
+                // assumptions themselves are contradictory with the clauses.
+                if (self.decision_level() as usize) <= assumptions.len() {
+                    let lits = self.clauses[confl].clone();
+                    self.analyze_final(&lits, assumptions, None);
+                    return SearchOutcome::Unsat;
+                }
+                let (learned, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                self.learn(learned);
+                self.decay_activities();
+                if conflicts >= conflict_budget {
+                    return SearchOutcome::Restart;
+                }
+            } else {
+                // Extend the assumption prefix first.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.value(a) {
+                        Val::True => {
+                            // Already implied; open an empty decision level
+                            // so the prefix indexing stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Val::False => {
+                            self.analyze_final(&[a], assumptions, Some(a));
+                            return SearchOutcome::Unsat;
+                        }
+                        Val::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SearchOutcome::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::with_polarity(v, self.polarity[v]);
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compute the unsat core over the assumptions from a final conflict:
+    /// mark the seed literals' variables, walk the trail backwards expanding
+    /// reasons; decisions reached this way are the responsible assumptions.
+    /// `extra` adds a literal to the core directly (the assumption whose
+    /// enqueue failed).
+    fn analyze_final(&mut self, seed_lits: &[Lit], assumptions: &[Lit], extra: Option<Lit>) {
+        let assumption_set: std::collections::HashSet<Lit> =
+            assumptions.iter().copied().collect();
+        let mut seen = vec![false; self.num_vars];
+        for l in seed_lits {
+            if self.level[l.var()] > 0 {
+                seen[l.var()] = true;
+            }
+        }
+        let mut core: Vec<Lit> = extra.into_iter().collect();
+        for i in (0..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            if !seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                Some(cl) => {
+                    for q in self.clauses[cl].clone() {
+                        if self.level[q.var()] > 0 {
+                            seen[q.var()] = true;
+                        }
+                    }
+                }
+                None => {
+                    // A decision inside the assumption prefix is an
+                    // assumption (general decisions only exist above it, and
+                    // a final conflict never reaches them).
+                    if assumption_set.contains(&l) {
+                        core.push(l);
+                    }
+                }
+            }
+        }
+        core.sort();
+        core.dedup();
+        self.last_core = core;
+    }
+
+    fn learn(&mut self, learned: Vec<Lit>) {
+        self.stats.learned += 1;
+        if learned.len() == 1 {
+            // Asserting unit: must hold at level 0, but we may currently be
+            // above it only if cancel_until already brought us to 0.
+            debug_assert_eq!(self.decision_level(), 0);
+            if self.value(learned[0]) == Val::Undef {
+                self.enqueue(learned[0], None);
+            } else if self.value(learned[0]) == Val::False {
+                self.unsat = true;
+            }
+            return;
+        }
+        let idx = self.clauses.len();
+        let asserting = learned[0];
+        self.watch(learned[0], idx);
+        self.watch(learned[1], idx);
+        self.clauses.push(learned);
+        if self.value(asserting) == Val::Undef {
+            self.enqueue(asserting, Some(idx));
+        }
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, …
+pub fn luby(i: u64) -> u64 {
+    // Knuth's formula: find k with 2^(k-1) <= i+1 < 2^k.
+    let mut k = 1u32;
+    while (1u64 << k) < i + 2 {
+        k += 1;
+    }
+    if i + 2 == 1 << k {
+        1 << (k - 1)
+    } else {
+        luby(i + 1 - (1 << (k - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_model(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
+        clauses.iter().all(|c| {
+            c.iter().any(|l| {
+                let v = model[l.var()];
+                if l.is_neg() {
+                    !v
+                } else {
+                    v
+                }
+            })
+        })
+    }
+
+    #[test]
+    fn lit_encoding() {
+        let p = Lit::pos(3);
+        let n = Lit::neg(3);
+        assert_eq!(p.var(), 3);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(p.negated(), n);
+        assert_eq!(n.negated(), p);
+        assert_ne!(p.index(), n.index());
+        assert_eq!(p.to_string(), "4");
+        assert_eq!(n.to_string(), "-4");
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a)]));
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m[a]),
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a)]));
+        assert!(!s.add_clause(&[Lit::neg(a)]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new();
+        s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautological_clause_ignored() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a), Lit::neg(a)]));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        // a, a→b, b→c, c→d  ⊢  d
+        let mut s = SatSolver::new();
+        let vars: Vec<usize> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&[Lit::pos(vars[0])]);
+        for w in vars.windows(2) {
+            s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m.iter().all(|&b| b)),
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn xor_constraints_sat() {
+        // (a xor b) encoded in CNF, with a forced true → b must be false.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        s.add_clause(&[Lit::pos(a)]);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                assert!(m[a]);
+                assert!(!m[b]);
+            }
+            SatResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    /// Pigeonhole principle PHP(n+1, n) is unsatisfiable and requires real
+    /// conflict analysis to solve in reasonable time.
+    fn pigeonhole(s: &mut SatSolver, pigeons: usize, holes: usize) {
+        let var = |p: usize, h: usize| p * holes + h;
+        for _ in 0..pigeons * holes {
+            s.new_var();
+        }
+        // Every pigeon in some hole.
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+            s.add_clause(&clause);
+        }
+        // No two pigeons share a hole.
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..=5 {
+            let mut s = SatSolver::new();
+            pigeonhole(&mut s, n + 1, n);
+            assert_eq!(s.solve(), SatResult::Unsat, "PHP({}, {})", n + 1, n);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_exact_fit_sat() {
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 4, 4);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert!(s.solve_with_assumptions(&[Lit::neg(a)]).is_sat());
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)]),
+            SatResult::Unsat
+        );
+        // The clause set itself stays satisfiable after an unsat query.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn contradictory_assumptions() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(a), Lit::neg(a)]),
+            SatResult::Unsat
+        );
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&Lit::neg(a)), "{core:?}");
+    }
+
+    #[test]
+    fn unsat_core_names_responsible_assumptions() {
+        // Clauses: ¬a ∨ ¬b. Assumptions: a, c, b — core must contain a and b
+        // but not the irrelevant c.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        let result = s.solve_with_assumptions(&[Lit::pos(a), Lit::pos(c), Lit::pos(b)]);
+        assert_eq!(result, SatResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&Lit::pos(a)), "{core:?}");
+        assert!(core.contains(&Lit::pos(b)), "{core:?}");
+        assert!(!core.contains(&Lit::pos(c)), "irrelevant assumption in core: {core:?}");
+    }
+
+    #[test]
+    fn unsat_core_through_propagation_chain() {
+        // a → x, x → ¬b; assumptions a, b: core = {a, b} via the chain.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let x = s.new_var();
+        let b = s.new_var();
+        let noise = s.new_var();
+        s.add_clause(&[Lit::neg(a), Lit::pos(x)]);
+        s.add_clause(&[Lit::neg(x), Lit::neg(b)]);
+        let result =
+            s.solve_with_assumptions(&[Lit::pos(noise), Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(result, SatResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&Lit::pos(a)), "{core:?}");
+        assert!(core.contains(&Lit::pos(b)), "{core:?}");
+        assert!(!core.contains(&Lit::pos(noise)), "{core:?}");
+        // The clause set itself is still satisfiable afterwards.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+        for round in 0..50 {
+            let n = rng.gen_range(3..12);
+            let m = rng.gen_range(1..40);
+            let mut s = SatSolver::new();
+            for _ in 0..n {
+                s.new_var();
+            }
+            let mut clauses = Vec::new();
+            for _ in 0..m {
+                let len = rng.gen_range(1..=3);
+                let mut c: Vec<Lit> = (0..len)
+                    .map(|_| Lit::with_polarity(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect();
+                c.dedup();
+                clauses.push(c.clone());
+                s.add_clause(&c);
+            }
+            if let SatResult::Sat(model) = s.solve() {
+                assert!(
+                    check_model(&clauses, &model),
+                    "round {round}: model violates a clause"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! The user-facing SMT solver: bit-blast → Tseitin → CDCL → decode.
+//!
+//! [`SmtSolver`] collects assertions (boolean terms over any mix of boolean,
+//! enum and bounded-int variables) and decides them. Each `check` builds a
+//! fresh SAT instance — the formulas in this workspace are small enough that
+//! incrementality buys nothing but bugs — and returns a decoded
+//! [`Assignment`] over the *original* term-level variables.
+
+use crate::bitblast::BitBlaster;
+use crate::cnf::CnfBuilder;
+use crate::model::{Assignment, Value};
+use crate::sat::{SatResult, SatSolver};
+use crate::term::{Ctx, TermId};
+
+/// Result of an SMT query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SmtResult {
+    /// Satisfiable with an assignment over the original variables occurring
+    /// in the assertions.
+    Sat(Assignment),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SmtResult {
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(self) -> Option<Assignment> {
+        match self {
+            SmtResult::Sat(m) => Some(m),
+            SmtResult::Unsat => None,
+        }
+    }
+}
+
+/// An SMT solver instance: a set of assertions decided together.
+#[derive(Debug, Default)]
+pub struct SmtSolver {
+    assertions: Vec<TermId>,
+}
+
+impl SmtSolver {
+    /// Fresh solver with no assertions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an assertion.
+    pub fn assert(&mut self, t: TermId) {
+        self.assertions.push(t);
+    }
+
+    /// Current assertions.
+    pub fn assertions(&self) -> &[TermId] {
+        &self.assertions
+    }
+
+    /// Decide the conjunction of all assertions.
+    pub fn check(&self, ctx: &mut Ctx) -> SmtResult {
+        self.check_with(ctx, &[])
+    }
+
+    /// Enumerate up to `limit` models that differ on at least one of the
+    /// `distinct_on` variables (term-level variables of any sort). After
+    /// each model a blocking constraint over those variables is added, so
+    /// the returned assignments are pairwise distinct on them.
+    pub fn check_all(
+        &self,
+        ctx: &mut Ctx,
+        distinct_on: &[TermId],
+        limit: usize,
+    ) -> Vec<Assignment> {
+        let mut models = Vec::new();
+        let mut blocking: Vec<TermId> = Vec::new();
+        while models.len() < limit {
+            let result = self.check_with(ctx, &blocking);
+            let Some(mut model) = result.model() else { break };
+            // A distinguished variable the formula never constrained gets a
+            // default value (false / first variant / lower bound) so the
+            // enumeration still ranges over it.
+            for &t in distinct_on {
+                let var = match ctx.node(t) {
+                    crate::term::TermNode::BoolVar(v)
+                    | crate::term::TermNode::EnumVar(v)
+                    | crate::term::TermNode::IntVar(v) => *v,
+                    _ => panic!("check_all: distinct_on terms must be variables"),
+                };
+                if model.get(var).is_none() {
+                    let default = match ctx.var(var).sort {
+                        crate::sort::Sort::Bool => Value::Bool(false),
+                        crate::sort::Sort::Int { lo, .. } => Value::Int(lo),
+                        crate::sort::Sort::Enum(e) => Value::Enum(e, 0),
+                    };
+                    model.set(var, default);
+                }
+            }
+            // Block this combination of values on the distinguished vars.
+            let mut diffs: Vec<TermId> = Vec::new();
+            for &t in distinct_on {
+                let var = match ctx.node(t) {
+                    crate::term::TermNode::BoolVar(v)
+                    | crate::term::TermNode::EnumVar(v)
+                    | crate::term::TermNode::IntVar(v) => *v,
+                    _ => unreachable!(),
+                };
+                let Some(value) = model.get(var) else { continue };
+                let diff = match value {
+                    Value::Bool(b) => {
+                        if b {
+                            ctx.not(t)
+                        } else {
+                            t
+                        }
+                    }
+                    Value::Int(i) => {
+                        let c = ctx.int_const(i);
+                        ctx.neq(t, c)
+                    }
+                    Value::Enum(sort, v) => {
+                        let c = ctx.enum_const(sort, v);
+                        ctx.neq(t, c)
+                    }
+                };
+                diffs.push(diff);
+            }
+            if diffs.is_empty() {
+                models.push(model);
+                break; // nothing to block on: one model is all there is
+            }
+            blocking.push(ctx.or(&diffs));
+            models.push(model);
+        }
+        models
+    }
+
+    /// Decide the assertions under retractable boolean assumptions. On
+    /// `Unsat`, the second component is an **unsat core**: indices into
+    /// `assumptions` whose conjunction (with the assertions) is already
+    /// unsatisfiable. On `Sat` the core is empty.
+    ///
+    /// Assumption terms that are constant-false (or whose encoding folds to
+    /// false) are reported as singleton cores immediately.
+    pub fn check_assuming(
+        &self,
+        ctx: &mut Ctx,
+        assumptions: &[TermId],
+    ) -> (SmtResult, Vec<usize>) {
+        let mut bb = BitBlaster::new();
+        let mut builder = CnfBuilder::new();
+        for &t in &self.assertions {
+            let lowered = bb.lower(ctx, t);
+            for side in bb.take_side_constraints() {
+                if !builder.assert_term(ctx, side) {
+                    return (SmtResult::Unsat, Vec::new());
+                }
+            }
+            if !builder.assert_term(ctx, lowered) {
+                return (SmtResult::Unsat, Vec::new());
+            }
+        }
+        // Define each assumption as a literal.
+        let mut lits: Vec<(usize, crate::sat::Lit)> = Vec::new();
+        for (i, &t) in assumptions.iter().enumerate() {
+            let lowered = bb.lower(ctx, t);
+            for side in bb.take_side_constraints() {
+                if !builder.assert_term(ctx, side) {
+                    return (SmtResult::Unsat, Vec::new());
+                }
+            }
+            match builder.define_term(ctx, lowered) {
+                Ok(l) => lits.push((i, l)),
+                Err(true) => {} // constant-true assumption: no literal needed
+                Err(false) => return (SmtResult::Unsat, vec![i]),
+            }
+        }
+        let cnf = builder.finish();
+        let mut sat = SatSolver::new();
+        for _ in 0..cnf.num_vars {
+            sat.new_var();
+        }
+        for clause in &cnf.clauses {
+            if !sat.add_clause(clause) {
+                return (SmtResult::Unsat, Vec::new());
+            }
+        }
+        let assumption_lits: Vec<crate::sat::Lit> = lits.iter().map(|&(_, l)| l).collect();
+        match sat.solve_with_assumptions(&assumption_lits) {
+            SatResult::Unsat => {
+                let core_lits = sat.unsat_core();
+                let core: Vec<usize> = lits
+                    .iter()
+                    .filter(|(_, l)| core_lits.contains(l))
+                    .map(|&(i, _)| i)
+                    .collect();
+                (SmtResult::Unsat, core)
+            }
+            SatResult::Sat(model) => {
+                let mut asg = bb.decode(ctx, &|v| {
+                    cnf.sat_var(v).map(|sv| model[sv]).unwrap_or(false)
+                });
+                for (&tv, &sv) in &cnf.var_map {
+                    if asg.get(tv).is_none() {
+                        asg.set(tv, Value::Bool(model[sv]));
+                    }
+                }
+                (SmtResult::Sat(asg), Vec::new())
+            }
+        }
+    }
+
+    /// Decide the assertions plus the extra terms (without storing them).
+    pub fn check_with(&self, ctx: &mut Ctx, extra: &[TermId]) -> SmtResult {
+        let mut bb = BitBlaster::new();
+        let mut builder = CnfBuilder::new();
+        let mut roots: Vec<TermId> = self.assertions.clone();
+        roots.extend_from_slice(extra);
+
+        for &t in &roots {
+            let lowered = bb.lower(ctx, t);
+            for side in bb.take_side_constraints() {
+                if !builder.assert_term(ctx, side) {
+                    return SmtResult::Unsat;
+                }
+            }
+            if !builder.assert_term(ctx, lowered) {
+                return SmtResult::Unsat;
+            }
+        }
+
+        let cnf = builder.finish();
+        let mut sat = SatSolver::new();
+        for _ in 0..cnf.num_vars {
+            sat.new_var();
+        }
+        for clause in &cnf.clauses {
+            if !sat.add_clause(clause) {
+                return SmtResult::Unsat;
+            }
+        }
+        match sat.solve() {
+            SatResult::Unsat => SmtResult::Unsat,
+            SatResult::Sat(model) => {
+                // Theory variables decode through the bit-blaster.
+                let mut asg = bb.decode(ctx, &|v| {
+                    cnf.sat_var(v).map(|sv| model[sv]).unwrap_or(false)
+                });
+                // Original boolean variables map directly. Encoding booleans
+                // introduced by the bit-blaster are also included; harmless.
+                for (&tv, &sv) in &cnf.var_map {
+                    if asg.get(tv).is_none() {
+                        asg.set(tv, Value::Bool(model[sv]));
+                    }
+                }
+                SmtResult::Sat(asg)
+            }
+        }
+    }
+}
+
+/// Is `t` satisfiable on its own?
+pub fn is_sat(ctx: &mut Ctx, t: TermId) -> bool {
+    let mut s = SmtSolver::new();
+    s.assert(t);
+    s.check(ctx).is_sat()
+}
+
+/// Is `t` valid (true under every assignment)?
+pub fn is_valid(ctx: &mut Ctx, t: TermId) -> bool {
+    let neg = ctx.not(t);
+    !is_sat(ctx, neg)
+}
+
+/// Does `a` entail `b`?
+pub fn entails(ctx: &mut Ctx, a: TermId, b: TermId) -> bool {
+    let nb = ctx.not(b);
+    let both = ctx.and2(a, nb);
+    !is_sat(ctx, both)
+}
+
+/// Are `a` and `b` logically equivalent?
+pub fn equivalent(ctx: &mut Ctx, a: TermId, b: TermId) -> bool {
+    let iff = ctx.iff(a, b);
+    is_valid(ctx, iff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::brute_force_equivalent;
+    use crate::simplify::Simplifier;
+
+    #[test]
+    fn mixed_sort_model() {
+        let mut ctx = Ctx::new();
+        let attr = ctx.enum_sort("Attr", &["NextHop", "LocalPref", "Community"]);
+        let action = ctx.enum_sort("Action", &["permit", "deny"]);
+        let a = ctx.enum_var("Var_Attr", attr);
+        let act = ctx.enum_var("Var_Action", action);
+        let lp = ctx.int_var("Var_LocalPref", 0, 200);
+
+        let nh = ctx.enum_const_named(attr, "NextHop");
+        let deny = ctx.enum_const_named(action, "deny");
+        let hundred = ctx.int_const(100);
+
+        let c1 = ctx.eq(a, nh);
+        let c2 = ctx.eq(act, deny);
+        let c3 = ctx.gt(lp, hundred);
+        let f = ctx.and(&[c1, c2, c3]);
+
+        let mut s = SmtSolver::new();
+        s.assert(f);
+        let m = s.check(&mut ctx).model().expect("sat");
+        assert_eq!(m.eval_bool(&ctx, f), Some(true));
+        assert!(m.eval(&ctx, lp).unwrap().as_int().unwrap() > 100);
+    }
+
+    #[test]
+    fn unsat_across_theories() {
+        let mut ctx = Ctx::new();
+        let lp = ctx.int_var("lp", 0, 10);
+        let five = ctx.int_const(5);
+        let three = ctx.int_const(3);
+        let c1 = ctx.gt(lp, five);
+        let c2 = ctx.lt(lp, three);
+        let mut s = SmtSolver::new();
+        s.assert(c1);
+        s.assert(c2);
+        assert_eq!(s.check(&mut ctx), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn check_with_extra_does_not_persist() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let na = ctx.not(a);
+        let mut s = SmtSolver::new();
+        s.assert(a);
+        assert!(!s.check_with(&mut ctx, &[na]).is_sat());
+        assert!(s.check(&mut ctx).is_sat(), "extra assumption must not persist");
+    }
+
+    #[test]
+    fn validity_and_entailment() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let na = ctx.not(a);
+        let excluded_middle = ctx.or2(a, na);
+        assert!(is_valid(&mut ctx, excluded_middle));
+        assert!(!is_valid(&mut ctx, a));
+        let ab = ctx.and2(a, b);
+        assert!(entails(&mut ctx, ab, a));
+        assert!(!entails(&mut ctx, a, ab));
+    }
+
+    #[test]
+    fn equivalence_via_solver_matches_brute_force() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let ab = ctx.and2(a, b);
+        let lhs = ctx.not(ab);
+        let na = ctx.not(a);
+        let nb = ctx.not(b);
+        let rhs = ctx.or2(na, nb);
+        assert!(equivalent(&mut ctx, lhs, rhs));
+        assert_eq!(
+            brute_force_equivalent(&ctx, lhs, rhs, 100),
+            equivalent(&mut ctx, lhs, rhs)
+        );
+        assert!(!equivalent(&mut ctx, a, b));
+    }
+
+    #[test]
+    fn simplifier_output_equivalent_checked_by_solver() {
+        // End-to-end: build a formula with theory atoms, simplify it, and
+        // have the solver confirm equivalence (the production-scale version
+        // of the brute-force property test).
+        let mut ctx = Ctx::new();
+        let attr = ctx.enum_sort("Attr", &["NextHop", "LocalPref"]);
+        let v = ctx.enum_var("Var_Attr", attr);
+        let nh = ctx.enum_const_named(attr, "NextHop");
+        let lp = ctx.enum_const_named(attr, "LocalPref");
+        let e1 = ctx.eq(v, nh);
+        let e2 = ctx.eq(v, lp);
+        let ne2 = ctx.not(e2);
+        let t = ctx.mk_true();
+        let noise = ctx.and(&[e1, t, e1]);
+        let f = ctx.or2(noise, ne2);
+        let g = Simplifier::default().simplify(&mut ctx, f);
+        assert!(equivalent(&mut ctx, f, g));
+        assert!(ctx.term_size(g) <= ctx.term_size(f));
+    }
+
+    #[test]
+    fn check_all_enumerates_distinct_models() {
+        let mut ctx = Ctx::new();
+        let s3 = ctx.enum_sort("S", &["a", "b", "c"]);
+        let v = ctx.enum_var("v", s3);
+        let c0 = ctx.enum_const(s3, 0);
+        let not_a = ctx.neq(v, c0);
+        let mut solver = SmtSolver::new();
+        solver.assert(not_a);
+        let models = solver.check_all(&mut ctx, &[v], 10);
+        assert_eq!(models.len(), 2, "v ∈ {{b, c}}");
+        let vals: std::collections::HashSet<_> =
+            models.iter().map(|m| m.eval(&ctx, v).unwrap()).collect();
+        assert_eq!(vals.len(), 2, "models must be distinct on v");
+        // With a limit of 1 only one model comes back.
+        let one = solver.check_all(&mut ctx, &[v], 1);
+        assert_eq!(one.len(), 1);
+        // Unsatisfiable assertions yield no models.
+        let eq_a = ctx.eq(v, c0);
+        solver.assert(eq_a);
+        assert!(solver.check_all(&mut ctx, &[v], 10).is_empty());
+    }
+
+    #[test]
+    fn check_all_mixed_sorts() {
+        let mut ctx = Ctx::new();
+        let i = ctx.int_var("i", 0, 2);
+        let b = ctx.bool_var("b");
+        let one = ctx.int_const(1);
+        let le = ctx.le(i, one); // i ∈ {0, 1}, b free: 4 models
+        let mut solver = SmtSolver::new();
+        solver.assert(le);
+        let models = solver.check_all(&mut ctx, &[i, b], 10);
+        assert_eq!(models.len(), 4);
+    }
+
+    #[test]
+    fn check_assuming_reports_smt_core() {
+        let mut ctx = Ctx::new();
+        let s2 = ctx.enum_sort("S", &["x", "y"]);
+        let v = ctx.enum_var("v", s2);
+        let x = ctx.enum_const(s2, 0);
+        let y = ctx.enum_const(s2, 1);
+        let lp = ctx.int_var("lp", 0, 10);
+        let five = ctx.int_const(5);
+
+        let mut solver = SmtSolver::new();
+        let base = ctx.eq(v, x);
+        solver.assert(base);
+        let a0 = ctx.gt(lp, five); // consistent
+        let a1 = ctx.eq(v, y); // contradicts the assertion
+        let a2 = ctx.lt(lp, five); // contradicts a0 but a1 fires first
+        let (res, core) = solver.check_assuming(&mut ctx, &[a0, a1, a2]);
+        assert_eq!(res, SmtResult::Unsat);
+        assert!(core.contains(&1), "core must include the v=y assumption: {core:?}");
+        assert!(!core.contains(&0) || !core.contains(&2) || core.len() < 3, "{core:?}");
+
+        // Without the contradicting assumption: satisfiable, empty core.
+        let (res2, core2) = solver.check_assuming(&mut ctx, &[a0]);
+        assert!(res2.is_sat());
+        assert!(core2.is_empty());
+    }
+
+    #[test]
+    fn enum_distinctness_constraint() {
+        // Three variables over a 2-variant enum cannot be pairwise distinct.
+        let mut ctx = Ctx::new();
+        let s2 = ctx.enum_sort("S", &["x", "y"]);
+        let a = ctx.enum_var("a", s2);
+        let b = ctx.enum_var("b", s2);
+        let c = ctx.enum_var("c", s2);
+        let d1 = ctx.neq(a, b);
+        let d2 = ctx.neq(b, c);
+        let d3 = ctx.neq(a, c);
+        let f = ctx.and(&[d1, d2, d3]);
+        assert!(!is_sat(&mut ctx, f));
+        let g = ctx.and(&[d1, d2]);
+        assert!(is_sat(&mut ctx, g));
+    }
+}

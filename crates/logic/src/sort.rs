@@ -1,0 +1,113 @@
+//! Sorts (types) for the term language.
+//!
+//! The fragment of SMT needed by the paper's encodings is finite-domain:
+//! booleans, enumerations (match attributes, actions, community tags, …) and
+//! bounded integers (local preferences, path lengths). Every sort here has a
+//! finite, statically known carrier set, which is what makes the eager
+//! bit-blasting pipeline in [`crate::bitblast`] complete.
+
+use std::fmt;
+
+/// Identifier of an enumeration sort declared in a [`crate::term::Ctx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EnumSortId(pub u32);
+
+/// The sort of a term or variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Propositional sort.
+    Bool,
+    /// Bounded integer sort with inclusive range `[lo, hi]`.
+    Int { lo: i64, hi: i64 },
+    /// A declared enumeration sort.
+    Enum(EnumSortId),
+}
+
+impl Sort {
+    /// Number of values in the sort's carrier set, given access to the enum
+    /// declarations (passed as a slice of variant counts indexed by sort id).
+    pub fn cardinality(&self, enum_sizes: &[usize]) -> u64 {
+        match *self {
+            Sort::Bool => 2,
+            Sort::Int { lo, hi } => (hi - lo + 1).max(0) as u64,
+            Sort::Enum(id) => enum_sizes[id.0 as usize] as u64,
+        }
+    }
+
+    /// True if this is the boolean sort.
+    pub fn is_bool(&self) -> bool {
+        matches!(self, Sort::Bool)
+    }
+}
+
+/// Declaration of an enumeration sort: a name and its variant names.
+#[derive(Debug, Clone)]
+pub struct EnumDecl {
+    /// Human-readable sort name, e.g. `"Action"`.
+    pub name: String,
+    /// Variant names in declaration order; a variant is referred to by its
+    /// index in this vector.
+    pub variants: Vec<String>,
+}
+
+impl EnumDecl {
+    /// Look up a variant index by name.
+    pub fn variant_index(&self, name: &str) -> Option<u16> {
+        self.variants.iter().position(|v| v == name).map(|i| i as u16)
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::Int { lo, hi } => write!(f, "Int[{lo},{hi}]"),
+            Sort::Enum(id) => write!(f, "Enum#{}", id.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_bool() {
+        assert_eq!(Sort::Bool.cardinality(&[]), 2);
+    }
+
+    #[test]
+    fn cardinality_int_range() {
+        assert_eq!(Sort::Int { lo: 0, hi: 7 }.cardinality(&[]), 8);
+        assert_eq!(Sort::Int { lo: -3, hi: 3 }.cardinality(&[]), 7);
+        assert_eq!(Sort::Int { lo: 5, hi: 5 }.cardinality(&[]), 1);
+    }
+
+    #[test]
+    fn cardinality_empty_int_range_is_zero() {
+        assert_eq!(Sort::Int { lo: 3, hi: 2 }.cardinality(&[]), 0);
+    }
+
+    #[test]
+    fn cardinality_enum_uses_decl_size() {
+        assert_eq!(Sort::Enum(EnumSortId(1)).cardinality(&[4, 9]), 9);
+    }
+
+    #[test]
+    fn variant_index_lookup() {
+        let d = EnumDecl {
+            name: "Action".into(),
+            variants: vec!["permit".into(), "deny".into()],
+        };
+        assert_eq!(d.variant_index("permit"), Some(0));
+        assert_eq!(d.variant_index("deny"), Some(1));
+        assert_eq!(d.variant_index("drop"), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Sort::Bool.to_string(), "Bool");
+        assert_eq!(Sort::Int { lo: 0, hi: 9 }.to_string(), "Int[0,9]");
+        assert_eq!(Sort::Enum(EnumSortId(3)).to_string(), "Enum#3");
+    }
+}

@@ -1,0 +1,532 @@
+//! Abstract syntax of the specification language.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use netexpl_topology::{Prefix, RouterId, Topology};
+
+/// One segment of a path pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Seg {
+    /// A concrete router, by name.
+    Router(String),
+    /// `...` — any sequence of zero or more routers.
+    Any,
+    /// A named destination (must be the last segment). A traffic path ends
+    /// at a destination when its final router originates the destination's
+    /// prefix.
+    Dest(String),
+}
+
+/// A traffic-path pattern, e.g. `C -> R3 -> R1 -> P1 -> ... -> D1`.
+///
+/// Patterns describe *traffic* direction: from a source router toward a
+/// destination. Route announcements propagate in the opposite direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathPattern {
+    /// Segments in traffic order.
+    pub segs: Vec<Seg>,
+}
+
+impl PathPattern {
+    /// Build from segments; panics on a malformed shape (see
+    /// [`PathPattern::try_new`] for the fallible version).
+    pub fn new(segs: Vec<Seg>) -> PathPattern {
+        match Self::try_new(segs) {
+            Ok(p) => p,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Build from segments; validates shape (non-empty, `Dest` only last,
+    /// no two adjacent `Any`).
+    pub fn try_new(segs: Vec<Seg>) -> Result<PathPattern, String> {
+        if segs.is_empty() {
+            return Err("empty path pattern".into());
+        }
+        for (i, s) in segs.iter().enumerate() {
+            if matches!(s, Seg::Dest(_)) && i != segs.len() - 1 {
+                return Err("destination must be the last segment".into());
+            }
+            if matches!(s, Seg::Any) && i > 0 && matches!(segs[i - 1], Seg::Any) {
+                return Err("adjacent `...` segments".into());
+            }
+        }
+        Ok(PathPattern { segs })
+    }
+
+    /// Convenience: a pattern of concrete router names.
+    pub fn routers(names: &[&str]) -> PathPattern {
+        PathPattern::new(names.iter().map(|n| Seg::Router(n.to_string())).collect())
+    }
+
+    /// The first segment's router name, if concrete.
+    pub fn first_router(&self) -> Option<&str> {
+        match self.segs.first() {
+            Some(Seg::Router(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The destination name, if the pattern ends in one.
+    pub fn dest(&self) -> Option<&str> {
+        match self.segs.last() {
+            Some(Seg::Dest(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// All concrete router names mentioned.
+    pub fn router_names(&self) -> Vec<&str> {
+        self.segs
+            .iter()
+            .filter_map(|s| match s {
+                Seg::Router(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Does a route's **propagation path** (origin first, holder last) match
+    /// this pattern?
+    ///
+    /// Two reading modes, matching how the paper writes patterns:
+    ///
+    /// * A pattern **ending in a destination** (`R3 -> R1 -> P1 -> ... ->
+    ///   D1`) describes a *traffic* path toward that destination. It matches
+    ///   when `dest_matches` accepts the destination (the route is for the
+    ///   destination's prefix) and the router segments match a window of the
+    ///   traffic path (the reverse of `prop`) **anchored at the traffic
+    ///   path's end** — the origin side — with a free start. This is how
+    ///   Figure 4's `!(R3 -> R1 -> R2 -> P2 -> ... -> D1)` constrains a
+    ///   route at R3 whose traffic continues through R1.
+    /// * A pattern **without a destination** (`R1 -> P1`, `P1 -> R1 -> R2 ->
+    ///   P2`) describes route **propagation**: it matches when its segments
+    ///   match any contiguous window of `prop`. This is how Figure 2's
+    ///   `!(R1 -> P1)` means "no route may cross the R1 → P1 export" and
+    ///   Figure 5's `!(P1 -> R1 -> R2 -> P2)` means "no route from P1 may
+    ///   reach P2 via R1, R2".
+    ///
+    /// `dest_matches` is consulted only when the pattern ends in `Dest`.
+    pub fn matches_route(
+        &self,
+        topo: &Topology,
+        prop: &[RouterId],
+        dest_matches: &dyn Fn(&str) -> bool,
+    ) -> bool {
+        match self.segs.last() {
+            Some(Seg::Dest(d)) => {
+                if !dest_matches(d) {
+                    return false;
+                }
+                let router_segs = &self.segs[..self.segs.len() - 1];
+                let mut tp = prop.to_vec();
+                tp.reverse();
+                match_window(topo, router_segs, &tp, true)
+            }
+            _ => match_window(topo, &self.segs, prop, false),
+        }
+    }
+
+    /// Resolve every concrete router name against a topology, returning the
+    /// unknown names (empty = fully resolvable).
+    pub fn unknown_routers(&self, topo: &Topology) -> Vec<String> {
+        self.router_names()
+            .into_iter()
+            .filter(|n| topo.router_by_name(n).is_none())
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+/// Match router segments against any contiguous window of `seq` (free
+/// start). With `anchor_end` the window must extend to the end of `seq`.
+fn match_window(topo: &Topology, segs: &[Seg], seq: &[RouterId], anchor_end: bool) -> bool {
+    (0..=seq.len()).any(|i| match_segs(topo, segs, &seq[i..], anchor_end))
+}
+
+/// Greedy-with-backtracking match of router segments against a path prefix;
+/// with `exact` the segments must consume the whole path.
+fn match_segs(topo: &Topology, segs: &[Seg], path: &[RouterId], exact: bool) -> bool {
+    match segs.first() {
+        None => !exact || path.is_empty(),
+        Some(Seg::Router(name)) => match path.first() {
+            Some(&r) if topo.name(r) == name => match_segs(topo, &segs[1..], &path[1..], exact),
+            _ => false,
+        },
+        Some(Seg::Any) => {
+            // `...` matches zero or more routers.
+            (0..=path.len()).any(|k| match_segs(topo, &segs[1..], &path[k..], exact))
+        }
+        Some(Seg::Dest(_)) => unreachable!("destination segment handled by caller"),
+    }
+}
+
+impl fmt::Display for PathPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.segs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            match s {
+                Seg::Router(n) => write!(f, "{n}")?,
+                Seg::Any => write!(f, "...")?,
+                Seg::Dest(d) => write!(f, "{d}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Interpretation of paths not mentioned by a preference requirement —
+/// the ambiguity at the heart of the paper's Scenario 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreferenceMode {
+    /// Interpretation (1), NetComplete's: all unspecified paths are blocked.
+    #[default]
+    Strict,
+    /// Interpretation (2), the administrator's intent: unspecified paths
+    /// may carry traffic when no specified path is available.
+    Fallback,
+}
+
+/// A single requirement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Requirement {
+    /// `!(pattern)` — no traffic may follow a matching path. When the
+    /// pattern ends in a destination, only that destination's traffic is
+    /// constrained; otherwise all destinations are.
+    Forbidden(PathPattern),
+    /// `p₁ >> p₂ >> … >> pₙ` — traffic from the (shared, concrete) source
+    /// follows the most preferred *available* path in the chain. All
+    /// patterns must name the same destination. The common binary case is
+    /// built with [`Requirement::preference`].
+    Preference {
+        /// The paths in preference order, most preferred first (≥ 2).
+        chain: Vec<PathPattern>,
+    },
+    /// `Src ~> D` — the source router must reach the destination.
+    Reachable {
+        /// Source router name.
+        src: String,
+        /// Destination name.
+        dst: String,
+    },
+}
+
+impl Requirement {
+    /// The common binary preference `better >> worse`.
+    pub fn preference(better: PathPattern, worse: PathPattern) -> Requirement {
+        Requirement::Preference { chain: vec![better, worse] }
+    }
+}
+
+impl fmt::Display for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Requirement::Forbidden(p) => write!(f, "!({p})"),
+            Requirement::Preference { chain } => {
+                for (i, p) in chain.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " >> ")?;
+                    }
+                    write!(f, "({p})")?;
+                }
+                Ok(())
+            }
+            Requirement::Reachable { src, dst } => write!(f, "{src} ~> {dst}"),
+        }
+    }
+}
+
+/// A full specification: destination declarations plus named requirement
+/// blocks (the `Req1 { … }` groups of the paper's Figure 1a).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Specification {
+    /// Named destination prefixes (`dest D1 = 200.7.0.0/16`).
+    pub destinations: BTreeMap<String, Prefix>,
+    /// Requirement blocks in declaration order: (name, requirements).
+    pub blocks: Vec<(String, Vec<Requirement>)>,
+    /// How preference requirements treat unspecified paths.
+    pub mode: PreferenceMode,
+}
+
+impl Specification {
+    /// Empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a destination.
+    pub fn dest(&mut self, name: &str, prefix: Prefix) -> &mut Self {
+        self.destinations.insert(name.to_string(), prefix);
+        self
+    }
+
+    /// Append a named requirement block.
+    pub fn block(&mut self, name: &str, reqs: Vec<Requirement>) -> &mut Self {
+        self.blocks.push((name.to_string(), reqs));
+        self
+    }
+
+    /// All requirements across blocks, in order.
+    pub fn requirements(&self) -> impl Iterator<Item = &Requirement> {
+        self.blocks.iter().flat_map(|(_, rs)| rs.iter())
+    }
+
+    /// The prefix of a named destination.
+    pub fn prefix_of(&self, dest: &str) -> Option<Prefix> {
+        self.destinations.get(dest).copied()
+    }
+
+    /// Requirements of the named block.
+    pub fn block_named(&self, name: &str) -> Option<&[Requirement]> {
+        self.blocks
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, rs)| rs.as_slice())
+    }
+}
+
+impl fmt::Display for Specification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mode == PreferenceMode::Fallback {
+            writeln!(f, "mode fallback")?;
+        }
+        for (name, prefix) in &self.destinations {
+            writeln!(f, "dest {name} = {prefix}")?;
+        }
+        for (name, reqs) in &self.blocks {
+            writeln!(f, "{name} {{")?;
+            for r in reqs {
+                writeln!(f, "  {r}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A router-scoped subspecification — the output form of the explanation
+/// pipeline (paper Figures 2, 4, 5). Empty requirement lists are meaningful:
+/// "this router can do anything" (Scenario 3's R3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubSpec {
+    /// The router this subspecification constrains.
+    pub router: String,
+    /// Local requirements, in the same language as global requirements.
+    pub requirements: Vec<Requirement>,
+}
+
+impl SubSpec {
+    /// An unconstrained (empty) subspecification.
+    pub fn empty(router: &str) -> SubSpec {
+        SubSpec { router: router.to_string(), requirements: Vec::new() }
+    }
+
+    /// True if the router is unconstrained.
+    pub fn is_empty(&self) -> bool {
+        self.requirements.is_empty()
+    }
+}
+
+impl fmt::Display for SubSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {{", self.router)?;
+        // Preferences first, as in the paper's Figure 4.
+        for r in &self.requirements {
+            if let Requirement::Preference { chain } = r {
+                writeln!(f, "  preference {{")?;
+                for (i, p) in chain.iter().enumerate() {
+                    if i == 0 {
+                        writeln!(f, "    ({p})")?;
+                    } else {
+                        writeln!(f, "    >> ({p})")?;
+                    }
+                }
+                writeln!(f, "  }}")?;
+            }
+        }
+        for r in &self.requirements {
+            if !matches!(r, Requirement::Preference { .. }) {
+                writeln!(f, "  {r}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_topology::builders::paper_topology;
+
+    #[test]
+    fn pattern_construction_and_accessors() {
+        let p = PathPattern::new(vec![
+            Seg::Router("C".into()),
+            Seg::Router("R3".into()),
+            Seg::Any,
+            Seg::Dest("D1".into()),
+        ]);
+        assert_eq!(p.first_router(), Some("C"));
+        assert_eq!(p.dest(), Some("D1"));
+        assert_eq!(p.router_names(), vec!["C", "R3"]);
+        assert_eq!(p.to_string(), "C -> R3 -> ... -> D1");
+    }
+
+    #[test]
+    #[should_panic(expected = "destination must be the last")]
+    fn dest_must_be_last() {
+        PathPattern::new(vec![Seg::Dest("D1".into()), Seg::Router("C".into())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn no_adjacent_wildcards() {
+        PathPattern::new(vec![Seg::Router("A".into()), Seg::Any, Seg::Any]);
+    }
+
+    #[test]
+    fn pattern_matching_concrete_propagation_window() {
+        let (topo, h) = paper_topology();
+        let p = PathPattern::routers(&["P1", "R1", "R2", "P2"]);
+        let no_dest = |_: &str| true;
+        // Route propagating P1 → R1 → R2 → P2 matches.
+        assert!(p.matches_route(&topo, &[h.p1, h.r1, h.r2, h.p2], &no_dest));
+        // Detour via R3 breaks the contiguous window.
+        assert!(!p.matches_route(&topo, &[h.p1, h.r1, h.r3, h.r2, h.p2], &no_dest));
+        // Shorter propagation: no window.
+        assert!(!p.matches_route(&topo, &[h.p1, h.r1, h.r2], &no_dest));
+    }
+
+    #[test]
+    fn pattern_matching_is_window_based_figure_2() {
+        // The paper's Figure 2 subspec `!(R1 -> P1)` must match any route
+        // crossing the R1 → P1 export, whatever its origin.
+        let (topo, h) = paper_topology();
+        let p = PathPattern::routers(&["R1", "P1"]);
+        let no_dest = |_: &str| true;
+        assert!(p.matches_route(&topo, &[h.p2, h.r2, h.r1, h.p1], &no_dest));
+        assert!(p.matches_route(&topo, &[h.customer, h.r3, h.r1, h.p1], &no_dest));
+        assert!(!p.matches_route(&topo, &[h.p1, h.r1, h.r2], &no_dest), "wrong direction");
+    }
+
+    #[test]
+    fn pattern_matching_wildcard() {
+        let (topo, h) = paper_topology();
+        let p = PathPattern::new(vec![
+            Seg::Router("P1".into()),
+            Seg::Any,
+            Seg::Router("P2".into()),
+        ]);
+        let no_dest = |_: &str| true;
+        assert!(p.matches_route(&topo, &[h.p1, h.r1, h.r2, h.p2], &no_dest));
+        assert!(p.matches_route(&topo, &[h.p1, h.r1, h.r3, h.r2, h.p2], &no_dest));
+        assert!(p.matches_route(&topo, &[h.p1, h.p2], &no_dest), "`...` matches zero routers");
+        assert!(
+            !p.matches_route(&topo, &[h.p2, h.r2, h.r1, h.p1], &no_dest),
+            "direction matters"
+        );
+    }
+
+    #[test]
+    fn pattern_matching_with_destination_is_traffic_suffix() {
+        let (topo, h) = paper_topology();
+        // Traffic pattern Customer -> ... -> P1 -> D1 against a route held
+        // at Customer with propagation P1 → R1 → R3 → Customer.
+        let prop = [h.p1, h.r1, h.r3, h.customer];
+        let p2 = PathPattern::new(vec![
+            Seg::Router("Customer".into()),
+            Seg::Any,
+            Seg::Router("P1".into()),
+            Seg::Dest("D1".into()),
+        ]);
+        assert!(p2.matches_route(&topo, &prop, &|d| d == "D1"));
+        assert!(!p2.matches_route(&topo, &prop, &|_| false), "destination must match");
+        // Figure 4 shape: the pattern may start mid-path (suffix-anchored at
+        // the origin side, free start): route held at R3.
+        let at_r3 = [h.p2, h.r2, h.r1, h.r3];
+        let fig4 = PathPattern::new(vec![
+            Seg::Router("R3".into()),
+            Seg::Router("R1".into()),
+            Seg::Router("R2".into()),
+            Seg::Router("P2".into()),
+            Seg::Any,
+            Seg::Dest("D1".into()),
+        ]);
+        assert!(fig4.matches_route(&topo, &at_r3, &|d| d == "D1"));
+        // But a route at Customer through the same tail also matches
+        // (free start): propagation P2 → R2 → R1 → R3 → Customer.
+        let at_c = [h.p2, h.r2, h.r1, h.r3, h.customer];
+        assert!(fig4.matches_route(&topo, &at_c, &|d| d == "D1"));
+        // A route taking the direct worse path does not.
+        let direct = [h.p2, h.r2, h.r3];
+        assert!(!fig4.matches_route(&topo, &direct, &|d| d == "D1"));
+    }
+
+    #[test]
+    fn unknown_routers_detected() {
+        let (topo, _) = paper_topology();
+        let p = PathPattern::routers(&["P1", "Bogus", "R1"]);
+        assert_eq!(p.unknown_routers(&topo), vec!["Bogus".to_string()]);
+    }
+
+    #[test]
+    fn requirement_display() {
+        let f = Requirement::Forbidden(PathPattern::new(vec![
+            Seg::Router("P1".into()),
+            Seg::Any,
+            Seg::Router("P2".into()),
+        ]));
+        assert_eq!(f.to_string(), "!(P1 -> ... -> P2)");
+        let r = Requirement::Reachable { src: "C".into(), dst: "D1".into() };
+        assert_eq!(r.to_string(), "C ~> D1");
+    }
+
+    #[test]
+    fn specification_accessors() {
+        let mut s = Specification::new();
+        let d1: Prefix = "200.7.0.0/16".parse().unwrap();
+        s.dest("D1", d1);
+        s.block(
+            "Req1",
+            vec![Requirement::Reachable { src: "C".into(), dst: "D1".into() }],
+        );
+        assert_eq!(s.prefix_of("D1"), Some(d1));
+        assert_eq!(s.requirements().count(), 1);
+        assert!(s.block_named("Req1").is_some());
+        assert!(s.block_named("Req9").is_none());
+        let text = s.to_string();
+        assert!(text.contains("dest D1 = 200.7.0.0/16"), "{text}");
+        assert!(text.contains("Req1 {"), "{text}");
+    }
+
+    #[test]
+    fn subspec_display_matches_figure_2_shape() {
+        let sub = SubSpec {
+            router: "R1".into(),
+            requirements: vec![Requirement::Forbidden(PathPattern::routers(&["R1", "P1"]))],
+        };
+        assert_eq!(sub.to_string(), "R1 {\n  !(R1 -> P1)\n}");
+        assert!(SubSpec::empty("R3").is_empty());
+    }
+
+    #[test]
+    fn subspec_display_preferences_first() {
+        let sub = SubSpec {
+            router: "R3".into(),
+            requirements: vec![
+                Requirement::Forbidden(PathPattern::routers(&["R3", "R1", "R2"])),
+                Requirement::preference(
+                    PathPattern::routers(&["R3", "R1"]),
+                    PathPattern::routers(&["R3", "R2"]),
+                ),
+            ],
+        };
+        let text = sub.to_string();
+        let pref_pos = text.find("preference").unwrap();
+        let forb_pos = text.find("!(R3").unwrap();
+        assert!(pref_pos < forb_pos, "{text}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Lexer for the specification language.
+//!
+//! The token set is tiny: words (identifiers, prefix literals, `...`),
+//! the path arrow `->`, the preference operator `>>`, the reachability
+//! arrow `~>`, punctuation, and `//` line comments.
+
+use std::fmt;
+
+/// A token with its source position (byte offset, for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (`R1`, `Req1`, `dest`, …).
+    Ident(String),
+    /// A prefix literal (`200.7.0.0/16`).
+    PrefixLit(String),
+    /// `...`
+    Ellipsis,
+    /// `->`
+    Arrow,
+    /// `>>`
+    Prefer,
+    /// `~>`
+    Reach,
+    /// `!`
+    Bang,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `=`
+    Equals,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::PrefixLit(s) => write!(f, "prefix `{s}`"),
+            TokenKind::Ellipsis => write!(f, "`...`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Prefer => write!(f, "`>>`"),
+            TokenKind::Reach => write!(f, "`~>`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Equals => write!(f, "`=`"),
+        }
+    }
+}
+
+/// A lexical error: unexpected character at a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The offending character.
+    pub ch: char,
+    /// Byte offset.
+    pub pos: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` at byte {}", self.ch, self.pos)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '.' | '/' | ':')
+}
+
+/// Tokenize the input.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if bytes.get(i + 1) == Some(&'>') => {
+                out.push(Token { kind: TokenKind::Arrow, pos });
+                i += 2;
+            }
+            '>' if bytes.get(i + 1) == Some(&'>') => {
+                out.push(Token { kind: TokenKind::Prefer, pos });
+                i += 2;
+            }
+            '~' if bytes.get(i + 1) == Some(&'>') => {
+                out.push(Token { kind: TokenKind::Reach, pos });
+                i += 2;
+            }
+            '!' => {
+                out.push(Token { kind: TokenKind::Bang, pos });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, pos });
+                i += 1;
+            }
+            '{' => {
+                out.push(Token { kind: TokenKind::LBrace, pos });
+                i += 1;
+            }
+            '}' => {
+                out.push(Token { kind: TokenKind::RBrace, pos });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Equals, pos });
+                i += 1;
+            }
+            c if is_word_char(c) => {
+                let start = i;
+                while i < bytes.len() && is_word_char(bytes[i]) {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let kind = if word == "..." {
+                    TokenKind::Ellipsis
+                } else if word.contains('/') {
+                    TokenKind::PrefixLit(word)
+                } else {
+                    TokenKind::Ident(word)
+                };
+                out.push(Token { kind, pos });
+            }
+            other => return Err(LexError { ch: other, pos }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_paper_forbidden_requirement() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("!(P1->...->P2)"),
+            vec![
+                Bang,
+                LParen,
+                Ident("P1".into()),
+                Arrow,
+                Ellipsis,
+                Arrow,
+                Ident("P2".into()),
+                RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_preference_and_reach() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("(A) >> (B)  C ~> D1"),
+            vec![
+                LParen,
+                Ident("A".into()),
+                RParen,
+                Prefer,
+                LParen,
+                Ident("B".into()),
+                RParen,
+                Ident("C".into()),
+                Reach,
+                Ident("D1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_dest_decl_with_prefix() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("dest D1 = 200.7.0.0/16"),
+            vec![
+                Ident("dest".into()),
+                Ident("D1".into()),
+                Equals,
+                PrefixLit("200.7.0.0/16".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let ks = kinds("// For D1, prefer routes through P1\nReq2 { }");
+        use TokenKind::*;
+        assert_eq!(
+            ks,
+            vec![Ident("Req2".into()), LBrace, RBrace]
+        );
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let err = lex("abc $").unwrap_err();
+        assert_eq!(err.ch, '$');
+        assert_eq!(err.pos, 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! # netexpl-spec
+//!
+//! The routing-policy specification language, following NetComplete's
+//! formulation as the paper does (§3): a specification is a set of path
+//! requirements over named destinations —
+//!
+//! * **forbidden paths** — `!(P1 -> ... -> P2)`: no traffic may follow a
+//!   path matching the pattern (e.g. the no-transit rule of Scenario 1);
+//! * **path preferences** — `(C -> R3 -> R1 -> P1 -> ... -> D1) >>
+//!   (C -> R3 -> R2 -> P2 -> ... -> D1)`: traffic to the destination must
+//!   follow the most preferred *available* path (Scenario 2);
+//! * **reachability** — `C ~> D1`: the source must have some path to the
+//!   destination (the fix the administrator adds in Scenario 1).
+//!
+//! The same language doubles as the *subspecification* language: a
+//! [`SubSpec`] is a router-scoped block of requirements describing the
+//! minimal local behavior of one device, exactly as in the paper's
+//! Figures 2, 4 and 5. Using one language for both is a deliberate design
+//! point of the paper ("reduces the cognitive load on network
+//! administrators").
+//!
+//! The crate provides the AST ([`ast`]), concrete text syntax
+//! ([`parser`] / `Display` impls), and the concrete semantics: a checker
+//! ([`check`]) that evaluates requirements against a stable routing state
+//! computed by `netexpl-bgp`.
+
+pub mod ast;
+pub mod check;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{PathPattern, PreferenceMode, Requirement, Seg, Specification, SubSpec};
+pub use check::{check_requirement, check_specification, Violation};
+pub use parser::{parse, ParseError};

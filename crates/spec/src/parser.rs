@@ -1,0 +1,365 @@
+//! Recursive-descent parser for the specification language.
+//!
+//! ```text
+//! spec       := item*
+//! item       := 'dest' IDENT '=' PREFIX
+//!             | 'mode' ('strict' | 'fallback')
+//!             | IDENT '{' req* '}'                  // requirement block
+//! req        := '!' '(' path ')'
+//!             | '(' path ')' '>>' '(' path ')'
+//!             | IDENT '~>' IDENT                    // reachability
+//! path       := seg ('->' seg)*
+//! seg        := IDENT | '...'
+//! ```
+//!
+//! A path's final identifier is resolved as a destination if (and only if) a
+//! `dest` declaration with that name precedes it; otherwise it is a router.
+
+use std::fmt;
+
+use netexpl_topology::Prefix;
+
+use crate::ast::{PathPattern, PreferenceMode, Requirement, Seg, Specification};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+
+/// A parse (or lex) error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of what went wrong.
+    pub message: String,
+    /// Byte offset, when known.
+    pub pos: Option<usize>,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{} (at byte {p})", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: format!("unexpected character `{}`", e.ch), pos: Some(e.pos) }
+    }
+}
+
+/// Parse a complete specification.
+pub fn parse(input: &str) -> Result<Specification, ParseError> {
+    let tokens = lex(input)?;
+    Parser { tokens, i: 0, spec: Specification::new() }.run()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+    spec: Specification,
+}
+
+impl Parser {
+    fn run(mut self) -> Result<Specification, ParseError> {
+        while self.i < self.tokens.len() {
+            self.item()?;
+        }
+        Ok(self.spec)
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.i).map(|t| &t.kind)
+    }
+
+    fn pos(&self) -> Option<usize> {
+        self.tokens.get(self.i).map(|t| t.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.i).map(|t| t.kind.clone());
+        self.i += 1;
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), pos: self.pos() })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(k) if k == kind => {
+                self.i += 1;
+                Ok(())
+            }
+            Some(k) => {
+                let k = k.clone();
+                self.err(format!("expected {kind}, found {k}"))
+            }
+            None => self.err(format!("expected {kind}, found end of input")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            Some(other) => {
+                self.i -= 1;
+                self.err(format!("expected identifier, found {other}"))
+            }
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    fn item(&mut self) -> Result<(), ParseError> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "dest" => {
+                let dname = self.ident()?;
+                self.expect(&TokenKind::Equals)?;
+                match self.bump() {
+                    Some(TokenKind::PrefixLit(p)) => {
+                        let prefix: Prefix = p.parse().map_err(|_| ParseError {
+                            message: format!("invalid prefix `{p}`"),
+                            pos: None,
+                        })?;
+                        self.spec.dest(&dname, prefix);
+                        Ok(())
+                    }
+                    other => self.err(format!(
+                        "expected a prefix literal, found {}",
+                        other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    )),
+                }
+            }
+            "mode" => {
+                let m = self.ident()?;
+                self.spec.mode = match m.as_str() {
+                    "strict" => PreferenceMode::Strict,
+                    "fallback" => PreferenceMode::Fallback,
+                    other => return self.err(format!("unknown mode `{other}`")),
+                };
+                Ok(())
+            }
+            block_name => {
+                self.expect(&TokenKind::LBrace)?;
+                let mut reqs = Vec::new();
+                while self.peek() != Some(&TokenKind::RBrace) {
+                    if self.peek().is_none() {
+                        return self.err("unterminated requirement block");
+                    }
+                    reqs.push(self.requirement()?);
+                }
+                self.expect(&TokenKind::RBrace)?;
+                self.spec.block(block_name, reqs);
+                Ok(())
+            }
+        }
+    }
+
+    fn requirement(&mut self) -> Result<Requirement, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Bang) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let p = self.path()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Requirement::Forbidden(p))
+            }
+            Some(TokenKind::LParen) => {
+                self.bump();
+                let first = self.path()?;
+                self.expect(&TokenKind::RParen)?;
+                let mut chain = vec![first];
+                while self.peek() == Some(&TokenKind::Prefer) {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    chain.push(self.path()?);
+                    self.expect(&TokenKind::RParen)?;
+                }
+                if chain.len() < 2 {
+                    return self.err("a preference needs at least two paths (`(p) >> (q)`)");
+                }
+                if chain.iter().any(|p| p.dest() != chain[0].dest()) {
+                    return self.err("preference paths must target the same destination");
+                }
+                if chain
+                    .iter()
+                    .any(|p| p.first_router() != chain[0].first_router())
+                {
+                    return self.err("preference paths must share their source router");
+                }
+                Ok(Requirement::Preference { chain })
+            }
+            Some(TokenKind::Ident(_)) => {
+                let src = self.ident()?;
+                self.expect(&TokenKind::Reach)?;
+                let dst = self.ident()?;
+                if !self.spec.destinations.contains_key(&dst) {
+                    return self.err(format!("`{dst}` is not a declared destination"));
+                }
+                Ok(Requirement::Reachable { src, dst })
+            }
+            Some(other) => {
+                let other = other.clone();
+                self.err(format!("expected a requirement, found {other}"))
+            }
+            None => self.err("expected a requirement, found end of input"),
+        }
+    }
+
+    fn path(&mut self) -> Result<PathPattern, ParseError> {
+        let mut segs = Vec::new();
+        loop {
+            match self.bump() {
+                Some(TokenKind::Ident(name)) => {
+                    segs.push(Seg::Router(name));
+                }
+                Some(TokenKind::Ellipsis) => segs.push(Seg::Any),
+                other => {
+                    self.i -= 1;
+                    return self.err(format!(
+                        "expected a path segment, found {}",
+                        other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    ));
+                }
+            }
+            if self.peek() == Some(&TokenKind::Arrow) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Resolve a trailing declared-destination name.
+        if let Some(Seg::Router(last)) = segs.last() {
+            if self.spec.destinations.contains_key(last) {
+                let d = last.clone();
+                *segs.last_mut().unwrap() = Seg::Dest(d);
+            }
+        }
+        if !segs.iter().any(|s| matches!(s, Seg::Dest(_) | Seg::Router(_))) {
+            return self.err("path pattern needs at least one router");
+        }
+        match PathPattern::try_new(segs) {
+            Ok(p) => Ok(p),
+            Err(msg) => self.err(format!("malformed path pattern: {msg}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Seg;
+
+    #[test]
+    fn parse_paper_figure_1a() {
+        let spec = parse(
+            "// No transit traffic\n\
+             Req1 {\n\
+               !(P1 -> ... -> P2)\n\
+               !(P2 -> ... -> P1)\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(spec.blocks.len(), 1);
+        let reqs = spec.block_named("Req1").unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].to_string(), "!(P1 -> ... -> P2)");
+        assert_eq!(reqs[1].to_string(), "!(P2 -> ... -> P1)");
+    }
+
+    #[test]
+    fn parse_paper_figure_3() {
+        let spec = parse(
+            "dest D1 = 200.7.0.0/16\n\
+             Req2 {\n\
+               (C -> R3 -> R1 -> P1 -> ... -> D1)\n\
+               >> (C -> R3 -> R2 -> P2 -> ... -> D1)\n\
+             }",
+        )
+        .unwrap();
+        let reqs = spec.block_named("Req2").unwrap();
+        match &reqs[0] {
+            Requirement::Preference { chain } => {
+                assert_eq!(chain.len(), 2);
+                assert_eq!(chain[0].dest(), Some("D1"));
+                assert_eq!(chain[1].dest(), Some("D1"));
+                assert_eq!(chain[0].first_router(), Some("C"));
+                assert!(matches!(chain[0].segs[4], Seg::Any));
+            }
+            other => panic!("expected preference, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_reachability() {
+        let spec = parse("dest D = 10.0.0.0/8\nR { C ~> D }").unwrap();
+        assert_eq!(
+            spec.block_named("R").unwrap()[0],
+            Requirement::Reachable { src: "C".into(), dst: "D".into() }
+        );
+    }
+
+    #[test]
+    fn reachability_requires_declared_destination() {
+        let err = parse("R { C ~> D }").unwrap_err();
+        assert!(err.message.contains("not a declared destination"), "{err}");
+    }
+
+    #[test]
+    fn preference_destinations_must_agree() {
+        let err = parse(
+            "dest D1 = 10.0.0.0/8\ndest D2 = 11.0.0.0/8\n\
+             R { (A -> D1) >> (A -> D2) }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("same destination"), "{err}");
+    }
+
+    #[test]
+    fn mode_declaration() {
+        let s1 = parse("mode strict").unwrap();
+        assert_eq!(s1.mode, PreferenceMode::Strict);
+        let s2 = parse("mode fallback").unwrap();
+        assert_eq!(s2.mode, PreferenceMode::Fallback);
+        assert!(parse("mode bogus").is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let input = "dest D1 = 200.7.0.0/16\n\
+             Req1 {\n  !(P1 -> ... -> P2)\n}\n\
+             Req2 {\n  (C -> R3 -> P1 -> ... -> D1) >> (C -> R3 -> P2 -> ... -> D1)\n}\n";
+        let spec = parse(input).unwrap();
+        let printed = spec.to_string();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(spec, reparsed, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn error_messages_are_positioned() {
+        let err = parse("Req1 { !(P1 -> ) }").unwrap_err();
+        assert!(err.pos.is_some());
+        assert!(err.message.contains("path segment"), "{err}");
+        let err2 = parse("Req1 { !(A) ").unwrap_err();
+        assert!(err2.message.contains("unterminated"), "{err2}");
+    }
+
+    #[test]
+    fn dest_with_bad_prefix_rejected() {
+        assert!(parse("dest D = 999.0.0.0/8").is_err());
+    }
+
+    #[test]
+    fn destination_only_resolves_when_declared_before_use() {
+        // D1 used before declaration: stays a Router segment.
+        let spec = parse("Req { !(A -> D1) }\ndest D1 = 10.0.0.0/8").unwrap();
+        match &spec.block_named("Req").unwrap()[0] {
+            Requirement::Forbidden(p) => {
+                assert!(matches!(p.segs.last(), Some(Seg::Router(n)) if n == "D1"));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

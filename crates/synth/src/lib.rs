@@ -1,0 +1,40 @@
+//! # netexpl-synth
+//!
+//! A NetComplete-style constraint-based configuration synthesizer.
+//!
+//! Given a topology, a specification (`netexpl-spec`), and a *sketch* — a
+//! network configuration whose route maps may contain **holes** (symbolic
+//! actions, match values, local preferences, …) — the synthesizer encodes
+//! the BGP propagation semantics and the requirements as a finite-domain
+//! SMT formula over the hole variables (`netexpl-logic`), solves it, and
+//! instantiates the sketch into a concrete configuration, which is then
+//! validated end-to-end by the concrete simulator (`netexpl-bgp`).
+//!
+//! The same encoder is reused by the explanation pipeline (`netexpl-core`):
+//! explaining router R means re-running this encoding with R's
+//! configuration lines symbolic and everything else frozen to its
+//! synthesized values — the result is the paper's "seed specification"
+//! (§3, step 2).
+//!
+//! ## Encoding in one paragraph
+//!
+//! For each announced prefix the encoder enumerates the candidate
+//! propagation paths from its origins through the internal network
+//! (externals never transit). Folding each path through the (possibly
+//! symbolic) export/import route maps yields a symbolic route state — an
+//! aliveness term plus local-preference, next-hop and per-community terms —
+//! mirroring exactly the concrete `RouteMap::apply` semantics. Forbidden
+//! paths assert the matching paths' aliveness false (availability
+//! semantics); preferences assert aliveness plus local-preference ordering
+//! at the decision router (strict mode additionally asserts every
+//! unspecified path dead); reachability asserts a disjunction of aliveness.
+
+pub mod encode;
+pub mod sketch;
+pub mod synthesize;
+pub mod vocab;
+
+pub use encode::{EncodeOptions, Encoder};
+pub use sketch::{Hole, SymEntry, SymMatch, SymNetworkConfig, SymRouteMap, SymRouterConfig, SymSet};
+pub use synthesize::{synthesize, synthesize_diverse, SynthError, SynthOptions, SynthResult};
+pub use vocab::Vocabulary;

@@ -1,0 +1,228 @@
+//! The value vocabulary: the finite universes the encoding ranges over.
+//!
+//! The paper's Figure 6b symbolizes configuration lines as
+//! `match Var_Attr Var_Val` / `Var_Action Var_Param` — the match *attribute*
+//! itself is a symbolic variable, so the encoding needs a single value sort
+//! covering every attribute's candidates. [`Vocabulary`] collects those
+//! candidates (communities, routers, prefixes, local-preference levels) and
+//! materializes the enum sorts in a [`Ctx`]:
+//!
+//! * `Attr`  — `{ Prefix, Community, NextHop }`, what a generic match line
+//!   inspects;
+//! * `Val`   — the disjoint union of all candidate values;
+//! * `Action` — `{ permit, deny }`;
+//! * local preferences are bounded integers, not enum values.
+
+use netexpl_bgp::{Action, Community};
+use netexpl_logic::sort::EnumSortId;
+use netexpl_logic::term::{Ctx, TermId};
+use netexpl_topology::{Prefix, RouterId, Topology};
+
+/// The finite universes for one encoding run.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    /// Candidate community tags.
+    pub communities: Vec<Community>,
+    /// Candidate local-preference values (sorted, deduped).
+    pub local_prefs: Vec<u32>,
+    /// All routers (next-hop candidates), in id order.
+    pub routers: Vec<RouterId>,
+    /// All prefixes that can be announced or matched.
+    pub prefixes: Vec<Prefix>,
+}
+
+impl Vocabulary {
+    /// Build a vocabulary: routers from the topology, plus the given
+    /// communities, local preferences and prefixes.
+    pub fn new(
+        topo: &Topology,
+        communities: Vec<Community>,
+        local_prefs: Vec<u32>,
+        prefixes: Vec<Prefix>,
+    ) -> Vocabulary {
+        let mut local_prefs = local_prefs;
+        if !local_prefs.contains(&netexpl_bgp::route::DEFAULT_LOCAL_PREF) {
+            local_prefs.push(netexpl_bgp::route::DEFAULT_LOCAL_PREF);
+        }
+        local_prefs.sort_unstable();
+        local_prefs.dedup();
+        let mut prefixes = prefixes;
+        prefixes.sort();
+        prefixes.dedup();
+        let mut communities = communities;
+        communities.sort();
+        communities.dedup();
+        Vocabulary {
+            communities,
+            local_prefs,
+            routers: topo.router_ids().collect(),
+            prefixes,
+        }
+    }
+
+    /// The inclusive local-preference bounds used for integer variables.
+    pub fn lp_bounds(&self) -> (i64, i64) {
+        let lo = *self.local_prefs.first().unwrap_or(&0) as i64;
+        let hi = *self.local_prefs.last().unwrap_or(&100) as i64;
+        (lo.min(0), hi.max(100))
+    }
+
+    /// Materialize the sorts into a context.
+    pub fn sorts(&self, ctx: &mut Ctx) -> VocabSorts {
+        let action = ctx.enum_sort("Action", &["permit", "deny"]);
+        let attr = ctx.enum_sort("Attr", &["Prefix", "Community", "NextHop"]);
+        let mut val_names: Vec<String> = Vec::new();
+        for p in &self.prefixes {
+            val_names.push(format!("P:{p}"));
+        }
+        for c in &self.communities {
+            val_names.push(format!("C:{c}"));
+        }
+        for &r in &self.routers {
+            val_names.push(format!("R:{}", r.0));
+        }
+        if val_names.is_empty() {
+            val_names.push("none".to_string());
+        }
+        let val_refs: Vec<&str> = val_names.iter().map(String::as_str).collect();
+        let val = ctx.enum_sort("Val", &val_refs);
+        VocabSorts {
+            action,
+            attr,
+            val,
+            num_prefixes: self.prefixes.len(),
+            num_communities: self.communities.len(),
+        }
+    }
+}
+
+/// Sort handles produced by [`Vocabulary::sorts`], with index arithmetic for
+/// the `Val` union sort.
+#[derive(Debug, Clone, Copy)]
+pub struct VocabSorts {
+    /// The `Action` enum sort.
+    pub action: EnumSortId,
+    /// The `Attr` enum sort.
+    pub attr: EnumSortId,
+    /// The `Val` union sort.
+    pub val: EnumSortId,
+    num_prefixes: usize,
+    num_communities: usize,
+}
+
+/// Variant indices inside the `Attr` sort.
+pub mod attr_idx {
+    /// `Attr::Prefix`.
+    pub const PREFIX: u16 = 0;
+    /// `Attr::Community`.
+    pub const COMMUNITY: u16 = 1;
+    /// `Attr::NextHop`.
+    pub const NEXT_HOP: u16 = 2;
+}
+
+impl VocabSorts {
+    /// The `Val` variant for the i-th vocabulary prefix.
+    pub fn val_prefix(&self, i: usize) -> u16 {
+        debug_assert!(i < self.num_prefixes);
+        i as u16
+    }
+
+    /// The `Val` variant for the i-th vocabulary community.
+    pub fn val_community(&self, i: usize) -> u16 {
+        debug_assert!(i < self.num_communities);
+        (self.num_prefixes + i) as u16
+    }
+
+    /// The `Val` variant for the i-th vocabulary router.
+    pub fn val_router(&self, i: usize) -> u16 {
+        (self.num_prefixes + self.num_communities + i) as u16
+    }
+
+    /// Decode a `Val` variant index back into vocabulary coordinates.
+    pub fn classify_val(&self, variant: u16) -> ValKind {
+        let v = variant as usize;
+        if v < self.num_prefixes {
+            ValKind::Prefix(v)
+        } else if v < self.num_prefixes + self.num_communities {
+            ValKind::Community(v - self.num_prefixes)
+        } else {
+            ValKind::Router(v - self.num_prefixes - self.num_communities)
+        }
+    }
+
+    /// The action constant as a term.
+    pub fn action_const(&self, ctx: &mut Ctx, a: Action) -> TermId {
+        let idx = match a {
+            Action::Permit => 0,
+            Action::Deny => 1,
+        };
+        ctx.enum_const(self.action, idx)
+    }
+}
+
+/// Decoded coordinate of a `Val` variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValKind {
+    /// Index into [`Vocabulary::prefixes`].
+    Prefix(usize),
+    /// Index into [`Vocabulary::communities`].
+    Community(usize),
+    /// Index into [`Vocabulary::routers`].
+    Router(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_topology::builders::paper_topology;
+
+    fn vocab() -> (netexpl_topology::Topology, Vocabulary) {
+        let (topo, _) = paper_topology();
+        let v = Vocabulary::new(
+            &topo,
+            vec![Community(100, 2), Community(100, 1), Community(100, 2)],
+            vec![200, 50],
+            vec!["200.7.0.0/16".parse().unwrap()],
+        );
+        (topo, v)
+    }
+
+    #[test]
+    fn vocabulary_normalizes() {
+        let (_, v) = vocab();
+        assert_eq!(v.communities, vec![Community(100, 1), Community(100, 2)]);
+        assert_eq!(v.local_prefs, vec![50, 100, 200], "default lp injected");
+        assert_eq!(v.routers.len(), 6);
+        assert_eq!(v.prefixes.len(), 1);
+        let (lo, hi) = v.lp_bounds();
+        assert!(lo <= 0 && hi >= 200);
+    }
+
+    #[test]
+    fn sorts_and_val_indexing() {
+        let (_, v) = vocab();
+        let mut ctx = Ctx::new();
+        let s = v.sorts(&mut ctx);
+        // Val layout: 1 prefix, 2 communities, 6 routers.
+        assert_eq!(s.val_prefix(0), 0);
+        assert_eq!(s.val_community(0), 1);
+        assert_eq!(s.val_community(1), 2);
+        assert_eq!(s.val_router(0), 3);
+        assert_eq!(s.classify_val(0), ValKind::Prefix(0));
+        assert_eq!(s.classify_val(2), ValKind::Community(1));
+        assert_eq!(s.classify_val(5), ValKind::Router(2));
+        assert_eq!(ctx.enum_decl(s.val).variants.len(), 9);
+        assert_eq!(ctx.enum_decl(s.attr).variants, vec!["Prefix", "Community", "NextHop"]);
+    }
+
+    #[test]
+    fn action_constants() {
+        let (_, v) = vocab();
+        let mut ctx = Ctx::new();
+        let s = v.sorts(&mut ctx);
+        let p = s.action_const(&mut ctx, Action::Permit);
+        let d = s.action_const(&mut ctx, Action::Deny);
+        assert_ne!(p, d);
+        assert_eq!(format!("{}", ctx.display(d)), "Action::deny");
+    }
+}

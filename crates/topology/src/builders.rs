@@ -1,0 +1,299 @@
+//! Topology builders: the paper's Figure 1b network and parameterized
+//! generators for the scalability experiments.
+
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{AsNum, RouterId, RouterKind, Topology};
+
+/// Handles to the routers of the paper topology, for convenient test access.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTopology {
+    /// Provider 1 (external, AS500). `R1` peers with it.
+    pub p1: RouterId,
+    /// Provider 2 (external, AS600). `R2` peers with it.
+    pub p2: RouterId,
+    /// Internal router peering with Provider 1.
+    pub r1: RouterId,
+    /// Internal router peering with Provider 2.
+    pub r2: RouterId,
+    /// Internal router connecting the customer to R1 and R2.
+    pub r3: RouterId,
+    /// The customer edge (external, AS700).
+    pub customer: RouterId,
+}
+
+/// The six-router network of the paper's Figure 1b: a customer AS dual-homed
+/// through R1/R2 to two provider ASes, with R3 aggregating the customer.
+///
+/// ```text
+///   P1 (AS500)      P2 (AS600)
+///    |                |
+///    R1 ---------- R2          } AS100 (internal)
+///      \          /
+///       \        /
+///          R3
+///           |
+///       Customer (AS700)
+/// ```
+pub fn paper_topology() -> (Topology, PaperTopology) {
+    let mut t = Topology::new();
+    let p1 = t.add_router("P1", AsNum(500), RouterKind::External);
+    let p2 = t.add_router("P2", AsNum(600), RouterKind::External);
+    let r1 = t.add_router("R1", AsNum(100), RouterKind::Internal);
+    let r2 = t.add_router("R2", AsNum(100), RouterKind::Internal);
+    let r3 = t.add_router("R3", AsNum(100), RouterKind::Internal);
+    let customer = t.add_router("Customer", AsNum(700), RouterKind::External);
+    t.add_link(p1, r1);
+    t.add_link(p2, r2);
+    t.add_link(r1, r2);
+    t.add_link(r1, r3);
+    t.add_link(r2, r3);
+    t.add_link(r3, customer);
+    (t, PaperTopology { p1, p2, r1, r2, r3, customer })
+}
+
+/// A line of `n` internal routers with an external provider attached at each
+/// end: `Pa - R0 - R1 - … - R(n-1) - Pb`. The canonical scalability
+/// workload: the no-transit requirement between `Pa` and `Pb` forces policy
+/// on every router along the line.
+pub fn line(n: usize) -> Topology {
+    assert!(n >= 1);
+    let mut t = Topology::new();
+    let pa = t.add_router("Pa", AsNum(500), RouterKind::External);
+    let routers: Vec<RouterId> = (0..n)
+        .map(|i| t.add_router(&format!("R{i}"), AsNum(100), RouterKind::Internal))
+        .collect();
+    let pb = t.add_router("Pb", AsNum(600), RouterKind::External);
+    t.add_link(pa, routers[0]);
+    for w in routers.windows(2) {
+        t.add_link(w[0], w[1]);
+    }
+    t.add_link(routers[n - 1], pb);
+    t
+}
+
+/// A ring of `n ≥ 3` internal routers with two external providers attached
+/// to opposite sides. Gives every destination two disjoint internal paths.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 3);
+    let mut t = Topology::new();
+    let pa = t.add_router("Pa", AsNum(500), RouterKind::External);
+    let routers: Vec<RouterId> = (0..n)
+        .map(|i| t.add_router(&format!("R{i}"), AsNum(100), RouterKind::Internal))
+        .collect();
+    let pb = t.add_router("Pb", AsNum(600), RouterKind::External);
+    for i in 0..n {
+        t.add_link(routers[i], routers[(i + 1) % n]);
+    }
+    t.add_link(pa, routers[0]);
+    t.add_link(pb, routers[n / 2]);
+    t
+}
+
+/// A star: one internal hub, `n` internal spokes, and an external provider
+/// hanging off each of the first two spokes.
+pub fn star(n: usize) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new();
+    let hub = t.add_router("Hub", AsNum(100), RouterKind::Internal);
+    let spokes: Vec<RouterId> = (0..n)
+        .map(|i| t.add_router(&format!("S{i}"), AsNum(100), RouterKind::Internal))
+        .collect();
+    for &s in &spokes {
+        t.add_link(hub, s);
+    }
+    let pa = t.add_router("Pa", AsNum(500), RouterKind::External);
+    let pb = t.add_router("Pb", AsNum(600), RouterKind::External);
+    t.add_link(pa, spokes[0]);
+    t.add_link(pb, spokes[1]);
+    t
+}
+
+/// An `rows × cols` grid of internal routers with providers attached to two
+/// opposite corners. Many equal-length alternative paths — the stress case
+/// for path enumeration.
+pub fn grid(rows: usize, cols: usize) -> Topology {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let mut t = Topology::new();
+    let mut ids = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            ids.push(t.add_router(&format!("G{r}x{c}"), AsNum(100), RouterKind::Internal));
+        }
+    }
+    let at = |r: usize, c: usize| ids[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                t.add_link(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                t.add_link(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    let pa = t.add_router("Pa", AsNum(500), RouterKind::External);
+    let pb = t.add_router("Pb", AsNum(600), RouterKind::External);
+    t.add_link(pa, at(0, 0));
+    t.add_link(pb, at(rows - 1, cols - 1));
+    t
+}
+
+/// A two-tier leaf/spine Clos fabric: `spines` spine routers each connected
+/// to every one of `leaves` leaf routers; a provider on the first and last
+/// leaf. The canonical data-center shape.
+pub fn clos(spines: usize, leaves: usize) -> Topology {
+    assert!(spines >= 1 && leaves >= 2);
+    let mut t = Topology::new();
+    let spine_ids: Vec<RouterId> = (0..spines)
+        .map(|i| t.add_router(&format!("S{i}"), AsNum(100), RouterKind::Internal))
+        .collect();
+    let leaf_ids: Vec<RouterId> = (0..leaves)
+        .map(|i| t.add_router(&format!("L{i}"), AsNum(100), RouterKind::Internal))
+        .collect();
+    for &s in &spine_ids {
+        for &l in &leaf_ids {
+            t.add_link(s, l);
+        }
+    }
+    let pa = t.add_router("Pa", AsNum(500), RouterKind::External);
+    let pb = t.add_router("Pb", AsNum(600), RouterKind::External);
+    t.add_link(pa, leaf_ids[0]);
+    t.add_link(pb, leaf_ids[leaves - 1]);
+    t
+}
+
+/// Erdős–Rényi G(n, p) over internal routers, re-sampled until connected,
+/// with two external providers attached to routers 0 and n-1.
+/// Deterministic for a given seed.
+pub fn random_gnp(n: usize, p: f64, seed: u64) -> Topology {
+    assert!(n >= 2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    loop {
+        let mut t = Topology::new();
+        let routers: Vec<RouterId> = (0..n)
+            .map(|i| t.add_router(&format!("R{i}"), AsNum(100), RouterKind::Internal))
+            .collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(p) {
+                    t.add_link(routers[i], routers[j]);
+                }
+            }
+        }
+        if !t.is_connected() {
+            continue;
+        }
+        let pa = t.add_router("Pa", AsNum(500), RouterKind::External);
+        let pb = t.add_router("Pb", AsNum(600), RouterKind::External);
+        t.add_link(pa, routers[0]);
+        t.add_link(pb, routers[n - 1]);
+        return t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::all_simple_paths;
+
+    #[test]
+    fn paper_topology_matches_figure_1b() {
+        let (t, h) = paper_topology();
+        assert_eq!(t.num_routers(), 6);
+        assert_eq!(t.links().len(), 6);
+        assert!(t.adjacent(h.p1, h.r1));
+        assert!(t.adjacent(h.p2, h.r2));
+        assert!(t.adjacent(h.r1, h.r2));
+        assert!(t.adjacent(h.r1, h.r3));
+        assert!(t.adjacent(h.r2, h.r3));
+        assert!(t.adjacent(h.r3, h.customer));
+        assert!(!t.adjacent(h.p1, h.p2));
+        assert!(!t.adjacent(h.customer, h.r1));
+        assert!(t.is_connected());
+        assert_eq!(t.internal_routers().count(), 3);
+        assert_eq!(t.external_routers().count(), 3);
+    }
+
+    #[test]
+    fn paper_topology_has_expected_transit_paths() {
+        // The no-transit requirement forbids P1→…→P2; there are exactly two
+        // simple router paths between the providers (via R1-R2 directly and
+        // via R1-R3-R2).
+        let (t, h) = paper_topology();
+        let paths = all_simple_paths(&t, h.p1, h.p2, usize::MAX);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn paper_topology_customer_to_p1_paths() {
+        // Figure 3/4: Customer reaches P1 via R3→R1 or via R3→R2→R1.
+        let (t, h) = paper_topology();
+        let paths = all_simple_paths(&t, h.customer, h.p1, usize::MAX);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn line_shape() {
+        let t = line(5);
+        assert_eq!(t.num_routers(), 7);
+        assert_eq!(t.links().len(), 6);
+        assert!(t.is_connected());
+        let pa = t.router_by_name("Pa").unwrap();
+        let pb = t.router_by_name("Pb").unwrap();
+        assert_eq!(all_simple_paths(&t, pa, pb, usize::MAX).len(), 1);
+    }
+
+    #[test]
+    fn ring_has_two_provider_paths() {
+        let t = ring(6);
+        let pa = t.router_by_name("Pa").unwrap();
+        let pb = t.router_by_name("Pb").unwrap();
+        assert_eq!(all_simple_paths(&t, pa, pb, usize::MAX).len(), 2);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(4);
+        let hub = t.router_by_name("Hub").unwrap();
+        assert_eq!(t.neighbors(hub).len(), 4);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = grid(2, 3);
+        assert_eq!(t.num_routers(), 8, "6 internal + 2 providers");
+        // Grid links: 2*(3-1) horizontal + 3*(2-1) vertical = 7, + 2 provider.
+        assert_eq!(t.links().len(), 9);
+        assert!(t.is_connected());
+        let pa = t.router_by_name("Pa").unwrap();
+        let pb = t.router_by_name("Pb").unwrap();
+        // Corner-to-corner: several alternative paths exist.
+        assert!(all_simple_paths(&t, pa, pb, usize::MAX).len() >= 3);
+    }
+
+    #[test]
+    fn clos_shape() {
+        let t = clos(2, 3);
+        assert_eq!(t.num_routers(), 7, "2 spines + 3 leaves + 2 providers");
+        assert_eq!(t.links().len(), 2 * 3 + 2);
+        assert!(t.is_connected());
+        let l0 = t.router_by_name("L0").unwrap();
+        let s0 = t.router_by_name("S0").unwrap();
+        let s1 = t.router_by_name("S1").unwrap();
+        assert!(t.adjacent(l0, s0) && t.adjacent(l0, s1));
+        let l1 = t.router_by_name("L1").unwrap();
+        assert!(!t.adjacent(l0, l1), "leaves never peer directly");
+    }
+
+    #[test]
+    fn random_gnp_is_deterministic_and_connected() {
+        let a = random_gnp(8, 0.4, 7);
+        let b = random_gnp(8, 0.4, 7);
+        assert_eq!(a.links(), b.links());
+        assert!(a.is_connected());
+        assert_eq!(a.num_routers(), 10, "8 internal + 2 providers");
+    }
+}

@@ -1,0 +1,283 @@
+//! Routers, autonomous systems, links, and the topology graph.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a router within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouterId(pub u32);
+
+/// An autonomous-system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsNum(pub u32);
+
+impl fmt::Display for AsNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Role of a router relative to the network under synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterKind {
+    /// A router whose configuration we synthesize and explain.
+    Internal,
+    /// An external neighbor (provider, peer, or customer edge) whose
+    /// behavior is an environment assumption, not a synthesis target.
+    External,
+}
+
+/// A router in the topology.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// Display name, unique within the topology.
+    pub name: String,
+    /// The AS this router belongs to.
+    pub as_num: AsNum,
+    /// Internal (synthesized) or external (environment).
+    pub kind: RouterKind,
+}
+
+/// An undirected link between two routers (stored with `a < b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Lower endpoint id.
+    pub a: RouterId,
+    /// Higher endpoint id.
+    pub b: RouterId,
+}
+
+impl Link {
+    /// Canonical link between two distinct routers.
+    pub fn new(x: RouterId, y: RouterId) -> Link {
+        assert_ne!(x, y, "self-links are not allowed");
+        if x < y {
+            Link { a: x, b: y }
+        } else {
+            Link { a: y, b: x }
+        }
+    }
+
+    /// The other endpoint, if `r` is an endpoint.
+    pub fn other(&self, r: RouterId) -> Option<RouterId> {
+        if r == self.a {
+            Some(self.b)
+        } else if r == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// The network topology: a simple undirected graph of routers.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    routers: Vec<Router>,
+    by_name: HashMap<String, RouterId>,
+    links: Vec<Link>,
+    adjacency: Vec<Vec<RouterId>>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a router; the name must be unique.
+    pub fn add_router(&mut self, name: &str, as_num: AsNum, kind: RouterKind) -> RouterId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate router name `{name}`"
+        );
+        let id = RouterId(self.routers.len() as u32);
+        self.routers.push(Router { name: name.to_string(), as_num, kind });
+        self.by_name.insert(name.to_string(), id);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Add an undirected link; duplicate links are ignored.
+    pub fn add_link(&mut self, x: RouterId, y: RouterId) {
+        let link = Link::new(x, y);
+        if self.links.contains(&link) {
+            return;
+        }
+        self.links.push(link);
+        self.adjacency[x.0 as usize].push(y);
+        self.adjacency[y.0 as usize].push(x);
+    }
+
+    /// Router metadata.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.0 as usize]
+    }
+
+    /// Look up a router by name.
+    pub fn router_by_name(&self, name: &str) -> Option<RouterId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Router name (panics on unknown id).
+    pub fn name(&self, id: RouterId) -> &str {
+        &self.router(id).name
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// All router ids.
+    pub fn router_ids(&self) -> impl Iterator<Item = RouterId> {
+        (0..self.routers.len() as u32).map(RouterId)
+    }
+
+    /// Internal routers only (the synthesis targets).
+    pub fn internal_routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.router_ids()
+            .filter(|&r| self.router(r).kind == RouterKind::Internal)
+    }
+
+    /// External routers only (environment).
+    pub fn external_routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.router_ids()
+            .filter(|&r| self.router(r).kind == RouterKind::External)
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Neighbors of a router, in insertion order.
+    pub fn neighbors(&self, r: RouterId) -> &[RouterId] {
+        &self.adjacency[r.0 as usize]
+    }
+
+    /// Are two routers directly linked?
+    pub fn adjacent(&self, x: RouterId, y: RouterId) -> bool {
+        self.adjacency[x.0 as usize].contains(&y)
+    }
+
+    /// True if every router can reach every other (ignoring link direction).
+    pub fn is_connected(&self) -> bool {
+        if self.routers.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.routers.len()];
+        let mut stack = vec![RouterId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(r) = stack.pop() {
+            for &n in self.neighbors(r) {
+                if !seen[n.0 as usize] {
+                    seen[n.0 as usize] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        count == self.routers.len()
+    }
+
+    /// eBGP sessions: links whose endpoints are in different ASes.
+    pub fn ebgp_sessions(&self) -> Vec<Link> {
+        self.links
+            .iter()
+            .copied()
+            .filter(|l| self.router(l.a).as_num != self.router(l.b).as_num)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Topology, RouterId, RouterId, RouterId) {
+        let mut t = Topology::new();
+        let a = t.add_router("A", AsNum(100), RouterKind::Internal);
+        let b = t.add_router("B", AsNum(100), RouterKind::Internal);
+        let c = t.add_router("C", AsNum(200), RouterKind::External);
+        t.add_link(a, b);
+        t.add_link(b, c);
+        t.add_link(a, c);
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn router_lookup() {
+        let (t, a, _, c) = triangle();
+        assert_eq!(t.router_by_name("A"), Some(a));
+        assert_eq!(t.router_by_name("C"), Some(c));
+        assert_eq!(t.router_by_name("Z"), None);
+        assert_eq!(t.name(a), "A");
+        assert_eq!(t.num_routers(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate router name")]
+    fn duplicate_names_rejected() {
+        let mut t = Topology::new();
+        t.add_router("A", AsNum(1), RouterKind::Internal);
+        t.add_router("A", AsNum(2), RouterKind::Internal);
+    }
+
+    #[test]
+    fn links_are_canonical_and_deduped() {
+        let (t, a, b, _) = triangle();
+        let mut t2 = t.clone();
+        t2.add_link(b, a); // duplicate in reverse orientation
+        assert_eq!(t2.links().len(), 3);
+        assert_eq!(Link::new(b, a), Link::new(a, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_rejected() {
+        let (mut t, a, _, _) = triangle();
+        t.add_link(a, a);
+    }
+
+    #[test]
+    fn adjacency_and_other() {
+        let (t, a, b, c) = triangle();
+        assert!(t.adjacent(a, b) && t.adjacent(b, a));
+        let l = Link::new(a, c);
+        assert_eq!(l.other(a), Some(c));
+        assert_eq!(l.other(c), Some(a));
+        assert_eq!(l.other(b), None);
+    }
+
+    #[test]
+    fn internal_external_partition() {
+        let (t, a, b, c) = triangle();
+        let internal: Vec<_> = t.internal_routers().collect();
+        let external: Vec<_> = t.external_routers().collect();
+        assert_eq!(internal, vec![a, b]);
+        assert_eq!(external, vec![c]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let (t, ..) = triangle();
+        assert!(t.is_connected());
+        let mut t2 = Topology::new();
+        t2.add_router("X", AsNum(1), RouterKind::Internal);
+        t2.add_router("Y", AsNum(1), RouterKind::Internal);
+        assert!(!t2.is_connected());
+        assert!(Topology::new().is_connected(), "empty topology is trivially connected");
+    }
+
+    #[test]
+    fn ebgp_sessions_cross_as_only() {
+        let (t, a, b, c) = triangle();
+        let sessions = t.ebgp_sessions();
+        assert_eq!(sessions.len(), 2);
+        assert!(sessions.contains(&Link::new(b, c)));
+        assert!(sessions.contains(&Link::new(a, c)));
+        assert!(!sessions.contains(&Link::new(a, b)));
+    }
+}

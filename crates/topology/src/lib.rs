@@ -1,0 +1,22 @@
+//! # netexpl-topology
+//!
+//! Network topology model for the `netexpl` workspace: routers grouped into
+//! autonomous systems, bidirectional links, IPv4 prefixes, and router-level
+//! paths. The model is control-plane-oriented — it carries exactly the
+//! structure the NetComplete-style synthesizer and the explanation pipeline
+//! need (who peers with whom, which routers are external, which prefixes
+//! exist) and nothing data-plane specific.
+//!
+//! The crate also ships topology builders: [`builders::paper_topology`]
+//! reconstructs the six-node network of the paper's Figure 1b, and the
+//! parameterized generators (`line`, `ring`, `star`, `random_gnp`) drive
+//! the scalability experiments (E3/E6 in DESIGN.md).
+
+pub mod builders;
+pub mod graph;
+pub mod path;
+pub mod prefix;
+
+pub use graph::{AsNum, Link, Router, RouterId, RouterKind, Topology};
+pub use path::Path;
+pub use prefix::Prefix;

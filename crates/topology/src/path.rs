@@ -1,0 +1,254 @@
+//! Router-level paths.
+//!
+//! The specification language speaks about paths (`C -> R3 -> R1 -> P1`),
+//! so paths are first-class: a non-empty sequence of distinct routers with
+//! validity defined against a topology. Path enumeration (all simple paths
+//! between two routers) supports both the synthesizer's encoding and the
+//! explanation lifter's candidate generation.
+
+use std::fmt;
+
+use crate::graph::{RouterId, Topology};
+
+/// A simple path: a non-empty sequence of distinct routers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    hops: Vec<RouterId>,
+}
+
+impl Path {
+    /// Build a path; panics if empty or if a router repeats.
+    pub fn new(hops: Vec<RouterId>) -> Path {
+        assert!(!hops.is_empty(), "a path needs at least one hop");
+        let mut seen = std::collections::HashSet::new();
+        for h in &hops {
+            assert!(seen.insert(*h), "path repeats a router");
+        }
+        Path { hops }
+    }
+
+    /// The hops, first to last.
+    pub fn hops(&self) -> &[RouterId] {
+        &self.hops
+    }
+
+    /// First router.
+    pub fn first(&self) -> RouterId {
+        self.hops[0]
+    }
+
+    /// Last router.
+    pub fn last(&self) -> RouterId {
+        *self.hops.last().unwrap()
+    }
+
+    /// Number of hops (routers, not edges).
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True for a single-router path.
+    pub fn is_empty(&self) -> bool {
+        false // a Path is never empty by construction
+    }
+
+    /// Does the path visit this router?
+    pub fn contains(&self, r: RouterId) -> bool {
+        self.hops.contains(&r)
+    }
+
+    /// Consecutive (from, to) pairs along the path.
+    pub fn edges(&self) -> impl Iterator<Item = (RouterId, RouterId)> + '_ {
+        self.hops.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Every consecutive pair is adjacent in the topology.
+    pub fn is_valid_in(&self, topo: &Topology) -> bool {
+        self.edges().all(|(a, b)| topo.adjacent(a, b))
+    }
+
+    /// Is `other` a contiguous subsequence of this path?
+    pub fn contains_subpath(&self, other: &Path) -> bool {
+        if other.hops.len() > self.hops.len() {
+            return false;
+        }
+        self.hops
+            .windows(other.hops.len())
+            .any(|w| w == other.hops.as_slice())
+    }
+
+    /// The reversed path.
+    #[must_use]
+    pub fn reversed(&self) -> Path {
+        let mut hops = self.hops.clone();
+        hops.reverse();
+        Path { hops }
+    }
+
+    /// Render with router names from a topology.
+    pub fn display<'a>(&'a self, topo: &'a Topology) -> PathDisplay<'a> {
+        PathDisplay { path: self, topo }
+    }
+}
+
+/// Display adapter produced by [`Path::display`].
+pub struct PathDisplay<'a> {
+    path: &'a Path,
+    topo: &'a Topology,
+}
+
+impl fmt::Display for PathDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &h) in self.path.hops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{}", self.topo.name(h))?;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerate all simple paths from `src` to `dst`, in lexicographic hop
+/// order, up to `max_len` hops (routers). `max_len = usize::MAX` enumerates
+/// everything; the search is exponential in the worst case, which is fine at
+/// the topology sizes the synthesizer encodes.
+pub fn all_simple_paths(
+    topo: &Topology,
+    src: RouterId,
+    dst: RouterId,
+    max_len: usize,
+) -> Vec<Path> {
+    let mut out = Vec::new();
+    if max_len == 0 {
+        return out;
+    }
+    let mut current = vec![src];
+    let mut on_path = vec![false; topo.num_routers()];
+    on_path[src.0 as usize] = true;
+    dfs(topo, dst, max_len, &mut current, &mut on_path, &mut out);
+    out
+}
+
+fn dfs(
+    topo: &Topology,
+    dst: RouterId,
+    max_len: usize,
+    current: &mut Vec<RouterId>,
+    on_path: &mut Vec<bool>,
+    out: &mut Vec<Path>,
+) {
+    let last = *current.last().unwrap();
+    if last == dst {
+        out.push(Path::new(current.clone()));
+        return;
+    }
+    if current.len() == max_len {
+        return;
+    }
+    let mut nexts: Vec<RouterId> = topo.neighbors(last).to_vec();
+    nexts.sort_unstable();
+    for n in nexts {
+        if on_path[n.0 as usize] {
+            continue;
+        }
+        on_path[n.0 as usize] = true;
+        current.push(n);
+        dfs(topo, dst, max_len, current, on_path, out);
+        current.pop();
+        on_path[n.0 as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AsNum, RouterKind};
+
+    fn square() -> (Topology, [RouterId; 4]) {
+        // A - B
+        // |   |
+        // D - C
+        let mut t = Topology::new();
+        let a = t.add_router("A", AsNum(1), RouterKind::Internal);
+        let b = t.add_router("B", AsNum(1), RouterKind::Internal);
+        let c = t.add_router("C", AsNum(1), RouterKind::Internal);
+        let d = t.add_router("D", AsNum(1), RouterKind::Internal);
+        t.add_link(a, b);
+        t.add_link(b, c);
+        t.add_link(c, d);
+        t.add_link(d, a);
+        (t, [a, b, c, d])
+    }
+
+    #[test]
+    fn path_basics() {
+        let (_, [a, b, c, _]) = square();
+        let p = Path::new(vec![a, b, c]);
+        assert_eq!(p.first(), a);
+        assert_eq!(p.last(), c);
+        assert_eq!(p.len(), 3);
+        assert!(p.contains(b));
+        assert_eq!(p.edges().collect::<Vec<_>>(), vec![(a, b), (b, c)]);
+        assert_eq!(p.reversed().hops(), &[c, b, a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats a router")]
+    fn repeated_router_rejected() {
+        let (_, [a, b, _, _]) = square();
+        Path::new(vec![a, b, a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_path_rejected() {
+        Path::new(vec![]);
+    }
+
+    #[test]
+    fn validity_against_topology() {
+        let (t, [a, b, c, _]) = square();
+        assert!(Path::new(vec![a, b, c]).is_valid_in(&t));
+        assert!(!Path::new(vec![a, c]).is_valid_in(&t), "no diagonal link");
+        assert!(Path::new(vec![a]).is_valid_in(&t), "single hop trivially valid");
+    }
+
+    #[test]
+    fn subpath_containment() {
+        let (_, [a, b, c, d]) = square();
+        let p = Path::new(vec![a, b, c, d]);
+        assert!(p.contains_subpath(&Path::new(vec![b, c])));
+        assert!(p.contains_subpath(&Path::new(vec![a, b, c, d])));
+        assert!(!p.contains_subpath(&Path::new(vec![c, b])), "direction matters");
+        assert!(!p.contains_subpath(&Path::new(vec![a, c])), "must be contiguous");
+    }
+
+    #[test]
+    fn enumerate_simple_paths_in_square() {
+        let (t, [a, _, c, _]) = square();
+        let paths = all_simple_paths(&t, a, c, usize::MAX);
+        assert_eq!(paths.len(), 2, "two ways around the square");
+        for p in &paths {
+            assert!(p.is_valid_in(&t));
+            assert_eq!(p.first(), a);
+            assert_eq!(p.last(), c);
+        }
+    }
+
+    #[test]
+    fn enumerate_respects_max_len() {
+        let (t, [a, _, c, _]) = square();
+        assert!(all_simple_paths(&t, a, c, 2).is_empty(), "c is 2 edges away");
+        assert_eq!(all_simple_paths(&t, a, c, 3).len(), 2);
+        assert_eq!(all_simple_paths(&t, a, a, 5).len(), 1, "trivial self path");
+        assert!(all_simple_paths(&t, a, c, 0).is_empty());
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let (t, [a, b, _, _]) = square();
+        let p = Path::new(vec![a, b]);
+        assert_eq!(p.display(&t).to_string(), "A -> B");
+    }
+}

@@ -1,0 +1,194 @@
+//! IPv4 prefixes.
+//!
+//! The synthesizer emits `ip prefix-list` lines and matches destination
+//! prefixes, so the workspace needs a small, exact prefix type with parsing,
+//! containment, and canonical display. Only IPv4 is modelled — the paper's
+//! examples (`128.0.1.0/24`, `123.0.1.0/20`) are all IPv4.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 prefix in canonical form (host bits zeroed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    /// Network address with host bits cleared.
+    addr: u32,
+    /// Prefix length, 0..=32.
+    len: u8,
+}
+
+/// Error parsing a prefix from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError(pub String);
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl Prefix {
+    /// Build a prefix from a network address and length; host bits are
+    /// cleared to canonicalize.
+    pub fn new(addr: u32, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Prefix { addr: addr & Self::mask(len), len }
+    }
+
+    /// Build from dotted-quad octets and a length.
+    pub fn from_octets(a: u8, b: u8, c: u8, d: u8, len: u8) -> Prefix {
+        Prefix::new(u32::from_be_bytes([a, b, c, d]), len)
+    }
+
+    /// The network address (host bits zero).
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length prefix (same as [`Prefix::is_default`]) —
+    /// provided alongside `len` for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True for the zero-length default route `0.0.0.0/0`.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Does this prefix contain (or equal) `other`? A shorter prefix
+    /// contains a longer one when their network bits agree.
+    pub fn contains(&self, other: &Prefix) -> bool {
+        self.len <= other.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// Does an individual address fall inside this prefix?
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        (addr & Self::mask(self.len)) == self.addr
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.addr.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}/{}", self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePrefixError(s.to_string());
+        let (ip, len) = s.split_once('/').ok_or_else(err)?;
+        let len: u8 = len.parse().map_err(|_| err())?;
+        if len > 32 {
+            return Err(err());
+        }
+        let mut octets = [0u8; 4];
+        let mut n = 0;
+        for part in ip.split('.') {
+            if n >= 4 {
+                return Err(err());
+            }
+            octets[n] = part.parse().map_err(|_| err())?;
+            n += 1;
+        }
+        if n != 4 {
+            return Err(err());
+        }
+        Ok(Prefix::new(u32::from_be_bytes(octets), len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["128.0.1.0/24", "123.0.16.0/20", "0.0.0.0/0", "10.0.0.1/32"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        // The paper's customer prefix `123.0.1.0/20` is written with host
+        // bits set; it canonicalizes to the /20 network address.
+        let paper: Prefix = "123.0.1.0/20".parse().unwrap();
+        assert_eq!(paper.to_string(), "123.0.0.0/20");
+    }
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        let p: Prefix = "10.1.2.3/24".parse().unwrap();
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+        assert_eq!(p, Prefix::from_octets(10, 1, 2, 99, 24));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["10.0.0.0", "10.0.0.0/33", "10.0.0/8", "a.b.c.d/8", "10.0.0.0.0/8", "300.0.0.0/8"] {
+            assert!(s.parse::<Prefix>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn containment() {
+        let wide: Prefix = "10.0.0.0/8".parse().unwrap();
+        let narrow: Prefix = "10.1.0.0/16".parse().unwrap();
+        let other: Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(wide.contains(&narrow));
+        assert!(!narrow.contains(&wide));
+        assert!(wide.contains(&wide));
+        assert!(!wide.contains(&other));
+        let default: Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(default.contains(&wide) && default.contains(&other));
+        assert!(default.is_default());
+    }
+
+    #[test]
+    fn contains_addr() {
+        let p: Prefix = "192.168.1.0/24".parse().unwrap();
+        assert!(p.contains_addr(u32::from_be_bytes([192, 168, 1, 200])));
+        assert!(!p.contains_addr(u32::from_be_bytes([192, 168, 2, 1])));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip(addr: u32, len in 0u8..=32) {
+                let p = Prefix::new(addr, len);
+                let q: Prefix = p.to_string().parse().unwrap();
+                prop_assert_eq!(p, q);
+            }
+
+            #[test]
+            fn containment_is_transitive(addr: u32, l1 in 0u8..=32, l2 in 0u8..=32, l3 in 0u8..=32) {
+                let mut ls = [l1, l2, l3];
+                ls.sort_unstable();
+                let a = Prefix::new(addr, ls[0]);
+                let b = Prefix::new(addr, ls[1]);
+                let c = Prefix::new(addr, ls[2]);
+                prop_assert!(a.contains(&b) && b.contains(&c));
+                prop_assert!(a.contains(&c));
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Environment assumptions (paper §5, "High-level summary of the global
+//! behaviors"): the dual of a subspecification.
+//!
+//! "When inspecting the local subspecification for router R1, which denies
+//! routes with community 100:2 from R1 to P1, it is essential to ensure a
+//! route is tagged with community 100:2 if received from P2."
+//!
+//! This example builds exactly that configuration, explains R1 (the
+//! subspecification view), then inverts the question: given R1's concrete
+//! configuration, what must the *rest* of the network keep doing?
+//!
+//! ```sh
+//! cargo run --example environment_assumptions
+//! ```
+
+use netexpl_bgp::{Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause};
+use netexpl_core::symbolize::Dir;
+use netexpl_core::{environment_assumptions, explain, ExplainOptions, Selector};
+use netexpl_logic::term::Ctx;
+use netexpl_synth::vocab::Vocabulary;
+use netexpl_topology::builders::paper_topology;
+use netexpl_topology::Prefix;
+
+fn main() {
+    let (topo, h) = paper_topology();
+    let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+    let tag = Community(100, 2);
+
+    let mut net = NetworkConfig::new();
+    net.originate(h.p2, d2);
+    // R2 tags everything learned from P2 with 100:2.
+    net.router_mut(h.r2).set_import(
+        h.p2,
+        RouteMap::new(
+            "R2_from_P2",
+            vec![RouteMapEntry {
+                seq: 10,
+                action: Action::Permit,
+                matches: vec![],
+                sets: vec![SetClause::AddCommunity(tag)],
+            }],
+        ),
+    );
+    // R1 filters the tag toward P1 — the paper's §5 example configuration.
+    net.router_mut(h.r1).set_export(
+        h.p1,
+        RouteMap::new(
+            "R1_to_P1",
+            vec![
+                RouteMapEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    matches: vec![MatchClause::Community(tag)],
+                    sets: vec![],
+                },
+                RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+            ],
+        ),
+    );
+    let spec = netexpl_spec::parse("Req1 { !(P2 -> ... -> P1) }").unwrap();
+    let vocab = Vocabulary::new(&topo, vec![tag], vec![100], net.prefixes());
+
+    println!("== Configuration ==");
+    print!("{}", net.render(&topo));
+
+    // The subspecification view: what must R1 do?
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let expl = explain(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &spec,
+        h.r1,
+        &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    println!("\n== Subspecification view: what must R1 do? ==");
+    println!("{expl}");
+
+    // The dual view: given R1's configuration, what must everyone else do?
+    let mut ctx2 = Ctx::new();
+    let sorts2 = vocab.sorts(&mut ctx2);
+    let env = environment_assumptions(
+        &mut ctx2,
+        &topo,
+        &vocab,
+        sorts2,
+        &net,
+        &spec,
+        h.r1,
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    println!("\n== Environment view: what must the rest of the network do for R1? ==");
+    println!("{env}");
+    println!(
+        "=> R1's community filter is only sound while R2 keeps tagging P2\n\
+         routes — the assumption the paper says modular explanations must\n\
+         surface."
+    );
+}

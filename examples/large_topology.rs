@@ -1,0 +1,84 @@
+//! Scaling beyond the paper: synthesis and explanation on parameterized
+//! topologies — the experiment the paper's §4 leaves as "untested" future
+//! work (our E3).
+//!
+//! ```sh
+//! cargo run --release --example large_topology
+//! ```
+
+use std::time::Instant;
+
+use netexpl_bgp::NetworkConfig;
+use netexpl_core::symbolize::Dir;
+use netexpl_core::{explain, ExplainOptions, Selector};
+use netexpl_logic::term::Ctx;
+use netexpl_synth::sketch::HoleFactory;
+use netexpl_synth::synthesize::{default_sketch, synthesize, SynthOptions};
+use netexpl_synth::vocab::Vocabulary;
+use netexpl_topology::builders::ring;
+use netexpl_topology::Prefix;
+
+fn main() {
+    let d1: Prefix = "200.7.0.0/16".parse().unwrap();
+    let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+    println!("ring size | routers | holes | constraints | synth ms | explain ms | seed size | simplified");
+    for n in [4usize, 6, 8, 10] {
+        let topo = ring(n);
+        let pa = topo.router_by_name("Pa").unwrap();
+        let pb = topo.router_by_name("Pb").unwrap();
+        let r0 = topo.router_by_name("R0").unwrap();
+        let mut base = NetworkConfig::new();
+        base.originate(pa, d1);
+        base.originate(pb, d2);
+        let spec = netexpl_spec::parse(
+            "dest D1 = 200.7.0.0/16\n\
+             dest D2 = 201.0.0.0/16\n\
+             Req1 {\n  !(Pa -> ... -> Pb)\n  !(Pb -> ... -> Pa)\n}",
+        )
+        .unwrap();
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], vec![d1, d2]);
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let factory = HoleFactory::new(&vocab, sorts);
+        let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
+
+        let t0 = Instant::now();
+        let result =
+            synthesize(&mut ctx, &topo, &vocab, sorts, &sketch, &spec, SynthOptions::default())
+                .expect("ring no-transit synthesizes");
+        let synth_ms = t0.elapsed().as_millis();
+
+        let t1 = Instant::now();
+        let neighbor = *topo
+            .neighbors(r0)
+            .iter()
+            .find(|&&x| x == pa)
+            .or_else(|| topo.neighbors(r0).first())
+            .unwrap();
+        let expl = explain(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &result.config,
+            &spec,
+            r0,
+            &Selector::Session { neighbor, dir: Dir::Export },
+            ExplainOptions { skip_lift: false, ..Default::default() },
+        )
+        .expect("explanation succeeds");
+        let explain_ms = t1.elapsed().as_millis();
+
+        println!(
+            "{:>9} | {:>7} | {:>5} | {:>11} | {:>8} | {:>10} | {:>9} | {:>10}",
+            n,
+            topo.num_routers(),
+            result.stats.num_holes,
+            result.stats.num_constraints,
+            synth_ms,
+            explain_ms,
+            expl.seed_size,
+            expl.simplified_size,
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Scenario 1: identifying underspecified paths (paper §2, Figures 1-2).
+//!
+//! The no-transit requirement is satisfied by the synthesized configuration
+//! of Figure 1c — by blocking *all* routes to each provider. The
+//! subspecification `R1 { !(R1 -> P1) }` makes that visible; the
+//! administrator realizes the customer is unreachable from Provider 1 and
+//! refines the specification.
+//!
+//! ```sh
+//! cargo run --example scenario1_underspecified
+//! ```
+
+use netexpl_bgp::{Action, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause};
+use netexpl_core::symbolize::Dir;
+use netexpl_core::{explain, ExplainOptions, Selector};
+use netexpl_logic::term::Ctx;
+use netexpl_spec::check_specification;
+use netexpl_synth::vocab::Vocabulary;
+use netexpl_topology::builders::paper_topology;
+use netexpl_topology::Prefix;
+
+fn main() {
+    let (topo, h) = paper_topology();
+    let d1: Prefix = "200.7.0.0/16".parse().unwrap();
+    let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+    let cp: Prefix = "123.0.1.0/20".parse().unwrap();
+
+    // The synthesized configuration of Figure 1c.
+    let mut net = NetworkConfig::new();
+    net.originate(h.p1, d1);
+    net.originate(h.p2, d2);
+    net.originate(h.customer, cp);
+    for (r, p, name) in [(h.r1, h.p1, "R1_to_P1"), (h.r2, h.p2, "R2_to_P2")] {
+        net.router_mut(r).set_export(
+            p,
+            RouteMap::new(
+                name,
+                vec![
+                    RouteMapEntry {
+                        seq: 1,
+                        action: Action::Deny,
+                        matches: vec![MatchClause::PrefixList(vec![cp])],
+                        sets: vec![SetClause::NextHop(p)],
+                    },
+                    RouteMapEntry { seq: 100, action: Action::Deny, matches: vec![], sets: vec![] },
+                ],
+            ),
+        );
+    }
+    println!("== Synthesized configuration (Figure 1c) ==");
+    print!("{}", net.render(&topo));
+
+    let spec = netexpl_spec::parse(
+        "Req1 {\n  !(P1 -> ... -> P2)\n  !(P2 -> ... -> P1)\n}",
+    )
+    .unwrap();
+    let violations = check_specification(&topo, &net, &spec);
+    println!("\nchecker: no-transit holds ({} violations)", violations.len());
+    assert!(violations.is_empty());
+
+    // "I know there is no transit traffic. I like this. Now if I want to
+    //  make changes to R1, what should I keep in mind?"
+    let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let expl = explain(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &spec,
+        h.r1,
+        &Selector::Entry { neighbor: h.p1, dir: Dir::Export, entry: 1 },
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    println!("\n== \"What should I keep in mind about R1?\" ==");
+    println!("{expl}");
+    println!("\n=> \"Make sure to drop all routes going to Provider1.\" (Figure 2)");
+
+    // The realization: this also blocks the customer's reachability from P1.
+    let spec_fix = netexpl_spec::parse(
+        "dest CP = 123.0.1.0/20\n\
+         Req1 {\n  !(P1 -> ... -> P2)\n  !(P2 -> ... -> P1)\n}\n\
+         ReqFix {\n  P1 ~> CP\n}",
+    )
+    .unwrap();
+    let violations = check_specification(&topo, &net, &spec_fix);
+    println!(
+        "\nadding `P1 ~> CP` exposes the underspecification: {} violation(s):",
+        violations.len()
+    );
+    for v in &violations {
+        println!("  {v:?}");
+    }
+
+    // Explaining the redundant lines: the `set next-hop` of entry `deny 1`.
+    let expl2 = explain(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &spec,
+        h.r1,
+        &Selector::Field {
+            neighbor: h.p1,
+            dir: Dir::Export,
+            entry: 0,
+            field: netexpl_core::symbolize::Field::Set(0),
+        },
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    println!("\n== Why the `set next-hop` line? ==");
+    println!("{expl2}");
+    println!("\n=> empty: \"the set next-hop line is redundant. It is generated because a template is provided.\"");
+}

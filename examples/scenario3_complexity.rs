@@ -1,0 +1,156 @@
+//! Scenario 3: taming complexity (paper §2, Figure 5).
+//!
+//! With several requirements active at once, the administrator asks about
+//! each requirement individually. The subspecifications isolate the
+//! relevant routers: for no-transit, R3 "can do anything" (empty
+//! subspecification) while R1/R2 carry the forbidden transit paths.
+//!
+//! ```sh
+//! cargo run --example scenario3_complexity
+//! ```
+
+use netexpl_bgp::{Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause};
+use netexpl_core::symbolize::Dir;
+use netexpl_core::{explain, ExplainOptions, Selector};
+use netexpl_logic::term::Ctx;
+use netexpl_spec::{check_specification, Specification};
+use netexpl_synth::vocab::Vocabulary;
+use netexpl_topology::builders::paper_topology;
+use netexpl_topology::Prefix;
+
+fn main() {
+    let (topo, h) = paper_topology();
+    let d1: Prefix = "200.7.0.0/16".parse().unwrap();
+    let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+    let cp: Prefix = "123.0.1.0/20".parse().unwrap();
+    let tag_p1 = Community(100, 1);
+    let tag_p2 = Community(100, 2);
+
+    // The combined configuration: community tagging at the provider edges,
+    // preference + detour-drops at R3, community-filtered provider exports.
+    let mut net = NetworkConfig::new();
+    net.originate(h.p1, d1);
+    net.originate(h.p2, d1);
+    net.originate(h.p2, d2);
+    net.originate(h.customer, cp);
+    let tag = |name: &str, c: Community| {
+        RouteMap::new(
+            name,
+            vec![RouteMapEntry {
+                seq: 10,
+                action: Action::Permit,
+                matches: vec![],
+                sets: vec![SetClause::AddCommunity(c)],
+            }],
+        )
+    };
+    net.router_mut(h.r1).set_import(h.p1, tag("R1_from_P1", tag_p1));
+    net.router_mut(h.r2).set_import(h.p2, tag("R2_from_P2", tag_p2));
+    let filtered = |name: &str, deny: Community| {
+        RouteMap::new(
+            name,
+            vec![
+                RouteMapEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    matches: vec![MatchClause::Community(deny)],
+                    sets: vec![],
+                },
+                RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+            ],
+        )
+    };
+    net.router_mut(h.r1).set_export(h.p1, filtered("R1_to_P1", tag_p2));
+    net.router_mut(h.r2).set_export(h.p2, filtered("R2_to_P2", tag_p1));
+    let import = |name: &str, deny: Community, lp: u32| {
+        RouteMap::new(
+            name,
+            vec![
+                RouteMapEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    matches: vec![MatchClause::Community(deny)],
+                    sets: vec![],
+                },
+                RouteMapEntry {
+                    seq: 20,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::LocalPref(lp)],
+                },
+            ],
+        )
+    };
+    net.router_mut(h.r3).set_import(h.r1, import("R3_from_R1", tag_p2, 200));
+    net.router_mut(h.r3).set_import(h.r2, import("R3_from_R2", tag_p1, 100));
+
+    let spec = netexpl_spec::parse(
+        "mode strict\n\
+         dest D1 = 200.7.0.0/16\n\
+         dest D2 = 201.0.0.0/16\n\
+         dest CP = 123.0.1.0/20\n\
+         Req1 {\n  !(P1 -> ... -> P2)\n  !(P2 -> ... -> P1)\n}\n\
+         Req2 {\n\
+           (Customer -> R3 -> R1 -> P1 -> ... -> D1)\n\
+           >> (Customer -> R3 -> R2 -> P2 -> ... -> D1)\n\
+         }\n\
+         Req3 {\n  Customer ~> D1\n  Customer ~> D2\n}",
+    )
+    .unwrap();
+    println!("== Combined specification ==\n{spec}");
+    let violations = check_specification(&topo, &net, &spec);
+    assert!(violations.is_empty(), "{violations:?}");
+    println!("checker: all requirements satisfied");
+
+    // Ask about Req1 only.
+    let req1 = restrict(&spec, "Req1");
+    let vocab = Vocabulary::new(&topo, vec![tag_p1, tag_p2], vec![50, 100, 200], net.prefixes());
+
+    println!("\n== \"What does R3 do for the no-transit requirement?\" ==");
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let expl = explain(
+        &mut ctx, &topo, &vocab, sorts, &net, &req1, h.r3,
+        &Selector::Router, ExplainOptions::default(),
+    )
+    .unwrap();
+    println!("{expl}");
+    println!("=> empty: R3 can do anything; focus on R1 and R2.");
+
+    println!("\n== \"And R2?\" (Figure 5) ==");
+    let mut ctx2 = Ctx::new();
+    let sorts2 = vocab.sorts(&mut ctx2);
+    let expl2 = explain(
+        &mut ctx2, &topo, &vocab, sorts2, &net, &req1, h.r2,
+        &Selector::Session { neighbor: h.p2, dir: Dir::Export },
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    println!("{expl2}");
+
+    println!("\n== \"What does R3 do for the preference requirement?\" ==");
+    let req2 = restrict(&spec, "Req2");
+    let mut ctx3 = Ctx::new();
+    let sorts3 = vocab.sorts(&mut ctx3);
+    let expl3 = explain(
+        &mut ctx3, &topo, &vocab, sorts3, &net, &req2, h.r3,
+        &Selector::Router, ExplainOptions::default(),
+    )
+    .unwrap();
+    println!("{expl3}");
+}
+
+/// Keep only the named requirement block (destinations and mode carry over).
+fn restrict(spec: &Specification, name: &str) -> Specification {
+    let mut out = Specification::new();
+    out.mode = spec.mode;
+    for (n, p) in &spec.destinations {
+        out.dest(n, *p);
+    }
+    for (n, reqs) in &spec.blocks {
+        if n == name {
+            out.block(n, reqs.clone());
+        }
+    }
+    out
+}

@@ -1,0 +1,1 @@
+pub use netexpl_core as core_;

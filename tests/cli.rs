@@ -1,0 +1,138 @@
+//! Integration tests for the `netexpl` CLI, driving the binary end-to-end
+//! through temp spec files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn netexpl() -> Command {
+    // target/debug/netexpl is a sibling of this test binary's directory.
+    let mut path = std::env::current_exe().unwrap();
+    path.pop(); // test binary name
+    path.pop(); // deps/
+    path.push("netexpl");
+    Command::new(path)
+}
+
+fn spec_file(name: &str, contents: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("netexpl-test-{}-{name}.txt", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const SPEC: &str = "\
+// @originate P1 200.7.0.0/16
+// @originate P2 201.0.0.0/16
+// @originate Customer 123.0.1.0/20
+dest D1 = 200.7.0.0/16
+dest D2 = 201.0.0.0/16
+Req1 {
+  !(P1 -> ... -> P2)
+  !(P2 -> ... -> P1)
+}
+Connectivity {
+  Customer ~> D1
+  Customer ~> D2
+}
+";
+
+#[test]
+fn synth_prints_config() {
+    let spec = spec_file("synth", SPEC);
+    let out = netexpl()
+        .args(["synth", "--topology", "paper", "--spec", spec.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("route-map"), "{stdout}");
+    assert!(stdout.contains("router R1"), "{stdout}");
+}
+
+#[test]
+fn synth_json_is_valid() {
+    let spec = spec_file("synthjson", SPEC);
+    let out = netexpl()
+        .args(["synth", "--topology", "paper", "--spec", spec.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    assert!(v["holes"].as_u64().unwrap() > 0);
+    assert!(v["config"].as_str().unwrap().contains("route-map"));
+}
+
+#[test]
+fn explain_reports_subspec() {
+    let spec = spec_file("explain", SPEC);
+    let out = netexpl()
+        .args([
+            "explain",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--router",
+            "R3",
+            "--neighbor",
+            "Customer",
+            "--dir",
+            "export",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("subspecification"), "{stdout}");
+    assert!(stdout.contains("Customer ~> D1"), "{stdout}");
+}
+
+#[test]
+fn simulate_shows_stable_state_and_spec_result() {
+    let spec = spec_file("simulate", SPEC);
+    let out = netexpl()
+        .args([
+            "simulate",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--fail",
+            "R3-R1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stable routing state"), "{stdout}");
+    assert!(stdout.contains("1 failed links"), "{stdout}");
+}
+
+#[test]
+fn errors_are_reported() {
+    let out = netexpl()
+        .args(["synth", "--topology", "bogus", "--spec", "/nonexistent"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown topology"), "{stderr}");
+
+    let out2 = netexpl().args(["nonsense"]).output().unwrap();
+    assert!(!out2.status.success());
+
+    let out3 = netexpl().output().unwrap();
+    assert!(!out3.status.success());
+}
+
+#[test]
+fn spec_without_originate_rejected() {
+    let spec = spec_file("noorig", "dest D1 = 200.7.0.0/16\nReq { Customer ~> D1 }");
+    let out = netexpl()
+        .args(["synth", "--topology", "paper", "--spec", spec.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("@originate"), "{stderr}");
+}

@@ -1,0 +1,246 @@
+#![allow(dead_code)] // each integration test uses a subset of the fixtures
+
+//! Shared scenario fixtures for the integration tests: the paper's three
+//! motivating scenarios (§2) on the Figure 1b topology, built exactly as a
+//! NetComplete-style synthesizer would configure them.
+
+use netexpl_bgp::{
+    Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause,
+};
+use netexpl_spec::Specification;
+use netexpl_synth::vocab::Vocabulary;
+use netexpl_topology::builders::{paper_topology, PaperTopology};
+use netexpl_topology::{Prefix, Topology};
+
+/// The D1 destination prefix (reachable through both providers in
+/// scenarios 2/3).
+pub fn d1() -> Prefix {
+    "200.7.0.0/16".parse().unwrap()
+}
+
+/// A second destination behind P2 only.
+pub fn d2() -> Prefix {
+    "201.0.0.0/16".parse().unwrap()
+}
+
+/// The customer's own prefix (the paper's `123.0.1.0/20`).
+pub fn customer_prefix() -> Prefix {
+    "123.0.1.0/20".parse().unwrap()
+}
+
+/// The community R1 tags on routes imported from P1.
+pub const TAG_P1: Community = Community(100, 1);
+/// The community R2 tags on routes imported from P2 (the paper's `100:2`).
+pub const TAG_P2: Community = Community(100, 2);
+
+/// Convenience: a single-entry map.
+pub fn one_entry(name: &str, e: RouteMapEntry) -> RouteMap {
+    RouteMap::new(name, vec![e])
+}
+
+/// `permit` catch-all entry.
+pub fn permit_all(seq: u32) -> RouteMapEntry {
+    RouteMapEntry { seq, action: Action::Permit, matches: vec![], sets: vec![] }
+}
+
+/// `deny` catch-all entry.
+pub fn deny_all(seq: u32) -> RouteMapEntry {
+    RouteMapEntry { seq, action: Action::Deny, matches: vec![], sets: vec![] }
+}
+
+/// `deny` on a community match.
+pub fn deny_community(seq: u32, c: Community) -> RouteMapEntry {
+    RouteMapEntry {
+        seq,
+        action: Action::Deny,
+        matches: vec![MatchClause::Community(c)],
+        sets: vec![],
+    }
+}
+
+/// The standard vocabulary for the paper scenarios.
+pub fn paper_vocab(topo: &Topology, prefixes: Vec<Prefix>) -> Vocabulary {
+    Vocabulary::new(topo, vec![TAG_P1, TAG_P2], vec![50, 100, 200], prefixes)
+}
+
+/// **Scenario 1** — the synthesized configuration of Figure 1c: the
+/// no-transit requirement satisfied by blocking *all* routes to each
+/// provider. Entry `deny 1` matches the customer prefix (with the redundant
+/// `set next-hop`); entry `deny 100` is the catch-all.
+pub fn scenario1() -> (Topology, PaperTopology, NetworkConfig, Specification) {
+    let (topo, h) = paper_topology();
+    let mut net = NetworkConfig::new();
+    net.originate(h.p1, d1());
+    net.originate(h.p2, d2());
+    net.originate(h.customer, customer_prefix());
+    net.router_mut(h.r1).set_export(
+        h.p1,
+        RouteMap::new(
+            "R1_to_P1",
+            vec![
+                RouteMapEntry {
+                    seq: 1,
+                    action: Action::Deny,
+                    matches: vec![MatchClause::PrefixList(vec![customer_prefix()])],
+                    sets: vec![SetClause::NextHop(h.p1)],
+                },
+                deny_all(100),
+            ],
+        ),
+    );
+    net.router_mut(h.r2).set_export(
+        h.p2,
+        RouteMap::new(
+            "R2_to_P2",
+            vec![
+                RouteMapEntry {
+                    seq: 1,
+                    action: Action::Deny,
+                    matches: vec![MatchClause::PrefixList(vec![customer_prefix()])],
+                    sets: vec![SetClause::NextHop(h.p2)],
+                },
+                deny_all(100),
+            ],
+        ),
+    );
+    let spec = netexpl_spec::parse(
+        "// No transit traffic\n\
+         Req1 {\n\
+           !(P1 -> ... -> P2)\n\
+           !(P2 -> ... -> P1)\n\
+         }",
+    )
+    .unwrap();
+    (topo, h, net, spec)
+}
+
+/// **Scenario 2** — the path-preference configuration (Figure 3/4): R1/R2
+/// tag provider routes with communities; R3 prefers the P1 egress (lp 200
+/// over 100) and drops the cross-provider detours at its import interfaces
+/// by community — the mechanism the paper's §5 describes.
+pub fn scenario2() -> (Topology, PaperTopology, NetworkConfig, Specification) {
+    let (topo, h) = paper_topology();
+    let mut net = NetworkConfig::new();
+    net.originate(h.p1, d1());
+    net.originate(h.p2, d1());
+    net.originate(h.customer, customer_prefix());
+    net.router_mut(h.r1).set_import(
+        h.p1,
+        one_entry(
+            "R1_from_P1",
+            RouteMapEntry {
+                seq: 10,
+                action: Action::Permit,
+                matches: vec![],
+                sets: vec![SetClause::AddCommunity(TAG_P1)],
+            },
+        ),
+    );
+    net.router_mut(h.r2).set_import(
+        h.p2,
+        one_entry(
+            "R2_from_P2",
+            RouteMapEntry {
+                seq: 10,
+                action: Action::Permit,
+                matches: vec![],
+                sets: vec![SetClause::AddCommunity(TAG_P2)],
+            },
+        ),
+    );
+    net.router_mut(h.r3).set_import(
+        h.r1,
+        RouteMap::new(
+            "R3_from_R1",
+            vec![
+                deny_community(10, TAG_P2),
+                RouteMapEntry {
+                    seq: 20,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::LocalPref(200)],
+                },
+            ],
+        ),
+    );
+    net.router_mut(h.r3).set_import(
+        h.r2,
+        RouteMap::new(
+            "R3_from_R2",
+            vec![
+                deny_community(10, TAG_P1),
+                RouteMapEntry {
+                    seq: 20,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::LocalPref(100)],
+                },
+            ],
+        ),
+    );
+    let spec = netexpl_spec::parse(
+        "mode strict\n\
+         dest D1 = 200.7.0.0/16\n\
+         // For D1, prefer routes through P1 over routes through P2\n\
+         Req2 {\n\
+           (Customer -> R3 -> R1 -> P1 -> ... -> D1)\n\
+           >> (Customer -> R3 -> R2 -> P2 -> ... -> D1)\n\
+         }",
+    )
+    .unwrap();
+    (topo, h, net, spec)
+}
+
+/// **Scenario 3** — all requirements combined: no-transit (by community
+/// filtering at the provider exports, so customer connectivity survives),
+/// the D1 preference, and customer reachability.
+pub fn scenario3() -> (Topology, PaperTopology, NetworkConfig, Specification) {
+    let (topo, h, mut net, _) = scenario2();
+    net.originate(h.p2, d2());
+    // R1 blocks P2-tagged routes toward P1 (and vice versa) — transit gone,
+    // customer routes still flow.
+    net.router_mut(h.r1).set_export(
+        h.p1,
+        RouteMap::new("R1_to_P1", vec![deny_community(10, TAG_P2), permit_all(20)]),
+    );
+    net.router_mut(h.r2).set_export(
+        h.p2,
+        RouteMap::new("R2_to_P2", vec![deny_community(10, TAG_P1), permit_all(20)]),
+    );
+    let spec = netexpl_spec::parse(
+        "mode strict\n\
+         dest D1 = 200.7.0.0/16\n\
+         dest D2 = 201.0.0.0/16\n\
+         dest CP = 123.0.1.0/20\n\
+         Req1 {\n\
+           !(P1 -> ... -> P2)\n\
+           !(P2 -> ... -> P1)\n\
+         }\n\
+         Req2 {\n\
+           (Customer -> R3 -> R1 -> P1 -> ... -> D1)\n\
+           >> (Customer -> R3 -> R2 -> P2 -> ... -> D1)\n\
+         }\n\
+         Req3 {\n\
+           Customer ~> D1\n\
+           Customer ~> D2\n\
+         }",
+    )
+    .unwrap();
+    (topo, h, net, spec)
+}
+
+/// A specification containing only the named blocks of `spec` — the paper's
+/// Scenario 3 workflow of asking about each requirement individually.
+pub fn only_blocks(spec: &Specification, names: &[&str]) -> Specification {
+    let mut out = Specification::new();
+    out.mode = spec.mode;
+    for (name, prefix) in &spec.destinations {
+        out.dest(name, *prefix);
+    }
+    for (name, reqs) in &spec.blocks {
+        if names.contains(&name.as_str()) {
+            out.block(name, reqs.clone());
+        }
+    }
+    out
+}

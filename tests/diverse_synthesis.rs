@@ -1,0 +1,51 @@
+//! Diverse synthesis: the quantitative face of Scenario 1's insight. The
+//! no-transit specification is under-constrained — "block everything" is
+//! only one of many valid completions — which is exactly why the paper wants
+//! explanations: the operator cannot tell *which* solution the synthesizer
+//! picked without one.
+
+mod common;
+
+use common::*;
+use netexpl_logic::term::Ctx;
+use netexpl_spec::check_specification;
+use netexpl_synth::sketch::HoleFactory;
+use netexpl_synth::synthesize::{default_sketch, synthesize_diverse, SynthOptions};
+
+#[test]
+fn no_transit_admits_many_distinct_solutions() {
+    let (topo, _h, net, spec) = scenario1();
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let factory = HoleFactory::new(&vocab, sorts);
+    let mut base = netexpl_bgp::NetworkConfig::new();
+    for o in net.originations() {
+        base.originate(o.router, o.prefix);
+    }
+    let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
+    let configs = synthesize_diverse(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &sketch,
+        &spec,
+        SynthOptions::default(),
+        5,
+    )
+    .expect("under-constrained spec");
+    assert!(configs.len() >= 3, "expected several alternatives, got {}", configs.len());
+    // All alternatives validate and are pairwise distinct.
+    for (i, a) in configs.iter().enumerate() {
+        assert!(check_specification(&topo, a, &spec).is_empty(), "alternative {i} invalid");
+        for b in &configs[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+    // The alternatives genuinely differ in observable behavior or policy
+    // text, not only in hole bookkeeping.
+    let rendered: std::collections::HashSet<String> =
+        configs.iter().map(|c| c.render(&topo)).collect();
+    assert!(rendered.len() >= 2, "alternatives should render differently");
+}

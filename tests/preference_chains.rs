@@ -1,0 +1,107 @@
+//! Preference chains (`p1 >> p2 >> p3`) — NetComplete's ordered path
+//! preferences, an extension beyond the paper's binary examples.
+
+mod common;
+
+use common::*;
+use netexpl_logic::term::Ctx;
+use netexpl_spec::{check_specification, parse, Requirement};
+use netexpl_synth::sketch::HoleFactory;
+use netexpl_synth::synthesize::{default_sketch, synthesize, SynthOptions};
+use netexpl_topology::Link;
+
+fn chain_spec(mode: &str) -> netexpl_spec::Specification {
+    parse(&format!(
+        "mode {mode}\n\
+         dest D1 = 200.7.0.0/16\n\
+         Req {{\n\
+           (Customer -> R3 -> R1 -> P1 -> ... -> D1)\n\
+           >> (Customer -> R3 -> R2 -> P2 -> ... -> D1)\n\
+           >> (Customer -> R3 -> R2 -> R1 -> P1 -> ... -> D1)\n\
+         }}"
+    ))
+    .unwrap()
+}
+
+#[test]
+fn chain_parses_and_displays() {
+    let spec = chain_spec("fallback");
+    let req = spec.requirements().next().unwrap();
+    let Requirement::Preference { chain } = req else { panic!("expected preference") };
+    assert_eq!(chain.len(), 3);
+    let shown = req.to_string();
+    assert_eq!(shown.matches(">>").count(), 2, "{shown}");
+    // Round-trip through the printer.
+    let reparsed = parse(&spec.to_string()).unwrap();
+    assert_eq!(spec, reparsed);
+}
+
+#[test]
+fn chain_source_mismatch_rejected() {
+    let err = parse(
+        "dest D1 = 200.7.0.0/16\n\
+         Req {\n\
+           (Customer -> R3 -> D1) >> (R3 -> R2 -> D1)\n\
+         }",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("share their source"), "{err}");
+}
+
+#[test]
+fn three_way_chain_synthesizes_and_cascades() {
+    let (topo, h) = netexpl_topology::builders::paper_topology();
+    let mut base = netexpl_bgp::NetworkConfig::new();
+    base.originate(h.p1, d1());
+    base.originate(h.p2, d1());
+    let spec = chain_spec("fallback");
+    let vocab = paper_vocab(&topo, vec![d1()]);
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let factory = HoleFactory::new(&vocab, sorts);
+    let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
+    let result =
+        synthesize(&mut ctx, &topo, &vocab, sorts, &sketch, &spec, SynthOptions::default())
+            .expect("three-way chain must synthesize");
+    // synthesize() validated via the checker; confirm the cascade directly.
+    let net = &result.config;
+    let s0 = netexpl_bgp::sim::stabilize(&topo, net).unwrap();
+    assert_eq!(
+        s0.forwarding_path(d1(), h.customer).unwrap(),
+        vec![h.customer, h.r3, h.r1, h.p1],
+        "rank 1"
+    );
+    let s1 =
+        netexpl_bgp::sim::stabilize_with_failures(&topo, net, &[Link::new(h.r3, h.r1)]).unwrap();
+    assert_eq!(
+        s1.forwarding_path(d1(), h.customer).unwrap(),
+        vec![h.customer, h.r3, h.r2, h.p2],
+        "rank 2 once R3-R1 dies"
+    );
+    let s2 = netexpl_bgp::sim::stabilize_with_failures(
+        &topo,
+        net,
+        &[Link::new(h.r3, h.r1), Link::new(h.r2, h.p2)],
+    )
+    .unwrap();
+    assert_eq!(
+        s2.forwarding_path(d1(), h.customer).unwrap(),
+        vec![h.customer, h.r3, h.r2, h.r1, h.p1],
+        "rank 3 once R2-P2 dies too"
+    );
+}
+
+#[test]
+fn checker_flags_broken_cascade() {
+    // A config that realizes ranks 1 and 2 but blocks rank 3 violates the
+    // chain requirement.
+    let (topo, _h, net, _) = scenario2(); // strict config: detours blocked at R3
+    let spec = chain_spec("fallback");
+    let violations = check_specification(&topo, &net, &spec);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, netexpl_spec::Violation::FallbackNotTaken { .. })),
+        "{violations:?}"
+    );
+}

@@ -1,0 +1,196 @@
+//! Scenario 2 (paper §2): resolving ambiguous specifications.
+//!
+//! Reproduces Figures 3 and 4: the strict interpretation (NetComplete's,
+//! interpretation (1)) blocks all unspecified paths; the subspecification at
+//! R3 reveals the preference *and* the two dropped detours, letting the
+//! administrator notice that the configuration "is actually trying to block
+//! paths that are not explicitly specified, contradicting the original
+//! intent". Switching to the fallback interpretation resolves it.
+
+mod common;
+
+use common::*;
+use netexpl_core::{explain, ExplainOptions, Selector};
+use netexpl_logic::term::Ctx;
+use netexpl_spec::{check_specification, PreferenceMode, Violation};
+use netexpl_synth::sketch::HoleFactory;
+use netexpl_synth::synthesize::{default_sketch, synthesize, SynthOptions};
+
+#[test]
+fn config_satisfies_strict_preference() {
+    let (topo, _, net, spec) = scenario2();
+    let violations = check_specification(&topo, &net, &spec);
+    assert_eq!(violations, Vec::new(), "{violations:?}");
+}
+
+#[test]
+fn nominal_and_failover_paths_realized() {
+    let (topo, h, net, _) = scenario2();
+    let state = netexpl_bgp::sim::stabilize(&topo, &net).unwrap();
+    assert_eq!(
+        state.forwarding_path(d1(), h.customer).unwrap(),
+        vec![h.customer, h.r3, h.r1, h.p1],
+        "all links up: traffic follows the preferred path"
+    );
+    let failed = [netexpl_topology::Link::new(h.r3, h.r1)];
+    let state2 = netexpl_bgp::sim::stabilize_with_failures(&topo, &net, &failed).unwrap();
+    assert_eq!(
+        state2.forwarding_path(d1(), h.customer).unwrap(),
+        vec![h.customer, h.r3, h.r2, h.p2],
+        "preferred link down: traffic follows the fallback path"
+    );
+}
+
+#[test]
+fn strict_interpretation_reduces_redundancy() {
+    // The author's surprise: under interpretation (1) the synthesized
+    // configuration has *less path redundancy than expected* — when both
+    // the R3-R1 link and P2's egress die, the physically available detour
+    // via R2-R1-P1 is blocked.
+    let (topo, h, net, _) = scenario2();
+    let failed =
+        [netexpl_topology::Link::new(h.r3, h.r1), netexpl_topology::Link::new(h.r2, h.p2)];
+    let state = netexpl_bgp::sim::stabilize_with_failures(&topo, &net, &failed).unwrap();
+    assert_eq!(
+        state.forwarding_path(d1(), h.customer),
+        None,
+        "the detour Customer→R3→R2→R1→P1 is blocked by the strict config"
+    );
+}
+
+#[test]
+fn figure_4_subspec_for_r3() {
+    let (topo, h, net, spec) = scenario2();
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let expl = explain(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &spec,
+        h.r3,
+        &Selector::Router,
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    let rendered = expl.subspec.to_string();
+    // Figure 4, part (1): the local preference.
+    assert!(
+        rendered.contains("(R3 -> R1 -> P1 -> ... -> D1)"),
+        "localized preference expected:\n{expl}"
+    );
+    assert!(
+        rendered.contains(">> (R3 -> R2 -> P2 -> ... -> D1)"),
+        "localized preference expected:\n{expl}"
+    );
+    // Figure 4, parts (2)+(3): the two dropped detours. The paper writes
+    // them in traffic form (`!(R3 -> R1 -> R2 -> P2 -> ... -> D1)`); the
+    // lifter's most-general equivalent is the propagation window through
+    // R3's import interfaces.
+    assert!(
+        rendered.contains("!(R2 -> R1 -> R3)"),
+        "drop route R1→R2→P2→D1 at the import interface to R1:\n{expl}"
+    );
+    assert!(
+        rendered.contains("!(R1 -> R2 -> R3)"),
+        "drop route R2→R1→P1→D1 at the import interface to R2:\n{expl}"
+    );
+    assert!(expl.lift_complete, "\n{expl}");
+}
+
+#[test]
+fn r3_subspec_under_fallback_interpretation_has_no_drops() {
+    // Once the administrator re-synthesizes under interpretation (2), the
+    // detour drops disappear from R3's subspecification: only the
+    // preference remains.
+    let (topo, h, net, spec) = scenario2();
+    let mut fallback_spec = spec.clone();
+    fallback_spec.mode = PreferenceMode::Fallback;
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let factory = HoleFactory::new(&vocab, sorts);
+    let mut base = netexpl_bgp::NetworkConfig::new();
+    for o in net.originations() {
+        base.originate(o.router, o.prefix);
+    }
+    let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
+    let result = synthesize(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &sketch,
+        &fallback_spec,
+        SynthOptions::default(),
+    )
+    .expect("fallback interpretation must synthesize");
+    let expl = explain(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &result.config,
+        &fallback_spec,
+        h.r3,
+        &Selector::Router,
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    let rendered = expl.subspec.to_string();
+    assert!(
+        rendered.contains(">> (R3 -> R2 -> P2 -> ... -> D1)"),
+        "preference still present:\n{expl}"
+    );
+}
+
+#[test]
+fn strict_config_fails_fallback_check_exposing_the_ambiguity() {
+    // The administrator intended interpretation (2); checking the strict
+    // configuration against the fallback-mode spec with an added
+    // last-resort reachability expectation exposes the mismatch: when both
+    // specified paths are down, the customer is cut off even though a
+    // physical path exists.
+    let (topo, h, net, spec) = scenario2();
+    let mut fb = spec.clone();
+    fb.mode = PreferenceMode::Fallback;
+    // Fallback-mode checking alone passes (it is weaker)…
+    assert_eq!(check_specification(&topo, &net, &fb), Vec::new());
+    // …but the strict config blocks the unspecified last-resort path, which
+    // the simulator shows directly (see strict_interpretation_reduces_redundancy)
+    // and which the checker flags as UnspecifiedPathUsable on a config that
+    // *does* allow it under the strict spec.
+    let mut permissive = net.clone();
+    permissive.router_mut(h.r3).set_import(
+        h.r1,
+        one_entry(
+            "R3_from_R1",
+            netexpl_bgp::RouteMapEntry {
+                seq: 20,
+                action: netexpl_bgp::Action::Permit,
+                matches: vec![],
+                sets: vec![netexpl_bgp::SetClause::LocalPref(200)],
+            },
+        ),
+    );
+    permissive.router_mut(h.r3).set_import(
+        h.r2,
+        one_entry(
+            "R3_from_R2",
+            netexpl_bgp::RouteMapEntry {
+                seq: 20,
+                action: netexpl_bgp::Action::Permit,
+                matches: vec![],
+                sets: vec![netexpl_bgp::SetClause::LocalPref(100)],
+            },
+        ),
+    );
+    let violations = check_specification(&topo, &permissive, &spec);
+    assert!(
+        violations.iter().any(|v| matches!(v, Violation::UnspecifiedPathUsable { .. })),
+        "the permissive variant violates the strict interpretation: {violations:?}"
+    );
+}

@@ -1,0 +1,264 @@
+//! Scenario 3 (paper §2): taming complexity.
+//!
+//! Reproduces Figure 5 and the per-requirement question workflow: with all
+//! requirements active, the administrator asks about the no-transit
+//! requirement alone; R3's subspecification is *empty* (it can do anything),
+//! focusing validation on R1 and R2, whose subspecifications are the
+//! forbidden transit paths.
+
+mod common;
+
+use common::*;
+use netexpl_core::symbolize::Dir;
+use netexpl_core::{explain, ExplainOptions, Selector};
+use netexpl_logic::term::Ctx;
+use netexpl_spec::check_specification;
+
+#[test]
+fn combined_config_satisfies_all_requirements() {
+    let (topo, _, net, spec) = scenario3();
+    let violations = check_specification(&topo, &net, &spec);
+    assert_eq!(violations, Vec::new(), "{violations:?}");
+}
+
+#[test]
+fn figure_5_subspec_for_r2_no_transit() {
+    // Asking only about Req1 (no transit), the subspecification at R2's
+    // export to P2 is the two forbidden transit paths of Figure 5:
+    //   R2 to P2 { !(P1->R1->R2->P2)  !(P1->R1->R3->R2->P2) }
+    // (the lifter renders the second in its most general equivalent window,
+    // R1->R3->R2->P2 — the P1 qualifier is redundant since only
+    // P1-originated routes can traverse R1 first).
+    let (topo, h, net, spec) = scenario3();
+    let req1 = only_blocks(&spec, &["Req1"]);
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let expl = explain(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &req1,
+        h.r2,
+        &Selector::Session { neighbor: h.p2, dir: Dir::Export },
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    let rendered = expl.subspec.to_string();
+    assert!(
+        rendered.contains("!(P1 -> R1 -> R2 -> P2)"),
+        "Figure 5, first forbidden path:\n{expl}"
+    );
+    assert!(
+        rendered.contains("!(R1 -> R3 -> R2 -> P2)") || rendered.contains("!(P1 -> R1 -> R3 -> R2 -> P2)"),
+        "Figure 5, second forbidden path:\n{expl}"
+    );
+    assert!(expl.lift_complete, "\n{expl}");
+}
+
+#[test]
+fn r1_subspec_is_symmetric() {
+    // "Similarly, the subspecification for R1 is to drop all routes from P2
+    // to P1."
+    let (topo, h, net, spec) = scenario3();
+    let req1 = only_blocks(&spec, &["Req1"]);
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let expl = explain(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &req1,
+        h.r1,
+        &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    let rendered = expl.subspec.to_string();
+    assert!(
+        rendered.contains("!(P2 -> R2 -> R1 -> P1)"),
+        "symmetric transit block expected:\n{expl}"
+    );
+    assert!(expl.lift_complete, "\n{expl}");
+}
+
+#[test]
+fn r3_subspec_for_no_transit_is_empty() {
+    // "When asked about the no transit traffic requirement, the
+    // subspecifications reveal that R3 can do anything to meet this
+    // requirement (empty subspecification)."
+    let (topo, h, net, spec) = scenario3();
+    let req1 = only_blocks(&spec, &["Req1"]);
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let expl = explain(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &req1,
+        h.r3,
+        &Selector::Router,
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    assert!(expl.subspec.is_empty(), "R3 can do anything for no-transit:\n{expl}");
+    assert!(expl.lift_complete);
+    assert!(expl.simplified_text.is_empty(), "\n{expl}");
+}
+
+#[test]
+fn r3_subspec_for_preference_is_nonempty() {
+    // The complement of the previous test: asked about Req2, R3 *is*
+    // constrained (it holds the local preferences).
+    let (topo, h, net, spec) = scenario3();
+    let req2 = only_blocks(&spec, &["Req2"]);
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let expl = explain(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &req2,
+        h.r3,
+        &Selector::Router,
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        !expl.subspec.is_empty(),
+        "R3 carries the preference decision:\n{expl}"
+    );
+    let rendered = expl.subspec.to_string();
+    assert!(rendered.contains(">>"), "local preference expected:\n{expl}");
+}
+
+#[test]
+fn seed_sizes_shrink_dramatically() {
+    // Paper §4 observation (2): sub-specification sizes are manageable —
+    // the simplified form is a small fraction of the seed.
+    let (topo, h, net, spec) = scenario3();
+    let vocab = paper_vocab(&topo, net.prefixes());
+    for router in [h.r1, h.r2] {
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let expl = explain(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            router,
+            &Selector::Router,
+            ExplainOptions { skip_lift: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            expl.simplified_size <= expl.seed_size / 5,
+            "router {}: {} -> {}",
+            topo.name(router),
+            expl.seed_size,
+            expl.simplified_size
+        );
+    }
+}
+
+#[test]
+fn provenance_traces_entries_to_blocks() {
+    // Every subspecification entry names the requirement block that forces
+    // it: R2's transit drops come from Req1, R3's preference from Req2.
+    let (topo, h, net, spec) = scenario3();
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let expl = explain(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &spec,
+        h.r2,
+        &Selector::Session { neighbor: h.p2, dir: Dir::Export },
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(expl.provenance.len(), expl.subspec.requirements.len());
+    for (req, blocks) in expl.subspec.requirements.iter().zip(&expl.provenance) {
+        if matches!(req, netexpl_spec::Requirement::Forbidden(_)) {
+            assert!(
+                blocks.contains(&"Req1".to_string()),
+                "transit drop {req} should trace to Req1: {blocks:?}"
+            );
+        }
+    }
+    let shown = expl.to_string();
+    assert!(shown.contains("required by:"), "{shown}");
+
+    let mut ctx2 = Ctx::new();
+    let sorts2 = vocab.sorts(&mut ctx2);
+    let expl_r3 = explain(
+        &mut ctx2,
+        &topo,
+        &vocab,
+        sorts2,
+        &net,
+        &spec,
+        h.r3,
+        &Selector::Router,
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    let pref_blocks = expl_r3
+        .subspec
+        .requirements
+        .iter()
+        .zip(&expl_r3.provenance)
+        .find(|(r, _)| matches!(r, netexpl_spec::Requirement::Preference { .. }))
+        .map(|(_, b)| b.clone())
+        .expect("R3 carries the preference");
+    assert!(
+        pref_blocks.contains(&"Req2".to_string()),
+        "preference should trace to Req2: {pref_blocks:?}"
+    );
+}
+
+#[test]
+fn environment_assumptions_dual_view() {
+    // The §5 extension on the combined scenario: inspecting R1, the
+    // environment (R2, R3) owes obligations — in particular R2's tagging
+    // feeds R1's community filter.
+    let (topo, h, net, spec) = scenario3();
+    let req1 = only_blocks(&spec, &["Req1"]);
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let env = netexpl_core::environment_assumptions(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &req1,
+        h.r1,
+        ExplainOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(env.inspected, "R1");
+    let r2 = env.assumptions.iter().find(|(s, _)| s.router == "R2").unwrap();
+    assert!(
+        !r2.0.is_empty(),
+        "R2 owes the symmetric transit block and/or the tagging obligation:\n{env}"
+    );
+}
