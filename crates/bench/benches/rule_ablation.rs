@@ -20,8 +20,16 @@ fn bench_rule_ablation(c: &mut Criterion) {
     let sorts = vocab.sorts(&mut ctx);
     let factory = HoleFactory::new(&vocab, sorts);
     let (sym, _) = symbolize(&mut ctx, &factory, &topo, &net, h.r2, &Selector::Router);
-    let seed =
-        seed_spec(&mut ctx, &topo, &vocab, sorts, &sym, &spec, EncodeOptions::default()).unwrap();
+    let seed = seed_spec(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &sym,
+        &spec,
+        EncodeOptions::default(),
+    )
+    .unwrap();
     let conj = seed.conjunction(&mut ctx);
 
     let masks: Vec<(&str, RuleMask)> = vec![

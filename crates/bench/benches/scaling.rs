@@ -52,7 +52,10 @@ fn bench_scaling(c: &mut Criterion) {
                     &topo,
                     &config,
                     r0,
-                    &Selector::Session { neighbor: pa, dir: Dir::Export },
+                    &Selector::Session {
+                        neighbor: pa,
+                        dir: Dir::Export,
+                    },
                 );
                 let seed = seed_spec(
                     &mut ctx,
@@ -61,7 +64,9 @@ fn bench_scaling(c: &mut Criterion) {
                     sorts,
                     &sym,
                     &spec,
-                    EncodeOptions { max_path_len: topo.num_routers() },
+                    EncodeOptions {
+                        max_path_len: topo.num_routers(),
+                    },
                 )
                 .unwrap();
                 let conj = seed.conjunction(&mut ctx);

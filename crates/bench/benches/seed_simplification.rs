@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netexpl_bench::{paper_vocab, scenario1, scenario2, scenario3};
-use netexpl_core::symbolize::{symbolize, Selector};
 use netexpl_core::seed::seed_spec;
+use netexpl_core::symbolize::{symbolize, Selector};
 use netexpl_logic::simplify::Simplifier;
 use netexpl_logic::term::Ctx;
 use netexpl_synth::encode::EncodeOptions;
@@ -29,11 +29,18 @@ fn bench_seed_simplification(c: &mut Criterion) {
                 let mut ctx = Ctx::new();
                 let sorts = vocab.sorts(&mut ctx);
                 let factory = HoleFactory::new(&vocab, sorts);
-                let (sym, _) =
-                    symbolize(&mut ctx, &factory, &topo, &net, h.r2, &Selector::Router);
-                seed_spec(&mut ctx, &topo, &vocab, sorts, &sym, &spec, EncodeOptions::default())
-                    .unwrap()
-                    .size
+                let (sym, _) = symbolize(&mut ctx, &factory, &topo, &net, h.r2, &Selector::Router);
+                seed_spec(
+                    &mut ctx,
+                    &topo,
+                    &vocab,
+                    sorts,
+                    &sym,
+                    &spec,
+                    EncodeOptions::default(),
+                )
+                .unwrap()
+                .size
             })
         });
         group.bench_function(BenchmarkId::new("simplification", name), |b| {
@@ -44,9 +51,16 @@ fn bench_seed_simplification(c: &mut Criterion) {
             let sorts = vocab.sorts(&mut ctx);
             let factory = HoleFactory::new(&vocab, sorts);
             let (sym, _) = symbolize(&mut ctx, &factory, &topo, &net, h.r2, &Selector::Router);
-            let seed =
-                seed_spec(&mut ctx, &topo, &vocab, sorts, &sym, &spec, EncodeOptions::default())
-                    .unwrap();
+            let seed = seed_spec(
+                &mut ctx,
+                &topo,
+                &vocab,
+                sorts,
+                &sym,
+                &spec,
+                EncodeOptions::default(),
+            )
+            .unwrap();
             let conj = seed.conjunction(&mut ctx);
             b.iter(|| {
                 let mut simplifier = Simplifier::default();

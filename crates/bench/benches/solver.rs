@@ -91,8 +91,16 @@ fn bench_solver(c: &mut Criterion) {
     let sorts = vocab.sorts(&mut ctx);
     let factory = HoleFactory::new(&vocab, sorts);
     let (sym, _) = symbolize(&mut ctx, &factory, &topo, &net, h.r3, &Selector::Router);
-    let seed =
-        seed_spec(&mut ctx, &topo, &vocab, sorts, &sym, &spec, EncodeOptions::default()).unwrap();
+    let seed = seed_spec(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &sym,
+        &spec,
+        EncodeOptions::default(),
+    )
+    .unwrap();
     let conj = seed.conjunction(&mut ctx);
     group.bench_function("smt_seed_scenario3", |b| {
         b.iter(|| {

@@ -17,10 +17,28 @@ fn bench_linearity(c: &mut Criterion) {
     let selectors: Vec<(&str, Selector)> = vec![
         (
             "1var_action",
-            Selector::Field { neighbor: h.p2, dir: Dir::Export, entry: 0, field: Field::Action },
+            Selector::Field {
+                neighbor: h.p2,
+                dir: Dir::Export,
+                entry: 0,
+                field: Field::Action,
+            },
         ),
-        ("2var_entry", Selector::Entry { neighbor: h.p2, dir: Dir::Export, entry: 0 }),
-        ("3var_session", Selector::Session { neighbor: h.p2, dir: Dir::Export }),
+        (
+            "2var_entry",
+            Selector::Entry {
+                neighbor: h.p2,
+                dir: Dir::Export,
+                entry: 0,
+            },
+        ),
+        (
+            "3var_session",
+            Selector::Session {
+                neighbor: h.p2,
+                dir: Dir::Export,
+            },
+        ),
         ("5var_router", Selector::Router),
     ];
     let mut group = c.benchmark_group("subspec_linearity");
@@ -39,7 +57,10 @@ fn bench_linearity(c: &mut Criterion) {
                     &spec,
                     h.r2,
                     &sel,
-                    ExplainOptions { skip_lift: true, ..Default::default() },
+                    ExplainOptions {
+                        skip_lift: true,
+                        ..Default::default()
+                    },
                 )
                 .unwrap()
                 .simplified_size

@@ -28,7 +28,10 @@ fn bench_synthesis(c: &mut Criterion) {
                     sorts,
                     &sketch,
                     &spec,
-                    SynthOptions { skip_validation: true, ..Default::default() },
+                    SynthOptions {
+                        skip_validation: true,
+                        ..Default::default()
+                    },
                 )
                 .unwrap()
                 .stats
@@ -51,7 +54,10 @@ fn bench_synthesis(c: &mut Criterion) {
                     sorts,
                     &sketch,
                     &spec,
-                    SynthOptions { skip_validation: true, ..Default::default() },
+                    SynthOptions {
+                        skip_validation: true,
+                        ..Default::default()
+                    },
                 )
                 .unwrap()
                 .stats

@@ -37,11 +37,21 @@ pub fn paper_vocab(topo: &Topology, prefixes: Vec<Prefix>) -> Vocabulary {
 }
 
 fn deny_all(seq: u32) -> RouteMapEntry {
-    RouteMapEntry { seq, action: Action::Deny, matches: vec![], sets: vec![] }
+    RouteMapEntry {
+        seq,
+        action: Action::Deny,
+        matches: vec![],
+        sets: vec![],
+    }
 }
 
 fn permit_all(seq: u32) -> RouteMapEntry {
-    RouteMapEntry { seq, action: Action::Permit, matches: vec![], sets: vec![] }
+    RouteMapEntry {
+        seq,
+        action: Action::Permit,
+        matches: vec![],
+        sets: vec![],
+    }
 }
 
 fn deny_community(seq: u32, c: Community) -> RouteMapEntry {
@@ -78,10 +88,8 @@ pub fn scenario1() -> (Topology, PaperTopology, NetworkConfig, Specification) {
             ),
         );
     }
-    let spec = netexpl_spec::parse(
-        "Req1 {\n  !(P1 -> ... -> P2)\n  !(P2 -> ... -> P1)\n}",
-    )
-    .unwrap();
+    let spec =
+        netexpl_spec::parse("Req1 {\n  !(P1 -> ... -> P2)\n  !(P2 -> ... -> P1)\n}").unwrap();
     (topo, h, net, spec)
 }
 
@@ -104,8 +112,10 @@ pub fn scenario2() -> (Topology, PaperTopology, NetworkConfig, Specification) {
             }],
         )
     };
-    net.router_mut(h.r1).set_import(h.p1, tag("R1_from_P1", TAG_P1));
-    net.router_mut(h.r2).set_import(h.p2, tag("R2_from_P2", TAG_P2));
+    net.router_mut(h.r1)
+        .set_import(h.p1, tag("R1_from_P1", TAG_P1));
+    net.router_mut(h.r2)
+        .set_import(h.p2, tag("R2_from_P2", TAG_P2));
     let import = |name: &str, deny: Community, lp: u32| {
         RouteMap::new(
             name,
@@ -120,8 +130,10 @@ pub fn scenario2() -> (Topology, PaperTopology, NetworkConfig, Specification) {
             ],
         )
     };
-    net.router_mut(h.r3).set_import(h.r1, import("R3_from_R1", TAG_P2, 200));
-    net.router_mut(h.r3).set_import(h.r2, import("R3_from_R2", TAG_P1, 100));
+    net.router_mut(h.r3)
+        .set_import(h.r1, import("R3_from_R1", TAG_P2, 200));
+    net.router_mut(h.r3)
+        .set_import(h.r2, import("R3_from_R2", TAG_P1, 100));
     let spec = netexpl_spec::parse(
         "mode strict\n\
          dest D1 = 200.7.0.0/16\n\
@@ -194,12 +206,20 @@ pub fn ring_workload(n: usize) -> (Topology, NetworkConfig, Specification, Vocab
          Req2 {\n  R0 ~> D2\n}",
     )
     .unwrap();
-    let vocab = Vocabulary::new(&topo, vec![TAG_P1, TAG_P2], vec![50, 100, 200], vec![d1(), d2()]);
+    let vocab = Vocabulary::new(
+        &topo,
+        vec![TAG_P1, TAG_P2],
+        vec![50, 100, 200],
+        vec![d1(), d2()],
+    );
     (topo, base, spec, vocab)
 }
 
 /// Grid-topology scaling workload (many equal-length alternative paths).
-pub fn grid_workload(rows: usize, cols: usize) -> (Topology, NetworkConfig, Specification, Vocabulary) {
+pub fn grid_workload(
+    rows: usize,
+    cols: usize,
+) -> (Topology, NetworkConfig, Specification, Vocabulary) {
     let topo = netexpl_topology::builders::grid(rows, cols);
     let pa = topo.router_by_name("Pa").unwrap();
     let pb = topo.router_by_name("Pb").unwrap();
@@ -212,12 +232,20 @@ pub fn grid_workload(rows: usize, cols: usize) -> (Topology, NetworkConfig, Spec
          Req1 {\n  !(Pa -> ... -> Pb)\n  !(Pb -> ... -> Pa)\n}",
     )
     .unwrap();
-    let vocab = Vocabulary::new(&topo, vec![TAG_P1, TAG_P2], vec![50, 100, 200], vec![d1(), d2()]);
+    let vocab = Vocabulary::new(
+        &topo,
+        vec![TAG_P1, TAG_P2],
+        vec![50, 100, 200],
+        vec![d1(), d2()],
+    );
     (topo, base, spec, vocab)
 }
 
 /// Clos-fabric scaling workload.
-pub fn clos_workload(spines: usize, leaves: usize) -> (Topology, NetworkConfig, Specification, Vocabulary) {
+pub fn clos_workload(
+    spines: usize,
+    leaves: usize,
+) -> (Topology, NetworkConfig, Specification, Vocabulary) {
     let topo = netexpl_topology::builders::clos(spines, leaves);
     let pa = topo.router_by_name("Pa").unwrap();
     let pb = topo.router_by_name("Pb").unwrap();
@@ -230,7 +258,12 @@ pub fn clos_workload(spines: usize, leaves: usize) -> (Topology, NetworkConfig, 
          Req1 {\n  !(Pa -> ... -> Pb)\n  !(Pb -> ... -> Pa)\n}",
     )
     .unwrap();
-    let vocab = Vocabulary::new(&topo, vec![TAG_P1, TAG_P2], vec![50, 100, 200], vec![d1(), d2()]);
+    let vocab = Vocabulary::new(
+        &topo,
+        vec![TAG_P1, TAG_P2],
+        vec![50, 100, 200],
+        vec![d1(), d2()],
+    );
     (topo, base, spec, vocab)
 }
 
@@ -248,7 +281,12 @@ pub fn line_workload(n: usize) -> (Topology, NetworkConfig, Specification, Vocab
          Req1 {\n  !(Pa -> ... -> Pb)\n  !(Pb -> ... -> Pa)\n}",
     )
     .unwrap();
-    let vocab = Vocabulary::new(&topo, vec![TAG_P1, TAG_P2], vec![50, 100, 200], vec![d1(), d2()]);
+    let vocab = Vocabulary::new(
+        &topo,
+        vec![TAG_P1, TAG_P2],
+        vec![50, 100, 200],
+        vec![d1(), d2()],
+    );
     (topo, base, spec, vocab)
 }
 

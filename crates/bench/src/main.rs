@@ -62,7 +62,10 @@ fn header(id: &str, what: &str) {
 // ---------------------------------------------------------------------------
 
 fn figures_f1_f2() {
-    header("F1/F2", "Scenario 1 end-to-end; subspecification at R1 (paper Fig. 2)");
+    header(
+        "F1/F2",
+        "Scenario 1 end-to-end; subspecification at R1 (paper Fig. 2)",
+    );
     let (topo, h, net, spec) = scenario1();
     let vocab = paper_vocab(&topo, net.prefixes());
     let mut ctx = Ctx::new();
@@ -75,12 +78,19 @@ fn figures_f1_f2() {
         &net,
         &spec,
         h.r1,
-        &Selector::Entry { neighbor: h.p1, dir: Dir::Export, entry: 1 },
+        &Selector::Entry {
+            neighbor: h.p1,
+            dir: Dir::Export,
+            entry: 1,
+        },
         ExplainOptions::default(),
     )
     .unwrap();
     println!("paper Fig. 2:   R1 {{ !(R1->P1) }}");
-    println!("measured:       {}", expl.subspec.to_string().replace('\n', " "));
+    println!(
+        "measured:       {}",
+        expl.subspec.to_string().replace('\n', " ")
+    );
     println!("exact:          {}", expl.lift_complete);
 }
 
@@ -111,7 +121,10 @@ fn figure_f4() {
 }
 
 fn figure_f5() {
-    header("F5", "Scenario 3; per-requirement subspecifications (paper Fig. 5)");
+    header(
+        "F5",
+        "Scenario 3; per-requirement subspecifications (paper Fig. 5)",
+    );
     let (topo, h, net, spec) = scenario3();
     let req1 = only_blocks(&spec, &["Req1"]);
     let vocab = paper_vocab(&topo, net.prefixes());
@@ -126,7 +139,10 @@ fn figure_f5() {
         &net,
         &req1,
         h.r2,
-        &Selector::Session { neighbor: h.p2, dir: Dir::Export },
+        &Selector::Session {
+            neighbor: h.p2,
+            dir: Dir::Export,
+        },
         ExplainOptions::default(),
     )
     .unwrap();
@@ -166,7 +182,13 @@ fn table_e1() {
     );
     println!(
         "{:<10} {:<9} {:>12} {:>11} {:>16} {:>15} {:>10}",
-        "scenario", "router", "seed nodes", "seed conj", "simplified nodes", "simplified conj", "on-router"
+        "scenario",
+        "router",
+        "seed nodes",
+        "seed conj",
+        "simplified nodes",
+        "simplified conj",
+        "on-router"
     );
     let cases: Vec<(&str, _)> = vec![
         ("scenario1", scenario1()),
@@ -187,7 +209,10 @@ fn table_e1() {
                 &spec,
                 router,
                 &Selector::Router,
-                ExplainOptions { skip_lift: true, ..Default::default() },
+                ExplainOptions {
+                    skip_lift: true,
+                    ..Default::default()
+                },
             ) {
                 Ok(e) => e,
                 Err(_) => continue, // router unconfigured in this scenario
@@ -223,15 +248,45 @@ fn table_e2() {
     let selectors: Vec<(&str, Selector)> = vec![
         (
             "entry 0 action only",
-            Selector::Field { neighbor: h.p2, dir: Dir::Export, entry: 0, field: Field::Action },
+            Selector::Field {
+                neighbor: h.p2,
+                dir: Dir::Export,
+                entry: 0,
+                field: Field::Action,
+            },
         ),
         (
             "entry 0 match value only",
-            Selector::Field { neighbor: h.p2, dir: Dir::Export, entry: 0, field: Field::Match(0) },
+            Selector::Field {
+                neighbor: h.p2,
+                dir: Dir::Export,
+                entry: 0,
+                field: Field::Match(0),
+            },
         ),
-        ("entry 0 (action+match)", Selector::Entry { neighbor: h.p2, dir: Dir::Export, entry: 0 }),
-        ("entry 1 (catch-all)", Selector::Entry { neighbor: h.p2, dir: Dir::Export, entry: 1 }),
-        ("whole export session", Selector::Session { neighbor: h.p2, dir: Dir::Export }),
+        (
+            "entry 0 (action+match)",
+            Selector::Entry {
+                neighbor: h.p2,
+                dir: Dir::Export,
+                entry: 0,
+            },
+        ),
+        (
+            "entry 1 (catch-all)",
+            Selector::Entry {
+                neighbor: h.p2,
+                dir: Dir::Export,
+                entry: 1,
+            },
+        ),
+        (
+            "whole export session",
+            Selector::Session {
+                neighbor: h.p2,
+                dir: Dir::Export,
+            },
+        ),
         ("whole router", Selector::Router),
     ];
     for (label, sel) in selectors {
@@ -246,7 +301,10 @@ fn table_e2() {
             &spec,
             h.r2,
             &sel,
-            ExplainOptions { skip_lift: true, ..Default::default() },
+            ExplainOptions {
+                skip_lift: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         println!(
@@ -276,9 +334,15 @@ fn table_e3() {
         let sorts = vocab.sorts(&mut ctx);
         let factory = HoleFactory::new(&vocab, sorts);
         let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
-        let Ok(result) =
-            synthesize(&mut ctx, &topo, &vocab, sorts, &sketch, &spec, SynthOptions::default())
-        else {
+        let Ok(result) = synthesize(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &sketch,
+            &spec,
+            SynthOptions::default(),
+        ) else {
             continue;
         };
         let r0 = topo.router_by_name("R0").unwrap();
@@ -295,7 +359,10 @@ fn table_e3() {
             &topo,
             &result.config,
             r0,
-            &Selector::Session { neighbor: pa, dir: Dir::Export },
+            &Selector::Session {
+                neighbor: pa,
+                dir: Dir::Export,
+            },
         );
         let seed = seed_spec(
             &mut ctx2,
@@ -304,7 +371,9 @@ fn table_e3() {
             sorts2,
             &sym,
             &spec,
-            EncodeOptions { max_path_len: topo.num_routers() },
+            EncodeOptions {
+                max_path_len: topo.num_routers(),
+            },
         )
         .unwrap();
         let seed_ms = t0.elapsed().as_secs_f64() * 1000.0;
@@ -347,7 +416,10 @@ fn table_e4() {
     );
     let (topo, h, net, spec) = scenario3();
     let vocab = paper_vocab(&topo, net.prefixes());
-    println!("{:<22} {:>16} {:>15} {:>14}", "rules", "simplified nodes", "simplified conj", "rule firings");
+    println!(
+        "{:<22} {:>16} {:>15} {:>14}",
+        "rules", "simplified nodes", "simplified conj", "rule firings"
+    );
     let mut configs: Vec<(String, RuleMask)> = vec![
         ("all 15 rules".to_string(), RuleMask::ALL),
         ("none".to_string(), RuleMask::NONE),
@@ -367,7 +439,11 @@ fn table_e4() {
             &spec,
             h.r2,
             &Selector::Router,
-            ExplainOptions { skip_lift: true, rules: mask, ..Default::default() },
+            ExplainOptions {
+                skip_lift: true,
+                rules: mask,
+                ..Default::default()
+            },
         )
         .unwrap();
         println!(
@@ -385,7 +461,10 @@ fn table_e4() {
 }
 
 fn table_e5() {
-    header("E5", "Solver substrate: CDCL vs. plain DPLL (pigeonhole PHP(n+1, n))");
+    header(
+        "E5",
+        "Solver substrate: CDCL vs. plain DPLL (pigeonhole PHP(n+1, n))",
+    );
     println!("{:<10} {:>12} {:>12}", "instance", "CDCL ms", "DPLL ms");
     for n in [4usize, 5, 6, 7] {
         // Build PHP(n+1, n) clauses.
@@ -423,7 +502,10 @@ fn table_e5() {
         } else {
             f64::NAN // too slow to include by default
         };
-        println!("PHP({},{})  {:>12.2} {:>12.2}", pigeons, holes, cdcl_ms, dpll_ms);
+        println!(
+            "PHP({},{})  {:>12.2} {:>12.2}",
+            pigeons, holes, cdcl_ms, dpll_ms
+        );
     }
 }
 

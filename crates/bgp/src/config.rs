@@ -169,7 +169,12 @@ mod tests {
             h.p1,
             RouteMap::new(
                 "R1_to_P1",
-                vec![RouteMapEntry { seq: 1, action: Action::Deny, matches: vec![], sets: vec![] }],
+                vec![RouteMapEntry {
+                    seq: 1,
+                    action: Action::Deny,
+                    matches: vec![],
+                    sets: vec![],
+                }],
             ),
         );
         let text = net.render(&topo);

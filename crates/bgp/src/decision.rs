@@ -22,7 +22,10 @@ use crate::route::Route;
 /// Compare two routes for the same prefix: `Ordering::Greater` means `a` is
 /// preferred over `b`.
 pub fn compare(a: &Route, b: &Route) -> Ordering {
-    debug_assert_eq!(a.prefix, b.prefix, "decision process compares same-prefix routes");
+    debug_assert_eq!(
+        a.prefix, b.prefix,
+        "decision process compares same-prefix routes"
+    );
     a.local_pref
         .cmp(&b.local_pref)
         .then_with(|| b.as_path_len().cmp(&a.as_path_len()))
@@ -73,14 +76,22 @@ mod tests {
         let mut far = mk(100, 2, 1);
         near.propagation = vec![RouterId(7), RouterId(99)];
         far.propagation = vec![RouterId(1), RouterId(50), RouterId(99)];
-        assert_eq!(compare(&near, &far), Ordering::Greater, "closest egress wins");
+        assert_eq!(
+            compare(&near, &far),
+            Ordering::Greater,
+            "closest egress wins"
+        );
     }
 
     #[test]
     fn neighbor_id_breaks_remaining_ties() {
         let low = mk(100, 2, 1);
         let high = mk(100, 2, 9);
-        assert_eq!(compare(&low, &high), Ordering::Greater, "lower id preferred");
+        assert_eq!(
+            compare(&low, &high),
+            Ordering::Greater,
+            "lower id preferred"
+        );
     }
 
     #[test]

@@ -36,8 +36,8 @@ pub mod route;
 pub mod sim;
 
 pub use config::{NetworkConfig, Origination, RouterConfig};
-pub use parse::parse_config;
 pub use decision::best_route;
+pub use parse::parse_config;
 pub use policy::{Action, MatchClause, RouteMap, RouteMapEntry, SetClause};
 pub use route::{Community, Route};
 pub use sim::{ForwardingPath, StableState};

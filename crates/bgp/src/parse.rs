@@ -73,7 +73,9 @@ pub fn parse_config(topo: &Topology, text: &str) -> Result<NetworkConfig, Config
         current: &mut Option<(String, Vec<RouteMapEntry>)>,
         line: usize,
     ) -> Result<(), ConfigParseError> {
-        let Some((name, entries)) = current.take() else { return Ok(()) };
+        let Some((name, entries)) = current.take() else {
+            return Ok(());
+        };
         let (Some(r), Some((neighbor, dir))) = (router, session.as_ref()) else {
             return Err(ConfigParseError {
                 line,
@@ -120,23 +122,32 @@ pub fn parse_config(topo: &Topology, text: &str) -> Result<NetworkConfig, Config
                 return Err(err(lineno, "originate needs <Router> <prefix>".into()));
             };
             let r = lookup(lineno, name)?;
-            let prefix: Prefix =
-                prefix.parse().map_err(|e| err(lineno, format!("{e}")))?;
+            let prefix: Prefix = prefix.parse().map_err(|e| err(lineno, format!("{e}")))?;
             net.originate(r, prefix);
             continue;
         }
         if let Some(rest) = line.strip_prefix("route-map ") {
             let parts: Vec<&str> = rest.split_whitespace().collect();
             let [name, action, seq] = parts[..] else {
-                return Err(err(lineno, "route-map needs <name> <permit|deny> <seq>".into()));
+                return Err(err(
+                    lineno,
+                    "route-map needs <name> <permit|deny> <seq>".into(),
+                ));
             };
             let action = match action {
                 "permit" => Action::Permit,
                 "deny" => Action::Deny,
                 other => return Err(err(lineno, format!("bad action `{other}`"))),
             };
-            let seq: u32 = seq.parse().map_err(|_| err(lineno, format!("bad seq `{seq}`")))?;
-            let entry = RouteMapEntry { seq, action, matches: vec![], sets: vec![] };
+            let seq: u32 = seq
+                .parse()
+                .map_err(|_| err(lineno, format!("bad seq `{seq}`")))?;
+            let entry = RouteMapEntry {
+                seq,
+                action,
+                matches: vec![],
+                sets: vec![],
+            };
             match &mut current {
                 Some((cur_name, entries)) if *cur_name == name => entries.push(entry),
                 _ => {
@@ -154,28 +165,43 @@ pub fn parse_config(topo: &Topology, text: &str) -> Result<NetworkConfig, Config
         if let Some(rest) = line.strip_prefix("match ip address prefix-list ") {
             let mut prefixes = Vec::new();
             for p in rest.split_whitespace() {
-                prefixes.push(p.parse::<Prefix>().map_err(|e| err(lineno, format!("{e}")))?);
+                prefixes.push(
+                    p.parse::<Prefix>()
+                        .map_err(|e| err(lineno, format!("{e}")))?,
+                );
             }
             entry.matches.push(MatchClause::PrefixList(prefixes));
         } else if let Some(rest) = line.strip_prefix("match community ") {
-            entry.matches.push(MatchClause::Community(parse_community(rest, lineno)?));
+            entry
+                .matches
+                .push(MatchClause::Community(parse_community(rest, lineno)?));
         } else if let Some(rest) = line.strip_prefix("match as-path ") {
-            let asn: u32 =
-                rest.trim().parse().map_err(|_| err(lineno, format!("bad AS `{rest}`")))?;
+            let asn: u32 = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(lineno, format!("bad AS `{rest}`")))?;
             entry.matches.push(MatchClause::AsInPath(AsNum(asn)));
         } else if let Some(rest) = line.strip_prefix("match source-neighbor ") {
-            entry.matches.push(MatchClause::FromNeighbor(lookup(lineno, rest.trim())?));
+            entry
+                .matches
+                .push(MatchClause::FromNeighbor(lookup(lineno, rest.trim())?));
         } else if let Some(rest) = line.strip_prefix("set local-preference ") {
-            let lp: u32 =
-                rest.trim().parse().map_err(|_| err(lineno, format!("bad lp `{rest}`")))?;
+            let lp: u32 = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(lineno, format!("bad lp `{rest}`")))?;
             entry.sets.push(SetClause::LocalPref(lp));
         } else if let Some(rest) = line.strip_prefix("set community ") {
             let c = rest.trim_end_matches(" additive");
-            entry.sets.push(SetClause::AddCommunity(parse_community(c, lineno)?));
+            entry
+                .sets
+                .push(SetClause::AddCommunity(parse_community(c, lineno)?));
         } else if line == "set comm-list all delete" {
             entry.sets.push(SetClause::ClearCommunities);
         } else if let Some(rest) = line.strip_prefix("set next-hop ") {
-            entry.sets.push(SetClause::NextHop(lookup(lineno, rest.trim())?));
+            entry
+                .sets
+                .push(SetClause::NextHop(lookup(lineno, rest.trim())?));
         } else {
             return Err(err(lineno, format!("unrecognized line `{line}`")));
         }
@@ -192,8 +218,10 @@ fn parse_community(s: &str, line: usize) -> Result<Community, ConfigParseError> 
         .split_once(':')
         .ok_or_else(|| err(format!("bad community `{s}` (want asn:value)")))?;
     Ok(Community(
-        a.parse().map_err(|_| err(format!("bad community asn `{a}`")))?,
-        b.parse().map_err(|_| err(format!("bad community value `{b}`")))?,
+        a.parse()
+            .map_err(|_| err(format!("bad community asn `{a}`")))?,
+        b.parse()
+            .map_err(|_| err(format!("bad community value `{b}`")))?,
     ))
 }
 
@@ -213,12 +241,17 @@ mod tests {
                     RouteMapEntry {
                         seq: 1,
                         action: Action::Deny,
-                        matches: vec![MatchClause::PrefixList(vec![
-                            "123.0.0.0/20".parse().unwrap(),
-                        ])],
+                        matches: vec![MatchClause::PrefixList(vec!["123.0.0.0/20"
+                            .parse()
+                            .unwrap()])],
                         sets: vec![SetClause::NextHop(h.p1)],
                     },
-                    RouteMapEntry { seq: 100, action: Action::Deny, matches: vec![], sets: vec![] },
+                    RouteMapEntry {
+                        seq: 100,
+                        action: Action::Deny,
+                        matches: vec![],
+                        sets: vec![],
+                    },
                 ],
             ),
         );
@@ -290,11 +323,8 @@ mod tests {
         let err3 = parse_config(&topo, "set local-preference 100").unwrap_err();
         assert!(err3.message.contains("outside a route-map"), "{err3}");
 
-        let err4 = parse_config(
-            &topo,
-            "! ===== router R1 =====\nroute-map m permit 10",
-        )
-        .unwrap_err();
+        let err4 =
+            parse_config(&topo, "! ===== router R1 =====\nroute-map m permit 10").unwrap_err();
         assert!(err4.message.contains("outside a router/session"), "{err4}");
     }
 

@@ -116,7 +116,10 @@ pub struct RouteMap {
 impl RouteMap {
     /// An empty-named map from entries.
     pub fn new(name: &str, entries: Vec<RouteMapEntry>) -> RouteMap {
-        RouteMap { name: name.to_string(), entries }
+        RouteMap {
+            name: name.to_string(),
+            entries,
+        }
     }
 
     /// Evaluate the map: `Some(route')` if permitted (with sets applied),
@@ -236,8 +239,18 @@ mod tests {
         let m = RouteMap::new(
             "m",
             vec![
-                RouteMapEntry { seq: 10, action: Action::Deny, matches: vec![], sets: vec![] },
-                RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+                RouteMapEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    matches: vec![],
+                    sets: vec![],
+                },
+                RouteMapEntry {
+                    seq: 20,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![],
+                },
             ],
         );
         assert_eq!(m.apply(&r), None, "earlier deny shadows later permit");

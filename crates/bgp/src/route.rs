@@ -76,7 +76,11 @@ impl Route {
     /// session crosses an AS boundary.
     #[must_use]
     pub fn advanced(&self, topo: &Topology, from: RouterId, to: RouterId) -> Route {
-        debug_assert_eq!(self.holder(), from, "route must be advertised by its holder");
+        debug_assert_eq!(
+            self.holder(),
+            from,
+            "route must be advertised by its holder"
+        );
         let mut r = self.clone();
         let from_as = topo.router(from).as_num;
         let to_as = topo.router(to).as_num;

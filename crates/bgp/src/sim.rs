@@ -32,7 +32,10 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Unstable { iterations } => {
-                write!(f, "routing did not stabilize within {iterations} iterations")
+                write!(
+                    f,
+                    "routing did not stabilize within {iterations} iterations"
+                )
             }
         }
     }
@@ -108,9 +111,10 @@ pub fn stabilize_with_failures(
             RouterKind::External,
             "only external routers originate prefixes in this model"
         );
-        state
-            .best
-            .insert((o.prefix, o.router), Route::originate(o.prefix, o.router, asn));
+        state.best.insert(
+            (o.prefix, o.router),
+            Route::originate(o.prefix, o.router, asn),
+        );
     }
 
     let max_iters = 4 * topo.num_routers() + 16;
@@ -129,7 +133,9 @@ pub fn stabilize_with_failures(
                     continue;
                 }
                 // Split horizon: never back to the session it came from.
-                if neighbor == route.next_hop && route.holder() == *sender && route.origin() != *sender
+                if neighbor == route.next_hop
+                    && route.holder() == *sender
+                    && route.origin() != *sender
                 {
                     continue;
                 }
@@ -164,10 +170,12 @@ pub fn stabilize_with_failures(
         let mut next_best: BTreeMap<(Prefix, RouterId), Route> = BTreeMap::new();
         for o in config.originations() {
             let asn = topo.router(o.router).as_num;
-            next_best.insert((o.prefix, o.router), Route::originate(o.prefix, o.router, asn));
+            next_best.insert(
+                (o.prefix, o.router),
+                Route::originate(o.prefix, o.router, asn),
+            );
         }
-        let mut keys: Vec<(Prefix, RouterId)> =
-            next_rib.keys().map(|&(p, r, _)| (p, r)).collect();
+        let mut keys: Vec<(Prefix, RouterId)> = next_rib.keys().map(|&(p, r, _)| (p, r)).collect();
         keys.sort();
         keys.dedup();
         for (prefix, router) in keys {
@@ -190,7 +198,9 @@ pub fn stabilize_with_failures(
             return Ok(state);
         }
     }
-    Err(SimError::Unstable { iterations: max_iters })
+    Err(SimError::Unstable {
+        iterations: max_iters,
+    })
 }
 
 #[cfg(test)]
@@ -216,18 +226,22 @@ mod tests {
         let state = stabilize(&topo, &net).unwrap();
         // Every internal router learns the route.
         for r in [h.r1, h.r2, h.r3] {
-            assert!(state.best(d1(), r).is_some(), "router {:?} missing route", r);
+            assert!(
+                state.best(d1(), r).is_some(),
+                "router {:?} missing route",
+                r
+            );
         }
         // Transit: P2 receives the route from R2 — the misconfiguration the
         // no-transit requirement exists to prevent.
-        assert!(!state.available(d1(), h.p2).is_empty(), "default-permit leaks transit");
+        assert!(
+            !state.available(d1(), h.p2).is_empty(),
+            "default-permit leaks transit"
+        );
         // R1 selects the direct path (shorter than via R2/R3).
         let best = state.best(d1(), h.r1).unwrap();
         assert_eq!(best.propagation, vec![h.p1, h.r1]);
-        assert_eq!(
-            state.forwarding_path(d1(), h.r1).unwrap(),
-            vec![h.r1, h.p1]
-        );
+        assert_eq!(state.forwarding_path(d1(), h.r1).unwrap(), vec![h.r1, h.p1]);
     }
 
     #[test]
@@ -239,7 +253,12 @@ mod tests {
         // R1 blocks all exports to P1; R2 blocks all exports to P2.
         let deny_all = RouteMap::new(
             "deny_all",
-            vec![RouteMapEntry { seq: 1, action: Action::Deny, matches: vec![], sets: vec![] }],
+            vec![RouteMapEntry {
+                seq: 1,
+                action: Action::Deny,
+                matches: vec![],
+                sets: vec![],
+            }],
         );
         net.router_mut(h.r1).set_export(h.p1, deny_all.clone());
         net.router_mut(h.r2).set_export(h.p2, deny_all);
@@ -336,7 +355,12 @@ mod tests {
                         matches: vec![MatchClause::Community(Community(100, 2))],
                         sets: vec![],
                     },
-                    RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+                    RouteMapEntry {
+                        seq: 20,
+                        action: Action::Permit,
+                        matches: vec![],
+                        sets: vec![],
+                    },
                 ],
             ),
         );
@@ -366,7 +390,12 @@ mod tests {
                         matches: vec![MatchClause::PrefixList(vec![customer_prefix()])],
                         sets: vec![],
                     },
-                    RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+                    RouteMapEntry {
+                        seq: 20,
+                        action: Action::Permit,
+                        matches: vec![],
+                        sets: vec![],
+                    },
                 ],
             ),
         );
@@ -448,16 +477,26 @@ mod tests {
             // only your direct path" rule): deny routes that already passed
             // through another internal router.
             net.router_mut(me).set_export(
-                if me == r0 { r2 } else if me == r1 { r0 } else { r1 },
+                if me == r0 {
+                    r2
+                } else if me == r1 {
+                    r0
+                } else {
+                    r1
+                },
                 RouteMap::new(
                     "spoke",
                     vec![
                         RouteMapEntry {
                             seq: 10,
                             action: Action::Deny,
-                            matches: vec![MatchClause::AsInPath(AsNum(
-                                if me == r0 { 101 } else if me == r1 { 102 } else { 100 },
-                            ))],
+                            matches: vec![MatchClause::AsInPath(AsNum(if me == r0 {
+                                101
+                            } else if me == r1 {
+                                102
+                            } else {
+                                100
+                            }))],
                             sets: vec![],
                         },
                         RouteMapEntry {
@@ -477,7 +516,9 @@ mod tests {
                 // gadget was not faithfully encoded — fail loudly with it.
                 let shown: Vec<String> = state
                     .selections()
-                    .map(|(p, r, rt)| format!("{p} @ {} : {}", t.name(r), rt.display_propagation(&t)))
+                    .map(|(p, r, rt)| {
+                        format!("{p} @ {} : {}", t.name(r), rt.display_propagation(&t))
+                    })
                     .collect();
                 panic!("expected oscillation, converged to:\n{}", shown.join("\n"));
             }
@@ -492,8 +533,14 @@ mod tests {
         net.originate(h.p2, d1());
         let a = stabilize(&topo, &net).unwrap();
         let b = stabilize(&topo, &net).unwrap();
-        let sa: Vec<_> = a.selections().map(|(p, r, rt)| (p, r, rt.clone())).collect();
-        let sb: Vec<_> = b.selections().map(|(p, r, rt)| (p, r, rt.clone())).collect();
+        let sa: Vec<_> = a
+            .selections()
+            .map(|(p, r, rt)| (p, r, rt.clone()))
+            .collect();
+        let sb: Vec<_> = b
+            .selections()
+            .map(|(p, r, rt)| (p, r, rt.clone()))
+            .collect();
         assert_eq!(sa, sb);
     }
 }

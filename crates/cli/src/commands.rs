@@ -2,16 +2,16 @@
 
 use netexpl_core::symbolize::{Dir, Selector};
 use netexpl_core::{explain, ExplainOptions};
+use netexpl_lint::{lint_config, lint_selector, lint_spec, Diagnostics};
 use netexpl_logic::term::Ctx;
 use netexpl_spec::check_specification;
 use netexpl_synth::sketch::HoleFactory;
 use netexpl_synth::synthesize::{default_sketch, synthesize, SynthOptions, SynthResult};
 use netexpl_topology::{Link, Topology};
-use serde::Serialize;
+use serde_json::Value;
 
 use crate::input::{load_problem, topology, Options, Problem};
 
-#[derive(Serialize)]
 struct SynthReport {
     topology: String,
     holes: usize,
@@ -29,8 +29,93 @@ fn synthesize_problem(
 ) -> Result<SynthResult, String> {
     let factory = HoleFactory::new(&problem.vocab, sorts);
     let sketch = default_sketch(ctx, topo, &factory, &problem.base);
-    synthesize(ctx, topo, &problem.vocab, sorts, &sketch, &problem.spec, SynthOptions::default())
-        .map_err(|e| e.to_string())
+    synthesize(
+        ctx,
+        topo,
+        &problem.vocab,
+        sorts,
+        &sketch,
+        &problem.spec,
+        SynthOptions::default(),
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Render a diagnostics collection as a JSON value (array of findings
+/// plus summary counts).
+fn diagnostics_json(diags: &Diagnostics) -> Value {
+    let findings: Vec<Value> = diags
+        .iter()
+        .map(|d| {
+            Value::object([
+                ("code", Value::from(d.code.id())),
+                ("severity", Value::from(d.severity.to_string().as_str())),
+                ("message", Value::from(d.message.as_str())),
+                ("place", Value::from(d.span.place.as_str())),
+                ("line", d.span.line.map_or(Value::Null, Value::from)),
+                (
+                    "snippet",
+                    d.span.snippet.as_deref().map_or(Value::Null, Value::from),
+                ),
+                (
+                    "suggestion",
+                    d.suggestion.as_deref().map_or(Value::Null, Value::from),
+                ),
+            ])
+        })
+        .collect();
+    let (errors, warnings, notes) = diags.counts();
+    Value::object([
+        ("findings", Value::from(findings)),
+        ("errors", Value::from(errors)),
+        ("warnings", Value::from(warnings)),
+        ("notes", Value::from(notes)),
+    ])
+}
+
+/// `netexpl lint` — run every static-analysis pass over a specification
+/// and the configuration synthesized from it. Exits non-zero iff any
+/// error-severity diagnostic fires.
+pub fn lint(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &["json", "no-sat"])?;
+    let topo = topology(opts.require("topology")?)?;
+    let problem = load_problem(&topo, opts.require("spec")?)?;
+
+    // Spec passes first: the base config supplies the `@originate` facts.
+    let mut diags = lint_spec(&topo, &problem.spec, Some(&problem.base));
+
+    // Config passes run over the synthesized output — unless the spec is
+    // already broken, in which case synthesis would only fail noisily.
+    let mut synth_error = None;
+    if !diags.has_errors() {
+        let mut ctx = Ctx::new();
+        let sorts = problem.vocab.sorts(&mut ctx);
+        match synthesize_problem(&topo, &problem, &mut ctx, sorts) {
+            Ok(result) => {
+                let vocab = (!opts.flag("no-sat")).then_some(&problem.vocab);
+                diags.extend(lint_config(&topo, &result.config, vocab));
+            }
+            Err(e) => synth_error = Some(e),
+        }
+    }
+    diags.sort();
+
+    if opts.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&diagnostics_json(&diags))
+        );
+    } else {
+        print!("{diags}");
+    }
+    if let Some(e) = synth_error {
+        return Err(format!("synthesis failed, config passes skipped: {e}"));
+    }
+    if diags.has_errors() {
+        let (errors, _, _) = diags.counts();
+        return Err(format!("lint found {errors} error(s)"));
+    }
+    Ok(())
 }
 
 /// `netexpl synth` — synthesize a configuration and print it.
@@ -41,6 +126,13 @@ pub fn synth(args: &[String]) -> Result<(), String> {
     let mut ctx = Ctx::new();
     let sorts = problem.vocab.sorts(&mut ctx);
     let result = synthesize_problem(&topo, &problem, &mut ctx, sorts)?;
+
+    // Post-synthesis self-check: the synthesizer should never emit dead
+    // or self-contradictory lines; surface them as warnings if it does.
+    let self_check = lint_config(&topo, &result.config, Some(&problem.vocab));
+    if !self_check.is_empty() {
+        eprint!("self-check: the synthesized configuration has findings\n{self_check}");
+    }
     let report = SynthReport {
         topology: opts.require("topology")?.to_string(),
         holes: result.stats.num_holes,
@@ -50,7 +142,15 @@ pub fn synth(args: &[String]) -> Result<(), String> {
         config: result.config.render(&topo),
     };
     if opts.flag("json") {
-        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+        let json = Value::object([
+            ("topology", Value::from(report.topology.as_str())),
+            ("holes", Value::from(report.holes)),
+            ("constraints", Value::from(report.constraints)),
+            ("constraint_nodes", Value::from(report.constraint_nodes)),
+            ("candidate_paths", Value::from(report.candidate_paths)),
+            ("config", Value::from(report.config.as_str())),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&json));
     } else {
         println!(
             "synthesized with {} holes, {} constraints ({} nodes), {} candidate paths\n",
@@ -61,7 +161,6 @@ pub fn synth(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-#[derive(Serialize)]
 struct ExplainReport {
     router: String,
     symbolized: Vec<String>,
@@ -111,6 +210,16 @@ pub fn explain_cmd(args: &[String]) -> Result<(), String> {
     let sorts = problem.vocab.sorts(&mut ctx);
     let result = synthesize_problem(&topo, &problem, &mut ctx, sorts)?;
 
+    // Pre-flight: a selector that covers zero configuration lines would
+    // symbolize nothing and "explain" an empty report. Reject it with a
+    // diagnostic that lists what is selectable instead.
+    let preflight = lint_selector(&topo, &result.config, router, &selector);
+    if preflight.has_errors() {
+        return Err(format!(
+            "selector covers no configuration lines\n{preflight}"
+        ));
+    }
+
     let explanation = explain(
         &mut ctx,
         &topo,
@@ -120,7 +229,10 @@ pub fn explain_cmd(args: &[String]) -> Result<(), String> {
         &problem.spec,
         router,
         &selector,
-        ExplainOptions { skip_lift: opts.flag("skip-lift"), ..Default::default() },
+        ExplainOptions {
+            skip_lift: opts.flag("skip-lift"),
+            ..Default::default()
+        },
     )
     .map_err(|e| e.to_string())?;
 
@@ -137,7 +249,28 @@ pub fn explain_cmd(args: &[String]) -> Result<(), String> {
             subspecification: explanation.subspec.to_string(),
             exact: explanation.lift_complete,
         };
-        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+        let json = Value::object([
+            ("router", Value::from(report.router.as_str())),
+            ("symbolized", Value::from(report.symbolized.clone())),
+            ("seed_conjuncts", Value::from(report.seed_conjuncts)),
+            ("seed_nodes", Value::from(report.seed_nodes)),
+            (
+                "simplified_conjuncts",
+                Value::from(report.simplified_conjuncts),
+            ),
+            ("simplified_nodes", Value::from(report.simplified_nodes)),
+            ("rule_firings", Value::from(report.rule_firings)),
+            (
+                "simplified_constraints",
+                Value::from(report.simplified_constraints.clone()),
+            ),
+            (
+                "subspecification",
+                Value::from(report.subspecification.as_str()),
+            ),
+            ("exact", Value::from(report.exact)),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&json));
     } else {
         println!("{explanation}");
     }
@@ -186,14 +319,25 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         let (a, b) = f
             .split_once('-')
             .ok_or_else(|| format!("--fail takes A-B, not `{f}`"))?;
-        let a = topo.router_by_name(a).ok_or_else(|| format!("unknown router `{a}`"))?;
-        let b = topo.router_by_name(b).ok_or_else(|| format!("unknown router `{b}`"))?;
+        let a = topo
+            .router_by_name(a)
+            .ok_or_else(|| format!("unknown router `{a}`"))?;
+        let b = topo
+            .router_by_name(b)
+            .ok_or_else(|| format!("unknown router `{b}`"))?;
         failed.push(Link::new(a, b));
     }
 
     let state = netexpl_bgp::sim::stabilize_with_failures(&topo, &result.config, &failed)
         .map_err(|e| e.to_string())?;
-    println!("stable routing state{}:", if failed.is_empty() { String::new() } else { format!(" ({} failed links)", failed.len()) });
+    println!(
+        "stable routing state{}:",
+        if failed.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} failed links)", failed.len())
+        }
+    );
     for (prefix, router, route) in state.selections() {
         println!(
             "  {:<18} @ {:<10} via {:<10} lp={:<4} path: {}",

@@ -43,17 +43,25 @@ impl Options {
 
     /// The value of `--key`, if given. Repeatable keys: use [`Options::all`].
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// All values of a repeatable `--key`.
     pub fn all(&self, key: &str) -> Vec<&str> {
-        self.pairs.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// A required `--key`.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// Is `--flag` present?
@@ -81,7 +89,9 @@ pub fn topology(name: &str) -> Result<Topology, String> {
             other => Err(format!("unknown topology kind `{other}`")),
         };
     }
-    Err(format!("unknown topology `{name}` (try paper, line:N, ring:N, star:N)"))
+    Err(format!(
+        "unknown topology `{name}` (try paper, line:N, ring:N, star:N)"
+    ))
 }
 
 /// A loaded problem: topology-independent pieces of a spec file.
@@ -97,15 +107,19 @@ pub struct Problem {
 /// Load a spec file, extracting `// @originate <Router> <prefix>`
 /// directives into a base configuration.
 pub fn load_problem(topo: &Topology, path: &str) -> Result<Problem, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut base = NetworkConfig::new();
     let mut prefixes: Vec<Prefix> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
-        let Some(rest) = line.trim().strip_prefix("// @originate ") else { continue };
+        let Some(rest) = line.trim().strip_prefix("// @originate ") else {
+            continue;
+        };
         let mut parts = rest.split_whitespace();
         let (Some(router), Some(prefix)) = (parts.next(), parts.next()) else {
-            return Err(format!("{path}:{}: @originate needs <Router> <prefix>", lineno + 1));
+            return Err(format!(
+                "{path}:{}: @originate needs <Router> <prefix>",
+                lineno + 1
+            ));
         };
         let router_id = topo
             .router_by_name(router)
@@ -138,10 +152,19 @@ mod tests {
 
     #[test]
     fn options_parsing() {
-        let args: Vec<String> = ["--topology", "paper", "--json", "--fail", "A-B", "--fail", "C-D", "pos"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--topology",
+            "paper",
+            "--json",
+            "--fail",
+            "A-B",
+            "--fail",
+            "C-D",
+            "pos",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let o = Options::parse(&args, &["json", "skip-lift"]).unwrap();
         assert_eq!(o.get("topology"), Some("paper"));
         assert!(o.flag("json"));

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! netexpl synth    --topology paper --spec spec.txt [--json]
+//! netexpl lint     --topology paper --spec spec.txt [--json] [--no-sat]
 //! netexpl explain  --topology paper --spec spec.txt --router R1 \
 //!                  [--neighbor P1 --dir export [--entry N]] [--skip-lift] [--json]
 //! netexpl simulate --topology paper --spec spec.txt [--fail R1-R3]
@@ -45,6 +46,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let rest = &args[1..];
     match command.as_str() {
         "synth" => commands::synth(rest),
+        "lint" => commands::lint(rest),
         "explain" => commands::explain_cmd(rest),
         "assumptions" => commands::assumptions(rest),
         "simulate" => commands::simulate(rest),
@@ -66,6 +68,7 @@ fn print_usage() {
          \n\
          USAGE:\n\
            netexpl synth    --topology <T> --spec <FILE> [--json]\n\
+           netexpl lint     --topology <T> --spec <FILE> [--json] [--no-sat]\n\
            netexpl explain  --topology <T> --spec <FILE> --router <NAME>\n\
                             [--neighbor <NAME> --dir <import|export> [--entry <N>]]\n\
                             [--skip-lift] [--json]\n\

@@ -21,7 +21,7 @@ use netexpl_bgp::NetworkConfig;
 use netexpl_logic::term::Ctx;
 use netexpl_spec::{Specification, SubSpec};
 use netexpl_synth::sketch::{HoleFactory, SymNetworkConfig};
-use netexpl_synth::vocab::{Vocabulary, VocabSorts};
+use netexpl_synth::vocab::{VocabSorts, Vocabulary};
 use netexpl_topology::{RouterId, Topology};
 
 use crate::explain::{ExplainError, ExplainOptions};
@@ -51,7 +51,16 @@ impl std::fmt::Display for EnvironmentAssumptions {
             self.inspected, self.seed_conjuncts, self.seed_size
         )?;
         for (sub, exact) in &self.assumptions {
-            writeln!(f, "{} {}", sub, if *exact { "(exact)" } else { "(necessary conditions)" })?;
+            writeln!(
+                f,
+                "{} {}",
+                sub,
+                if *exact {
+                    "(exact)"
+                } else {
+                    "(necessary conditions)"
+                }
+            )?;
         }
         Ok(())
     }
@@ -95,7 +104,9 @@ pub fn environment_assumptions(
     let seed = seed_spec(ctx, topo, vocab, sorts, &sym, spec, options.encode)?;
     let mut assumptions = Vec::with_capacity(others.len());
     for r in others {
-        let LiftResult { subspec, complete, .. } = lift(ctx, topo, spec, &seed, r, options.lift);
+        let LiftResult {
+            subspec, complete, ..
+        } = lift(ctx, topo, spec, &seed, r, options.lift);
         assumptions.push((subspec, complete));
     }
     Ok(EnvironmentAssumptions {
@@ -147,7 +158,12 @@ mod tests {
                         matches: vec![MatchClause::Community(tag)],
                         sets: vec![],
                     },
-                    RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+                    RouteMapEntry {
+                        seq: 20,
+                        action: Action::Permit,
+                        matches: vec![],
+                        sets: vec![],
+                    },
                 ],
             ),
         );
@@ -192,7 +208,12 @@ mod tests {
             h.p1,
             RouteMap::new(
                 "R1_to_P1",
-                vec![RouteMapEntry { seq: 10, action: Action::Deny, matches: vec![], sets: vec![] }],
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    matches: vec![],
+                    sets: vec![],
+                }],
             ),
         );
         // Give R2 some innocuous config so it participates.
@@ -200,7 +221,12 @@ mod tests {
             h.p2,
             RouteMap::new(
                 "R2_to_P2",
-                vec![RouteMapEntry { seq: 10, action: Action::Permit, matches: vec![], sets: vec![] }],
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![],
+                }],
             ),
         );
         let spec = netexpl_spec::parse("Req1 { !(P2 -> ... -> P1) }").unwrap();
@@ -218,7 +244,11 @@ mod tests {
             ExplainOptions::default(),
         )
         .unwrap();
-        let r2 = env.assumptions.iter().find(|(s, _)| s.router == "R2").unwrap();
+        let r2 = env
+            .assumptions
+            .iter()
+            .find(|(s, _)| s.router == "R2")
+            .unwrap();
         assert!(r2.0.is_empty(), "R1 blocks everything itself:\n{env}");
     }
 }

@@ -8,7 +8,7 @@ use netexpl_logic::term::{Ctx, TermId, TermNode};
 use netexpl_spec::{Specification, SubSpec};
 use netexpl_synth::encode::{EncodeError, EncodeOptions};
 use netexpl_synth::sketch::HoleFactory;
-use netexpl_synth::vocab::{Vocabulary, VocabSorts};
+use netexpl_synth::vocab::{VocabSorts, Vocabulary};
 use netexpl_topology::{RouterId, Topology};
 
 use crate::lift::{lift, LiftOptions, LiftResult};
@@ -109,7 +109,10 @@ impl fmt::Display for Explanation {
             self.rule_stats.total()
         )?;
         if self.simplified_text.is_empty() {
-            writeln!(f, "simplified constraints on this router: (none — unconstrained)")?;
+            writeln!(
+                f,
+                "simplified constraints on this router: (none — unconstrained)"
+            )?;
         } else {
             writeln!(f, "simplified constraints on this router:")?;
             for c in &self.simplified_text {
@@ -119,7 +122,11 @@ impl fmt::Display for Explanation {
         writeln!(
             f,
             "subspecification ({}):",
-            if self.lift_complete { "exact" } else { "necessary conditions" }
+            if self.lift_complete {
+                "exact"
+            } else {
+                "necessary conditions"
+            }
         )?;
         write!(f, "{}", self.subspec)?;
         if self.provenance.iter().any(|p| !p.is_empty()) {
@@ -176,14 +183,22 @@ pub fn explain(
     let (subspec, lift_complete, lift_checked, provenance) = if options.skip_lift {
         (SubSpec::empty(topo.name(router)), false, 0, Vec::new())
     } else {
-        let LiftResult { subspec, complete, candidates_checked, provenance } =
-            lift(ctx, topo, spec, &seed, router, options.lift);
+        let LiftResult {
+            subspec,
+            complete,
+            candidates_checked,
+            provenance,
+        } = lift(ctx, topo, spec, &seed, router, options.lift);
         (subspec, complete, candidates_checked, provenance)
     };
 
     Ok(Explanation {
         router: topo.name(router).to_string(),
-        symbolized: table.symbols.iter().map(|s| s.description.clone()).collect(),
+        symbolized: table
+            .symbols
+            .iter()
+            .map(|s| s.description.clone())
+            .collect(),
         seed_conjuncts: seed.num_conjuncts,
         seed_size: seed.size,
         simplified,
@@ -199,7 +214,10 @@ pub fn explain(
 }
 
 /// The set of symbolized (hole) variables.
-fn hole_var_set(ctx: &Ctx, table: &SymbolTable) -> std::collections::HashSet<netexpl_logic::term::VarId> {
+fn hole_var_set(
+    ctx: &Ctx,
+    table: &SymbolTable,
+) -> std::collections::HashSet<netexpl_logic::term::VarId> {
     table
         .terms()
         .iter()
@@ -268,9 +286,9 @@ fn eliminate_dangling_defs(
             // the definitions must be reconciled, so keep them).
             for a in 0..guards.len() {
                 for b in (a + 1)..guards.len() {
-                    let exclusive = guards[a].iter().any(|&l| {
-                        guards[b].iter().any(|&m| complements(ctx, l, m))
-                    });
+                    let exclusive = guards[a]
+                        .iter()
+                        .any(|&l| guards[b].iter().any(|&m| complements(ctx, l, m)));
                     if !exclusive {
                         continue 'vars;
                     }
@@ -351,10 +369,14 @@ fn is_solvable_body(ctx: &Ctx, body: TermId, v: netexpl_logic::term::VarId) -> b
     if is_def_eq(ctx, body, v) {
         return true;
     }
-    let TermNode::And(parts) = ctx.node(body) else { return false };
+    let TermNode::And(parts) = ctx.node(body) else {
+        return false;
+    };
     let mut guards: Vec<Vec<TermId>> = Vec::new();
     for &part in parts.iter() {
-        let TermNode::Implies(g, inner) = ctx.node(part) else { return false };
+        let TermNode::Implies(g, inner) = ctx.node(part) else {
+            return false;
+        };
         if !is_def_eq(ctx, *inner, v) || ctx.free_vars(*g).contains(&v) {
             return false;
         }
@@ -362,8 +384,9 @@ fn is_solvable_body(ctx: &Ctx, body: TermId, v: netexpl_logic::term::VarId) -> b
     }
     for a in 0..guards.len() {
         for b in (a + 1)..guards.len() {
-            let exclusive =
-                guards[a].iter().any(|&l| guards[b].iter().any(|&m| complements(ctx, l, m)));
+            let exclusive = guards[a]
+                .iter()
+                .any(|&l| guards[b].iter().any(|&m| complements(ctx, l, m)));
             if !exclusive {
                 return false;
             }
@@ -377,9 +400,7 @@ fn is_solvable_body(ctx: &Ctx, body: TermId, v: netexpl_logic::term::VarId) -> b
 fn is_def_eq(ctx: &Ctx, eq: TermId, v: netexpl_logic::term::VarId) -> bool {
     match ctx.node(eq) {
         TermNode::Eq(a, b) => {
-            let var_side = |t: TermId| {
-                matches!(ctx.node(t), TermNode::EnumVar(x) | TermNode::IntVar(x) if *x == v)
-            };
+            let var_side = |t: TermId| matches!(ctx.node(t), TermNode::EnumVar(x) | TermNode::IntVar(x) if *x == v);
             (var_side(*a) && !ctx.free_vars(*b).contains(&v))
                 || (var_side(*b) && !ctx.free_vars(*a).contains(&v))
         }
@@ -412,13 +433,17 @@ mod tests {
         let deny_all = |name: &str| {
             RouteMap::new(
                 name,
-                vec![RouteMapEntry { seq: 100, action: Action::Deny, matches: vec![], sets: vec![] }],
+                vec![RouteMapEntry {
+                    seq: 100,
+                    action: Action::Deny,
+                    matches: vec![],
+                    sets: vec![],
+                }],
             )
         };
         net.router_mut(h.r1).set_export(h.p1, deny_all("R1_to_P1"));
         net.router_mut(h.r2).set_export(h.p2, deny_all("R2_to_P2"));
-        let spec =
-            netexpl_spec::parse("Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }").unwrap();
+        let spec = netexpl_spec::parse("Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }").unwrap();
         (topo, h, net, spec)
     }
 
@@ -436,12 +461,19 @@ mod tests {
             &net,
             &spec,
             h.r1,
-            &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+            &Selector::Session {
+                neighbor: h.p1,
+                dir: Dir::Export,
+            },
             ExplainOptions::default(),
         )
         .unwrap();
         // Figure 2: R1 { !(R1 -> P1) }.
-        assert_eq!(expl.subspec.to_string(), "R1 {\n  !(R1 -> P1)\n}", "\n{expl}");
+        assert_eq!(
+            expl.subspec.to_string(),
+            "R1 {\n  !(R1 -> P1)\n}",
+            "\n{expl}"
+        );
         assert!(expl.lift_complete, "the subspec is exact for this seed");
         // Simplification collapsed the seed substantially.
         assert!(expl.simplified_size < expl.seed_size / 4, "\n{expl}");
@@ -455,7 +487,12 @@ mod tests {
             h.customer,
             RouteMap::new(
                 "R3_to_C",
-                vec![RouteMapEntry { seq: 10, action: Action::Permit, matches: vec![], sets: vec![] }],
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![],
+                }],
             ),
         );
         let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
@@ -512,8 +549,14 @@ mod tests {
             &net,
             &spec,
             h.r1,
-            &Selector::Session { neighbor: h.p1, dir: Dir::Export },
-            ExplainOptions { skip_lift: true, ..Default::default() },
+            &Selector::Session {
+                neighbor: h.p1,
+                dir: Dir::Export,
+            },
+            ExplainOptions {
+                skip_lift: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(expl.subspec.is_empty());

@@ -41,7 +41,10 @@ pub struct LiftOptions {
 
 impl Default for LiftOptions {
     fn default() -> Self {
-        LiftOptions { max_window: 6, max_candidates: 256 }
+        LiftOptions {
+            max_window: 6,
+            max_candidates: 256,
+        }
     }
 }
 
@@ -82,7 +85,9 @@ pub fn lift(
     for infos in seed.encoded.paths.values() {
         for info in infos {
             let routers = &info.routers;
-            let Some(pos) = routers.iter().position(|&r| r == router) else { continue };
+            let Some(pos) = routers.iter().position(|&r| r == router) else {
+                continue;
+            };
             for start in 0..=pos {
                 for end in (pos + 1).max(start + 2)..=routers.len() {
                     if end - start > options.max_window {
@@ -152,8 +157,12 @@ pub fn lift(
 
     // ---- localized preference candidates ------------------------------------
     for (idx, req) in spec.requirements().enumerate() {
-        let Requirement::Preference { chain } = req else { continue };
-        let Some(local) = localize_preference(topo, router, chain) else { continue };
+        let Requirement::Preference { chain } = req else {
+            continue;
+        };
+        let Some(local) = localize_preference(topo, router, chain) else {
+            continue;
+        };
         // This requirement's own constraint conjunction.
         let own: Vec<TermId> = seed
             .encoded
@@ -180,7 +189,9 @@ pub fn lift(
     let mut reach_holders: Vec<RouterId> = vec![router];
     reach_holders.extend(topo.neighbors(router).iter().copied());
     for (dname, prefix) in &spec.destinations {
-        let Some(fam) = seed.encoded.nominal_sel.get(prefix) else { continue };
+        let Some(fam) = seed.encoded.nominal_sel.get(prefix) else {
+            continue;
+        };
         let infos = &seed.encoded.paths[prefix];
         for &x in &reach_holders {
             let sels: Vec<TermId> = infos
@@ -202,15 +213,19 @@ pub fn lift(
                 continue; // not necessary
             }
             kept.push((
-                Requirement::Reachable { src: topo.name(x).to_string(), dst: dname.clone() },
+                Requirement::Reachable {
+                    src: topo.name(x).to_string(),
+                    dst: dname.clone(),
+                },
                 cand,
             ));
         }
     }
 
     // ---- sufficiency ---------------------------------------------------------
-    let chosen_terms: Vec<TermId> =
-        std::iter::once(defs).chain(kept.iter().map(|(_, t)| *t)).collect();
+    let chosen_terms: Vec<TermId> = std::iter::once(defs)
+        .chain(kept.iter().map(|(_, t)| *t))
+        .collect();
     let chosen_conj = ctx.and(&chosen_terms);
     let complete = entails(ctx, chosen_conj, reqs);
 
@@ -255,7 +270,10 @@ pub fn lift(
 
     let requirements: Vec<Requirement> = kept.into_iter().map(|(r, _)| r).collect();
     LiftResult {
-        subspec: SubSpec { router: topo.name(router).to_string(), requirements },
+        subspec: SubSpec {
+            router: topo.name(router).to_string(),
+            requirements,
+        },
         complete,
         candidates_checked: checked,
         provenance,
@@ -304,9 +322,13 @@ mod tests {
         )
         .unwrap();
         let req = spec.requirements().next().unwrap();
-        let Requirement::Preference { chain } = req else { panic!() };
+        let Requirement::Preference { chain } = req else {
+            panic!()
+        };
         let local = localize_preference(&topo, h.r3, chain).unwrap();
-        let Requirement::Preference { chain: lc } = &local else { panic!() };
+        let Requirement::Preference { chain: lc } = &local else {
+            panic!()
+        };
         assert_eq!(lc[0].to_string(), "R3 -> R1 -> P1 -> ... -> D1");
         assert_eq!(lc[1].to_string(), "R3 -> R2 -> P2 -> ... -> D1");
         // A router on only one of the two paths localizes to nothing —
@@ -340,7 +362,12 @@ mod option_tests {
             h.p1,
             RouteMap::new(
                 "R1_to_P1",
-                vec![RouteMapEntry { seq: 10, action: Action::Deny, matches: vec![], sets: vec![] }],
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    matches: vec![],
+                    sets: vec![],
+                }],
             ),
         );
         let spec = netexpl_spec::parse("Req1 { !(P2 -> ... -> P1) }").unwrap();
@@ -349,9 +376,16 @@ mod option_tests {
         let sorts = vocab.sorts(&mut ctx);
         let factory = HoleFactory::new(&vocab, sorts);
         let (sym, _) = symbolize(&mut ctx, &factory, &topo, &net, h.r1, &Selector::Router);
-        let seed =
-            seed_spec(&mut ctx, &topo, &vocab, sorts, &sym, &spec, EncodeOptions::default())
-                .unwrap();
+        let seed = seed_spec(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &sym,
+            &spec,
+            EncodeOptions::default(),
+        )
+        .unwrap();
 
         // With generous bounds the lift is exact.
         let full = lift(&mut ctx, &topo, &spec, &seed, h.r1, LiftOptions::default());
@@ -366,9 +400,16 @@ mod option_tests {
             &spec,
             &seed,
             h.r1,
-            LiftOptions { max_window: 2, max_candidates: 1 },
+            LiftOptions {
+                max_window: 2,
+                max_candidates: 1,
+            },
         );
-        assert!(capped.candidates_checked <= 2, "{}", capped.candidates_checked);
+        assert!(
+            capped.candidates_checked <= 2,
+            "{}",
+            capped.candidates_checked
+        );
         // Window cap of 2 only permits length-2 windows like !(R1 -> P1).
         for req in &capped.subspec.requirements {
             if let Requirement::Forbidden(p) = req {

@@ -12,7 +12,7 @@ use netexpl_logic::term::{Ctx, TermId};
 use netexpl_spec::Specification;
 use netexpl_synth::encode::{EncodeError, EncodeOptions, Encoded, Encoder};
 use netexpl_synth::sketch::SymNetworkConfig;
-use netexpl_synth::vocab::{Vocabulary, VocabSorts};
+use netexpl_synth::vocab::{VocabSorts, Vocabulary};
 use netexpl_topology::Topology;
 
 /// The seed specification: the raw encoding plus summary statistics.
@@ -53,7 +53,13 @@ pub fn seed_spec(
     let req_conjunction = ctx.and(&encoded.reqs.clone());
     let num_conjuncts = encoded.defs.len() + encoded.reqs.len();
     let size = encoded.constraints().map(|c| ctx.term_size(c)).sum();
-    Ok(SeedSpec { encoded, def_conjunction, req_conjunction, num_conjuncts, size })
+    Ok(SeedSpec {
+        encoded,
+        def_conjunction,
+        req_conjunction,
+        num_conjuncts,
+        size,
+    })
 }
 
 #[cfg(test)]
@@ -69,7 +75,11 @@ mod tests {
     /// Scenario-1-style network: both providers originate a prefix, R1/R2
     /// block all exports to their provider (the synthesized no-transit
     /// configuration).
-    fn scenario1() -> (netexpl_topology::Topology, netexpl_topology::builders::PaperTopology, NetworkConfig) {
+    fn scenario1() -> (
+        netexpl_topology::Topology,
+        netexpl_topology::builders::PaperTopology,
+        NetworkConfig,
+    ) {
         let (topo, h) = paper_topology();
         let d1: Prefix = "200.7.0.0/16".parse().unwrap();
         let d2: Prefix = "201.0.0.0/16".parse().unwrap();
@@ -79,7 +89,12 @@ mod tests {
         let deny_all = |name: &str| {
             RouteMap::new(
                 name,
-                vec![RouteMapEntry { seq: 100, action: Action::Deny, matches: vec![], sets: vec![] }],
+                vec![RouteMapEntry {
+                    seq: 100,
+                    action: Action::Deny,
+                    matches: vec![],
+                    sets: vec![],
+                }],
             )
         };
         net.router_mut(h.r1).set_export(h.p1, deny_all("R1_to_P1"));
@@ -102,13 +117,13 @@ mod tests {
             &topo,
             &net,
             h.r1,
-            &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+            &Selector::Session {
+                neighbor: h.p1,
+                dir: Dir::Export,
+            },
         );
         assert!(!table.is_empty());
-        let spec = netexpl_spec::parse(
-            "Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }",
-        )
-        .unwrap();
+        let spec = netexpl_spec::parse("Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }").unwrap();
         let seed = seed_spec(
             &mut ctx,
             &topo,
@@ -122,7 +137,11 @@ mod tests {
         // This minimal deny-all configuration yields a small seed; the E1
         // benchmark reproduces the paper's ">1000 constraints" number on the
         // full scenarios (preference requirements bring selection fixpoints).
-        assert!(seed.size > 10, "raw seed should be non-trivial, got {}", seed.size);
+        assert!(
+            seed.size > 10,
+            "raw seed should be non-trivial, got {}",
+            seed.size
+        );
 
         let conj = seed.conjunction(&mut ctx);
         let simplified = Simplifier::default().simplify(&mut ctx, conj);
@@ -153,15 +172,17 @@ mod tests {
             h.customer,
             RouteMap::new(
                 "R3_to_C",
-                vec![RouteMapEntry { seq: 10, action: Action::Permit, matches: vec![], sets: vec![] }],
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![],
+                }],
             ),
         );
         let (sym, table) = symbolize(&mut ctx, &factory, &topo, &net, h.r3, &Selector::Router);
         assert!(!table.is_empty());
-        let spec = netexpl_spec::parse(
-            "Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }",
-        )
-        .unwrap();
+        let spec = netexpl_spec::parse("Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }").unwrap();
         let seed = seed_spec(
             &mut ctx,
             &topo,

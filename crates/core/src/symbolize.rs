@@ -18,7 +18,7 @@ use netexpl_synth::sketch::{Hole, HoleFactory, SymMatch, SymNetworkConfig, SymRo
 use netexpl_topology::{RouterId, Topology};
 
 /// Direction of the route map a selector refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dir {
     /// Routes received from the neighbor.
     Import,
@@ -138,18 +138,28 @@ pub fn symbolize(
     for (neighbor, dir, map) in sessions {
         let selected_entries: Option<Vec<(usize, Option<Field>)>> = match *selector {
             Selector::Router => Some((0..map.entries.len()).map(|i| (i, None)).collect()),
-            Selector::Session { neighbor: n, dir: d } if n == neighbor && d == dir => {
+            Selector::Session {
+                neighbor: n,
+                dir: d,
+            } if n == neighbor && d == dir => {
                 Some((0..map.entries.len()).map(|i| (i, None)).collect())
             }
-            Selector::Entry { neighbor: n, dir: d, entry } if n == neighbor && d == dir => {
-                Some(vec![(entry, None)])
-            }
-            Selector::Field { neighbor: n, dir: d, entry, field } if n == neighbor && d == dir => {
-                Some(vec![(entry, Some(field))])
-            }
+            Selector::Entry {
+                neighbor: n,
+                dir: d,
+                entry,
+            } if n == neighbor && d == dir => Some(vec![(entry, None)]),
+            Selector::Field {
+                neighbor: n,
+                dir: d,
+                entry,
+                field,
+            } if n == neighbor && d == dir => Some(vec![(entry, Some(field))]),
             _ => None,
         };
-        let Some(selected) = selected_entries else { continue };
+        let Some(selected) = selected_entries else {
+            continue;
+        };
 
         let tag = format!("{}_{}_{}", topo.name(router), dir, topo.name(neighbor));
         let sym_map = symbolize_map(ctx, factory, map, &tag, &selected, &mut table);
@@ -172,7 +182,9 @@ fn symbolize_map(
 ) -> SymRouteMap {
     let mut sym = SymRouteMap::from_concrete(map);
     for &(entry_idx, field) in selected {
-        let Some(entry) = map.entries.get(entry_idx) else { continue };
+        let Some(entry) = map.entries.get(entry_idx) else {
+            continue;
+        };
         let etag = format!("{tag}!e{}", entry.seq);
         let sym_entry = &mut sym.entries[entry_idx];
         let sel_action = field.is_none() || field == Some(Field::Action);
@@ -249,7 +261,12 @@ fn symbolize_set(
     match s {
         SetClause::LocalPref(_) => {
             let hole = factory.local_pref(ctx, &format!("{tag}!Var_Param"));
-            record(table, &hole, ctx, format!("{tag}: set local-preference value"));
+            record(
+                table,
+                &hole,
+                ctx,
+                format!("{tag}: set local-preference value"),
+            );
             SymSet::LocalPref(hole)
         }
         SetClause::AddCommunity(_) => {
@@ -279,7 +296,11 @@ mod tests {
     use netexpl_topology::builders::paper_topology;
     use netexpl_topology::Prefix;
 
-    fn fig1c_config() -> (netexpl_topology::Topology, netexpl_topology::builders::PaperTopology, NetworkConfig) {
+    fn fig1c_config() -> (
+        netexpl_topology::Topology,
+        netexpl_topology::builders::PaperTopology,
+        NetworkConfig,
+    ) {
         let (topo, h) = paper_topology();
         let customer_prefix: Prefix = "123.0.1.0/20".parse().unwrap();
         let mut net = NetworkConfig::new();
@@ -298,7 +319,12 @@ mod tests {
                         matches: vec![MatchClause::PrefixList(vec![customer_prefix])],
                         sets: vec![SetClause::NextHop(h.p1)],
                     },
-                    RouteMapEntry { seq: 100, action: Action::Deny, matches: vec![], sets: vec![] },
+                    RouteMapEntry {
+                        seq: 100,
+                        action: Action::Deny,
+                        matches: vec![],
+                        sets: vec![],
+                    },
                 ],
             ),
         );
@@ -317,12 +343,17 @@ mod tests {
         (topo, h, net)
     }
 
-    fn setup(topo: &netexpl_topology::Topology) -> (Ctx, Vocabulary, netexpl_synth::vocab::VocabSorts) {
+    fn setup(
+        topo: &netexpl_topology::Topology,
+    ) -> (Ctx, Vocabulary, netexpl_synth::vocab::VocabSorts) {
         let vocab = Vocabulary::new(
             topo,
             vec![Community(100, 1), Community(100, 2)],
             vec![50, 100, 200],
-            vec!["123.0.1.0/20".parse().unwrap(), "201.0.0.0/16".parse().unwrap()],
+            vec![
+                "123.0.1.0/20".parse().unwrap(),
+                "201.0.0.0/16".parse().unwrap(),
+            ],
         );
         let mut ctx = Ctx::new();
         let sorts = vocab.sorts(&mut ctx);
@@ -340,7 +371,10 @@ mod tests {
             &topo,
             &net,
             h.r1,
-            &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+            &Selector::Session {
+                neighbor: h.p1,
+                dir: Dir::Export,
+            },
         );
         // Entry 1: action + generic match (2 vars) + generic set (2 vars);
         // entry 100: action. Total 1+2+2+1 = 6.
@@ -351,7 +385,11 @@ mod tests {
         let export = &sym.routers[&h.r1].export[&h.p1];
         assert_eq!(export.symbolic_terms().len(), 6);
         // Names carry the paper's Var_* conventions.
-        let names: Vec<&str> = table.symbols.iter().map(|s| s.description.as_str()).collect();
+        let names: Vec<&str> = table
+            .symbols
+            .iter()
+            .map(|s| s.description.as_str())
+            .collect();
         assert!(names.iter().any(|n| n.contains("action")), "{names:?}");
         assert!(names.iter().any(|n| n.contains("Var_Attr")), "{names:?}");
         assert!(names.iter().any(|n| n.contains("Var_Param")), "{names:?}");
@@ -379,7 +417,10 @@ mod tests {
         let export = &sym.routers[&h.r1].export[&h.p1];
         assert_eq!(export.symbolic_terms().len(), 1);
         // Entry 0 untouched.
-        assert!(matches!(export.entries[0].action, Hole::Concrete(Action::Deny)));
+        assert!(matches!(
+            export.entries[0].action,
+            Hole::Concrete(Action::Deny)
+        ));
         assert!(matches!(export.entries[1].action, Hole::Symbolic(_)));
     }
 
@@ -388,8 +429,7 @@ mod tests {
         let (topo, h, net) = fig1c_config();
         let (mut ctx, vocab, sorts) = setup(&topo);
         let factory = HoleFactory::new(&vocab, sorts);
-        let (sym, table) =
-            symbolize(&mut ctx, &factory, &topo, &net, h.r1, &Selector::Router);
+        let (sym, table) = symbolize(&mut ctx, &factory, &topo, &net, h.r1, &Selector::Router);
         // Export map (6) + import map (action 1 + set-community 1) = 8.
         assert_eq!(table.len(), 8, "{:#?}", table.symbols);
         assert_eq!(sym.symbolic_terms().len(), 8);
@@ -400,8 +440,7 @@ mod tests {
         let (topo, h, net) = fig1c_config();
         let (mut ctx, vocab, sorts) = setup(&topo);
         let factory = HoleFactory::new(&vocab, sorts);
-        let (sym, table) =
-            symbolize(&mut ctx, &factory, &topo, &net, h.r3, &Selector::Router);
+        let (sym, table) = symbolize(&mut ctx, &factory, &topo, &net, h.r3, &Selector::Router);
         assert!(table.is_empty());
         assert!(sym.symbolic_terms().is_empty());
     }
@@ -417,7 +456,10 @@ mod tests {
             &topo,
             &net,
             h.r1,
-            &Selector::Session { neighbor: h.p1, dir: Dir::Import },
+            &Selector::Session {
+                neighbor: h.p1,
+                dir: Dir::Import,
+            },
         );
         assert_eq!(table.len(), 2, "import action is concrete-permit, set community + action? no: permit entry action symbolized too");
         let export = &sym.routers[&h.r1].export[&h.p1];

@@ -1,0 +1,400 @@
+//! Structural (syntactic + dataflow) passes over rendered configurations.
+//!
+//! These passes need no solver: they look at clause lists, session wiring
+//! and network-wide community dataflow. Anything that needs reasoning
+//! about which routes *can* reach an entry lives in [`crate::sat_pass`].
+
+use std::collections::{BTreeSet, HashSet};
+
+use netexpl_bgp::{Action, Community, MatchClause, NetworkConfig, RouteMap, SetClause};
+use netexpl_core::symbolize::Dir;
+use netexpl_topology::{RouterId, Topology};
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+use crate::spans::SpanIndex;
+
+/// Key identifying one route-map entry in the network.
+pub type EntryKey = (RouterId, RouterId, Dir, usize);
+
+/// Run every structural config pass. Returns the findings plus the set of
+/// entries already reported dead, so the SAT pass can avoid duplicating
+/// a structural shadowing report with a semantic one.
+pub fn run(
+    topo: &Topology,
+    net: &NetworkConfig,
+    spans: &SpanIndex,
+) -> (Diagnostics, HashSet<EntryKey>) {
+    let mut diags = Diagnostics::new();
+    let mut dead: HashSet<EntryKey> = HashSet::new();
+
+    for (router, neighbor, dir, map) in sessions(net) {
+        dangling_session(topo, router, neighbor, dir, map, spans, &mut diags);
+        implicit_deny_all(topo, router, neighbor, dir, map, spans, &mut diags);
+        shadowed_entries(
+            topo, router, neighbor, dir, map, spans, &mut diags, &mut dead,
+        );
+    }
+    unset_communities(topo, net, spans, &mut diags);
+
+    (diags, dead)
+}
+
+/// Every session map in the network, in render order.
+pub fn sessions(net: &NetworkConfig) -> Vec<(RouterId, RouterId, Dir, &RouteMap)> {
+    let mut out = Vec::new();
+    for r in net.configured_routers() {
+        let Some(cfg) = net.router(r) else { continue };
+        for (n, map) in cfg.imports() {
+            out.push((r, n, Dir::Import, map));
+        }
+        for (n, map) in cfg.exports() {
+            out.push((r, n, Dir::Export, map));
+        }
+    }
+    out
+}
+
+fn session_place(topo: &Topology, r: RouterId, n: RouterId, dir: Dir) -> String {
+    format!(
+        "{} {} {}",
+        topo.name(r),
+        match dir {
+            Dir::Import => "import from",
+            Dir::Export => "export to",
+        },
+        topo.name(n)
+    )
+}
+
+/// NE008 — a route map attached to a router that is not a neighbor is
+/// never evaluated: the simulator only moves routes across links.
+fn dangling_session(
+    topo: &Topology,
+    r: RouterId,
+    n: RouterId,
+    dir: Dir,
+    map: &RouteMap,
+    _spans: &SpanIndex,
+    diags: &mut Diagnostics,
+) {
+    if !topo.adjacent(r, n) {
+        let place = session_place(topo, r, n, dir);
+        diags.push(
+            Diagnostic::new(
+                Code::DanglingSession,
+                Span::place(&place),
+                format!(
+                    "route-map `{}` is configured for {} but {} has no link to {} — it is never evaluated",
+                    map.name,
+                    topo.name(n),
+                    topo.name(r),
+                    topo.name(n)
+                ),
+            )
+            .with_suggestion(format!("remove the {place} session or add the missing link")),
+        );
+    }
+}
+
+/// NE007 — a map with no permit entry whose entries are all *selective*:
+/// every route falls through to the implicit deny, so the selective
+/// entries are dead weight and a forgotten `permit` is the likely cause.
+/// A map that ends in an explicit catch-all `deny` (empty match list) is
+/// an intentional session block and is not flagged.
+fn implicit_deny_all(
+    topo: &Topology,
+    r: RouterId,
+    n: RouterId,
+    dir: Dir,
+    map: &RouteMap,
+    spans: &SpanIndex,
+    diags: &mut Diagnostics,
+) {
+    if map.entries.is_empty()
+        || map.entries.iter().any(|e| e.action == Action::Permit)
+        || map.entries.iter().any(|e| e.matches.is_empty())
+    {
+        return;
+    }
+    let next_seq = map.entries.iter().map(|e| e.seq).max().unwrap_or(0) + 10;
+    diags.push(
+        Diagnostic::new(
+            Code::ImplicitDenyAll,
+            spans.entry(topo, r, n, dir, 0),
+            format!(
+                "route-map `{}` has {} entr{} but no permit entry — the implicit deny drops every route on this session",
+                map.name,
+                map.entries.len(),
+                if map.entries.len() == 1 { "y" } else { "ies" }
+            ),
+        )
+        .with_suggestion(format!(
+            "add `route-map {} permit {next_seq}` if some routes should pass, or delete the session",
+            map.name
+        )),
+    );
+}
+
+/// NE006 — entry `j` is structurally shadowed when an earlier entry's
+/// clause set is a subset of `j`'s: every route `j` matches, the earlier
+/// entry matches first. Purely syntactic (clause equality); subsumption
+/// that needs prefix containment is the SAT pass's job.
+#[allow(clippy::too_many_arguments)]
+fn shadowed_entries(
+    topo: &Topology,
+    r: RouterId,
+    n: RouterId,
+    dir: Dir,
+    map: &RouteMap,
+    spans: &SpanIndex,
+    diags: &mut Diagnostics,
+    dead: &mut HashSet<EntryKey>,
+) {
+    for j in 1..map.entries.len() {
+        let later = &map.entries[j];
+        let shadower = (0..j).find(|&i| {
+            let earlier = &map.entries[i];
+            earlier.matches.iter().all(|c| later.matches.contains(c))
+        });
+        if let Some(i) = shadower {
+            dead.insert((r, n, dir, j));
+            diags.push(
+                Diagnostic::new(
+                    Code::ShadowedEntry,
+                    spans.entry(topo, r, n, dir, j),
+                    format!(
+                        "entry `{} {}` of route-map `{}` is shadowed by earlier entry `{} {}` — every route it matches is caught first",
+                        later.action, later.seq, map.name, map.entries[i].action, map.entries[i].seq
+                    ),
+                )
+                .with_suggestion(format!(
+                    "delete `route-map {} {} {}`",
+                    map.name, later.action, later.seq
+                )),
+            );
+        }
+    }
+}
+
+/// NE009 — network-wide dataflow: announcements originate with an empty
+/// community set, so a community that is matched somewhere but set nowhere
+/// can never be present on any route.
+fn unset_communities(
+    topo: &Topology,
+    net: &NetworkConfig,
+    spans: &SpanIndex,
+    diags: &mut Diagnostics,
+) {
+    let mut set_anywhere: BTreeSet<Community> = BTreeSet::new();
+    for (_, _, _, map) in sessions(net) {
+        for e in &map.entries {
+            for s in &e.sets {
+                if let SetClause::AddCommunity(c) = s {
+                    set_anywhere.insert(*c);
+                }
+            }
+        }
+    }
+    for (r, n, dir, map) in sessions(net) {
+        for (i, e) in map.entries.iter().enumerate() {
+            for m in &e.matches {
+                if let MatchClause::Community(c) = m {
+                    if !set_anywhere.contains(c) {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::UnsetCommunity,
+                                spans.entry(topo, r, n, dir, i),
+                                format!(
+                                    "entry `{} {}` of route-map `{}` matches community {c}, but no entry in the network sets it — announcements carry no communities, so the match never holds",
+                                    e.action, e.seq, map.name
+                                ),
+                            )
+                            .with_suggestion(format!("remove `match community {c}` or add the `set community {c} additive` that should pair with it")),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_bgp::RouteMapEntry;
+    use netexpl_topology::builders::paper_topology;
+    use netexpl_topology::Prefix;
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn lint(topo: &Topology, net: &NetworkConfig) -> Diagnostics {
+        let spans = SpanIndex::build(topo, net);
+        run(topo, net, &spans).0
+    }
+
+    #[test]
+    fn clean_map_has_no_findings() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "out",
+                vec![
+                    RouteMapEntry {
+                        seq: 10,
+                        action: Action::Permit,
+                        matches: vec![MatchClause::PrefixList(vec![pfx("10.0.0.0/8")])],
+                        sets: vec![],
+                    },
+                    RouteMapEntry {
+                        seq: 20,
+                        action: Action::Deny,
+                        matches: vec![],
+                        sets: vec![],
+                    },
+                ],
+            ),
+        );
+        assert!(lint(&topo, &net).is_empty(), "{}", lint(&topo, &net));
+    }
+
+    #[test]
+    fn duplicate_matches_shadow() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        let m = MatchClause::PrefixList(vec![pfx("10.0.0.0/8")]);
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "out",
+                vec![
+                    RouteMapEntry {
+                        seq: 10,
+                        action: Action::Deny,
+                        matches: vec![m.clone()],
+                        sets: vec![],
+                    },
+                    RouteMapEntry {
+                        seq: 20,
+                        action: Action::Permit,
+                        matches: vec![m],
+                        sets: vec![],
+                    },
+                ],
+            ),
+        );
+        let ds = lint(&topo, &net);
+        assert_eq!(ds.with_code(Code::ShadowedEntry).len(), 1, "{ds}");
+        // The map still has a permit entry, even though it is dead — NE007
+        // must not fire (that pass is syntactic; the SAT pass would flag
+        // the dead permit instead).
+        assert!(ds.with_code(Code::ImplicitDenyAll).is_empty(), "{ds}");
+    }
+
+    #[test]
+    fn catch_all_first_shadows_everything_after() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.router_mut(h.r1).set_import(
+            h.p1,
+            RouteMap::new(
+                "in",
+                vec![
+                    RouteMapEntry {
+                        seq: 1,
+                        action: Action::Permit,
+                        matches: vec![],
+                        sets: vec![],
+                    },
+                    RouteMapEntry {
+                        seq: 2,
+                        action: Action::Deny,
+                        matches: vec![MatchClause::AsInPath(netexpl_topology::AsNum(666))],
+                        sets: vec![],
+                    },
+                ],
+            ),
+        );
+        let ds = lint(&topo, &net);
+        assert_eq!(ds.with_code(Code::ShadowedEntry).len(), 1, "{ds}");
+    }
+
+    #[test]
+    fn deny_only_map_is_implicit_deny_all() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.router_mut(h.r1).set_import(
+            h.p1,
+            RouteMap::new(
+                "in",
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    matches: vec![MatchClause::PrefixList(vec![pfx("10.0.0.0/8")])],
+                    sets: vec![],
+                }],
+            ),
+        );
+        let ds = lint(&topo, &net);
+        assert_eq!(ds.with_code(Code::ImplicitDenyAll).len(), 1, "{ds}");
+    }
+
+    #[test]
+    fn empty_map_is_fine() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.router_mut(h.r1)
+            .set_import(h.p1, RouteMap::new("in", vec![]));
+        assert!(lint(&topo, &net).is_empty());
+    }
+
+    #[test]
+    fn non_neighbor_session_dangles() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        // R1 and P2 are not linked in Figure 1b.
+        net.router_mut(h.r1)
+            .set_export(h.p2, RouteMap::new("out", vec![]));
+        let ds = lint(&topo, &net);
+        assert_eq!(ds.with_code(Code::DanglingSession).len(), 1, "{ds}");
+    }
+
+    #[test]
+    fn matched_but_never_set_community_flagged() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.router_mut(h.r2).set_export(
+            h.r3,
+            RouteMap::new(
+                "out",
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![MatchClause::Community(Community(100, 7))],
+                    sets: vec![],
+                }],
+            ),
+        );
+        let ds = lint(&topo, &net);
+        assert_eq!(ds.with_code(Code::UnsetCommunity).len(), 1, "{ds}");
+
+        // Adding the `set` elsewhere silences it.
+        net.router_mut(h.r1).set_import(
+            h.p1,
+            RouteMap::new(
+                "in",
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::AddCommunity(Community(100, 7))],
+                }],
+            ),
+        );
+        let ds = lint(&topo, &net);
+        assert!(ds.with_code(Code::UnsetCommunity).is_empty(), "{ds}");
+    }
+}

@@ -1,0 +1,350 @@
+//! The diagnostics framework: stable codes, severities, source spans into
+//! rendered configuration text, and machine-applicable suggestions.
+
+use std::fmt;
+
+/// How serious a finding is. `Error`-severity diagnostics fail `netexpl
+/// lint`; warnings and notes are informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or informational.
+    Note,
+    /// Almost certainly unintended, but the artifact is still usable.
+    Warning,
+    /// The artifact is broken (unknown names, cyclic preferences, …).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The stable diagnostic codes. Codes are append-only: once published a
+/// code keeps its meaning forever, so tooling can filter on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// Specification names a router the topology does not have.
+    UnknownRouter,
+    /// Specification names an undeclared destination.
+    UnknownDestination,
+    /// Preference requirements form a cycle (`p1 >> p2 >> … >> p1`).
+    PreferenceCycle,
+    /// The same path is both forbidden and preferred.
+    ForbiddenPreferred,
+    /// A path pattern has no realizable walk in the topology.
+    UnrealizablePattern,
+    /// A route-map entry is structurally shadowed by an earlier entry.
+    ShadowedEntry,
+    /// A non-empty route map with no permit entry: the implicit deny
+    /// blocks the whole session.
+    ImplicitDenyAll,
+    /// A route map is attached to a session with a router that is not a
+    /// neighbor — the map can never be evaluated.
+    DanglingSession,
+    /// A community is matched somewhere but never set anywhere: since
+    /// announcements originate without communities, the match never holds.
+    UnsetCommunity,
+    /// SAT: an entry's match conjunction is unsatisfiable given all
+    /// earlier entries — semantically dead code.
+    UnreachableEntry,
+    /// SAT: an entry's match conjunction is self-contradictory over the
+    /// synthesis vocabulary — it matches no announceable route at all.
+    ContradictoryMatch,
+    /// A symbolization selector covers zero configuration lines: the
+    /// explanation it seeds would be vacuously empty.
+    EmptySelector,
+}
+
+impl Code {
+    /// The stable `NExxx` identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Code::UnknownRouter => "NE001",
+            Code::UnknownDestination => "NE002",
+            Code::PreferenceCycle => "NE003",
+            Code::ForbiddenPreferred => "NE004",
+            Code::UnrealizablePattern => "NE005",
+            Code::ShadowedEntry => "NE006",
+            Code::ImplicitDenyAll => "NE007",
+            Code::DanglingSession => "NE008",
+            Code::UnsetCommunity => "NE009",
+            Code::UnreachableEntry => "NE010",
+            Code::ContradictoryMatch => "NE011",
+            Code::EmptySelector => "NE012",
+        }
+    }
+
+    /// The default severity this code reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::UnknownRouter
+            | Code::UnknownDestination
+            | Code::PreferenceCycle
+            | Code::EmptySelector => Severity::Error,
+            Code::ForbiddenPreferred
+            | Code::UnrealizablePattern
+            | Code::ShadowedEntry
+            | Code::ImplicitDenyAll
+            | Code::DanglingSession
+            | Code::UnsetCommunity
+            | Code::UnreachableEntry
+            | Code::ContradictoryMatch => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// Where a diagnostic points. Config diagnostics carry a 1-based line
+/// number into the `NetworkConfig::render` text plus the line itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Human-readable place (`R1 export to P1, entry 2` or `Req1`).
+    pub place: String,
+    /// 1-based line in the rendered configuration, when applicable.
+    pub line: Option<usize>,
+    /// The rendered source line the diagnostic anchors to.
+    pub snippet: Option<String>,
+}
+
+impl Span {
+    /// A span with only a place description (spec and selector findings).
+    pub fn place(place: impl Into<String>) -> Span {
+        Span {
+            place: place.into(),
+            line: None,
+            snippet: None,
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (defaults to `code.severity()`, may be adjusted per-site).
+    pub severity: Severity,
+    /// What is wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+    /// A machine-applicable fix, where one is cheap to state.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            span,
+            suggestion: None,
+        }
+    }
+
+    /// Attach a suggestion.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// Override the severity (e.g. a vacuous Forbidden pattern is a
+    /// warning where the same finding on a Reachable is an error).
+    pub fn with_severity(mut self, s: Severity) -> Diagnostic {
+        self.severity = s;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if self.span.place.is_empty() {
+            writeln!(f)?;
+        } else {
+            writeln!(f, "\n  --> {}", self.span.place)?;
+        }
+        if let (Some(line), Some(snippet)) = (self.span.line, &self.span.snippet) {
+            writeln!(f, "   {line:>4} | {snippet}")?;
+        }
+        if let Some(s) = &self.suggestion {
+            writeln!(f, "   fix: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Add a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Absorb another collection.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// All findings, in report order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// No findings at all?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Any error-severity finding? (`netexpl lint` exits non-zero iff so.)
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings with a given code (test convenience).
+    pub fn with_code(&self, code: Code) -> Vec<&Diagnostic> {
+        self.items.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Sort by severity (errors first), then line, then code — the order
+    /// reports print in.
+    pub fn sort(&mut self) {
+        self.items.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(
+                    a.span
+                        .line
+                        .unwrap_or(usize::MAX)
+                        .cmp(&b.span.line.unwrap_or(usize::MAX)),
+                )
+                .then(a.code.cmp(&b.code))
+        });
+    }
+
+    /// Summary counts as `(errors, warnings, notes)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.items {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Note => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.items {
+            write!(f, "{d}")?;
+        }
+        let (e, w, n) = self.counts();
+        if self.items.is_empty() {
+            writeln!(f, "no findings")
+        } else {
+            writeln!(f, "{e} error(s), {w} warning(s), {n} note(s)")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            Code::UnknownRouter,
+            Code::UnknownDestination,
+            Code::PreferenceCycle,
+            Code::ForbiddenPreferred,
+            Code::UnrealizablePattern,
+            Code::ShadowedEntry,
+            Code::ImplicitDenyAll,
+            Code::DanglingSession,
+            Code::UnsetCommunity,
+            Code::UnreachableEntry,
+            Code::ContradictoryMatch,
+            Code::EmptySelector,
+        ];
+        let ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "duplicate code ids: {ids:?}");
+        assert!(ids.iter().all(|i| i.starts_with("NE") && i.len() == 5));
+    }
+
+    #[test]
+    fn severity_ordering_and_has_errors() {
+        assert!(Severity::Error > Severity::Warning);
+        let mut ds = Diagnostics::new();
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::new(
+            Code::ShadowedEntry,
+            Span::place("x"),
+            "shadowed",
+        ));
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::new(
+            Code::PreferenceCycle,
+            Span::place("y"),
+            "cycle",
+        ));
+        assert!(ds.has_errors());
+        assert_eq!(ds.counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn sort_puts_errors_first() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::new(Code::ShadowedEntry, Span::place("a"), "w"));
+        ds.push(Diagnostic::new(Code::EmptySelector, Span::place("b"), "e"));
+        ds.sort();
+        assert_eq!(ds.iter().next().unwrap().code, Code::EmptySelector);
+    }
+
+    #[test]
+    fn display_mentions_code_and_fix() {
+        let d = Diagnostic::new(
+            Code::ImplicitDenyAll,
+            Span::place("R1 import from P1"),
+            "no permit entry",
+        )
+        .with_suggestion("add `route-map m permit 99`");
+        let text = d.to_string();
+        assert!(text.contains("NE007"), "{text}");
+        assert!(text.contains("fix:"), "{text}");
+    }
+}

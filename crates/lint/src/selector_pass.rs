@@ -1,0 +1,293 @@
+//! Pre-flight coverage check for symbolization selectors.
+//!
+//! `netexpl_core::symbolize` silently skips selector components that do
+//! not resolve — a session with no map, an out-of-range entry index, a
+//! field index past the clause list — and returns an empty symbol table.
+//! An explanation seeded from an empty table is vacuously trivial, which
+//! reads like "this line does not matter" when it actually means "you
+//! pointed at nothing". This pass turns that silence into NE012.
+
+use netexpl_bgp::NetworkConfig;
+use netexpl_core::symbolize::{Dir, Field, Selector};
+use netexpl_topology::{RouterId, Topology};
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+
+/// How many route-map entries a selector would open as holes. Zero means
+/// the explanation pipeline would produce an empty report.
+pub fn selector_coverage(net: &NetworkConfig, router: RouterId, selector: &Selector) -> usize {
+    let Some(cfg) = net.router(router) else {
+        return 0;
+    };
+    let map_of = |neighbor: RouterId, dir: Dir| match dir {
+        Dir::Import => cfg.import(neighbor),
+        Dir::Export => cfg.export(neighbor),
+    };
+    match selector {
+        Selector::Router => {
+            cfg.imports().map(|(_, m)| m.entries.len()).sum::<usize>()
+                + cfg.exports().map(|(_, m)| m.entries.len()).sum::<usize>()
+        }
+        Selector::Session { neighbor, dir } => {
+            map_of(*neighbor, *dir).map_or(0, |m| m.entries.len())
+        }
+        Selector::Entry {
+            neighbor,
+            dir,
+            entry,
+        } => map_of(*neighbor, *dir)
+            .and_then(|m| m.entries.get(*entry))
+            .map_or(0, |_| 1),
+        Selector::Field {
+            neighbor,
+            dir,
+            entry,
+            field,
+        } => map_of(*neighbor, *dir)
+            .and_then(|m| m.entries.get(*entry))
+            .map_or(0, |e| match field {
+                Field::Action => 1,
+                Field::Match(i) => usize::from(*i < e.matches.len()),
+                Field::Set(i) => usize::from(*i < e.sets.len()),
+            }),
+    }
+}
+
+/// NE012 when the selector covers nothing; empty otherwise. The
+/// suggestion enumerates what *is* selectable so the user can re-aim.
+pub fn run(
+    topo: &Topology,
+    net: &NetworkConfig,
+    router: RouterId,
+    selector: &Selector,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    if selector_coverage(net, router, selector) > 0 {
+        return diags;
+    }
+    let rname = topo.name(router);
+    let describe = |neighbor: &RouterId, dir: &Dir| {
+        format!(
+            "{rname} {} {}",
+            match dir {
+                Dir::Import => "import from",
+                Dir::Export => "export to",
+            },
+            topo.name(*neighbor)
+        )
+    };
+    let (place, what) = match selector {
+        Selector::Router => (
+            rname.to_string(),
+            format!("router {rname} has no route-map entries"),
+        ),
+        Selector::Session { neighbor, dir } => {
+            let place = describe(neighbor, dir);
+            (
+                place.clone(),
+                format!("session {place} has no route map (or an empty one)"),
+            )
+        }
+        Selector::Entry {
+            neighbor,
+            dir,
+            entry,
+        } => {
+            let place = describe(neighbor, dir);
+            (
+                place.clone(),
+                format!("session {place} has no entry {entry}"),
+            )
+        }
+        Selector::Field {
+            neighbor,
+            dir,
+            entry,
+            field,
+        } => {
+            let place = describe(neighbor, dir);
+            let f = match field {
+                Field::Action => "action".to_string(),
+                Field::Match(i) => format!("match clause {i}"),
+                Field::Set(i) => format!("set clause {i}"),
+            };
+            (
+                place.clone(),
+                format!("entry {entry} of {place} has no {f}"),
+            )
+        }
+    };
+
+    let mut available: Vec<String> = Vec::new();
+    if let Some(cfg) = net.router(router) {
+        for (n, m) in cfg.imports() {
+            if !m.entries.is_empty() {
+                available.push(format!(
+                    "import from {} ({} entries)",
+                    topo.name(n),
+                    m.entries.len()
+                ));
+            }
+        }
+        for (n, m) in cfg.exports() {
+            if !m.entries.is_empty() {
+                available.push(format!(
+                    "export to {} ({} entries)",
+                    topo.name(n),
+                    m.entries.len()
+                ));
+            }
+        }
+    }
+    let suggestion = if available.is_empty() {
+        format!("router {rname} has nothing to symbolize — pick a router with configured sessions")
+    } else {
+        format!("selectable sessions on {rname}: {}", available.join("; "))
+    };
+
+    diags.push(
+        Diagnostic::new(
+            Code::EmptySelector,
+            Span::place(place),
+            format!("{what} — the selector covers zero configuration lines, so the explanation would be vacuously empty"),
+        )
+        .with_suggestion(suggestion),
+    );
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_bgp::{Action, RouteMap, RouteMapEntry};
+    use netexpl_topology::builders::paper_topology;
+
+    fn one_entry_net(topo: &Topology) -> (NetworkConfig, RouterId, RouterId) {
+        let _ = topo;
+        let (_, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "out",
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![],
+                }],
+            ),
+        );
+        (net, h.r1, h.p1)
+    }
+
+    #[test]
+    fn coverage_counts_entries_and_fields() {
+        let (topo, _) = paper_topology();
+        let (net, r1, p1) = one_entry_net(&topo);
+        assert_eq!(selector_coverage(&net, r1, &Selector::Router), 1);
+        assert_eq!(
+            selector_coverage(
+                &net,
+                r1,
+                &Selector::Session {
+                    neighbor: p1,
+                    dir: Dir::Export
+                }
+            ),
+            1
+        );
+        assert_eq!(
+            selector_coverage(
+                &net,
+                r1,
+                &Selector::Entry {
+                    neighbor: p1,
+                    dir: Dir::Export,
+                    entry: 0
+                }
+            ),
+            1
+        );
+        // Out-of-range entry and absent import map cover nothing.
+        assert_eq!(
+            selector_coverage(
+                &net,
+                r1,
+                &Selector::Entry {
+                    neighbor: p1,
+                    dir: Dir::Export,
+                    entry: 5
+                }
+            ),
+            0
+        );
+        assert_eq!(
+            selector_coverage(
+                &net,
+                r1,
+                &Selector::Session {
+                    neighbor: p1,
+                    dir: Dir::Import
+                }
+            ),
+            0
+        );
+        // Field granularity: the entry has no match clauses.
+        assert_eq!(
+            selector_coverage(
+                &net,
+                r1,
+                &Selector::Field {
+                    neighbor: p1,
+                    dir: Dir::Export,
+                    entry: 0,
+                    field: Field::Match(0)
+                }
+            ),
+            0
+        );
+        assert_eq!(
+            selector_coverage(
+                &net,
+                r1,
+                &Selector::Field {
+                    neighbor: p1,
+                    dir: Dir::Export,
+                    entry: 0,
+                    field: Field::Action
+                }
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_selector_is_an_error_with_alternatives() {
+        let (topo, h) = paper_topology();
+        let (net, r1, p1) = one_entry_net(&topo);
+        let ds = run(
+            &topo,
+            &net,
+            r1,
+            &Selector::Entry {
+                neighbor: p1,
+                dir: Dir::Export,
+                entry: 7,
+            },
+        );
+        assert_eq!(ds.with_code(Code::EmptySelector).len(), 1, "{ds}");
+        assert!(ds.has_errors());
+        let d = ds.with_code(Code::EmptySelector)[0].clone();
+        assert!(
+            d.suggestion.unwrap().contains("export to P1"),
+            "should list the live session"
+        );
+        // An unconfigured router gets the "nothing to symbolize" wording.
+        let ds = run(&topo, &net, h.r2, &Selector::Router);
+        assert!(ds.has_errors());
+        // A covered selector is clean.
+        let ds = run(&topo, &net, r1, &Selector::Router);
+        assert!(ds.is_empty(), "{ds}");
+    }
+}

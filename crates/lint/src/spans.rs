@@ -1,0 +1,149 @@
+//! Mapping route-map entries to lines of the rendered configuration.
+//!
+//! `NetworkConfig::render` is deterministic (BTreeMap iteration order), so
+//! rather than parsing the text back we walk the same structure the
+//! renderer walks and count lines. A unit test pins the two in lock step.
+
+use std::collections::HashMap;
+
+use netexpl_bgp::NetworkConfig;
+use netexpl_core::symbolize::Dir;
+use netexpl_topology::{RouterId, Topology};
+
+use crate::diag::Span;
+
+/// Line positions of every route-map entry in `NetworkConfig::render`
+/// output, keyed by `(router, neighbor, direction, entry index)`.
+#[derive(Debug, Default)]
+pub struct SpanIndex {
+    entries: HashMap<(RouterId, RouterId, Dir, usize), (usize, String)>,
+}
+
+impl SpanIndex {
+    /// Build the index by replaying the renderer's traversal order.
+    pub fn build(_topo: &Topology, net: &NetworkConfig) -> SpanIndex {
+        let mut index = SpanIndex::default();
+        let mut line = 0usize; // last line emitted so far (1-based counting)
+        for r in net.configured_routers() {
+            let Some(cfg) = net.router(r) else { continue };
+            line += 1; // "! ===== router X ====="
+            for (dir, sessions) in [
+                (Dir::Import, cfg.imports().collect::<Vec<_>>()),
+                (Dir::Export, cfg.exports().collect::<Vec<_>>()),
+            ] {
+                for (n, map) in sessions {
+                    line += 1; // "! import from N" / "! export to N"
+                    for (i, e) in map.entries.iter().enumerate() {
+                        line += 1; // "route-map <name> <action> <seq>"
+                        let snippet = format!("route-map {} {} {}", map.name, e.action, e.seq);
+                        index.entries.insert((r, n, dir, i), (line, snippet));
+                        line += e.matches.len() + e.sets.len();
+                    }
+                }
+            }
+        }
+        index
+    }
+
+    /// The span of one entry, with a human-readable place description.
+    pub fn entry(
+        &self,
+        topo: &Topology,
+        router: RouterId,
+        neighbor: RouterId,
+        dir: Dir,
+        entry: usize,
+    ) -> Span {
+        let place = format!(
+            "{} {} {}, entry {}",
+            topo.name(router),
+            match dir {
+                Dir::Import => "import from",
+                Dir::Export => "export to",
+            },
+            topo.name(neighbor),
+            entry
+        );
+        match self.entries.get(&(router, neighbor, dir, entry)) {
+            Some((line, snippet)) => Span {
+                place,
+                line: Some(*line),
+                snippet: Some(snippet.clone()),
+            },
+            None => Span::place(place),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_bgp::{Action, MatchClause, RouteMap, RouteMapEntry, SetClause};
+    use netexpl_topology::builders::paper_topology;
+    use netexpl_topology::Prefix;
+
+    /// The index must agree with the actual renderer, line by line.
+    #[test]
+    fn index_matches_rendered_text() {
+        let (topo, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        net.router_mut(h.r1).set_import(
+            h.p1,
+            RouteMap::new(
+                "R1_from_P1",
+                vec![
+                    RouteMapEntry {
+                        seq: 10,
+                        action: Action::Permit,
+                        matches: vec![MatchClause::PrefixList(vec![p])],
+                        sets: vec![SetClause::LocalPref(200)],
+                    },
+                    RouteMapEntry {
+                        seq: 20,
+                        action: Action::Deny,
+                        matches: vec![],
+                        sets: vec![],
+                    },
+                ],
+            ),
+        );
+        net.router_mut(h.r1).set_export(
+            h.r3,
+            RouteMap::new(
+                "R1_to_R3",
+                vec![RouteMapEntry {
+                    seq: 5,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![],
+                }],
+            ),
+        );
+
+        let rendered = net.render(&topo);
+        let lines: Vec<&str> = rendered.lines().collect();
+        let index = SpanIndex::build(&topo, &net);
+
+        for (key, dir, idx) in [
+            ((h.r1, h.p1), Dir::Import, 0),
+            ((h.r1, h.p1), Dir::Import, 1),
+            ((h.r1, h.r3), Dir::Export, 0),
+        ] {
+            let span = index.entry(&topo, key.0, key.1, dir, idx);
+            let line = span.line.expect("entry should be indexed");
+            let snippet = span.snippet.expect("entry should carry a snippet");
+            assert_eq!(lines[line - 1], snippet, "line {line} of:\n{rendered}");
+        }
+    }
+
+    #[test]
+    fn missing_entry_yields_placeless_span() {
+        let (topo, h) = paper_topology();
+        let net = NetworkConfig::new();
+        let index = SpanIndex::build(&topo, &net);
+        let span = index.entry(&topo, h.r1, h.p1, Dir::Import, 0);
+        assert_eq!(span.line, None);
+        assert!(span.place.contains("R1 import from P1"));
+    }
+}

@@ -1,0 +1,519 @@
+//! Static checks over specification ASTs: name resolution, topological
+//! realizability of path patterns, preference-graph cycles, and
+//! forbidden-vs-preferred conflicts.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use netexpl_bgp::NetworkConfig;
+use netexpl_spec::{PathPattern, Requirement, Seg, Specification};
+use netexpl_topology::{RouterId, Topology};
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Severity, Span};
+
+/// Run every spec pass. `config`, when given, supplies the originations
+/// (`@originate` lines) and enables the destination-anchored realizability
+/// checks; without it those checks degrade gracefully to topology-only.
+pub fn run(topo: &Topology, spec: &Specification, config: Option<&NetworkConfig>) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    for (block, reqs) in &spec.blocks {
+        for (i, req) in reqs.iter().enumerate() {
+            let place = format!("{block}, requirement {}: {req}", i + 1);
+            check_names(topo, spec, req, &place, &mut diags);
+            check_realizability(topo, spec, config, req, &place, &mut diags);
+        }
+    }
+    check_preference_cycles(spec, &mut diags);
+    check_forbidden_vs_preferred(spec, &mut diags);
+    diags
+}
+
+fn patterns_of(req: &Requirement) -> Vec<&PathPattern> {
+    match req {
+        Requirement::Forbidden(p) => vec![p],
+        Requirement::Preference { chain } => chain.iter().collect(),
+        Requirement::Reachable { .. } => vec![],
+    }
+}
+
+/// NE001 / NE002 — every router and destination a requirement names must
+/// exist before any deeper check is meaningful.
+fn check_names(
+    topo: &Topology,
+    spec: &Specification,
+    req: &Requirement,
+    place: &str,
+    diags: &mut Diagnostics,
+) {
+    let unknown_router = |name: &str, diags: &mut Diagnostics| {
+        let known: Vec<&str> = topo.router_ids().map(|r| topo.name(r)).collect();
+        diags.push(
+            Diagnostic::new(
+                Code::UnknownRouter,
+                Span::place(place),
+                format!("unknown router `{name}` — the topology has no router by that name"),
+            )
+            .with_suggestion(format!("known routers: {}", known.join(", "))),
+        );
+    };
+    let unknown_dest = |name: &str, diags: &mut Diagnostics| {
+        let decl: Vec<&str> = spec.destinations.keys().map(String::as_str).collect();
+        diags.push(
+            Diagnostic::new(
+                Code::UnknownDestination,
+                Span::place(place),
+                format!("destination `{name}` is not declared"),
+            )
+            .with_suggestion(if decl.is_empty() {
+                format!("add `dest {name} = <prefix>` to the specification")
+            } else {
+                format!("declared destinations: {}", decl.join(", "))
+            }),
+        );
+    };
+
+    match req {
+        Requirement::Reachable { src, dst } => {
+            if topo.router_by_name(src).is_none() {
+                unknown_router(src, diags);
+            }
+            if !spec.destinations.contains_key(dst) {
+                unknown_dest(dst, diags);
+            }
+        }
+        _ => {
+            for p in patterns_of(req) {
+                for name in p.unknown_routers(topo) {
+                    unknown_router(&name, diags);
+                }
+                if let Some(d) = p.dest() {
+                    if !spec.destinations.contains_key(d) {
+                        unknown_dest(d, diags);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Routers reachable from `src` (including `src`) by walking links.
+fn component_of(topo: &Topology, src: RouterId) -> BTreeSet<RouterId> {
+    let mut seen = BTreeSet::from([src]);
+    let mut queue = VecDeque::from([src]);
+    while let Some(r) = queue.pop_front() {
+        for &n in topo.neighbors(r) {
+            if seen.insert(n) {
+                queue.push_back(n);
+            }
+        }
+    }
+    seen
+}
+
+/// NE005 — a pattern with no realizable walk in the topology. Conservative
+/// (only certainly-impossible shapes are flagged): consecutive concrete
+/// routers must be adjacent, routers separated by `...` must share a
+/// connected component, and a concrete router directly before the
+/// destination must actually originate it (when originations are known).
+fn check_realizability(
+    topo: &Topology,
+    spec: &Specification,
+    config: Option<&NetworkConfig>,
+    req: &Requirement,
+    place: &str,
+    diags: &mut Diagnostics,
+) {
+    // A vacuously-unsatisfiable Forbidden is harmless (warning); an
+    // unrealizable preferred or reachable path can never be honored.
+    let severity = match req {
+        Requirement::Forbidden(_) => Severity::Warning,
+        _ => Severity::Error,
+    };
+    let report = |msg: String, suggestion: Option<String>, diags: &mut Diagnostics| {
+        let mut d = Diagnostic::new(Code::UnrealizablePattern, Span::place(place), msg)
+            .with_severity(severity);
+        if let Some(s) = suggestion {
+            d = d.with_suggestion(s);
+        }
+        diags.push(d);
+    };
+
+    if let Requirement::Reachable { src, dst } = req {
+        let (Some(s), Some(prefix), Some(net)) =
+            (topo.router_by_name(src), spec.prefix_of(dst), config)
+        else {
+            return;
+        };
+        let reach = component_of(topo, s);
+        let origins: Vec<RouterId> = net
+            .originations()
+            .iter()
+            .filter(|o| o.prefix == prefix)
+            .map(|o| o.router)
+            .collect();
+        if origins.is_empty() {
+            report(
+                format!(
+                    "no router originates `{dst}` ({prefix}) — `{src} ~> {dst}` can never hold"
+                ),
+                Some(format!("add `// @originate <Router> {prefix}`")),
+                diags,
+            );
+        } else if !origins.iter().any(|o| reach.contains(o)) {
+            report(
+                format!(
+                    "`{src}` cannot reach any originator of `{dst}` — they are in different components"
+                ),
+                None,
+                diags,
+            );
+        }
+        return;
+    }
+
+    for p in patterns_of(req) {
+        if !p.unknown_routers(topo).is_empty() {
+            continue; // NE001 already reported; ids would not resolve.
+        }
+        // Walk the segments pairwise over the concrete routers.
+        let mut prev: Option<(RouterId, bool)> = None; // (router, gap since it)
+        for seg in &p.segs {
+            match seg {
+                Seg::Any => {
+                    if let Some((r, _)) = prev {
+                        prev = Some((r, true));
+                    }
+                }
+                Seg::Router(name) => {
+                    let here = topo.router_by_name(name).expect("checked above");
+                    if let Some((before, gap)) = prev {
+                        if !gap && !topo.adjacent(before, here) {
+                            report(
+                                format!(
+                                    "`{}` and `{name}` are adjacent in the pattern but not linked in the topology",
+                                    topo.name(before)
+                                ),
+                                Some(format!(
+                                    "insert `...` between `{}` and `{name}` or fix the topology",
+                                    topo.name(before)
+                                )),
+                                diags,
+                            );
+                        } else if gap && !component_of(topo, before).contains(&here) {
+                            report(
+                                format!(
+                                    "no walk connects `{}` to `{name}` — they are in different components",
+                                    topo.name(before)
+                                ),
+                                None,
+                                diags,
+                            );
+                        }
+                    }
+                    prev = Some((here, false));
+                }
+                Seg::Dest(d) => {
+                    // Destination-anchored patterns match with the last
+                    // router segment at the route's origin. If that last
+                    // segment is concrete and we know the originations,
+                    // it must actually originate the destination.
+                    let (Some((before, gap)), Some(prefix), Some(net)) =
+                        (prev, spec.prefix_of(d), config)
+                    else {
+                        continue;
+                    };
+                    if gap {
+                        continue; // `... -> D` — any originator can anchor.
+                    }
+                    let originates = net
+                        .originations()
+                        .iter()
+                        .any(|o| o.prefix == prefix && o.router == before);
+                    if !originates {
+                        report(
+                            format!(
+                                "pattern anchors at `{d}`'s origin, but `{}` does not originate {prefix}",
+                                topo.name(before)
+                            ),
+                            Some(format!(
+                                "add `// @originate {} {prefix}` or end the pattern with `... -> {d}`",
+                                topo.name(before)
+                            )),
+                            diags,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// NE003 — the better-than relation induced by all preference chains must
+/// be acyclic; `p1 >> p2` in one requirement and `p2 >> p1` in another is
+/// unsatisfiable however routes propagate.
+fn check_preference_cycles(spec: &Specification, diags: &mut Diagnostics) {
+    // Nodes are pattern renderings; edges point from better to worse.
+    let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for req in spec.requirements() {
+        if let Requirement::Preference { chain } = req {
+            for w in chain.windows(2) {
+                edges
+                    .entry(w[0].to_string())
+                    .or_default()
+                    .insert(w[1].to_string());
+            }
+        }
+    }
+
+    // Iterative DFS with an explicit stack, tracking the current path.
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new(); // 1 = on path, 2 = done
+    for start in edges.keys() {
+        if state.contains_key(start.as_str()) {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        let mut stack: Vec<(&str, bool)> = vec![(start, false)];
+        while let Some((node, leaving)) = stack.pop() {
+            if leaving {
+                state.insert(node, 2);
+                path.pop();
+                continue;
+            }
+            match state.get(node) {
+                Some(1) => {
+                    // Back edge: the cycle is the path suffix from `node`.
+                    let from = path.iter().position(|&p| p == node).unwrap_or(0);
+                    let mut cycle: Vec<&str> = path[from..].to_vec();
+                    cycle.push(node);
+                    diags.push(Diagnostic::new(
+                        Code::PreferenceCycle,
+                        Span::place("preference requirements"),
+                        format!(
+                            "preference chain is cyclic: {}",
+                            cycle
+                                .iter()
+                                .map(|p| format!("({p})"))
+                                .collect::<Vec<_>>()
+                                .join(" >> ")
+                        ),
+                    ));
+                    continue;
+                }
+                Some(_) => continue,
+                None => {}
+            }
+            state.insert(node, 1);
+            path.push(node);
+            stack.push((node, true));
+            if let Some(next) = edges.get(node) {
+                for n in next {
+                    stack.push((n, false));
+                }
+            }
+        }
+    }
+}
+
+/// NE004 — a path that is both forbidden and named in a preference chain:
+/// the preference can only ever be satisfied by falling through it.
+fn check_forbidden_vs_preferred(spec: &Specification, diags: &mut Diagnostics) {
+    let forbidden: BTreeSet<String> = spec
+        .requirements()
+        .filter_map(|r| match r {
+            Requirement::Forbidden(p) => Some(p.to_string()),
+            _ => None,
+        })
+        .collect();
+    if forbidden.is_empty() {
+        return;
+    }
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for req in spec.requirements() {
+        if let Requirement::Preference { chain } = req {
+            for p in chain {
+                let key = p.to_string();
+                if forbidden.contains(&key) && seen.insert(key.clone()) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::ForbiddenPreferred,
+                            Span::place(format!("({p})")),
+                            format!(
+                                "path `{p}` is forbidden elsewhere in the specification but appears in a preference chain — the preference is vacuous at that position"
+                            ),
+                        )
+                        .with_suggestion(format!("drop `({p})` from the chain or remove `!({p})`")),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_topology::builders::paper_topology;
+    use netexpl_topology::Prefix;
+
+    fn d1() -> Prefix {
+        "200.7.0.0/16".parse().unwrap()
+    }
+
+    fn pat(names: &[&str]) -> PathPattern {
+        PathPattern::routers(names)
+    }
+
+    fn pat_dest(names: &[&str], dest: &str) -> PathPattern {
+        let mut segs: Vec<Seg> = names.iter().map(|n| Seg::Router(n.to_string())).collect();
+        segs.push(Seg::Dest(dest.to_string()));
+        PathPattern::new(segs)
+    }
+
+    fn any_between(a: &str, b: &str) -> PathPattern {
+        PathPattern::new(vec![
+            Seg::Router(a.to_string()),
+            Seg::Any,
+            Seg::Router(b.to_string()),
+        ])
+    }
+
+    #[test]
+    fn unknown_router_and_destination() {
+        let (topo, _) = paper_topology();
+        let mut spec = Specification::new();
+        spec.dest("D1", d1());
+        spec.block("Req1", vec![Requirement::Forbidden(pat(&["R1", "Q9"]))]);
+        spec.block(
+            "Req2",
+            vec![Requirement::Reachable {
+                src: "R3".into(),
+                dst: "D7".into(),
+            }],
+        );
+        let ds = run(&topo, &spec, None);
+        assert_eq!(ds.with_code(Code::UnknownRouter).len(), 1, "{ds}");
+        assert_eq!(ds.with_code(Code::UnknownDestination).len(), 1, "{ds}");
+        assert!(ds.has_errors());
+    }
+
+    #[test]
+    fn non_adjacent_concrete_pair_unrealizable() {
+        let (topo, _) = paper_topology();
+        let mut spec = Specification::new();
+        // R3 and P1 are not linked in Figure 1b.
+        spec.block("Req1", vec![Requirement::Forbidden(pat(&["R3", "P1"]))]);
+        let ds = run(&topo, &spec, None);
+        let found = ds.with_code(Code::UnrealizablePattern);
+        assert_eq!(found.len(), 1, "{ds}");
+        // Vacuous Forbidden: a warning, not an error.
+        assert_eq!(found[0].severity, Severity::Warning);
+
+        // With `...` in between the same endpoints are fine.
+        let mut spec = Specification::new();
+        spec.block(
+            "Req1",
+            vec![Requirement::Forbidden(any_between("R3", "P1"))],
+        );
+        assert!(run(&topo, &spec, None).is_empty());
+    }
+
+    #[test]
+    fn unrealizable_preference_is_an_error() {
+        let (topo, _) = paper_topology();
+        let mut spec = Specification::new();
+        spec.block(
+            "Req1",
+            vec![Requirement::preference(
+                pat(&["R3", "P1"]),
+                pat(&["R3", "R1", "P1"]),
+            )],
+        );
+        let ds = run(&topo, &spec, None);
+        let found = ds.with_code(Code::UnrealizablePattern);
+        assert_eq!(found.len(), 1, "{ds}");
+        assert_eq!(found[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn dest_anchor_must_originate() {
+        let (topo, h) = paper_topology();
+        let mut spec = Specification::new();
+        spec.dest("D1", d1());
+        spec.block(
+            "Req1",
+            vec![Requirement::Forbidden(pat_dest(&["R1", "P1"], "D1"))],
+        );
+
+        // P1 does not originate D1 → flagged.
+        let net = NetworkConfig::new();
+        let ds = run(&topo, &spec, Some(&net));
+        assert_eq!(ds.with_code(Code::UnrealizablePattern).len(), 1, "{ds}");
+
+        // Once P1 originates it, clean.
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1());
+        assert!(run(&topo, &spec, Some(&net)).is_empty());
+    }
+
+    #[test]
+    fn reachable_needs_an_originator() {
+        let (topo, h) = paper_topology();
+        let mut spec = Specification::new();
+        spec.dest("D1", d1());
+        spec.block(
+            "Req1",
+            vec![Requirement::Reachable {
+                src: "R3".into(),
+                dst: "D1".into(),
+            }],
+        );
+
+        let net = NetworkConfig::new();
+        let ds = run(&topo, &spec, Some(&net));
+        assert_eq!(ds.with_code(Code::UnrealizablePattern).len(), 1, "{ds}");
+
+        let mut net = NetworkConfig::new();
+        net.originate(h.p2, d1());
+        assert!(run(&topo, &spec, Some(&net)).is_empty());
+    }
+
+    #[test]
+    fn preference_cycle_detected() {
+        let (topo, _) = paper_topology();
+        let p1 = pat_dest(&["R3", "R1", "P1"], "D1");
+        let p2 = pat_dest(&["R3", "R2", "P2"], "D1");
+        let mut spec = Specification::new();
+        spec.dest("D1", d1());
+        spec.block(
+            "Req1",
+            vec![Requirement::preference(p1.clone(), p2.clone())],
+        );
+        spec.block(
+            "Req2",
+            vec![Requirement::preference(p2.clone(), p1.clone())],
+        );
+        let ds = run(&topo, &spec, None);
+        assert!(!ds.with_code(Code::PreferenceCycle).is_empty(), "{ds}");
+        assert!(ds.has_errors());
+
+        // The acyclic version is clean.
+        let mut spec = Specification::new();
+        spec.dest("D1", d1());
+        spec.block("Req1", vec![Requirement::preference(p1, p2)]);
+        assert!(run(&topo, &spec, None)
+            .with_code(Code::PreferenceCycle)
+            .is_empty());
+    }
+
+    #[test]
+    fn forbidden_and_preferred_conflict() {
+        let (topo, _) = paper_topology();
+        let p1 = pat_dest(&["R3", "R1", "P1"], "D1");
+        let p2 = pat_dest(&["R3", "R2", "P2"], "D1");
+        let mut spec = Specification::new();
+        spec.dest("D1", d1());
+        spec.block("Req1", vec![Requirement::Forbidden(p1.clone())]);
+        spec.block("Req2", vec![Requirement::preference(p1, p2)]);
+        let ds = run(&topo, &spec, None);
+        assert_eq!(ds.with_code(Code::ForbiddenPreferred).len(), 1, "{ds}");
+    }
+}

@@ -96,11 +96,7 @@ impl BitBlaster {
     /// `bool_value` on the encoding booleans' variable ids. Returns `None`
     /// for an enum variable whose one-hot block is all-false (can only
     /// happen if side constraints were not asserted).
-    pub fn decode(
-        &self,
-        ctx: &Ctx,
-        bool_value: &dyn Fn(VarId) -> bool,
-    ) -> Assignment {
+    pub fn decode(&self, ctx: &Ctx, bool_value: &dyn Fn(VarId) -> bool) -> Assignment {
         let mut asg = Assignment::new();
         for (&var, bits) in &self.enum_bits {
             let sort = match ctx.var(var).sort {
@@ -150,8 +146,9 @@ impl BitBlaster {
         };
         let n = ctx.enum_decl(sort).variants.len();
         let name = ctx.var(var).name.clone();
-        let bits: Vec<TermId> =
-            (0..n).map(|i| ctx.bool_var(&format!("{name}!is{i}"))).collect();
+        let bits: Vec<TermId> = (0..n)
+            .map(|i| ctx.bool_var(&format!("{name}!is{i}")))
+            .collect();
         // Exactly-one: at least one, pairwise at most one.
         let at_least = ctx.or(&bits);
         self.side.push(at_least);
@@ -176,10 +173,15 @@ impl BitBlaster {
             return (bits.clone(), lo, hi);
         }
         let span = (hi - lo) as u64;
-        let width = if span == 0 { 1 } else { 64 - span.leading_zeros() as usize };
+        let width = if span == 0 {
+            1
+        } else {
+            64 - span.leading_zeros() as usize
+        };
         let name = ctx.var(var).name.clone();
-        let bits: Vec<TermId> =
-            (0..width).map(|i| ctx.bool_var(&format!("{name}!bit{i}"))).collect();
+        let bits: Vec<TermId> = (0..width)
+            .map(|i| ctx.bool_var(&format!("{name}!bit{i}")))
+            .collect();
         // Range side constraint: offset ≤ hi - lo.
         let range = le_const(ctx, &bits, span);
         self.side.push(range);
@@ -196,7 +198,9 @@ impl BitBlaster {
             (TermNode::EnumVar(v), TermNode::EnumConst(_, variant))
             | (TermNode::EnumConst(_, variant), TermNode::EnumVar(v)) => {
                 let bits = self.enum_encoding(ctx, v);
-                bits.get(variant as usize).copied().unwrap_or_else(|| ctx.mk_false())
+                bits.get(variant as usize)
+                    .copied()
+                    .unwrap_or_else(|| ctx.mk_false())
             }
             (TermNode::EnumVar(va), TermNode::EnumVar(vb)) => {
                 let ba = self.enum_encoding(ctx, va);
@@ -359,7 +363,8 @@ mod tests {
         let sides = bb.take_side_constraints();
         let side_conj = ctx.and(&sides);
 
-        let bit_vars: Vec<VarId> = ctx.free_vars(lowered)
+        let bit_vars: Vec<VarId> = ctx
+            .free_vars(lowered)
             .into_iter()
             .chain(ctx.free_vars(side_conj))
             .collect();
@@ -502,7 +507,11 @@ mod tests {
             });
             let xv = decoded.get(VarId(0)).unwrap().as_int().unwrap();
             let yv = decoded.get(VarId(1)).unwrap().as_int().unwrap();
-            assert_eq!(asg.eval_bool(&ctx, lowered), Some(xv <= yv), "x={xv} y={yv}");
+            assert_eq!(
+                asg.eval_bool(&ctx, lowered),
+                Some(xv <= yv),
+                "x={xv} y={yv}"
+            );
             count += 1;
         });
         assert_eq!(count, 16);

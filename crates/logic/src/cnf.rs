@@ -113,8 +113,7 @@ impl CnfBuilder {
                 self.encode_and(&lits)
             }
             TermNode::Or(cs) => {
-                let lits: Vec<ELit> =
-                    cs.iter().map(|&c| self.encode(ctx, c).negated()).collect();
+                let lits: Vec<ELit> = cs.iter().map(|&c| self.encode(ctx, c).negated()).collect();
                 self.encode_and(&lits).negated()
             }
             TermNode::Implies(a, b) => {
@@ -331,8 +330,11 @@ mod tests {
                     (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(a.into(), b.into())),
                     (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Or(a.into(), b.into())),
                     (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Iff(a.into(), b.into())),
-                    (inner.clone(), inner.clone(), inner)
-                        .prop_map(|(a, b, c)| F::Ite(a.into(), b.into(), c.into())),
+                    (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| F::Ite(
+                        a.into(),
+                        b.into(),
+                        c.into()
+                    )),
                 ]
             })
         }
@@ -357,7 +359,11 @@ mod tests {
                     ctx.iff(a, b)
                 }
                 F::Ite(a, b, c) => {
-                    let (a, b, c) = (build(ctx, vars, a), build(ctx, vars, b), build(ctx, vars, c));
+                    let (a, b, c) = (
+                        build(ctx, vars, a),
+                        build(ctx, vars, b),
+                        build(ctx, vars, c),
+                    );
                     ctx.ite(a, b, c)
                 }
             }

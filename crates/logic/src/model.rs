@@ -155,7 +155,10 @@ impl Assignment {
         for &v in vars {
             total = total.saturating_mul(ctx.var(v).sort.cardinality(&enum_sizes));
         }
-        assert!(total <= limit, "assignment space {total} exceeds limit {limit}");
+        assert!(
+            total <= limit,
+            "assignment space {total} exceeds limit {limit}"
+        );
 
         let mut asg = Assignment::new();
         fn rec<F: FnMut(&Assignment)>(

@@ -84,8 +84,12 @@ fn nnf(ctx: &mut Ctx, t: TermId, negate: bool) -> TermId {
 /// True if the term is in negation normal form.
 pub fn is_nnf(ctx: &Ctx, t: TermId) -> bool {
     match ctx.node(t) {
-        TermNode::True | TermNode::False | TermNode::BoolVar(_) | TermNode::Eq(..)
-        | TermNode::Le(..) | TermNode::Lt(..) => true,
+        TermNode::True
+        | TermNode::False
+        | TermNode::BoolVar(_)
+        | TermNode::Eq(..)
+        | TermNode::Le(..)
+        | TermNode::Lt(..) => true,
         TermNode::Not(a) => matches!(
             ctx.node(*a),
             TermNode::BoolVar(_) | TermNode::Eq(..) | TermNode::Le(..) | TermNode::Lt(..)
@@ -176,8 +180,11 @@ mod tests {
                     (inner.clone(), inner.clone())
                         .prop_map(|(a, b)| F::Implies(a.into(), b.into())),
                     (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Iff(a.into(), b.into())),
-                    (inner.clone(), inner.clone(), inner)
-                        .prop_map(|(a, b, c)| F::Ite(a.into(), b.into(), c.into())),
+                    (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| F::Ite(
+                        a.into(),
+                        b.into(),
+                        c.into()
+                    )),
                 ]
             })
         }
@@ -206,8 +213,11 @@ mod tests {
                     ctx.iff(a, b)
                 }
                 F::Ite(a, b, c) => {
-                    let (a, b, c) =
-                        (build(ctx, vars, a), build(ctx, vars, b), build(ctx, vars, c));
+                    let (a, b, c) = (
+                        build(ctx, vars, a),
+                        build(ctx, vars, b),
+                        build(ctx, vars, c),
+                    );
                     ctx.ite(a, b, c)
                 }
             }

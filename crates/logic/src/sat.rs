@@ -151,7 +151,10 @@ const RESCALE_LIMIT: f64 = 1e100;
 impl SatSolver {
     /// Create an empty solver.
     pub fn new() -> Self {
-        SatSolver { var_inc: 1.0, ..Default::default() }
+        SatSolver {
+            var_inc: 1.0,
+            ..Default::default()
+        }
     }
 
     /// Allocate a fresh variable and return its index.
@@ -185,7 +188,10 @@ impl SatSolver {
         // tautological clauses, dedup.
         let mut simplified: Vec<Lit> = Vec::with_capacity(lits.len());
         for &l in lits {
-            debug_assert!(l.var() < self.num_vars, "literal references unknown variable");
+            debug_assert!(
+                l.var() < self.num_vars,
+                "literal references unknown variable"
+            );
             match self.value(l) {
                 Val::True => return true, // already satisfied
                 Val::False => continue,
@@ -447,8 +453,7 @@ impl SatSolver {
             let budget = 64 * luby(restart_count);
             match self.search(assumptions, budget) {
                 SearchOutcome::Sat => {
-                    let model: Vec<bool> =
-                        self.assign.iter().map(|&v| v == Val::True).collect();
+                    let model: Vec<bool> = self.assign.iter().map(|&v| v == Val::True).collect();
                     self.cancel_until(0);
                     return SatResult::Sat(model);
                 }
@@ -529,8 +534,7 @@ impl SatSolver {
     /// `extra` adds a literal to the core directly (the assumption whose
     /// enqueue failed).
     fn analyze_final(&mut self, seed_lits: &[Lit], assumptions: &[Lit], extra: Option<Lit>) {
-        let assumption_set: std::collections::HashSet<Lit> =
-            assumptions.iter().copied().collect();
+        let assumption_set: std::collections::HashSet<Lit> = assumptions.iter().copied().collect();
         let mut seen = vec![false; self.num_vars];
         for l in seed_lits {
             if self.level[l.var()] > 0 {
@@ -798,7 +802,10 @@ mod tests {
         let core = s.unsat_core().to_vec();
         assert!(core.contains(&Lit::pos(a)), "{core:?}");
         assert!(core.contains(&Lit::pos(b)), "{core:?}");
-        assert!(!core.contains(&Lit::pos(c)), "irrelevant assumption in core: {core:?}");
+        assert!(
+            !core.contains(&Lit::pos(c)),
+            "irrelevant assumption in core: {core:?}"
+        );
     }
 
     #[test]
@@ -811,8 +818,7 @@ mod tests {
         let noise = s.new_var();
         s.add_clause(&[Lit::neg(a), Lit::pos(x)]);
         s.add_clause(&[Lit::neg(x), Lit::neg(b)]);
-        let result =
-            s.solve_with_assumptions(&[Lit::pos(noise), Lit::pos(a), Lit::pos(b)]);
+        let result = s.solve_with_assumptions(&[Lit::pos(noise), Lit::pos(a), Lit::pos(b)]);
         assert_eq!(result, SatResult::Unsat);
         let core = s.unsat_core().to_vec();
         assert!(core.contains(&Lit::pos(a)), "{core:?}");

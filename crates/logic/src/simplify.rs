@@ -177,28 +177,52 @@ impl Simplifier {
             | TermNode::IntConst(_) => t,
             TermNode::Not(a) => {
                 let a2 = self.simplify(ctx, a);
-                if a2 == a { t } else { ctx.not(a2) }
+                if a2 == a {
+                    t
+                } else {
+                    ctx.not(a2)
+                }
             }
             TermNode::And(cs) => {
                 let cs2: Vec<TermId> = cs.iter().map(|&c| self.simplify(ctx, c)).collect();
-                if cs2[..] == cs[..] { t } else { ctx.and(&cs2) }
+                if cs2[..] == cs[..] {
+                    t
+                } else {
+                    ctx.and(&cs2)
+                }
             }
             TermNode::Or(cs) => {
                 let cs2: Vec<TermId> = cs.iter().map(|&c| self.simplify(ctx, c)).collect();
-                if cs2[..] == cs[..] { t } else { ctx.or(&cs2) }
+                if cs2[..] == cs[..] {
+                    t
+                } else {
+                    ctx.or(&cs2)
+                }
             }
             TermNode::Implies(a, b) => {
                 let (a2, b2) = (self.simplify(ctx, a), self.simplify(ctx, b));
-                if (a2, b2) == (a, b) { t } else { ctx.implies(a2, b2) }
+                if (a2, b2) == (a, b) {
+                    t
+                } else {
+                    ctx.implies(a2, b2)
+                }
             }
             TermNode::Iff(a, b) => {
                 let (a2, b2) = (self.simplify(ctx, a), self.simplify(ctx, b));
-                if (a2, b2) == (a, b) { t } else { ctx.iff(a2, b2) }
+                if (a2, b2) == (a, b) {
+                    t
+                } else {
+                    ctx.iff(a2, b2)
+                }
             }
             TermNode::Ite(c, a, b) => {
                 let c2 = self.simplify(ctx, c);
                 let (a2, b2) = (self.simplify(ctx, a), self.simplify(ctx, b));
-                if (c2, a2, b2) == (c, a, b) { t } else { ctx.ite(c2, a2, b2) }
+                if (c2, a2, b2) == (c, a, b) {
+                    t
+                } else {
+                    ctx.ite(c2, a2, b2)
+                }
             }
             // Theory atoms have non-boolean children which need no rewriting
             // beyond what R12/R13 do at this level.
@@ -319,7 +343,11 @@ fn r6_idempotence(ctx: &mut Ctx, t: TermId) -> Option<TermId> {
     if kept.len() == cs.len() {
         return None;
     }
-    Some(if is_and { ctx.and(&kept) } else { ctx.or(&kept) })
+    Some(if is_and {
+        ctx.and(&kept)
+    } else {
+        ctx.or(&kept)
+    })
 }
 
 /// R7: `… ∧ a ∧ ¬a ∧ … → ⊥` and `… ∨ a ∨ ¬a ∨ … → ⊤`.
@@ -333,7 +361,11 @@ fn r7_complement(ctx: &mut Ctx, t: TermId) -> Option<TermId> {
     for &c in &cs {
         if let TermNode::Not(inner) = *ctx.node(c) {
             if set.contains(&inner) {
-                return Some(if is_and { ctx.mk_false() } else { ctx.mk_true() });
+                return Some(if is_and {
+                    ctx.mk_false()
+                } else {
+                    ctx.mk_true()
+                });
             }
         }
     }
@@ -372,7 +404,11 @@ fn r9_absorption(ctx: &mut Ctx, t: TermId) -> Option<TermId> {
         return None;
     }
     let kept: Vec<TermId> = cs.iter().copied().filter(|&c| !absorbed(ctx, c)).collect();
-    Some(if is_and { ctx.and(&kept) } else { ctx.or(&kept) })
+    Some(if is_and {
+        ctx.and(&kept)
+    } else {
+        ctx.or(&kept)
+    })
 }
 
 /// R10: implication / bi-implication folding (except the vacuous case `⊥→a`,
@@ -470,13 +506,18 @@ fn r12_theory_const_fold(ctx: &mut Ctx, t: TermId) -> Option<TermId> {
                 (TermNode::EnumConst(s1, v1), TermNode::EnumConst(s2, v2)) => {
                     Some(ctx.mk_bool(s1 == s2 && v1 == v2))
                 }
-                (TermNode::IntConst(c1), TermNode::IntConst(c2)) => {
-                    Some(ctx.mk_bool(c1 == c2))
-                }
+                (TermNode::IntConst(c1), TermNode::IntConst(c2)) => Some(ctx.mk_bool(c1 == c2)),
                 // A constant outside the variable's domain can never be equal.
                 (TermNode::IntVar(_), TermNode::IntConst(c))
                 | (TermNode::IntConst(c), TermNode::IntVar(_)) => {
-                    let (lo, hi) = int_range(ctx, if matches!(ctx.node(a), TermNode::IntVar(_)) { a } else { b })?;
+                    let (lo, hi) = int_range(
+                        ctx,
+                        if matches!(ctx.node(a), TermNode::IntVar(_)) {
+                            a
+                        } else {
+                            b
+                        },
+                    )?;
                     if c < lo || c > hi {
                         return Some(ctx.mk_false());
                     }
@@ -818,6 +859,53 @@ mod tests {
     }
 
     #[test]
+    fn mask_boundary_rules() {
+        // Rule 1 lives in bit 0, rule 15 in bit 14: both ends of the
+        // 1-based range, neither off-by-one.
+        assert_eq!(RuleMask::only(1).0, 0b1);
+        assert_eq!(RuleMask::only(15).0, 1 << 14);
+        for r in 1..=15 {
+            let m = RuleMask::only(r);
+            for other in 1..=15 {
+                assert_eq!(m.has(other), other == r, "only({r}).has({other})");
+            }
+        }
+        // ALL is exactly the union of the fifteen singletons.
+        let union = (1..=15).fold(RuleMask::NONE, RuleMask::with);
+        assert_eq!(union.0, RuleMask::ALL.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mask_only_zero_is_out_of_range() {
+        let _ = RuleMask::only(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mask_only_sixteen_is_out_of_range() {
+        let _ = RuleMask::only(16);
+    }
+
+    #[test]
+    fn mask_all_except_with_round_trip() {
+        for r in 1..=15 {
+            assert_eq!(
+                RuleMask::all_except(r).with(r).0,
+                RuleMask::ALL.0,
+                "rule {r}"
+            );
+            // Dropping and re-adding a rule a second time is a no-op.
+            let m = RuleMask::all_except(r).with(r).with(r);
+            assert_eq!(m.0, RuleMask::ALL.0);
+            // `all_except` leaves the other fourteen untouched.
+            for other in 1..=15 {
+                assert_eq!(RuleMask::all_except(r).has(other), other != r);
+            }
+        }
+    }
+
+    #[test]
     fn without_memo_gives_same_results() {
         let mut ctx = Ctx::new();
         let a = ctx.bool_var("a");
@@ -901,21 +989,23 @@ mod tests {
         }
 
         fn arb_formula() -> impl Strategy<Value = F> {
-            let leaf = prop_oneof![
-                (0u8..4).prop_map(F::Var),
-                Just(F::T),
-                Just(F::Fls),
-            ];
+            let leaf = prop_oneof![(0u8..4).prop_map(F::Var), Just(F::T), Just(F::Fls),];
             leaf.prop_recursive(5, 64, 3, |inner| {
                 prop_oneof![
                     inner.clone().prop_map(|f| F::Not(Box::new(f))),
-                    (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
-                    (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
                     (inner.clone(), inner.clone())
                         .prop_map(|(a, b)| F::Implies(Box::new(a), Box::new(b))),
-                    (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Iff(Box::new(a), Box::new(b))),
-                    (inner.clone(), inner.clone(), inner)
-                        .prop_map(|(a, b, c)| F::Ite(Box::new(a), Box::new(b), Box::new(c))),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| F::Iff(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| F::Ite(
+                        Box::new(a),
+                        Box::new(b),
+                        Box::new(c)
+                    )),
                 ]
             })
         }
@@ -946,7 +1036,11 @@ mod tests {
                     ctx.iff(a, b)
                 }
                 F::Ite(a, b, c) => {
-                    let (a, b, c) = (build(ctx, vars, a), build(ctx, vars, b), build(ctx, vars, c));
+                    let (a, b, c) = (
+                        build(ctx, vars, a),
+                        build(ctx, vars, b),
+                        build(ctx, vars, c),
+                    );
                     ctx.ite(a, b, c)
                 }
             }
@@ -975,6 +1069,23 @@ mod tests {
                 // negation node; allow a small constant slack per ite.
                 let ites = count_ites(&ctx, t);
                 prop_assert!(ctx.term_size(s) <= before + ites * 2);
+            }
+
+            #[test]
+            fn single_rule_masks_preserve_equivalence(
+                f in arb_formula(),
+                rule in 1u8..=15,
+            ) {
+                let mut ctx = Ctx::new();
+                let vars: Vec<TermId> =
+                    (0..4).map(|i| ctx.bool_var(&format!("v{i}"))).collect();
+                let t = build(&mut ctx, &vars, &f);
+                let s = Simplifier::new(RuleMask::only(rule)).simplify(&mut ctx, t);
+                prop_assert!(
+                    brute_force_equivalent(&ctx, t, s, 100),
+                    "rule {} alone changed semantics",
+                    rule
+                );
             }
 
             #[test]

@@ -78,7 +78,9 @@ impl SmtSolver {
         let mut blocking: Vec<TermId> = Vec::new();
         while models.len() < limit {
             let result = self.check_with(ctx, &blocking);
-            let Some(mut model) = result.model() else { break };
+            let Some(mut model) = result.model() else {
+                break;
+            };
             // A distinguished variable the formula never constrained gets a
             // default value (false / first variant / lower bound) so the
             // enumeration still ranges over it.
@@ -107,7 +109,9 @@ impl SmtSolver {
                     | crate::term::TermNode::IntVar(v) => *v,
                     _ => unreachable!(),
                 };
-                let Some(value) = model.get(var) else { continue };
+                let Some(value) = model.get(var) else {
+                    continue;
+                };
                 let diff = match value {
                     Value::Bool(b) => {
                         if b {
@@ -144,11 +148,7 @@ impl SmtSolver {
     ///
     /// Assumption terms that are constant-false (or whose encoding folds to
     /// false) are reported as singleton cores immediately.
-    pub fn check_assuming(
-        &self,
-        ctx: &mut Ctx,
-        assumptions: &[TermId],
-    ) -> (SmtResult, Vec<usize>) {
+    pub fn check_assuming(&self, ctx: &mut Ctx, assumptions: &[TermId]) -> (SmtResult, Vec<usize>) {
         let mut bb = BitBlaster::new();
         let mut builder = CnfBuilder::new();
         for &t in &self.assertions {
@@ -340,7 +340,10 @@ mod tests {
         let mut s = SmtSolver::new();
         s.assert(a);
         assert!(!s.check_with(&mut ctx, &[na]).is_sat());
-        assert!(s.check(&mut ctx).is_sat(), "extra assumption must not persist");
+        assert!(
+            s.check(&mut ctx).is_sat(),
+            "extra assumption must not persist"
+        );
     }
 
     #[test]
@@ -450,8 +453,14 @@ mod tests {
         let a2 = ctx.lt(lp, five); // contradicts a0 but a1 fires first
         let (res, core) = solver.check_assuming(&mut ctx, &[a0, a1, a2]);
         assert_eq!(res, SmtResult::Unsat);
-        assert!(core.contains(&1), "core must include the v=y assumption: {core:?}");
-        assert!(!core.contains(&0) || !core.contains(&2) || core.len() < 3, "{core:?}");
+        assert!(
+            core.contains(&1),
+            "core must include the v=y assumption: {core:?}"
+        );
+        assert!(
+            !core.contains(&0) || !core.contains(&2) || core.len() < 3,
+            "{core:?}"
+        );
 
         // Without the contradicting assumption: satisfiable, empty core.
         let (res2, core2) = solver.check_assuming(&mut ctx, &[a0]);

@@ -53,7 +53,10 @@ pub struct EnumDecl {
 impl EnumDecl {
     /// Look up a variant index by name.
     pub fn variant_index(&self, name: &str) -> Option<u16> {
-        self.variants.iter().position(|v| v == name).map(|i| i as u16)
+        self.variants
+            .iter()
+            .position(|v| v == name)
+            .map(|i| i as u16)
     }
 }
 

@@ -92,7 +92,10 @@ impl Ctx {
 
     /// Declare an enumeration sort with the given variant names.
     pub fn enum_sort(&mut self, name: &str, variants: &[&str]) -> EnumSortId {
-        assert!(!variants.is_empty(), "enum sort `{name}` needs at least one variant");
+        assert!(
+            !variants.is_empty(),
+            "enum sort `{name}` needs at least one variant"
+        );
         let id = EnumSortId(self.enums.len() as u32);
         self.enums.push(EnumDecl {
             name: name.to_string(),
@@ -104,7 +107,10 @@ impl Ctx {
     /// Declare a fresh variable of the given sort.
     pub fn declare_var(&mut self, name: &str, sort: Sort) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarInfo { name: name.to_string(), sort });
+        self.vars.push(VarInfo {
+            name: name.to_string(),
+            sort,
+        });
         id
     }
 
@@ -155,7 +161,10 @@ impl Ctx {
 
     /// All declared variables.
     pub fn vars(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
-        self.vars.iter().enumerate().map(|(i, v)| (VarId(i as u32), v))
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
     }
 
     /// Declaration of an enum sort.
@@ -240,7 +249,10 @@ impl Ctx {
     /// N-ary conjunction. Empty input yields `true`; singleton input yields
     /// the child itself (there is no meaningful unary ∧ node).
     pub fn and(&mut self, ts: &[TermId]) -> TermId {
-        debug_assert!(ts.iter().all(|&t| self.is_bool(t)), "and: operands must be boolean");
+        debug_assert!(
+            ts.iter().all(|&t| self.is_bool(t)),
+            "and: operands must be boolean"
+        );
         match ts.len() {
             0 => self.mk_true(),
             1 => ts[0],
@@ -255,7 +267,10 @@ impl Ctx {
 
     /// N-ary disjunction. Empty input yields `false`; singleton the child.
     pub fn or(&mut self, ts: &[TermId]) -> TermId {
-        debug_assert!(ts.iter().all(|&t| self.is_bool(t)), "or: operands must be boolean");
+        debug_assert!(
+            ts.iter().all(|&t| self.is_bool(t)),
+            "or: operands must be boolean"
+        );
         match ts.len() {
             0 => self.mk_false(),
             1 => ts[0],
@@ -312,7 +327,10 @@ impl Ctx {
     /// Equality between two non-boolean terms of the same base sort.
     /// Boolean equality should be expressed with [`Ctx::iff`].
     pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
-        debug_assert!(!self.is_bool(a) && !self.is_bool(b), "eq: use iff for booleans");
+        debug_assert!(
+            !self.is_bool(a) && !self.is_bool(b),
+            "eq: use iff for booleans"
+        );
         debug_assert!(
             self.compatible_sorts(a, b),
             "eq: incompatible sorts {} vs {}",
@@ -331,13 +349,19 @@ impl Ctx {
 
     /// `a ≤ b` over integer terms.
     pub fn le(&mut self, a: TermId, b: TermId) -> TermId {
-        debug_assert!(self.is_int(a) && self.is_int(b), "le: operands must be integers");
+        debug_assert!(
+            self.is_int(a) && self.is_int(b),
+            "le: operands must be integers"
+        );
         self.intern(TermNode::Le(a, b))
     }
 
     /// `a < b` over integer terms.
     pub fn lt(&mut self, a: TermId, b: TermId) -> TermId {
-        debug_assert!(self.is_int(a) && self.is_int(b), "lt: operands must be integers");
+        debug_assert!(
+            self.is_int(a) && self.is_int(b),
+            "lt: operands must be integers"
+        );
         self.intern(TermNode::Lt(a, b))
     }
 
@@ -377,8 +401,11 @@ impl Ctx {
             | TermNode::IntConst(_) => Vec::new(),
             TermNode::Not(a) => vec![*a],
             TermNode::And(cs) | TermNode::Or(cs) => cs.to_vec(),
-            TermNode::Implies(a, b) | TermNode::Iff(a, b) | TermNode::Eq(a, b)
-            | TermNode::Le(a, b) | TermNode::Lt(a, b) => vec![*a, *b],
+            TermNode::Implies(a, b)
+            | TermNode::Iff(a, b)
+            | TermNode::Eq(a, b)
+            | TermNode::Le(a, b)
+            | TermNode::Lt(a, b) => vec![*a, *b],
             TermNode::Ite(c, t, e) => vec![*c, *t, *e],
         }
     }
@@ -472,40 +499,76 @@ impl Ctx {
             | TermNode::IntConst(_) => t,
             TermNode::Not(a) => {
                 let a2 = self.subst_rec(a, map, memo);
-                if a2 == a { t } else { self.not(a2) }
+                if a2 == a {
+                    t
+                } else {
+                    self.not(a2)
+                }
             }
             TermNode::And(cs) => {
                 let cs2: Vec<TermId> = cs.iter().map(|&c| self.subst_rec(c, map, memo)).collect();
-                if cs2[..] == cs[..] { t } else { self.and(&cs2) }
+                if cs2[..] == cs[..] {
+                    t
+                } else {
+                    self.and(&cs2)
+                }
             }
             TermNode::Or(cs) => {
                 let cs2: Vec<TermId> = cs.iter().map(|&c| self.subst_rec(c, map, memo)).collect();
-                if cs2[..] == cs[..] { t } else { self.or(&cs2) }
+                if cs2[..] == cs[..] {
+                    t
+                } else {
+                    self.or(&cs2)
+                }
             }
             TermNode::Implies(a, b) => {
                 let (a2, b2) = (self.subst_rec(a, map, memo), self.subst_rec(b, map, memo));
-                if (a2, b2) == (a, b) { t } else { self.implies(a2, b2) }
+                if (a2, b2) == (a, b) {
+                    t
+                } else {
+                    self.implies(a2, b2)
+                }
             }
             TermNode::Iff(a, b) => {
                 let (a2, b2) = (self.subst_rec(a, map, memo), self.subst_rec(b, map, memo));
-                if (a2, b2) == (a, b) { t } else { self.iff(a2, b2) }
+                if (a2, b2) == (a, b) {
+                    t
+                } else {
+                    self.iff(a2, b2)
+                }
             }
             TermNode::Ite(c, a, b) => {
                 let c2 = self.subst_rec(c, map, memo);
                 let (a2, b2) = (self.subst_rec(a, map, memo), self.subst_rec(b, map, memo));
-                if (c2, a2, b2) == (c, a, b) { t } else { self.ite(c2, a2, b2) }
+                if (c2, a2, b2) == (c, a, b) {
+                    t
+                } else {
+                    self.ite(c2, a2, b2)
+                }
             }
             TermNode::Eq(a, b) => {
                 let (a2, b2) = (self.subst_rec(a, map, memo), self.subst_rec(b, map, memo));
-                if (a2, b2) == (a, b) { t } else { self.eq(a2, b2) }
+                if (a2, b2) == (a, b) {
+                    t
+                } else {
+                    self.eq(a2, b2)
+                }
             }
             TermNode::Le(a, b) => {
                 let (a2, b2) = (self.subst_rec(a, map, memo), self.subst_rec(b, map, memo));
-                if (a2, b2) == (a, b) { t } else { self.le(a2, b2) }
+                if (a2, b2) == (a, b) {
+                    t
+                } else {
+                    self.le(a2, b2)
+                }
             }
             TermNode::Lt(a, b) => {
                 let (a2, b2) = (self.subst_rec(a, map, memo), self.subst_rec(b, map, memo));
-                if (a2, b2) == (a, b) { t } else { self.lt(a2, b2) }
+                if (a2, b2) == (a, b) {
+                    t
+                } else {
+                    self.lt(a2, b2)
+                }
             }
         };
         memo.insert(t, result);
@@ -678,7 +741,10 @@ mod tests {
         let a = ctx.bool_var("a");
         let na = ctx.not(a);
         let nna = ctx.not(na);
-        assert_ne!(nna, a, "double negation must be preserved for the simplifier to remove");
+        assert_ne!(
+            nna, a,
+            "double negation must be preserved for the simplifier to remove"
+        );
         let t = ctx.mk_true();
         let at = ctx.and2(a, t);
         assert_ne!(at, a, "identity elements are not folded at construction");

@@ -217,7 +217,9 @@ pub enum Requirement {
 impl Requirement {
     /// The common binary preference `better >> worse`.
     pub fn preference(better: PathPattern, worse: PathPattern) -> Requirement {
-        Requirement::Preference { chain: vec![better, worse] }
+        Requirement::Preference {
+            chain: vec![better, worse],
+        }
     }
 }
 
@@ -321,7 +323,10 @@ pub struct SubSpec {
 impl SubSpec {
     /// An unconstrained (empty) subspecification.
     pub fn empty(router: &str) -> SubSpec {
-        SubSpec { router: router.to_string(), requirements: Vec::new() }
+        SubSpec {
+            router: router.to_string(),
+            requirements: Vec::new(),
+        }
     }
 
     /// True if the router is unconstrained.
@@ -409,7 +414,10 @@ mod tests {
         let no_dest = |_: &str| true;
         assert!(p.matches_route(&topo, &[h.p2, h.r2, h.r1, h.p1], &no_dest));
         assert!(p.matches_route(&topo, &[h.customer, h.r3, h.r1, h.p1], &no_dest));
-        assert!(!p.matches_route(&topo, &[h.p1, h.r1, h.r2], &no_dest), "wrong direction");
+        assert!(
+            !p.matches_route(&topo, &[h.p1, h.r1, h.r2], &no_dest),
+            "wrong direction"
+        );
     }
 
     #[test]
@@ -423,7 +431,10 @@ mod tests {
         let no_dest = |_: &str| true;
         assert!(p.matches_route(&topo, &[h.p1, h.r1, h.r2, h.p2], &no_dest));
         assert!(p.matches_route(&topo, &[h.p1, h.r1, h.r3, h.r2, h.p2], &no_dest));
-        assert!(p.matches_route(&topo, &[h.p1, h.p2], &no_dest), "`...` matches zero routers");
+        assert!(
+            p.matches_route(&topo, &[h.p1, h.p2], &no_dest),
+            "`...` matches zero routers"
+        );
         assert!(
             !p.matches_route(&topo, &[h.p2, h.r2, h.r1, h.p1], &no_dest),
             "direction matters"
@@ -443,7 +454,10 @@ mod tests {
             Seg::Dest("D1".into()),
         ]);
         assert!(p2.matches_route(&topo, &prop, &|d| d == "D1"));
-        assert!(!p2.matches_route(&topo, &prop, &|_| false), "destination must match");
+        assert!(
+            !p2.matches_route(&topo, &prop, &|_| false),
+            "destination must match"
+        );
         // Figure 4 shape: the pattern may start mid-path (suffix-anchored at
         // the origin side, free start): route held at R3.
         let at_r3 = [h.p2, h.r2, h.r1, h.r3];
@@ -480,7 +494,10 @@ mod tests {
             Seg::Router("P2".into()),
         ]));
         assert_eq!(f.to_string(), "!(P1 -> ... -> P2)");
-        let r = Requirement::Reachable { src: "C".into(), dst: "D1".into() };
+        let r = Requirement::Reachable {
+            src: "C".into(),
+            dst: "D1".into(),
+        };
         assert_eq!(r.to_string(), "C ~> D1");
     }
 
@@ -491,7 +508,10 @@ mod tests {
         s.dest("D1", d1);
         s.block(
             "Req1",
-            vec![Requirement::Reachable { src: "C".into(), dst: "D1".into() }],
+            vec![Requirement::Reachable {
+                src: "C".into(),
+                dst: "D1".into(),
+            }],
         );
         assert_eq!(s.prefix_of("D1"), Some(d1));
         assert_eq!(s.requirements().count(), 1);

@@ -110,7 +110,9 @@ pub fn check_requirement(
 }
 
 fn sim_failed(e: SimError) -> Violation {
-    Violation::SimulationFailed { reason: e.to_string() }
+    Violation::SimulationFailed {
+        reason: e.to_string(),
+    }
 }
 
 fn check_requirement_with_state(
@@ -122,19 +124,23 @@ fn check_requirement_with_state(
 ) -> Vec<Violation> {
     match req {
         Requirement::Forbidden(pattern) => check_forbidden(topo, config, spec, req, pattern, base),
-        Requirement::Preference { chain } => {
-            check_preference(topo, config, spec, req, chain, base)
-        }
+        Requirement::Preference { chain } => check_preference(topo, config, spec, req, chain, base),
         Requirement::Reachable { src, dst } => check_reachable(topo, spec, req, src, dst, base),
     }
 }
 
 fn bad(req: &Requirement, reason: impl Into<String>) -> Violation {
-    Violation::BadRequirement { requirement: req.to_string(), reason: reason.into() }
+    Violation::BadRequirement {
+        requirement: req.to_string(),
+        reason: reason.into(),
+    }
 }
 
 fn render_path(topo: &Topology, path: &[RouterId]) -> String {
-    path.iter().map(|&r| topo.name(r).to_string()).collect::<Vec<_>>().join(" -> ")
+    path.iter()
+        .map(|&r| topo.name(r).to_string())
+        .collect::<Vec<_>>()
+        .join(" -> ")
 }
 
 fn check_forbidden(
@@ -214,7 +220,10 @@ fn check_preference(
     }
     let first = &chain[0];
     let (Some(src_name), Some(dst_name)) = (first.first_router(), first.dest()) else {
-        return vec![bad(req, "preference paths need a concrete source and a destination")];
+        return vec![bad(
+            req,
+            "preference paths need a concrete source and a destination",
+        )];
     };
     if chain.iter().any(|p| p.first_router() != Some(src_name)) {
         return vec![bad(req, "preference paths must share their source router")];
@@ -260,7 +269,10 @@ fn check_preference(
             }
         }
         if failed.is_empty() {
-            return vec![bad(req, "preference paths do not diverge on any concrete link")];
+            return vec![bad(
+                req,
+                "preference paths do not diverge on any concrete link",
+            )];
         }
         match stabilize_with_failures(topo, config, &failed) {
             Err(e) => out.push(sim_failed(e)),
@@ -339,7 +351,9 @@ fn check_reachable(
     if base.forwarding_path(prefix, src_id).is_some() {
         Vec::new()
     } else {
-        vec![Violation::Unreachable { requirement: req.to_string() }]
+        vec![Violation::Unreachable {
+            requirement: req.to_string(),
+        }]
     }
 }
 
@@ -357,7 +371,12 @@ mod tests {
     fn deny_all(name: &str) -> RouteMap {
         RouteMap::new(
             name,
-            vec![RouteMapEntry { seq: 1, action: Action::Deny, matches: vec![], sets: vec![] }],
+            vec![RouteMapEntry {
+                seq: 1,
+                action: Action::Deny,
+                matches: vec![],
+                sets: vec![],
+            }],
         )
     }
 
@@ -419,11 +438,15 @@ mod tests {
 
     /// Configuration that makes R3 prefer the R1 egress and (optionally)
     /// blocks the two "detour" paths of the paper's Figure 4.
-    fn preference_config(h: &netexpl_topology::builders::PaperTopology, strict: bool) -> NetworkConfig {
+    fn preference_config(
+        h: &netexpl_topology::builders::PaperTopology,
+        strict: bool,
+    ) -> NetworkConfig {
         let mut net = NetworkConfig::new();
         net.originate(h.p1, d1());
         net.originate(h.p2, d1());
-        net.router_mut(h.r3).set_import(h.r1, prefer("prefer_r1", 200));
+        net.router_mut(h.r3)
+            .set_import(h.r1, prefer("prefer_r1", 200));
         net.router_mut(h.r3).set_import(h.r2, prefer("via_r2", 100));
         if strict {
             // Block the detours: R1 must not give R3 routes learned from R2,
@@ -431,8 +454,10 @@ mod tests {
             // (split horizon/loop prevention), so strictness here means R1/R2
             // must not pass P2/P1 routes around; block cross-provider transit
             // inside the AS for D1 instead.
-            net.router_mut(h.r1).set_export(h.r2, deny_all("r1_no_d1_to_r2"));
-            net.router_mut(h.r2).set_export(h.r1, deny_all("r2_no_d1_to_r1"));
+            net.router_mut(h.r1)
+                .set_export(h.r2, deny_all("r1_no_d1_to_r2"));
+            net.router_mut(h.r2)
+                .set_export(h.r1, deny_all("r2_no_d1_to_r1"));
         }
         net
     }
@@ -501,7 +526,9 @@ mod tests {
         let spec = preference_spec("fallback");
         let violations = check_specification(&topo, &net, &spec);
         assert!(
-            violations.iter().any(|v| matches!(v, Violation::FallbackNotTaken { .. })),
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::FallbackNotTaken { .. })),
             "{violations:?}"
         );
     }
@@ -511,15 +538,16 @@ mod tests {
         let (topo, h) = paper_topology();
         let mut net = NetworkConfig::new();
         net.originate(h.p1, d1());
-        let spec =
-            parse("dest D1 = 200.7.0.0/16\nReq {\n Customer ~> D1\n}").unwrap();
+        let spec = parse("dest D1 = 200.7.0.0/16\nReq {\n Customer ~> D1\n}").unwrap();
         assert_eq!(check_specification(&topo, &net, &spec), Vec::new());
         // Now block everything into R3.
         net.router_mut(h.r3).set_import(h.r1, deny_all("a"));
         net.router_mut(h.r3).set_import(h.r2, deny_all("b"));
         let violations = check_specification(&topo, &net, &spec);
         assert!(
-            violations.iter().any(|v| matches!(v, Violation::Unreachable { .. })),
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::Unreachable { .. })),
             "{violations:?}"
         );
     }
@@ -532,7 +560,9 @@ mod tests {
         let spec = parse("Req {\n !(Bogus -> ... -> P2)\n}").unwrap();
         let violations = check_specification(&topo, &net, &spec);
         assert!(
-            violations.iter().any(|v| matches!(v, Violation::BadRequirement { .. })),
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::BadRequirement { .. })),
             "{violations:?}"
         );
     }
@@ -546,17 +576,14 @@ mod tests {
         // Forbid transit only for D1 (originated at P1, so the offending
         // direction is P2-bound traffic exiting at P1 — i.e. no violation,
         // because D1 traffic toward P1 is legitimate).
-        let spec = parse(
-            "dest D1 = 200.7.0.0/16\nReq {\n !(P2 -> ... -> P1 -> D1)\n}",
-        )
-        .unwrap();
+        let spec = parse("dest D1 = 200.7.0.0/16\nReq {\n !(P2 -> ... -> P1 -> D1)\n}").unwrap();
         let violations = check_specification(&topo, &net, &spec);
         // P2 does receive a D1 route (transit!), and its traffic path is
         // P2 -> R2 -> R1 -> P1 which matches the pattern with dest D1.
         assert!(
-            violations
-                .iter()
-                .all(|v| matches!(v, Violation::ForbiddenPathRealized { prefix, .. } if *prefix == d1())),
+            violations.iter().all(
+                |v| matches!(v, Violation::ForbiddenPathRealized { prefix, .. } if *prefix == d1())
+            ),
             "{violations:?}"
         );
     }

@@ -102,39 +102,66 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '-' if bytes.get(i + 1) == Some(&'>') => {
-                out.push(Token { kind: TokenKind::Arrow, pos });
+                out.push(Token {
+                    kind: TokenKind::Arrow,
+                    pos,
+                });
                 i += 2;
             }
             '>' if bytes.get(i + 1) == Some(&'>') => {
-                out.push(Token { kind: TokenKind::Prefer, pos });
+                out.push(Token {
+                    kind: TokenKind::Prefer,
+                    pos,
+                });
                 i += 2;
             }
             '~' if bytes.get(i + 1) == Some(&'>') => {
-                out.push(Token { kind: TokenKind::Reach, pos });
+                out.push(Token {
+                    kind: TokenKind::Reach,
+                    pos,
+                });
                 i += 2;
             }
             '!' => {
-                out.push(Token { kind: TokenKind::Bang, pos });
+                out.push(Token {
+                    kind: TokenKind::Bang,
+                    pos,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, pos });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, pos });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
                 i += 1;
             }
             '{' => {
-                out.push(Token { kind: TokenKind::LBrace, pos });
+                out.push(Token {
+                    kind: TokenKind::LBrace,
+                    pos,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Token { kind: TokenKind::RBrace, pos });
+                out.push(Token {
+                    kind: TokenKind::RBrace,
+                    pos,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Equals, pos });
+                out.push(Token {
+                    kind: TokenKind::Equals,
+                    pos,
+                });
                 i += 1;
             }
             c if is_word_char(c) => {
@@ -222,10 +249,7 @@ mod tests {
     fn comments_and_whitespace_ignored() {
         let ks = kinds("// For D1, prefer routes through P1\nReq2 { }");
         use TokenKind::*;
-        assert_eq!(
-            ks,
-            vec![Ident("Req2".into()), LBrace, RBrace]
-        );
+        assert_eq!(ks, vec![Ident("Req2".into()), LBrace, RBrace]);
     }
 
     #[test]

@@ -44,14 +44,22 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: format!("unexpected character `{}`", e.ch), pos: Some(e.pos) }
+        ParseError {
+            message: format!("unexpected character `{}`", e.ch),
+            pos: Some(e.pos),
+        }
     }
 }
 
 /// Parse a complete specification.
 pub fn parse(input: &str) -> Result<Specification, ParseError> {
     let tokens = lex(input)?;
-    Parser { tokens, i: 0, spec: Specification::new() }.run()
+    Parser {
+        tokens,
+        i: 0,
+        spec: Specification::new(),
+    }
+    .run()
 }
 
 struct Parser {
@@ -83,7 +91,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), pos: self.pos() })
+        Err(ParseError {
+            message: message.into(),
+            pos: self.pos(),
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
@@ -128,7 +139,9 @@ impl Parser {
                     }
                     other => self.err(format!(
                         "expected a prefix literal, found {}",
-                        other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                        other
+                            .map(|t| t.to_string())
+                            .unwrap_or_else(|| "end of input".into())
                     )),
                 }
             }
@@ -220,7 +233,9 @@ impl Parser {
                     self.i -= 1;
                     return self.err(format!(
                         "expected a path segment, found {}",
-                        other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                        other
+                            .map(|t| t.to_string())
+                            .unwrap_or_else(|| "end of input".into())
                     ));
                 }
             }
@@ -237,7 +252,10 @@ impl Parser {
                 *segs.last_mut().unwrap() = Seg::Dest(d);
             }
         }
-        if !segs.iter().any(|s| matches!(s, Seg::Dest(_) | Seg::Router(_))) {
+        if !segs
+            .iter()
+            .any(|s| matches!(s, Seg::Dest(_) | Seg::Router(_)))
+        {
             return self.err("path pattern needs at least one router");
         }
         match PathPattern::try_new(segs) {
@@ -297,7 +315,10 @@ mod tests {
         let spec = parse("dest D = 10.0.0.0/8\nR { C ~> D }").unwrap();
         assert_eq!(
             spec.block_named("R").unwrap()[0],
-            Requirement::Reachable { src: "C".into(), dst: "D".into() }
+            Requirement::Reachable {
+                src: "C".into(),
+                dst: "D".into()
+            }
         );
     }
 

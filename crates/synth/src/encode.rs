@@ -44,7 +44,7 @@ use netexpl_spec::{PathPattern, PreferenceMode, Requirement, Seg, Specification}
 use netexpl_topology::{AsNum, Link, Prefix, RouterId, RouterKind, Topology};
 
 use crate::sketch::{Hole, SymMatch, SymNetworkConfig, SymRouteMap, SymSet};
-use crate::vocab::{attr_idx, Vocabulary, VocabSorts};
+use crate::vocab::{attr_idx, VocabSorts, Vocabulary};
 
 /// Options controlling the encoding.
 #[derive(Debug, Clone, Copy)]
@@ -181,7 +181,13 @@ impl<'a> Encoder<'a> {
         sorts: VocabSorts,
         options: EncodeOptions,
     ) -> Self {
-        Encoder { topo, vocab, sorts, options, fresh: 0 }
+        Encoder {
+            topo,
+            vocab,
+            sorts,
+            options,
+            fresh: 0,
+        }
     }
 
     /// Encode the propagation semantics of `sym` and the requirements of
@@ -208,7 +214,8 @@ impl<'a> Encoder<'a> {
         for (idx, req) in spec.requirements().enumerate() {
             let before = enc.reqs.len();
             self.encode_requirement(ctx, sym, spec, req, &mut enc)?;
-            enc.req_origins.extend(std::iter::repeat_n(idx, enc.reqs.len() - before));
+            enc.req_origins
+                .extend(std::iter::repeat_n(idx, enc.reqs.len() - before));
         }
         debug_assert_eq!(enc.reqs.len(), enc.req_origins.len());
         Ok(enc)
@@ -228,8 +235,11 @@ impl<'a> Encoder<'a> {
         prefix: Prefix,
         constraints: &mut Vec<TermId>,
     ) -> Vec<PathInfo> {
-        let origins: Vec<&Origination> =
-            sym.originations.iter().filter(|o| o.prefix == prefix).collect();
+        let origins: Vec<&Origination> = sym
+            .originations
+            .iter()
+            .filter(|o| o.prefix == prefix)
+            .collect();
         let mut out = Vec::new();
         for o in origins {
             let asn = self.topo.router(o.router).as_num;
@@ -304,7 +314,14 @@ impl<'a> Encoder<'a> {
     ) -> SymRoute {
         // Export policy at u.
         let exported = match sym.routers.get(&u).and_then(|c| c.export.get(&v)) {
-            Some(map) => self.fold_map(ctx, map, prefix, state, constraints, &format!("{}→{}", self.topo.name(u), self.topo.name(v))),
+            Some(map) => self.fold_map(
+                ctx,
+                map,
+                prefix,
+                state,
+                constraints,
+                &format!("{}→{}", self.topo.name(u), self.topo.name(v)),
+            ),
             None => state.clone(),
         };
         // Session advance.
@@ -321,13 +338,25 @@ impl<'a> Encoder<'a> {
         advanced.nh = self.router_val(ctx, u);
         // Import policy at v.
         match sym.routers.get(&v).and_then(|c| c.import.get(&u)) {
-            Some(map) => self.fold_map(ctx, map, prefix, &advanced, constraints, &format!("{}←{}", self.topo.name(v), self.topo.name(u))),
+            Some(map) => self.fold_map(
+                ctx,
+                map,
+                prefix,
+                &advanced,
+                constraints,
+                &format!("{}←{}", self.topo.name(v), self.topo.name(u)),
+            ),
             None => advanced,
         }
     }
 
     fn router_val(&self, ctx: &mut Ctx, r: RouterId) -> TermId {
-        let i = self.vocab.routers.iter().position(|&x| x == r).expect("router in vocab");
+        let i = self
+            .vocab
+            .routers
+            .iter()
+            .position(|&x| x == r)
+            .expect("router in vocab");
         ctx.enum_const(self.sorts.val, self.sorts.val_router(i))
     }
 
@@ -417,9 +446,9 @@ impl<'a> Encoder<'a> {
 
         // Next hop: definitional only if some entry can change it.
         let changes_nh = map.entries.iter().any(|e| {
-            e.sets.iter().any(|s| {
-                matches!(s, SymSet::NextHop(_) | SymSet::Generic { .. })
-            })
+            e.sets
+                .iter()
+                .any(|s| matches!(s, SymSet::NextHop(_) | SymSet::Generic { .. }))
         });
         let nh = if changes_nh {
             let name = self.fresh_name(&format!("nh[{where_}]"));
@@ -444,9 +473,10 @@ impl<'a> Encoder<'a> {
                     match s {
                         SymSet::ClearCommunities => cur = ctx.mk_false(),
                         SymSet::AddCommunity(Hole::Concrete(c))
-                            if self.vocab.communities[c_idx] == *c => {
-                                cur = ctx.mk_true();
-                            }
+                            if self.vocab.communities[c_idx] == *c =>
+                        {
+                            cur = ctx.mk_true();
+                        }
                         SymSet::AddCommunity(Hole::Symbolic(t)) => {
                             let cv = self.community_val(ctx, c_idx);
                             let adds = ctx.eq(*t, cv);
@@ -470,7 +500,13 @@ impl<'a> Encoder<'a> {
             comms.push(ctx.or(&cases));
         }
 
-        SymRoute { alive, lp, nh, comms, as_path: state.as_path.clone() }
+        SymRoute {
+            alive,
+            lp,
+            nh,
+            comms,
+            as_path: state.as_path.clone(),
+        }
     }
 
     /// The definitional constraint for the next hop produced by one entry
@@ -606,13 +642,15 @@ impl<'a> Encoder<'a> {
             Requirement::Reachable { src, dst } => {
                 self.encode_reachable(ctx, sym, spec, src, dst, enc)
             }
-            Requirement::Preference { chain } => {
-                self.encode_preference(ctx, spec, chain, enc)
-            }
+            Requirement::Preference { chain } => self.encode_preference(ctx, spec, chain, enc),
         }
     }
 
-    fn validate_pattern(&self, pattern: &PathPattern, spec: &Specification) -> Result<(), EncodeError> {
+    fn validate_pattern(
+        &self,
+        pattern: &PathPattern,
+        spec: &Specification,
+    ) -> Result<(), EncodeError> {
         for n in pattern.router_names() {
             if self.topo.router_by_name(n).is_none() {
                 return Err(EncodeError::UnknownRouter(n.to_string()));
@@ -754,9 +792,12 @@ impl<'a> Encoder<'a> {
         if let Some(f) = enc.nominal_sel.get(&prefix) {
             return Ok(f.clone());
         }
-        let infos = enc.paths.get(&prefix).ok_or(EncodeError::NoOrigin(prefix))?.clone();
-        let fam =
-            self.selection_family(ctx, &infos, &[], &format!("{prefix}"), &mut enc.defs);
+        let infos = enc
+            .paths
+            .get(&prefix)
+            .ok_or(EncodeError::NoOrigin(prefix))?
+            .clone();
+        let fam = self.selection_family(ctx, &infos, &[], &format!("{prefix}"), &mut enc.defs);
         enc.nominal_sel.insert(prefix, fam.clone());
         Ok(fam)
     }
@@ -779,7 +820,11 @@ impl<'a> Encoder<'a> {
             .ok_or_else(|| EncodeError::UnknownDest(dst.to_string()))?;
         // A router that originates the prefix reaches it trivially (the
         // simulator pins the origination as its best route).
-        if sym.originations.iter().any(|o| o.router == src_id && o.prefix == prefix) {
+        if sym
+            .originations
+            .iter()
+            .any(|o| o.router == src_id && o.prefix == prefix)
+        {
             return Ok(());
         }
         let fam = self.nominal_family(ctx, prefix, enc)?;
@@ -848,7 +893,11 @@ impl<'a> Encoder<'a> {
         );
         let props: Vec<&Vec<RouterId>> = resolved.iter().map(|(p, _)| p).collect();
 
-        let infos = enc.paths.get(&prefix).ok_or(EncodeError::NoOrigin(prefix))?.clone();
+        let infos = enc
+            .paths
+            .get(&prefix)
+            .ok_or(EncodeError::NoOrigin(prefix))?
+            .clone();
         let find_idx = |prop: &[RouterId]| infos.iter().position(|i| i.routers == prop);
         let idxs: Vec<usize> = props
             .iter()
@@ -890,7 +939,8 @@ impl<'a> Encoder<'a> {
             if failed.is_empty() {
                 return Err(EncodeError::UnsupportedPattern(format!(
                     "({}) >> ({}): paths do not diverge on any concrete link",
-                    chain[k - 1], chain[k]
+                    chain[k - 1],
+                    chain[k]
                 )));
             }
             let fam =
@@ -914,7 +964,8 @@ impl<'a> Encoder<'a> {
                 if a_dist.is_empty() || b_dist.is_empty() {
                     return Err(EncodeError::UnsupportedPattern(format!(
                         "({}) >> ({}): paths do not diverge on any concrete link",
-                        chain[k], chain[k + 1]
+                        chain[k],
+                        chain[k + 1]
                     )));
                 }
                 let scenarios: Vec<Vec<Link>> = vec![
@@ -1009,9 +1060,13 @@ mod tests {
         // P1-R1-R2-P2, P1-R1-R3-Customer, P1-R1-R2-R3-Customer,
         // P1-R1-R3-R2-P2, ... — check a few structural facts.
         assert!(infos.iter().any(|i| i.routers == vec![h.p1, h.r1]));
-        assert!(infos.iter().any(|i| i.routers == vec![h.p1, h.r1, h.r2, h.p2]));
+        assert!(infos
+            .iter()
+            .any(|i| i.routers == vec![h.p1, h.r1, h.r2, h.p2]));
         assert!(
-            !infos.iter().any(|i| i.routers.windows(2).any(|w| w == [h.p2, h.r2])),
+            !infos
+                .iter()
+                .any(|i| i.routers.windows(2).any(|w| w == [h.p2, h.r2])),
             "externals never transit"
         );
         // All-concrete, no-policy network: every path alive (constant true).
@@ -1058,18 +1113,27 @@ mod tests {
             h.p1,
             SymRouteMap {
                 name: "R1_to_P1".into(),
-                entries: vec![SymEntry { seq: 1, action: a1.clone(), matches: vec![], sets: vec![] }],
+                entries: vec![SymEntry {
+                    seq: 1,
+                    action: a1.clone(),
+                    matches: vec![],
+                    sets: vec![],
+                }],
             },
         );
         sym.router_mut(h.r2).export.insert(
             h.p2,
             SymRouteMap {
                 name: "R2_to_P2".into(),
-                entries: vec![SymEntry { seq: 1, action: a2.clone(), matches: vec![], sets: vec![] }],
+                entries: vec![SymEntry {
+                    seq: 1,
+                    action: a2.clone(),
+                    matches: vec![],
+                    sets: vec![],
+                }],
             },
         );
-        let spec =
-            netexpl_spec::parse("Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }").unwrap();
+        let spec = netexpl_spec::parse("Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }").unwrap();
         let mut enc = Encoder::new(&topo, &vocab, sorts, EncodeOptions::default());
         let encoded = enc.encode(&mut ctx, &sym, &spec).unwrap();
 
@@ -1077,7 +1141,10 @@ mod tests {
         for c in encoded.constraints() {
             solver.assert(c);
         }
-        let model = solver.check(&mut ctx).model().expect("should be synthesizable");
+        let model = solver
+            .check(&mut ctx)
+            .model()
+            .expect("should be synthesizable");
         let concrete = sym.concretize(&ctx, &vocab, &sorts, &model);
         // Validate with the concrete checker: no violations.
         let violations = netexpl_spec::check_specification(&topo, &concrete, &spec);
@@ -1103,13 +1170,15 @@ mod tests {
             h.customer,
             SymRouteMap {
                 name: "R3_to_C".into(),
-                entries: vec![SymEntry { seq: 1, action: a, matches: vec![], sets: vec![] }],
+                entries: vec![SymEntry {
+                    seq: 1,
+                    action: a,
+                    matches: vec![],
+                    sets: vec![],
+                }],
             },
         );
-        let spec = netexpl_spec::parse(
-            "dest D1 = 200.7.0.0/16\nReq { Customer ~> D1 }",
-        )
-        .unwrap();
+        let spec = netexpl_spec::parse("dest D1 = 200.7.0.0/16\nReq { Customer ~> D1 }").unwrap();
         let mut enc = Encoder::new(&topo, &vocab, sorts, EncodeOptions::default());
         let encoded = enc.encode(&mut ctx, &sym, &spec).unwrap();
         let mut solver = SmtSolver::new();
@@ -1119,7 +1188,11 @@ mod tests {
         let model = solver.check(&mut ctx).model().expect("sat");
         let concrete = sym.concretize(&ctx, &vocab, &sorts, &model);
         let m = concrete.router(h.r3).unwrap().export(h.customer).unwrap();
-        assert_eq!(m.entries[0].action, Action::Permit, "reachability forces permit");
+        assert_eq!(
+            m.entries[0].action,
+            Action::Permit,
+            "reachability forces permit"
+        );
     }
 
     #[test]
@@ -1204,7 +1277,10 @@ mod tests {
         let mut enc = Encoder::new(&topo, &vocab, sorts, EncodeOptions::default());
         let encoded = enc.encode(&mut ctx, &sym, &strict).unwrap();
         let conj = encoded.conjunction(&mut ctx);
-        assert!(!is_sat(&mut ctx, conj), "strict mode unsat without detour blocking");
+        assert!(
+            !is_sat(&mut ctx, conj),
+            "strict mode unsat without detour blocking"
+        );
 
         let fallback = netexpl_spec::parse(&format!("mode fallback\n{spec_text}")).unwrap();
         let mut ctx2 = Ctx::new();

@@ -35,6 +35,8 @@ pub mod synthesize;
 pub mod vocab;
 
 pub use encode::{EncodeOptions, Encoder};
-pub use sketch::{Hole, SymEntry, SymMatch, SymNetworkConfig, SymRouteMap, SymRouterConfig, SymSet};
+pub use sketch::{
+    Hole, SymEntry, SymMatch, SymNetworkConfig, SymRouteMap, SymRouterConfig, SymSet,
+};
 pub use synthesize::{synthesize, synthesize_diverse, SynthError, SynthOptions, SynthResult};
 pub use vocab::Vocabulary;

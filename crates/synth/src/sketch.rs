@@ -16,7 +16,7 @@ use netexpl_logic::term::{Ctx, TermId};
 use netexpl_logic::Assignment;
 use netexpl_topology::{AsNum, Prefix, RouterId};
 
-use crate::vocab::{attr_idx, ValKind, Vocabulary, VocabSorts};
+use crate::vocab::{attr_idx, ValKind, VocabSorts, Vocabulary};
 
 /// A field that is either concrete or a symbolic term of the matching sort.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,9 +152,7 @@ impl SymRouteMap {
                         .iter()
                         .map(|s| match s {
                             SetClause::LocalPref(lp) => SymSet::LocalPref(Hole::Concrete(*lp)),
-                            SetClause::AddCommunity(c) => {
-                                SymSet::AddCommunity(Hole::Concrete(*c))
-                            }
+                            SetClause::AddCommunity(c) => SymSet::AddCommunity(Hole::Concrete(*c)),
                             SetClause::ClearCommunities => SymSet::ClearCommunities,
                             SetClause::NextHop(n) => SymSet::NextHop(Hole::Concrete(*n)),
                         })
@@ -305,9 +303,7 @@ fn concretize_map(
         for m in &e.matches {
             match m {
                 SymMatch::PrefixList(ps) => matches.push(MatchClause::PrefixList(ps.clone())),
-                SymMatch::Community(Hole::Concrete(c)) => {
-                    matches.push(MatchClause::Community(*c))
-                }
+                SymMatch::Community(Hole::Concrete(c)) => matches.push(MatchClause::Community(*c)),
                 SymMatch::Community(Hole::Symbolic(t)) => {
                     matches.push(MatchClause::Community(community_of(*t)))
                 }
@@ -316,8 +312,8 @@ fn concretize_map(
                 SymMatch::Generic { attr, value } => {
                     match enum_variant(ctx, model, *attr) {
                         Some(attr_idx::PREFIX) => {
-                            if let Some(ValKind::Prefix(i)) = enum_variant(ctx, model, *value)
-                                .map(|v| sorts.classify_val(v))
+                            if let Some(ValKind::Prefix(i)) =
+                                enum_variant(ctx, model, *value).map(|v| sorts.classify_val(v))
                             {
                                 matches.push(MatchClause::PrefixList(vec![vocab.prefixes[i]]));
                             } else {
@@ -352,9 +348,7 @@ fn concretize_map(
                     };
                     sets.push(SetClause::LocalPref(lp));
                 }
-                SymSet::AddCommunity(Hole::Concrete(c)) => {
-                    sets.push(SetClause::AddCommunity(*c))
-                }
+                SymSet::AddCommunity(Hole::Concrete(c)) => sets.push(SetClause::AddCommunity(*c)),
                 SymSet::AddCommunity(Hole::Symbolic(t)) => {
                     sets.push(SetClause::AddCommunity(community_of(*t)))
                 }
@@ -378,7 +372,12 @@ fn concretize_map(
                 },
             }
         }
-        entries.push(RouteMapEntry { seq: e.seq, action, matches, sets });
+        entries.push(RouteMapEntry {
+            seq: e.seq,
+            action,
+            matches,
+            sets,
+        });
     }
     RouteMap::new(&map.name, entries)
 }
@@ -506,7 +505,12 @@ mod tests {
             h.p1,
             SymRouteMap {
                 name: "m".into(),
-                entries: vec![SymEntry { seq: 1, action: hole, matches: vec![], sets: vec![] }],
+                entries: vec![SymEntry {
+                    seq: 1,
+                    action: hole,
+                    matches: vec![],
+                    sets: vec![],
+                }],
             },
         );
         let mut model = Assignment::new();
@@ -545,28 +549,54 @@ mod tests {
         );
         // attr = Community, value = the community.
         let mut model = Assignment::new();
-        model.set(var_of(&ctx, attr_t), Value::Enum(sorts.attr, attr_idx::COMMUNITY));
-        model.set(var_of(&ctx, val_t), Value::Enum(sorts.val, sorts.val_community(0)));
+        model.set(
+            var_of(&ctx, attr_t),
+            Value::Enum(sorts.attr, attr_idx::COMMUNITY),
+        );
+        model.set(
+            var_of(&ctx, val_t),
+            Value::Enum(sorts.val, sorts.val_community(0)),
+        );
         let net = sym.concretize(&ctx, &vocab, &sorts, &model);
         let map = net.router(h.r1).unwrap().export(h.p1).unwrap();
-        assert_eq!(map.entries[0].matches, vec![MatchClause::Community(Community(100, 2))]);
+        assert_eq!(
+            map.entries[0].matches,
+            vec![MatchClause::Community(Community(100, 2))]
+        );
         // attr = Prefix, value = the prefix.
         let mut model2 = Assignment::new();
-        model2.set(var_of(&ctx, attr_t), Value::Enum(sorts.attr, attr_idx::PREFIX));
-        model2.set(var_of(&ctx, val_t), Value::Enum(sorts.val, sorts.val_prefix(0)));
+        model2.set(
+            var_of(&ctx, attr_t),
+            Value::Enum(sorts.attr, attr_idx::PREFIX),
+        );
+        model2.set(
+            var_of(&ctx, val_t),
+            Value::Enum(sorts.val, sorts.val_prefix(0)),
+        );
         let net2 = sym.concretize(&ctx, &vocab, &sorts, &model2);
         let map2 = net2.router(h.r1).unwrap().export(h.p1).unwrap();
         assert_eq!(
             map2.entries[0].matches,
-            vec![MatchClause::PrefixList(vec!["200.7.0.0/16".parse().unwrap()])]
+            vec![MatchClause::PrefixList(vec!["200.7.0.0/16"
+                .parse()
+                .unwrap()])]
         );
         // attr = NextHop, value = a router.
         let mut model3 = Assignment::new();
-        model3.set(var_of(&ctx, attr_t), Value::Enum(sorts.attr, attr_idx::NEXT_HOP));
-        model3.set(var_of(&ctx, val_t), Value::Enum(sorts.val, sorts.val_router(0)));
+        model3.set(
+            var_of(&ctx, attr_t),
+            Value::Enum(sorts.attr, attr_idx::NEXT_HOP),
+        );
+        model3.set(
+            var_of(&ctx, val_t),
+            Value::Enum(sorts.val, sorts.val_router(0)),
+        );
         let net3 = sym.concretize(&ctx, &vocab, &sorts, &model3);
         let map3 = net3.router(h.r1).unwrap().export(h.p1).unwrap();
-        assert_eq!(map3.entries[0].matches, vec![MatchClause::FromNeighbor(RouterId(0))]);
+        assert_eq!(
+            map3.entries[0].matches,
+            vec![MatchClause::FromNeighbor(RouterId(0))]
+        );
     }
 
     #[test]
@@ -620,7 +650,10 @@ mod tests {
             },
         );
         let mut model = Assignment::new();
-        model.set(var_of(&ctx, attr_t), Value::Enum(sorts.attr, attr_idx::PREFIX));
+        model.set(
+            var_of(&ctx, attr_t),
+            Value::Enum(sorts.attr, attr_idx::PREFIX),
+        );
         let net = sym.concretize(&ctx, &vocab, &sorts, &model);
         let map = net.router(h.r1).unwrap().export(h.p1).unwrap();
         assert!(map.entries[0].sets.is_empty(), "prefix-attr set is a no-op");

@@ -212,7 +212,10 @@ mod tests {
         assert_eq!(s.classify_val(2), ValKind::Community(1));
         assert_eq!(s.classify_val(5), ValKind::Router(2));
         assert_eq!(ctx.enum_decl(s.val).variants.len(), 9);
-        assert_eq!(ctx.enum_decl(s.attr).variants, vec!["Prefix", "Community", "NextHop"]);
+        assert_eq!(
+            ctx.enum_decl(s.attr).variants,
+            vec!["Prefix", "Community", "NextHop"]
+        );
     }
 
     #[test]

@@ -49,7 +49,17 @@ pub fn paper_topology() -> (Topology, PaperTopology) {
     t.add_link(r1, r3);
     t.add_link(r2, r3);
     t.add_link(r3, customer);
-    (t, PaperTopology { p1, p2, r1, r2, r3, customer })
+    (
+        t,
+        PaperTopology {
+            p1,
+            p2,
+            r1,
+            r2,
+            r3,
+            customer,
+        },
+    )
 }
 
 /// A line of `n` internal routers with an external provider attached at each

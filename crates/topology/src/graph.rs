@@ -92,7 +92,11 @@ impl Topology {
             "duplicate router name `{name}`"
         );
         let id = RouterId(self.routers.len() as u32);
-        self.routers.push(Router { name: name.to_string(), as_num, kind });
+        self.routers.push(Router {
+            name: name.to_string(),
+            as_num,
+            kind,
+        });
         self.by_name.insert(name.to_string(), id);
         self.adjacency.push(Vec::new());
         id
@@ -268,7 +272,10 @@ mod tests {
         t2.add_router("X", AsNum(1), RouterKind::Internal);
         t2.add_router("Y", AsNum(1), RouterKind::Internal);
         assert!(!t2.is_connected());
-        assert!(Topology::new().is_connected(), "empty topology is trivially connected");
+        assert!(
+            Topology::new().is_connected(),
+            "empty topology is trivially connected"
+        );
     }
 
     #[test]

@@ -211,7 +211,10 @@ mod tests {
         let (t, [a, b, c, _]) = square();
         assert!(Path::new(vec![a, b, c]).is_valid_in(&t));
         assert!(!Path::new(vec![a, c]).is_valid_in(&t), "no diagonal link");
-        assert!(Path::new(vec![a]).is_valid_in(&t), "single hop trivially valid");
+        assert!(
+            Path::new(vec![a]).is_valid_in(&t),
+            "single hop trivially valid"
+        );
     }
 
     #[test]
@@ -220,8 +223,14 @@ mod tests {
         let p = Path::new(vec![a, b, c, d]);
         assert!(p.contains_subpath(&Path::new(vec![b, c])));
         assert!(p.contains_subpath(&Path::new(vec![a, b, c, d])));
-        assert!(!p.contains_subpath(&Path::new(vec![c, b])), "direction matters");
-        assert!(!p.contains_subpath(&Path::new(vec![a, c])), "must be contiguous");
+        assert!(
+            !p.contains_subpath(&Path::new(vec![c, b])),
+            "direction matters"
+        );
+        assert!(
+            !p.contains_subpath(&Path::new(vec![a, c])),
+            "must be contiguous"
+        );
     }
 
     #[test]
@@ -239,7 +248,10 @@ mod tests {
     #[test]
     fn enumerate_respects_max_len() {
         let (t, [a, _, c, _]) = square();
-        assert!(all_simple_paths(&t, a, c, 2).is_empty(), "c is 2 edges away");
+        assert!(
+            all_simple_paths(&t, a, c, 2).is_empty(),
+            "c is 2 edges away"
+        );
         assert_eq!(all_simple_paths(&t, a, c, 3).len(), 2);
         assert_eq!(all_simple_paths(&t, a, a, 5).len(), 1, "trivial self path");
         assert!(all_simple_paths(&t, a, c, 0).is_empty());

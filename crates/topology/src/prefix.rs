@@ -34,7 +34,10 @@ impl Prefix {
     /// cleared to canonicalize.
     pub fn new(addr: u32, len: u8) -> Prefix {
         assert!(len <= 32, "prefix length {len} > 32");
-        Prefix { addr: addr & Self::mask(len), len }
+        Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
     }
 
     /// Build from dotted-quad octets and a length.
@@ -141,7 +144,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["10.0.0.0", "10.0.0.0/33", "10.0.0/8", "a.b.c.d/8", "10.0.0.0.0/8", "300.0.0.0/8"] {
+        for s in [
+            "10.0.0.0",
+            "10.0.0.0/33",
+            "10.0.0/8",
+            "a.b.c.d/8",
+            "10.0.0.0.0/8",
+            "300.0.0.0/8",
+        ] {
             assert!(s.parse::<Prefix>().is_err(), "{s} should not parse");
         }
     }

@@ -13,7 +13,9 @@
 //! cargo run --example environment_assumptions
 //! ```
 
-use netexpl_bgp::{Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause};
+use netexpl_bgp::{
+    Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause,
+};
 use netexpl_core::symbolize::Dir;
 use netexpl_core::{environment_assumptions, explain, ExplainOptions, Selector};
 use netexpl_logic::term::Ctx;
@@ -53,7 +55,12 @@ fn main() {
                     matches: vec![MatchClause::Community(tag)],
                     sets: vec![],
                 },
-                RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+                RouteMapEntry {
+                    seq: 20,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![],
+                },
             ],
         ),
     );
@@ -74,7 +81,10 @@ fn main() {
         &net,
         &spec,
         h.r1,
-        &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+        &Selector::Session {
+            neighbor: h.p1,
+            dir: Dir::Export,
+        },
         ExplainOptions::default(),
     )
     .unwrap();

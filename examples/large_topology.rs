@@ -43,9 +43,16 @@ fn main() {
         let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
 
         let t0 = Instant::now();
-        let result =
-            synthesize(&mut ctx, &topo, &vocab, sorts, &sketch, &spec, SynthOptions::default())
-                .expect("ring no-transit synthesizes");
+        let result = synthesize(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &sketch,
+            &spec,
+            SynthOptions::default(),
+        )
+        .expect("ring no-transit synthesizes");
         let synth_ms = t0.elapsed().as_millis();
 
         let t1 = Instant::now();
@@ -63,8 +70,14 @@ fn main() {
             &result.config,
             &spec,
             r0,
-            &Selector::Session { neighbor, dir: Dir::Export },
-            ExplainOptions { skip_lift: false, ..Default::default() },
+            &Selector::Session {
+                neighbor,
+                dir: Dir::Export,
+            },
+            ExplainOptions {
+                skip_lift: false,
+                ..Default::default()
+            },
         )
         .expect("explanation succeeds");
         let explain_ms = t1.elapsed().as_millis();

@@ -66,8 +66,16 @@ fn main() {
     let sorts = vocab.sorts(&mut ctx);
     let factory = HoleFactory::new(&vocab, sorts);
     let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
-    let result = synthesize(&mut ctx, &topo, &vocab, sorts, &sketch, &spec, SynthOptions::default())
-        .expect("the specification is satisfiable");
+    let result = synthesize(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &sketch,
+        &spec,
+        SynthOptions::default(),
+    )
+    .expect("the specification is satisfiable");
     println!(
         "== Synthesis ==\n  {} holes, {} constraints ({} AST nodes), {} candidate paths",
         result.stats.num_holes,
@@ -80,7 +88,10 @@ fn main() {
     println!("\n== Synthesized configuration (Figure 1c) ==");
     print!("{}", result.config.render(&topo));
     let violations = check_specification(&topo, &result.config, &spec);
-    assert!(violations.is_empty(), "synthesize() already validated: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "synthesize() already validated: {violations:?}"
+    );
     println!("\nconcrete checker: all requirements satisfied");
 
     // (d) The localized explanation for R1's export to Provider 1 —
@@ -94,7 +105,10 @@ fn main() {
         &result.config,
         &spec,
         h.r1,
-        &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+        &Selector::Session {
+            neighbor: h.p1,
+            dir: Dir::Export,
+        },
         ExplainOptions::default(),
     )
     .expect("explanation succeeds");
@@ -111,7 +125,10 @@ fn main() {
         &result.config,
         &spec,
         h.r3,
-        &Selector::Session { neighbor: h.customer, dir: Dir::Export },
+        &Selector::Session {
+            neighbor: h.customer,
+            dir: Dir::Export,
+        },
         ExplainOptions::default(),
     )
     .expect("explanation succeeds");

@@ -42,7 +42,12 @@ fn main() {
                         matches: vec![MatchClause::PrefixList(vec![cp])],
                         sets: vec![SetClause::NextHop(p)],
                     },
-                    RouteMapEntry { seq: 100, action: Action::Deny, matches: vec![], sets: vec![] },
+                    RouteMapEntry {
+                        seq: 100,
+                        action: Action::Deny,
+                        matches: vec![],
+                        sets: vec![],
+                    },
                 ],
             ),
         );
@@ -50,12 +55,13 @@ fn main() {
     println!("== Synthesized configuration (Figure 1c) ==");
     print!("{}", net.render(&topo));
 
-    let spec = netexpl_spec::parse(
-        "Req1 {\n  !(P1 -> ... -> P2)\n  !(P2 -> ... -> P1)\n}",
-    )
-    .unwrap();
+    let spec =
+        netexpl_spec::parse("Req1 {\n  !(P1 -> ... -> P2)\n  !(P2 -> ... -> P1)\n}").unwrap();
     let violations = check_specification(&topo, &net, &spec);
-    println!("\nchecker: no-transit holds ({} violations)", violations.len());
+    println!(
+        "\nchecker: no-transit holds ({} violations)",
+        violations.len()
+    );
     assert!(violations.is_empty());
 
     // "I know there is no transit traffic. I like this. Now if I want to
@@ -71,7 +77,11 @@ fn main() {
         &net,
         &spec,
         h.r1,
-        &Selector::Entry { neighbor: h.p1, dir: Dir::Export, entry: 1 },
+        &Selector::Entry {
+            neighbor: h.p1,
+            dir: Dir::Export,
+            entry: 1,
+        },
         ExplainOptions::default(),
     )
     .unwrap();

@@ -9,7 +9,9 @@
 //! cargo run --example scenario2_ambiguous
 //! ```
 
-use netexpl_bgp::{Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause};
+use netexpl_bgp::{
+    Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause,
+};
 use netexpl_core::{explain, ExplainOptions, Selector};
 use netexpl_logic::term::Ctx;
 use netexpl_spec::check_specification;
@@ -40,8 +42,10 @@ fn main() {
             }],
         )
     };
-    net.router_mut(h.r1).set_import(h.p1, tag("R1_from_P1", tag_p1));
-    net.router_mut(h.r2).set_import(h.p2, tag("R2_from_P2", tag_p2));
+    net.router_mut(h.r1)
+        .set_import(h.p1, tag("R1_from_P1", tag_p1));
+    net.router_mut(h.r2)
+        .set_import(h.p2, tag("R2_from_P2", tag_p2));
     let import = |name: &str, deny: Community, lp: u32| {
         RouteMap::new(
             name,
@@ -61,8 +65,10 @@ fn main() {
             ],
         )
     };
-    net.router_mut(h.r3).set_import(h.r1, import("R3_from_R1", tag_p2, 200));
-    net.router_mut(h.r3).set_import(h.r2, import("R3_from_R2", tag_p1, 100));
+    net.router_mut(h.r3)
+        .set_import(h.r1, import("R3_from_R1", tag_p2, 200));
+    net.router_mut(h.r3)
+        .set_import(h.r2, import("R3_from_R2", tag_p1, 100));
 
     let spec = netexpl_spec::parse(
         "mode strict\n\
@@ -84,14 +90,20 @@ fn main() {
     let fwd = state.forwarding_path(d1, h.customer).unwrap();
     println!(
         "\nall links up:            {}",
-        fwd.iter().map(|&r| topo.name(r)).collect::<Vec<_>>().join(" -> ")
+        fwd.iter()
+            .map(|&r| topo.name(r))
+            .collect::<Vec<_>>()
+            .join(" -> ")
     );
     let s2 =
         netexpl_bgp::sim::stabilize_with_failures(&topo, &net, &[Link::new(h.r3, h.r1)]).unwrap();
     let fwd2 = s2.forwarding_path(d1, h.customer).unwrap();
     println!(
         "R3-R1 failed:            {}",
-        fwd2.iter().map(|&r| topo.name(r)).collect::<Vec<_>>().join(" -> ")
+        fwd2.iter()
+            .map(|&r| topo.name(r))
+            .collect::<Vec<_>>()
+            .join(" -> ")
     );
     let s3 = netexpl_bgp::sim::stabilize_with_failures(
         &topo,
@@ -102,12 +114,21 @@ fn main() {
     println!(
         "R3-R1 and R2-P2 failed:  {} <- the surprise: a physical path exists but is blocked",
         s3.forwarding_path(d1, h.customer)
-            .map(|p| p.iter().map(|&r| topo.name(r)).collect::<Vec<_>>().join(" -> "))
+            .map(|p| p
+                .iter()
+                .map(|&r| topo.name(r))
+                .collect::<Vec<_>>()
+                .join(" -> "))
             .unwrap_or_else(|| "<no route>".to_string())
     );
 
     // The subspecification at R3 reveals why (Figure 4).
-    let vocab = Vocabulary::new(&topo, vec![tag_p1, tag_p2], vec![50, 100, 200], net.prefixes());
+    let vocab = Vocabulary::new(
+        &topo,
+        vec![tag_p1, tag_p2],
+        vec![50, 100, 200],
+        net.prefixes(),
+    );
     let mut ctx = Ctx::new();
     let sorts = vocab.sorts(&mut ctx);
     let expl = explain(

@@ -9,7 +9,9 @@
 //! cargo run --example scenario3_complexity
 //! ```
 
-use netexpl_bgp::{Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause};
+use netexpl_bgp::{
+    Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause,
+};
 use netexpl_core::symbolize::Dir;
 use netexpl_core::{explain, ExplainOptions, Selector};
 use netexpl_logic::term::Ctx;
@@ -44,8 +46,10 @@ fn main() {
             }],
         )
     };
-    net.router_mut(h.r1).set_import(h.p1, tag("R1_from_P1", tag_p1));
-    net.router_mut(h.r2).set_import(h.p2, tag("R2_from_P2", tag_p2));
+    net.router_mut(h.r1)
+        .set_import(h.p1, tag("R1_from_P1", tag_p1));
+    net.router_mut(h.r2)
+        .set_import(h.p2, tag("R2_from_P2", tag_p2));
     let filtered = |name: &str, deny: Community| {
         RouteMap::new(
             name,
@@ -56,12 +60,19 @@ fn main() {
                     matches: vec![MatchClause::Community(deny)],
                     sets: vec![],
                 },
-                RouteMapEntry { seq: 20, action: Action::Permit, matches: vec![], sets: vec![] },
+                RouteMapEntry {
+                    seq: 20,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![],
+                },
             ],
         )
     };
-    net.router_mut(h.r1).set_export(h.p1, filtered("R1_to_P1", tag_p2));
-    net.router_mut(h.r2).set_export(h.p2, filtered("R2_to_P2", tag_p1));
+    net.router_mut(h.r1)
+        .set_export(h.p1, filtered("R1_to_P1", tag_p2));
+    net.router_mut(h.r2)
+        .set_export(h.p2, filtered("R2_to_P2", tag_p1));
     let import = |name: &str, deny: Community, lp: u32| {
         RouteMap::new(
             name,
@@ -81,8 +92,10 @@ fn main() {
             ],
         )
     };
-    net.router_mut(h.r3).set_import(h.r1, import("R3_from_R1", tag_p2, 200));
-    net.router_mut(h.r3).set_import(h.r2, import("R3_from_R2", tag_p1, 100));
+    net.router_mut(h.r3)
+        .set_import(h.r1, import("R3_from_R1", tag_p2, 200));
+    net.router_mut(h.r3)
+        .set_import(h.r2, import("R3_from_R2", tag_p1, 100));
 
     let spec = netexpl_spec::parse(
         "mode strict\n\
@@ -104,14 +117,26 @@ fn main() {
 
     // Ask about Req1 only.
     let req1 = restrict(&spec, "Req1");
-    let vocab = Vocabulary::new(&topo, vec![tag_p1, tag_p2], vec![50, 100, 200], net.prefixes());
+    let vocab = Vocabulary::new(
+        &topo,
+        vec![tag_p1, tag_p2],
+        vec![50, 100, 200],
+        net.prefixes(),
+    );
 
     println!("\n== \"What does R3 do for the no-transit requirement?\" ==");
     let mut ctx = Ctx::new();
     let sorts = vocab.sorts(&mut ctx);
     let expl = explain(
-        &mut ctx, &topo, &vocab, sorts, &net, &req1, h.r3,
-        &Selector::Router, ExplainOptions::default(),
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &req1,
+        h.r3,
+        &Selector::Router,
+        ExplainOptions::default(),
     )
     .unwrap();
     println!("{expl}");
@@ -121,8 +146,17 @@ fn main() {
     let mut ctx2 = Ctx::new();
     let sorts2 = vocab.sorts(&mut ctx2);
     let expl2 = explain(
-        &mut ctx2, &topo, &vocab, sorts2, &net, &req1, h.r2,
-        &Selector::Session { neighbor: h.p2, dir: Dir::Export },
+        &mut ctx2,
+        &topo,
+        &vocab,
+        sorts2,
+        &net,
+        &req1,
+        h.r2,
+        &Selector::Session {
+            neighbor: h.p2,
+            dir: Dir::Export,
+        },
         ExplainOptions::default(),
     )
     .unwrap();
@@ -133,8 +167,15 @@ fn main() {
     let mut ctx3 = Ctx::new();
     let sorts3 = vocab.sorts(&mut ctx3);
     let expl3 = explain(
-        &mut ctx3, &topo, &vocab, sorts3, &net, &req2, h.r3,
-        &Selector::Router, ExplainOptions::default(),
+        &mut ctx3,
+        &topo,
+        &vocab,
+        sorts3,
+        &net,
+        &req2,
+        h.r3,
+        &Selector::Router,
+        ExplainOptions::default(),
     )
     .unwrap();
     println!("{expl3}");

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, build, tests. Run from anywhere;
+# fails fast on the first broken step. This is the command CI runs and
+# the one to run locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Not --all: that would also reformat the vendored offline stub crates in
+# vendor/, which are deliberately excluded from the workspace.
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> OK"

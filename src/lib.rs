@@ -1,1 +1,2 @@
 pub use netexpl_core as core_;
+pub use netexpl_lint as lint;

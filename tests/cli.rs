@@ -40,10 +40,20 @@ Connectivity {
 fn synth_prints_config() {
     let spec = spec_file("synth", SPEC);
     let out = netexpl()
-        .args(["synth", "--topology", "paper", "--spec", spec.to_str().unwrap()])
+        .args([
+            "synth",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("route-map"), "{stdout}");
     assert!(stdout.contains("router R1"), "{stdout}");
@@ -53,10 +63,21 @@ fn synth_prints_config() {
 fn synth_json_is_valid() {
     let spec = spec_file("synthjson", SPEC);
     let out = netexpl()
-        .args(["synth", "--topology", "paper", "--spec", spec.to_str().unwrap(), "--json"])
+        .args([
+            "synth",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--json",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
     assert!(v["holes"].as_u64().unwrap() > 0);
     assert!(v["config"].as_str().unwrap().contains("route-map"));
@@ -81,7 +102,11 @@ fn explain_reports_subspec() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("subspecification"), "{stdout}");
     assert!(stdout.contains("Customer ~> D1"), "{stdout}");
@@ -102,7 +127,11 @@ fn simulate_shows_stable_state_and_spec_result() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("stable routing state"), "{stdout}");
     assert!(stdout.contains("1 failed links"), "{stdout}");
@@ -129,10 +158,108 @@ fn errors_are_reported() {
 fn spec_without_originate_rejected() {
     let spec = spec_file("noorig", "dest D1 = 200.7.0.0/16\nReq { Customer ~> D1 }");
     let out = netexpl()
-        .args(["synth", "--topology", "paper", "--spec", spec.to_str().unwrap()])
+        .args([
+            "synth",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("@originate"), "{stderr}");
+}
+
+#[test]
+fn lint_clean_spec_exits_zero() {
+    let spec = spec_file("lintok", SPEC);
+    let out = netexpl()
+        .args([
+            "lint",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no findings"), "{stdout}");
+}
+
+#[test]
+fn lint_broken_spec_exits_nonzero_with_codes() {
+    let spec = spec_file(
+        "lintbad",
+        "// @originate P1 200.7.0.0/16\n\
+         dest D1 = 200.7.0.0/16\n\
+         Req1 { !(Q9 -> ... -> P2) }\n",
+    );
+    let out = netexpl()
+        .args([
+            "lint",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "broken spec must fail lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NE001"), "{stdout}");
+
+    // The same run in JSON: machine-readable findings with the code.
+    let out = netexpl()
+        .args([
+            "lint",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    assert!(v["errors"].as_u64().unwrap() >= 1, "{v}");
+    assert_eq!(v["findings"][0]["code"].as_str().unwrap(), "NE001", "{v}");
+}
+
+#[test]
+fn explain_rejects_zero_coverage_selector() {
+    let spec = spec_file("lintsel", SPEC);
+    let out = netexpl()
+        .args([
+            "explain",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--router",
+            "R3",
+            "--neighbor",
+            "Customer",
+            "--dir",
+            "export",
+            "--entry",
+            "99",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "zero-coverage selector must be rejected"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("NE012"), "{stderr}");
+    assert!(stderr.contains("selectable sessions"), "{stderr}");
 }

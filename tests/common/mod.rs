@@ -40,12 +40,22 @@ pub fn one_entry(name: &str, e: RouteMapEntry) -> RouteMap {
 
 /// `permit` catch-all entry.
 pub fn permit_all(seq: u32) -> RouteMapEntry {
-    RouteMapEntry { seq, action: Action::Permit, matches: vec![], sets: vec![] }
+    RouteMapEntry {
+        seq,
+        action: Action::Permit,
+        matches: vec![],
+        sets: vec![],
+    }
 }
 
 /// `deny` catch-all entry.
 pub fn deny_all(seq: u32) -> RouteMapEntry {
-    RouteMapEntry { seq, action: Action::Deny, matches: vec![], sets: vec![] }
+    RouteMapEntry {
+        seq,
+        action: Action::Deny,
+        matches: vec![],
+        sets: vec![],
+    }
 }
 
 /// `deny` on a community match.

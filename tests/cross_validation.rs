@@ -30,7 +30,11 @@ fn random_map(rng: &mut impl Rng, name: &str, comms: &[Community]) -> RouteMap {
     let n_entries = rng.gen_range(1..=3);
     let mut entries = Vec::new();
     for i in 0..n_entries {
-        let action = if rng.gen_bool(0.3) { Action::Deny } else { Action::Permit };
+        let action = if rng.gen_bool(0.3) {
+            Action::Deny
+        } else {
+            Action::Permit
+        };
         let mut matches = Vec::new();
         if rng.gen_bool(0.4) {
             matches.push(MatchClause::Community(comms[rng.gen_range(0..comms.len())]));
@@ -38,13 +42,22 @@ fn random_map(rng: &mut impl Rng, name: &str, comms: &[Community]) -> RouteMap {
         let mut sets = Vec::new();
         if action == Action::Permit {
             if rng.gen_bool(0.4) {
-                sets.push(SetClause::LocalPref(*[50u32, 100, 150, 200].get(rng.gen_range(0..4)).unwrap()));
+                sets.push(SetClause::LocalPref(
+                    *[50u32, 100, 150, 200].get(rng.gen_range(0..4)).unwrap(),
+                ));
             }
             if rng.gen_bool(0.3) {
-                sets.push(SetClause::AddCommunity(comms[rng.gen_range(0..comms.len())]));
+                sets.push(SetClause::AddCommunity(
+                    comms[rng.gen_range(0..comms.len())],
+                ));
             }
         }
-        entries.push(RouteMapEntry { seq: (i as u32 + 1) * 10, action, matches, sets });
+        entries.push(RouteMapEntry {
+            seq: (i as u32 + 1) * 10,
+            action,
+            matches,
+            sets,
+        });
     }
     // Make most maps end in a permissive catch-all so routing mostly works.
     if rng.gen_bool(0.7) {
@@ -78,11 +91,19 @@ fn random_scenario(seed: u64) -> (Topology, NetworkConfig, Vec<Community>) {
     for &r in &internal {
         for &nb in topo.neighbors(r) {
             if rng.gen_bool(0.4) {
-                let m = random_map(&mut rng, &format!("{}_from_{}", topo.name(r), topo.name(nb)), &comms);
+                let m = random_map(
+                    &mut rng,
+                    &format!("{}_from_{}", topo.name(r), topo.name(nb)),
+                    &comms,
+                );
                 net.router_mut(r).set_import(nb, m);
             }
             if rng.gen_bool(0.4) {
-                let m = random_map(&mut rng, &format!("{}_to_{}", topo.name(r), topo.name(nb)), &comms);
+                let m = random_map(
+                    &mut rng,
+                    &format!("{}_to_{}", topo.name(r), topo.name(nb)),
+                    &comms,
+                );
                 net.router_mut(r).set_export(nb, m);
             }
         }
@@ -167,14 +188,19 @@ fn checker_violation_implies_encoder_unsat() {
         }
     }
     assert!(violated > 0, "random suite should produce some violations");
-    assert!(satisfied > 0, "random suite should produce some compliant configs");
+    assert!(
+        satisfied > 0,
+        "random suite should produce some compliant configs"
+    );
 }
 
 #[test]
 fn sim_reachability_implies_encoder_sat() {
     for seed in 0..25u64 {
         let (topo, net, comms) = random_scenario(seed);
-        let Ok(state) = netexpl_bgp::sim::stabilize(&topo, &net) else { continue };
+        let Ok(state) = netexpl_bgp::sim::stabilize(&topo, &net) else {
+            continue;
+        };
         let d1: Prefix = "200.7.0.0/16".parse().unwrap();
         let pb = topo.router_by_name("Pb").unwrap();
         if state.forwarding_path(d1, pb).is_none() {
@@ -227,8 +253,12 @@ fn selection_model_is_a_stable_state() {
         for c in encoded.constraints() {
             solver.assert(c);
         }
-        let Some(model) = solver.check(&mut ctx).model() else { continue };
-        let Some(sel_vars) = encoded.nominal_sel.get(&d1) else { continue };
+        let Some(model) = solver.check(&mut ctx).model() else {
+            continue;
+        };
+        let Some(sel_vars) = encoded.nominal_sel.get(&d1) else {
+            continue;
+        };
         let infos = &encoded.paths[&d1];
         // At most one selection per holder; each selected path's parent is
         // selected too (or it is an origination edge).
@@ -244,7 +274,11 @@ fn selection_model_is_a_stable_state() {
             }
         }
         for (holder, ks) in &selected_at {
-            assert_eq!(ks.len(), 1, "seed {seed}: router {holder:?} selected several routes");
+            assert_eq!(
+                ks.len(),
+                1,
+                "seed {seed}: router {holder:?} selected several routes"
+            );
             let k = ks[0];
             if infos[k].routers.len() > 2 {
                 let parent = &infos[k].routers[..infos[k].routers.len() - 1];

@@ -35,10 +35,17 @@ fn no_transit_admits_many_distinct_solutions() {
         5,
     )
     .expect("under-constrained spec");
-    assert!(configs.len() >= 3, "expected several alternatives, got {}", configs.len());
+    assert!(
+        configs.len() >= 3,
+        "expected several alternatives, got {}",
+        configs.len()
+    );
     // All alternatives validate and are pairwise distinct.
     for (i, a) in configs.iter().enumerate() {
-        assert!(check_specification(&topo, a, &spec).is_empty(), "alternative {i} invalid");
+        assert!(
+            check_specification(&topo, a, &spec).is_empty(),
+            "alternative {i} invalid"
+        );
         for b in &configs[i + 1..] {
             assert_ne!(a, b);
         }
@@ -47,5 +54,8 @@ fn no_transit_admits_many_distinct_solutions() {
     // text, not only in hole bookkeeping.
     let rendered: std::collections::HashSet<String> =
         configs.iter().map(|c| c.render(&topo)).collect();
-    assert!(rendered.len() >= 2, "alternatives should render differently");
+    assert!(
+        rendered.len() >= 2,
+        "alternatives should render differently"
+    );
 }

@@ -27,7 +27,9 @@ fn chain_spec(mode: &str) -> netexpl_spec::Specification {
 fn chain_parses_and_displays() {
     let spec = chain_spec("fallback");
     let req = spec.requirements().next().unwrap();
-    let Requirement::Preference { chain } = req else { panic!("expected preference") };
+    let Requirement::Preference { chain } = req else {
+        panic!("expected preference")
+    };
     assert_eq!(chain.len(), 3);
     let shown = req.to_string();
     assert_eq!(shown.matches(">>").count(), 2, "{shown}");
@@ -60,9 +62,16 @@ fn three_way_chain_synthesizes_and_cascades() {
     let sorts = vocab.sorts(&mut ctx);
     let factory = HoleFactory::new(&vocab, sorts);
     let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
-    let result =
-        synthesize(&mut ctx, &topo, &vocab, sorts, &sketch, &spec, SynthOptions::default())
-            .expect("three-way chain must synthesize");
+    let result = synthesize(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &sketch,
+        &spec,
+        SynthOptions::default(),
+    )
+    .expect("three-way chain must synthesize");
     // synthesize() validated via the checker; confirm the cascade directly.
     let net = &result.config;
     let s0 = netexpl_bgp::sim::stabilize(&topo, net).unwrap();

@@ -23,7 +23,10 @@ fn arb_ident() -> impl Strategy<Value = String> {
 
 fn arb_pattern(dests: Vec<String>) -> impl Strategy<Value = PathPattern> {
     let seg = prop_oneof![4 => arb_ident().prop_map(Seg::Router), 1 => Just(Seg::Any)];
-    (proptest::collection::vec(seg, 1..5), proptest::option::of(0..dests.len().max(1)))
+    (
+        proptest::collection::vec(seg, 1..5),
+        proptest::option::of(0..dests.len().max(1)),
+    )
         .prop_map(move |(mut segs, dest)| {
             // Repair invalid shapes instead of discarding: no adjacent Any,
             // ensure at least one router, optional trailing destination.
@@ -51,8 +54,12 @@ fn arb_spec() -> impl Strategy<Value = Specification> {
             dst: dn[i].clone(),
         });
         let req = prop_oneof![forbidden, reach];
-        (Just(dest_map), proptest::collection::vec(req, 1..4), proptest::bool::ANY).prop_map(
-            |(dest_map, reqs, fallback)| {
+        (
+            Just(dest_map),
+            proptest::collection::vec(req, 1..4),
+            proptest::bool::ANY,
+        )
+            .prop_map(|(dest_map, reqs, fallback)| {
                 let mut spec = Specification::new();
                 if fallback {
                     spec.mode = netexpl_spec::PreferenceMode::Fallback;
@@ -63,8 +70,7 @@ fn arb_spec() -> impl Strategy<Value = Specification> {
                 }
                 spec.block("Req1", reqs);
                 spec
-            },
-        )
+            })
     })
 }
 
@@ -192,8 +198,7 @@ fn random_network(seed: u64) -> (netexpl_topology::Topology, NetworkConfig) {
 
 /// An arbitrary small formula mixing booleans, a 3-variant enum and a
 /// bounded int, built directly into a fresh context.
-fn arb_mixed_formula(
-) -> impl Strategy<Value = (Ctx, TermId, Vec<netexpl_logic::term::VarId>)> {
+fn arb_mixed_formula() -> impl Strategy<Value = (Ctx, TermId, Vec<netexpl_logic::term::VarId>)> {
     #[derive(Debug, Clone)]
     enum F {
         BoolVar(u8),

@@ -10,8 +10,8 @@
 mod common;
 
 use common::*;
-use netexpl_core::{explain, ExplainOptions, Selector};
 use netexpl_core::symbolize::{Dir, Field};
+use netexpl_core::{explain, ExplainOptions, Selector};
 use netexpl_logic::term::Ctx;
 use netexpl_spec::{check_specification, Violation};
 use netexpl_synth::sketch::HoleFactory;
@@ -41,11 +41,19 @@ fn figure_2_subspec_for_r1_catch_all() {
         &net,
         &spec,
         h.r1,
-        &Selector::Entry { neighbor: h.p1, dir: Dir::Export, entry: 1 },
+        &Selector::Entry {
+            neighbor: h.p1,
+            dir: Dir::Export,
+            entry: 1,
+        },
         ExplainOptions::default(),
     )
     .unwrap();
-    assert_eq!(expl.subspec.to_string(), "R1 {\n  !(R1 -> P1)\n}", "\n{expl}");
+    assert_eq!(
+        expl.subspec.to_string(),
+        "R1 {\n  !(R1 -> P1)\n}",
+        "\n{expl}"
+    );
     assert!(expl.lift_complete);
 }
 
@@ -77,7 +85,10 @@ fn first_blocking_rule_action_has_empty_subspec() {
         ExplainOptions::default(),
     )
     .unwrap();
-    assert!(expl.subspec.is_empty(), "deny-1's action is redundant:\n{expl}");
+    assert!(
+        expl.subspec.is_empty(),
+        "deny-1's action is redundant:\n{expl}"
+    );
     assert!(expl.lift_complete);
     assert!(expl.simplified_text.is_empty(), "\n{expl}");
 }
@@ -100,7 +111,11 @@ fn whole_entry_symbolization_constrains_transit() {
         &net,
         &spec,
         h.r1,
-        &Selector::Entry { neighbor: h.p1, dir: Dir::Export, entry: 0 },
+        &Selector::Entry {
+            neighbor: h.p1,
+            dir: Dir::Export,
+            entry: 0,
+        },
         ExplainOptions::default(),
     )
     .unwrap();
@@ -165,7 +180,9 @@ fn underspecification_blocks_customer_reachability_from_p1() {
     .unwrap();
     let violations = check_specification(&topo, &net, &spec2);
     assert!(
-        violations.iter().any(|v| matches!(v, Violation::Unreachable { .. })),
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::Unreachable { .. })),
         "{violations:?}"
     );
 }
@@ -198,11 +215,22 @@ fn resynthesis_with_reachability_fix() {
         base.originate(o.router, o.prefix);
     }
     let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
-    let result = synthesize(&mut ctx, &topo, &vocab, sorts, &sketch, &spec2, SynthOptions::default())
-        .expect("fixed spec must synthesize");
+    let result = synthesize(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &sketch,
+        &spec2,
+        SynthOptions::default(),
+    )
+    .expect("fixed spec must synthesize");
     // Validation ran inside synthesize; confirm the headline facts.
     let state = netexpl_bgp::sim::stabilize(&topo, &result.config).unwrap();
-    assert!(state.best(customer_prefix(), h.p1).is_some(), "P1 reaches the customer");
+    assert!(
+        state.best(customer_prefix(), h.p1).is_some(),
+        "P1 reaches the customer"
+    );
     assert!(state.available(d2(), h.p1).is_empty(), "still no transit");
     assert!(state.available(d1(), h.p2).is_empty(), "still no transit");
 }
@@ -232,9 +260,16 @@ fn explanation_after_fix_is_not_block_everything() {
         base.originate(o.router, o.prefix);
     }
     let sketch = default_sketch(&mut ctx, &topo, &factory, &base);
-    let result =
-        synthesize(&mut ctx, &topo, &vocab, sorts, &sketch, &spec2, SynthOptions::default())
-            .expect("must synthesize");
+    let result = synthesize(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &sketch,
+        &spec2,
+        SynthOptions::default(),
+    )
+    .expect("must synthesize");
     let expl = explain(
         &mut ctx,
         &topo,
@@ -243,7 +278,10 @@ fn explanation_after_fix_is_not_block_everything() {
         &result.config,
         &spec2,
         h.r1,
-        &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+        &Selector::Session {
+            neighbor: h.p1,
+            dir: Dir::Export,
+        },
         ExplainOptions::default(),
     )
     .unwrap();

@@ -48,8 +48,10 @@ fn strict_interpretation_reduces_redundancy() {
     // the R3-R1 link and P2's egress die, the physically available detour
     // via R2-R1-P1 is blocked.
     let (topo, h, net, _) = scenario2();
-    let failed =
-        [netexpl_topology::Link::new(h.r3, h.r1), netexpl_topology::Link::new(h.r2, h.p2)];
+    let failed = [
+        netexpl_topology::Link::new(h.r3, h.r1),
+        netexpl_topology::Link::new(h.r2, h.p2),
+    ];
     let state = netexpl_bgp::sim::stabilize_with_failures(&topo, &net, &failed).unwrap();
     assert_eq!(
         state.forwarding_path(d1(), h.customer),
@@ -190,7 +192,9 @@ fn strict_config_fails_fallback_check_exposing_the_ambiguity() {
     );
     let violations = check_specification(&topo, &permissive, &spec);
     assert!(
-        violations.iter().any(|v| matches!(v, Violation::UnspecifiedPathUsable { .. })),
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnspecifiedPathUsable { .. })),
         "the permissive variant violates the strict interpretation: {violations:?}"
     );
 }

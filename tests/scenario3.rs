@@ -42,7 +42,10 @@ fn figure_5_subspec_for_r2_no_transit() {
         &net,
         &req1,
         h.r2,
-        &Selector::Session { neighbor: h.p2, dir: Dir::Export },
+        &Selector::Session {
+            neighbor: h.p2,
+            dir: Dir::Export,
+        },
         ExplainOptions::default(),
     )
     .unwrap();
@@ -52,7 +55,8 @@ fn figure_5_subspec_for_r2_no_transit() {
         "Figure 5, first forbidden path:\n{expl}"
     );
     assert!(
-        rendered.contains("!(R1 -> R3 -> R2 -> P2)") || rendered.contains("!(P1 -> R1 -> R3 -> R2 -> P2)"),
+        rendered.contains("!(R1 -> R3 -> R2 -> P2)")
+            || rendered.contains("!(P1 -> R1 -> R3 -> R2 -> P2)"),
         "Figure 5, second forbidden path:\n{expl}"
     );
     assert!(expl.lift_complete, "\n{expl}");
@@ -75,7 +79,10 @@ fn r1_subspec_is_symmetric() {
         &net,
         &req1,
         h.r1,
-        &Selector::Session { neighbor: h.p1, dir: Dir::Export },
+        &Selector::Session {
+            neighbor: h.p1,
+            dir: Dir::Export,
+        },
         ExplainOptions::default(),
     )
     .unwrap();
@@ -109,7 +116,10 @@ fn r3_subspec_for_no_transit_is_empty() {
         ExplainOptions::default(),
     )
     .unwrap();
-    assert!(expl.subspec.is_empty(), "R3 can do anything for no-transit:\n{expl}");
+    assert!(
+        expl.subspec.is_empty(),
+        "R3 can do anything for no-transit:\n{expl}"
+    );
     assert!(expl.lift_complete);
     assert!(expl.simplified_text.is_empty(), "\n{expl}");
 }
@@ -140,7 +150,10 @@ fn r3_subspec_for_preference_is_nonempty() {
         "R3 carries the preference decision:\n{expl}"
     );
     let rendered = expl.subspec.to_string();
-    assert!(rendered.contains(">>"), "local preference expected:\n{expl}");
+    assert!(
+        rendered.contains(">>"),
+        "local preference expected:\n{expl}"
+    );
 }
 
 #[test]
@@ -161,7 +174,10 @@ fn seed_sizes_shrink_dramatically() {
             &spec,
             router,
             &Selector::Router,
-            ExplainOptions { skip_lift: true, ..Default::default() },
+            ExplainOptions {
+                skip_lift: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(
@@ -190,7 +206,10 @@ fn provenance_traces_entries_to_blocks() {
         &net,
         &spec,
         h.r2,
-        &Selector::Session { neighbor: h.p2, dir: Dir::Export },
+        &Selector::Session {
+            neighbor: h.p2,
+            dir: Dir::Export,
+        },
         ExplainOptions::default(),
     )
     .unwrap();
@@ -256,7 +275,11 @@ fn environment_assumptions_dual_view() {
     )
     .unwrap();
     assert_eq!(env.inspected, "R1");
-    let r2 = env.assumptions.iter().find(|(s, _)| s.router == "R2").unwrap();
+    let r2 = env
+        .assumptions
+        .iter()
+        .find(|(s, _)| s.router == "R2")
+        .unwrap();
     assert!(
         !r2.0.is_empty(),
         "R2 owes the symmetric transit block and/or the tagging obligation:\n{env}"

@@ -1,0 +1,203 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the benchmark-harness surface the workspace's `[[bench]]` targets use:
+//! `Criterion`, `benchmark_group` / `sample_size` / `bench_function`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple calibrated wall-clock
+//! loop reporting min / median / mean per iteration — no statistics engine,
+//! no plots, no saved baselines.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything `bench_function` accepts as an identifier.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Runs the measured closure and accumulates timing samples.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, then time each sample individually.
+        black_box(routine());
+        let n = self.sample_size.max(1);
+        self.samples.reserve(n);
+        for _ in 0..n {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(group: Option<&str>, id: &BenchmarkId, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let full = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    if sorted.is_empty() {
+        println!("{full:<40} (no samples)");
+        return;
+    }
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "{full:<40} min {:>10}   median {:>10}   mean {:>10}   ({} samples)",
+        format_duration(min),
+        format_duration(median),
+        format_duration(mean),
+        sorted.len(),
+    );
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into_benchmark_id(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into_benchmark_id(), self.sample_size, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}
