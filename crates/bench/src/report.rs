@@ -1,0 +1,160 @@
+//! Per-scenario observability report: runs the explanation pipeline on the
+//! paper's three scenarios under an in-memory obs session and collects the
+//! stage-span timings, sizes, rewrite-rule firings, and solver counters into
+//! one JSON document (written by `netexpl bench` as `BENCH_explain.json`).
+
+use netexpl_core::symbolize::{Dir, Selector};
+use netexpl_core::{explain, ExplainOptions};
+use netexpl_logic::term::Ctx;
+use netexpl_spec::Specification;
+use netexpl_topology::{RouterId, Topology};
+use serde_json::Value;
+
+use crate::{only_blocks, paper_vocab, scenario1, scenario2, scenario3};
+
+/// One scenario of the report: which config/spec to explain, at which
+/// router, through which selector.
+struct Case {
+    name: &'static str,
+    topo: Topology,
+    net: netexpl_bgp::NetworkConfig,
+    spec: Specification,
+    router: RouterId,
+    selector: Selector,
+}
+
+fn cases() -> Vec<Case> {
+    let (topo, h, net, spec) = scenario1();
+    let c1 = Case {
+        name: "scenario1",
+        topo,
+        net,
+        spec,
+        router: h.r1,
+        selector: Selector::Entry {
+            neighbor: h.p1,
+            dir: Dir::Export,
+            entry: 1,
+        },
+    };
+    let (topo, h, net, spec) = scenario2();
+    let c2 = Case {
+        name: "scenario2",
+        topo,
+        net,
+        spec,
+        router: h.r3,
+        selector: Selector::Router,
+    };
+    let (topo, h, net, spec) = scenario3();
+    let req1 = only_blocks(&spec, &["Req1"]);
+    let c3 = Case {
+        name: "scenario3",
+        topo,
+        net,
+        spec: req1,
+        router: h.r2,
+        selector: Selector::Session {
+            neighbor: h.p2,
+            dir: Dir::Export,
+        },
+    };
+    vec![c1, c2, c3]
+}
+
+/// Run one case under a fresh in-memory obs session and render what the
+/// collector captured as a JSON object.
+fn run_case(case: &Case) -> Result<Value, String> {
+    let (guard, handle) = netexpl_obs::install_memory();
+    let vocab = paper_vocab(&case.topo, case.net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let expl = explain(
+        &mut ctx,
+        &case.topo,
+        &vocab,
+        sorts,
+        &case.net,
+        &case.spec,
+        case.router,
+        &case.selector,
+        ExplainOptions::default(),
+    )
+    .map_err(|e| format!("{}: {e}", case.name))?;
+    drop(guard); // flush metrics into the handle
+
+    let spans = handle.spans();
+    let stages: Vec<(String, Value)> = spans
+        .iter()
+        .map(|s| (s.name.to_string(), Value::from(s.wall_ms())))
+        .collect();
+    let metrics = handle.metrics().unwrap_or_default();
+    let counters: Vec<(String, Value)> = metrics
+        .counters()
+        .map(|(name, v)| (name.to_string(), Value::from(v)))
+        .collect();
+    let rules: Vec<(String, Value)> = expl
+        .rule_stats
+        .per_rule()
+        .filter(|&(_, n)| n > 0)
+        .map(|(name, n)| (name.to_string(), Value::from(n)))
+        .collect();
+    Ok(Value::object([
+        ("scenario", Value::from(case.name)),
+        ("router", Value::from(expl.router.as_str())),
+        ("stage_ms", Value::object(stages)),
+        ("seed_conjuncts", Value::from(expl.seed_conjuncts)),
+        ("seed_nodes", Value::from(expl.seed_size)),
+        (
+            "simplified_conjuncts",
+            Value::from(expl.simplified_conjuncts),
+        ),
+        ("simplified_nodes", Value::from(expl.simplified_size)),
+        ("rule_firings", Value::from(expl.rule_stats.total())),
+        ("rules_fired", Value::object(rules)),
+        ("exact", Value::from(expl.lift_complete)),
+        ("counters", Value::object(counters)),
+    ]))
+}
+
+/// Build the full report over all three paper scenarios.
+pub fn explain_report() -> Result<Value, String> {
+    let mut runs = Vec::new();
+    for case in cases() {
+        runs.push(run_case(&case)?);
+    }
+    Ok(Value::object([("scenarios", Value::from(runs))]))
+}
+
+/// Run the report and write it to `path` as pretty-printed JSON.
+pub fn write_report(path: &str) -> Result<(), String> {
+    let report = explain_report()?;
+    let text = serde_json::to_string_pretty(&report) + "\n";
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_scenarios_and_stages() {
+        let report = explain_report().unwrap();
+        let scenarios = match &report["scenarios"] {
+            Value::Array(a) => a,
+            other => panic!("scenarios is not an array: {other:?}"),
+        };
+        assert_eq!(scenarios.len(), 3);
+        for run in scenarios {
+            for stage in ["explain", "symbolize", "seed", "simplify", "lift"] {
+                assert!(
+                    run["stage_ms"][stage].as_f64().is_some(),
+                    "missing stage `{stage}` in {:?}",
+                    run["scenario"]
+                );
+            }
+            assert!(run["rule_firings"].as_u64().unwrap() > 0);
+            assert!(run["counters"]["smt.queries"].as_u64().unwrap() > 0);
+        }
+    }
+}

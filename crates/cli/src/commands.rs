@@ -4,6 +4,7 @@ use netexpl_core::symbolize::{Dir, Selector};
 use netexpl_core::{explain, ExplainOptions};
 use netexpl_lint::{lint_config, lint_selector, lint_spec, Diagnostics};
 use netexpl_logic::term::Ctx;
+use netexpl_obs::{FileMetricsSink, HumanSink, JsonLinesSink, ObsGuard, Sink};
 use netexpl_spec::check_specification;
 use netexpl_synth::sketch::HoleFactory;
 use netexpl_synth::synthesize::{default_sketch, synthesize, SynthOptions, SynthResult};
@@ -11,6 +12,31 @@ use netexpl_topology::{Link, Topology};
 use serde_json::Value;
 
 use crate::input::{load_problem, topology, Options, Problem};
+
+/// Install an observability session from the shared `--trace[=human|json]`
+/// and `--metrics-out <path>` options, if either was given. The returned
+/// guard must stay alive for the rest of the command: dropping it flushes
+/// the sinks and deactivates collection.
+fn obs_setup(opts: &Options) -> Result<Option<ObsGuard>, String> {
+    let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+    match opts.get("trace") {
+        Some("human") => sinks.push(Box::new(HumanSink::stderr())),
+        Some("json") => sinks.push(Box::new(JsonLinesSink::stderr())),
+        Some(other) => return Err(format!("--trace must be human or json, not `{other}`")),
+        // Bare `--trace` defaults to the human-readable tree.
+        None if opts.flag("trace") => sinks.push(Box::new(HumanSink::stderr())),
+        None => {}
+    }
+    if let Some(path) = opts.get("metrics-out") {
+        sinks.push(Box::new(FileMetricsSink::new(path)));
+    }
+    if sinks.is_empty() {
+        return Ok(None);
+    }
+    netexpl_obs::install(sinks)
+        .map(Some)
+        .map_err(|e| e.to_string())
+}
 
 struct SynthReport {
     topology: String,
@@ -77,7 +103,8 @@ fn diagnostics_json(diags: &Diagnostics) -> Value {
 /// and the configuration synthesized from it. Exits non-zero iff any
 /// error-severity diagnostic fires.
 pub fn lint(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &["json", "no-sat"])?;
+    let opts = Options::parse(args, &["json", "no-sat", "trace"])?;
+    let _obs = obs_setup(&opts)?;
     let topo = topology(opts.require("topology")?)?;
     let problem = load_problem(&topo, opts.require("spec")?)?;
 
@@ -120,7 +147,8 @@ pub fn lint(args: &[String]) -> Result<(), String> {
 
 /// `netexpl synth` — synthesize a configuration and print it.
 pub fn synth(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &["json"])?;
+    let opts = Options::parse(args, &["json", "trace"])?;
+    let _obs = obs_setup(&opts)?;
     let topo = topology(opts.require("topology")?)?;
     let problem = load_problem(&topo, opts.require("spec")?)?;
     let mut ctx = Ctx::new();
@@ -129,9 +157,13 @@ pub fn synth(args: &[String]) -> Result<(), String> {
 
     // Post-synthesis self-check: the synthesizer should never emit dead
     // or self-contradictory lines; surface them as warnings if it does.
+    // Routed through the diagnostic sink so it can never interleave with
+    // `--json` output on stdout.
     let self_check = lint_config(&topo, &result.config, Some(&problem.vocab));
     if !self_check.is_empty() {
-        eprint!("self-check: the synthesized configuration has findings\n{self_check}");
+        netexpl_obs::note(&format!(
+            "self-check: the synthesized configuration has findings\n{self_check}"
+        ));
     }
     let report = SynthReport {
         topology: opts.require("topology")?.to_string(),
@@ -176,7 +208,8 @@ struct ExplainReport {
 
 /// `netexpl explain` — synthesize, then run the explanation pipeline.
 pub fn explain_cmd(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &["json", "skip-lift"])?;
+    let opts = Options::parse(args, &["json", "skip-lift", "trace"])?;
+    let _obs = obs_setup(&opts)?;
     let topo = topology(opts.require("topology")?)?;
     let problem = load_problem(&topo, opts.require("spec")?)?;
     let router_name = opts.require("router")?;
@@ -260,6 +293,16 @@ pub fn explain_cmd(args: &[String]) -> Result<(), String> {
             ),
             ("simplified_nodes", Value::from(report.simplified_nodes)),
             ("rule_firings", Value::from(report.rule_firings)),
+            (
+                "rules_fired",
+                Value::object(
+                    explanation
+                        .rule_stats
+                        .per_rule()
+                        .filter(|&(_, n)| n > 0)
+                        .map(|(name, n)| (name, Value::from(n))),
+                ),
+            ),
             (
                 "simplified_constraints",
                 Value::from(report.simplified_constraints.clone()),
@@ -373,4 +416,72 @@ pub fn scenario(args: &[String]) -> Result<(), String> {
     Err(format!(
         "the scenarios ship as runnable examples — use `cargo run --example {example}`"
     ))
+}
+
+/// `netexpl bench` — run the explain pipeline over the paper's three
+/// scenarios under an in-memory obs session and write the per-scenario
+/// stage timings, sizes, and solver counters as a JSON report.
+pub fn bench(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let out = opts.get("out").unwrap_or("BENCH_explain.json");
+    netexpl_bench::report::write_report(out)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// The pipeline stages every `explain --trace=json` run must emit a span
+/// for (the paper's Fig. 6 pipeline).
+const REQUIRED_STAGES: [&str; 4] = ["symbolize", "seed", "simplify", "lift"];
+
+/// `netexpl obs-check` — validate emitted observability artifacts: a
+/// JSON-lines trace (every line parses; one span per pipeline stage) and
+/// optionally a `--metrics-out` metrics file. Used by CI.
+pub fn obs_check(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let trace_path = opts.require("trace-file")?;
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let mut span_names: Vec<String> = Vec::new();
+    let mut events = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{trace_path}:{}: invalid JSON: {e}", lineno + 1))?;
+        events += 1;
+        let kind = value["type"]
+            .as_str()
+            .ok_or_else(|| format!("{trace_path}:{}: event has no `type`", lineno + 1))?;
+        if kind == "span" {
+            let name = value["name"]
+                .as_str()
+                .ok_or_else(|| format!("{trace_path}:{}: span has no `name`", lineno + 1))?;
+            span_names.push(name.to_string());
+        }
+    }
+    for stage in REQUIRED_STAGES {
+        if !span_names.iter().any(|n| n == stage) {
+            return Err(format!(
+                "{trace_path}: no `{stage}` span — stages seen: {span_names:?}"
+            ));
+        }
+    }
+    if let Some(metrics_path) = opts.get("metrics-file") {
+        let text = std::fs::read_to_string(metrics_path)
+            .map_err(|e| format!("cannot read {metrics_path}: {e}"))?;
+        let value: Value = serde_json::from_str(&text)
+            .map_err(|e| format!("{metrics_path}: invalid JSON: {e}"))?;
+        for section in ["counters", "gauges", "histograms"] {
+            if !matches!(value[section], Value::Object(_)) {
+                return Err(format!("{metrics_path}: missing `{section}` object"));
+            }
+        }
+    }
+    println!(
+        "ok: {events} event(s), {} span(s), all {} pipeline stages present",
+        span_names.len(),
+        REQUIRED_STAGES.len()
+    );
+    Ok(())
 }

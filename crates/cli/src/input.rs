@@ -23,7 +23,10 @@ impl Options {
         while i < args.len() {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
-                if flag_names.contains(&name) {
+                if let Some((key, value)) = name.split_once('=') {
+                    out.pairs.push((key.to_string(), value.to_string()));
+                    i += 1;
+                } else if flag_names.contains(&name) {
                     out.flags.push(name.to_string());
                     i += 1;
                 } else {
@@ -172,6 +175,20 @@ mod tests {
         assert_eq!(o.all("fail"), vec!["A-B", "C-D"]);
         assert_eq!(o.positional(), &["pos".to_string()]);
         assert!(o.require("missing").is_err());
+    }
+
+    #[test]
+    fn options_key_equals_value() {
+        let args: Vec<String> = ["--trace=json", "--trace", "--metrics-out=m.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Options::parse(&args, &["trace"]).unwrap();
+        // `--trace=json` parses as a pair even though `trace` is a flag name;
+        // bare `--trace` still registers as a flag.
+        assert_eq!(o.get("trace"), Some("json"));
+        assert!(o.flag("trace"));
+        assert_eq!(o.get("metrics-out"), Some("m.json"));
     }
 
     #[test]

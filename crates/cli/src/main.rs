@@ -8,7 +8,13 @@
 //!                  [--neighbor P1 --dir export [--entry N]] [--skip-lift] [--json]
 //! netexpl simulate --topology paper --spec spec.txt [--fail R1-R3]
 //! netexpl scenario <1|2|3>
+//! netexpl bench    [--out BENCH_explain.json]
+//! netexpl obs-check --trace-file trace.jsonl [--metrics-file metrics.json]
 //! ```
+//!
+//! `synth`, `lint`, and `explain` additionally accept `--trace[=human|json]`
+//! (stream pipeline spans and metrics to stderr) and `--metrics-out <FILE>`
+//! (write the metrics registry as JSON when the command finishes).
 //!
 //! The specification file uses the `netexpl-spec` DSL, extended with one
 //! CLI-level directive embedded in comments:
@@ -51,6 +57,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "assumptions" => commands::assumptions(rest),
         "simulate" => commands::simulate(rest),
         "scenario" => commands::scenario(rest),
+        "bench" => commands::bench(rest),
+        "obs-check" => commands::obs_check(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -75,6 +83,12 @@ fn print_usage() {
            netexpl assumptions --topology <T> --spec <FILE> --router <NAME>\n\
            netexpl simulate --topology <T> --spec <FILE> [--fail <A-B>]...\n\
            netexpl scenario <1|2|3>\n\
+           netexpl bench    [--out <FILE>]          (default BENCH_explain.json)\n\
+           netexpl obs-check --trace-file <FILE> [--metrics-file <FILE>]\n\
+         \n\
+         OBSERVABILITY (synth, lint, explain):\n\
+           --trace[=human|json]   stream pipeline spans + metrics to stderr\n\
+           --metrics-out <FILE>   write the metrics registry as JSON on exit\n\
          \n\
          TOPOLOGIES:\n\
            paper      the six-router network of the paper's Figure 1b\n\

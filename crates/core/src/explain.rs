@@ -5,6 +5,7 @@ use std::fmt;
 use netexpl_bgp::NetworkConfig;
 use netexpl_logic::simplify::{RuleMask, Simplifier, SimplifyStats};
 use netexpl_logic::term::{Ctx, TermId, TermNode};
+use netexpl_obs::Span;
 use netexpl_spec::{Specification, SubSpec};
 use netexpl_synth::encode::{EncodeError, EncodeOptions};
 use netexpl_synth::sketch::HoleFactory;
@@ -108,6 +109,15 @@ impl fmt::Display for Explanation {
             self.simplified_size,
             self.rule_stats.total()
         )?;
+        let fired: Vec<String> = self
+            .rule_stats
+            .per_rule()
+            .filter(|&(_, n)| n > 0)
+            .map(|(name, n)| format!("{name}×{n}"))
+            .collect();
+        if !fired.is_empty() {
+            writeln!(f, "rules fired:        {}", fired.join(", "))?;
+        }
         if self.simplified_text.is_empty() {
             writeln!(
                 f,
@@ -154,15 +164,29 @@ pub fn explain(
     selector: &Selector,
     options: ExplainOptions,
 ) -> Result<Explanation, ExplainError> {
+    let pipeline_span = Span::enter("explain");
+    pipeline_span.attr("router", topo.name(router));
+
     // (1) Symbolize.
-    let factory = HoleFactory::new(vocab, sorts);
-    let (sym, table) = symbolize(ctx, &factory, topo, config, router, selector);
+    let (sym, table) = {
+        let span = Span::enter("symbolize");
+        let factory = HoleFactory::new(vocab, sorts);
+        let (sym, table) = symbolize(ctx, &factory, topo, config, router, selector);
+        span.attr("symbolized_vars", table.len());
+        (sym, table)
+    };
     if table.is_empty() {
         return Err(ExplainError::NothingSymbolized);
     }
 
     // (2) Seed specification via the synthesizer's encoder.
-    let seed = seed_spec(ctx, topo, vocab, sorts, &sym, spec, options.encode)?;
+    let seed = {
+        let span = Span::enter("seed");
+        let seed = seed_spec(ctx, topo, vocab, sorts, &sym, spec, options.encode)?;
+        span.attr("conjuncts", seed.num_conjuncts);
+        span.attr("nodes", seed.size);
+        seed
+    };
 
     // (3) Simplify to a fixpoint of the enabled rewrite rules, then project
     // out dangling definition variables (an auxiliary `lp`/`nh`/`sel`
@@ -170,6 +194,7 @@ pub fn explain(
     // existentially solvable whatever the holes are, so the conjunct says
     // nothing about the router).
     let mut simplifier = Simplifier::new(options.rules);
+    let span = Span::enter("simplify");
     let conj = seed.conjunction(ctx);
     let simplified_raw = simplifier.simplify(ctx, conj);
     let hole_vars = hole_var_set(ctx, &table);
@@ -178,9 +203,25 @@ pub fn explain(
     let simplified_conjuncts = ctx.conjuncts(simplified).len();
     let simplified_size = ctx.term_size(simplified);
     let simplified_text = render_relevant(ctx, simplified, &hole_vars);
+    if span.is_recording() {
+        span.attr("nodes_before", seed.size);
+        span.attr("nodes_after", simplified_size);
+        span.attr("conjuncts_after", simplified_conjuncts);
+        span.attr("rule_firings", simplifier.stats.total());
+        span.attr("fixpoint_iterations", simplifier.stats.iterations);
+        span.attr("memo_hit_rate", simplifier.stats.memo_hit_rate());
+        for (name, fired) in simplifier.stats.per_rule() {
+            if fired > 0 {
+                netexpl_obs::counter_add(&format!("simplify.rule.{name}"), fired);
+            }
+        }
+    }
+    drop(span);
 
     // (4) Lift into the specification language.
+    let span = Span::enter("lift");
     let (subspec, lift_complete, lift_checked, provenance) = if options.skip_lift {
+        span.attr("skipped", true);
         (SubSpec::empty(topo.name(router)), false, 0, Vec::new())
     } else {
         let LiftResult {
@@ -189,8 +230,12 @@ pub fn explain(
             candidates_checked,
             provenance,
         } = lift(ctx, topo, spec, &seed, router, options.lift);
+        span.attr("candidates_checked", candidates_checked);
+        span.attr("kept", subspec.requirements.len());
+        span.attr("complete", complete);
         (subspec, complete, candidates_checked, provenance)
     };
+    drop(span);
 
     Ok(Explanation {
         router: topo.name(router).to_string(),
@@ -477,6 +522,64 @@ mod tests {
         assert!(expl.lift_complete, "the subspec is exact for this seed");
         // Simplification collapsed the seed substantially.
         assert!(expl.simplified_size < expl.seed_size / 4, "\n{expl}");
+    }
+
+    #[test]
+    fn explain_emits_one_span_per_pipeline_stage() {
+        let (topo, h, net, spec) = scenario1_synthesized();
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let (guard, handle) = netexpl_obs::install_memory();
+        let expl = explain(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            h.r1,
+            &Selector::Session {
+                neighbor: h.p1,
+                dir: Dir::Export,
+            },
+            ExplainOptions::default(),
+        )
+        .unwrap();
+        drop(guard);
+        for stage in ["explain", "symbolize", "seed", "simplify", "lift"] {
+            assert_eq!(
+                handle.spans_named(stage).len(),
+                1,
+                "exactly one {stage} span"
+            );
+        }
+        // The stage spans nest under the pipeline root.
+        let root = handle.span_named("explain").unwrap();
+        for stage in ["symbolize", "seed", "simplify", "lift"] {
+            assert_eq!(handle.span_named(stage).unwrap().parent, Some(root.id));
+        }
+        // Stage attrs mirror the explanation artifact.
+        let simplify = handle.span_named("simplify").unwrap();
+        assert_eq!(
+            simplify.attr("rule_firings"),
+            Some(&netexpl_obs::AttrValue::UInt(expl.rule_stats.total()))
+        );
+        let seed = handle.span_named("seed").unwrap();
+        assert_eq!(
+            seed.attr("conjuncts"),
+            Some(&netexpl_obs::AttrValue::UInt(expl.seed_conjuncts as u64))
+        );
+        // Per-rule counters and solver counters landed in the registry.
+        let metrics = handle.metrics().unwrap();
+        let per_rule: u64 = expl
+            .rule_stats
+            .per_rule()
+            .map(|(name, _)| metrics.counter(&format!("simplify.rule.{name}")))
+            .sum();
+        assert_eq!(per_rule, expl.rule_stats.total());
+        assert!(metrics.counter("smt.queries") > 0, "lift ran SAT queries");
+        assert!(metrics.counter("lift.templates_enumerated") > 0);
     }
 
     #[test]

@@ -103,8 +103,14 @@ pub fn lift(
     }
     // Shortest patterns first: prefer the most general statement (the
     // paper's Figure 2 `!(R1 -> P1)` over an origin-qualified variant).
+    let enumerated = patterns.len();
     patterns.sort_by_key(|w| (w.len(), w.clone()));
     patterns.truncate(options.max_candidates);
+    netexpl_obs::counter_add("lift.templates_enumerated", enumerated as u64);
+    netexpl_obs::counter_add(
+        "lift.templates_pruned",
+        (enumerated - patterns.len()) as u64,
+    );
 
     let mut kept: Vec<(Requirement, TermId)> = Vec::new();
     // Paths already covered by a chosen forbidden candidate, identified by
@@ -135,6 +141,7 @@ pub fn lift(
         // Redundant: everything it would forbid is already forbidden by a
         // chosen (shorter) candidate.
         if matched.iter().all(|m| covered.contains(m)) {
+            netexpl_obs::counter_add("lift.templates_pruned", 1);
             continue;
         }
         let cand = {
@@ -268,6 +275,7 @@ pub fn lift(
         provenance.push(blocks);
     }
 
+    netexpl_obs::counter_add("lift.candidate_checks", checked as u64);
     let requirements: Vec<Requirement> = kept.into_iter().map(|(r, _)| r).collect();
     LiftResult {
         subspec: SubSpec {

@@ -44,13 +44,20 @@ pub fn run(
     spans: &SpanIndex,
     skip: &HashSet<EntryKey>,
 ) -> Diagnostics {
+    let span = netexpl_obs::Span::enter("lint.sat");
     let mut ctx = Ctx::new();
     let sorts = vocab.sorts(&mut ctx);
     let mut diags = Diagnostics::new();
+    let mut maps = 0usize;
     for (r, n, dir, map) in sessions(net) {
+        maps += 1;
         lint_map(
             &mut ctx, topo, vocab, sorts, r, n, dir, map, spans, skip, &mut diags,
         );
+    }
+    if span.is_recording() {
+        span.attr("maps", maps);
+        span.attr("diagnostics", diags.len());
     }
     diags
 }

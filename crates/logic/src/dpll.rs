@@ -8,17 +8,35 @@
 
 use crate::sat::{Lit, SatResult};
 
+/// Search statistics for one [`solve_with_stats`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals assigned by unit propagation.
+    pub propagations: u64,
+    /// Conflicts reached (backtracks).
+    pub conflicts: u64,
+}
+
 /// Solve a clause set over `num_vars` variables with plain DPLL.
 ///
 /// Clauses are slices of [`Lit`]. Returns a total model on success.
 pub fn solve(num_vars: usize, clauses: &[Vec<Lit>]) -> SatResult {
+    solve_with_stats(num_vars, clauses).0
+}
+
+/// Like [`solve`], but also returns the search statistics.
+pub fn solve_with_stats(num_vars: usize, clauses: &[Vec<Lit>]) -> (SatResult, SolverStats) {
     let mut assign: Vec<Option<bool>> = vec![None; num_vars];
+    let mut stats = SolverStats::default();
     let clauses: Vec<Vec<Lit>> = clauses.to_vec();
-    if dpll(&clauses, &mut assign) {
+    let result = if dpll(&clauses, &mut assign, &mut stats) {
         SatResult::Sat(assign.into_iter().map(|v| v.unwrap_or(false)).collect())
     } else {
         SatResult::Unsat
-    }
+    };
+    (result, stats)
 }
 
 fn lit_value(assign: &[Option<bool>], l: Lit) -> Option<bool> {
@@ -55,7 +73,7 @@ fn clause_status(assign: &[Option<bool>], clause: &[Lit]) -> ClauseStatus {
     }
 }
 
-fn dpll(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>) -> bool {
+fn dpll(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>, stats: &mut SolverStats) -> bool {
     // Unit propagation to fixpoint.
     let mut trail: Vec<usize> = Vec::new();
     loop {
@@ -63,6 +81,7 @@ fn dpll(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>) -> bool {
         for clause in clauses {
             match clause_status(assign, clause) {
                 ClauseStatus::Conflict => {
+                    stats.conflicts += 1;
                     for v in trail {
                         assign[v] = None;
                     }
@@ -71,6 +90,7 @@ fn dpll(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>) -> bool {
                 ClauseStatus::Unit(l) => {
                     assign[l.var()] = Some(!l.is_neg());
                     trail.push(l.var());
+                    stats.propagations += 1;
                     propagated = true;
                 }
                 _ => {}
@@ -109,8 +129,9 @@ fn dpll(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>) -> bool {
     };
 
     for value in [true, false] {
+        stats.decisions += 1;
         assign[v] = Some(value);
-        if dpll(clauses, assign) {
+        if dpll(clauses, assign, stats) {
             return true;
         }
         assign[v] = None;
@@ -149,6 +170,36 @@ mod tests {
             SatResult::Sat(m) => assert_eq!(m, vec![true, true, true]),
             SatResult::Unsat => panic!(),
         }
+    }
+
+    #[test]
+    fn stats_track_search_effort() {
+        // The propagation chain solves by unit propagation alone: three
+        // propagations, no decisions, no conflicts.
+        let chain = vec![
+            vec![Lit::pos(0)],
+            vec![Lit::neg(0), Lit::pos(1)],
+            vec![Lit::neg(1), Lit::pos(2)],
+        ];
+        let (result, stats) = solve_with_stats(3, &chain);
+        assert!(result.is_sat());
+        assert_eq!(stats.propagations, 3);
+        assert_eq!(stats.decisions, 0);
+        assert_eq!(stats.conflicts, 0);
+
+        // (a∨b) ∧ (¬a∨b) ∧ (a∨¬b) ∧ (¬a∨¬b) is UNSAT and forces the solver
+        // to branch and hit conflicts.
+        let unsat = vec![
+            vec![Lit::pos(0), Lit::pos(1)],
+            vec![Lit::neg(0), Lit::pos(1)],
+            vec![Lit::pos(0), Lit::neg(1)],
+            vec![Lit::neg(0), Lit::neg(1)],
+        ];
+        let (result, stats) = solve_with_stats(2, &unsat);
+        assert_eq!(result, SatResult::Unsat);
+        assert!(stats.decisions >= 1);
+        assert!(stats.conflicts >= 2);
+        assert!(stats.propagations >= 1);
     }
 
     #[test]

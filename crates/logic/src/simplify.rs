@@ -79,17 +79,69 @@ impl Default for RuleMask {
     }
 }
 
-/// Per-run statistics: how often each rule fired.
+/// Per-run statistics: how often each rule fired, how well the memo table
+/// performed, and how many fixpoint rewrite passes ran.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimplifyStats {
     /// `fired[i]` counts applications of rule `i+1`.
     pub fired: [u64; 15],
+    /// Memo-table lookups that returned a cached result.
+    pub memo_hits: u64,
+    /// Memo-table lookups that missed (the term had to be simplified).
+    pub memo_misses: u64,
+    /// Root-level rewrite passes: one per rule application that changed the
+    /// current term inside the fixpoint loop.
+    pub iterations: u64,
 }
 
 impl SimplifyStats {
+    /// Human-readable names for the fifteen rules, index `i` naming rule
+    /// `i+1`. These match the rule table in the module docs and DESIGN.md.
+    pub const RULE_NAMES: [&'static str; 15] = [
+        "not-const",
+        "and-identity",
+        "or-identity",
+        "and-annihilator",
+        "or-annihilator",
+        "idempotence",
+        "complement",
+        "double-negation",
+        "absorption",
+        "implies-iff-fold",
+        "ite-fold",
+        "theory-const-fold",
+        "equality-substitution",
+        "flatten",
+        "vacuous-implication",
+    ];
+
+    /// The name of rule `r` (1-based, 1..=15).
+    pub fn rule_name(r: u8) -> &'static str {
+        assert!((1..=15).contains(&r));
+        Self::RULE_NAMES[(r - 1) as usize]
+    }
+
     /// Total rule applications.
     pub fn total(&self) -> u64 {
         self.fired.iter().sum()
+    }
+
+    /// Iterate `(rule name, fire count)` pairs in rule order (R1..R15).
+    pub fn per_rule(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Self::RULE_NAMES
+            .iter()
+            .copied()
+            .zip(self.fired.iter().copied())
+    }
+
+    /// Fraction of memo lookups that hit, or 0 when memoization never ran.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let lookups = self.memo_hits + self.memo_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / lookups as f64
+        }
     }
 }
 
@@ -139,8 +191,10 @@ impl Simplifier {
     pub fn simplify(&mut self, ctx: &mut Ctx, t: TermId) -> TermId {
         if self.use_memo {
             if let Some(&r) = self.memo.get(&t) {
+                self.stats.memo_hits += 1;
                 return r;
             }
+            self.stats.memo_misses += 1;
         }
         // Bottom-up: simplify children first, rebuild, then rewrite this node
         // until no enabled rule fires. A rule may produce a node with fresh
@@ -154,6 +208,7 @@ impl Simplifier {
         for _ in 0..10_000 {
             match self.apply_rules(ctx, current) {
                 Some(next) if next != current => {
+                    self.stats.iterations += 1;
                     current = self.rebuild_with_simplified_children(ctx, next);
                 }
                 _ => break,
@@ -929,6 +984,32 @@ mod tests {
         s.simplify(&mut ctx, at);
         assert!(s.stats.fired[1] >= 1, "R2 fired");
         assert!(s.stats.total() >= 1);
+    }
+
+    #[test]
+    fn stats_names_and_memo_counters() {
+        assert_eq!(SimplifyStats::rule_name(1), "not-const");
+        assert_eq!(SimplifyStats::rule_name(15), "vacuous-implication");
+        assert_eq!(SimplifyStats::RULE_NAMES.len(), 15);
+
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let t = ctx.mk_true();
+        let at = ctx.and2(a, t);
+        let mut s = Simplifier::default();
+        s.simplify(&mut ctx, at);
+        // First pass misses everywhere; a repeat hits the memo.
+        assert!(s.stats.memo_misses >= 1);
+        assert!(s.stats.iterations >= 1);
+        let misses_before = s.stats.memo_misses;
+        s.simplify(&mut ctx, at);
+        assert!(s.stats.memo_hits >= 1);
+        assert_eq!(s.stats.memo_misses, misses_before);
+        assert!(s.stats.memo_hit_rate() > 0.0 && s.stats.memo_hit_rate() <= 1.0);
+        // Per-rule view lines up with the raw array.
+        let by_name: Vec<(&str, u64)> = s.stats.per_rule().collect();
+        assert_eq!(by_name.len(), 15);
+        assert_eq!(by_name[1], ("and-identity", s.stats.fired[1]));
     }
 
     #[test]

@@ -9,8 +9,22 @@
 use crate::bitblast::BitBlaster;
 use crate::cnf::CnfBuilder;
 use crate::model::{Assignment, Value};
-use crate::sat::{SatResult, SatSolver};
+use crate::sat::{SatResult, SatSolver, SatStats};
 use crate::term::{Ctx, TermId};
+use netexpl_obs::Span;
+
+/// Accumulate one query's CDCL search statistics into the observability
+/// counters. No-op when no obs session is installed.
+fn record_sat_stats(stats: &SatStats) {
+    if !netexpl_obs::enabled() {
+        return;
+    }
+    netexpl_obs::counter_add("sat.decisions", stats.decisions);
+    netexpl_obs::counter_add("sat.propagations", stats.propagations);
+    netexpl_obs::counter_add("sat.conflicts", stats.conflicts);
+    netexpl_obs::counter_add("sat.restarts", stats.restarts);
+    netexpl_obs::counter_add("sat.learned", stats.learned);
+}
 
 /// Result of an SMT query.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,6 +163,10 @@ impl SmtSolver {
     /// Assumption terms that are constant-false (or whose encoding folds to
     /// false) are reported as singleton cores immediately.
     pub fn check_assuming(&self, ctx: &mut Ctx, assumptions: &[TermId]) -> (SmtResult, Vec<usize>) {
+        let span = Span::enter("smt.check");
+        span.attr("assertions", self.assertions.len());
+        span.attr("assumptions", assumptions.len());
+        netexpl_obs::counter_add("smt.queries", 1);
         let mut bb = BitBlaster::new();
         let mut builder = CnfBuilder::new();
         for &t in &self.assertions {
@@ -187,8 +205,15 @@ impl SmtSolver {
                 return (SmtResult::Unsat, Vec::new());
             }
         }
+        if span.is_recording() {
+            span.attr("cnf_vars", cnf.num_vars);
+            span.attr("cnf_clauses", cnf.clauses.len());
+        }
         let assumption_lits: Vec<crate::sat::Lit> = lits.iter().map(|&(_, l)| l).collect();
-        match sat.solve_with_assumptions(&assumption_lits) {
+        let result = sat.solve_with_assumptions(&assumption_lits);
+        record_sat_stats(&sat.stats);
+        span.attr("sat", result.is_sat());
+        match result {
             SatResult::Unsat => {
                 let core_lits = sat.unsat_core();
                 let core: Vec<usize> = lits
@@ -214,6 +239,9 @@ impl SmtSolver {
 
     /// Decide the assertions plus the extra terms (without storing them).
     pub fn check_with(&self, ctx: &mut Ctx, extra: &[TermId]) -> SmtResult {
+        let span = Span::enter("smt.check");
+        span.attr("assertions", self.assertions.len() + extra.len());
+        netexpl_obs::counter_add("smt.queries", 1);
         let mut bb = BitBlaster::new();
         let mut builder = CnfBuilder::new();
         let mut roots: Vec<TermId> = self.assertions.clone();
@@ -241,7 +269,14 @@ impl SmtSolver {
                 return SmtResult::Unsat;
             }
         }
-        match sat.solve() {
+        if span.is_recording() {
+            span.attr("cnf_vars", cnf.num_vars);
+            span.attr("cnf_clauses", cnf.clauses.len());
+        }
+        let result = sat.solve();
+        record_sat_stats(&sat.stats);
+        span.attr("sat", result.is_sat());
+        match result {
             SatResult::Unsat => SmtResult::Unsat,
             SatResult::Sat(model) => {
                 // Theory variables decode through the bit-blaster.
@@ -466,6 +501,31 @@ mod tests {
         let (res2, core2) = solver.check_assuming(&mut ctx, &[a0]);
         assert!(res2.is_sat());
         assert!(core2.is_empty());
+    }
+
+    #[test]
+    fn smt_checks_emit_spans_and_sat_counters() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let ab = ctx.or2(a, b);
+        let (guard, handle) = netexpl_obs::install_memory();
+        let mut s = SmtSolver::new();
+        s.assert(ab);
+        assert!(s.check(&mut ctx).is_sat());
+        let (_res, _core) = s.check_assuming(&mut ctx, &[a]);
+        drop(guard);
+        let spans = handle.spans_named("smt.check");
+        assert_eq!(spans.len(), 2, "one span per query");
+        assert_eq!(
+            spans[0].attr("sat"),
+            Some(&netexpl_obs::AttrValue::Bool(true))
+        );
+        assert!(spans[0].attr("cnf_vars").is_some());
+        let metrics = handle.metrics().unwrap();
+        assert_eq!(metrics.counter("smt.queries"), 2);
+        // Deciding a ∨ b requires at least one branching decision.
+        assert!(metrics.counter("sat.decisions") > 0);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Minimal JSON encoding helpers.
+//!
+//! The obs crate is intentionally dependency-free, so the JSON-lines sink
+//! and the metrics serializer hand-roll their output with these two
+//! helpers. Only encoding is needed here; decoding (for tests and the
+//! `obs-check` CLI validator) lives with the vendored `serde_json`.
+
+/// Escape a string for inclusion between JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number; non-finite values become `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on f64 never produces exponent-free invalid JSON: it yields
+        // either `123`, `123.45`, or `1.23e45`, all of which parse.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(2.0), "2");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

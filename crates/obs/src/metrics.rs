@@ -1,0 +1,300 @@
+//! Metrics: counters, gauges, and fixed-bucket latency histograms.
+//!
+//! The registry lives inside the thread-local collector; pipeline code
+//! reports through the free functions [`crate::counter_add`],
+//! [`crate::gauge_set`], and [`crate::observe_ms`], which are no-ops when
+//! no collector is installed.
+
+use std::collections::BTreeMap;
+
+use crate::json::{escape, fmt_f64};
+
+/// Default latency bucket upper bounds, in milliseconds.
+///
+/// Chosen to straddle the pipeline's observed range: sub-millisecond
+/// simplify passes up to multi-second SAT queries on adversarial inputs.
+pub const DEFAULT_LATENCY_BUCKETS_MS: [f64; 16] = [
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+    5000.0,
+];
+
+/// A fixed-bucket histogram. Bucket `i` counts observations `v` with
+/// `v <= bounds[i]` (and `v > bounds[i-1]`); the final slot in `counts`
+/// is the overflow bucket (`v > bounds.last()`, i.e. `le = +Inf`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending upper bounds, one per finite bucket.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket bounds.
+    pub fn with_bounds(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// A histogram with [`DEFAULT_LATENCY_BUCKETS_MS`].
+    pub fn latency_ms() -> Histogram {
+        Histogram::with_bounds(&DEFAULT_LATENCY_BUCKETS_MS)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean of all observations, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Render as a JSON object fragment.
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\"count\":");
+        out.push_str(&self.count.to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&fmt_f64(self.sum));
+        out.push_str(",\"buckets\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"le\":");
+            match self.bounds.get(i) {
+                Some(b) => out.push_str(&fmt_f64(*b)),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"count\":");
+            out.push_str(&c.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Named counters, gauges, and histograms. `BTreeMap` keeps serialized
+/// output deterministic, which the golden tests and CI validator rely on.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `by` to the counter `name`, creating it at zero.
+    pub fn counter_add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record `value` into histogram `name` (created with the default
+    /// latency buckets on first use).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::latency_ms)
+            .observe(value);
+    }
+
+    /// Current value of counter `name`, or 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another registry into this one (counters add, gauges take the
+    /// other's value, histogram buckets add when bounds match).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) if mine.bounds == h.bounds => {
+                    for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
+                        *a += b;
+                    }
+                    mine.sum += h.sum;
+                    mine.count += h.count;
+                }
+                Some(_) => {} // incompatible bounds: keep ours
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Serialize the whole registry as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(k));
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(k));
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(k));
+            out.push_str("\":");
+            out.push_str(&h.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0, 5.0]);
+        h.observe(0.5); // <= 1.0 -> slot 0
+        h.observe(1.0); // boundary is inclusive -> slot 0
+        h.observe(1.0001); // -> slot 1
+        h.observe(2.0); // -> slot 1
+        h.observe(5.0); // -> slot 2
+        h.observe(5.0001); // overflow -> slot 3
+        h.observe(1e12); // overflow -> slot 3
+        assert_eq!(h.counts, vec![2, 2, 1, 2]);
+        assert_eq!(h.count, 7);
+        assert!((h.sum - (0.5 + 1.0 + 1.0001 + 2.0 + 5.0 + 5.0001 + 1e12)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::with_bounds(&[10.0]);
+        assert_eq!(h.mean(), 0.0);
+        h.observe(2.0);
+        h.observe(4.0);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("sat.decisions", 3);
+        m.counter_add("sat.decisions", 4);
+        m.gauge_set("seed.conjuncts", 1200);
+        m.gauge_set("seed.conjuncts", 7);
+        assert_eq!(m.counter("sat.decisions"), 7);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("seed.conjuncts"), Some(7));
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn registry_merge() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.observe("h", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 2);
+        b.gauge_set("g", 9);
+        b.observe("h", 100.0);
+        b.observe("h2", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(9));
+        assert_eq!(a.histogram("h").unwrap().count, 2);
+        assert_eq!(a.histogram("h2").unwrap().count, 1);
+    }
+
+    #[test]
+    fn json_shape_is_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("b", 2);
+        m.counter_add("a", 1);
+        let j = m.to_json();
+        // BTreeMap ordering: "a" before "b".
+        assert!(j.starts_with("{\"counters\":{\"a\":1,\"b\":2}"));
+        assert!(j.contains("\"gauges\":{}"));
+        assert!(j.contains("\"histograms\":{}"));
+    }
+}

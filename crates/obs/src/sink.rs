@@ -1,0 +1,313 @@
+//! Sinks: where completed spans, notes, and final metrics go.
+//!
+//! Four implementations cover the CLI and test surface:
+//! [`HumanSink`] (indented tree on stderr), [`JsonLinesSink`] (one JSON
+//! event per line), [`MemorySink`] (shared buffer for tests/bench), and
+//! [`FileMetricsSink`] (writes the metrics registry to a path at flush,
+//! backing the CLI's `--metrics-out`).
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::MetricsRegistry;
+use crate::span::SpanRecord;
+
+/// A destination for observability events. Sinks are driven from the
+/// thread-local collector; they must not call back into the obs API.
+pub trait Sink {
+    /// A span finished.
+    fn on_span(&mut self, record: &SpanRecord);
+
+    /// A free-form diagnostic note was emitted.
+    fn on_note(&mut self, _msg: &str) {}
+
+    /// The session is ending; `metrics` holds the final registry.
+    fn on_flush(&mut self, _metrics: &MetricsRegistry) {}
+}
+
+// ---------------------------------------------------------------------------
+// Human tree
+// ---------------------------------------------------------------------------
+
+/// Buffers spans and renders them as an indented tree (with per-span
+/// timings and attributes) at flush, followed by a metrics summary.
+pub struct HumanSink {
+    records: Vec<SpanRecord>,
+    notes: Vec<String>,
+    out: Box<dyn Write>,
+}
+
+impl HumanSink {
+    /// A human sink writing to the given stream.
+    pub fn to_writer(out: Box<dyn Write>) -> HumanSink {
+        HumanSink {
+            records: Vec::new(),
+            notes: Vec::new(),
+            out,
+        }
+    }
+
+    /// A human sink writing to stderr (stdout stays reserved for command
+    /// output).
+    pub fn stderr() -> HumanSink {
+        HumanSink::to_writer(Box::new(std::io::stderr()))
+    }
+
+    fn render_subtree(&self, out: &mut String, id: u64, indent: usize) {
+        let Some(rec) = self.records.iter().find(|r| r.id == id) else {
+            return;
+        };
+        let mut line = format!("{}{}", "  ".repeat(indent), rec.name);
+        if line.len() < 32 {
+            line.push_str(&" ".repeat(32 - line.len()));
+        }
+        line.push_str(&format!(" {:>10.3} ms", rec.wall_ms()));
+        for (k, v) in &rec.attrs {
+            line.push_str(&format!("  {k}={v}"));
+        }
+        line.push('\n');
+        out.push_str(&line);
+        // Children, in open order.
+        let mut children: Vec<&SpanRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.parent == Some(id))
+            .collect();
+        children.sort_by_key(|r| r.id);
+        for child in children {
+            self.render_subtree(out, child.id, indent + 1);
+        }
+    }
+}
+
+impl Sink for HumanSink {
+    fn on_span(&mut self, record: &SpanRecord) {
+        self.records.push(record.clone());
+    }
+
+    fn on_note(&mut self, msg: &str) {
+        self.notes.push(msg.to_string());
+    }
+
+    fn on_flush(&mut self, metrics: &MetricsRegistry) {
+        let mut text = String::from("── trace ──────────────────────────────────────────\n");
+        let mut roots: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.parent.is_none())
+            .map(|r| r.id)
+            .collect();
+        roots.sort_unstable();
+        for root in roots {
+            self.render_subtree(&mut text, root, 0);
+        }
+        if !self.notes.is_empty() {
+            text.push_str("── notes ──────────────────────────────────────────\n");
+            for n in &self.notes {
+                text.push_str(n);
+                text.push('\n');
+            }
+        }
+        if !metrics.is_empty() {
+            text.push_str("── metrics ────────────────────────────────────────\n");
+            for (name, v) in metrics.counters() {
+                text.push_str(&format!("{name} = {v}\n"));
+            }
+            for (name, v) in metrics.gauges() {
+                text.push_str(&format!("{name} = {v}\n"));
+            }
+            for (name, h) in metrics.histograms() {
+                text.push_str(&format!(
+                    "{name}: n={} mean={:.3} sum={:.3}\n",
+                    h.count,
+                    h.mean(),
+                    h.sum
+                ));
+            }
+        }
+        let _ = self.out.write_all(text.as_bytes());
+        let _ = self.out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON lines
+// ---------------------------------------------------------------------------
+
+/// Streams one JSON object per event: `span` records as they close, then
+/// `note`, `counter`, `gauge`, and `histogram` events at flush.
+pub struct JsonLinesSink {
+    out: Box<dyn Write>,
+}
+
+impl JsonLinesSink {
+    /// A JSON-lines sink writing to the given stream.
+    pub fn to_writer(out: Box<dyn Write>) -> JsonLinesSink {
+        JsonLinesSink { out }
+    }
+
+    /// A JSON-lines sink writing to stderr (stdout stays reserved for
+    /// command output, so `--json` reports never interleave with traces).
+    pub fn stderr() -> JsonLinesSink {
+        JsonLinesSink::to_writer(Box::new(std::io::stderr()))
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn on_span(&mut self, record: &SpanRecord) {
+        let _ = writeln!(self.out, "{}", record.to_json_line());
+    }
+
+    fn on_note(&mut self, msg: &str) {
+        let _ = writeln!(
+            self.out,
+            "{{\"type\":\"note\",\"msg\":\"{}\"}}",
+            crate::json::escape(msg)
+        );
+    }
+
+    fn on_flush(&mut self, metrics: &MetricsRegistry) {
+        for (name, v) in metrics.counters() {
+            let _ = writeln!(
+                self.out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+                crate::json::escape(name)
+            );
+        }
+        for (name, v) in metrics.gauges() {
+            let _ = writeln!(
+                self.out,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}",
+                crate::json::escape(name)
+            );
+        }
+        for (name, h) in metrics.histograms() {
+            let _ = writeln!(
+                self.out,
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"mean\":{}}}",
+                crate::json::escape(name),
+                h.count,
+                crate::json::fmt_f64(h.sum),
+                crate::json::fmt_f64(h.mean()),
+            );
+        }
+        let _ = self.out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory (tests / bench)
+// ---------------------------------------------------------------------------
+
+/// Everything a [`MemorySink`] captured during a session.
+#[derive(Debug, Default)]
+pub struct MemoryData {
+    /// Completed spans, in close order.
+    pub spans: Vec<SpanRecord>,
+    /// Diagnostic notes, in emit order.
+    pub notes: Vec<String>,
+    /// The final metrics registry (set at flush).
+    pub metrics: Option<MetricsRegistry>,
+}
+
+/// Shared handle to the data captured by a [`MemorySink`]; clone freely
+/// and read after the session guard is dropped.
+#[derive(Clone, Default)]
+pub struct MemoryHandle(Arc<Mutex<MemoryData>>);
+
+impl MemoryHandle {
+    /// All captured spans (clone).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.0.lock().unwrap().spans.clone()
+    }
+
+    /// All captured notes (clone).
+    pub fn notes(&self) -> Vec<String> {
+        self.0.lock().unwrap().notes.clone()
+    }
+
+    /// The flushed metrics registry, if the session has ended.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.0.lock().unwrap().metrics.clone()
+    }
+
+    /// Captured spans with the given name.
+    pub fn spans_named(&self, name: &str) -> Vec<SpanRecord> {
+        self.0
+            .lock()
+            .unwrap()
+            .spans
+            .iter()
+            .filter(|s| s.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// The first captured span with the given name, if any.
+    pub fn span_named(&self, name: &str) -> Option<SpanRecord> {
+        self.0
+            .lock()
+            .unwrap()
+            .spans
+            .iter()
+            .find(|s| s.name == name)
+            .cloned()
+    }
+}
+
+/// Captures spans, notes, and the final metrics into a [`MemoryHandle`].
+pub struct MemorySink(MemoryHandle);
+
+impl MemorySink {
+    /// A memory sink plus the handle used to read what it captured.
+    pub fn new() -> (MemorySink, MemoryHandle) {
+        let handle = MemoryHandle::default();
+        (MemorySink(handle.clone()), handle)
+    }
+}
+
+impl Sink for MemorySink {
+    fn on_span(&mut self, record: &SpanRecord) {
+        self.0 .0.lock().unwrap().spans.push(record.clone());
+    }
+
+    fn on_note(&mut self, msg: &str) {
+        self.0 .0.lock().unwrap().notes.push(msg.to_string());
+    }
+
+    fn on_flush(&mut self, metrics: &MetricsRegistry) {
+        self.0 .0.lock().unwrap().metrics = Some(metrics.clone());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics file
+// ---------------------------------------------------------------------------
+
+/// Writes the final metrics registry as a JSON object to a file at flush.
+/// Backs the CLI's `--metrics-out <path>` flag.
+pub struct FileMetricsSink {
+    path: PathBuf,
+}
+
+impl FileMetricsSink {
+    /// A sink that will write metrics JSON to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> FileMetricsSink {
+        FileMetricsSink { path: path.into() }
+    }
+}
+
+impl Sink for FileMetricsSink {
+    fn on_span(&mut self, _record: &SpanRecord) {}
+
+    fn on_flush(&mut self, metrics: &MetricsRegistry) {
+        let json = metrics.to_json();
+        if let Err(e) = std::fs::write(&self.path, json + "\n") {
+            eprintln!(
+                "warning: could not write metrics to {}: {e}",
+                self.path.display()
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! JSON-lines schema round-trip: serialize captured spans and metrics
+//! through the sink encoders, then parse them back with the vendored
+//! serde_json and check every field survives.
+
+use netexpl_obs::{install_memory, MetricsRegistry, Span};
+use serde_json::Value;
+
+#[test]
+fn span_records_round_trip_through_json_lines() {
+    let (guard, handle) = install_memory();
+    {
+        let outer = Span::enter("explain");
+        outer.attr("router", "R1");
+        {
+            let inner = Span::enter("simplify");
+            inner.attr("rule_firings", 17u64);
+            inner.attr("memo_hit_rate", 0.25f64);
+            inner.attr("complete", true);
+            inner.attr("delta", -3i64);
+        }
+    }
+    drop(guard);
+
+    let spans = handle.spans();
+    assert_eq!(spans.len(), 2);
+    for rec in &spans {
+        let line = rec.to_json_line();
+        let v: Value = serde_json::from_str(&line).expect("span line must parse");
+        assert_eq!(v["type"].as_str(), Some("span"));
+        assert_eq!(v["id"].as_u64(), Some(rec.id));
+        assert_eq!(v["name"].as_str(), Some(rec.name));
+        assert_eq!(v["depth"].as_u64(), Some(rec.depth as u64));
+        assert_eq!(v["start_us"].as_u64(), Some(rec.start_us));
+        assert_eq!(v["wall_us"].as_u64(), Some(rec.wall_us));
+        match rec.parent {
+            Some(p) => assert_eq!(v["parent"].as_u64(), Some(p)),
+            None => assert!(v["parent"].is_null()),
+        }
+    }
+
+    let inner = handle.span_named("simplify").unwrap();
+    let v: Value = serde_json::from_str(&inner.to_json_line()).unwrap();
+    assert_eq!(v["attrs"]["rule_firings"].as_u64(), Some(17));
+    assert_eq!(v["attrs"]["memo_hit_rate"].as_f64(), Some(0.25));
+    assert_eq!(v["attrs"]["complete"].as_bool(), Some(true));
+    assert_eq!(v["attrs"]["delta"].as_i64(), Some(-3));
+
+    let outer = handle.span_named("explain").unwrap();
+    let v: Value = serde_json::from_str(&outer.to_json_line()).unwrap();
+    assert_eq!(v["attrs"]["router"].as_str(), Some("R1"));
+}
+
+#[test]
+fn string_attrs_escape_cleanly() {
+    let (guard, handle) = install_memory();
+    {
+        let s = Span::enter("escape");
+        s.attr("path", "a\"b\\c\nd");
+    }
+    drop(guard);
+    let rec = handle.span_named("escape").unwrap();
+    let v: Value = serde_json::from_str(&rec.to_json_line()).expect("escaped line parses");
+    assert_eq!(v["attrs"]["path"].as_str(), Some("a\"b\\c\nd"));
+}
+
+#[test]
+fn metrics_registry_json_parses() {
+    let mut m = MetricsRegistry::new();
+    m.counter_add("sat.decisions", 41);
+    m.gauge_set("seed.conjuncts", 1200);
+    m.gauge_set("negative", -7);
+    m.observe("span.simplify.ms", 0.3);
+    m.observe("span.simplify.ms", 12.0);
+    m.observe("span.simplify.ms", 9999.0);
+
+    let v: Value = serde_json::from_str(&m.to_json()).expect("metrics JSON must parse");
+    assert_eq!(v["counters"]["sat.decisions"].as_u64(), Some(41));
+    assert_eq!(v["gauges"]["seed.conjuncts"].as_u64(), Some(1200));
+    assert_eq!(v["gauges"]["negative"].as_i64(), Some(-7));
+    let h = &v["histograms"]["span.simplify.ms"];
+    assert_eq!(h["count"].as_u64(), Some(3));
+    let buckets = h["buckets"].as_array().expect("buckets array");
+    // 16 finite bounds + 1 overflow bucket.
+    assert_eq!(buckets.len(), 17);
+    assert!(buckets[buckets.len() - 1]["le"].is_null());
+    let total: u64 = buckets.iter().map(|b| b["count"].as_u64().unwrap()).sum();
+    assert_eq!(total, 3);
+    // 9999.0 exceeds the top bound (5000 ms) and lands in overflow.
+    assert_eq!(buckets[buckets.len() - 1]["count"].as_u64(), Some(1));
+}

@@ -19,4 +19,31 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> observability smoke: explain --trace=json --metrics-out"
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+cat > "$OBS_DIR/spec.txt" <<'EOF'
+// @originate P1 200.7.0.0/16
+// @originate P2 201.0.0.0/16
+// @originate Customer 123.0.1.0/20
+dest D1 = 200.7.0.0/16
+dest D2 = 201.0.0.0/16
+Req1 {
+  !(P1 -> ... -> P2)
+  !(P2 -> ... -> P1)
+}
+Connectivity {
+  Customer ~> D1
+  Customer ~> D2
+}
+EOF
+./target/release/netexpl explain --topology paper --spec "$OBS_DIR/spec.txt" \
+    --router R1 --neighbor P1 --dir export \
+    --trace=json --metrics-out "$OBS_DIR/metrics.json" --json \
+    > "$OBS_DIR/report.json" 2> "$OBS_DIR/trace.jsonl"
+# The emitted JSON-lines must parse and contain all four stage spans; the
+# metrics file must be a well-formed registry dump.
+./target/release/netexpl obs-check \
+    --trace-file "$OBS_DIR/trace.jsonl" --metrics-file "$OBS_DIR/metrics.json"
+
 echo "==> OK"

@@ -235,6 +235,125 @@ fn lint_broken_spec_exits_nonzero_with_codes() {
 }
 
 #[test]
+fn explain_trace_json_emits_one_span_per_pipeline_stage() {
+    // Golden check on the Fig. 2 scenario shape: `--trace=json` streams
+    // JSON-lines events to stderr (stdout stays pure command output), with
+    // exactly one span per pipeline stage.
+    let spec = spec_file("tracejson", SPEC);
+    let mut metrics = std::env::temp_dir();
+    metrics.push(format!("netexpl-test-{}-metrics.json", std::process::id()));
+    let out = netexpl()
+        .args([
+            "explain",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--router",
+            "R1",
+            "--neighbor",
+            "P1",
+            "--dir",
+            "export",
+            "--trace=json",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // stdout is still one clean JSON document.
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    assert!(report["rule_firings"].as_u64().unwrap() > 0, "{report}");
+    assert!(
+        matches!(report["rules_fired"], serde_json::Value::Object(_)),
+        "{report}"
+    );
+
+    // stderr is JSON-lines; count the spans per stage.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let mut names: Vec<String> = Vec::new();
+    for line in stderr.lines().filter(|l| !l.trim().is_empty()) {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap_or_else(|e| {
+            panic!("bad trace line `{line}`: {e}");
+        });
+        if v["type"].as_str() == Some("span") {
+            names.push(v["name"].as_str().unwrap().to_string());
+        }
+    }
+    for stage in ["symbolize", "seed", "simplify", "lift", "explain"] {
+        assert_eq!(
+            names.iter().filter(|n| n.as_str() == stage).count(),
+            1,
+            "expected exactly one `{stage}` span in {names:?}"
+        );
+    }
+
+    // The metrics file parses and round-trips through `obs-check`.
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let m: serde_json::Value = serde_json::from_str(&metrics_text).expect("valid metrics json");
+    assert!(
+        m["counters"]["smt.queries"].as_u64().unwrap() > 0,
+        "{metrics_text}"
+    );
+
+    let mut trace = std::env::temp_dir();
+    trace.push(format!("netexpl-test-{}-trace.jsonl", std::process::id()));
+    std::fs::write(&trace, stderr.as_bytes()).unwrap();
+    let check = netexpl()
+        .args([
+            "obs-check",
+            "--trace-file",
+            trace.to_str().unwrap(),
+            "--metrics-file",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    assert!(String::from_utf8_lossy(&check.stdout).contains("ok:"));
+}
+
+#[test]
+fn bench_writes_scenario_report() {
+    let mut out_path = std::env::temp_dir();
+    out_path.push(format!(
+        "netexpl-test-{}-BENCH_explain.json",
+        std::process::id()
+    ));
+    let out = netexpl()
+        .args(["bench", "--out", out_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&out_path).expect("report written");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+    let scenarios = v["scenarios"].as_array().expect("scenarios array");
+    assert_eq!(scenarios.len(), 3, "{text}");
+    for run in scenarios {
+        assert!(run["stage_ms"]["simplify"].as_f64().is_some(), "{run}");
+        assert!(
+            run["counters"]["smt.queries"].as_u64().unwrap() > 0,
+            "{run}"
+        );
+    }
+}
+
+#[test]
 fn explain_rejects_zero_coverage_selector() {
     let spec = spec_file("lintsel", SPEC);
     let out = netexpl()
