@@ -5,6 +5,7 @@
 
 use netexpl_core::symbolize::{Dir, Selector};
 use netexpl_core::{explain, ExplainOptions};
+use netexpl_logic::budget::Budget;
 use netexpl_logic::term::Ctx;
 use netexpl_spec::Specification;
 use netexpl_topology::{RouterId, Topology};
@@ -64,7 +65,7 @@ fn cases() -> Vec<Case> {
 
 /// Run one case under a fresh in-memory obs session and render what the
 /// collector captured as a JSON object.
-fn run_case(case: &Case) -> Result<Value, String> {
+fn run_case(case: &Case, budget: &Budget) -> Result<Value, String> {
     let (guard, handle) = netexpl_obs::install_memory();
     let vocab = paper_vocab(&case.topo, case.net.prefixes());
     let mut ctx = Ctx::new();
@@ -78,7 +79,10 @@ fn run_case(case: &Case) -> Result<Value, String> {
         &case.spec,
         case.router,
         &case.selector,
-        ExplainOptions::default(),
+        ExplainOptions {
+            budget: budget.clone(),
+            ..Default::default()
+        },
     )
     .map_err(|e| format!("{}: {e}", case.name))?;
     drop(guard); // flush metrics into the handle
@@ -113,22 +117,54 @@ fn run_case(case: &Case) -> Result<Value, String> {
         ("rule_firings", Value::from(expl.rule_stats.total())),
         ("rules_fired", Value::object(rules)),
         ("exact", Value::from(expl.lift_complete)),
+        ("partial", Value::from(!expl.verdicts.all_verified())),
+        (
+            "verdicts",
+            Value::object([
+                ("simplify", Value::from(expl.verdicts.simplify.as_str())),
+                ("lift", Value::from(expl.verdicts.lift.as_str())),
+            ]),
+        ),
+        (
+            "interrupts",
+            Value::from(
+                expl.verdicts
+                    .interrupts
+                    .iter()
+                    .map(|i| Value::from(i.reason.as_str()))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
         ("counters", Value::object(counters)),
     ]))
 }
 
 /// Build the full report over all three paper scenarios.
 pub fn explain_report() -> Result<Value, String> {
+    explain_report_with(&Budget::unlimited())
+}
+
+/// Build the full report, running every case under `budget`.
+///
+/// The budget applies per explain call, not to the report as a whole;
+/// interrupted cases degrade to partial explanations (flagged in the
+/// per-case `partial`/`verdicts` fields) rather than failing the report.
+pub fn explain_report_with(budget: &Budget) -> Result<Value, String> {
     let mut runs = Vec::new();
     for case in cases() {
-        runs.push(run_case(&case)?);
+        runs.push(run_case(&case, budget)?);
     }
     Ok(Value::object([("scenarios", Value::from(runs))]))
 }
 
 /// Run the report and write it to `path` as pretty-printed JSON.
 pub fn write_report(path: &str) -> Result<(), String> {
-    let report = explain_report()?;
+    write_report_with(path, Budget::unlimited())
+}
+
+/// Run the report under `budget` and write it to `path`.
+pub fn write_report_with(path: &str, budget: Budget) -> Result<(), String> {
+    let report = explain_report_with(&budget)?;
     let text = serde_json::to_string_pretty(&report) + "\n";
     std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
 }

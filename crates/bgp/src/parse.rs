@@ -161,7 +161,11 @@ pub fn parse_config(topo: &Topology, text: &str) -> Result<NetworkConfig, Config
         let Some((_, entries)) = &mut current else {
             return Err(err(lineno, format!("clause outside a route-map: `{line}`")));
         };
-        let entry = entries.last_mut().expect("route-map line created an entry");
+        let Some(entry) = entries.last_mut() else {
+            // `current` always starts with one entry, but a typed error
+            // beats a panic if that invariant ever slips.
+            return Err(err(lineno, format!("clause outside a route-map: `{line}`")));
+        };
         if let Some(rest) = line.strip_prefix("match ip address prefix-list ") {
             let mut prefixes = Vec::new();
             for p in rest.split_whitespace() {

@@ -1,8 +1,9 @@
 //! The CLI subcommands.
 
 use netexpl_core::symbolize::{Dir, Selector};
-use netexpl_core::{explain, ExplainOptions};
+use netexpl_core::{explain, Error, ExplainOptions};
 use netexpl_lint::{lint_config, lint_selector, lint_spec, Diagnostics};
+use netexpl_logic::budget::Budget;
 use netexpl_logic::term::Ctx;
 use netexpl_obs::{FileMetricsSink, HumanSink, JsonLinesSink, ObsGuard, Sink};
 use netexpl_spec::check_specification;
@@ -13,16 +14,47 @@ use serde_json::Value;
 
 use crate::input::{load_problem, topology, Options, Problem};
 
+/// Classify an argument-handling failure (NX001).
+fn usage(m: String) -> Error {
+    Error::Usage(m)
+}
+
+/// Build a [`Budget`] from the shared `--timeout <secs>` and
+/// `--max-conflicts <n>` options. An absent option leaves that dimension
+/// unlimited.
+fn parse_budget(opts: &Options) -> Result<Budget, Error> {
+    let mut budget = Budget::unlimited();
+    if let Some(t) = opts.get("timeout") {
+        let secs: f64 = t
+            .parse()
+            .ok()
+            .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+            .ok_or_else(|| usage(format!("--timeout takes non-negative seconds, not `{t}`")))?;
+        budget = budget.deadline_in(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(c) = opts.get("max-conflicts") {
+        let n: u64 = c
+            .parse()
+            .map_err(|_| usage(format!("--max-conflicts takes a count, not `{c}`")))?;
+        budget = budget.max_conflicts(n);
+    }
+    Ok(budget)
+}
+
 /// Install an observability session from the shared `--trace[=human|json]`
 /// and `--metrics-out <path>` options, if either was given. The returned
 /// guard must stay alive for the rest of the command: dropping it flushes
 /// the sinks and deactivates collection.
-fn obs_setup(opts: &Options) -> Result<Option<ObsGuard>, String> {
+fn obs_setup(opts: &Options) -> Result<Option<ObsGuard>, Error> {
     let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
     match opts.get("trace") {
         Some("human") => sinks.push(Box::new(HumanSink::stderr())),
         Some("json") => sinks.push(Box::new(JsonLinesSink::stderr())),
-        Some(other) => return Err(format!("--trace must be human or json, not `{other}`")),
+        Some(other) => {
+            return Err(usage(format!(
+                "--trace must be human or json, not `{other}`"
+            )))
+        }
         // Bare `--trace` defaults to the human-readable tree.
         None if opts.flag("trace") => sinks.push(Box::new(HumanSink::stderr())),
         None => {}
@@ -35,7 +67,7 @@ fn obs_setup(opts: &Options) -> Result<Option<ObsGuard>, String> {
     }
     netexpl_obs::install(sinks)
         .map(Some)
-        .map_err(|e| e.to_string())
+        .map_err(|e| usage(e.to_string()))
 }
 
 struct SynthReport {
@@ -52,7 +84,8 @@ fn synthesize_problem(
     problem: &Problem,
     ctx: &mut Ctx,
     sorts: netexpl_synth::vocab::VocabSorts,
-) -> Result<SynthResult, String> {
+    budget: Budget,
+) -> Result<SynthResult, Error> {
     let factory = HoleFactory::new(&problem.vocab, sorts);
     let sketch = default_sketch(ctx, topo, &factory, &problem.base);
     synthesize(
@@ -62,9 +95,13 @@ fn synthesize_problem(
         sorts,
         &sketch,
         &problem.spec,
-        SynthOptions::default(),
+        SynthOptions {
+            budget,
+            ..Default::default()
+        },
     )
-    .map_err(|e| e.to_string())
+    // `From<SynthError>` classifies: NX202 unsat, NX501 interrupted, ….
+    .map_err(Error::from)
 }
 
 /// Render a diagnostics collection as a JSON value (array of findings
@@ -102,11 +139,11 @@ fn diagnostics_json(diags: &Diagnostics) -> Value {
 /// `netexpl lint` — run every static-analysis pass over a specification
 /// and the configuration synthesized from it. Exits non-zero iff any
 /// error-severity diagnostic fires.
-pub fn lint(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &["json", "no-sat", "trace"])?;
+pub fn lint(args: &[String]) -> Result<(), Error> {
+    let opts = Options::parse(args, &["json", "no-sat", "trace"]).map_err(usage)?;
     let _obs = obs_setup(&opts)?;
-    let topo = topology(opts.require("topology")?)?;
-    let problem = load_problem(&topo, opts.require("spec")?)?;
+    let topo = topology(opts.require("topology").map_err(usage)?)?;
+    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
 
     // Spec passes first: the base config supplies the `@originate` facts.
     let mut diags = lint_spec(&topo, &problem.spec, Some(&problem.base));
@@ -117,7 +154,7 @@ pub fn lint(args: &[String]) -> Result<(), String> {
     if !diags.has_errors() {
         let mut ctx = Ctx::new();
         let sorts = problem.vocab.sorts(&mut ctx);
-        match synthesize_problem(&topo, &problem, &mut ctx, sorts) {
+        match synthesize_problem(&topo, &problem, &mut ctx, sorts, Budget::unlimited()) {
             Ok(result) => {
                 let vocab = (!opts.flag("no-sat")).then_some(&problem.vocab);
                 diags.extend(lint_config(&topo, &result.config, vocab));
@@ -136,24 +173,28 @@ pub fn lint(args: &[String]) -> Result<(), String> {
         print!("{diags}");
     }
     if let Some(e) = synth_error {
-        return Err(format!("synthesis failed, config passes skipped: {e}"));
+        eprintln!("note: synthesis failed, config passes skipped");
+        return Err(e);
     }
     if diags.has_errors() {
         let (errors, _, _) = diags.counts();
-        return Err(format!("lint found {errors} error(s)"));
+        return Err(Error::Lint { errors });
     }
     Ok(())
 }
 
 /// `netexpl synth` — synthesize a configuration and print it.
-pub fn synth(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &["json", "trace"])?;
+pub fn synth(args: &[String]) -> Result<(), Error> {
+    let opts = Options::parse(args, &["json", "trace"]).map_err(usage)?;
     let _obs = obs_setup(&opts)?;
-    let topo = topology(opts.require("topology")?)?;
-    let problem = load_problem(&topo, opts.require("spec")?)?;
+    let budget = parse_budget(&opts)?;
+    let topo = topology(opts.require("topology").map_err(usage)?)?;
+    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
     let mut ctx = Ctx::new();
     let sorts = problem.vocab.sorts(&mut ctx);
-    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts)?;
+    // An exhausted budget surfaces as NX501 — synthesis has no partial
+    // artifact worth printing, unlike `explain`.
+    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts, budget)?;
 
     // Post-synthesis self-check: the synthesizer should never emit dead
     // or self-contradictory lines; surface them as warnings if it does.
@@ -166,7 +207,7 @@ pub fn synth(args: &[String]) -> Result<(), String> {
         ));
     }
     let report = SynthReport {
-        topology: opts.require("topology")?.to_string(),
+        topology: opts.require("topology").map_err(usage)?.to_string(),
         holes: result.stats.num_holes,
         constraints: result.stats.num_constraints,
         constraint_nodes: result.stats.constraint_size,
@@ -207,33 +248,40 @@ struct ExplainReport {
 }
 
 /// `netexpl explain` — synthesize, then run the explanation pipeline.
-pub fn explain_cmd(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &["json", "skip-lift", "trace"])?;
+pub fn explain_cmd(args: &[String]) -> Result<(), Error> {
+    let opts = Options::parse(args, &["json", "skip-lift", "trace"]).map_err(usage)?;
     let _obs = obs_setup(&opts)?;
-    let topo = topology(opts.require("topology")?)?;
-    let problem = load_problem(&topo, opts.require("spec")?)?;
-    let router_name = opts.require("router")?;
+    let budget = parse_budget(&opts)?;
+    let topo = topology(opts.require("topology").map_err(usage)?)?;
+    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
+    let router_name = opts.require("router").map_err(usage)?;
     let router = topo
         .router_by_name(router_name)
-        .ok_or_else(|| format!("unknown router `{router_name}`"))?;
+        .ok_or_else(|| Error::Topology(format!("unknown router `{router_name}`")))?;
 
     let selector = match opts.get("neighbor") {
         None => Selector::Router,
         Some(nname) => {
             let neighbor = topo
                 .router_by_name(nname)
-                .ok_or_else(|| format!("unknown neighbor `{nname}`"))?;
+                .ok_or_else(|| Error::Topology(format!("unknown neighbor `{nname}`")))?;
             let dir = match opts.get("dir").unwrap_or("export") {
                 "import" => Dir::Import,
                 "export" => Dir::Export,
-                other => return Err(format!("--dir must be import or export, not `{other}`")),
+                other => {
+                    return Err(usage(format!(
+                        "--dir must be import or export, not `{other}`"
+                    )))
+                }
             };
             match opts.get("entry") {
                 None => Selector::Session { neighbor, dir },
                 Some(e) => Selector::Entry {
                     neighbor,
                     dir,
-                    entry: e.parse().map_err(|_| format!("bad entry index `{e}`"))?,
+                    entry: e
+                        .parse()
+                        .map_err(|_| usage(format!("bad entry index `{e}`")))?,
                 },
             }
         }
@@ -241,16 +289,20 @@ pub fn explain_cmd(args: &[String]) -> Result<(), String> {
 
     let mut ctx = Ctx::new();
     let sorts = problem.vocab.sorts(&mut ctx);
-    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts)?;
+    // The budget governs the *explanation* pipeline. Synthesis here only
+    // reconstructs the configuration being explained, so it runs
+    // unbudgeted — a partial explanation of a complete config is useful; a
+    // partial config is not.
+    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts, Budget::unlimited())?;
 
     // Pre-flight: a selector that covers zero configuration lines would
     // symbolize nothing and "explain" an empty report. Reject it with a
     // diagnostic that lists what is selectable instead.
     let preflight = lint_selector(&topo, &result.config, router, &selector);
     if preflight.has_errors() {
-        return Err(format!(
+        return Err(usage(format!(
             "selector covers no configuration lines\n{preflight}"
-        ));
+        )));
     }
 
     let explanation = explain(
@@ -264,10 +316,11 @@ pub fn explain_cmd(args: &[String]) -> Result<(), String> {
         &selector,
         ExplainOptions {
             skip_lift: opts.flag("skip-lift"),
+            budget,
             ..Default::default()
         },
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(Error::Explain)?;
 
     if opts.flag("json") {
         let report = ExplainReport {
@@ -312,6 +365,37 @@ pub fn explain_cmd(args: &[String]) -> Result<(), String> {
                 Value::from(report.subspecification.as_str()),
             ),
             ("exact", Value::from(report.exact)),
+            // Degradation report: a budget-interrupted run still exits 0
+            // with `partial: true` and per-stage verdicts.
+            ("partial", Value::from(!explanation.verdicts.all_verified())),
+            (
+                "verdicts",
+                Value::object([
+                    (
+                        "simplify",
+                        Value::from(explanation.verdicts.simplify.as_str()),
+                    ),
+                    ("lift", Value::from(explanation.verdicts.lift.as_str())),
+                ]),
+            ),
+            (
+                "interrupts",
+                Value::from(
+                    explanation
+                        .verdicts
+                        .interrupts
+                        .iter()
+                        .map(|i| {
+                            Value::object([
+                                ("reason", Value::from(i.reason.as_str())),
+                                ("at", Value::from(i.at)),
+                                ("conflicts", Value::from(i.conflicts)),
+                                ("decisions", Value::from(i.decisions)),
+                            ])
+                        })
+                        .collect::<Vec<Value>>(),
+                ),
+            ),
         ]);
         println!("{}", serde_json::to_string_pretty(&json));
     } else {
@@ -322,17 +406,17 @@ pub fn explain_cmd(args: &[String]) -> Result<(), String> {
 
 /// `netexpl assumptions` — synthesize, then compute the environment
 /// assumptions for one router (the paper's §5 extension).
-pub fn assumptions(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &[])?;
-    let topo = topology(opts.require("topology")?)?;
-    let problem = load_problem(&topo, opts.require("spec")?)?;
-    let router_name = opts.require("router")?;
+pub fn assumptions(args: &[String]) -> Result<(), Error> {
+    let opts = Options::parse(args, &[]).map_err(usage)?;
+    let topo = topology(opts.require("topology").map_err(usage)?)?;
+    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
+    let router_name = opts.require("router").map_err(usage)?;
     let router = topo
         .router_by_name(router_name)
-        .ok_or_else(|| format!("unknown router `{router_name}`"))?;
+        .ok_or_else(|| Error::Topology(format!("unknown router `{router_name}`")))?;
     let mut ctx = Ctx::new();
     let sorts = problem.vocab.sorts(&mut ctx);
-    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts)?;
+    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts, Budget::unlimited())?;
     let env = netexpl_core::environment_assumptions(
         &mut ctx,
         &topo,
@@ -343,36 +427,36 @@ pub fn assumptions(args: &[String]) -> Result<(), String> {
         router,
         ExplainOptions::default(),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(Error::Explain)?;
     println!("{env}");
     Ok(())
 }
 
 /// `netexpl simulate` — synthesize and show the stable routing state.
-pub fn simulate(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &["json"])?;
-    let topo = topology(opts.require("topology")?)?;
-    let problem = load_problem(&topo, opts.require("spec")?)?;
+pub fn simulate(args: &[String]) -> Result<(), Error> {
+    let opts = Options::parse(args, &["json"]).map_err(usage)?;
+    let topo = topology(opts.require("topology").map_err(usage)?)?;
+    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
     let mut ctx = Ctx::new();
     let sorts = problem.vocab.sorts(&mut ctx);
-    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts)?;
+    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts, Budget::unlimited())?;
 
     let mut failed: Vec<Link> = Vec::new();
     for f in opts.all("fail") {
         let (a, b) = f
             .split_once('-')
-            .ok_or_else(|| format!("--fail takes A-B, not `{f}`"))?;
+            .ok_or_else(|| usage(format!("--fail takes A-B, not `{f}`")))?;
         let a = topo
             .router_by_name(a)
-            .ok_or_else(|| format!("unknown router `{a}`"))?;
+            .ok_or_else(|| Error::Topology(format!("unknown router `{a}`")))?;
         let b = topo
             .router_by_name(b)
-            .ok_or_else(|| format!("unknown router `{b}`"))?;
+            .ok_or_else(|| Error::Topology(format!("unknown router `{b}`")))?;
         failed.push(Link::new(a, b));
     }
 
     let state = netexpl_bgp::sim::stabilize_with_failures(&topo, &result.config, &failed)
-        .map_err(|e| e.to_string())?;
+        .map_err(Error::Sim)?;
     println!(
         "stable routing state{}:",
         if failed.is_empty() {
@@ -404,27 +488,31 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
 }
 
 /// `netexpl scenario <1|2|3>` — run the paper's motivating scenarios.
-pub fn scenario(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &[])?;
+pub fn scenario(args: &[String]) -> Result<(), Error> {
+    let opts = Options::parse(args, &[]).map_err(usage)?;
     let which = opts.positional().first().map(String::as_str).unwrap_or("1");
     let example = match which {
         "1" => "scenario1_underspecified",
         "2" => "scenario2_ambiguous",
         "3" => "scenario3_complexity",
-        other => return Err(format!("unknown scenario `{other}` (1, 2 or 3)")),
+        other => return Err(usage(format!("unknown scenario `{other}` (1, 2 or 3)"))),
     };
-    Err(format!(
+    Err(usage(format!(
         "the scenarios ship as runnable examples — use `cargo run --example {example}`"
-    ))
+    )))
 }
 
 /// `netexpl bench` — run the explain pipeline over the paper's three
 /// scenarios under an in-memory obs session and write the per-scenario
 /// stage timings, sizes, and solver counters as a JSON report.
-pub fn bench(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &[])?;
+pub fn bench(args: &[String]) -> Result<(), Error> {
+    let opts = Options::parse(args, &[]).map_err(usage)?;
+    let budget = parse_budget(&opts)?;
     let out = opts.get("out").unwrap_or("BENCH_explain.json");
-    netexpl_bench::report::write_report(out)?;
+    netexpl_bench::report::write_report_with(out, budget).map_err(|e| Error::Io {
+        path: out.to_string(),
+        source: std::io::Error::other(e),
+    })?;
     println!("wrote {out}");
     Ok(())
 }
@@ -436,11 +524,13 @@ const REQUIRED_STAGES: [&str; 4] = ["symbolize", "seed", "simplify", "lift"];
 /// `netexpl obs-check` — validate emitted observability artifacts: a
 /// JSON-lines trace (every line parses; one span per pipeline stage) and
 /// optionally a `--metrics-out` metrics file. Used by CI.
-pub fn obs_check(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &[])?;
-    let trace_path = opts.require("trace-file")?;
-    let text = std::fs::read_to_string(trace_path)
-        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+pub fn obs_check(args: &[String]) -> Result<(), Error> {
+    let opts = Options::parse(args, &[]).map_err(usage)?;
+    let trace_path = opts.require("trace-file").map_err(usage)?;
+    let text = std::fs::read_to_string(trace_path).map_err(|e| Error::Io {
+        path: trace_path.to_string(),
+        source: e,
+    })?;
     let mut span_names: Vec<String> = Vec::new();
     let mut events = 0usize;
     for (lineno, line) in text.lines().enumerate() {
@@ -448,33 +538,35 @@ pub fn obs_check(args: &[String]) -> Result<(), String> {
             continue;
         }
         let value: Value = serde_json::from_str(line)
-            .map_err(|e| format!("{trace_path}:{}: invalid JSON: {e}", lineno + 1))?;
+            .map_err(|e| usage(format!("{trace_path}:{}: invalid JSON: {e}", lineno + 1)))?;
         events += 1;
         let kind = value["type"]
             .as_str()
-            .ok_or_else(|| format!("{trace_path}:{}: event has no `type`", lineno + 1))?;
+            .ok_or_else(|| usage(format!("{trace_path}:{}: event has no `type`", lineno + 1)))?;
         if kind == "span" {
             let name = value["name"]
                 .as_str()
-                .ok_or_else(|| format!("{trace_path}:{}: span has no `name`", lineno + 1))?;
+                .ok_or_else(|| usage(format!("{trace_path}:{}: span has no `name`", lineno + 1)))?;
             span_names.push(name.to_string());
         }
     }
     for stage in REQUIRED_STAGES {
         if !span_names.iter().any(|n| n == stage) {
-            return Err(format!(
+            return Err(usage(format!(
                 "{trace_path}: no `{stage}` span — stages seen: {span_names:?}"
-            ));
+            )));
         }
     }
     if let Some(metrics_path) = opts.get("metrics-file") {
-        let text = std::fs::read_to_string(metrics_path)
-            .map_err(|e| format!("cannot read {metrics_path}: {e}"))?;
+        let text = std::fs::read_to_string(metrics_path).map_err(|e| Error::Io {
+            path: metrics_path.to_string(),
+            source: e,
+        })?;
         let value: Value = serde_json::from_str(&text)
-            .map_err(|e| format!("{metrics_path}: invalid JSON: {e}"))?;
+            .map_err(|e| usage(format!("{metrics_path}: invalid JSON: {e}")))?;
         for section in ["counters", "gauges", "histograms"] {
             if !matches!(value[section], Value::Object(_)) {
-                return Err(format!("{metrics_path}: missing `{section}` object"));
+                return Err(usage(format!("{metrics_path}: missing `{section}` object")));
             }
         }
     }

@@ -2,6 +2,7 @@
 //! with `@originate` directives.
 
 use netexpl_bgp::{Community, NetworkConfig};
+use netexpl_core::Error;
 use netexpl_spec::Specification;
 use netexpl_synth::vocab::Vocabulary;
 use netexpl_topology::builders;
@@ -79,22 +80,24 @@ impl Options {
 }
 
 /// Build a topology from its CLI name.
-pub fn topology(name: &str) -> Result<Topology, String> {
+pub fn topology(name: &str) -> Result<Topology, Error> {
     if name == "paper" {
         return Ok(builders::paper_topology().0);
     }
     if let Some((kind, n)) = name.split_once(':') {
-        let n: usize = n.parse().map_err(|_| format!("bad size in `{name}`"))?;
+        let n: usize = n
+            .parse()
+            .map_err(|_| Error::Topology(format!("bad size in `{name}`")))?;
         return match kind {
             "line" => Ok(builders::line(n)),
             "ring" => Ok(builders::ring(n)),
             "star" => Ok(builders::star(n)),
-            other => Err(format!("unknown topology kind `{other}`")),
+            other => Err(Error::Topology(format!("unknown topology kind `{other}`"))),
         };
     }
-    Err(format!(
+    Err(Error::Topology(format!(
         "unknown topology `{name}` (try paper, line:N, ring:N, star:N)"
-    ))
+    )))
 }
 
 /// A loaded problem: topology-independent pieces of a spec file.
@@ -109,8 +112,11 @@ pub struct Problem {
 
 /// Load a spec file, extracting `// @originate <Router> <prefix>`
 /// directives into a base configuration.
-pub fn load_problem(topo: &Topology, path: &str) -> Result<Problem, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+pub fn load_problem(topo: &Topology, path: &str) -> Result<Problem, Error> {
+    let text = std::fs::read_to_string(path).map_err(|e| Error::Io {
+        path: path.to_string(),
+        source: e,
+    })?;
     let mut base = NetworkConfig::new();
     let mut prefixes: Vec<Prefix> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -119,26 +125,26 @@ pub fn load_problem(topo: &Topology, path: &str) -> Result<Problem, String> {
         };
         let mut parts = rest.split_whitespace();
         let (Some(router), Some(prefix)) = (parts.next(), parts.next()) else {
-            return Err(format!(
+            return Err(Error::Usage(format!(
                 "{path}:{}: @originate needs <Router> <prefix>",
                 lineno + 1
-            ));
+            )));
         };
-        let router_id = topo
-            .router_by_name(router)
-            .ok_or_else(|| format!("{path}:{}: unknown router `{router}`", lineno + 1))?;
+        let router_id = topo.router_by_name(router).ok_or_else(|| {
+            Error::Topology(format!("{path}:{}: unknown router `{router}`", lineno + 1))
+        })?;
         let prefix: Prefix = prefix
             .parse()
-            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+            .map_err(|e| Error::Usage(format!("{path}:{}: {e}", lineno + 1)))?;
         base.originate(router_id, prefix);
         prefixes.push(prefix);
     }
     if base.originations().is_empty() {
-        return Err(format!(
+        return Err(Error::Usage(format!(
             "{path}: no `// @originate <Router> <prefix>` directives — nothing is announced"
-        ));
+        )));
     }
-    let spec = netexpl_spec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let spec = netexpl_spec::parse(&text).map_err(Error::SpecParse)?;
     prefixes.extend(spec.destinations.values().copied());
     let vocab = Vocabulary::new(
         topo,

@@ -33,21 +33,33 @@ mod input;
 
 use std::process::ExitCode;
 
+use netexpl_core::Error;
+
 fn main() -> ExitCode {
+    // Fault injection for release-binary smoke tests: NETEXPL_FAULT names
+    // comma-separated sites (see `netexpl_faults::sites`) to arm for the
+    // whole run. The contract: every armed site yields a classified error
+    // or a degraded-but-sound result — never a panic, never a backtrace.
+    if let Err(e) = netexpl_faults::arm_from_env("NETEXPL_FAULT") {
+        eprintln!("error[NX001]: {e}");
+        return ExitCode::FAILURE;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            // One classified line per failure: a stable NX code plus the
+            // source chain's message — no panics, no backtraces.
+            eprintln!("error[{}]: {e}", e.code());
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), Error> {
     let Some(command) = args.first() else {
         print_usage();
-        return Err("missing command".into());
+        return Err(Error::Usage("missing command".into()));
     };
     let rest = &args[1..];
     match command.as_str() {
@@ -65,7 +77,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => {
             print_usage();
-            Err(format!("unknown command `{other}`"))
+            Err(Error::Usage(format!("unknown command `{other}`")))
         }
     }
 }
@@ -89,6 +101,12 @@ fn print_usage() {
          OBSERVABILITY (synth, lint, explain):\n\
            --trace[=human|json]   stream pipeline spans + metrics to stderr\n\
            --metrics-out <FILE>   write the metrics registry as JSON on exit\n\
+         \n\
+         RESOURCE BUDGETS (synth, explain, bench):\n\
+           --timeout <SECS>       wall-clock deadline for solver/explain work\n\
+           --max-conflicts <N>    cap on CDCL conflicts per solver call\n\
+           synth fails with NX501 when interrupted; explain degrades to a\n\
+           partial explanation with best-effort/exhausted stage verdicts.\n\
          \n\
          TOPOLOGIES:\n\
            paper      the six-router network of the paper's Figure 1b\n\

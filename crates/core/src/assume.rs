@@ -102,11 +102,17 @@ pub fn environment_assumptions(
     }
 
     let seed = seed_spec(ctx, topo, vocab, sorts, &sym, spec, options.encode)?;
+    // The pipeline budget governs each per-router lift unless the caller
+    // bounded the lift separately (mirrors `explain`).
+    let mut lift_opts = options.lift.clone();
+    if lift_opts.budget.is_unlimited() {
+        lift_opts.budget = options.budget.clone();
+    }
     let mut assumptions = Vec::with_capacity(others.len());
     for r in others {
         let LiftResult {
             subspec, complete, ..
-        } = lift(ctx, topo, spec, &seed, r, options.lift);
+        } = lift(ctx, topo, spec, &seed, r, lift_opts.clone());
         assumptions.push((subspec, complete));
     }
     Ok(EnvironmentAssumptions {

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use netexpl_bgp::NetworkConfig;
+use netexpl_logic::budget::{Budget, Interrupt};
 use netexpl_logic::simplify::{RuleMask, Simplifier, SimplifyStats};
 use netexpl_logic::term::{Ctx, TermId, TermNode};
 use netexpl_obs::Span;
@@ -17,7 +18,7 @@ use crate::seed::seed_spec;
 use crate::symbolize::{symbolize, Selector, SymbolTable};
 
 /// Options for an explanation run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExplainOptions {
     /// Encoding options (path enumeration bound).
     pub encode: EncodeOptions,
@@ -28,6 +29,73 @@ pub struct ExplainOptions {
     /// Skip the lifting step (seed + simplification only — the paper's
     /// actual prototype scope).
     pub skip_lift: bool,
+    /// Resource budget governing the simplification fixpoint and the
+    /// lifter's solver queries. Exhaustion never fails the pipeline: the
+    /// explanation degrades stage by stage and records what happened in
+    /// [`Explanation::verdicts`].
+    pub budget: Budget,
+}
+
+/// How thoroughly a pipeline stage ran under its resource budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The stage ran to completion; its artifact is exact.
+    Verified,
+    /// The stage was interrupted after making progress; its artifact is
+    /// sound but weaker than a full run's (partially simplified constraints,
+    /// a necessary-but-unproven-sufficient subspecification).
+    BestEffort,
+    /// The stage was interrupted before accomplishing anything; downstream
+    /// consumers should fall back to the previous stage's artifact.
+    Exhausted,
+}
+
+impl Verdict {
+    /// Stable token for machine-readable output (`--json`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Verified => "verified",
+            Verdict::BestEffort => "best-effort",
+            Verdict::Exhausted => "exhausted",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-stage verdicts for a (possibly degraded) explanation.
+///
+/// Symbolization and seeding are not solver-bound, so they either succeed
+/// or fail outright ([`ExplainError`]); only the simplification fixpoint
+/// and the lifting search can partially complete.
+#[derive(Debug, Clone)]
+pub struct StageVerdicts {
+    /// The simplification fixpoint.
+    pub simplify: Verdict,
+    /// The lifting search (a skipped lift is `Verified`: nothing was asked
+    /// of it).
+    pub lift: Verdict,
+    /// The interrupts behind any degradation, in pipeline order.
+    pub interrupts: Vec<Interrupt>,
+}
+
+impl StageVerdicts {
+    fn verified() -> Self {
+        StageVerdicts {
+            simplify: Verdict::Verified,
+            lift: Verdict::Verified,
+            interrupts: Vec::new(),
+        }
+    }
+
+    /// Did every stage run to completion?
+    pub fn all_verified(&self) -> bool {
+        self.simplify == Verdict::Verified && self.lift == Verdict::Verified
+    }
 }
 
 /// Explanation failure.
@@ -88,11 +156,25 @@ pub struct Explanation {
     /// Per-subspec-entry provenance: the global requirement blocks forcing
     /// each entry (parallel to `subspec.requirements`).
     pub provenance: Vec<Vec<String>>,
+    /// How thoroughly each budgeted stage ran. When a stage degraded, the
+    /// raw artifacts above (notably `simplified_text`) are still sound —
+    /// just less condensed than a full run would produce.
+    pub verdicts: StageVerdicts,
 }
 
 impl fmt::Display for Explanation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== Explanation for {} ===", self.router)?;
+        if !self.verdicts.all_verified() {
+            writeln!(
+                f,
+                "PARTIAL RESULT: simplify={}, lift={}",
+                self.verdicts.simplify, self.verdicts.lift
+            )?;
+            for i in &self.verdicts.interrupts {
+                writeln!(f, "  {i}")?;
+            }
+        }
         writeln!(f, "symbolized variables ({}):", self.symbolized.len())?;
         for s in &self.symbolized {
             writeln!(f, "  {s}")?;
@@ -193,10 +275,21 @@ pub fn explain(
     // variable constrained by a single definitional conjunct is
     // existentially solvable whatever the holes are, so the conjunct says
     // nothing about the router).
-    let mut simplifier = Simplifier::new(options.rules);
+    let mut verdicts = StageVerdicts::verified();
+    let mut simplifier = Simplifier::new(options.rules).with_budget(options.budget.clone());
     let span = Span::enter("simplify");
     let conj = seed.conjunction(ctx);
     let simplified_raw = simplifier.simplify(ctx, conj);
+    if let Some(i) = simplifier.interrupted() {
+        // Interrupted simplification is equivalence-preserving, so the
+        // pipeline continues on the partially simplified term.
+        verdicts.simplify = if simplifier.stats.total() > 0 {
+            Verdict::BestEffort
+        } else {
+            Verdict::Exhausted
+        };
+        verdicts.interrupts.push(i.clone());
+    }
     let hole_vars = hole_var_set(ctx, &table);
     let projected = eliminate_dangling_defs(ctx, simplified_raw, &hole_vars);
     let simplified = ctx.and(&projected);
@@ -210,6 +303,7 @@ pub fn explain(
         span.attr("rule_firings", simplifier.stats.total());
         span.attr("fixpoint_iterations", simplifier.stats.iterations);
         span.attr("memo_hit_rate", simplifier.stats.memo_hit_rate());
+        span.attr("verdict", verdicts.simplify.as_str());
         for (name, fired) in simplifier.stats.per_rule() {
             if fired > 0 {
                 netexpl_obs::counter_add(&format!("simplify.rule.{name}"), fired);
@@ -224,15 +318,34 @@ pub fn explain(
         span.attr("skipped", true);
         (SubSpec::empty(topo.name(router)), false, 0, Vec::new())
     } else {
+        // The pipeline budget governs the lift unless the caller bounded
+        // the lift separately.
+        let mut lift_opts = options.lift.clone();
+        if lift_opts.budget.is_unlimited() {
+            lift_opts.budget = options.budget.clone();
+        }
         let LiftResult {
             subspec,
             complete,
             candidates_checked,
             provenance,
-        } = lift(ctx, topo, spec, &seed, router, options.lift);
+            interrupt,
+        } = lift(ctx, topo, spec, &seed, router, lift_opts);
+        if let Some(i) = interrupt {
+            // An interrupted lift kept only verified-necessary entries; an
+            // empty result means the reader should fall back to the raw
+            // simplified constraints above.
+            verdicts.lift = if subspec.is_empty() {
+                Verdict::Exhausted
+            } else {
+                Verdict::BestEffort
+            };
+            verdicts.interrupts.push(i);
+        }
         span.attr("candidates_checked", candidates_checked);
         span.attr("kept", subspec.requirements.len());
         span.attr("complete", complete);
+        span.attr("verdict", verdicts.lift.as_str());
         (subspec, complete, candidates_checked, provenance)
     };
     drop(span);
@@ -255,6 +368,7 @@ pub fn explain(
         lift_complete,
         lift_candidates_checked: lift_checked,
         provenance,
+        verdicts,
     })
 }
 
@@ -520,8 +634,77 @@ mod tests {
             "\n{expl}"
         );
         assert!(expl.lift_complete, "the subspec is exact for this seed");
+        assert!(expl.verdicts.all_verified(), "unbudgeted runs are exact");
         // Simplification collapsed the seed substantially.
         assert!(expl.simplified_size < expl.seed_size / 4, "\n{expl}");
+    }
+
+    #[test]
+    fn tight_budget_degrades_to_partial_explanation() {
+        use netexpl_logic::budget::Budget;
+        let (topo, h, net, spec) = scenario1_synthesized();
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let expl = explain(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            h.r1,
+            &Selector::Session {
+                neighbor: h.p1,
+                dir: Dir::Export,
+            },
+            ExplainOptions {
+                budget: Budget::unlimited().deadline_in(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        )
+        .expect("budget exhaustion must degrade, not fail");
+        assert!(!expl.verdicts.all_verified(), "\n{expl}");
+        assert!(!expl.verdicts.interrupts.is_empty());
+        assert_eq!(expl.verdicts.simplify, Verdict::Exhausted);
+        assert_eq!(expl.verdicts.lift, Verdict::Exhausted);
+        // The raw (unsimplified) seed artifact is still delivered.
+        assert!(expl.seed_conjuncts > 0);
+        assert!(!expl.lift_complete);
+        let shown = expl.to_string();
+        assert!(shown.contains("PARTIAL RESULT"), "{shown}");
+        assert!(shown.contains("deadline"), "{shown}");
+    }
+
+    #[test]
+    fn generous_budget_stays_verified() {
+        use netexpl_logic::budget::Budget;
+        let (topo, h, net, spec) = scenario1_synthesized();
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let expl = explain(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            h.r1,
+            &Selector::Session {
+                neighbor: h.p1,
+                dir: Dir::Export,
+            },
+            ExplainOptions {
+                budget: Budget::unlimited()
+                    .deadline_in(std::time::Duration::from_secs(600))
+                    .max_conflicts(10_000_000),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(expl.verdicts.all_verified(), "\n{expl}");
+        assert_eq!(expl.subspec.to_string(), "R1 {\n  !(R1 -> P1)\n}");
     }
 
     #[test]

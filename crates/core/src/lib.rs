@@ -36,13 +36,15 @@
 //! Figures 1, 2, 4 and 5.
 
 pub mod assume;
+pub mod error;
 pub mod explain;
 pub mod lift;
 pub mod seed;
 pub mod symbolize;
 
 pub use assume::{environment_assumptions, EnvironmentAssumptions};
-pub use explain::{explain, ExplainError, ExplainOptions, Explanation};
+pub use error::Error;
+pub use explain::{explain, ExplainError, ExplainOptions, Explanation, StageVerdicts, Verdict};
 pub use lift::{lift, LiftOptions, LiftResult};
 pub use seed::{seed_spec, SeedSpec};
 pub use symbolize::{symbolize, Dir, Field, Selector, SymbolInfo, SymbolTable};

@@ -23,7 +23,8 @@
 //! specification — Figures 2, 4 and 5 of the paper fall out of this search
 //! (see the workspace integration tests).
 
-use netexpl_logic::solver::{entails, SmtSolver};
+use netexpl_logic::budget::{Budget, Interrupt, InterruptReason};
+use netexpl_logic::solver::{entails_under, SmtSolver};
 use netexpl_logic::term::{Ctx, TermId};
 use netexpl_spec::{PathPattern, Requirement, Seg, Specification, SubSpec};
 use netexpl_topology::{RouterId, RouterKind, Topology};
@@ -31,12 +32,17 @@ use netexpl_topology::{RouterId, RouterKind, Topology};
 use crate::seed::SeedSpec;
 
 /// Options bounding the lifting search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LiftOptions {
     /// Maximum number of routers in a candidate forbidden window.
     pub max_window: usize,
     /// Cap on the number of candidate patterns examined.
     pub max_candidates: usize,
+    /// Resource budget for the lifter's solver queries. Interruption is
+    /// sound: the lifter stops checking further candidates and reports the
+    /// interrupt in [`LiftResult::interrupt`]; everything already kept stays
+    /// necessary.
+    pub budget: Budget,
 }
 
 impl Default for LiftOptions {
@@ -44,6 +50,7 @@ impl Default for LiftOptions {
         LiftOptions {
             max_window: 6,
             max_candidates: 256,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -65,6 +72,10 @@ pub struct LiftResult {
     /// — computed from solver unsat cores. Lets the operator trace every
     /// local obligation back to the intent that caused it.
     pub provenance: Vec<Vec<String>>,
+    /// Set when the resource budget (or a fault injection) interrupted the
+    /// search. The subspecification is still sound — every kept entry was
+    /// verified necessary before the interrupt — but `complete` is `false`.
+    pub interrupt: Option<Interrupt>,
 }
 
 /// Lift the seed specification of `router` into the specification language.
@@ -78,7 +89,9 @@ pub fn lift(
 ) -> LiftResult {
     let defs = seed.def_conjunction;
     let reqs = seed.req_conjunction;
+    let budget = options.budget.clone();
     let mut checked = 0usize;
+    let mut interrupt: Option<Interrupt> = None;
 
     // ---- forbidden-path candidates -----------------------------------------
     let mut patterns: Vec<Vec<RouterId>> = Vec::new();
@@ -122,6 +135,10 @@ pub fn lift(
     let mut covered: std::collections::HashSet<(netexpl_topology::Prefix, Vec<RouterId>)> =
         std::collections::HashSet::new();
     for window in &patterns {
+        if let Err(i) = governance(&budget) {
+            interrupt = Some(i);
+            break;
+        }
         let names: Vec<&str> = window.iter().map(|&r| topo.name(r)).collect();
         let pattern = PathPattern::routers(&names);
         // The candidate's own constraint: every enumerated path matching the
@@ -150,13 +167,23 @@ pub fn lift(
         };
         checked += 1;
         // Non-trivial: not already guaranteed by the frozen network.
-        if entails(ctx, defs, cand) {
-            continue;
+        match entails_under(ctx, defs, cand, &budget) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(i) => {
+                interrupt = Some(i);
+                break;
+            }
         }
         // Necessary: implied by the seed.
         let seed_conj = ctx.and2(defs, reqs);
-        if !entails(ctx, seed_conj, cand) {
-            continue;
+        match entails_under(ctx, seed_conj, cand, &budget) {
+            Ok(true) => {}
+            Ok(false) => continue,
+            Err(i) => {
+                interrupt = Some(i);
+                break;
+            }
         }
         covered.extend(matched);
         kept.push((Requirement::Forbidden(pattern), cand));
@@ -164,6 +191,9 @@ pub fn lift(
 
     // ---- localized preference candidates ------------------------------------
     for (idx, req) in spec.requirements().enumerate() {
+        if interrupt.is_some() {
+            break;
+        }
         let Requirement::Preference { chain } = req else {
             continue;
         };
@@ -183,8 +213,13 @@ pub fn lift(
         checked += 1;
         // Relevant only if the preference genuinely constrains this router —
         // i.e. the frozen rest of the network does not already guarantee it.
-        if entails(ctx, defs, own_conj) {
-            continue;
+        match entails_under(ctx, defs, own_conj, &budget) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(i) => {
+                interrupt = Some(i);
+                break;
+            }
         }
         kept.push((local, own_conj));
     }
@@ -196,11 +231,17 @@ pub fn lift(
     let mut reach_holders: Vec<RouterId> = vec![router];
     reach_holders.extend(topo.neighbors(router).iter().copied());
     for (dname, prefix) in &spec.destinations {
+        if interrupt.is_some() {
+            break;
+        }
         let Some(fam) = seed.encoded.nominal_sel.get(prefix) else {
             continue;
         };
         let infos = &seed.encoded.paths[prefix];
         for &x in &reach_holders {
+            if interrupt.is_some() {
+                break;
+            }
             let sels: Vec<TermId> = infos
                 .iter()
                 .enumerate()
@@ -212,12 +253,22 @@ pub fn lift(
             }
             let cand = ctx.or(&sels);
             checked += 1;
-            if entails(ctx, defs, cand) {
-                continue; // guaranteed by the frozen network: not local
+            match entails_under(ctx, defs, cand, &budget) {
+                Ok(true) => continue, // guaranteed by the frozen network: not local
+                Ok(false) => {}
+                Err(i) => {
+                    interrupt = Some(i);
+                    break;
+                }
             }
             let seed_conj = ctx.and2(defs, reqs);
-            if !entails(ctx, seed_conj, cand) {
-                continue; // not necessary
+            match entails_under(ctx, seed_conj, cand, &budget) {
+                Ok(true) => {}
+                Ok(false) => continue, // not necessary
+                Err(i) => {
+                    interrupt = Some(i);
+                    break;
+                }
             }
             kept.push((
                 Requirement::Reachable {
@@ -230,11 +281,23 @@ pub fn lift(
     }
 
     // ---- sufficiency ---------------------------------------------------------
+    // An interrupted search cannot claim sufficiency: candidates it never
+    // examined might have been required.
     let chosen_terms: Vec<TermId> = std::iter::once(defs)
         .chain(kept.iter().map(|(_, t)| *t))
         .collect();
     let chosen_conj = ctx.and(&chosen_terms);
-    let complete = entails(ctx, chosen_conj, reqs);
+    let complete = if interrupt.is_some() {
+        false
+    } else {
+        match entails_under(ctx, chosen_conj, reqs, &budget) {
+            Ok(v) => v,
+            Err(i) => {
+                interrupt = Some(i);
+                false
+            }
+        }
+    };
 
     // ---- provenance ------------------------------------------------------------
     // Trace each chosen entry to the global requirement blocks that force
@@ -261,7 +324,15 @@ pub fn lift(
         .collect();
     let mut provenance: Vec<Vec<String>> = Vec::with_capacity(kept.len());
     for (_, cand) in &kept {
+        if interrupt.is_some() {
+            // Provenance is decoration; don't spend an exhausted budget on
+            // it. Entries without traced blocks simply render without the
+            // "required by" line.
+            provenance.push(Vec::new());
+            continue;
+        }
         let mut solver = SmtSolver::new();
+        solver.set_budget(budget.clone());
         solver.assert(defs);
         let neg = ctx.not(*cand);
         solver.assert(neg);
@@ -285,7 +356,22 @@ pub fn lift(
         complete,
         candidates_checked: checked,
         provenance,
+        interrupt,
     }
+}
+
+/// Per-candidate governance: the fault-injection site plus the coarse
+/// deadline/cancellation check. Solver-side caps (conflicts, decisions,
+/// propagations) are enforced inside the budgeted entailment queries.
+fn governance(budget: &Budget) -> Result<(), Interrupt> {
+    if netexpl_faults::triggered(netexpl_faults::sites::LIFT_CANDIDATE) {
+        let i = Interrupt::new(InterruptReason::Fault, "lift.candidate");
+        i.record();
+        return Err(i);
+    }
+    budget.check_coarse("lift.candidate").inspect_err(|i| {
+        i.record();
+    })
 }
 
 /// Truncate a global preference requirement to start at `router`, as in the
@@ -411,6 +497,7 @@ mod option_tests {
             LiftOptions {
                 max_window: 2,
                 max_candidates: 1,
+                ..Default::default()
             },
         );
         assert!(
@@ -424,5 +511,83 @@ mod option_tests {
                 assert!(p.segs.len() <= 2, "{p}");
             }
         }
+    }
+
+    fn scenario_seed() -> (
+        Ctx,
+        netexpl_topology::Topology,
+        Specification,
+        SeedSpec,
+        netexpl_topology::RouterId,
+    ) {
+        let (topo, h) = paper_topology();
+        let d2: Prefix = "201.0.0.0/16".parse().unwrap();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p2, d2);
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new(
+                "R1_to_P1",
+                vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    matches: vec![],
+                    sets: vec![],
+                }],
+            ),
+        );
+        let spec = netexpl_spec::parse("Req1 { !(P2 -> ... -> P1) }").unwrap();
+        let vocab = Vocabulary::new(&topo, vec![], vec![100], net.prefixes());
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let factory = HoleFactory::new(&vocab, sorts);
+        let (sym, _) = symbolize(&mut ctx, &factory, &topo, &net, h.r1, &Selector::Router);
+        let seed = seed_spec(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &sym,
+            &spec,
+            EncodeOptions::default(),
+        )
+        .unwrap();
+        (ctx, topo, spec, seed, h.r1)
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_but_stays_sound() {
+        use netexpl_logic::budget::{Budget, InterruptReason};
+        let (mut ctx, topo, spec, seed, r1) = scenario_seed();
+        let result = lift(
+            &mut ctx,
+            &topo,
+            &spec,
+            &seed,
+            r1,
+            LiftOptions {
+                budget: Budget::unlimited().deadline_in(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        let i = result
+            .interrupt
+            .expect("an expired deadline must interrupt");
+        assert_eq!(i.reason, InterruptReason::Deadline);
+        assert!(!result.complete, "an interrupted lift cannot be complete");
+        // Kept entries (if any squeaked in before the check) are still
+        // individually necessary, so the subspec — possibly empty — is sound.
+    }
+
+    #[test]
+    fn fault_injection_interrupts_lift() {
+        use netexpl_logic::budget::InterruptReason;
+        let (mut ctx, topo, spec, seed, r1) = scenario_seed();
+        let _guard = netexpl_faults::arm(netexpl_faults::sites::LIFT_CANDIDATE);
+        let result = lift(&mut ctx, &topo, &spec, &seed, r1, LiftOptions::default());
+        let i = result.interrupt.expect("armed fault must interrupt");
+        assert_eq!(i.reason, InterruptReason::Fault);
+        assert!(!result.complete);
+        assert!(result.subspec.is_empty(), "fault fires before any check");
     }
 }

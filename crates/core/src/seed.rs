@@ -47,6 +47,11 @@ pub fn seed_spec(
     spec: &Specification,
     options: EncodeOptions,
 ) -> Result<SeedSpec, EncodeError> {
+    if netexpl_faults::triggered(netexpl_faults::sites::SEED_ENCODE) {
+        return Err(EncodeError::Internal(
+            "fault injection: seed.encode".to_string(),
+        ));
+    }
     let mut encoder = Encoder::new(topo, vocab, sorts, options);
     let encoded = encoder.encode(ctx, sym, spec)?;
     let def_conjunction = ctx.and(&encoded.defs.clone());

@@ -1,0 +1,160 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A *fault site* is a named point in the pipeline (e.g. `smt.check`) where
+//! production code asks [`triggered`] whether an injected fault should fire.
+//! Sites are armed either programmatically ([`arm`], which also serializes
+//! concurrent fault tests via a guard) or from the `NETEXPL_FAULT`
+//! environment variable ([`arm_from_env`], used by the CLI so `scripts/ci.sh`
+//! can smoke-test the error paths of a release binary).
+//!
+//! The harness is deliberately tiny and always compiled in: the fast path is
+//! a single relaxed atomic load, so an unarmed binary pays one predictable
+//! branch per site. The contract the fault-injection test suite enforces is
+//! that every armed site yields a *typed* error or an `Unknown` verdict —
+//! never a panic, and never a wrong `Sat`/`Unsat` answer.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// All injection points wired into the pipeline, in pipeline order.
+pub mod sites {
+    /// Force the SMT layer to report `Unknown` instead of solving.
+    pub const SMT_CHECK: &str = "smt.check";
+    /// Interrupt the CDCL search loop at its first budget checkpoint.
+    pub const SAT_SEARCH: &str = "sat.search";
+    /// Interrupt the DPLL oracle before it descends.
+    pub const DPLL_SEARCH: &str = "dpll.search";
+    /// Fail path enumeration inside the encoder.
+    pub const ENCODE_PATHS: &str = "encode.paths";
+    /// Fail seed-specification construction.
+    pub const SEED_ENCODE: &str = "seed.encode";
+    /// Interrupt the simplification fixpoint mid-pass.
+    pub const SIMPLIFY_PASS: &str = "simplify.pass";
+    /// Interrupt the lifter's candidate entailment checks.
+    pub const LIFT_CANDIDATE: &str = "lift.candidate";
+
+    /// Every site, for exhaustive injection matrices.
+    pub const ALL: &[&str] = &[
+        SMT_CHECK,
+        SAT_SEARCH,
+        DPLL_SEARCH,
+        ENCODE_PATHS,
+        SEED_ENCODE,
+        SIMPLIFY_PASS,
+        LIFT_CANDIDATE,
+    ];
+}
+
+/// Fast path: true iff at least one site is armed anywhere in the process.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn armed_set() -> &'static Mutex<HashSet<String>> {
+    static SET: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    SET.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+fn lock_armed() -> MutexGuard<'static, HashSet<String>> {
+    // A panic while holding the lock (possible in fault *tests*) must not
+    // poison the harness for every later test.
+    armed_set().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Returns true iff `site` is currently armed. Production code calls this at
+/// each injection point; the unarmed cost is one relaxed atomic load.
+pub fn triggered(site: &str) -> bool {
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    lock_armed().contains(site)
+}
+
+/// Guard returned by [`arm`]: disarms the site (and releases the cross-test
+/// serialization lock) on drop.
+pub struct FaultGuard {
+    site: String,
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        let mut set = lock_armed();
+        set.remove(&self.site);
+        if set.is_empty() {
+            ANY_ARMED.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+fn test_serial() -> &'static Mutex<()> {
+    static SERIAL: OnceLock<Mutex<()>> = OnceLock::new();
+    SERIAL.get_or_init(|| Mutex::new(()))
+}
+
+/// Arm `site` for the lifetime of the returned guard. Fault state is
+/// process-global, so the guard also holds a serialization lock: concurrent
+/// `arm` calls (e.g. parallel `#[test]`s) queue up instead of interfering.
+pub fn arm(site: &str) -> FaultGuard {
+    let serial = test_serial().lock().unwrap_or_else(|e| e.into_inner());
+    lock_armed().insert(site.to_string());
+    ANY_ARMED.store(true, Ordering::Relaxed);
+    FaultGuard {
+        site: site.to_string(),
+        _serial: serial,
+    }
+}
+
+/// Arm every site named in the given environment variable (comma-separated),
+/// leaving them armed for the rest of the process. Returns the sites armed.
+/// Unknown site names are returned in the error so the CLI can reject typos
+/// instead of silently testing nothing.
+pub fn arm_from_env(var: &str) -> Result<Vec<String>, String> {
+    let Ok(raw) = std::env::var(var) else {
+        return Ok(Vec::new());
+    };
+    let mut armed = Vec::new();
+    for name in raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if !sites::ALL.contains(&name) {
+            return Err(format!(
+                "unknown fault site `{name}` in {var} (known: {})",
+                sites::ALL.join(", ")
+            ));
+        }
+        lock_armed().insert(name.to_string());
+        armed.push(name.to_string());
+    }
+    if !armed.is_empty() {
+        ANY_ARMED.store(true, Ordering::Relaxed);
+    }
+    Ok(armed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_do_not_trigger() {
+        let _g = arm(sites::SMT_CHECK);
+        assert!(triggered(sites::SMT_CHECK));
+        assert!(!triggered(sites::SAT_SEARCH));
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        {
+            let _g = arm(sites::LIFT_CANDIDATE);
+            assert!(triggered(sites::LIFT_CANDIDATE));
+        }
+        assert!(!triggered(sites::LIFT_CANDIDATE));
+    }
+
+    #[test]
+    fn env_arming_rejects_unknown_sites() {
+        // Use a variable name unique to this test; don't touch NETEXPL_FAULT.
+        std::env::set_var("NETEXPL_FAULT_TEST_BAD", "no.such.site");
+        let err = arm_from_env("NETEXPL_FAULT_TEST_BAD").unwrap_err();
+        assert!(err.contains("no.such.site"), "{err}");
+        assert!(arm_from_env("NETEXPL_FAULT_TEST_UNSET").unwrap().is_empty());
+    }
+}

@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use netexpl_bgp::{MatchClause, NetworkConfig, RouteMap};
 use netexpl_core::symbolize::Dir;
-use netexpl_logic::solver::is_sat;
+use netexpl_logic::solver::is_unsat;
 use netexpl_logic::term::{Ctx, TermId};
 use netexpl_synth::vocab::{VocabSorts, Vocabulary};
 use netexpl_topology::{RouterId, Topology};
@@ -200,7 +200,9 @@ fn lint_map(
     for (i, &m_i) in match_terms.iter().enumerate() {
         let e = &map.entries[i];
         let matchable = ctx.and2(route.domain, m_i);
-        if !is_sat(ctx, matchable) {
+        // Diagnose only on an explicit Unsat verdict: an `Unknown` from a
+        // budgeted/faulted solver must not masquerade as a refutation.
+        if is_unsat(ctx, matchable) {
             diags.push(
                 Diagnostic::new(
                     Code::ContradictoryMatch,
@@ -222,7 +224,7 @@ fn lint_map(
             reach.push(ctx.not(m_j));
         }
         let reach = ctx.and(&reach);
-        if !is_sat(ctx, reach) {
+        if is_unsat(ctx, reach) {
             diags.push(
                 Diagnostic::new(
                     Code::UnreachableEntry,

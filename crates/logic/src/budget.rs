@@ -1,0 +1,263 @@
+//! Resource governance for the solver stack.
+//!
+//! A [`Budget`] bounds how much work a query may spend: a wall-clock
+//! deadline, caps on CDCL conflicts/decisions/propagations, a cap on
+//! simplifier memo entries, and an externally shared [`CancelToken`]. Every
+//! search loop in the workspace — the CDCL solver, the DPLL oracle, the SMT
+//! layer, the simplification fixpoint, and the enumerative lifter — checks
+//! its budget and, when exhausted, stops with an [`Interrupt`] describing
+//! *why* and how far the search got, instead of running unbounded.
+//!
+//! Budgets never change answers: a query either completes with the same
+//! `Sat`/`Unsat` verdict it would have produced unbudgeted, or reports
+//! `Unknown(Interrupt)`. The default budget is unlimited, so existing
+//! callers are unaffected.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation flag. Cloning shares the flag: cancelling any
+/// clone cancels them all, letting a driver abort in-flight solver work
+/// (e.g. from a signal handler or a supervising thread).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a search was interrupted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InterruptReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The conflict cap was reached.
+    Conflicts,
+    /// The decision cap was reached.
+    Decisions,
+    /// The propagation cap was reached.
+    Propagations,
+    /// The simplifier memo-entry cap was reached.
+    MemoEntries,
+    /// The shared [`CancelToken`] was cancelled.
+    Cancelled,
+    /// A fault-injection site fired (testing only).
+    Fault,
+}
+
+impl InterruptReason {
+    /// Stable machine-readable token, used in metrics names and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InterruptReason::Deadline => "deadline",
+            InterruptReason::Conflicts => "conflict-limit",
+            InterruptReason::Decisions => "decision-limit",
+            InterruptReason::Propagations => "propagation-limit",
+            InterruptReason::MemoEntries => "memo-limit",
+            InterruptReason::Cancelled => "cancelled",
+            InterruptReason::Fault => "fault-injection",
+        }
+    }
+}
+
+impl std::fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An interrupted search: the reason, the site that noticed it, and how far
+/// the search had progressed. Carried by `SatResult::Unknown` /
+/// `SmtResult::Unknown` and by `Error::Interrupted` in the error taxonomy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Interrupt {
+    pub reason: InterruptReason,
+    /// The checkpoint that observed exhaustion, e.g. `"sat.search"`.
+    pub at: &'static str,
+    /// CDCL conflicts recorded when the interrupt fired (0 outside the SAT core).
+    pub conflicts: u64,
+    /// Decisions recorded when the interrupt fired.
+    pub decisions: u64,
+    /// Propagations recorded when the interrupt fired.
+    pub propagations: u64,
+}
+
+impl Interrupt {
+    pub fn new(reason: InterruptReason, at: &'static str) -> Self {
+        Interrupt {
+            reason,
+            at,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+        }
+    }
+
+    /// Record interrupt counters in the ambient obs metrics registry.
+    pub fn record(&self) {
+        netexpl_obs::counter_add("budget.interrupts", 1);
+        netexpl_obs::counter_add(&format!("budget.interrupt.{}", self.reason.as_str()), 1);
+    }
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "search interrupted at {}: {} (conflicts={}, decisions={}, propagations={})",
+            self.at, self.reason, self.conflicts, self.decisions, self.propagations
+        )
+    }
+}
+
+/// Resource bounds for a solver/explain run. The default is unlimited; use
+/// the builder methods to tighten individual axes. Budgets are cheap to
+/// clone and are shared *logically*: each solver tracks its own counters
+/// against the caps, while the deadline and cancel token are global.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    pub deadline: Option<Instant>,
+    pub max_conflicts: Option<u64>,
+    pub max_decisions: Option<u64>,
+    pub max_propagations: Option<u64>,
+    pub max_memo_entries: Option<usize>,
+    pub cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// An unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Cap wall-clock time, measured from now.
+    pub fn deadline_in(mut self, d: Duration) -> Self {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+
+    pub fn max_conflicts(mut self, n: u64) -> Self {
+        self.max_conflicts = Some(n);
+        self
+    }
+
+    pub fn max_decisions(mut self, n: u64) -> Self {
+        self.max_decisions = Some(n);
+        self
+    }
+
+    pub fn max_propagations(mut self, n: u64) -> Self {
+        self.max_propagations = Some(n);
+        self
+    }
+
+    pub fn max_memo_entries(mut self, n: usize) -> Self {
+        self.max_memo_entries = Some(n);
+        self
+    }
+
+    pub fn cancelled_by(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// True iff no axis is bounded — the hot loops skip all checks then.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_conflicts.is_none()
+            && self.max_decisions.is_none()
+            && self.max_propagations.is_none()
+            && self.max_memo_entries.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// Check only the cheap global axes (deadline, cancellation). Search
+    /// loops call this at a throttled rate; non-loop code (stage boundaries,
+    /// candidate enumeration) calls it directly.
+    pub fn check_coarse(&self, at: &'static str) -> Result<(), Interrupt> {
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return Err(Interrupt::new(InterruptReason::Cancelled, at));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Interrupt::new(InterruptReason::Deadline, at));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        let b = Budget::default();
+        assert!(b.is_unlimited());
+        assert!(b.check_coarse("test").is_ok());
+    }
+
+    #[test]
+    fn builders_bound_each_axis() {
+        let b = Budget::unlimited()
+            .max_conflicts(10)
+            .max_decisions(20)
+            .max_propagations(30)
+            .max_memo_entries(40);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.max_conflicts, Some(10));
+        assert_eq!(b.max_memo_entries, Some(40));
+        // Integer caps are checked by the search loops, not check_coarse.
+        assert!(b.check_coarse("test").is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_interrupts() {
+        let b = Budget::unlimited().deadline_in(Duration::ZERO);
+        let err = b.check_coarse("here").unwrap_err();
+        assert_eq!(err.reason, InterruptReason::Deadline);
+        assert_eq!(err.at, "here");
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let tok = CancelToken::new();
+        let b = Budget::unlimited().cancelled_by(tok.clone());
+        let b2 = b.clone();
+        assert!(b.check_coarse("x").is_ok());
+        tok.cancel();
+        assert_eq!(
+            b.check_coarse("x").unwrap_err().reason,
+            InterruptReason::Cancelled
+        );
+        assert_eq!(
+            b2.check_coarse("x").unwrap_err().reason,
+            InterruptReason::Cancelled
+        );
+    }
+
+    #[test]
+    fn interrupt_displays_reason_and_site() {
+        let i = Interrupt::new(InterruptReason::Conflicts, "sat.search");
+        let s = i.to_string();
+        assert!(s.contains("conflict-limit"), "{s}");
+        assert!(s.contains("sat.search"), "{s}");
+    }
+}

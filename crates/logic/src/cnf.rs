@@ -237,7 +237,7 @@ mod tests {
                 }
                 Some(asg)
             }
-            SatResult::Unsat => None,
+            SatResult::Unsat | SatResult::Unknown(_) => None,
         }
     }
 

@@ -17,6 +17,7 @@
 //! ## Layout
 //!
 //! * [`sort`] — sorts and enumeration declarations.
+//! * [`budget`] — resource budgets, cancellation, and `Interrupt` reporting.
 //! * [`term`] — the hash-consed term arena ([`term::Ctx`]) and term nodes.
 //! * [`model`] — assignments and a reference term evaluator.
 //! * [`simplify`] — the fifteen rewrite rules with a per-rule ablation mask.
@@ -43,12 +44,15 @@
 //! solver.assert(f);
 //! let model = match solver.check(&mut ctx) {
 //!     SmtResult::Sat(m) => m,
-//!     SmtResult::Unsat => unreachable!(),
+//!     // Without a budget the solver is complete; `Unknown` only arises
+//!     // when a `Budget` bounds the search (see the [`budget`] module).
+//!     SmtResult::Unsat | SmtResult::Unknown(_) => unreachable!(),
 //! };
 //! assert_eq!(model.eval_bool(&ctx, f), Some(true));
 //! ```
 
 pub mod bitblast;
+pub mod budget;
 pub mod cnf;
 pub mod dpll;
 pub mod model;
@@ -59,6 +63,7 @@ pub mod solver;
 pub mod sort;
 pub mod term;
 
+pub use budget::{Budget, CancelToken, Interrupt, InterruptReason};
 pub use model::Assignment;
 pub use simplify::{RuleMask, Simplifier};
 pub use solver::{SmtResult, SmtSolver};

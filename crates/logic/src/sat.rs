@@ -70,6 +70,8 @@ impl std::fmt::Display for Lit {
     }
 }
 
+use crate::budget::{Budget, Interrupt, InterruptReason};
+
 /// Result of a SAT query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SatResult {
@@ -77,12 +79,21 @@ pub enum SatResult {
     Sat(Vec<bool>),
     /// Unsatisfiable (under the given assumptions, if any).
     Unsat,
+    /// The search was interrupted before reaching a verdict (budget
+    /// exhausted or cancelled). Only produced when a [`Budget`] is set;
+    /// without one the solver is complete.
+    Unknown(Interrupt),
 }
 
 impl SatResult {
     /// True if satisfiable.
     pub fn is_sat(&self) -> bool {
         matches!(self, SatResult::Sat(_))
+    }
+
+    /// True if the search was interrupted before a verdict.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SatResult::Unknown(_))
     }
 }
 
@@ -141,6 +152,8 @@ pub struct SatSolver {
     /// Assumption literals found responsible for the last
     /// assumption-`Unsat` answer (an unsat core over the assumptions).
     last_core: Vec<Lit>,
+    /// Resource bounds for `solve`; unlimited by default.
+    budget: Budget,
     /// Statistics for the current/last `solve` call.
     pub stats: SatStats,
 }
@@ -420,9 +433,33 @@ impl SatSolver {
         best
     }
 
+    /// Bound subsequent `solve` calls by `budget`. The budget stays in
+    /// effect until replaced; pass [`Budget::unlimited`] to clear it.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
     /// Solve the current clause set.
     pub fn solve(&mut self) -> SatResult {
         self.solve_with_assumptions(&[])
+    }
+
+    /// Solve under `budget` (convenience for [`SatSolver::set_budget`] +
+    /// [`SatSolver::solve`]; the budget stays in effect afterwards).
+    pub fn solve_under(&mut self, budget: Budget) -> SatResult {
+        self.set_budget(budget);
+        self.solve()
+    }
+
+    /// An [`Interrupt`] snapshotting the current search progress.
+    fn interrupt(&self, reason: InterruptReason, at: &'static str) -> Interrupt {
+        Interrupt {
+            reason,
+            at,
+            conflicts: self.stats.conflicts,
+            decisions: self.stats.decisions,
+            propagations: self.stats.propagations,
+        }
     }
 
     /// The subset of assumption literals responsible for the last
@@ -466,13 +503,74 @@ impl SatSolver {
                     self.stats.restarts += 1;
                     restart_count += 1;
                 }
+                SearchOutcome::Interrupted(i) => {
+                    // Interruption is not a verdict: restore level 0 and
+                    // leave `self.unsat` untouched so a later (re-budgeted)
+                    // solve can still answer correctly.
+                    self.cancel_until(0);
+                    i.record();
+                    return SatResult::Unknown(i);
+                }
             }
         }
     }
 
+    /// Check the integer caps and (throttled by the caller) the coarse
+    /// deadline/cancellation axes against the current stats.
+    fn check_budget(&self, coarse: bool) -> Result<(), Interrupt> {
+        let b = &self.budget;
+        if let Some(cap) = b.max_conflicts {
+            if self.stats.conflicts >= cap {
+                return Err(self.interrupt(InterruptReason::Conflicts, "sat.search"));
+            }
+        }
+        if let Some(cap) = b.max_decisions {
+            if self.stats.decisions >= cap {
+                return Err(self.interrupt(InterruptReason::Decisions, "sat.search"));
+            }
+        }
+        if let Some(cap) = b.max_propagations {
+            if self.stats.propagations >= cap {
+                return Err(self.interrupt(InterruptReason::Propagations, "sat.search"));
+            }
+        }
+        if coarse {
+            if let Err(i) = b.check_coarse("sat.search") {
+                return Err(Interrupt {
+                    conflicts: self.stats.conflicts,
+                    decisions: self.stats.decisions,
+                    propagations: self.stats.propagations,
+                    ..i
+                });
+            }
+        }
+        Ok(())
+    }
+
     fn search(&mut self, assumptions: &[Lit], conflict_budget: u64) -> SearchOutcome {
+        if netexpl_faults::triggered(netexpl_faults::sites::SAT_SEARCH) {
+            return SearchOutcome::Interrupted(
+                self.interrupt(InterruptReason::Fault, "sat.search"),
+            );
+        }
+        // Deadline/cancellation involve an `Instant::now()` or atomic load,
+        // so they are checked every `COARSE_PERIOD` iterations; the integer
+        // caps are plain compares and are checked every iteration.
+        const COARSE_PERIOD: u32 = 128;
+        let limited = !self.budget.is_unlimited();
+        let mut since_coarse = COARSE_PERIOD; // check once on entry
         let mut conflicts = 0u64;
         loop {
+            if limited {
+                since_coarse += 1;
+                let coarse = since_coarse >= COARSE_PERIOD;
+                if coarse {
+                    since_coarse = 0;
+                }
+                if let Err(i) = self.check_budget(coarse) {
+                    return SearchOutcome::Interrupted(i);
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts += 1;
@@ -599,6 +697,7 @@ enum SearchOutcome {
     Sat,
     Unsat,
     Restart,
+    Interrupted(Interrupt),
 }
 
 /// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, …
@@ -661,7 +760,7 @@ mod tests {
         assert!(s.add_clause(&[Lit::pos(a)]));
         match s.solve() {
             SatResult::Sat(m) => assert!(m[a]),
-            SatResult::Unsat => panic!("expected sat"),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 
@@ -701,7 +800,7 @@ mod tests {
         }
         match s.solve() {
             SatResult::Sat(m) => assert!(m.iter().all(|&b| b)),
-            SatResult::Unsat => panic!("expected sat"),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 
@@ -719,7 +818,7 @@ mod tests {
                 assert!(m[a]);
                 assert!(!m[b]);
             }
-            SatResult::Unsat => panic!("expected sat"),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 
@@ -826,6 +925,74 @@ mod tests {
         assert!(!core.contains(&Lit::pos(noise)), "{core:?}");
         // The clause set itself is still satisfiable afterwards.
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn conflict_cap_yields_unknown_and_preserves_answer() {
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 6, 5); // needs many conflicts to refute
+        s.set_budget(Budget::unlimited().max_conflicts(3));
+        match s.solve() {
+            SatResult::Unknown(i) => {
+                assert_eq!(i.reason, InterruptReason::Conflicts);
+                assert_eq!(i.at, "sat.search");
+                assert!(i.conflicts >= 3, "{i:?}");
+            }
+            other => panic!("expected unknown, got {other:?}"),
+        }
+        // Lifting the budget recovers the correct verdict: interruption
+        // must not have corrupted solver state.
+        s.set_budget(Budget::unlimited());
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown() {
+        use std::time::Duration;
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 6, 5);
+        s.set_budget(Budget::unlimited().deadline_in(Duration::ZERO));
+        match s.solve() {
+            SatResult::Unknown(i) => assert_eq!(i.reason, InterruptReason::Deadline),
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_yields_unknown() {
+        use crate::budget::CancelToken;
+        let tok = CancelToken::new();
+        tok.cancel();
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 5, 4);
+        match s.solve_under(Budget::unlimited().cancelled_by(tok)) {
+            SatResult::Unknown(i) => assert_eq!(i.reason, InterruptReason::Cancelled),
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_does_not_change_verdicts() {
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 5, 4);
+        s.set_budget(Budget::unlimited().max_conflicts(1_000_000));
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let mut s2 = SatSolver::new();
+        pigeonhole(&mut s2, 4, 4);
+        s2.set_budget(Budget::unlimited().max_conflicts(1_000_000));
+        assert!(s2.solve().is_sat());
+    }
+
+    #[test]
+    fn fault_injection_interrupts_search() {
+        let _g = netexpl_faults::arm(netexpl_faults::sites::SAT_SEARCH);
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        match s.solve() {
+            SatResult::Unknown(i) => assert_eq!(i.reason, InterruptReason::Fault),
+            other => panic!("expected unknown, got {other:?}"),
+        }
     }
 
     #[test]

@@ -155,6 +155,14 @@ pub struct Simplifier {
     /// re-simplified at each occurrence. Exists only for the memoization
     /// ablation benchmark (DESIGN.md ✦); leave enabled otherwise.
     use_memo: bool,
+    /// Resource bounds; unlimited by default.
+    budget: crate::budget::Budget,
+    /// Set once the budget runs out: from then on `simplify` returns its
+    /// input unchanged. Sound because every rewrite preserves equivalence —
+    /// an unsimplified term is merely larger, never wrong.
+    interrupt: Option<crate::budget::Interrupt>,
+    /// Throttle for the deadline/cancellation checks.
+    since_coarse: u32,
     /// Statistics accumulated across calls to [`Simplifier::simplify`].
     pub stats: SimplifyStats,
 }
@@ -172,6 +180,10 @@ impl Simplifier {
             mask,
             memo: HashMap::new(),
             use_memo: true,
+            budget: crate::budget::Budget::default(),
+            interrupt: None,
+            since_coarse: 64, // check the deadline on the first subterm
+
             stats: SimplifyStats::default(),
         }
     }
@@ -182,12 +194,67 @@ impl Simplifier {
         self
     }
 
+    /// Bound simplification by `budget` (deadline, cancellation, and the
+    /// memo-entry cap apply; the solver-specific caps are ignored here).
+    pub fn with_budget(mut self, budget: crate::budget::Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The interrupt that stopped simplification, if the budget ran out.
+    /// When set, terms returned since then are partially (or not at all)
+    /// simplified but still equivalent to their inputs.
+    pub fn interrupted(&self) -> Option<&crate::budget::Interrupt> {
+        self.interrupt.as_ref()
+    }
+
+    /// Budget checkpoint, hit on every memo miss (i.e. each new subterm).
+    /// The memo cap and fault site are exact; deadline/cancellation are
+    /// throttled since they cost an `Instant::now()`/atomic load.
+    fn governance_check(&mut self) -> bool {
+        use crate::budget::{Interrupt, InterruptReason};
+        if self.interrupt.is_some() {
+            return true;
+        }
+        let found = if netexpl_faults::triggered(netexpl_faults::sites::SIMPLIFY_PASS) {
+            Some(Interrupt::new(InterruptReason::Fault, "simplify.pass"))
+        } else if self
+            .budget
+            .max_memo_entries
+            .is_some_and(|cap| self.memo.len() >= cap)
+        {
+            Some(Interrupt::new(
+                InterruptReason::MemoEntries,
+                "simplify.pass",
+            ))
+        } else {
+            self.since_coarse += 1;
+            if self.since_coarse >= 64 {
+                self.since_coarse = 0;
+                self.budget.check_coarse("simplify.pass").err()
+            } else {
+                None
+            }
+        };
+        if let Some(i) = found {
+            i.record();
+            self.interrupt = Some(i);
+            return true;
+        }
+        false
+    }
+
     /// The active rule mask.
     pub fn mask(&self) -> RuleMask {
         self.mask
     }
 
     /// Simplify a boolean term to a fixpoint of the enabled rules.
+    ///
+    /// When a [`Budget`](crate::budget::Budget) is set and runs out, the
+    /// term is returned (partially) unsimplified and
+    /// [`Simplifier::interrupted`] reports why — the result is still
+    /// equivalent to the input, just not minimal.
     pub fn simplify(&mut self, ctx: &mut Ctx, t: TermId) -> TermId {
         if self.use_memo {
             if let Some(&r) = self.memo.get(&t) {
@@ -195,6 +262,9 @@ impl Simplifier {
                 return r;
             }
             self.stats.memo_misses += 1;
+        }
+        if self.governance_check() {
+            return t;
         }
         // Bottom-up: simplify children first, rebuild, then rewrite this node
         // until no enabled rule fires. A rule may produce a node with fresh
@@ -206,6 +276,9 @@ impl Simplifier {
         // variable occurrences replaceable by constants), so this loop
         // terminates; the counter is a defensive backstop.
         for _ in 0..10_000 {
+            if self.interrupt.is_some() {
+                break; // budget ran out somewhere below: stop rewriting
+            }
             match self.apply_rules(ctx, current) {
                 Some(next) if next != current => {
                     self.stats.iterations += 1;
@@ -214,7 +287,9 @@ impl Simplifier {
                 _ => break,
             }
         }
-        if self.use_memo {
+        if self.use_memo && self.interrupt.is_none() {
+            // Don't memoize results computed after an interrupt fired lower
+            // in the recursion: they may be partially simplified.
             self.memo.insert(t, current);
             self.memo.insert(current, current);
         }
@@ -1010,6 +1085,56 @@ mod tests {
         let by_name: Vec<(&str, u64)> = s.stats.per_rule().collect();
         assert_eq!(by_name.len(), 15);
         assert_eq!(by_name[1], ("and-identity", s.stats.fired[1]));
+    }
+
+    #[test]
+    fn memo_cap_interrupts_but_stays_equivalent() {
+        use crate::budget::{Budget, InterruptReason};
+        let mut ctx = Ctx::new();
+        let vars: Vec<_> = (0..8).map(|i| ctx.bool_var(&format!("v{i}"))).collect();
+        let t = ctx.mk_true();
+        let noisy: Vec<_> = vars.iter().map(|&v| ctx.and2(v, t)).collect();
+        let f = ctx.and(&noisy);
+        let mut s = Simplifier::default().with_budget(Budget::unlimited().max_memo_entries(3));
+        let g = s.simplify(&mut ctx, f);
+        let i = s.interrupted().expect("tiny memo cap must interrupt");
+        assert_eq!(i.reason, InterruptReason::MemoEntries);
+        assert!(
+            brute_force_equivalent(&ctx, f, g, 2000),
+            "interrupted simplification must stay equivalent"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_returns_input_unchanged_semantics() {
+        use crate::budget::Budget;
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let t = ctx.mk_true();
+        let mut f = a;
+        // Enough distinct subterms that the throttled deadline check fires.
+        for _ in 0..200 {
+            f = ctx.and2(f, t);
+        }
+        let budget = Budget::unlimited().deadline_in(std::time::Duration::ZERO);
+        let mut s = Simplifier::default().with_budget(budget);
+        let g = s.simplify(&mut ctx, f);
+        assert!(s.interrupted().is_some());
+        assert!(brute_force_equivalent(&ctx, f, g, 100));
+    }
+
+    #[test]
+    fn fault_injection_interrupts_simplifier() {
+        use crate::budget::InterruptReason;
+        let _g = netexpl_faults::arm(netexpl_faults::sites::SIMPLIFY_PASS);
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let t = ctx.mk_true();
+        let at = ctx.and2(a, t);
+        let mut s = Simplifier::default();
+        let out = s.simplify(&mut ctx, at);
+        assert_eq!(out, at, "fault leaves the term unsimplified");
+        assert_eq!(s.interrupted().unwrap().reason, InterruptReason::Fault);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! [`Assignment`] over the *original* term-level variables.
 
 use crate::bitblast::BitBlaster;
+use crate::budget::{Budget, Interrupt, InterruptReason};
 use crate::cnf::CnfBuilder;
 use crate::model::{Assignment, Value};
 use crate::sat::{SatResult, SatSolver, SatStats};
@@ -34,6 +35,10 @@ pub enum SmtResult {
     Sat(Assignment),
     /// Unsatisfiable.
     Unsat,
+    /// The query was interrupted before a verdict (budget exhausted,
+    /// cancelled, or an injected fault). Only arises when a [`Budget`] is
+    /// set or a fault site is armed; the unbudgeted solver is complete.
+    Unknown(Interrupt),
 }
 
 impl SmtResult {
@@ -42,11 +47,16 @@ impl SmtResult {
         matches!(self, SmtResult::Sat(_))
     }
 
+    /// True if the query was interrupted before a verdict.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SmtResult::Unknown(_))
+    }
+
     /// The model, if satisfiable.
     pub fn model(self) -> Option<Assignment> {
         match self {
             SmtResult::Sat(m) => Some(m),
-            SmtResult::Unsat => None,
+            SmtResult::Unsat | SmtResult::Unknown(_) => None,
         }
     }
 }
@@ -55,12 +65,19 @@ impl SmtResult {
 #[derive(Debug, Default)]
 pub struct SmtSolver {
     assertions: Vec<TermId>,
+    budget: Budget,
 }
 
 impl SmtSolver {
     /// Fresh solver with no assertions.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bound subsequent `check*` calls by `budget`. The deadline and cancel
+    /// token are shared globally; the integer caps apply per query.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Add an assertion.
@@ -73,6 +90,21 @@ impl SmtSolver {
         &self.assertions
     }
 
+    /// Pre-query governance: injected faults and the coarse budget axes,
+    /// checked before paying for encoding. Returns the interrupt to report.
+    fn preflight(&self) -> Option<Interrupt> {
+        let i = if netexpl_faults::triggered(netexpl_faults::sites::SMT_CHECK) {
+            Interrupt::new(InterruptReason::Fault, "smt.check")
+        } else {
+            match self.budget.check_coarse("smt.check") {
+                Ok(()) => return None,
+                Err(i) => i,
+            }
+        };
+        i.record();
+        Some(i)
+    }
+
     /// Decide the conjunction of all assertions.
     pub fn check(&self, ctx: &mut Ctx) -> SmtResult {
         self.check_with(ctx, &[])
@@ -82,16 +114,23 @@ impl SmtSolver {
     /// `distinct_on` variables (term-level variables of any sort). After
     /// each model a blocking constraint over those variables is added, so
     /// the returned assignments are pairwise distinct on them.
+    ///
+    /// The second component reports an interrupt when the budget ran out
+    /// mid-enumeration: the models gathered so far are still valid, but the
+    /// enumeration may be incomplete.
     pub fn check_all(
         &self,
         ctx: &mut Ctx,
         distinct_on: &[TermId],
         limit: usize,
-    ) -> Vec<Assignment> {
+    ) -> (Vec<Assignment>, Option<Interrupt>) {
         let mut models = Vec::new();
         let mut blocking: Vec<TermId> = Vec::new();
         while models.len() < limit {
             let result = self.check_with(ctx, &blocking);
+            if let SmtResult::Unknown(i) = result {
+                return (models, Some(i));
+            }
             let Some(mut model) = result.model() else {
                 break;
             };
@@ -152,7 +191,7 @@ impl SmtSolver {
             blocking.push(ctx.or(&diffs));
             models.push(model);
         }
-        models
+        (models, None)
     }
 
     /// Decide the assertions under retractable boolean assumptions. On
@@ -167,6 +206,9 @@ impl SmtSolver {
         span.attr("assertions", self.assertions.len());
         span.attr("assumptions", assumptions.len());
         netexpl_obs::counter_add("smt.queries", 1);
+        if let Some(i) = self.preflight() {
+            return (SmtResult::Unknown(i), Vec::new());
+        }
         let mut bb = BitBlaster::new();
         let mut builder = CnfBuilder::new();
         for &t in &self.assertions {
@@ -210,10 +252,12 @@ impl SmtSolver {
             span.attr("cnf_clauses", cnf.clauses.len());
         }
         let assumption_lits: Vec<crate::sat::Lit> = lits.iter().map(|&(_, l)| l).collect();
+        sat.set_budget(self.budget.clone());
         let result = sat.solve_with_assumptions(&assumption_lits);
         record_sat_stats(&sat.stats);
         span.attr("sat", result.is_sat());
         match result {
+            SatResult::Unknown(i) => (SmtResult::Unknown(i), Vec::new()),
             SatResult::Unsat => {
                 let core_lits = sat.unsat_core();
                 let core: Vec<usize> = lits
@@ -242,6 +286,9 @@ impl SmtSolver {
         let span = Span::enter("smt.check");
         span.attr("assertions", self.assertions.len() + extra.len());
         netexpl_obs::counter_add("smt.queries", 1);
+        if let Some(i) = self.preflight() {
+            return SmtResult::Unknown(i);
+        }
         let mut bb = BitBlaster::new();
         let mut builder = CnfBuilder::new();
         let mut roots: Vec<TermId> = self.assertions.clone();
@@ -273,10 +320,12 @@ impl SmtSolver {
             span.attr("cnf_vars", cnf.num_vars);
             span.attr("cnf_clauses", cnf.clauses.len());
         }
+        sat.set_budget(self.budget.clone());
         let result = sat.solve();
         record_sat_stats(&sat.stats);
         span.attr("sat", result.is_sat());
         match result {
+            SatResult::Unknown(i) => SmtResult::Unknown(i),
             SatResult::Unsat => SmtResult::Unsat,
             SatResult::Sat(model) => {
                 // Theory variables decode through the bit-blaster.
@@ -301,6 +350,42 @@ pub fn is_sat(ctx: &mut Ctx, t: TermId) -> bool {
     let mut s = SmtSolver::new();
     s.assert(t);
     s.check(ctx).is_sat()
+}
+
+/// Is `t` unsatisfiable on its own? Distinct from `!is_sat`: an interrupted
+/// query counts as *neither* sat nor unsat, so governance-aware callers
+/// (e.g. the lint SAT pass) use this to avoid reading `Unknown` as a
+/// refutation.
+pub fn is_unsat(ctx: &mut Ctx, t: TermId) -> bool {
+    let mut s = SmtSolver::new();
+    s.assert(t);
+    matches!(s.check(ctx), SmtResult::Unsat)
+}
+
+/// Budgeted satisfiability: `Ok(verdict)` when the solver finished within
+/// `budget`, `Err(interrupt)` when it did not. The verdict, when present,
+/// is exactly what the unbudgeted solver would answer.
+pub fn is_sat_under(ctx: &mut Ctx, t: TermId, budget: &Budget) -> Result<bool, Interrupt> {
+    let mut s = SmtSolver::new();
+    s.set_budget(budget.clone());
+    s.assert(t);
+    match s.check(ctx) {
+        SmtResult::Sat(_) => Ok(true),
+        SmtResult::Unsat => Ok(false),
+        SmtResult::Unknown(i) => Err(i),
+    }
+}
+
+/// Budgeted entailment: does `a` entail `b`, if decidable within `budget`?
+pub fn entails_under(
+    ctx: &mut Ctx,
+    a: TermId,
+    b: TermId,
+    budget: &Budget,
+) -> Result<bool, Interrupt> {
+    let nb = ctx.not(b);
+    let both = ctx.and2(a, nb);
+    is_sat_under(ctx, both, budget).map(|sat| !sat)
 }
 
 /// Is `t` valid (true under every assignment)?
@@ -443,18 +528,19 @@ mod tests {
         let not_a = ctx.neq(v, c0);
         let mut solver = SmtSolver::new();
         solver.assert(not_a);
-        let models = solver.check_all(&mut ctx, &[v], 10);
+        let (models, interrupt) = solver.check_all(&mut ctx, &[v], 10);
+        assert!(interrupt.is_none());
         assert_eq!(models.len(), 2, "v ∈ {{b, c}}");
         let vals: std::collections::HashSet<_> =
             models.iter().map(|m| m.eval(&ctx, v).unwrap()).collect();
         assert_eq!(vals.len(), 2, "models must be distinct on v");
         // With a limit of 1 only one model comes back.
-        let one = solver.check_all(&mut ctx, &[v], 1);
+        let (one, _) = solver.check_all(&mut ctx, &[v], 1);
         assert_eq!(one.len(), 1);
         // Unsatisfiable assertions yield no models.
         let eq_a = ctx.eq(v, c0);
         solver.assert(eq_a);
-        assert!(solver.check_all(&mut ctx, &[v], 10).is_empty());
+        assert!(solver.check_all(&mut ctx, &[v], 10).0.is_empty());
     }
 
     #[test]
@@ -466,8 +552,44 @@ mod tests {
         let le = ctx.le(i, one); // i ∈ {0, 1}, b free: 4 models
         let mut solver = SmtSolver::new();
         solver.assert(le);
-        let models = solver.check_all(&mut ctx, &[i, b], 10);
+        let (models, interrupt) = solver.check_all(&mut ctx, &[i, b], 10);
+        assert!(interrupt.is_none());
         assert_eq!(models.len(), 4);
+    }
+
+    #[test]
+    fn budgeted_entailment_reports_interrupts() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let ab = ctx.and2(a, b);
+        // Generous budget: same verdicts as the unbudgeted solver.
+        let generous = Budget::unlimited().max_conflicts(1_000_000);
+        assert_eq!(entails_under(&mut ctx, ab, a, &generous), Ok(true));
+        assert_eq!(entails_under(&mut ctx, a, ab, &generous), Ok(false));
+        // Expired deadline: interrupted before a verdict, never a wrong one.
+        let expired = Budget::unlimited().deadline_in(std::time::Duration::ZERO);
+        let err = entails_under(&mut ctx, ab, a, &expired).unwrap_err();
+        assert_eq!(err.reason, InterruptReason::Deadline);
+    }
+
+    #[test]
+    fn fault_injection_makes_check_unknown() {
+        let _g = netexpl_faults::arm(netexpl_faults::sites::SMT_CHECK);
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let mut s = SmtSolver::new();
+        s.assert(a);
+        match s.check(&mut ctx) {
+            SmtResult::Unknown(i) => {
+                assert_eq!(i.reason, InterruptReason::Fault);
+                assert_eq!(i.at, "smt.check");
+            }
+            other => panic!("expected unknown, got {other:?}"),
+        }
+        let (res, core) = s.check_assuming(&mut ctx, &[a]);
+        assert!(res.is_unknown());
+        assert!(core.is_empty());
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub enum EncodeError {
     UnsupportedPattern(String),
     /// The specified prefix is never originated.
     NoOrigin(Prefix),
+    /// An internal encoder invariant failed — previously a panic site.
+    /// Reported as a typed error so malformed intermediate states (or
+    /// injected faults) degrade into diagnostics instead of crashes.
+    Internal(String),
 }
 
 impl std::fmt::Display for EncodeError {
@@ -79,6 +83,7 @@ impl std::fmt::Display for EncodeError {
             EncodeError::UnknownDest(d) => write!(f, "unknown destination `{d}`"),
             EncodeError::UnsupportedPattern(p) => write!(f, "unsupported pattern `{p}`"),
             EncodeError::NoOrigin(p) => write!(f, "prefix {p} is never originated"),
+            EncodeError::Internal(m) => write!(f, "internal encoder error: {m}"),
         }
     }
 }
@@ -118,7 +123,11 @@ impl PathInfo {
 
     /// The router holding the route.
     pub fn holder(&self) -> RouterId {
-        *self.routers.last().unwrap()
+        // `routers` always holds at least origin + holder (see `dfs`).
+        *self
+            .routers
+            .last()
+            .expect("PathInfo.routers is never empty")
     }
 
     /// The neighbor the holder learned the route from.
@@ -198,6 +207,21 @@ impl<'a> Encoder<'a> {
         sym: &SymNetworkConfig,
         spec: &Specification,
     ) -> Result<Encoded, EncodeError> {
+        if netexpl_faults::triggered(netexpl_faults::sites::ENCODE_PATHS) {
+            return Err(EncodeError::Internal(
+                "fault injection: encode.paths".to_string(),
+            ));
+        }
+        // Pre-validate the vocabulary ↔ topology correspondence that
+        // `router_val` relies on, so the hot path stays infallible.
+        for r in self.topo.router_ids() {
+            if !self.vocab.routers.contains(&r) {
+                return Err(EncodeError::Internal(format!(
+                    "router `{}` missing from the synthesis vocabulary",
+                    self.topo.name(r)
+                )));
+            }
+        }
         let mut enc = Encoded::default();
 
         // Enumerate paths and their states for every announced prefix.
@@ -281,7 +305,9 @@ impl<'a> Encoder<'a> {
         if path.len() >= self.options.max_path_len {
             return;
         }
-        let holder = *path.last().unwrap();
+        let Some(&holder) = path.last() else {
+            return; // unreachable: dfs is always seeded with the origin
+        };
         // Externals never transit: only the origin (path start) advertises.
         if path.len() > 1 && self.topo.router(holder).kind == RouterKind::External {
             return;
@@ -351,12 +377,14 @@ impl<'a> Encoder<'a> {
     }
 
     fn router_val(&self, ctx: &mut Ctx, r: RouterId) -> TermId {
+        // `encode` pre-validates that every topology router is in the
+        // vocabulary, so this lookup cannot fail on any reachable path.
         let i = self
             .vocab
             .routers
             .iter()
             .position(|&x| x == r)
-            .expect("router in vocab");
+            .expect("encode() validated vocabulary covers all routers");
         ctx.enum_const(self.sorts.val, self.sorts.val_router(i))
     }
 
@@ -672,7 +700,13 @@ impl<'a> Encoder<'a> {
         enc: &mut Encoded,
     ) -> Result<(), EncodeError> {
         self.validate_pattern(pattern, spec)?;
-        let scope: Option<Prefix> = pattern.dest().map(|d| spec.prefix_of(d).unwrap());
+        let scope: Option<Prefix> = match pattern.dest() {
+            Some(d) => Some(
+                spec.prefix_of(d)
+                    .ok_or_else(|| EncodeError::UnknownDest(d.to_string()))?,
+            ),
+            None => None,
+        };
         let mut new_constraints = Vec::new();
         for (&prefix, infos) in &enc.paths {
             if let Some(p) = scope {
@@ -757,22 +791,26 @@ impl<'a> Encoder<'a> {
         }
         for group in groups.values() {
             for &i in group {
-                let (si, ci) = (sel[i].unwrap(), cand[i].unwrap());
+                // Groups only hold indices with a selector, and every
+                // selected index was given a candidate literal above.
+                let (Some(si), Some(ci)) = (sel[i], cand[i]) else {
+                    continue;
+                };
                 let imp = ctx.implies(si, ci);
                 constraints.push(imp);
                 for &j in group {
                     if i == j {
                         continue;
                     }
-                    let cj = cand[j].unwrap();
+                    let Some(cj) = cand[j] else { continue };
                     let guard = ctx.and2(si, cj);
                     let beats = self.better_than(ctx, &infos[i], &infos[j]);
                     let imp = ctx.implies(guard, beats);
                     constraints.push(imp);
                 }
             }
-            let cands: Vec<TermId> = group.iter().map(|&k| cand[k].unwrap()).collect();
-            let sels: Vec<TermId> = group.iter().map(|&k| sel[k].unwrap()).collect();
+            let cands: Vec<TermId> = group.iter().filter_map(|&k| cand[k]).collect();
+            let sels: Vec<TermId> = group.iter().filter_map(|&k| sel[k]).collect();
             let any_c = ctx.or(&cands);
             let any_s = ctx.or(&sels);
             let imp = ctx.implies(any_c, any_s);
@@ -853,13 +891,19 @@ impl<'a> Encoder<'a> {
                 "{pattern}: preference paths must end in a destination"
             )));
         };
-        let prefix = spec.prefix_of(d).unwrap();
+        let prefix = spec
+            .prefix_of(d)
+            .ok_or_else(|| EncodeError::UnknownDest(d.to_string()))?;
         // Accept only: concrete routers, optionally one `...` immediately
         // before the destination (absorbing the beyond-the-egress segment).
         let mut routers = Vec::new();
         for (i, seg) in pattern.segs.iter().enumerate() {
             match seg {
-                Seg::Router(n) => routers.push(self.topo.router_by_name(n).unwrap()),
+                Seg::Router(n) => routers.push(
+                    self.topo
+                        .router_by_name(n)
+                        .ok_or_else(|| EncodeError::UnknownRouter(n.to_string()))?,
+                ),
                 Seg::Any => {
                     if i + 2 != pattern.segs.len() {
                         return Err(EncodeError::UnsupportedPattern(format!(
@@ -886,7 +930,10 @@ impl<'a> Encoder<'a> {
             .iter()
             .map(|p| self.pattern_to_propagation(p, spec))
             .collect::<Result<_, _>>()?;
-        let prefix = resolved[0].1;
+        let prefix = resolved
+            .first()
+            .map(|r| r.1)
+            .ok_or_else(|| EncodeError::Internal("empty preference chain".to_string()))?;
         debug_assert!(
             resolved.iter().all(|&(_, pfx)| pfx == prefix),
             "parser enforces same destination"
@@ -913,8 +960,9 @@ impl<'a> Encoder<'a> {
 
         // (1) Nominal state: the source selects the most preferred path.
         let nominal = self.nominal_family(ctx, prefix, enc)?;
-        enc.reqs
-            .push(nominal[idxs[0]].expect("no links failed in the nominal family"));
+        enc.reqs.push(nominal[idxs[0]].ok_or_else(|| {
+            EncodeError::Internal("nominal family dropped an all-links-up path".to_string())
+        })?);
 
         // Concrete link lists in *traffic* order (source first), mirroring
         // the checker's failure-scenario construction exactly.
@@ -945,16 +993,20 @@ impl<'a> Encoder<'a> {
             }
             let fam =
                 self.selection_family(ctx, &infos, &failed, &format!("F2.{k}"), &mut enc.defs);
-            enc.reqs.push(
-                fam[idxs[k]].expect("a chain member shares no distinguishing link of its betters"),
-            );
+            enc.reqs.push(fam[idxs[k]].ok_or_else(|| {
+                EncodeError::Internal(
+                    "chain member excluded by its betters' distinguishing links".to_string(),
+                )
+            })?);
         }
 
         // (3) Strict mode (interpretation (1)): in each consecutive pair's
         // two minimal-failure scenarios, nothing unspecified may be selected
         // at the source.
         if spec.mode == PreferenceMode::Strict {
-            let src = *props[0].last().unwrap();
+            let src = *props[0].last().ok_or_else(|| {
+                EncodeError::Internal("preference path resolved to no routers".to_string())
+            })?;
             let egress = |es: &[Link]| -> Option<Link> { es.last().copied() };
             let mut scenario_count = 0usize;
             for k in 0..chain.len() - 1 {
@@ -968,10 +1020,14 @@ impl<'a> Encoder<'a> {
                         chain[k + 1]
                     )));
                 }
-                let scenarios: Vec<Vec<Link>> = vec![
-                    dedup_pair(a_dist[0], egress(b).unwrap()),
-                    dedup_pair(egress(a).unwrap(), b_dist[0]),
-                ];
+                // Non-empty distinguishing sets imply non-empty link lists.
+                let (Some(ea), Some(eb)) = (egress(a), egress(b)) else {
+                    return Err(EncodeError::Internal(
+                        "preference path has no concrete links".to_string(),
+                    ));
+                };
+                let scenarios: Vec<Vec<Link>> =
+                    vec![dedup_pair(a_dist[0], eb), dedup_pair(ea, b_dist[0])];
                 for failed in scenarios {
                     scenario_count += 1;
                     let fam = self.selection_family(

@@ -46,4 +46,56 @@ EOF
 ./target/release/netexpl obs-check \
     --trace-file "$OBS_DIR/trace.jsonl" --metrics-file "$OBS_DIR/metrics.json"
 
+echo "==> robustness smoke: tight budget degrades explain, fails synth with NX501"
+# An already-expired deadline must degrade explain to a *partial* result
+# (exit 0, verdicts + interrupts in the JSON) — not an error, not a hang.
+./target/release/netexpl explain --topology paper --spec "$OBS_DIR/spec.txt" \
+    --router R1 --neighbor P1 --dir export --timeout 0 --json \
+    > "$OBS_DIR/partial.json" 2> "$OBS_DIR/partial.err"
+grep -q '"partial": true' "$OBS_DIR/partial.json"
+grep -q '"verdicts"' "$OBS_DIR/partial.json"
+grep -q '"exhausted"' "$OBS_DIR/partial.json"
+grep -q '"deadline"' "$OBS_DIR/partial.json"
+# Synthesis cannot be partial: the same deadline fails it with the budget
+# interrupt code and exit 1.
+if ./target/release/netexpl synth --topology paper --spec "$OBS_DIR/spec.txt" \
+    --timeout 0 > /dev/null 2> "$OBS_DIR/synth.err"; then
+  echo "synth --timeout 0 unexpectedly succeeded"; exit 1
+fi
+grep -q 'error\[NX501\]' "$OBS_DIR/synth.err"
+
+echo "==> fault-injection smoke: every armed site degrades, never panics"
+# Unfaulted baseline: a site that is off this pipeline's path must
+# reproduce it byte-for-byte.
+./target/release/netexpl explain --topology paper --spec "$OBS_DIR/spec.txt" \
+    --router R1 --neighbor P1 --dir export --json > "$OBS_DIR/baseline.json"
+for site in smt.check sat.search dpll.search encode.paths seed.encode \
+            simplify.pass lift.candidate; do
+  status=0
+  NETEXPL_FAULT="$site" ./target/release/netexpl explain --topology paper \
+      --spec "$OBS_DIR/spec.txt" --router R1 --neighbor P1 --dir export --json \
+      > "$OBS_DIR/fault.json" 2> "$OBS_DIR/fault.err" || status=$?
+  if grep -q 'panicked' "$OBS_DIR/fault.err"; then
+    echo "site $site: panicked"; cat "$OBS_DIR/fault.err"; exit 1
+  fi
+  if [ "$status" -eq 0 ]; then
+    # Success is only sound if flagged partial or untouched by the fault.
+    grep -q '"partial": true' "$OBS_DIR/fault.json" \
+      || cmp -s "$OBS_DIR/fault.json" "$OBS_DIR/baseline.json" \
+      || { echo "site $site: exit 0, not partial, diverges from baseline"; exit 1; }
+  elif [ "$status" -eq 1 ]; then
+    # Classified failure: exactly one error[NXnnn] line, no backtrace.
+    grep -q 'error\[NX[0-9]*\]' "$OBS_DIR/fault.err" \
+      || { echo "site $site: exit 1 without a classified error"; cat "$OBS_DIR/fault.err"; exit 1; }
+  else
+    echo "site $site: unexpected exit status $status"; exit 1
+  fi
+done
+# Typos in NETEXPL_FAULT must be rejected, not silently ignored.
+status=0
+NETEXPL_FAULT="no.such.site" ./target/release/netexpl synth --topology paper \
+    --spec "$OBS_DIR/spec.txt" > /dev/null 2> "$OBS_DIR/fault.err" || status=$?
+[ "$status" -eq 1 ] && grep -q 'error\[NX001\]' "$OBS_DIR/fault.err" \
+  || { echo "unknown fault site was not rejected"; exit 1; }
+
 echo "==> OK"

@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 
 use netexpl_bgp::{Action, Community, NetworkConfig, RouteMap, RouteMapEntry, SetClause};
+use netexpl_logic::budget::{Budget, InterruptReason};
+use netexpl_logic::dpll;
 use netexpl_logic::model::Assignment;
+use netexpl_logic::sat::{Lit, SatResult, SatSolver};
 use netexpl_logic::solver::SmtSolver;
 use netexpl_logic::term::{Ctx, TermId};
 use netexpl_spec::{parse, PathPattern, Requirement, Seg, Specification};
@@ -129,6 +132,55 @@ proptest! {
     }
 
     #[test]
+    fn budgeted_cdcl_agrees_or_returns_unknown(
+        (n, clauses) in arb_cnf(),
+        max_conflicts in 0u64..6,
+    ) {
+        // Reference verdict from the unbudgeted (complete) DPLL oracle.
+        let reference = dpll::solve(n, &clauses);
+        let mut solver = SatSolver::new();
+        for _ in 0..n {
+            solver.new_var();
+        }
+        let mut level0_unsat = false;
+        for c in &clauses {
+            level0_unsat |= !solver.add_clause(c);
+        }
+        let budget = Budget::unlimited().max_conflicts(max_conflicts);
+        match solver.solve_under(budget) {
+            // A budget may cost completeness (Unknown), never soundness:
+            // a budgeted verdict must match the complete oracle's.
+            SatResult::Sat(model) => {
+                prop_assert!(reference.is_sat(), "budgeted CDCL said Sat, DPLL said Unsat");
+                for clause in &clauses {
+                    prop_assert!(
+                        clause.iter().any(|l| model[l.var()] != l.is_neg()),
+                        "budgeted CDCL model violates a clause"
+                    );
+                }
+            }
+            SatResult::Unsat => prop_assert!(
+                matches!(reference, SatResult::Unsat),
+                "budgeted CDCL said Unsat, DPLL found a model"
+            ),
+            SatResult::Unknown(i) => {
+                // Bailing out is only legal through the one limit this
+                // budget sets, and never after level-0 already refuted.
+                prop_assert!(!level0_unsat, "level-0 Unsat must not degrade to Unknown");
+                prop_assert_eq!(i.reason, InterruptReason::Conflicts);
+            }
+        }
+        // The same solver, resumed after clearing the budget, is complete
+        // again and must agree with DPLL exactly.
+        solver.set_budget(Budget::unlimited());
+        match solver.solve() {
+            SatResult::Sat(_) => prop_assert!(reference.is_sat()),
+            SatResult::Unsat => prop_assert!(matches!(reference, SatResult::Unsat)),
+            SatResult::Unknown(i) => prop_assert!(false, "unbudgeted solve returned Unknown: {i}"),
+        }
+    }
+
+    #[test]
     fn smt_agrees_with_brute_force(formula in arb_mixed_formula()) {
         let (mut ctx, term, vars) = formula;
         // Brute force over the original variables.
@@ -150,6 +202,17 @@ proptest! {
 
 // ---------------------------------------------------------------------------
 // Helpers.
+
+/// A small random CNF: enough variables and short clauses to produce a mix
+/// of Sat and Unsat instances, with search hard enough that tiny conflict
+/// caps sometimes fire.
+fn arb_cnf() -> impl Strategy<Value = (usize, Vec<Vec<Lit>>)> {
+    (3usize..9).prop_flat_map(|n| {
+        let lit = (0..n, proptest::bool::ANY).prop_map(|(v, pol)| Lit::with_polarity(v, pol));
+        let clause = proptest::collection::vec(lit, 1..4);
+        (Just(n), proptest::collection::vec(clause, 1..24))
+    })
+}
 
 fn random_network(seed: u64) -> (netexpl_topology::Topology, NetworkConfig) {
     use rand::{Rng, SeedableRng};

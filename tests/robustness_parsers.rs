@@ -1,0 +1,114 @@
+//! Parser robustness: malformed, truncated, and adversarial inputs to the
+//! spec DSL and the config parser must produce *typed* errors (with a line
+//! number and message) or parse cleanly — never panic.
+
+mod common;
+
+use common::*;
+
+/// A well-formed spec exercising every construct the DSL offers, used as
+//  the seed for truncation fuzzing.
+const FULL_SPEC: &str = "\
+// comment with trailing spaces   \n\
+mode fallback\n\
+dest D1 = 200.7.0.0/16\n\
+dest D2 = 201.0.0.0/16\n\
+Req1 {\n\
+  !(P1 -> ... -> P2)\n\
+  (Customer -> R3 -> R1 -> P1 -> ... -> D1)\n\
+    >> (Customer -> R3 -> R2 -> P2 -> ... -> D1)\n\
+  Customer ~> D2\n\
+}\n";
+
+#[test]
+fn malformed_specs_yield_typed_errors() {
+    let cases: &[&str] = &[
+        "Req1 {",                        // unclosed block
+        "Req1 { !( }",                   // unclosed negation
+        "Req1 { !(P1 -> ) }",            // dangling arrow
+        "Req1 { (A -> B) >> }",          // dangling preference
+        "Req1 { (A -> B) >> (C -> D) }", // mismatched chain sources
+        "dest D1 = not.a.prefix\nReq1 { A ~> D1 }",
+        "dest D1 = 999.0.0.0/16\nReq1 { A ~> D1 }",
+        "dest D1 = 10.0.0.0/64\nReq1 { A ~> D1 }",
+        "mode sideways\nReq1 { A ~> D1 }",
+        "Req1 { A ~> }",            // missing destination
+        "Req1 { ~> D1 }",           // missing source
+        "Req1 { A ~> Undeclared }", // undeclared destination
+        "Req1 { ... }",             // wildcard-only pattern
+        "{ !(A -> B) }",            // block without a name
+        "Req1 Req2 { !(A -> B) }",  // two names
+        "Req1 { !(A -> B) } trailing garbage",
+        "\u{0}\u{1}\u{2}",             // control characters
+        "Req1 { !(P1 -\u{2192} P2) }", // unicode arrow
+    ];
+    for input in cases {
+        match netexpl_spec::parse(input) {
+            Ok(_) => {} // lenient acceptance is fine; panicking is not
+            Err(e) => {
+                let shown = e.to_string();
+                assert!(!shown.is_empty(), "empty error for {input:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_specs_never_panic() {
+    // Cut the full spec at every character boundary: each prefix must parse
+    // or fail with a typed error.
+    for (i, _) in FULL_SPEC.char_indices() {
+        let prefix = &FULL_SPEC[..i];
+        if let Err(e) = netexpl_spec::parse(prefix) {
+            assert!(!e.to_string().is_empty(), "empty error at cut {i}");
+        }
+    }
+    assert!(
+        netexpl_spec::parse(FULL_SPEC).is_ok(),
+        "seed spec must parse"
+    );
+}
+
+#[test]
+fn malformed_configs_yield_typed_errors() {
+    let (topo, _) = netexpl_topology::builders::paper_topology();
+    let cases: &[&str] = &[
+        "route-map m permit 10", // clause outside a router
+        "router bgp R1\n  garbage line",
+        "router bgp NoSuchRouter\n",
+        "router bgp R1\n neighbor P1 import route-map missing\n",
+        "router bgp R1\nroute-map m permit notanumber\n",
+        "router bgp R1\nroute-map m frobnicate 10\n",
+        "router bgp R1\nroute-map m permit 10\n  match community banana\n",
+        "router bgp R1\nroute-map m permit 10\n  set local-preference many\n",
+        "  match community 100:1\n", // clause before any route-map
+        "router bgp R1\nroute-map m permit 10\n  match prefix-list\n",
+    ];
+    for input in cases {
+        match netexpl_bgp::parse_config(&topo, input) {
+            Ok(_) => {}
+            Err(e) => assert!(!e.to_string().is_empty(), "empty error for {input:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_configs_never_panic() {
+    // Render a real scenario config and replay every line-prefix of it.
+    let (topo, _, net, _) = scenario2();
+    let rendered = net.render(&topo);
+    assert!(netexpl_bgp::parse_config(&topo, &rendered).is_ok());
+    let lines: Vec<&str> = rendered.lines().collect();
+    for n in 0..lines.len() {
+        let prefix = lines[..n].join("\n");
+        if let Err(e) = netexpl_bgp::parse_config(&topo, &prefix) {
+            assert!(!e.to_string().is_empty(), "empty error at line {n}");
+        }
+    }
+    // Also cut mid-line through the first route-map clause.
+    if let Some(pos) = rendered.find("match") {
+        for cut in pos..(pos + 5).min(rendered.len()) {
+            let _ = netexpl_bgp::parse_config(&topo, &rendered[..cut]);
+        }
+    }
+}
