@@ -3,8 +3,10 @@
 //! stage-span timings, sizes, rewrite-rule firings, and solver counters into
 //! one JSON document (written by `netexpl bench` as `BENCH_explain.json`).
 
+use std::time::Instant;
+
 use netexpl_core::symbolize::{Dir, Selector};
-use netexpl_core::{explain, ExplainOptions};
+use netexpl_core::{explain, explain_all, ExplainAllOptions, ExplainError, ExplainOptions};
 use netexpl_logic::budget::Budget;
 use netexpl_logic::term::Ctx;
 use netexpl_spec::Specification;
@@ -139,6 +141,127 @@ fn run_case(case: &Case, budget: &Budget) -> Result<Value, String> {
     ]))
 }
 
+/// Network-wide section: the paper scenario (no-transit requirement on
+/// the community-filtered configuration) explained at *every* router,
+/// first sequentially — independent per-router [`explain`] calls, each in
+/// a fresh context with no shared encoding — then in parallel via
+/// [`explain_all`] with the shared encoding cache. Records per-router
+/// times both ways plus the wall-clock speedup.
+pub fn network_report_with(budget: &Budget, workers: usize) -> Result<Value, String> {
+    let (topo, _h, net, spec) = scenario3();
+    let spec = only_blocks(&spec, &["Req1"]);
+    let vocab = paper_vocab(&topo, net.prefixes());
+
+    // Sequential baseline: what a naive `for router in topo` loop costs.
+    // Instrumented like the parallel run (its own obs session, discarded)
+    // so both sides pay the same span/counter overhead.
+    let (seq_guard, _seq_handle) = netexpl_obs::install_memory();
+    let mut sequential = Vec::new();
+    let seq_started = Instant::now();
+    for r in topo.router_ids() {
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let t0 = Instant::now();
+        let status = match explain(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            &spec,
+            r,
+            &Selector::Router,
+            ExplainOptions {
+                budget: budget.clone(),
+                ..Default::default()
+            },
+        ) {
+            Ok(_) => "explained",
+            Err(ExplainError::NothingSymbolized) => "skipped",
+            Err(e) => return Err(format!("sequential {}: {e}", topo.name(r))),
+        };
+        sequential.push(Value::object([
+            ("router", Value::from(topo.name(r))),
+            ("status", Value::from(status)),
+            ("ms", Value::from(t0.elapsed().as_secs_f64() * 1e3)),
+        ]));
+    }
+    let sequential_ms = seq_started.elapsed().as_secs_f64() * 1e3;
+    drop(seq_guard);
+
+    // Parallel run under an in-memory obs session, so the report captures
+    // the `cache.hit`/`cache.miss` counters and worker gauge too.
+    let (guard, handle) = netexpl_obs::install_memory();
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    let par_started = Instant::now();
+    let all = explain_all(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &spec,
+        &Selector::Router,
+        ExplainAllOptions {
+            explain: ExplainOptions {
+                budget: budget.clone(),
+                ..Default::default()
+            },
+            workers,
+            fail_fast: false,
+        },
+    )
+    .map_err(|e| format!("explain_all: {e}"))?;
+    // Total cost of the parallel path, cache build included — the honest
+    // number to compare against the sequential loop.
+    let parallel_ms = par_started.elapsed().as_secs_f64() * 1e3;
+    drop(guard);
+
+    let metrics = handle.metrics().unwrap_or_default();
+    let counters: Vec<(String, Value)> = metrics
+        .counters()
+        .map(|(name, v)| (name.to_string(), Value::from(v)))
+        .collect();
+    let parallel: Vec<Value> = all
+        .routers
+        .iter()
+        .map(|r| {
+            Value::object([
+                ("router", Value::from(r.router.as_str())),
+                ("status", Value::from(r.outcome.status())),
+                ("ms", Value::from(r.duration.as_secs_f64() * 1e3)),
+            ])
+        })
+        .collect();
+    // Wall-clock speedup is bounded by the machine, not the fan-out:
+    // record how many cores this run actually had to work with.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    Ok(Value::object([
+        ("workers", Value::from(all.workers)),
+        ("cores", Value::from(cores)),
+        ("sequential_ms", Value::from(sequential_ms)),
+        ("parallel_ms", Value::from(parallel_ms)),
+        (
+            "parallel_fanout_ms",
+            Value::from(all.wall.as_secs_f64() * 1e3),
+        ),
+        (
+            "speedup",
+            Value::from(sequential_ms / parallel_ms.max(1e-9)),
+        ),
+        ("cache_crossings", Value::from(all.cache_size)),
+        ("cache_hits", Value::from(all.cache_hits)),
+        ("cache_misses", Value::from(all.cache_misses)),
+        ("partial", Value::from(all.partial())),
+        ("sequential", Value::from(sequential)),
+        ("parallel", Value::from(parallel)),
+        ("counters", Value::object(counters)),
+    ]))
+}
+
 /// Build the full report over all three paper scenarios.
 pub fn explain_report() -> Result<Value, String> {
     explain_report_with(&Budget::unlimited())
@@ -154,7 +277,10 @@ pub fn explain_report_with(budget: &Budget) -> Result<Value, String> {
     for case in cases() {
         runs.push(run_case(&case, budget)?);
     }
-    Ok(Value::object([("scenarios", Value::from(runs))]))
+    Ok(Value::object([
+        ("scenarios", Value::from(runs)),
+        ("network", network_report_with(budget, 4)?),
+    ]))
 }
 
 /// Run the report and write it to `path` as pretty-printed JSON.
@@ -192,5 +318,30 @@ mod tests {
             assert!(run["rule_firings"].as_u64().unwrap() > 0);
             assert!(run["counters"]["smt.queries"].as_u64().unwrap() > 0);
         }
+    }
+
+    #[test]
+    fn network_section_records_both_runs_and_cache_traffic() {
+        // An unlimited run is a release-profile benchmark; for the debug
+        // test a deadline keeps it quick — degraded routers are still
+        // reported, and the cache replays regardless.
+        let budget = Budget::unlimited().deadline_in(std::time::Duration::from_secs(20));
+        let network = network_report_with(&budget, 4).unwrap();
+        for section in ["sequential", "parallel"] {
+            let rows = match &network[section] {
+                Value::Array(a) => a,
+                other => panic!("{section} is not an array: {other:?}"),
+            };
+            assert_eq!(rows.len(), 6, "{section} must cover every router");
+            for row in rows {
+                assert!(row["router"].as_str().is_some());
+                assert!(row["ms"].as_f64().is_some());
+            }
+        }
+        assert!(network["sequential_ms"].as_f64().unwrap() > 0.0);
+        assert!(network["parallel_ms"].as_f64().unwrap() > 0.0);
+        assert!(network["speedup"].as_f64().is_some());
+        assert!(network["cache_hits"].as_u64().unwrap() > 0);
+        assert!(network["counters"]["cache.hit"].as_u64().unwrap() > 0);
     }
 }

@@ -1,7 +1,10 @@
 //! The CLI subcommands.
 
 use netexpl_core::symbolize::{Dir, Selector};
-use netexpl_core::{explain, Error, ExplainOptions};
+use netexpl_core::{
+    explain, explain_all, Error, ExplainAllOptions, ExplainOptions, Explanation, RouterOutcome,
+    RouterReport,
+};
 use netexpl_lint::{lint_config, lint_selector, lint_spec, Diagnostics};
 use netexpl_logic::budget::Budget;
 use netexpl_logic::term::Ctx;
@@ -77,6 +80,38 @@ struct SynthReport {
     constraint_nodes: usize,
     candidate_paths: usize,
     config: String,
+}
+
+/// Everything the synthesizing subcommands share: the resolved topology,
+/// the loaded problem, a logic context with the vocabulary's sorts
+/// declared, and the synthesized configuration.
+struct Prepared {
+    topo_name: String,
+    topo: Topology,
+    problem: Problem,
+    ctx: Ctx,
+    sorts: netexpl_synth::vocab::VocabSorts,
+    result: SynthResult,
+}
+
+/// Shared front half of `synth`, `explain`, `assumptions`, and
+/// `simulate`: resolve `--topology`, load `--spec`, and synthesize the
+/// configuration under `budget`.
+fn prepare(opts: &Options, budget: Budget) -> Result<Prepared, Error> {
+    let topo_name = opts.require("topology").map_err(usage)?.to_string();
+    let topo = topology(&topo_name)?;
+    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
+    let mut ctx = Ctx::new();
+    let sorts = problem.vocab.sorts(&mut ctx);
+    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts, budget)?;
+    Ok(Prepared {
+        topo_name,
+        topo,
+        problem,
+        ctx,
+        sorts,
+        result,
+    })
 }
 
 fn synthesize_problem(
@@ -188,31 +223,27 @@ pub fn synth(args: &[String]) -> Result<(), Error> {
     let opts = Options::parse(args, &["json", "trace"]).map_err(usage)?;
     let _obs = obs_setup(&opts)?;
     let budget = parse_budget(&opts)?;
-    let topo = topology(opts.require("topology").map_err(usage)?)?;
-    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
-    let mut ctx = Ctx::new();
-    let sorts = problem.vocab.sorts(&mut ctx);
     // An exhausted budget surfaces as NX501 — synthesis has no partial
     // artifact worth printing, unlike `explain`.
-    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts, budget)?;
+    let p = prepare(&opts, budget)?;
 
     // Post-synthesis self-check: the synthesizer should never emit dead
     // or self-contradictory lines; surface them as warnings if it does.
     // Routed through the diagnostic sink so it can never interleave with
     // `--json` output on stdout.
-    let self_check = lint_config(&topo, &result.config, Some(&problem.vocab));
+    let self_check = lint_config(&p.topo, &p.result.config, Some(&p.problem.vocab));
     if !self_check.is_empty() {
         netexpl_obs::note(&format!(
             "self-check: the synthesized configuration has findings\n{self_check}"
         ));
     }
     let report = SynthReport {
-        topology: opts.require("topology").map_err(usage)?.to_string(),
-        holes: result.stats.num_holes,
-        constraints: result.stats.num_constraints,
-        constraint_nodes: result.stats.constraint_size,
-        candidate_paths: result.stats.num_paths,
-        config: result.config.render(&topo),
+        topology: p.topo_name.clone(),
+        holes: p.result.stats.num_holes,
+        constraints: p.result.stats.num_constraints,
+        constraint_nodes: p.result.stats.constraint_size,
+        candidate_paths: p.result.stats.num_paths,
+        config: p.result.config.render(&p.topo),
     };
     if opts.flag("json") {
         let json = Value::object([
@@ -234,71 +265,145 @@ pub fn synth(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
-struct ExplainReport {
-    router: String,
-    symbolized: Vec<String>,
-    seed_conjuncts: usize,
-    seed_nodes: usize,
-    simplified_conjuncts: usize,
-    simplified_nodes: usize,
-    rule_firings: u64,
-    simplified_constraints: Vec<String>,
-    subspecification: String,
-    exact: bool,
-}
-
-/// `netexpl explain` — synthesize, then run the explanation pipeline.
-pub fn explain_cmd(args: &[String]) -> Result<(), Error> {
-    let opts = Options::parse(args, &["json", "skip-lift", "trace"]).map_err(usage)?;
-    let _obs = obs_setup(&opts)?;
-    let budget = parse_budget(&opts)?;
-    let topo = topology(opts.require("topology").map_err(usage)?)?;
-    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
-    let router_name = opts.require("router").map_err(usage)?;
-    let router = topo
-        .router_by_name(router_name)
-        .ok_or_else(|| Error::Topology(format!("unknown router `{router_name}`")))?;
-
-    let selector = match opts.get("neighbor") {
-        None => Selector::Router,
-        Some(nname) => {
-            let neighbor = topo
-                .router_by_name(nname)
-                .ok_or_else(|| Error::Topology(format!("unknown neighbor `{nname}`")))?;
-            let dir = match opts.get("dir").unwrap_or("export") {
-                "import" => Dir::Import,
-                "export" => Dir::Export,
-                other => {
-                    return Err(usage(format!(
-                        "--dir must be import or export, not `{other}`"
-                    )))
-                }
-            };
-            match opts.get("entry") {
-                None => Selector::Session { neighbor, dir },
-                Some(e) => Selector::Entry {
-                    neighbor,
-                    dir,
-                    entry: e
-                        .parse()
-                        .map_err(|_| usage(format!("bad entry index `{e}`")))?,
-                },
-            }
+/// Build the selector from `--neighbor`, `--dir`, and `--entry`; absent
+/// options widen the selection up to the whole router.
+fn parse_selector(opts: &Options, topo: &Topology) -> Result<Selector, Error> {
+    let Some(nname) = opts.get("neighbor") else {
+        return Ok(Selector::Router);
+    };
+    let neighbor = topo
+        .router_by_name(nname)
+        .ok_or_else(|| Error::Topology(format!("unknown neighbor `{nname}`")))?;
+    let dir = match opts.get("dir").unwrap_or("export") {
+        "import" => Dir::Import,
+        "export" => Dir::Export,
+        other => {
+            return Err(usage(format!(
+                "--dir must be import or export, not `{other}`"
+            )))
         }
     };
+    Ok(match opts.get("entry") {
+        None => Selector::Session { neighbor, dir },
+        Some(e) => Selector::Entry {
+            neighbor,
+            dir,
+            entry: e
+                .parse()
+                .map_err(|_| usage(format!("bad entry index `{e}`")))?,
+        },
+    })
+}
 
-    let mut ctx = Ctx::new();
-    let sorts = problem.vocab.sorts(&mut ctx);
+/// The per-explanation JSON fields, in their stable order. Shared between
+/// `explain` and `explain --all`; the caller prepends its own identity
+/// keys (`router`, and for `--all` also `status`/`duration_ms`).
+fn explanation_fields(e: &Explanation) -> Vec<(&'static str, Value)> {
+    vec![
+        ("symbolized", Value::from(e.symbolized.clone())),
+        ("seed_conjuncts", Value::from(e.seed_conjuncts)),
+        ("seed_nodes", Value::from(e.seed_size)),
+        ("simplified_conjuncts", Value::from(e.simplified_conjuncts)),
+        ("simplified_nodes", Value::from(e.simplified_size)),
+        ("rule_firings", Value::from(e.rule_stats.total())),
+        (
+            "rules_fired",
+            Value::object(
+                e.rule_stats
+                    .per_rule()
+                    .filter(|&(_, n)| n > 0)
+                    .map(|(name, n)| (name, Value::from(n))),
+            ),
+        ),
+        (
+            "simplified_constraints",
+            Value::from(e.simplified_text.clone()),
+        ),
+        ("subspecification", Value::from(e.subspec.to_string())),
+        ("exact", Value::from(e.lift_complete)),
+        // Degradation report: a budget-interrupted run still exits 0
+        // with `partial: true` and per-stage verdicts.
+        ("partial", Value::from(!e.verdicts.all_verified())),
+        (
+            "verdicts",
+            Value::object([
+                ("simplify", Value::from(e.verdicts.simplify.as_str())),
+                ("lift", Value::from(e.verdicts.lift.as_str())),
+            ]),
+        ),
+        (
+            "interrupts",
+            Value::from(
+                e.verdicts
+                    .interrupts
+                    .iter()
+                    .map(|i| {
+                        Value::object([
+                            ("reason", Value::from(i.reason.as_str())),
+                            ("at", Value::from(i.at)),
+                            ("conflicts", Value::from(i.conflicts)),
+                            ("decisions", Value::from(i.decisions)),
+                        ])
+                    })
+                    .collect::<Vec<Value>>(),
+            ),
+        ),
+    ]
+}
+
+/// One router's slot in the `explain --all --json` aggregate.
+fn router_report_json(r: &RouterReport) -> Value {
+    let mut fields: Vec<(&'static str, Value)> = vec![
+        ("router", Value::from(r.router.as_str())),
+        ("status", Value::from(r.outcome.status())),
+        ("duration_ms", Value::from(r.duration.as_secs_f64() * 1e3)),
+    ];
+    match &r.outcome {
+        RouterOutcome::Explained(e) => fields.extend(explanation_fields(e)),
+        RouterOutcome::Failed(err) => fields.push(("error", Value::from(err.to_string()))),
+        RouterOutcome::Skipped => {}
+    }
+    Value::object(fields)
+}
+
+/// `netexpl explain` — synthesize, then run the explanation pipeline for
+/// one router, or with `--all` for every router in parallel.
+pub fn explain_cmd(args: &[String]) -> Result<(), Error> {
+    let opts =
+        Options::parse(args, &["json", "skip-lift", "trace", "all", "fail-fast"]).map_err(usage)?;
+    let _obs = obs_setup(&opts)?;
+    let budget = parse_budget(&opts)?;
     // The budget governs the *explanation* pipeline. Synthesis here only
     // reconstructs the configuration being explained, so it runs
     // unbudgeted — a partial explanation of a complete config is useful; a
     // partial config is not.
-    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts, Budget::unlimited())?;
+    let mut p = prepare(&opts, Budget::unlimited())?;
+    let selector = parse_selector(&opts, &p.topo)?;
+    let explain_opts = ExplainOptions {
+        skip_lift: opts.flag("skip-lift"),
+        budget,
+        ..Default::default()
+    };
+
+    if opts.flag("all") {
+        if opts.get("router").is_some() {
+            return Err(usage(
+                "--all explains every router; drop --router (or drop --all)".to_string(),
+            ));
+        }
+        return explain_all_cmd(&opts, &mut p, &selector, explain_opts);
+    }
+
+    let router_name = opts.require("router").map_err(usage)?;
+    let router = p
+        .topo
+        .router_by_name(router_name)
+        .ok_or_else(|| Error::Topology(format!("unknown router `{router_name}`")))?;
 
     // Pre-flight: a selector that covers zero configuration lines would
     // symbolize nothing and "explain" an empty report. Reject it with a
     // diagnostic that lists what is selectable instead.
-    let preflight = lint_selector(&topo, &result.config, router, &selector);
+    let preflight = lint_selector(&p.topo, &p.result.config, router, &selector);
     if preflight.has_errors() {
         return Err(usage(format!(
             "selector covers no configuration lines\n{preflight}"
@@ -306,100 +411,90 @@ pub fn explain_cmd(args: &[String]) -> Result<(), Error> {
     }
 
     let explanation = explain(
-        &mut ctx,
-        &topo,
-        &problem.vocab,
-        sorts,
-        &result.config,
-        &problem.spec,
+        &mut p.ctx,
+        &p.topo,
+        &p.problem.vocab,
+        p.sorts,
+        &p.result.config,
+        &p.problem.spec,
         router,
         &selector,
-        ExplainOptions {
-            skip_lift: opts.flag("skip-lift"),
-            budget,
-            ..Default::default()
+        explain_opts,
+    )
+    .map_err(Error::Explain)?;
+
+    if opts.flag("json") {
+        let json = Value::object(
+            std::iter::once(("router", Value::from(explanation.router.as_str())))
+                .chain(explanation_fields(&explanation)),
+        );
+        println!("{}", serde_json::to_string_pretty(&json));
+    } else {
+        println!("{explanation}");
+    }
+    Ok(())
+}
+
+/// The `--all` arm of [`explain_cmd`]: fan out one pipeline per router
+/// over `--workers` threads, sharing one encoding of the concrete
+/// substrate, and print the aggregate (text or `--json`).
+fn explain_all_cmd(
+    opts: &Options,
+    p: &mut Prepared,
+    selector: &Selector,
+    explain_opts: ExplainOptions,
+) -> Result<(), Error> {
+    let workers = match opts.get("workers") {
+        // 0 = auto (available parallelism, capped at the router count).
+        None => 0,
+        Some(w) => w
+            .parse()
+            .map_err(|_| usage(format!("--workers takes a count, not `{w}`")))?,
+    };
+    let all = explain_all(
+        &mut p.ctx,
+        &p.topo,
+        &p.problem.vocab,
+        p.sorts,
+        &p.result.config,
+        &p.problem.spec,
+        selector,
+        ExplainAllOptions {
+            explain: explain_opts,
+            workers,
+            fail_fast: opts.flag("fail-fast"),
         },
     )
     .map_err(Error::Explain)?;
 
     if opts.flag("json") {
-        let report = ExplainReport {
-            router: explanation.router.clone(),
-            symbolized: explanation.symbolized.clone(),
-            seed_conjuncts: explanation.seed_conjuncts,
-            seed_nodes: explanation.seed_size,
-            simplified_conjuncts: explanation.simplified_conjuncts,
-            simplified_nodes: explanation.simplified_size,
-            rule_firings: explanation.rule_stats.total(),
-            simplified_constraints: explanation.simplified_text.clone(),
-            subspecification: explanation.subspec.to_string(),
-            exact: explanation.lift_complete,
-        };
+        let routers: Vec<Value> = all.routers.iter().map(router_report_json).collect();
         let json = Value::object([
-            ("router", Value::from(report.router.as_str())),
-            ("symbolized", Value::from(report.symbolized.clone())),
-            ("seed_conjuncts", Value::from(report.seed_conjuncts)),
-            ("seed_nodes", Value::from(report.seed_nodes)),
-            (
-                "simplified_conjuncts",
-                Value::from(report.simplified_conjuncts),
-            ),
-            ("simplified_nodes", Value::from(report.simplified_nodes)),
-            ("rule_firings", Value::from(report.rule_firings)),
-            (
-                "rules_fired",
-                Value::object(
-                    explanation
-                        .rule_stats
-                        .per_rule()
-                        .filter(|&(_, n)| n > 0)
-                        .map(|(name, n)| (name, Value::from(n))),
-                ),
-            ),
-            (
-                "simplified_constraints",
-                Value::from(report.simplified_constraints.clone()),
-            ),
-            (
-                "subspecification",
-                Value::from(report.subspecification.as_str()),
-            ),
-            ("exact", Value::from(report.exact)),
-            // Degradation report: a budget-interrupted run still exits 0
-            // with `partial: true` and per-stage verdicts.
-            ("partial", Value::from(!explanation.verdicts.all_verified())),
-            (
-                "verdicts",
-                Value::object([
-                    (
-                        "simplify",
-                        Value::from(explanation.verdicts.simplify.as_str()),
-                    ),
-                    ("lift", Value::from(explanation.verdicts.lift.as_str())),
-                ]),
-            ),
-            (
-                "interrupts",
-                Value::from(
-                    explanation
-                        .verdicts
-                        .interrupts
-                        .iter()
-                        .map(|i| {
-                            Value::object([
-                                ("reason", Value::from(i.reason.as_str())),
-                                ("at", Value::from(i.at)),
-                                ("conflicts", Value::from(i.conflicts)),
-                                ("decisions", Value::from(i.decisions)),
-                            ])
-                        })
-                        .collect::<Vec<Value>>(),
-                ),
-            ),
+            ("topology", Value::from(p.topo_name.as_str())),
+            ("workers", Value::from(all.workers)),
+            ("wall_ms", Value::from(all.wall.as_secs_f64() * 1e3)),
+            ("cache_crossings", Value::from(all.cache_size)),
+            ("cache_hits", Value::from(all.cache_hits)),
+            ("cache_misses", Value::from(all.cache_misses)),
+            ("cancelled", Value::from(all.cancelled)),
+            ("partial", Value::from(all.partial())),
+            ("routers", Value::from(routers)),
         ]);
         println!("{}", serde_json::to_string_pretty(&json));
     } else {
-        println!("{explanation}");
+        print!("{all}");
+    }
+    // A cancelled run (--fail-fast after a hard failure) is an error exit
+    // classified by the failure that triggered it; budget degradation
+    // alone is not.
+    if all.cancelled {
+        let first_failure = all.routers.into_iter().find_map(|r| match r.outcome {
+            RouterOutcome::Failed(e) => Some(e),
+            _ => None,
+        });
+        if let Some(e) = first_failure {
+            return Err(Error::Explain(e));
+        }
     }
     Ok(())
 }
@@ -408,22 +503,19 @@ pub fn explain_cmd(args: &[String]) -> Result<(), Error> {
 /// assumptions for one router (the paper's §5 extension).
 pub fn assumptions(args: &[String]) -> Result<(), Error> {
     let opts = Options::parse(args, &[]).map_err(usage)?;
-    let topo = topology(opts.require("topology").map_err(usage)?)?;
-    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
+    let mut p = prepare(&opts, Budget::unlimited())?;
     let router_name = opts.require("router").map_err(usage)?;
-    let router = topo
+    let router = p
+        .topo
         .router_by_name(router_name)
         .ok_or_else(|| Error::Topology(format!("unknown router `{router_name}`")))?;
-    let mut ctx = Ctx::new();
-    let sorts = problem.vocab.sorts(&mut ctx);
-    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts, Budget::unlimited())?;
     let env = netexpl_core::environment_assumptions(
-        &mut ctx,
-        &topo,
-        &problem.vocab,
-        sorts,
-        &result.config,
-        &problem.spec,
+        &mut p.ctx,
+        &p.topo,
+        &p.problem.vocab,
+        p.sorts,
+        &p.result.config,
+        &p.problem.spec,
         router,
         ExplainOptions::default(),
     )
@@ -435,11 +527,10 @@ pub fn assumptions(args: &[String]) -> Result<(), Error> {
 /// `netexpl simulate` — synthesize and show the stable routing state.
 pub fn simulate(args: &[String]) -> Result<(), Error> {
     let opts = Options::parse(args, &["json"]).map_err(usage)?;
-    let topo = topology(opts.require("topology").map_err(usage)?)?;
-    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
-    let mut ctx = Ctx::new();
-    let sorts = problem.vocab.sorts(&mut ctx);
-    let result = synthesize_problem(&topo, &problem, &mut ctx, sorts, Budget::unlimited())?;
+    let p = prepare(&opts, Budget::unlimited())?;
+    let topo = p.topo;
+    let problem = p.problem;
+    let result = p.result;
 
     let mut failed: Vec<Link> = Vec::new();
     for f in opts.all("fail") {

@@ -6,6 +6,8 @@
 //! netexpl lint     --topology paper --spec spec.txt [--json] [--no-sat]
 //! netexpl explain  --topology paper --spec spec.txt --router R1 \
 //!                  [--neighbor P1 --dir export [--entry N]] [--skip-lift] [--json]
+//! netexpl explain  --topology paper --spec spec.txt --all \
+//!                  [--workers N] [--fail-fast] [--json]
 //! netexpl simulate --topology paper --spec spec.txt [--fail R1-R3]
 //! netexpl scenario <1|2|3>
 //! netexpl bench    [--out BENCH_explain.json]
@@ -92,6 +94,10 @@ fn print_usage() {
            netexpl explain  --topology <T> --spec <FILE> --router <NAME>\n\
                             [--neighbor <NAME> --dir <import|export> [--entry <N>]]\n\
                             [--skip-lift] [--json]\n\
+           netexpl explain  --topology <T> --spec <FILE> --all\n\
+                            [--workers <N>] [--fail-fast] [--json]\n\
+                            (every router in parallel, sharing one encoding;\n\
+                            --workers 0/absent picks the machine's parallelism)\n\
            netexpl assumptions --topology <T> --spec <FILE> --router <NAME>\n\
            netexpl simulate --topology <T> --spec <FILE> [--fail <A-B>]...\n\
            netexpl scenario <1|2|3>\n\

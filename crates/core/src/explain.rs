@@ -8,13 +8,13 @@ use netexpl_logic::simplify::{RuleMask, Simplifier, SimplifyStats};
 use netexpl_logic::term::{Ctx, TermId, TermNode};
 use netexpl_obs::Span;
 use netexpl_spec::{Specification, SubSpec};
-use netexpl_synth::encode::{EncodeError, EncodeOptions};
+use netexpl_synth::encode::{EncodeCache, EncodeError, EncodeOptions};
 use netexpl_synth::sketch::HoleFactory;
 use netexpl_synth::vocab::{VocabSorts, Vocabulary};
 use netexpl_topology::{RouterId, Topology};
 
 use crate::lift::{lift, LiftOptions, LiftResult};
-use crate::seed::seed_spec;
+use crate::seed::seed_spec_cached;
 use crate::symbolize::{symbolize, Selector, SymbolTable};
 
 /// Options for an explanation run.
@@ -160,6 +160,12 @@ pub struct Explanation {
     /// raw artifacts above (notably `simplified_text`) are still sound —
     /// just less condensed than a full run would produce.
     pub verdicts: StageVerdicts,
+    /// Session crossings the seed stage replayed from a shared
+    /// [`EncodeCache`] (0 when explaining without one).
+    pub cache_hits: u64,
+    /// Session crossings the seed stage computed locally while a cache was
+    /// installed (0 when explaining without one).
+    pub cache_misses: u64,
 }
 
 impl fmt::Display for Explanation {
@@ -246,6 +252,28 @@ pub fn explain(
     selector: &Selector,
     options: ExplainOptions,
 ) -> Result<Explanation, ExplainError> {
+    explain_cached(
+        ctx, topo, vocab, sorts, config, spec, router, selector, options, None,
+    )
+}
+
+/// [`explain`] with an optional shared [`EncodeCache`] for the seed stage,
+/// the per-router entry point of [`crate::network::explain_all`]. `ctx`
+/// must be (a clone of) the context the cache was built in; with `None`
+/// this is exactly `explain`.
+#[allow(clippy::too_many_arguments)]
+pub fn explain_cached(
+    ctx: &mut Ctx,
+    topo: &Topology,
+    vocab: &Vocabulary,
+    sorts: VocabSorts,
+    config: &NetworkConfig,
+    spec: &Specification,
+    router: RouterId,
+    selector: &Selector,
+    options: ExplainOptions,
+    cache: Option<&EncodeCache>,
+) -> Result<Explanation, ExplainError> {
     let pipeline_span = Span::enter("explain");
     pipeline_span.attr("router", topo.name(router));
 
@@ -264,9 +292,13 @@ pub fn explain(
     // (2) Seed specification via the synthesizer's encoder.
     let seed = {
         let span = Span::enter("seed");
-        let seed = seed_spec(ctx, topo, vocab, sorts, &sym, spec, options.encode)?;
+        let seed = seed_spec_cached(ctx, topo, vocab, sorts, &sym, spec, options.encode, cache)?;
         span.attr("conjuncts", seed.num_conjuncts);
         span.attr("nodes", seed.size);
+        if cache.is_some() {
+            span.attr("cache_hits", seed.encoded.cache_hits);
+            span.attr("cache_misses", seed.encoded.cache_misses);
+        }
         seed
     };
 
@@ -369,6 +401,8 @@ pub fn explain(
         lift_candidates_checked: lift_checked,
         provenance,
         verdicts,
+        cache_hits: seed.encoded.cache_hits,
+        cache_misses: seed.encoded.cache_misses,
     })
 }
 

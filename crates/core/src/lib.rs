@@ -39,12 +39,18 @@ pub mod assume;
 pub mod error;
 pub mod explain;
 pub mod lift;
+pub mod network;
 pub mod seed;
 pub mod symbolize;
 
 pub use assume::{environment_assumptions, EnvironmentAssumptions};
 pub use error::Error;
-pub use explain::{explain, ExplainError, ExplainOptions, Explanation, StageVerdicts, Verdict};
+pub use explain::{
+    explain, explain_cached, ExplainError, ExplainOptions, Explanation, StageVerdicts, Verdict,
+};
 pub use lift::{lift, LiftOptions, LiftResult};
-pub use seed::{seed_spec, SeedSpec};
+pub use network::{
+    explain_all, ExplainAllOptions, NetworkExplanation, RouterOutcome, RouterReport,
+};
+pub use seed::{seed_spec, seed_spec_cached, SeedSpec};
 pub use symbolize::{symbolize, Dir, Field, Selector, SymbolInfo, SymbolTable};

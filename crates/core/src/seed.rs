@@ -10,7 +10,7 @@
 
 use netexpl_logic::term::{Ctx, TermId};
 use netexpl_spec::Specification;
-use netexpl_synth::encode::{EncodeError, EncodeOptions, Encoded, Encoder};
+use netexpl_synth::encode::{EncodeCache, EncodeError, EncodeOptions, Encoded, Encoder};
 use netexpl_synth::sketch::SymNetworkConfig;
 use netexpl_synth::vocab::{VocabSorts, Vocabulary};
 use netexpl_topology::Topology;
@@ -47,12 +47,34 @@ pub fn seed_spec(
     spec: &Specification,
     options: EncodeOptions,
 ) -> Result<SeedSpec, EncodeError> {
+    seed_spec_cached(ctx, topo, vocab, sorts, sym, spec, options, None)
+}
+
+/// [`seed_spec`] with an optional shared [`EncodeCache`]: crossings of the
+/// network that symbolization left concrete are replayed from the cache
+/// instead of re-derived. `ctx` must be (a clone of) the context the cache
+/// was built in. The resulting seed is logically equivalent to the
+/// uncached one (see the cache-equivalence property suite).
+#[allow(clippy::too_many_arguments)]
+pub fn seed_spec_cached(
+    ctx: &mut Ctx,
+    topo: &Topology,
+    vocab: &Vocabulary,
+    sorts: VocabSorts,
+    sym: &SymNetworkConfig,
+    spec: &Specification,
+    options: EncodeOptions,
+    cache: Option<&EncodeCache>,
+) -> Result<SeedSpec, EncodeError> {
     if netexpl_faults::triggered(netexpl_faults::sites::SEED_ENCODE) {
         return Err(EncodeError::Internal(
             "fault injection: seed.encode".to_string(),
         ));
     }
     let mut encoder = Encoder::new(topo, vocab, sorts, options);
+    if let Some(cache) = cache {
+        encoder = encoder.with_cache(cache);
+    }
     let encoded = encoder.encode(ctx, sym, spec)?;
     let def_conjunction = ctx.and(&encoded.defs.clone());
     let req_conjunction = ctx.and(&encoded.reqs.clone());

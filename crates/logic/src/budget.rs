@@ -175,6 +175,31 @@ impl Budget {
         self
     }
 
+    /// Split this budget across `n` parallel workers.
+    ///
+    /// Countable caps (conflicts/decisions/propagations/memo entries) are
+    /// divided evenly — each worker gets `cap / n`, floored at 1 so a tight
+    /// cap never silently becomes "no work allowed at all". The wall-clock
+    /// deadline and cancel token are *shared*: every worker races the same
+    /// clock, and cancelling one cancels them all. This is the semantics a
+    /// network-wide `explain --all` wants: one stuck router exhausts only
+    /// its own slice and degrades to a best-effort result without starving
+    /// its siblings.
+    pub fn split(&self, n: usize) -> Vec<Budget> {
+        let n = n.max(1);
+        let div_u64 = |cap: Option<u64>| cap.map(|c| (c / n as u64).max(1));
+        let div_usize = |cap: Option<usize>| cap.map(|c| (c / n).max(1));
+        let share = Budget {
+            deadline: self.deadline,
+            max_conflicts: div_u64(self.max_conflicts),
+            max_decisions: div_u64(self.max_decisions),
+            max_propagations: div_u64(self.max_propagations),
+            max_memo_entries: div_usize(self.max_memo_entries),
+            cancel: self.cancel.clone(),
+        };
+        vec![share; n]
+    }
+
     /// True iff no axis is bounded — the hot loops skip all checks then.
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
@@ -251,6 +276,39 @@ mod tests {
             b2.check_coarse("x").unwrap_err().reason,
             InterruptReason::Cancelled
         );
+    }
+
+    #[test]
+    fn split_divides_caps_and_shares_deadline_and_cancel() {
+        let tok = CancelToken::new();
+        let b = Budget::unlimited()
+            .deadline_in(Duration::from_secs(3600))
+            .max_conflicts(100)
+            .max_memo_entries(7)
+            .cancelled_by(tok.clone());
+        let shares = b.split(4);
+        assert_eq!(shares.len(), 4);
+        for s in &shares {
+            assert_eq!(s.deadline, b.deadline);
+            assert_eq!(s.max_conflicts, Some(25));
+            // 7 / 4 floors to 1, not 0: workers always may do *some* work.
+            assert_eq!(s.max_memo_entries, Some(1));
+            assert!(s.check_coarse("x").is_ok());
+        }
+        tok.cancel();
+        for s in &shares {
+            assert_eq!(
+                s.check_coarse("x").unwrap_err().reason,
+                InterruptReason::Cancelled
+            );
+        }
+    }
+
+    #[test]
+    fn split_of_unlimited_stays_unlimited_and_zero_workers_clamps_to_one() {
+        let shares = Budget::unlimited().split(0);
+        assert_eq!(shares.len(), 1);
+        assert!(shares[0].is_unlimited());
     }
 
     #[test]

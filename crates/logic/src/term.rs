@@ -74,7 +74,13 @@ pub enum TermNode {
 }
 
 /// The term arena: variable and enum declarations plus hash-consed terms.
-#[derive(Debug, Default)]
+///
+/// `Clone` duplicates the whole arena. Because the arena is append-only,
+/// every [`TermId`]/[`VarId`] minted in the original remains valid — and
+/// refers to the same node — in the clone. This is what lets a network-wide
+/// explanation build one shared base context and hand each worker thread an
+/// independent copy to extend.
+#[derive(Debug, Default, Clone)]
 pub struct Ctx {
     vars: Vec<VarInfo>,
     enums: Vec<EnumDecl>,

@@ -36,7 +36,7 @@
 //! implications — these are precisely the "low-level encoding variables"
 //! the paper's §4 observes make raw seed specifications hard to read.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use netexpl_bgp::{Action, Origination};
 use netexpl_logic::term::{Ctx, TermId};
@@ -136,6 +136,144 @@ impl PathInfo {
     }
 }
 
+/// A reusable encoding of the *concrete* portion of a network.
+///
+/// Network-wide explanation runs one seed encoding per router, but
+/// symbolization touches only the selected router's route maps — every
+/// other device, the topology walk, and the protocol mechanics are
+/// identical across runs. `EncodeCache::build` performs one path
+/// enumeration over the fully concrete network in a base [`Ctx`] and
+/// records, per session crossing, the resulting route state and the
+/// definitional constraints it emitted. Workers clone the base context
+/// (term ids survive cloning; the arena is append-only) and consult the
+/// cache from [`Encoder::with_cache`]: a crossing whose route maps are
+/// untouched by symbolization and whose incoming state matches a recorded
+/// one is replayed instead of re-derived. Crossings involving the
+/// symbolized router — or downstream states that differ because of it —
+/// miss and are computed locally, which is exactly the "only the
+/// symbolized router's clauses are re-derived" split.
+#[derive(Debug)]
+pub struct EncodeCache {
+    /// The fully concrete network the cache was built from. Lookups
+    /// compare the querying run's route maps against these; any
+    /// difference (e.g. a symbolized map) forces a miss.
+    base_sym: SymNetworkConfig,
+    /// Recorded crossings: input fingerprint → (output state, emitted
+    /// definitional constraints).
+    crossings: HashMap<CrossKey, CrossOut>,
+    /// The fresh-name counter after the build. Encoders using this cache
+    /// start above it so their own definition variables never collide
+    /// with replayed ones.
+    fresh_floor: u32,
+}
+
+/// Fingerprint of one session crossing: the pair of routers, the prefix,
+/// and the full incoming route state. Term ids are stable across context
+/// clones, so the fingerprint transfers from the base context to workers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CrossKey {
+    u: RouterId,
+    v: RouterId,
+    prefix: Prefix,
+    alive: TermId,
+    lp: TermId,
+    nh: TermId,
+    comms: Vec<TermId>,
+    as_path: Vec<AsNum>,
+}
+
+impl CrossKey {
+    fn new(prefix: Prefix, state: &SymRoute, u: RouterId, v: RouterId) -> Self {
+        CrossKey {
+            u,
+            v,
+            prefix,
+            alive: state.alive,
+            lp: state.lp,
+            nh: state.nh,
+            comms: state.comms.clone(),
+            as_path: state.as_path.clone(),
+        }
+    }
+}
+
+/// A recorded crossing result.
+#[derive(Debug, Clone)]
+struct CrossOut {
+    out: SymRoute,
+    constraints: Vec<TermId>,
+}
+
+impl EncodeCache {
+    /// Enumerate every propagation path of the concrete network once,
+    /// recording all session crossings. `ctx` becomes the base context
+    /// workers should clone.
+    pub fn build(
+        ctx: &mut Ctx,
+        topo: &Topology,
+        vocab: &Vocabulary,
+        sorts: VocabSorts,
+        config: &netexpl_bgp::NetworkConfig,
+        options: EncodeOptions,
+    ) -> Result<EncodeCache, EncodeError> {
+        let base_sym = SymNetworkConfig::from_concrete(config);
+        let mut enc = Encoder::new(topo, vocab, sorts, options);
+        enc.recording = true;
+        // The recorded constraints are only ever *replayed* into a seed
+        // encoding on a hit; the build's own output is discarded.
+        let mut prefixes: Vec<Prefix> = base_sym.originations.iter().map(|o| o.prefix).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        let mut sink = Vec::new();
+        for prefix in prefixes {
+            enc.enumerate_paths(ctx, &base_sym, prefix, &mut sink);
+        }
+        Ok(EncodeCache {
+            base_sym,
+            crossings: enc.recorded,
+            fresh_floor: enc.fresh,
+        })
+    }
+
+    /// Number of recorded crossings.
+    pub fn len(&self) -> usize {
+        self.crossings.len()
+    }
+
+    /// True if nothing was recorded (e.g. a network with no originations).
+    pub fn is_empty(&self) -> bool {
+        self.crossings.is_empty()
+    }
+
+    /// Look up a crossing. Hits require both the recorded input
+    /// fingerprint *and* that the querying network's route maps at this
+    /// crossing are identical to the concrete base (symbolized maps
+    /// differ structurally, so they can never hit).
+    fn lookup(
+        &self,
+        sym: &SymNetworkConfig,
+        prefix: Prefix,
+        state: &SymRoute,
+        u: RouterId,
+        v: RouterId,
+    ) -> Option<&CrossOut> {
+        fn session_maps(
+            s: &SymNetworkConfig,
+            u: RouterId,
+            v: RouterId,
+        ) -> (Option<&SymRouteMap>, Option<&SymRouteMap>) {
+            (
+                s.routers.get(&u).and_then(|c| c.export.get(&v)),
+                s.routers.get(&v).and_then(|c| c.import.get(&u)),
+            )
+        }
+        if session_maps(sym, u, v) != session_maps(&self.base_sym, u, v) {
+            return None;
+        }
+        self.crossings.get(&CrossKey::new(prefix, state, u, v))
+    }
+}
+
 /// The encoding result.
 #[derive(Debug, Default)]
 pub struct Encoded {
@@ -156,6 +294,12 @@ pub struct Encoded {
     /// `paths[prefix]`. Built lazily — only prefixes touched by a
     /// reachability or preference requirement get a selection fixpoint.
     pub nominal_sel: BTreeMap<Prefix, Vec<Option<TermId>>>,
+    /// Session crossings replayed from a shared [`EncodeCache`]
+    /// (always 0 when encoding without one).
+    pub cache_hits: u64,
+    /// Session crossings computed locally while a cache was installed
+    /// (always 0 when encoding without one).
+    pub cache_misses: u64,
 }
 
 impl Encoded {
@@ -180,6 +324,13 @@ pub struct Encoder<'a> {
     sorts: VocabSorts,
     options: EncodeOptions,
     fresh: u32,
+    /// Shared concrete-crossing cache to consult, if any.
+    cache: Option<&'a EncodeCache>,
+    /// When set (cache build only), record every crossing computed.
+    recording: bool,
+    recorded: HashMap<CrossKey, CrossOut>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl<'a> Encoder<'a> {
@@ -196,7 +347,23 @@ impl<'a> Encoder<'a> {
             sorts,
             options,
             fresh: 0,
+            cache: None,
+            recording: false,
+            recorded: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
+    }
+
+    /// Consult `cache` for concrete crossings during encoding. The
+    /// context passed to [`Encoder::encode`] must be (a clone of) the
+    /// context the cache was built in, so the replayed term ids resolve.
+    /// The fresh-name counter starts above the cache's, keeping locally
+    /// derived definition variables distinct from replayed ones.
+    pub fn with_cache(mut self, cache: &'a EncodeCache) -> Self {
+        self.fresh = self.fresh.max(cache.fresh_floor);
+        self.cache = Some(cache);
+        self
     }
 
     /// Encode the propagation semantics of `sym` and the requirements of
@@ -242,6 +409,8 @@ impl<'a> Encoder<'a> {
                 .extend(std::iter::repeat_n(idx, enc.reqs.len() - before));
         }
         debug_assert_eq!(enc.reqs.len(), enc.req_origins.len());
+        enc.cache_hits = self.cache_hits;
+        enc.cache_misses = self.cache_misses;
         Ok(enc)
     }
 
@@ -326,9 +495,45 @@ impl<'a> Encoder<'a> {
         }
     }
 
-    /// Apply export(u→v), session advance, and import(v←u).
+    /// Apply export(u→v), session advance, and import(v←u). Consults the
+    /// shared concrete-crossing cache first (replaying the recorded state
+    /// and constraints on a hit) and records computed crossings when
+    /// building one.
     #[allow(clippy::too_many_arguments)]
     fn cross_session(
+        &mut self,
+        ctx: &mut Ctx,
+        sym: &SymNetworkConfig,
+        prefix: Prefix,
+        state: &SymRoute,
+        u: RouterId,
+        v: RouterId,
+        constraints: &mut Vec<TermId>,
+    ) -> SymRoute {
+        if let Some(cache) = self.cache {
+            if let Some(hit) = cache.lookup(sym, prefix, state, u, v) {
+                self.cache_hits += 1;
+                constraints.extend(hit.constraints.iter().copied());
+                return hit.out.clone();
+            }
+            self.cache_misses += 1;
+        }
+        let before = constraints.len();
+        let out = self.cross_session_compute(ctx, sym, prefix, state, u, v, constraints);
+        if self.recording {
+            self.recorded.insert(
+                CrossKey::new(prefix, state, u, v),
+                CrossOut {
+                    out: out.clone(),
+                    constraints: constraints[before..].to_vec(),
+                },
+            );
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn cross_session_compute(
         &mut self,
         ctx: &mut Ctx,
         sym: &SymNetworkConfig,
@@ -1345,6 +1550,145 @@ mod tests {
         let encoded2 = enc2.encode(&mut ctx2, &sym, &fallback).unwrap();
         let conj2 = encoded2.conjunction(&mut ctx2);
         assert!(is_sat(&mut ctx2, conj2), "fallback mode satisfiable");
+    }
+
+    #[test]
+    fn cache_replays_concrete_crossings() {
+        // Fully concrete network: with a prebuilt cache, *every* crossing
+        // hits and the encoding is reproduced term-for-term.
+        let (topo, h) = paper_topology();
+        let vocab = vocab_for(&topo);
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1());
+        net.router_mut(h.r3).set_import(
+            h.r1,
+            RouteMap::new(
+                "hi",
+                vec![RouteMapEntry {
+                    seq: 1,
+                    action: Action::Permit,
+                    matches: vec![],
+                    sets: vec![SetClause::LocalPref(200)],
+                }],
+            ),
+        );
+        let cache = EncodeCache::build(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            EncodeOptions::default(),
+        )
+        .unwrap();
+        assert!(!cache.is_empty());
+
+        let sym = SymNetworkConfig::from_concrete(&net);
+        let spec = netexpl_spec::parse("Req1 { !(P1 -> ... -> P2) }").unwrap();
+
+        let mut worker = ctx.clone();
+        let enc = Encoder::new(&topo, &vocab, sorts, EncodeOptions::default());
+        let cached = enc
+            .with_cache(&cache)
+            .encode(&mut worker, &sym, &spec)
+            .unwrap();
+        assert!(cached.cache_hits > 0, "concrete network must hit");
+        assert_eq!(cached.cache_misses, 0, "no symbolic maps, no misses");
+
+        let mut enc2 = Encoder::new(&topo, &vocab, sorts, EncodeOptions::default());
+        let mut ctx2 = ctx.clone();
+        let uncached = enc2.encode(&mut ctx2, &sym, &spec).unwrap();
+        assert_eq!(uncached.cache_hits, 0);
+        // Same paths and same aliveness terms (pure expressions intern to
+        // identical ids in clones of one base context); `lp` is excluded
+        // because the uncached rerun mints new definition variables for
+        // the same role. Requirement constraints — built from aliveness —
+        // must match term-for-term.
+        let get = |e: &Encoded| {
+            e.paths[&d1()]
+                .iter()
+                .map(|i| (i.routers.clone(), i.alive, i.as_len))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(get(&cached), get(&uncached));
+        // Requirements are interned *after* the contexts forked, so their
+        // own ids may differ between arenas — but each is ¬alive(p) for a
+        // pre-fork aliveness term, and those must line up exactly.
+        assert_eq!(cached.reqs.len(), uncached.reqs.len());
+        for (&rc, &ru) in cached.reqs.iter().zip(&uncached.reqs) {
+            match (worker.node(rc), ctx2.node(ru)) {
+                (netexpl_logic::term::TermNode::Not(a), netexpl_logic::term::TermNode::Not(b)) => {
+                    assert_eq!(a, b, "forbidden reqs negate the same aliveness term")
+                }
+                other => panic!("expected ¬alive reqs, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_misses_on_symbolized_crossings_and_stays_sound() {
+        // Symbolize R1's export to P1: crossings touching that map must
+        // miss; everything else replays. The combined encoding must still
+        // be solvable to the same verdict as the uncached one.
+        let (topo, h) = paper_topology();
+        let vocab = vocab_for(&topo);
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, d1());
+        net.originate(h.p2, "201.0.0.0/16".parse().unwrap());
+        let cache = EncodeCache::build(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &net,
+            EncodeOptions::default(),
+        )
+        .unwrap();
+
+        // Create the hole in the *base* context so both the cached and
+        // uncached clones below can resolve its term.
+        let f = HoleFactory::new(&vocab, sorts);
+        let mut sym = SymNetworkConfig::from_concrete(&net);
+        let a1 = f.action(&mut ctx, "R1_to_P1!action");
+        let mut worker = ctx.clone();
+        sym.router_mut(h.r1).export.insert(
+            h.p1,
+            SymRouteMap {
+                name: "R1_to_P1".into(),
+                entries: vec![SymEntry {
+                    seq: 1,
+                    action: a1,
+                    matches: vec![],
+                    sets: vec![],
+                }],
+            },
+        );
+        let spec = netexpl_spec::parse("Req1 { !(P2 -> ... -> P1) }").unwrap();
+        let enc = Encoder::new(&topo, &vocab, sorts, EncodeOptions::default());
+        let cached = enc
+            .with_cache(&cache)
+            .encode(&mut worker, &sym, &spec)
+            .unwrap();
+        assert!(cached.cache_hits > 0, "crossings away from R1→P1 replay");
+        assert!(
+            cached.cache_misses > 0,
+            "the symbolized crossing recomputes"
+        );
+
+        let c = cached.conjunction(&mut worker);
+        let mut ctx2 = ctx.clone();
+        let mut enc2 = Encoder::new(&topo, &vocab, sorts, EncodeOptions::default());
+        let uncached = enc2.encode(&mut ctx2, &sym, &spec).unwrap();
+        let u = uncached.conjunction(&mut ctx2);
+        assert_eq!(
+            is_sat(&mut worker, c),
+            is_sat(&mut ctx2, u),
+            "cached and uncached encodings must agree on satisfiability"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test"
-cargo test -q
+# Bound the randomized property suites (tests/explain_all.rs reads this
+# itself — the vendored proptest has no env support): enough cases to
+# catch regressions, few enough to keep the gate fast.
+PROPTEST_CASES="${PROPTEST_CASES:-8}" cargo test -q
 
 echo "==> observability smoke: explain --trace=json --metrics-out"
 OBS_DIR="$(mktemp -d)"
@@ -97,5 +100,14 @@ NETEXPL_FAULT="no.such.site" ./target/release/netexpl synth --topology paper \
     --spec "$OBS_DIR/spec.txt" > /dev/null 2> "$OBS_DIR/fault.err" || status=$?
 [ "$status" -eq 1 ] && grep -q 'error\[NX001\]' "$OBS_DIR/fault.err" \
   || { echo "unknown fault site was not rejected"; exit 1; }
+
+echo "==> explain-all smoke: every router reported, run bounded"
+./target/release/netexpl explain --topology paper --spec "$OBS_DIR/spec.txt" \
+    --all --workers 4 --timeout 10 --json > "$OBS_DIR/all.json"
+for router in R1 R2 R3 Customer P1 P2; do
+  grep -q "\"router\": \"$router\"" "$OBS_DIR/all.json" \
+    || { echo "explain --all: $router missing from the aggregate"; exit 1; }
+done
+grep -q '"cancelled": false' "$OBS_DIR/all.json"
 
 echo "==> OK"

@@ -331,8 +331,16 @@ fn bench_writes_scenario_report() {
         "netexpl-test-{}-BENCH_explain.json",
         std::process::id()
     ));
+    // A per-call deadline keeps the debug-profile run quick; interrupted
+    // cases degrade to partial results instead of failing the report.
     let out = netexpl()
-        .args(["bench", "--out", out_path.to_str().unwrap()])
+        .args([
+            "bench",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--timeout",
+            "20",
+        ])
         .output()
         .unwrap();
     assert!(
@@ -351,6 +359,95 @@ fn bench_writes_scenario_report() {
             "{run}"
         );
     }
+    // The network-wide section records both runs and the speedup.
+    let network = &v["network"];
+    assert_eq!(network["sequential"].as_array().unwrap().len(), 6, "{text}");
+    assert_eq!(network["parallel"].as_array().unwrap().len(), 6, "{text}");
+    assert!(network["speedup"].as_f64().is_some(), "{text}");
+    assert!(network["cache_hits"].as_u64().unwrap() > 0, "{text}");
+}
+
+#[test]
+fn explain_all_json_golden() {
+    // Golden shape of the `--all --json` aggregate: every router of the
+    // paper topology reported with a status, explained routers carrying
+    // the full per-explanation fields (`partial`, `verdicts`, …), and the
+    // serializer's stable (lexicographic) key order.
+    let spec = spec_file("explainall", SPEC);
+    let out = netexpl()
+        .args([
+            "explain",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--all",
+            "--workers",
+            "2",
+            "--skip-lift",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+
+    for key in ["workers", "wall_ms", "cache_crossings", "cache_hits"] {
+        assert!(
+            v[key].as_f64().is_some() || v[key].as_u64().is_some(),
+            "{key}: {stdout}"
+        );
+    }
+    assert_eq!(v["cancelled"].as_bool(), Some(false), "{stdout}");
+    assert!(v["partial"].as_bool().is_some(), "{stdout}");
+    assert!(v["cache_hits"].as_u64().unwrap() > 0, "{stdout}");
+
+    let routers = v["routers"].as_array().expect("routers array");
+    assert_eq!(routers.len(), 6, "{stdout}");
+    let mut explained = 0;
+    for r in routers {
+        let name = r["router"].as_str().expect("router name");
+        match r["status"].as_str().expect("status") {
+            "explained" => {
+                explained += 1;
+                assert!(r["partial"].as_bool().is_some(), "{name}: {r}");
+                assert!(r["verdicts"]["simplify"].as_str().is_some(), "{name}: {r}");
+                assert!(r["verdicts"]["lift"].as_str().is_some(), "{name}: {r}");
+                assert!(r["subspecification"].as_str().is_some(), "{name}: {r}");
+            }
+            "skipped" => {}
+            other => panic!("unexpected status `{other}` for {name}: {r}"),
+        }
+        assert!(r["duration_ms"].as_f64().is_some(), "{name}: {r}");
+    }
+    assert!(explained >= 2, "R1/R2 carry synthesized maps: {stdout}");
+
+    // Key order is the serializer's lexicographic one — stable across
+    // runs, so downstream diffing tools can rely on it.
+    let positions: Vec<usize> = [
+        "\"cache_crossings\"",
+        "\"cache_hits\"",
+        "\"cancelled\"",
+        "\"partial\"",
+        "\"routers\"",
+        "\"topology\"",
+    ]
+    .iter()
+    .map(|k| {
+        stdout
+            .find(k)
+            .unwrap_or_else(|| panic!("{k} missing: {stdout}"))
+    })
+    .collect();
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "top-level keys out of order: {positions:?}\n{stdout}"
+    );
 }
 
 #[test]

@@ -2,7 +2,10 @@
 
 //! Shared scenario fixtures for the integration tests: the paper's three
 //! motivating scenarios (§2) on the Figure 1b topology, built exactly as a
-//! NetComplete-style synthesizer would configure them.
+//! NetComplete-style synthesizer would configure them. The `gen` submodule
+//! adds proptest generators for *randomized* scenarios.
+
+pub mod gen;
 
 use netexpl_bgp::{
     Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause,

@@ -1,0 +1,222 @@
+//! Property suites for the network-wide explanation engine:
+//!
+//! * **Differential determinism** — `explain_all` with one worker and
+//!   with several workers produces identical per-router artifacts, each
+//!   matching a direct single-router `explain` call in a fresh context.
+//! * **Cache equivalence** — a seed specification built through the
+//!   shared [`EncodeCache`] is SAT-equivalent to the uncached one (the
+//!   raw term ids differ — fresh definitional variables are minted per
+//!   run — so equivalence is judged by the solver, plus structural
+//!   conjunct counts).
+
+mod common;
+
+use common::gen::{cases_from_env, scenario_over, sized_topology, Scenario};
+use netexpl_core::lift::LiftOptions;
+use netexpl_core::symbolize::symbolize;
+use netexpl_core::{
+    explain, explain_all, seed_spec, seed_spec_cached, ExplainAllOptions, ExplainError,
+    ExplainOptions, NetworkExplanation,
+};
+use netexpl_logic::solver::is_sat;
+use netexpl_logic::term::Ctx;
+use netexpl_synth::encode::{EncodeCache, EncodeOptions};
+use netexpl_synth::sketch::HoleFactory;
+use proptest::prelude::*;
+
+/// Pipeline options for the differential runs. The lift caps are small to
+/// keep debug-build cases fast, and *deterministic*: unlike the run
+/// budget (which [`explain_all`] splits per worker), `max_window` /
+/// `max_candidates` apply per router identically at any worker count, so
+/// they cannot perturb the comparison.
+fn diff_options() -> ExplainOptions {
+    ExplainOptions {
+        lift: LiftOptions {
+            max_window: 3,
+            max_candidates: 24,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Renumber `#N` fresh-variable suffixes by first appearance, so texts
+/// can be compared *modulo fresh-variable renaming*. The fleet explains
+/// each router in a clone of a context that already held the encoding
+/// cache's variables, so its fresh indices start higher than a standalone
+/// run's — `sel[p]#5` there is `sel[p]#4` directly. Structure, not
+/// numbering, is the artifact under test.
+fn canon(texts: &[String]) -> Vec<String> {
+    let mut ids: Vec<String> = Vec::new();
+    texts
+        .iter()
+        .map(|t| {
+            let mut out = String::with_capacity(t.len());
+            let mut chars = t.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c != '#' {
+                    out.push(c);
+                    continue;
+                }
+                let mut num = String::new();
+                while let Some(d) = chars.peek().filter(|d| d.is_ascii_digit()) {
+                    num.push(*d);
+                    chars.next();
+                }
+                if num.is_empty() {
+                    out.push('#');
+                } else {
+                    let id = ids.iter().position(|n| n == &num).unwrap_or_else(|| {
+                        ids.push(num.clone());
+                        ids.len() - 1
+                    });
+                    out.push_str(&format!("#v{id}"));
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+fn run_all(s: &Scenario, workers: usize) -> Result<NetworkExplanation, ExplainError> {
+    let vocab = s.vocab();
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+    explain_all(
+        &mut ctx,
+        &s.topo,
+        &vocab,
+        sorts,
+        &s.net,
+        &s.spec,
+        &s.selector,
+        ExplainAllOptions {
+            explain: diff_options(),
+            workers,
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(cases_from_env(4))]
+
+    // Whole-pipeline differential runs (3× a full explain per router) are
+    // seconds each in a debug build, so this suite sticks to the small
+    // end of the generator's size range.
+    #[test]
+    fn worker_count_never_changes_artifacts(s in scenario_over(sized_topology(1usize..4))) {
+        let one = run_all(&s, 1);
+        let many = run_all(&s, 4);
+        match (one, many) {
+            // A selector may match nothing anywhere; both runs must agree.
+            (Err(ExplainError::NothingSymbolized), Err(ExplainError::NothingSymbolized)) => {}
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.routers.len(), b.routers.len());
+                for (ra, rb) in a.routers.iter().zip(&b.routers) {
+                    prop_assert_eq!(&ra.router, &rb.router);
+                    prop_assert_eq!(ra.outcome.status(), rb.outcome.status(), "{}", ra.router);
+                    if let (Some(ea), Some(eb)) =
+                        (ra.outcome.explanation(), rb.outcome.explanation())
+                    {
+                        prop_assert_eq!(&ea.symbolized, &eb.symbolized);
+                        prop_assert_eq!(ea.seed_conjuncts, eb.seed_conjuncts);
+                        prop_assert_eq!(&ea.simplified_text, &eb.simplified_text);
+                        prop_assert_eq!(ea.subspec.to_string(), eb.subspec.to_string());
+                        prop_assert_eq!(ea.lift_complete, eb.lift_complete);
+                        prop_assert_eq!(ea.cache_hits, eb.cache_hits);
+                    }
+                }
+                prop_assert_eq!(a.cache_hits, b.cache_hits);
+                // Every per-router result also matches a direct `explain`
+                // call with no cache, in its own fresh context.
+                let vocab = s.vocab();
+                for report in &a.routers {
+                    let r = s.topo.router_by_name(&report.router).unwrap();
+                    let mut ctx = Ctx::new();
+                    let sorts = vocab.sorts(&mut ctx);
+                    match explain(
+                        &mut ctx, &s.topo, &vocab, sorts, &s.net, &s.spec, r,
+                        &s.selector, diff_options(),
+                    ) {
+                        Ok(direct) => {
+                            let par = report.outcome.explanation();
+                            prop_assert!(par.is_some(), "{} explained only directly", report.router);
+                            let par = par.unwrap();
+                            prop_assert_eq!(par.subspec.to_string(), direct.subspec.to_string());
+                            prop_assert_eq!(
+                                canon(&par.simplified_text),
+                                canon(&direct.simplified_text)
+                            );
+                            prop_assert_eq!(par.lift_complete, direct.lift_complete);
+                        }
+                        Err(ExplainError::NothingSymbolized) => {
+                            prop_assert_eq!(report.outcome.status(), "skipped", "{}", report.router);
+                        }
+                        // A hard (encode) error must reproduce in-fleet.
+                        Err(_) => {
+                            prop_assert_eq!(report.outcome.status(), "failed", "{}", report.router);
+                        }
+                    }
+                }
+            }
+            (a, b) => prop_assert!(
+                false,
+                "worker count changed the run verdict: workers=1 ok={}, workers=4 ok={}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    // No lift here (seed stage only), so mid-sized networks fit too; the
+    // cost ceiling is the two DPLL satisfiability checks.
+    #[test]
+    fn cached_seed_is_equivalent_to_uncached(
+        s in scenario_over(sized_topology(prop_oneof![3 => 1usize..4, 1 => 4usize..7])),
+        rpick in any::<usize>(),
+    ) {
+        let vocab = s.vocab();
+        let mut base = Ctx::new();
+        let sorts = vocab.sorts(&mut base);
+        let cache = EncodeCache::build(
+            &mut base, &s.topo, &vocab, sorts, &s.net, EncodeOptions::default(),
+        )
+        .unwrap();
+        let routers: Vec<_> = s.topo.router_ids().collect();
+        let r = routers[rpick % routers.len()];
+        // Symbolize in the *base* context so both clones below share the
+        // hole terms.
+        let factory = HoleFactory::new(&vocab, sorts);
+        let (sym, table) = symbolize(&mut base, &factory, &s.topo, &s.net, r, &s.selector);
+        if table.is_empty() {
+            return Ok(());
+        }
+        let mut cached_ctx = base.clone();
+        let mut plain_ctx = base.clone();
+        let cached = seed_spec_cached(
+            &mut cached_ctx, &s.topo, &vocab, sorts, &sym, &s.spec,
+            EncodeOptions::default(), Some(&cache),
+        )
+        .unwrap();
+        let plain = seed_spec(
+            &mut plain_ctx, &s.topo, &vocab, sorts, &sym, &s.spec, EncodeOptions::default(),
+        )
+        .unwrap();
+        // Replaying a crossing emits exactly the constraints computing it
+        // would have: the conjunct counts line up...
+        prop_assert_eq!(cached.encoded.reqs.len(), plain.encoded.reqs.len());
+        prop_assert_eq!(cached.num_conjuncts, plain.num_conjuncts);
+        // ...and the full seeds agree under the solver (term-level
+        // equality is too strong: each run mints its own fresh
+        // definitional variables).
+        let c = cached.conjunction(&mut cached_ctx);
+        let u = plain.conjunction(&mut plain_ctx);
+        prop_assert_eq!(
+            is_sat(&mut cached_ctx, c),
+            is_sat(&mut plain_ctx, u),
+            "cached and uncached seeds disagree on satisfiability ({})",
+            s.topo.name(r)
+        );
+    }
+}
