@@ -234,14 +234,15 @@ pub fn network_report_with(budget: &Budget, workers: usize) -> Result<Value, Str
             ])
         })
         .collect();
-    // Wall-clock speedup is bounded by the machine, not the fan-out:
-    // record how many cores this run actually had to work with.
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // Wall-clock speedup is bounded by the machine, not the fan-out: record
+    // both the requested worker count and the detected parallelism. The two
+    // can differ (a `--workers 8` run on a 2-core box is clamped), and a
+    // failed detection is reported as null rather than a misleading `1`.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).ok();
     Ok(Value::object([
+        ("workers_requested", Value::from(workers)),
         ("workers", Value::from(all.workers)),
-        ("cores", Value::from(cores)),
+        ("cores", cores.map(Value::from).unwrap_or(Value::Null)),
         ("sequential_ms", Value::from(sequential_ms)),
         ("parallel_ms", Value::from(parallel_ms)),
         (
@@ -259,6 +260,104 @@ pub fn network_report_with(budget: &Budget, workers: usize) -> Result<Value, Str
         ("sequential", Value::from(sequential)),
         ("parallel", Value::from(parallel)),
         ("counters", Value::object(counters)),
+    ]))
+}
+
+/// Lift-stage section: scenario 3's `Req1` on the paper's six-router
+/// network, lifted twice over identically built seeds — once on persistent
+/// solver sessions (encode once, one assumption query per candidate) and
+/// once with a fresh solver per entailment query — and timed both ways.
+/// Both runs start from a cold context so neither inherits warm hash-cons
+/// state; the incremental run goes *first*, the conservative ordering (any
+/// cache or allocator warm-up favours the later, fresh run).
+pub fn lift_report_with(budget: &Budget) -> Result<Value, String> {
+    use netexpl_synth::encode::EncodeOptions;
+    use netexpl_synth::sketch::HoleFactory;
+
+    let (topo, h, net, spec) = scenario3();
+    let spec = only_blocks(&spec, &["Req1"]);
+    let vocab = paper_vocab(&topo, net.prefixes());
+
+    let run = |incremental: bool| -> Result<_, String> {
+        let (guard, handle) = netexpl_obs::install_memory();
+        let mut ctx = Ctx::new();
+        let sorts = vocab.sorts(&mut ctx);
+        let factory = HoleFactory::new(&vocab, sorts);
+        let (sym, _table) = netexpl_core::symbolize(
+            &mut ctx,
+            &factory,
+            &topo,
+            &net,
+            h.r2,
+            &Selector::Session {
+                neighbor: h.p2,
+                dir: Dir::Export,
+            },
+        );
+        let seed = netexpl_core::seed_spec(
+            &mut ctx,
+            &topo,
+            &vocab,
+            sorts,
+            &sym,
+            &spec,
+            EncodeOptions {
+                max_path_len: topo.num_routers(),
+            },
+        )
+        .map_err(|e| format!("lift bench seed: {e}"))?;
+        let t0 = Instant::now();
+        let result = netexpl_core::lift(
+            &mut ctx,
+            &topo,
+            &spec,
+            &seed,
+            h.r2,
+            netexpl_core::LiftOptions {
+                budget: budget.clone(),
+                incremental,
+                ..Default::default()
+            },
+        );
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        drop(guard);
+        let metrics = handle.metrics().unwrap_or_default();
+        Ok((ms, result, metrics))
+    };
+
+    let (incremental_ms, inc, inc_metrics) = run(true)?;
+    let (fresh_ms, fresh, fresh_metrics) = run(false)?;
+
+    let inc_queries = inc_metrics.counter("session.queries");
+    let fresh_queries = fresh_metrics.counter("smt.queries");
+    Ok(Value::object([
+        ("router", Value::from(inc.subspec.router.as_str())),
+        ("fresh_ms", Value::from(fresh_ms)),
+        ("incremental_ms", Value::from(incremental_ms)),
+        ("speedup", Value::from(fresh_ms / incremental_ms.max(1e-9))),
+        ("fresh_queries", Value::from(fresh_queries)),
+        ("incremental_queries", Value::from(inc_queries)),
+        (
+            "fresh_ms_per_query",
+            Value::from(fresh_ms / (fresh_queries.max(1) as f64)),
+        ),
+        (
+            "incremental_ms_per_query",
+            Value::from(incremental_ms / (inc_queries.max(1) as f64)),
+        ),
+        (
+            "reused_clauses",
+            Value::from(inc_metrics.counter("session.reused_clauses")),
+        ),
+        (
+            "db_reductions",
+            Value::from(inc_metrics.counter("session.db_reductions")),
+        ),
+        ("candidates_checked", Value::from(inc.candidates_checked)),
+        (
+            "subspec_agrees",
+            Value::from(inc.subspec == fresh.subspec && inc.complete == fresh.complete),
+        ),
     ]))
 }
 
@@ -280,6 +379,7 @@ pub fn explain_report_with(budget: &Budget) -> Result<Value, String> {
     Ok(Value::object([
         ("scenarios", Value::from(runs)),
         ("network", network_report_with(budget, 4)?),
+        ("lift", lift_report_with(budget)?),
     ]))
 }
 
@@ -316,8 +416,24 @@ mod tests {
                 );
             }
             assert!(run["rule_firings"].as_u64().unwrap() > 0);
-            assert!(run["counters"]["smt.queries"].as_u64().unwrap() > 0);
+            // Solver traffic shows up as `session.queries` on the default
+            // incremental path and `smt.queries` under NETEXPL_FRESH_SOLVER.
+            let queries = run["counters"]["smt.queries"].as_u64().unwrap_or(0)
+                + run["counters"]["session.queries"].as_u64().unwrap_or(0);
+            assert!(queries > 0, "no solver queries in {:?}", run["scenario"]);
         }
+    }
+
+    #[test]
+    fn lift_section_times_both_backends_and_they_agree() {
+        let budget = Budget::unlimited().deadline_in(std::time::Duration::from_secs(30));
+        let lift = lift_report_with(&budget).unwrap();
+        assert!(lift["fresh_ms"].as_f64().unwrap() > 0.0);
+        assert!(lift["incremental_ms"].as_f64().unwrap() > 0.0);
+        assert!(lift["speedup"].as_f64().is_some());
+        assert!(lift["incremental_queries"].as_u64().unwrap() > 0);
+        assert!(lift["candidates_checked"].as_u64().unwrap() > 0);
+        assert_eq!(lift["subspec_agrees"], Value::Bool(true));
     }
 
     #[test]
@@ -341,6 +457,16 @@ mod tests {
         assert!(network["sequential_ms"].as_f64().unwrap() > 0.0);
         assert!(network["parallel_ms"].as_f64().unwrap() > 0.0);
         assert!(network["speedup"].as_f64().is_some());
+        // The requested fan-out, the effective worker count, and the
+        // machine's parallelism are three distinct facts — workers can
+        // legitimately exceed cores (the speedup is then core-bound), so
+        // all three are reported instead of conflated.
+        assert_eq!(network["workers_requested"].as_u64(), Some(4));
+        let workers = network["workers"].as_u64().unwrap();
+        assert!((1..=4).contains(&workers));
+        if !network["cores"].is_null() {
+            assert!(network["cores"].as_u64().unwrap() >= 1);
+        }
         assert!(network["cache_hits"].as_u64().unwrap() > 0);
         assert!(network["counters"]["cache.hit"].as_u64().unwrap() > 0);
     }

@@ -595,10 +595,21 @@ pub fn scenario(args: &[String]) -> Result<(), Error> {
 
 /// `netexpl bench` — run the explain pipeline over the paper's three
 /// scenarios under an in-memory obs session and write the per-scenario
-/// stage timings, sizes, and solver counters as a JSON report.
+/// stage timings, sizes, and solver counters as a JSON report. With
+/// `--json` the report goes to stdout instead of a file, so scripts can
+/// pipe it without a temp file.
 pub fn bench(args: &[String]) -> Result<(), Error> {
-    let opts = Options::parse(args, &[]).map_err(usage)?;
+    let opts = Options::parse(args, &["json"]).map_err(usage)?;
     let budget = parse_budget(&opts)?;
+    if opts.flag("json") {
+        let report =
+            netexpl_bench::report::explain_report_with(&budget).map_err(|e| Error::Io {
+                path: "<stdout>".to_string(),
+                source: std::io::Error::other(e),
+            })?;
+        println!("{}", serde_json::to_string_pretty(&report));
+        return Ok(());
+    }
     let out = opts.get("out").unwrap_or("BENCH_explain.json");
     netexpl_bench::report::write_report_with(out, budget).map_err(|e| Error::Io {
         path: out.to_string(),

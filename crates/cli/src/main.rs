@@ -10,7 +10,7 @@
 //!                  [--workers N] [--fail-fast] [--json]
 //! netexpl simulate --topology paper --spec spec.txt [--fail R1-R3]
 //! netexpl scenario <1|2|3>
-//! netexpl bench    [--out BENCH_explain.json]
+//! netexpl bench    [--out BENCH_explain.json] [--json]
 //! netexpl obs-check --trace-file trace.jsonl [--metrics-file metrics.json]
 //! ```
 //!
@@ -101,7 +101,7 @@ fn print_usage() {
            netexpl assumptions --topology <T> --spec <FILE> --router <NAME>\n\
            netexpl simulate --topology <T> --spec <FILE> [--fail <A-B>]...\n\
            netexpl scenario <1|2|3>\n\
-           netexpl bench    [--out <FILE>]          (default BENCH_explain.json)\n\
+           netexpl bench    [--out <FILE>] [--json]   (default BENCH_explain.json)\n\
            netexpl obs-check --trace-file <FILE> [--metrics-file <FILE>]\n\
          \n\
          OBSERVABILITY (synth, lint, explain):\n\

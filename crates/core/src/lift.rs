@@ -19,11 +19,21 @@
 //!   (a candidate already implied by the chosen set adds nothing); finally
 //!   the chosen set is checked for **sufficiency** (`defs ∧ chosen ⊨ reqs`).
 //!
+//! Every candidate is judged against the *same* two assertion bases (`defs`
+//! and `defs ∧ reqs`), so by default the search runs on two incremental
+//! [`SmtSession`]s — one per side — that encode those bases once and answer
+//! each candidate as an assumption query, retaining learned clauses between
+//! candidates. Setting [`LiftOptions::incremental`] to `false` (or the
+//! `NETEXPL_FRESH_SOLVER` environment variable) restores the original
+//! fresh-solver-per-query behaviour for ablation and differential testing;
+//! both paths answer identically.
+//!
 //! The result is a [`SubSpec`] in the same language as the global
 //! specification — Figures 2, 4 and 5 of the paper fall out of this search
 //! (see the workspace integration tests).
 
 use netexpl_logic::budget::{Budget, Interrupt, InterruptReason};
+use netexpl_logic::session::{incremental_enabled, SmtSession};
 use netexpl_logic::solver::{entails_under, SmtSolver};
 use netexpl_logic::term::{Ctx, TermId};
 use netexpl_spec::{PathPattern, Requirement, Seg, Specification, SubSpec};
@@ -43,6 +53,11 @@ pub struct LiftOptions {
     /// interrupt in [`LiftResult::interrupt`]; everything already kept stays
     /// necessary.
     pub budget: Budget,
+    /// Run the candidate checks on persistent [`SmtSession`]s (encode the
+    /// bases once, one assumption query per candidate) instead of a fresh
+    /// solver per query. Defaults to [`incremental_enabled`]; disable for
+    /// ablation or differential runs.
+    pub incremental: bool,
 }
 
 impl Default for LiftOptions {
@@ -51,6 +66,7 @@ impl Default for LiftOptions {
             max_window: 6,
             max_candidates: 256,
             budget: Budget::unlimited(),
+            incremental: incremental_enabled(),
         }
     }
 }
@@ -78,6 +94,117 @@ pub struct LiftResult {
     pub interrupt: Option<Interrupt>,
 }
 
+/// The solver backend behind the lifter's entailment queries. Both flavours
+/// answer exactly the same questions; the session flavour encodes each
+/// assertion base once and carries learned clauses from candidate to
+/// candidate.
+enum Checker {
+    /// One fresh [`SmtSolver`] per query (the pre-session behaviour, kept
+    /// for ablation and differential testing).
+    Fresh {
+        defs: TermId,
+        seed_conj: TermId,
+        budget: Budget,
+    },
+    /// Two persistent sessions: `base` holds `defs`, `seed` holds
+    /// `defs ∧ reqs`. `base` never receives candidate-specific assertions —
+    /// sufficiency hypotheses and provenance negations travel as
+    /// assumptions — so one encoding serves every query shape.
+    Session {
+        base: Box<SmtSession>,
+        seed: Box<SmtSession>,
+    },
+}
+
+impl Checker {
+    fn new(ctx: &mut Ctx, defs: TermId, reqs: TermId, options: &LiftOptions) -> Checker {
+        if options.incremental {
+            let mut base = Box::new(SmtSession::new());
+            base.set_budget(options.budget.clone());
+            base.assert(ctx, defs);
+            let mut seed = Box::new(SmtSession::new());
+            seed.set_budget(options.budget.clone());
+            seed.assert(ctx, defs);
+            seed.assert(ctx, reqs);
+            Checker::Session { base, seed }
+        } else {
+            let seed_conj = ctx.and2(defs, reqs);
+            Checker::Fresh {
+                defs,
+                seed_conj,
+                budget: options.budget.clone(),
+            }
+        }
+    }
+
+    /// `defs ⊨ cand`? (the non-triviality check, negated)
+    fn defs_entails(&mut self, ctx: &mut Ctx, cand: TermId) -> Result<bool, Interrupt> {
+        match self {
+            Checker::Fresh { defs, budget, .. } => entails_under(ctx, *defs, cand, budget),
+            Checker::Session { base, .. } => base.entails(ctx, cand),
+        }
+    }
+
+    /// `defs ∧ reqs ⊨ cand`? (necessity)
+    fn seed_entails(&mut self, ctx: &mut Ctx, cand: TermId) -> Result<bool, Interrupt> {
+        match self {
+            Checker::Fresh {
+                seed_conj, budget, ..
+            } => entails_under(ctx, *seed_conj, cand, budget),
+            Checker::Session { seed, .. } => seed.entails(ctx, cand),
+        }
+    }
+
+    /// `defs ∧ chosen ⊨ reqs`? (sufficiency)
+    fn sufficient(
+        &mut self,
+        ctx: &mut Ctx,
+        chosen: &[TermId],
+        reqs: TermId,
+    ) -> Result<bool, Interrupt> {
+        match self {
+            Checker::Fresh { defs, budget, .. } => {
+                let mut terms = vec![*defs];
+                terms.extend_from_slice(chosen);
+                let conj = ctx.and(&terms);
+                entails_under(ctx, conj, reqs, budget)
+            }
+            Checker::Session { base, .. } => base.entails_assuming(ctx, chosen, reqs),
+        }
+    }
+
+    /// Unsat-core indices into `req_groups` for `defs ∧ groups ∧ ¬cand`.
+    fn provenance_core(
+        &mut self,
+        ctx: &mut Ctx,
+        cand: TermId,
+        req_groups: &[TermId],
+    ) -> Vec<usize> {
+        match self {
+            Checker::Fresh { defs, budget, .. } => {
+                let mut solver = SmtSolver::new();
+                solver.set_budget(budget.clone());
+                solver.assert(*defs);
+                let neg = ctx.not(cand);
+                solver.assert(neg);
+                solver.check_assuming(ctx, req_groups).1
+            }
+            Checker::Session { base, .. } => {
+                // ¬cand rides along as the last assumption; indices beyond
+                // the requirement groups are its, not a block's.
+                let neg = ctx.not(cand);
+                let mut assumptions: Vec<TermId> = req_groups.to_vec();
+                assumptions.push(neg);
+                base.check_assuming(ctx, &assumptions)
+                    .1
+                    .into_iter()
+                    .filter(|&i| i < req_groups.len())
+                    .collect()
+            }
+        }
+    }
+}
+
 /// Lift the seed specification of `router` into the specification language.
 pub fn lift(
     ctx: &mut Ctx,
@@ -90,6 +217,7 @@ pub fn lift(
     let defs = seed.def_conjunction;
     let reqs = seed.req_conjunction;
     let budget = options.budget.clone();
+    let mut checker = Checker::new(ctx, defs, reqs, &options);
     let mut checked = 0usize;
     let mut interrupt: Option<Interrupt> = None;
 
@@ -167,7 +295,7 @@ pub fn lift(
         };
         checked += 1;
         // Non-trivial: not already guaranteed by the frozen network.
-        match entails_under(ctx, defs, cand, &budget) {
+        match checker.defs_entails(ctx, cand) {
             Ok(true) => continue,
             Ok(false) => {}
             Err(i) => {
@@ -176,8 +304,7 @@ pub fn lift(
             }
         }
         // Necessary: implied by the seed.
-        let seed_conj = ctx.and2(defs, reqs);
-        match entails_under(ctx, seed_conj, cand, &budget) {
+        match checker.seed_entails(ctx, cand) {
             Ok(true) => {}
             Ok(false) => continue,
             Err(i) => {
@@ -213,7 +340,7 @@ pub fn lift(
         checked += 1;
         // Relevant only if the preference genuinely constrains this router —
         // i.e. the frozen rest of the network does not already guarantee it.
-        match entails_under(ctx, defs, own_conj, &budget) {
+        match checker.defs_entails(ctx, own_conj) {
             Ok(true) => continue,
             Ok(false) => {}
             Err(i) => {
@@ -253,7 +380,7 @@ pub fn lift(
             }
             let cand = ctx.or(&sels);
             checked += 1;
-            match entails_under(ctx, defs, cand, &budget) {
+            match checker.defs_entails(ctx, cand) {
                 Ok(true) => continue, // guaranteed by the frozen network: not local
                 Ok(false) => {}
                 Err(i) => {
@@ -261,8 +388,7 @@ pub fn lift(
                     break;
                 }
             }
-            let seed_conj = ctx.and2(defs, reqs);
-            match entails_under(ctx, seed_conj, cand, &budget) {
+            match checker.seed_entails(ctx, cand) {
                 Ok(true) => {}
                 Ok(false) => continue, // not necessary
                 Err(i) => {
@@ -283,14 +409,11 @@ pub fn lift(
     // ---- sufficiency ---------------------------------------------------------
     // An interrupted search cannot claim sufficiency: candidates it never
     // examined might have been required.
-    let chosen_terms: Vec<TermId> = std::iter::once(defs)
-        .chain(kept.iter().map(|(_, t)| *t))
-        .collect();
-    let chosen_conj = ctx.and(&chosen_terms);
+    let chosen_terms: Vec<TermId> = kept.iter().map(|(_, t)| *t).collect();
     let complete = if interrupt.is_some() {
         false
     } else {
-        match entails_under(ctx, chosen_conj, reqs, &budget) {
+        match checker.sufficient(ctx, &chosen_terms, reqs) {
             Ok(v) => v,
             Err(i) => {
                 interrupt = Some(i);
@@ -331,12 +454,7 @@ pub fn lift(
             provenance.push(Vec::new());
             continue;
         }
-        let mut solver = SmtSolver::new();
-        solver.set_budget(budget.clone());
-        solver.assert(defs);
-        let neg = ctx.not(*cand);
-        solver.assert(neg);
-        let (_, core) = solver.check_assuming(ctx, &req_groups);
+        let core = checker.provenance_core(ctx, *cand, &req_groups);
         let mut blocks: Vec<String> = core
             .iter()
             .filter_map(|&i| block_names.get(i).cloned())

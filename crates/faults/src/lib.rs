@@ -33,6 +33,10 @@ pub mod sites {
     pub const SIMPLIFY_PASS: &str = "simplify.pass";
     /// Interrupt the lifter's candidate entailment checks.
     pub const LIFT_CANDIDATE: &str = "lift.candidate";
+    /// Interrupt an incremental solver session between queries: the
+    /// in-flight query reports `Unknown`, previously returned answers stay
+    /// valid, and the session remains usable once disarmed.
+    pub const SESSION_QUERY: &str = "session.query";
 
     /// Every site, for exhaustive injection matrices.
     pub const ALL: &[&str] = &[
@@ -43,6 +47,7 @@ pub mod sites {
         SEED_ENCODE,
         SIMPLIFY_PASS,
         LIFT_CANDIDATE,
+        SESSION_QUERY,
     ];
 }
 

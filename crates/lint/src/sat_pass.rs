@@ -25,8 +25,10 @@ use std::collections::{BTreeMap, HashSet};
 
 use netexpl_bgp::{MatchClause, NetworkConfig, RouteMap};
 use netexpl_core::symbolize::Dir;
+use netexpl_logic::session::{incremental_enabled, SmtSession};
 use netexpl_logic::solver::is_unsat;
 use netexpl_logic::term::{Ctx, TermId};
+use netexpl_logic::SmtResult;
 use netexpl_synth::vocab::{VocabSorts, Vocabulary};
 use netexpl_topology::{RouterId, Topology};
 
@@ -197,12 +199,26 @@ fn lint_map(
         })
         .collect();
 
+    // One session per map: the domain constraints are encoded once and every
+    // entry probe rides on it as an assumption query, so learned clauses from
+    // earlier entries prune the search for later ones.
+    let mut session = incremental_enabled().then(SmtSession::new);
+    if let Some(s) = session.as_mut() {
+        s.assert(ctx, route.domain);
+    }
+
     for (i, &m_i) in match_terms.iter().enumerate() {
         let e = &map.entries[i];
-        let matchable = ctx.and2(route.domain, m_i);
         // Diagnose only on an explicit Unsat verdict: an `Unknown` from a
         // budgeted/faulted solver must not masquerade as a refutation.
-        if is_unsat(ctx, matchable) {
+        let contradictory = match session.as_mut() {
+            Some(s) => matches!(s.check_assuming(ctx, &[m_i]).0, SmtResult::Unsat),
+            None => {
+                let matchable = ctx.and2(route.domain, m_i);
+                is_unsat(ctx, matchable)
+            }
+        };
+        if contradictory {
             diags.push(
                 Diagnostic::new(
                     Code::ContradictoryMatch,
@@ -219,12 +235,24 @@ fn lint_map(
         if i == 0 || skip.contains(&(r, n, dir, i)) {
             continue;
         }
-        let mut reach = vec![route.domain, m_i];
-        for &m_j in &match_terms[..i] {
-            reach.push(ctx.not(m_j));
-        }
-        let reach = ctx.and(&reach);
-        if is_unsat(ctx, reach) {
+        let unreachable = match session.as_mut() {
+            Some(s) => {
+                let mut assumptions = vec![m_i];
+                for &m_j in &match_terms[..i] {
+                    assumptions.push(ctx.not(m_j));
+                }
+                matches!(s.check_assuming(ctx, &assumptions).0, SmtResult::Unsat)
+            }
+            None => {
+                let mut reach = vec![route.domain, m_i];
+                for &m_j in &match_terms[..i] {
+                    reach.push(ctx.not(m_j));
+                }
+                let reach = ctx.and(&reach);
+                is_unsat(ctx, reach)
+            }
+        };
+        if unreachable {
             diags.push(
                 Diagnostic::new(
                     Code::UnreachableEntry,

@@ -50,6 +50,10 @@ impl ELit {
 pub struct CnfBuilder {
     cnf: Cnf,
     memo: HashMap<TermId, ELit>,
+    /// Clauses already handed out by [`CnfBuilder::take_new_clauses`]; the
+    /// session drains the builder after each assertion/definition so only
+    /// novel gate clauses flow into the live solver.
+    drained: usize,
 }
 
 impl CnfBuilder {
@@ -82,6 +86,36 @@ impl CnfBuilder {
     /// Finish and return the CNF.
     pub fn finish(self) -> Cnf {
         self.cnf
+    }
+
+    /// Total SAT variables allocated so far (inputs + Tseitin definitions).
+    pub fn num_vars(&self) -> usize {
+        self.cnf.num_vars
+    }
+
+    /// Total clauses emitted so far (including already-drained ones).
+    pub fn num_clauses(&self) -> usize {
+        self.cnf.clauses.len()
+    }
+
+    /// The SAT variable for a term-level variable, if it occurs.
+    pub fn sat_var(&self, v: VarId) -> Option<usize> {
+        self.cnf.sat_var(v)
+    }
+
+    /// The term-variable → SAT-variable map built so far.
+    pub fn var_map(&self) -> &HashMap<VarId, usize> {
+        &self.cnf.var_map
+    }
+
+    /// Clauses emitted since the last drain. An incremental session calls
+    /// this after each [`CnfBuilder::assert_term`]/[`CnfBuilder::define_term`]
+    /// and feeds the delta into its long-lived solver; the full clause list
+    /// is still retained for [`CnfBuilder::finish`].
+    pub fn take_new_clauses(&mut self) -> Vec<Vec<Lit>> {
+        let new = self.cnf.clauses[self.drained..].to_vec();
+        self.drained = self.cnf.clauses.len();
+        new
     }
 
     fn fresh(&mut self) -> Lit {

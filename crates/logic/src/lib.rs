@@ -28,6 +28,8 @@
 //! * [`dpll`] — a deliberately simple DPLL baseline used for testing and for
 //!   the solver-ablation benchmark.
 //! * [`solver`] — the user-facing [`solver::SmtSolver`] tying it all together.
+//! * [`session`] — the incremental [`session::SmtSession`]: encode once,
+//!   query many times under assumptions, learned clauses retained.
 //!
 //! ## Quick example
 //!
@@ -58,6 +60,7 @@ pub mod dpll;
 pub mod model;
 pub mod nnf;
 pub mod sat;
+pub mod session;
 pub mod simplify;
 pub mod solver;
 pub mod sort;
@@ -65,6 +68,7 @@ pub mod term;
 
 pub use budget::{Budget, CancelToken, Interrupt, InterruptReason};
 pub use model::Assignment;
+pub use session::SmtSession;
 pub use simplify::{RuleMask, Simplifier};
 pub use solver::{SmtResult, SmtSolver};
 pub use sort::{EnumSortId, Sort};

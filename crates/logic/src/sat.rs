@@ -9,9 +9,18 @@
 //!
 //! The implementation follows the MiniSat architecture. It is deliberately
 //! free of unsafe code and of heuristics that only pay off on industrial
-//! instances (clause deletion, phase saving beyond polarity caching,
-//! preprocessing): the synthesis encodings in this workspace are thousands,
-//! not millions, of clauses.
+//! instances (phase saving beyond polarity caching, preprocessing): the
+//! synthesis encodings in this workspace are thousands, not millions, of
+//! clauses.
+//!
+//! One industrial feature *is* included: learned-clause database reduction,
+//! keyed on literal block distance (LBD). A one-shot query never needs it,
+//! but [`crate::session::SmtSession`] keeps one solver alive across an
+//! entire lifting search, and the learned clauses retained between queries
+//! must not grow without bound. Reduction runs at restart boundaries
+//! (decision level 0), drops the weakest half of the long high-LBD learned
+//! clauses, and never drops a clause that is the reason for a currently
+//! assigned literal.
 
 /// A literal: a variable index with a sign. Encoded as `var << 1 | sign`
 /// where sign 1 means negated.
@@ -129,12 +138,37 @@ pub struct SatStats {
     pub learned: u64,
 }
 
+/// Per-clause bookkeeping for database reduction.
+#[derive(Debug, Clone, Copy)]
+struct ClauseInfo {
+    /// Learned by conflict analysis (original clauses are never deleted).
+    learned: bool,
+    /// Literal block distance at learn time: the number of distinct
+    /// decision levels among the clause's literals. Lower is better —
+    /// "glue" clauses (LBD ≤ 2) are kept forever.
+    lbd: u32,
+}
+
+/// Learned clauses tolerated before [`SatSolver::reduce_db`] fires at the
+/// next restart. Grows geometrically after each reduction.
+const DEFAULT_REDUCE_THRESHOLD: usize = 2000;
+
 /// The CDCL solver.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SatSolver {
     num_vars: usize,
-    /// Clause database; indices are stable (no deletion).
+    /// Clause database. Indices are stable between [`SatSolver::reduce_db`]
+    /// calls; a reduction compacts the database and remaps every watch and
+    /// reason index.
     clauses: Vec<Vec<Lit>>,
+    /// Parallel to `clauses`: learned flag and LBD tag.
+    clause_info: Vec<ClauseInfo>,
+    /// Learned clauses currently in the database.
+    num_learned: usize,
+    /// Learned-clause count that triggers the next reduction; 0 disables.
+    reduce_threshold: usize,
+    /// Cumulative database reductions over the solver's lifetime.
+    reductions: u64,
     /// For each literal index, the clauses currently watching that literal.
     watches: Vec<Vec<usize>>,
     assign: Vec<Val>,
@@ -161,13 +195,37 @@ pub struct SatSolver {
 const VAR_DECAY: f64 = 0.95;
 const RESCALE_LIMIT: f64 = 1e100;
 
+impl Default for SatSolver {
+    fn default() -> Self {
+        SatSolver {
+            num_vars: 0,
+            clauses: Vec::new(),
+            clause_info: Vec::new(),
+            num_learned: 0,
+            reduce_threshold: DEFAULT_REDUCE_THRESHOLD,
+            reductions: 0,
+            watches: Vec::new(),
+            assign: Vec::new(),
+            polarity: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            unsat: false,
+            last_core: Vec::new(),
+            budget: Budget::default(),
+            stats: SatStats::default(),
+        }
+    }
+}
+
 impl SatSolver {
     /// Create an empty solver.
     pub fn new() -> Self {
-        SatSolver {
-            var_inc: 1.0,
-            ..Default::default()
-        }
+        SatSolver::default()
     }
 
     /// Allocate a fresh variable and return its index.
@@ -237,9 +295,35 @@ impl SatSolver {
                 self.watch(simplified[0], idx);
                 self.watch(simplified[1], idx);
                 self.clauses.push(simplified);
+                self.clause_info.push(ClauseInfo {
+                    learned: false,
+                    lbd: 0,
+                });
                 true
             }
         }
+    }
+
+    /// Number of clauses currently in the database (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Learned clauses currently in the database.
+    pub fn num_learned(&self) -> usize {
+        self.num_learned
+    }
+
+    /// Database reductions performed over the solver's lifetime.
+    pub fn reductions(&self) -> u64 {
+        self.reductions
+    }
+
+    /// Set the learned-clause count that triggers a reduction at the next
+    /// restart boundary (0 disables reduction). The threshold grows by half
+    /// after every reduction so a long session reduces ever more rarely.
+    pub fn set_reduce_threshold(&mut self, n: usize) {
+        self.reduce_threshold = n;
     }
 
     fn watch(&mut self, l: Lit, clause: usize) {
@@ -404,6 +488,88 @@ impl SatSolver {
         (learned, bt_level)
     }
 
+    /// Literal block distance of a clause: distinct decision levels among
+    /// its (currently assigned) literals. Computed at learn time, before
+    /// backjumping, when every literal still carries its conflict-side
+    /// level.
+    fn clause_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Drop the weakest half of the disposable learned clauses and compact
+    /// the database. Must be called at decision level 0.
+    ///
+    /// A learned clause is *disposable* when it is long (> 2 literals), has
+    /// weak glue (LBD > 2), and — critically — is not the reason for any
+    /// currently assigned literal: level-0 propagations keep their reason
+    /// indices across queries, and deleting (or failing to remap) such a
+    /// clause would corrupt later conflict analysis. Original clauses are
+    /// never deleted. Watch lists and reason pointers are remapped to the
+    /// compacted indices.
+    pub fn reduce_db(&mut self) {
+        debug_assert_eq!(
+            self.decision_level(),
+            0,
+            "reduce_db must run at decision level 0"
+        );
+        let mut is_reason = vec![false; self.clauses.len()];
+        for v in 0..self.num_vars {
+            if self.assign[v] != Val::Undef {
+                if let Some(ci) = self.reason[v] {
+                    is_reason[ci] = true;
+                }
+            }
+        }
+        let mut disposable: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let info = self.clause_info[i];
+                info.learned && info.lbd > 2 && self.clauses[i].len() > 2 && !is_reason[i]
+            })
+            .collect();
+        self.reductions += 1;
+        if disposable.len() < 2 {
+            return;
+        }
+        // Best (low LBD, short) first; the back half is dropped.
+        disposable.sort_by_key(|&i| (self.clause_info[i].lbd, self.clauses[i].len()));
+        let mut keep = vec![true; self.clauses.len()];
+        for &i in &disposable[disposable.len() / 2..] {
+            keep[i] = false;
+            self.num_learned -= 1;
+        }
+        let mut remap = vec![usize::MAX; self.clauses.len()];
+        let mut next = 0usize;
+        for i in 0..self.clauses.len() {
+            if keep[i] {
+                remap[i] = next;
+                self.clauses.swap(next, i);
+                self.clause_info.swap(next, i);
+                next += 1;
+            }
+        }
+        self.clauses.truncate(next);
+        self.clause_info.truncate(next);
+        for ws in &mut self.watches {
+            ws.retain_mut(|ci| {
+                if remap[*ci] == usize::MAX {
+                    false
+                } else {
+                    *ci = remap[*ci];
+                    true
+                }
+            });
+        }
+        for v in 0..self.num_vars {
+            if let Some(ci) = self.reason[v] {
+                debug_assert_ne!(remap[ci], usize::MAX, "reason clause was dropped");
+                self.reason[v] = Some(remap[ci]);
+            }
+        }
+    }
+
     fn cancel_until(&mut self, level: u32) {
         if self.decision_level() <= level {
             return;
@@ -502,6 +668,12 @@ impl SatSolver {
                     self.cancel_until(0);
                     self.stats.restarts += 1;
                     restart_count += 1;
+                    // Restart boundaries are the only place the trail is
+                    // guaranteed back at level 0, which reduce_db requires.
+                    if self.reduce_threshold > 0 && self.num_learned >= self.reduce_threshold {
+                        self.reduce_db();
+                        self.reduce_threshold += self.reduce_threshold / 2;
+                    }
                 }
                 SearchOutcome::Interrupted(i) => {
                     // Interruption is not a verdict: restore level 0 and
@@ -586,8 +758,11 @@ impl SatSolver {
                     return SearchOutcome::Unsat;
                 }
                 let (learned, bt) = self.analyze(confl);
+                // LBD reads decision levels, so it must be computed before
+                // backjumping erases them.
+                let lbd = self.clause_lbd(&learned);
                 self.cancel_until(bt);
-                self.learn(learned);
+                self.learn(learned, lbd);
                 self.decay_activities();
                 if conflicts >= conflict_budget {
                     return SearchOutcome::Restart;
@@ -669,7 +844,7 @@ impl SatSolver {
         self.last_core = core;
     }
 
-    fn learn(&mut self, learned: Vec<Lit>) {
+    fn learn(&mut self, learned: Vec<Lit>, lbd: u32) {
         self.stats.learned += 1;
         if learned.len() == 1 {
             // Asserting unit: must hold at level 0, but we may currently be
@@ -687,6 +862,8 @@ impl SatSolver {
         self.watch(learned[0], idx);
         self.watch(learned[1], idx);
         self.clauses.push(learned);
+        self.clause_info.push(ClauseInfo { learned: true, lbd });
+        self.num_learned += 1;
         if self.value(asserting) == Val::Undef {
             self.enqueue(asserting, Some(idx));
         }
@@ -858,6 +1035,78 @@ mod tests {
         let mut s = SatSolver::new();
         pigeonhole(&mut s, 4, 4);
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn db_reduction_fires_and_preserves_unsat() {
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 6, 5);
+        s.set_reduce_threshold(10);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(
+            s.reductions() > 0,
+            "a threshold of 10 must trigger reduction on PHP(6,5)"
+        );
+    }
+
+    #[test]
+    fn db_reduction_preserves_answers_across_queries() {
+        // One long-lived solver alternating sat and unsat-under-assumptions
+        // queries with an aggressive reduction threshold: reduction between
+        // queries must never flip a verdict.
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 4, 4);
+        s.set_reduce_threshold(8);
+        // Keeping pigeon 0 out of every hole contradicts its at-least-one
+        // clause.
+        let evict: Vec<Lit> = (0..4).map(Lit::neg).collect();
+        for _ in 0..3 {
+            assert!(s.solve().is_sat());
+            assert_eq!(s.solve_with_assumptions(&evict), SatResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn reduce_db_protects_reason_clauses() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+        for round in 0..20 {
+            let n = rng.gen_range(5..15);
+            let m = rng.gen_range(10..60);
+            let mut s = SatSolver::new();
+            for _ in 0..n {
+                s.new_var();
+            }
+            for _ in 0..m {
+                let len = rng.gen_range(1..=3);
+                let mut c: Vec<Lit> = (0..len)
+                    .map(|_| Lit::with_polarity(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect();
+                c.dedup();
+                s.add_clause(&c);
+            }
+            let first = s.solve();
+            // Force a reduction pass at level 0 regardless of thresholds;
+            // level-0 propagated literals may hold clause-index reasons.
+            s.reduce_db();
+            for v in 0..n {
+                if self::Val::Undef == s.assign[v] {
+                    continue;
+                }
+                if let Some(ci) = s.reason[v] {
+                    assert!(
+                        ci < s.clauses.len(),
+                        "round {round}: dangling reason index after reduce_db"
+                    );
+                    assert!(
+                        s.clauses[ci].iter().any(|l| l.var() == v),
+                        "round {round}: remapped reason does not mention its var"
+                    );
+                }
+            }
+            // The verdict must be unchanged by reduction.
+            assert_eq!(first.is_sat(), s.solve().is_sat(), "round {round}");
+        }
     }
 
     #[test]

@@ -2,21 +2,25 @@
 //!
 //! [`SmtSolver`] collects assertions (boolean terms over any mix of boolean,
 //! enum and bounded-int variables) and decides them. Each `check` builds a
-//! fresh SAT instance — the formulas in this workspace are small enough that
-//! incrementality buys nothing but bugs — and returns a decoded
-//! [`Assignment`] over the *original* term-level variables.
+//! fresh SAT instance and returns a decoded [`Assignment`] over the
+//! *original* term-level variables. One-shot construction keeps each query
+//! hermetic — nothing leaks between checks — which is exactly what the
+//! differential test suite wants from its reference solver. Query *streams*
+//! against a shared assertion base (the lifter, lint's per-map passes) go
+//! through [`crate::session::SmtSession`] instead, which encodes once and
+//! reuses the learned-clause and activity state across queries.
 
 use crate::bitblast::BitBlaster;
 use crate::budget::{Budget, Interrupt, InterruptReason};
 use crate::cnf::CnfBuilder;
 use crate::model::{Assignment, Value};
 use crate::sat::{SatResult, SatSolver, SatStats};
-use crate::term::{Ctx, TermId};
+use crate::term::{Ctx, TermId, TermNode};
 use netexpl_obs::Span;
 
 /// Accumulate one query's CDCL search statistics into the observability
 /// counters. No-op when no obs session is installed.
-fn record_sat_stats(stats: &SatStats) {
+pub(crate) fn record_sat_stats(stats: &SatStats) {
     if !netexpl_obs::enabled() {
         return;
     }
@@ -25,6 +29,90 @@ fn record_sat_stats(stats: &SatStats) {
     netexpl_obs::counter_add("sat.conflicts", stats.conflicts);
     netexpl_obs::counter_add("sat.restarts", stats.restarts);
     netexpl_obs::counter_add("sat.learned", stats.learned);
+}
+
+/// Decode a SAT model back to an [`Assignment`] over the original term-level
+/// variables: theory variables through the bit-blaster, plain booleans via
+/// the CNF variable map. Shared by [`SmtSolver`] and
+/// [`crate::session::SmtSession`].
+pub(crate) fn decode_model(
+    ctx: &Ctx,
+    bb: &BitBlaster,
+    var_map: &std::collections::HashMap<crate::term::VarId, usize>,
+    model: &[bool],
+) -> Assignment {
+    let mut asg = bb.decode(ctx, &|v| {
+        var_map.get(&v).map(|&sv| model[sv]).unwrap_or(false)
+    });
+    // Original boolean variables map directly. Encoding booleans introduced
+    // by the bit-blaster are also included; harmless.
+    for (&tv, &sv) in var_map {
+        if asg.get(tv).is_none() {
+            asg.set(tv, Value::Bool(model[sv]));
+        }
+    }
+    asg
+}
+
+/// Shared tail of model enumeration (`check_all` on both solver flavours):
+/// give unconstrained distinguished variables a default value so enumeration
+/// still ranges over them, then return the blocking term that excludes this
+/// combination of values — or `None` when there is nothing to block on.
+pub(crate) fn fill_defaults_and_block(
+    ctx: &mut Ctx,
+    model: &mut Assignment,
+    distinct_on: &[TermId],
+) -> Option<TermId> {
+    // A distinguished variable the formula never constrained gets a default
+    // value (false / first variant / lower bound).
+    for &t in distinct_on {
+        let var = match ctx.node(t) {
+            TermNode::BoolVar(v) | TermNode::EnumVar(v) | TermNode::IntVar(v) => *v,
+            _ => panic!("check_all: distinct_on terms must be variables"),
+        };
+        if model.get(var).is_none() {
+            let default = match ctx.var(var).sort {
+                crate::sort::Sort::Bool => Value::Bool(false),
+                crate::sort::Sort::Int { lo, .. } => Value::Int(lo),
+                crate::sort::Sort::Enum(e) => Value::Enum(e, 0),
+            };
+            model.set(var, default);
+        }
+    }
+    // Block this combination of values on the distinguished vars.
+    let mut diffs: Vec<TermId> = Vec::new();
+    for &t in distinct_on {
+        let var = match ctx.node(t) {
+            TermNode::BoolVar(v) | TermNode::EnumVar(v) | TermNode::IntVar(v) => *v,
+            _ => unreachable!(),
+        };
+        let Some(value) = model.get(var) else {
+            continue;
+        };
+        let diff = match value {
+            Value::Bool(b) => {
+                if b {
+                    ctx.not(t)
+                } else {
+                    t
+                }
+            }
+            Value::Int(i) => {
+                let c = ctx.int_const(i);
+                ctx.neq(t, c)
+            }
+            Value::Enum(sort, v) => {
+                let c = ctx.enum_const(sort, v);
+                ctx.neq(t, c)
+            }
+        };
+        diffs.push(diff);
+    }
+    if diffs.is_empty() {
+        None
+    } else {
+        Some(ctx.or(&diffs))
+    }
 }
 
 /// Result of an SMT query.
@@ -134,61 +222,11 @@ impl SmtSolver {
             let Some(mut model) = result.model() else {
                 break;
             };
-            // A distinguished variable the formula never constrained gets a
-            // default value (false / first variant / lower bound) so the
-            // enumeration still ranges over it.
-            for &t in distinct_on {
-                let var = match ctx.node(t) {
-                    crate::term::TermNode::BoolVar(v)
-                    | crate::term::TermNode::EnumVar(v)
-                    | crate::term::TermNode::IntVar(v) => *v,
-                    _ => panic!("check_all: distinct_on terms must be variables"),
-                };
-                if model.get(var).is_none() {
-                    let default = match ctx.var(var).sort {
-                        crate::sort::Sort::Bool => Value::Bool(false),
-                        crate::sort::Sort::Int { lo, .. } => Value::Int(lo),
-                        crate::sort::Sort::Enum(e) => Value::Enum(e, 0),
-                    };
-                    model.set(var, default);
-                }
-            }
-            // Block this combination of values on the distinguished vars.
-            let mut diffs: Vec<TermId> = Vec::new();
-            for &t in distinct_on {
-                let var = match ctx.node(t) {
-                    crate::term::TermNode::BoolVar(v)
-                    | crate::term::TermNode::EnumVar(v)
-                    | crate::term::TermNode::IntVar(v) => *v,
-                    _ => unreachable!(),
-                };
-                let Some(value) = model.get(var) else {
-                    continue;
-                };
-                let diff = match value {
-                    Value::Bool(b) => {
-                        if b {
-                            ctx.not(t)
-                        } else {
-                            t
-                        }
-                    }
-                    Value::Int(i) => {
-                        let c = ctx.int_const(i);
-                        ctx.neq(t, c)
-                    }
-                    Value::Enum(sort, v) => {
-                        let c = ctx.enum_const(sort, v);
-                        ctx.neq(t, c)
-                    }
-                };
-                diffs.push(diff);
-            }
-            if diffs.is_empty() {
+            let Some(block) = fill_defaults_and_block(ctx, &mut model, distinct_on) else {
                 models.push(model);
                 break; // nothing to block on: one model is all there is
-            }
-            blocking.push(ctx.or(&diffs));
+            };
+            blocking.push(block);
             models.push(model);
         }
         (models, None)
@@ -268,14 +306,7 @@ impl SmtSolver {
                 (SmtResult::Unsat, core)
             }
             SatResult::Sat(model) => {
-                let mut asg = bb.decode(ctx, &|v| {
-                    cnf.sat_var(v).map(|sv| model[sv]).unwrap_or(false)
-                });
-                for (&tv, &sv) in &cnf.var_map {
-                    if asg.get(tv).is_none() {
-                        asg.set(tv, Value::Bool(model[sv]));
-                    }
-                }
+                let asg = decode_model(ctx, &bb, &cnf.var_map, &model);
                 (SmtResult::Sat(asg), Vec::new())
             }
         }
@@ -327,20 +358,7 @@ impl SmtSolver {
         match result {
             SatResult::Unknown(i) => SmtResult::Unknown(i),
             SatResult::Unsat => SmtResult::Unsat,
-            SatResult::Sat(model) => {
-                // Theory variables decode through the bit-blaster.
-                let mut asg = bb.decode(ctx, &|v| {
-                    cnf.sat_var(v).map(|sv| model[sv]).unwrap_or(false)
-                });
-                // Original boolean variables map directly. Encoding booleans
-                // introduced by the bit-blaster are also included; harmless.
-                for (&tv, &sv) in &cnf.var_map {
-                    if asg.get(tv).is_none() {
-                        asg.set(tv, Value::Bool(model[sv]));
-                    }
-                }
-                SmtResult::Sat(asg)
-            }
+            SatResult::Sat(model) => SmtResult::Sat(decode_model(ctx, &bb, &cnf.var_map, &model)),
         }
     }
 }
@@ -386,6 +404,33 @@ pub fn entails_under(
     let nb = ctx.not(b);
     let both = ctx.and2(a, nb);
     is_sat_under(ctx, both, budget).map(|sat| !sat)
+}
+
+/// Budgeted equivalence: are `a` and `b` logically equivalent, if decidable
+/// within `budget`?
+///
+/// When incremental sessions are enabled this encodes `a` and `b` once into
+/// a single [`crate::session::SmtSession`] and decides both entailment
+/// directions as assumption queries over the shared CNF; otherwise it falls
+/// back to two independent [`entails_under`] calls.
+pub fn equivalent_under(
+    ctx: &mut Ctx,
+    a: TermId,
+    b: TermId,
+    budget: &Budget,
+) -> Result<bool, Interrupt> {
+    if crate::session::incremental_enabled() {
+        let mut session = crate::session::SmtSession::new();
+        session.set_budget(budget.clone());
+        // a ⊨ b ⇔ a ∧ ¬b unsat; the second query reuses every gate clause
+        // (and any learned clauses) from the first.
+        if !session.entails_assuming(ctx, &[a], b)? {
+            return Ok(false);
+        }
+        session.entails_assuming(ctx, &[b], a)
+    } else {
+        Ok(entails_under(ctx, a, b, budget)? && entails_under(ctx, b, a, budget)?)
+    }
 }
 
 /// Is `t` valid (true under every assignment)?

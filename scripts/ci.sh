@@ -73,7 +73,7 @@ echo "==> fault-injection smoke: every armed site degrades, never panics"
 ./target/release/netexpl explain --topology paper --spec "$OBS_DIR/spec.txt" \
     --router R1 --neighbor P1 --dir export --json > "$OBS_DIR/baseline.json"
 for site in smt.check sat.search dpll.search encode.paths seed.encode \
-            simplify.pass lift.candidate; do
+            simplify.pass lift.candidate session.query; do
   status=0
   NETEXPL_FAULT="$site" ./target/release/netexpl explain --topology paper \
       --spec "$OBS_DIR/spec.txt" --router R1 --neighbor P1 --dir export --json \
@@ -100,6 +100,31 @@ NETEXPL_FAULT="no.such.site" ./target/release/netexpl synth --topology paper \
     --spec "$OBS_DIR/spec.txt" > /dev/null 2> "$OBS_DIR/fault.err" || status=$?
 [ "$status" -eq 1 ] && grep -q 'error\[NX001\]' "$OBS_DIR/fault.err" \
   || { echo "unknown fault site was not rejected"; exit 1; }
+
+echo "==> solver differential suite: session vs fresh vs DPLL oracle"
+# The incremental-session paths must agree with the one-shot solvers and
+# the DPLL oracle on randomized query streams — in both solver modes.
+PROPTEST_CASES="${PROPTEST_CASES:-8}" cargo test -q --test session_differential
+NETEXPL_FRESH_SOLVER=1 PROPTEST_CASES="${PROPTEST_CASES:-8}" \
+    cargo test -q --test session_differential
+
+echo "==> bench smoke: lift section present, session speedup >= 1"
+# The full report on stdout must carry the lift section, and the
+# incremental sessions must not be slower than fresh solvers on the
+# paper's six-router example.
+./target/release/netexpl bench --json > "$OBS_DIR/bench.json"
+grep -q '"subspec_agrees": true' "$OBS_DIR/bench.json"
+awk '
+  # Anchor on the lift *object* — scenario stage timings also have a
+  # numeric "lift" key, and the network section has its own "speedup".
+  /"lift": \{/   { in_lift = 1 }
+  in_lift && /"speedup":/ {
+    v = $2; gsub(/[,"]/, "", v); found = 1
+    if (v + 0 < 1.0) { printf "lift speedup %s < 1.0\n", v; exit 1 }
+    exit 0
+  }
+  END { if (!found) { print "no lift speedup in bench --json"; exit 1 } }
+' "$OBS_DIR/bench.json"
 
 echo "==> explain-all smoke: every router reported, run bounded"
 ./target/release/netexpl explain --topology paper --spec "$OBS_DIR/spec.txt" \

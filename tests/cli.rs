@@ -354,10 +354,11 @@ fn bench_writes_scenario_report() {
     assert_eq!(scenarios.len(), 3, "{text}");
     for run in scenarios {
         assert!(run["stage_ms"]["simplify"].as_f64().is_some(), "{run}");
-        assert!(
-            run["counters"]["smt.queries"].as_u64().unwrap() > 0,
-            "{run}"
-        );
+        // Session-backed runs count `session.queries`, the fresh-solver
+        // fallback counts `smt.queries`; either way the solver was busy.
+        let queries = run["counters"]["smt.queries"].as_u64().unwrap_or(0)
+            + run["counters"]["session.queries"].as_u64().unwrap_or(0);
+        assert!(queries > 0, "{run}");
     }
     // The network-wide section records both runs and the speedup.
     let network = &v["network"];
@@ -365,6 +366,17 @@ fn bench_writes_scenario_report() {
     assert_eq!(network["parallel"].as_array().unwrap().len(), 6, "{text}");
     assert!(network["speedup"].as_f64().is_some(), "{text}");
     assert!(network["cache_hits"].as_u64().unwrap() > 0, "{text}");
+    assert_eq!(network["workers_requested"].as_u64(), Some(4), "{text}");
+    // The lift section compares fresh vs incremental solver backends.
+    let lift = &v["lift"];
+    assert!(lift["fresh_ms"].as_f64().is_some(), "{text}");
+    assert!(lift["incremental_ms"].as_f64().is_some(), "{text}");
+    assert!(lift["speedup"].as_f64().is_some(), "{text}");
+    assert_eq!(
+        lift["subspec_agrees"],
+        serde_json::Value::Bool(true),
+        "{text}"
+    );
 }
 
 #[test]

@@ -110,6 +110,85 @@ fn every_site_degrades_explain_gracefully() {
     }
 }
 
+/// Mid-session fault injection: arming `session.query` between queries of
+/// a live [`SmtSession`] must degrade only the in-flight query to
+/// `Unknown(Fault)`. Answers produced before the fault stay valid, and the
+/// session keeps answering correctly once the fault is disarmed — the
+/// persistent solver state survives the interruption.
+#[test]
+fn mid_session_fault_interrupts_only_the_inflight_query() {
+    use netexpl_logic::{SmtResult, SmtSession};
+
+    let mut ctx = Ctx::new();
+    let a = ctx.bool_var("a");
+    let b = ctx.bool_var("b");
+    let ab = ctx.or2(a, b);
+    let mut session = SmtSession::new();
+    session.assert(&mut ctx, ab);
+
+    // Query 1, unfaulted: the base is satisfiable.
+    assert!(matches!(
+        session.check_assuming(&mut ctx, &[]).0,
+        SmtResult::Sat(_)
+    ));
+
+    // Query 2, with the fault armed: Unknown, attributed to the fault.
+    {
+        let _g = netexpl_faults::arm(netexpl_faults::sites::SESSION_QUERY);
+        match session.check_assuming(&mut ctx, &[]).0 {
+            SmtResult::Unknown(i) => assert_eq!(i.reason, InterruptReason::Fault),
+            other => panic!("armed session query must return Unknown, got {other:?}"),
+        }
+    }
+
+    // Queries 3/4, disarmed: the same session still answers both
+    // polarities correctly — nothing latched from the fault.
+    let na = ctx.not(a);
+    let nb = ctx.not(b);
+    assert!(matches!(
+        session.check_assuming(&mut ctx, &[]).0,
+        SmtResult::Sat(_)
+    ));
+    assert!(matches!(
+        session.check_assuming(&mut ctx, &[na, nb]).0,
+        SmtResult::Unsat
+    ));
+}
+
+/// Same contract for budget exhaustion: a deadline that expires between
+/// queries turns the next query into `Unknown(Deadline)` without
+/// corrupting the session; restoring headroom restores full answers.
+#[test]
+fn mid_session_budget_exhaustion_is_transient() {
+    use netexpl_logic::budget::Budget;
+    use netexpl_logic::{SmtResult, SmtSession};
+
+    let mut ctx = Ctx::new();
+    let a = ctx.bool_var("a");
+    let b = ctx.bool_var("b");
+    let ab = ctx.or2(a, b);
+    let mut session = SmtSession::new();
+    session.assert(&mut ctx, ab);
+    assert!(matches!(
+        session.check_assuming(&mut ctx, &[]).0,
+        SmtResult::Sat(_)
+    ));
+
+    session.set_budget(Budget::unlimited().deadline_in(std::time::Duration::ZERO));
+    match session.check_assuming(&mut ctx, &[]).0 {
+        SmtResult::Unknown(i) => assert_eq!(i.reason, InterruptReason::Deadline),
+        other => panic!("exhausted budget must return Unknown, got {other:?}"),
+    }
+
+    session.set_budget(Budget::unlimited());
+    let na = ctx.not(a);
+    let nb = ctx.not(b);
+    assert!(matches!(
+        session.check_assuming(&mut ctx, &[na, nb]).0,
+        SmtResult::Unsat
+    ));
+}
+
 #[test]
 fn every_site_degrades_synthesis_gracefully() {
     let (topo, _) = netexpl_topology::builders::paper_topology();
