@@ -361,6 +361,66 @@ pub fn lift_report_with(budget: &Budget) -> Result<Value, String> {
     ]))
 }
 
+/// The SAT-pre-filter experiment: network-lint the paper's Scenario 3
+/// configuration with the abstract fixpoint's witnesses feeding the SAT
+/// pass, against the plain per-map lint (every probe solved) as the
+/// baseline. The `filtered_majority` flag is the acceptance criterion:
+/// the prefilter must answer more NE010/NE011 probes than reach the
+/// solver.
+pub fn lint_network_report_with(_budget: &Budget) -> Result<Value, String> {
+    use netexpl_lint::{lint_config, lint_network};
+
+    let (topo, _h, net, spec) = scenario3();
+    let vocab = paper_vocab(&topo, net.prefixes());
+
+    // Baseline: every NE010/NE011 probe goes to the solver.
+    let (guard, handle) = netexpl_obs::install_memory();
+    let t0 = Instant::now();
+    let _ = lint_config(&topo, &net, Some(&vocab));
+    let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(guard);
+    let baseline = handle.metrics().unwrap_or_default();
+
+    // Network lint: dataflow fixpoint, NE013+ checks, prefiltered SAT pass.
+    let (guard, handle) = netexpl_obs::install_memory();
+    let t0 = Instant::now();
+    let diags = lint_network(&topo, &spec, &net, Some(&vocab), 0);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(guard);
+    let metrics = handle.metrics().unwrap_or_default();
+
+    let filtered = metrics.counter("lint.sat.filtered");
+    let solved = metrics.counter("lint.sat.solved");
+    let (errors, warnings, notes) = diags.counts();
+    Ok(Value::object([
+        ("scenario", Value::from("scenario3")),
+        ("wall_ms", Value::from(wall_ms)),
+        ("baseline_ms", Value::from(baseline_ms)),
+        (
+            "dataflow_iterations",
+            metrics
+                .gauge("dataflow.iterations")
+                .map_or(Value::Null, Value::from),
+        ),
+        (
+            "dataflow_facts",
+            metrics
+                .gauge("dataflow.facts")
+                .map_or(Value::Null, Value::from),
+        ),
+        ("errors", Value::from(errors)),
+        ("warnings", Value::from(warnings)),
+        ("notes", Value::from(notes)),
+        ("sat_filtered", Value::from(filtered)),
+        ("sat_solved", Value::from(solved)),
+        (
+            "sat_total_baseline",
+            Value::from(baseline.counter("lint.sat.solved")),
+        ),
+        ("filtered_majority", Value::from(filtered > solved)),
+    ]))
+}
+
 /// Build the full report over all three paper scenarios.
 pub fn explain_report() -> Result<Value, String> {
     explain_report_with(&Budget::unlimited())
@@ -380,6 +440,7 @@ pub fn explain_report_with(budget: &Budget) -> Result<Value, String> {
         ("scenarios", Value::from(runs)),
         ("network", network_report_with(budget, 4)?),
         ("lift", lift_report_with(budget)?),
+        ("lint_network", lint_network_report_with(budget)?),
     ]))
 }
 
@@ -434,6 +495,27 @@ mod tests {
         assert!(lift["incremental_queries"].as_u64().unwrap() > 0);
         assert!(lift["candidates_checked"].as_u64().unwrap() > 0);
         assert_eq!(lift["subspec_agrees"], Value::Bool(true));
+    }
+
+    #[test]
+    fn lint_network_section_shows_the_prefilter_winning() {
+        let budget = Budget::unlimited();
+        let lint = lint_network_report_with(&budget).unwrap();
+        assert!(lint["wall_ms"].as_f64().unwrap() > 0.0);
+        assert!(lint["baseline_ms"].as_f64().unwrap() > 0.0);
+        assert!(lint["dataflow_iterations"].as_u64().unwrap() > 0);
+        assert_eq!(lint["errors"].as_u64(), Some(0), "{lint:?}");
+        let filtered = lint["sat_filtered"].as_u64().unwrap();
+        let solved = lint["sat_solved"].as_u64().unwrap();
+        assert!(
+            filtered > solved,
+            "prefilter must answer the majority of probes ({filtered} vs {solved})"
+        );
+        assert_eq!(lint["filtered_majority"], Value::Bool(true));
+        // The baseline answers every probe with the solver; the prefiltered
+        // run must not *add* probes.
+        let baseline = lint["sat_total_baseline"].as_u64().unwrap();
+        assert_eq!(baseline, filtered + solved);
     }
 
     #[test]

@@ -5,7 +5,9 @@ use netexpl_core::{
     explain, explain_all, Error, ExplainAllOptions, ExplainOptions, Explanation, RouterOutcome,
     RouterReport,
 };
-use netexpl_lint::{lint_config, lint_selector, lint_spec, Diagnostics};
+use netexpl_lint::{
+    lint_config, lint_network, lint_selector, lint_spec, Diagnostics, Suppressions,
+};
 use netexpl_logic::budget::Budget;
 use netexpl_logic::term::Ctx;
 use netexpl_obs::{FileMetricsSink, HumanSink, JsonLinesSink, ObsGuard, Sink};
@@ -172,13 +174,35 @@ fn diagnostics_json(diags: &Diagnostics) -> Value {
 }
 
 /// `netexpl lint` — run every static-analysis pass over a specification
-/// and the configuration synthesized from it. Exits non-zero iff any
-/// error-severity diagnostic fires.
+/// and the configuration synthesized from it.
+///
+/// Exit-code contract: non-zero iff any error-severity finding survives
+/// suppression; warnings and notes exit zero unless `--deny-warnings`
+/// promotes warnings to errors. `--network` additionally runs the
+/// abstract-interpretation dataflow checks (NE013–NE019), with the
+/// fixpoint's concrete witnesses pre-filtering the SAT pass.
 pub fn lint(args: &[String]) -> Result<(), Error> {
-    let opts = Options::parse(args, &["json", "no-sat", "trace"]).map_err(usage)?;
+    let opts = Options::parse(
+        args,
+        &["json", "no-sat", "trace", "network", "deny-warnings"],
+    )
+    .map_err(usage)?;
     let _obs = obs_setup(&opts)?;
     let topo = topology(opts.require("topology").map_err(usage)?)?;
-    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
+    let spec_path = opts.require("spec").map_err(usage)?;
+    let problem = load_problem(&topo, spec_path)?;
+    let workers = match opts.get("workers") {
+        // 0 = auto (available parallelism, capped at the router count).
+        None => 0,
+        Some(w) => w
+            .parse()
+            .map_err(|_| usage(format!("--workers takes a count, not `{w}`")))?,
+    };
+    // Inline `netexpl-allow(NExxx)` comments in the spec source suppress
+    // matching findings (and unused allows are themselves reported).
+    let suppressions = std::fs::read_to_string(spec_path)
+        .map(|text| Suppressions::parse(&text))
+        .unwrap_or_default();
 
     // Spec passes first: the base config supplies the `@originate` facts.
     let mut diags = lint_spec(&topo, &problem.spec, Some(&problem.base));
@@ -192,10 +216,24 @@ pub fn lint(args: &[String]) -> Result<(), Error> {
         match synthesize_problem(&topo, &problem, &mut ctx, sorts, Budget::unlimited()) {
             Ok(result) => {
                 let vocab = (!opts.flag("no-sat")).then_some(&problem.vocab);
-                diags.extend(lint_config(&topo, &result.config, vocab));
+                if opts.flag("network") {
+                    diags.extend(lint_network(
+                        &topo,
+                        &problem.spec,
+                        &result.config,
+                        vocab,
+                        workers,
+                    ));
+                } else {
+                    diags.extend(lint_config(&topo, &result.config, vocab));
+                }
             }
             Err(e) => synth_error = Some(e),
         }
+    }
+    let mut diags = suppressions.apply(diags);
+    if opts.flag("deny-warnings") {
+        diags.escalate_warnings();
     }
     diags.sort();
 

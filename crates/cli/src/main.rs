@@ -91,6 +91,13 @@ fn print_usage() {
          USAGE:\n\
            netexpl synth    --topology <T> --spec <FILE> [--json]\n\
            netexpl lint     --topology <T> --spec <FILE> [--json] [--no-sat]\n\
+                            [--network [--workers <N>]] [--deny-warnings]\n\
+                            (exit is non-zero iff an error-severity finding\n\
+                            survives; warnings exit zero unless --deny-warnings\n\
+                            promotes them. --network adds the dataflow checks\n\
+                            NE013..NE019 and pre-filters the SAT pass with the\n\
+                            fixpoint's witnesses; `! netexpl-allow(NExxx)`\n\
+                            comments in the spec suppress findings)\n\
            netexpl explain  --topology <T> --spec <FILE> --router <NAME>\n\
                             [--neighbor <NAME> --dir <import|export> [--entry <N>]]\n\
                             [--skip-lift] [--json]\n\

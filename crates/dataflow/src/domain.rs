@@ -1,0 +1,223 @@
+//! The abstract route domain: a finite lattice of announcement summaries.
+
+use std::collections::BTreeSet;
+
+use netexpl_bgp::route::DEFAULT_LOCAL_PREF;
+use netexpl_bgp::{Community, Route, SetClause};
+use netexpl_topology::{AsNum, RouterId};
+
+/// An abstract route announcement: the set of concrete [`Route`]s that a
+/// (prefix, session) pair may carry, summarized per attribute.
+///
+/// * communities: `comms_must ⊆ r.communities ⊆ comms_may`
+/// * local preference: `lp_min ≤ r.local_pref ≤ lp_max`
+/// * next hop: `r.next_hop ∈ nh`
+/// * AS path (as a set): `as_must ⊆ set(r.as_path) ⊆ as_may`
+///
+/// Join (⊔) intersects the musts, unions the mays, and hulls the
+/// interval. Every component is drawn from the finite universe of the
+/// configuration under analysis, so chains are finite and any monotone
+/// fixpoint over this domain terminates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsRoute {
+    /// Communities present on every concretization.
+    pub comms_must: BTreeSet<Community>,
+    /// Communities that may be present on some concretization.
+    pub comms_may: BTreeSet<Community>,
+    /// Lower bound of the local-preference interval.
+    pub lp_min: u32,
+    /// Upper bound of the local-preference interval.
+    pub lp_max: u32,
+    /// Possible next hops.
+    pub nh: BTreeSet<RouterId>,
+    /// ASes on every concretization's AS path.
+    pub as_must: BTreeSet<AsNum>,
+    /// ASes that may appear on some concretization's AS path.
+    pub as_may: BTreeSet<AsNum>,
+    /// Routers on every concretization's propagation path. Used to lift
+    /// BGP loop prevention soundly: a neighbor in this set would reject
+    /// every concretization, so propagation to it can be skipped.
+    pub routers_must: BTreeSet<RouterId>,
+    /// May some concretization have entered its current AS from a
+    /// provider or peer (per the topology's Gao–Rexford annotations)?
+    pub via_noncustomer: bool,
+}
+
+impl AbsRoute {
+    /// The abstraction of a fresh origination by `origin` in `asn` —
+    /// exactly [`Route::originate`], i.e. a singleton concretization.
+    pub fn origination(origin: RouterId, asn: AsNum) -> AbsRoute {
+        AbsRoute {
+            comms_must: BTreeSet::new(),
+            comms_may: BTreeSet::new(),
+            lp_min: DEFAULT_LOCAL_PREF,
+            lp_max: DEFAULT_LOCAL_PREF,
+            nh: BTreeSet::from([origin]),
+            as_must: BTreeSet::from([asn]),
+            as_may: BTreeSet::from([asn]),
+            routers_must: BTreeSet::from([origin]),
+            via_noncustomer: false,
+        }
+    }
+
+    /// Is the concrete route described by this abstract value? (Prefix
+    /// and location are tracked by the fact key, not the value.)
+    pub fn covers(&self, r: &Route) -> bool {
+        let path: BTreeSet<AsNum> = r.as_path.iter().copied().collect();
+        self.comms_must.is_subset(&r.communities)
+            && r.communities.is_subset(&self.comms_may)
+            && self.lp_min <= r.local_pref
+            && r.local_pref <= self.lp_max
+            && self.nh.contains(&r.next_hop)
+            && self.as_must.is_subset(&path)
+            && path.is_subset(&self.as_may)
+            && self.routers_must.iter().all(|m| r.propagation.contains(m))
+    }
+
+    /// Least upper bound; returns true when `self` changed.
+    pub fn join(&mut self, other: &AbsRoute) -> bool {
+        let before = self.clone();
+        self.comms_must = self
+            .comms_must
+            .intersection(&other.comms_must)
+            .copied()
+            .collect();
+        self.comms_may.extend(other.comms_may.iter().copied());
+        self.lp_min = self.lp_min.min(other.lp_min);
+        self.lp_max = self.lp_max.max(other.lp_max);
+        self.nh.extend(other.nh.iter().copied());
+        self.as_must = self.as_must.intersection(&other.as_must).copied().collect();
+        self.as_may.extend(other.as_may.iter().copied());
+        self.routers_must = self
+            .routers_must
+            .intersection(&other.routers_must)
+            .copied()
+            .collect();
+        self.via_noncustomer |= other.via_noncustomer;
+        *self != before
+    }
+
+    /// Abstract effect of a route-map entry's `set` clauses — the exact
+    /// counterpart of [`SetClause::apply`], lifted pointwise.
+    pub fn apply_sets(&mut self, sets: &[SetClause]) {
+        for s in sets {
+            match s {
+                SetClause::LocalPref(lp) => {
+                    self.lp_min = *lp;
+                    self.lp_max = *lp;
+                }
+                SetClause::AddCommunity(c) => {
+                    self.comms_must.insert(*c);
+                    self.comms_may.insert(*c);
+                }
+                SetClause::ClearCommunities => {
+                    self.comms_must.clear();
+                    self.comms_may.clear();
+                }
+                SetClause::NextHop(n) => {
+                    self.nh = BTreeSet::from([*n]);
+                }
+            }
+        }
+    }
+
+    /// Abstract effect of advertising across the session `from → to`
+    /// (the counterpart of [`Route::advanced`]): next hop pinned to the
+    /// sender, the receiver joins the propagation-path must-set; across
+    /// an AS boundary the local preference resets and the sender's AS
+    /// joins the path.
+    pub fn advanced(&self, from: RouterId, to: RouterId, from_as: AsNum, to_as: AsNum) -> AbsRoute {
+        let mut r = self.clone();
+        r.nh = BTreeSet::from([from]);
+        r.routers_must.insert(to);
+        if from_as != to_as {
+            r.lp_min = DEFAULT_LOCAL_PREF;
+            r.lp_max = DEFAULT_LOCAL_PREF;
+            r.as_must.insert(from_as);
+            r.as_may.insert(from_as);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_topology::Prefix;
+
+    fn pfx() -> Prefix {
+        "10.0.0.0/8".parse().unwrap()
+    }
+
+    #[test]
+    fn origination_covers_its_concrete_route() {
+        let r = Route::originate(pfx(), RouterId(3), AsNum(500));
+        let a = AbsRoute::origination(RouterId(3), AsNum(500));
+        assert!(a.covers(&r));
+        let mut tagged = r.clone();
+        tagged.communities.insert(Community(1, 2));
+        assert!(
+            !a.covers(&tagged),
+            "may-set excludes unexpected communities"
+        );
+    }
+
+    #[test]
+    fn join_is_a_least_upper_bound() {
+        let mut a = AbsRoute::origination(RouterId(1), AsNum(100));
+        let mut b = AbsRoute::origination(RouterId(2), AsNum(200));
+        b.apply_sets(&[
+            SetClause::AddCommunity(Community(9, 9)),
+            SetClause::LocalPref(200),
+        ]);
+        let mut j = a.clone();
+        assert!(j.join(&b));
+        // Everything either side covers, the join covers.
+        let mut r = Route::originate(pfx(), RouterId(2), AsNum(200));
+        r.communities.insert(Community(9, 9));
+        r.local_pref = 200;
+        assert!(b.covers(&r) && j.covers(&r));
+        let r1 = Route::originate(pfx(), RouterId(1), AsNum(100));
+        assert!(a.covers(&r1) && j.covers(&r1));
+        // Idempotent once joined.
+        assert!(!j.clone().join(&b));
+        assert!(!a.join(&a.clone()));
+    }
+
+    #[test]
+    fn sets_mirror_concrete_apply() {
+        let mut r = Route::originate(pfx(), RouterId(1), AsNum(100));
+        let mut a = AbsRoute::origination(RouterId(1), AsNum(100));
+        let sets = vec![
+            SetClause::AddCommunity(Community(7, 7)),
+            SetClause::LocalPref(150),
+            SetClause::NextHop(RouterId(5)),
+        ];
+        for s in &sets {
+            s.apply(&mut r);
+        }
+        a.apply_sets(&sets);
+        assert!(a.covers(&r));
+        // And the wash.
+        {
+            let s = SetClause::ClearCommunities;
+            s.apply(&mut r);
+        }
+        a.apply_sets(&[SetClause::ClearCommunities]);
+        assert!(a.covers(&r));
+        assert!(a.comms_may.is_empty());
+    }
+
+    #[test]
+    fn advanced_mirrors_concrete_advance() {
+        let mut topo = netexpl_topology::Topology::new();
+        let p = topo.add_router("P", AsNum(500), netexpl_topology::RouterKind::External);
+        let r1 = topo.add_router("R1", AsNum(100), netexpl_topology::RouterKind::Internal);
+        topo.add_link(p, r1);
+        let r = Route::originate(pfx(), p, AsNum(500));
+        let conc = r.advanced(&topo, p, r1);
+        let abs = AbsRoute::origination(p, AsNum(500)).advanced(p, r1, AsNum(500), AsNum(100));
+        assert!(abs.covers(&conc));
+        assert_eq!(abs.nh, BTreeSet::from([p]));
+    }
+}

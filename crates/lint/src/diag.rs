@@ -59,6 +59,34 @@ pub enum Code {
     /// A symbolization selector covers zero configuration lines: the
     /// explanation it seeds would be vacuously empty.
     EmptySelector,
+    /// Dataflow: no abstract route for a spec destination reaches the
+    /// requirement's source router — since the abstraction
+    /// over-approximates, this proves a policy black-hole.
+    SpecBlackHole,
+    /// Dataflow: a community is set somewhere but matched nowhere in the
+    /// whole network — the tag is dead weight on every announcement.
+    UselessCommunity,
+    /// Dataflow: an entry matches a community that is set in the network
+    /// but washed off (cleared or never co-propagated) before any route
+    /// reaches this map — the match can never fire here.
+    CommunityWashed,
+    /// Dataflow: a `>>` preference can invert — at the decision router
+    /// the less-preferred branch's local preference may reach or exceed
+    /// the preferred branch's.
+    PreferenceInversion,
+    /// Dataflow: an entry is locally live but dead in network context —
+    /// no route the network can actually carry may reach and match it.
+    NetworkDeadEntry,
+    /// Dataflow: a route (possibly) learned from a provider or peer is
+    /// exported to another provider or peer, violating Gao–Rexford
+    /// valley-freedom on an annotated topology.
+    ValleyFreeViolation,
+    /// A `set local-preference` on a cross-AS export is ineffective:
+    /// local preference is not transitive across eBGP and resets on
+    /// advertisement.
+    IneffectiveLocalPref,
+    /// A `netexpl-allow(NExxx)` suppression matched no finding.
+    UnusedSuppression,
 }
 
 impl Code {
@@ -77,6 +105,14 @@ impl Code {
             Code::UnreachableEntry => "NE010",
             Code::ContradictoryMatch => "NE011",
             Code::EmptySelector => "NE012",
+            Code::SpecBlackHole => "NE013",
+            Code::UselessCommunity => "NE014",
+            Code::CommunityWashed => "NE015",
+            Code::PreferenceInversion => "NE016",
+            Code::NetworkDeadEntry => "NE017",
+            Code::ValleyFreeViolation => "NE018",
+            Code::IneffectiveLocalPref => "NE019",
+            Code::UnusedSuppression => "NE020",
         }
     }
 
@@ -86,7 +122,8 @@ impl Code {
             Code::UnknownRouter
             | Code::UnknownDestination
             | Code::PreferenceCycle
-            | Code::EmptySelector => Severity::Error,
+            | Code::EmptySelector
+            | Code::SpecBlackHole => Severity::Error,
             Code::ForbiddenPreferred
             | Code::UnrealizablePattern
             | Code::ShadowedEntry
@@ -94,7 +131,13 @@ impl Code {
             | Code::DanglingSession
             | Code::UnsetCommunity
             | Code::UnreachableEntry
-            | Code::ContradictoryMatch => Severity::Warning,
+            | Code::ContradictoryMatch
+            | Code::UselessCommunity
+            | Code::CommunityWashed
+            | Code::PreferenceInversion
+            | Code::ValleyFreeViolation
+            | Code::IneffectiveLocalPref => Severity::Warning,
+            Code::NetworkDeadEntry | Code::UnusedSuppression => Severity::Note,
         }
     }
 }
@@ -250,6 +293,24 @@ impl Diagnostics {
         });
     }
 
+    /// Promote every warning to an error (`--deny-warnings`). Notes stay
+    /// informational. Returns how many findings were promoted.
+    pub fn escalate_warnings(&mut self) -> usize {
+        let mut n = 0;
+        for d in &mut self.items {
+            if d.severity == Severity::Warning {
+                d.severity = Severity::Error;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Drop findings for which `keep` returns false.
+    pub fn retain(&mut self, keep: impl FnMut(&Diagnostic) -> bool) {
+        self.items.retain(keep);
+    }
+
     /// Summary counts as `(errors, warnings, notes)`.
     pub fn counts(&self) -> (usize, usize, usize) {
         let mut c = (0, 0, 0);
@@ -297,6 +358,14 @@ mod tests {
             Code::UnreachableEntry,
             Code::ContradictoryMatch,
             Code::EmptySelector,
+            Code::SpecBlackHole,
+            Code::UselessCommunity,
+            Code::CommunityWashed,
+            Code::PreferenceInversion,
+            Code::NetworkDeadEntry,
+            Code::ValleyFreeViolation,
+            Code::IneffectiveLocalPref,
+            Code::UnusedSuppression,
         ];
         let ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
         let mut dedup = ids.clone();

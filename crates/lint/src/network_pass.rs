@@ -1,0 +1,533 @@
+//! Network-wide diagnostics over the abstract-interpretation fixpoint.
+//!
+//! The per-map passes ask *is this line locally sensible*; this pass asks
+//! *does this line do anything in the network it actually lives in*. It
+//! consumes the [`Fixpoint`] computed by `netexpl-dataflow` — an
+//! over-approximation of every route the network can ever propagate — and
+//! reports:
+//!
+//! * **NE013** — a specification target (a `~>` source or a preference
+//!   chain's source) that no abstract route can reach: a black hole that
+//!   will fail every concrete simulation. Blame walks the recorded
+//!   denials back to the denying entries.
+//! * **NE014** — a community set somewhere but matched nowhere: the tag
+//!   has no reader (sets toward external neighbors are exempt — they may
+//!   signal the neighboring AS).
+//! * **NE015** — an entry matching a community that *is* set in the
+//!   network but can never survive to this map: washed or never
+//!   propagated this way.
+//! * **NE016** — a preference requirement whose worse branch can carry a
+//!   local-pref at least as high as the better branch's at the decision
+//!   router: the preference may invert.
+//! * **NE017** — an entry on an exercised session that fires for no
+//!   route the network can deliver to it (note severity; subsumes the
+//!   structural dead set without repeating it).
+//! * **NE018** — a route learned from a provider or peer that may be
+//!   exported to another provider or peer: a valley-free violation.
+//!   Emitted only when the topology carries Gao–Rexford annotations.
+//! * **NE019** — `set local-preference` on an eBGP export: the receiving
+//!   AS resets local-pref on import, so the set is inert.
+//!
+//! Soundness note: because the fixpoint over-approximates, "the
+//! abstraction admits no such route" (NE013, NE015, NE016's missing
+//! better branch, NE017) is a proof about every concrete execution;
+//! "the abstraction admits such a route" (NE016's inversion, NE018) is a
+//! may-warning and worded as such.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use netexpl_bgp::{Action, Community, MatchClause, NetworkConfig, SetClause};
+use netexpl_core::symbolize::Dir;
+use netexpl_dataflow::Fixpoint;
+use netexpl_spec::{PathPattern, Requirement, Seg, Specification};
+use netexpl_topology::{Prefix, Role, RouterId, RouterKind, Topology};
+
+use crate::config_pass::{sessions, EntryKey};
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+use crate::spans::SpanIndex;
+
+/// Run every network-wide check. `dead` holds entries already reported
+/// dead structurally (NE006) — NE017 skips them.
+pub fn run(
+    topo: &Topology,
+    net: &NetworkConfig,
+    spec: &Specification,
+    fx: &Fixpoint,
+    spans: &SpanIndex,
+    dead: &HashSet<EntryKey>,
+) -> Diagnostics {
+    let span = netexpl_obs::Span::enter("lint.network");
+    let mut diags = Diagnostics::new();
+    let set_sites = community_set_sites(net);
+    spec_black_holes(topo, spec, fx, spans, &mut diags);
+    useless_communities(topo, net, &set_sites, spans, &mut diags);
+    washed_communities(topo, net, fx, &set_sites, spans, &mut diags);
+    preference_inversions(topo, net, spec, fx, spans, &mut diags);
+    network_dead_entries(topo, net, fx, spans, dead, &mut diags);
+    valley_violations(topo, net, fx, spans, &mut diags);
+    ineffective_local_prefs(topo, net, spans, &mut diags);
+    if span.is_recording() {
+        span.attr("diagnostics", diags.len());
+    }
+    diags
+}
+
+/// Human-readable session place, matching the span index's phrasing.
+fn session_place(topo: &Topology, r: RouterId, n: RouterId, dir: Dir) -> String {
+    format!(
+        "{} {} {}",
+        topo.name(r),
+        match dir {
+            Dir::Import => "import from",
+            Dir::Export => "export to",
+        },
+        topo.name(n)
+    )
+}
+
+/// The map holding a denial's deciding entry: export map at `from`,
+/// import map at `to`.
+fn denial_entry_key(d: &netexpl_dataflow::Denial) -> Option<EntryKey> {
+    let e = d.entry?;
+    Some(match d.dir {
+        Dir::Export => (d.from, d.to, Dir::Export, e),
+        Dir::Import => (d.to, d.from, Dir::Import, e),
+    })
+}
+
+/// NE013: specification targets no abstract route can reach.
+fn spec_black_holes(
+    topo: &Topology,
+    spec: &Specification,
+    fx: &Fixpoint,
+    spans: &SpanIndex,
+    diags: &mut Diagnostics,
+) {
+    // (source router, prefix, destination name) for every requirement that
+    // needs a route at its source.
+    let mut targets: BTreeSet<(RouterId, Prefix, String)> = BTreeSet::new();
+    let mut add = |pat_src: Option<&str>, dest: Option<&str>| {
+        if let (Some(s), Some(d)) = (pat_src, dest) {
+            if let (Some(src), Some(p)) = (topo.router_by_name(s), spec.prefix_of(d)) {
+                targets.insert((src, p, d.to_string()));
+            }
+        }
+    };
+    for req in spec.requirements() {
+        match req {
+            Requirement::Reachable { src, dst } => add(Some(src), Some(dst)),
+            Requirement::Preference { chain } => {
+                for pat in chain {
+                    add(pat.first_router(), pat.dest());
+                }
+            }
+            Requirement::Forbidden(_) => {}
+        }
+    }
+    for (src, prefix, dest) in targets {
+        if fx.reaches_prefix(src, &prefix) {
+            continue;
+        }
+        let origs = fx.origs_for_prefix(&prefix);
+        if origs.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    Code::SpecBlackHole,
+                    Span::place(format!("destination {dest}")),
+                    format!(
+                        "`{dest}` ({prefix}) must reach {} but is never originated",
+                        topo.name(src)
+                    ),
+                )
+                .with_suggestion(format!("add an `@originate` for {prefix}")),
+            );
+            continue;
+        }
+        let blocking: Vec<_> = fx
+            .denials
+            .iter()
+            .filter(|d| origs.contains(&d.orig))
+            .collect();
+        let mut edges: Vec<String> = blocking
+            .iter()
+            .map(|d| {
+                format!(
+                    "{} → {} ({} {})",
+                    topo.name(d.from),
+                    topo.name(d.to),
+                    match d.dir {
+                        Dir::Import => "import",
+                        Dir::Export => "export",
+                    },
+                    match d.entry {
+                        Some(e) => format!("entry {e}"),
+                        None => "implicit deny".to_string(),
+                    }
+                )
+            })
+            .collect();
+        edges.sort();
+        edges.dedup();
+        edges.truncate(3);
+        let span = blocking
+            .iter()
+            .find_map(|d| denial_entry_key(d))
+            .map(|(r, n, dir, e)| spans.entry(topo, r, n, dir, e))
+            .unwrap_or_else(|| Span::place(format!("destination {dest}")));
+        let detail = if edges.is_empty() {
+            "no propagation path delivers it".to_string()
+        } else {
+            format!("denied at {}", edges.join("; "))
+        };
+        diags.push(
+            Diagnostic::new(
+                Code::SpecBlackHole,
+                span,
+                format!(
+                    "no route for `{dest}` ({prefix}) can ever reach {}: {detail}",
+                    topo.name(src)
+                ),
+            )
+            .with_suggestion(format!(
+                "permit {prefix} on the denying map or remove the requirement"
+            )),
+        );
+    }
+}
+
+/// Every `set community` site, keyed by community.
+fn community_set_sites(net: &NetworkConfig) -> BTreeMap<Community, Vec<EntryKey>> {
+    let mut sites: BTreeMap<Community, Vec<EntryKey>> = BTreeMap::new();
+    for (r, n, dir, map) in sessions(net) {
+        for (i, e) in map.entries.iter().enumerate() {
+            for s in &e.sets {
+                if let SetClause::AddCommunity(c) = s {
+                    sites.entry(*c).or_default().push((r, n, dir, i));
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// NE014: communities set somewhere, matched nowhere.
+fn useless_communities(
+    topo: &Topology,
+    net: &NetworkConfig,
+    set_sites: &BTreeMap<Community, Vec<EntryKey>>,
+    spans: &SpanIndex,
+    diags: &mut Diagnostics,
+) {
+    let mut matched: BTreeSet<Community> = BTreeSet::new();
+    for (_, _, _, map) in sessions(net) {
+        for e in &map.entries {
+            for m in &e.matches {
+                if let MatchClause::Community(c) = m {
+                    matched.insert(*c);
+                }
+            }
+        }
+    }
+    for (c, sites) in set_sites {
+        if matched.contains(c) {
+            continue;
+        }
+        for &(r, n, dir, i) in sites {
+            // A tag pushed toward an external neighbor may signal the
+            // neighboring AS; only internal-facing sets are inert.
+            if dir == Dir::Export && topo.router(n).kind == RouterKind::External {
+                continue;
+            }
+            diags.push(
+                Diagnostic::new(
+                    Code::UselessCommunity,
+                    spans.entry(topo, r, n, dir, i),
+                    format!("community {c} is set here but matched nowhere in the network"),
+                )
+                .with_suggestion(format!(
+                    "remove `set community {c}` or add the policy that should read it"
+                )),
+            );
+        }
+    }
+}
+
+/// NE015: community matches that no arriving route can satisfy.
+fn washed_communities(
+    topo: &Topology,
+    net: &NetworkConfig,
+    fx: &Fixpoint,
+    set_sites: &BTreeMap<Community, Vec<EntryKey>>,
+    spans: &SpanIndex,
+    diags: &mut Diagnostics,
+) {
+    for (r, n, dir, map) in sessions(net) {
+        let Some(inflow) = fx.session_in.get(&(r, n, dir)) else {
+            continue;
+        };
+        for (i, e) in map.entries.iter().enumerate() {
+            let mut seen: BTreeSet<Community> = BTreeSet::new();
+            for m in &e.matches {
+                let MatchClause::Community(c) = m else {
+                    continue;
+                };
+                if !seen.insert(*c) {
+                    continue;
+                }
+                let Some(sites) = set_sites.get(c) else {
+                    continue; // never set at all: NE009's territory
+                };
+                if inflow.comms_may.contains(c) {
+                    continue;
+                }
+                let origin = sites
+                    .first()
+                    .map(|&(sr, sn, sdir, _)| session_place(topo, sr, sn, sdir))
+                    .unwrap_or_default();
+                diags.push(
+                    Diagnostic::new(
+                        Code::CommunityWashed,
+                        spans.entry(topo, r, n, dir, i),
+                        format!(
+                            "this entry matches community {c}, which is set in the network \
+                             (at {origin}) but can never be on a route arriving at {}",
+                            session_place(topo, r, n, dir)
+                        ),
+                    )
+                    .with_suggestion(
+                        "carry the tag along this path or delete the dead match".to_string(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Where two patterns of a preference pair diverge: the shared decision
+/// router plus the next router on each branch. `None` when the shapes
+/// don't expose a concrete divergence.
+fn divergence(
+    topo: &Topology,
+    better: &PathPattern,
+    worse: &PathPattern,
+) -> Option<(RouterId, RouterId, RouterId)> {
+    let k = better
+        .segs
+        .iter()
+        .zip(&worse.segs)
+        .position(|(a, b)| a != b)?;
+    if k == 0 {
+        return None;
+    }
+    let name = |s: &Seg| match s {
+        Seg::Router(n) => topo.router_by_name(n),
+        _ => None,
+    };
+    let dec = name(&better.segs[k - 1])?;
+    let bn = name(&better.segs[k])?;
+    let wn = name(&worse.segs[k])?;
+    Some((dec, bn, wn))
+}
+
+/// NE016: preference chains the abstract local-prefs cannot order.
+fn preference_inversions(
+    topo: &Topology,
+    net: &NetworkConfig,
+    spec: &Specification,
+    fx: &Fixpoint,
+    spans: &SpanIndex,
+    diags: &mut Diagnostics,
+) {
+    for req in spec.requirements() {
+        let Requirement::Preference { chain } = req else {
+            continue;
+        };
+        for pair in chain.windows(2) {
+            let (better, worse) = (&pair[0], &pair[1]);
+            let Some(dest) = better.dest().filter(|d| worse.dest() == Some(d)) else {
+                continue;
+            };
+            let Some(prefix) = spec.prefix_of(dest) else {
+                continue;
+            };
+            let Some((dec, bn, wn)) = divergence(topo, better, worse) else {
+                continue;
+            };
+            let Some(wa) = fx.fact_via(dec, &prefix, wn) else {
+                continue; // worse branch delivers nothing: nothing to invert
+            };
+            let ba = fx.fact_via(dec, &prefix, bn);
+            let inverted = ba.as_ref().is_none_or(|ba| wa.lp_max >= ba.lp_min);
+            if !inverted {
+                continue;
+            }
+            // Blame the local-pref-setting entry on the worse import when
+            // there is one; otherwise name the decision session.
+            let span = net
+                .router(dec)
+                .and_then(|cfg| cfg.imports().find(|(from, _)| *from == wn))
+                .and_then(|(_, map)| {
+                    map.entries
+                        .iter()
+                        .position(|e| e.sets.iter().any(|s| matches!(s, SetClause::LocalPref(_))))
+                })
+                .map(|i| spans.entry(topo, dec, wn, Dir::Import, i))
+                .unwrap_or_else(|| Span::place(session_place(topo, dec, wn, Dir::Import)));
+            let msg = match ba {
+                Some(ba) => format!(
+                    "preference `{better}` >> `{worse}` may invert at {}: routes via {} can \
+                     carry local-pref up to {}, while routes via {} start at {}",
+                    topo.name(dec),
+                    topo.name(wn),
+                    wa.lp_max,
+                    topo.name(bn),
+                    ba.lp_min
+                ),
+                None => format!(
+                    "preference `{better}` >> `{worse}` cannot hold at {}: no route for \
+                     `{dest}` ever arrives via {}, yet routes arrive via {}",
+                    topo.name(dec),
+                    topo.name(bn),
+                    topo.name(wn)
+                ),
+            };
+            diags.push(
+                Diagnostic::new(Code::PreferenceInversion, span, msg).with_suggestion(format!(
+                    "raise local-pref on {} import from {} above {}",
+                    topo.name(dec),
+                    topo.name(bn),
+                    wa.lp_max
+                )),
+            );
+        }
+    }
+}
+
+/// NE017: entries on exercised sessions that fire for no deliverable route.
+fn network_dead_entries(
+    topo: &Topology,
+    net: &NetworkConfig,
+    fx: &Fixpoint,
+    spans: &SpanIndex,
+    dead: &HashSet<EntryKey>,
+    diags: &mut Diagnostics,
+) {
+    for (r, n, dir, map) in sessions(net) {
+        if !fx.session_in.contains_key(&(r, n, dir)) {
+            continue; // session sees no traffic at all: a different problem
+        }
+        for (i, e) in map.entries.iter().enumerate() {
+            let key = (r, n, dir, i);
+            if dead.contains(&key) || fx.may_fire.contains(&key) {
+                continue;
+            }
+            // A catch-all deny is a defensive fallthrough (the very thing
+            // NE007 asks for), not dead policy — even when earlier entries
+            // happen to catch everything this network produces.
+            if e.action == Action::Deny && e.matches.is_empty() {
+                continue;
+            }
+            diags.push(
+                Diagnostic::new(
+                    Code::NetworkDeadEntry,
+                    spans.entry(topo, r, n, dir, i),
+                    format!(
+                        "entry `{} {}` of route-map `{}` never fires for any route this \
+                         network can deliver to it",
+                        e.action, e.seq, map.name
+                    ),
+                )
+                .with_suggestion("the entry only matters for routes the network cannot produce"),
+            );
+        }
+    }
+}
+
+/// NE018: provider/peer-learned routes exported to a provider or peer.
+fn valley_violations(
+    topo: &Topology,
+    _net: &NetworkConfig,
+    fx: &Fixpoint,
+    _spans: &SpanIndex,
+    diags: &mut Diagnostics,
+) {
+    // Group by the offending export edge; one finding per edge.
+    let mut grouped: BTreeMap<(RouterId, RouterId), BTreeSet<(Prefix, RouterId)>> = BTreeMap::new();
+    for &(key, v) in &fx.valley {
+        let (holder, orig, learned_from) = key;
+        let prefix = fx.originations()[orig as usize].1;
+        grouped
+            .entry((holder, v))
+            .or_default()
+            .insert((prefix, learned_from));
+    }
+    for ((holder, v), routes) in grouped {
+        let role = match topo.relation(holder, v) {
+            Some(Role::Provider) => "provider",
+            Some(Role::Peer) => "peer",
+            _ => continue,
+        };
+        let mut prefixes: Vec<String> = routes.iter().map(|(p, _)| p.to_string()).collect();
+        prefixes.dedup();
+        let vias: BTreeSet<&str> = routes.iter().map(|(_, f)| topo.name(*f)).collect();
+        diags.push(
+            Diagnostic::new(
+                Code::ValleyFreeViolation,
+                Span::place(session_place(topo, holder, v, Dir::Export)),
+                format!(
+                    "routes for {} learned from a provider or peer (via {}) may be exported \
+                     to {role} {}: a valley-free violation that offers free transit",
+                    prefixes.join(", "),
+                    vias.into_iter().collect::<Vec<_>>().join(", "),
+                    topo.name(v)
+                ),
+            )
+            .with_suggestion(format!(
+                "tag routes on import from providers/peers and deny the tag when exporting \
+                 to {}",
+                topo.name(v)
+            )),
+        );
+    }
+}
+
+/// NE019: `set local-preference` on an eBGP export is inert.
+fn ineffective_local_prefs(
+    topo: &Topology,
+    net: &NetworkConfig,
+    spans: &SpanIndex,
+    diags: &mut Diagnostics,
+) {
+    for (r, n, dir, map) in sessions(net) {
+        if dir != Dir::Export || topo.router(r).as_num == topo.router(n).as_num {
+            continue;
+        }
+        for (i, e) in map.entries.iter().enumerate() {
+            if e.action != Action::Permit {
+                continue;
+            }
+            let Some(lp) = e.sets.iter().find_map(|s| match s {
+                SetClause::LocalPref(v) => Some(*v),
+                _ => None,
+            }) else {
+                continue;
+            };
+            diags.push(
+                Diagnostic::new(
+                    Code::IneffectiveLocalPref,
+                    spans.entry(topo, r, n, dir, i),
+                    format!(
+                        "`set local-preference {lp}` on an eBGP export has no effect: {} \
+                         resets local-pref when it imports the route",
+                        topo.name(n)
+                    ),
+                )
+                .with_suggestion(format!(
+                    "set the local-pref on {}'s import from {} instead",
+                    topo.name(n),
+                    topo.name(r)
+                )),
+            );
+        }
+    }
+}

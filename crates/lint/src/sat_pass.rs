@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use netexpl_bgp::{MatchClause, NetworkConfig, RouteMap};
 use netexpl_core::symbolize::Dir;
+use netexpl_dataflow::Prefilter;
 use netexpl_logic::session::{incremental_enabled, SmtSession};
 use netexpl_logic::solver::is_unsat;
 use netexpl_logic::term::{Ctx, TermId};
@@ -38,30 +39,48 @@ use crate::spans::SpanIndex;
 
 /// Run the SAT pass over every session map. `skip` holds entries already
 /// reported dead structurally — re-reporting them semantically would be
-/// noise.
+/// noise. `prefilter`, when present, carries concrete witnesses from the
+/// abstract-interpretation fixpoint: a witnessed query is already known
+/// satisfiable (hence cannot produce a diagnostic) and skips the solver
+/// entirely. The `lint.sat.filtered` / `lint.sat.solved` counters report
+/// how many solver probes the prefilter eliminated.
 pub fn run(
     topo: &Topology,
     vocab: &Vocabulary,
     net: &NetworkConfig,
     spans: &SpanIndex,
     skip: &HashSet<EntryKey>,
+    prefilter: Option<&Prefilter>,
 ) -> Diagnostics {
     let span = netexpl_obs::Span::enter("lint.sat");
     let mut ctx = Ctx::new();
     let sorts = vocab.sorts(&mut ctx);
     let mut diags = Diagnostics::new();
     let mut maps = 0usize;
+    let mut stats = ProbeStats::default();
     for (r, n, dir, map) in sessions(net) {
         maps += 1;
         lint_map(
-            &mut ctx, topo, vocab, sorts, r, n, dir, map, spans, skip, &mut diags,
+            &mut ctx, topo, vocab, sorts, r, n, dir, map, spans, skip, prefilter, &mut stats,
+            &mut diags,
         );
     }
+    netexpl_obs::counter_add("lint.sat.filtered", stats.filtered);
+    netexpl_obs::counter_add("lint.sat.solved", stats.solved);
     if span.is_recording() {
         span.attr("maps", maps);
         span.attr("diagnostics", diags.len());
+        span.attr("filtered", stats.filtered);
+        span.attr("solved", stats.solved);
     }
     diags
+}
+
+/// Solver probes answered by the prefilter vs. actually solved.
+#[derive(Debug, Default)]
+struct ProbeStats {
+    filtered: u64,
+    solved: u64,
 }
 
 /// The symbolic route state one map is linted against.
@@ -177,6 +196,8 @@ fn lint_map(
     map: &RouteMap,
     spans: &SpanIndex,
     skip: &HashSet<EntryKey>,
+    prefilter: Option<&Prefilter>,
+    stats: &mut ProbeStats,
     diags: &mut Diagnostics,
 ) {
     if map.entries.is_empty() {
@@ -209,15 +230,25 @@ fn lint_map(
 
     for (i, &m_i) in match_terms.iter().enumerate() {
         let e = &map.entries[i];
+        let key = (r, n, dir, i);
         // Diagnose only on an explicit Unsat verdict: an `Unknown` from a
         // budgeted/faulted solver must not masquerade as a refutation.
-        let contradictory = match session.as_mut() {
-            Some(s) => matches!(s.check_assuming(ctx, &[m_i]).0, SmtResult::Unsat),
-            None => {
-                let matchable = ctx.and2(route.domain, m_i);
-                is_unsat(ctx, matchable)
-            }
-        };
+        // A concrete fixpoint witness that *matched* this entry proves the
+        // conjunction satisfiable without any solver call.
+        let witnessed_sat = prefilter.is_some_and(|p| p.sat_witnessed(&key));
+        if witnessed_sat {
+            stats.filtered += 1;
+        } else {
+            stats.solved += 1;
+        }
+        let contradictory = !witnessed_sat
+            && match session.as_mut() {
+                Some(s) => matches!(s.check_assuming(ctx, &[m_i]).0, SmtResult::Unsat),
+                None => {
+                    let matchable = ctx.and2(route.domain, m_i);
+                    is_unsat(ctx, matchable)
+                }
+            };
         if contradictory {
             diags.push(
                 Diagnostic::new(
@@ -232,9 +263,16 @@ fn lint_map(
             );
             continue;
         }
-        if i == 0 || skip.contains(&(r, n, dir, i)) {
+        if i == 0 || skip.contains(&key) {
             continue;
         }
+        // A witness for which this entry was the *first* match proves the
+        // entry reachable: the unreachability query is SAT, skip it.
+        if prefilter.is_some_and(|p| p.reach_witnessed(&key)) {
+            stats.filtered += 1;
+            continue;
+        }
+        stats.solved += 1;
         let unreachable = match session.as_mut() {
             Some(s) => {
                 let mut assumptions = vec![m_i];
@@ -290,7 +328,7 @@ mod tests {
 
     fn lint(topo: &Topology, vocab: &Vocabulary, net: &NetworkConfig) -> Diagnostics {
         let spans = SpanIndex::build(topo, net);
-        run(topo, vocab, net, &spans, &HashSet::new())
+        run(topo, vocab, net, &spans, &HashSet::new(), None)
     }
 
     /// The separating example: `10.0.0.0/8` then `10.1.0.0/16`. No clause
@@ -485,10 +523,10 @@ mod tests {
         let (structural, dead) = crate::config_pass::run(&topo, &net, &spans);
         assert_eq!(structural.with_code(Code::ShadowedEntry).len(), 1);
         // With the structural skip set the SAT pass stays silent…
-        let ds = run(&topo, &vocab, &net, &spans, &dead);
+        let ds = run(&topo, &vocab, &net, &spans, &dead, None);
         assert!(ds.with_code(Code::UnreachableEntry).is_empty(), "{ds}");
         // …without it, it reports the same entry semantically.
-        let ds = run(&topo, &vocab, &net, &spans, &HashSet::new());
+        let ds = run(&topo, &vocab, &net, &spans, &HashSet::new(), None);
         assert_eq!(ds.with_code(Code::UnreachableEntry).len(), 1, "{ds}");
     }
 }

@@ -1,0 +1,141 @@
+//! Inline suppressions: `netexpl-allow(NExxx)` comments.
+//!
+//! A comment line (starting with `!`, `//` or `#` — the comment leaders
+//! of rendered configs and spec files) containing `netexpl-allow(NExxx)`
+//! suppresses every finding with that code for the linted artifact. An
+//! allow that matches no finding is itself reported as NE020, so stale
+//! suppressions don't silently accumulate.
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+
+/// The suppressions parsed out of one source text.
+#[derive(Debug, Clone, Default)]
+pub struct Suppressions {
+    /// `(code id, 1-based source line)` per allow comment.
+    allows: Vec<(String, usize)>,
+}
+
+impl Suppressions {
+    /// Scan `text` for `netexpl-allow(...)` markers on comment lines.
+    pub fn parse(text: &str) -> Suppressions {
+        let mut allows = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let t = line.trim_start();
+            if !(t.starts_with('!') || t.starts_with("//") || t.starts_with('#')) {
+                continue;
+            }
+            let mut rest = t;
+            while let Some(pos) = rest.find("netexpl-allow(") {
+                rest = &rest[pos + "netexpl-allow(".len()..];
+                let Some(end) = rest.find(')') else { break };
+                let code = rest[..end].trim();
+                if !code.is_empty() {
+                    allows.push((code.to_string(), i + 1));
+                }
+                rest = &rest[end + 1..];
+            }
+        }
+        Suppressions { allows }
+    }
+
+    /// Number of allow markers found.
+    pub fn len(&self) -> usize {
+        self.allows.len()
+    }
+
+    /// No allows at all?
+    pub fn is_empty(&self) -> bool {
+        self.allows.is_empty()
+    }
+
+    /// Filter `diags` through the allows: suppressed findings are
+    /// dropped, and each allow that suppressed nothing yields an NE020
+    /// note. An allow for NE020 itself silences those notes.
+    pub fn apply(&self, diags: Diagnostics) -> Diagnostics {
+        if self.allows.is_empty() {
+            return diags;
+        }
+        let mut used = vec![false; self.allows.len()];
+        let mut out = Diagnostics::new();
+        for d in diags.iter() {
+            let mut suppressed = false;
+            for (i, (code, _)) in self.allows.iter().enumerate() {
+                if code == d.code.id() {
+                    used[i] = true;
+                    suppressed = true;
+                }
+            }
+            if !suppressed {
+                out.push(d.clone());
+            }
+        }
+        let allow_unused_notes = self
+            .allows
+            .iter()
+            .any(|(c, _)| c == Code::UnusedSuppression.id());
+        if !allow_unused_notes {
+            for (i, (code, line)) in self.allows.iter().enumerate() {
+                if !used[i] {
+                    out.push(
+                        Diagnostic::new(
+                            Code::UnusedSuppression,
+                            Span::place(format!("suppression at source line {line}")),
+                            format!("`netexpl-allow({code})` matched no finding"),
+                        )
+                        .with_suggestion("remove the stale allow comment"),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(code: Code) -> Diagnostic {
+        Diagnostic::new(code, Span::place("somewhere"), "finding")
+    }
+
+    #[test]
+    fn parses_comment_leaders_only() {
+        let s = Suppressions::parse(
+            "! netexpl-allow(NE007)\n\
+             // netexpl-allow(NE009) netexpl-allow(NE015)\n\
+             # netexpl-allow(NE018)\n\
+             route-map x permit 10 netexpl-allow(NE006)\n",
+        );
+        assert_eq!(s.len(), 4, "the non-comment line is ignored");
+    }
+
+    #[test]
+    fn suppresses_matching_findings() {
+        let s = Suppressions::parse("! netexpl-allow(NE007)");
+        let mut ds = Diagnostics::new();
+        ds.push(finding(Code::ImplicitDenyAll));
+        ds.push(finding(Code::ShadowedEntry));
+        let out = s.apply(ds);
+        assert!(out.with_code(Code::ImplicitDenyAll).is_empty());
+        assert_eq!(out.with_code(Code::ShadowedEntry).len(), 1);
+        assert!(out.with_code(Code::UnusedSuppression).is_empty());
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let s = Suppressions::parse("// netexpl-allow(NE013)");
+        let out = s.apply(Diagnostics::new());
+        let notes = out.with_code(Code::UnusedSuppression);
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].message.contains("NE013"), "{}", notes[0]);
+        assert!(notes[0].span.place.contains("line 1"), "{}", notes[0]);
+    }
+
+    #[test]
+    fn allowing_ne020_silences_unused_notes() {
+        let s = Suppressions::parse("! netexpl-allow(NE013) netexpl-allow(NE020)");
+        let out = s.apply(Diagnostics::new());
+        assert!(out.is_empty(), "{out}");
+    }
+}

@@ -49,6 +49,12 @@ pub fn paper_topology() -> (Topology, PaperTopology) {
     t.add_link(r1, r3);
     t.add_link(r2, r3);
     t.add_link(r3, customer);
+    // Gao–Rexford roles of the paper's setting: AS100 buys transit from
+    // both providers and sells it to the customer — so it must never
+    // carry provider-to-provider (valley) traffic.
+    t.annotate_provider(p1, r1);
+    t.annotate_provider(p2, r2);
+    t.annotate_provider(r3, customer);
     (
         t,
         PaperTopology {
@@ -223,6 +229,12 @@ mod tests {
         assert!(t.is_connected());
         assert_eq!(t.internal_routers().count(), 3);
         assert_eq!(t.external_routers().count(), 3);
+        // Business roles: providers above AS100, the customer below it.
+        use crate::graph::Role;
+        assert_eq!(t.relation(h.r1, h.p1), Some(Role::Provider));
+        assert_eq!(t.relation(h.r2, h.p2), Some(Role::Provider));
+        assert_eq!(t.relation(h.r3, h.customer), Some(Role::Customer));
+        assert_eq!(t.relation(h.r1, h.r2), None, "iBGP links unannotated");
     }
 
     #[test]

@@ -70,6 +70,27 @@ impl Link {
     }
 }
 
+/// Business role a neighbor plays from a router's point of view, per the
+/// Gao–Rexford model. Only links explicitly annotated via
+/// [`Topology::annotate_provider`] / [`Topology::annotate_peer`] carry a
+/// role; everything else is relationship-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The neighbor sells transit to this router.
+    Provider,
+    /// The neighbor buys transit from this router.
+    Customer,
+    /// Settlement-free peering.
+    Peer,
+}
+
+/// Internal storage of a link's annotation (oriented by the provider end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkRelation {
+    Provider(RouterId),
+    Peer,
+}
+
 /// The network topology: a simple undirected graph of routers.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
@@ -77,6 +98,7 @@ pub struct Topology {
     by_name: HashMap<String, RouterId>,
     links: Vec<Link>,
     adjacency: Vec<Vec<RouterId>>,
+    relations: HashMap<Link, LinkRelation>,
 }
 
 impl Topology {
@@ -186,6 +208,36 @@ impl Topology {
         count == self.routers.len()
     }
 
+    /// Annotate an existing link with a provider→customer relationship.
+    pub fn annotate_provider(&mut self, provider: RouterId, customer: RouterId) {
+        let link = Link::new(provider, customer);
+        assert!(self.links.contains(&link), "annotating a non-existent link");
+        self.relations
+            .insert(link, LinkRelation::Provider(provider));
+    }
+
+    /// Annotate an existing link as settlement-free peering.
+    pub fn annotate_peer(&mut self, x: RouterId, y: RouterId) {
+        let link = Link::new(x, y);
+        assert!(self.links.contains(&link), "annotating a non-existent link");
+        self.relations.insert(link, LinkRelation::Peer);
+    }
+
+    /// The role `neighbor` plays from `of`'s point of view, if the link
+    /// between them is annotated.
+    pub fn relation(&self, of: RouterId, neighbor: RouterId) -> Option<Role> {
+        match self.relations.get(&Link::new(of, neighbor))? {
+            LinkRelation::Provider(p) if *p == neighbor => Some(Role::Provider),
+            LinkRelation::Provider(_) => Some(Role::Customer),
+            LinkRelation::Peer => Some(Role::Peer),
+        }
+    }
+
+    /// Does any link carry a Gao–Rexford annotation?
+    pub fn has_relations(&self) -> bool {
+        !self.relations.is_empty()
+    }
+
     /// eBGP sessions: links whose endpoints are in different ASes.
     pub fn ebgp_sessions(&self) -> Vec<Link> {
         self.links
@@ -276,6 +328,30 @@ mod tests {
             Topology::new().is_connected(),
             "empty topology is trivially connected"
         );
+    }
+
+    #[test]
+    fn relations_are_oriented_and_optional() {
+        let (mut t, a, b, c) = triangle();
+        assert!(!t.has_relations());
+        assert_eq!(t.relation(a, c), None);
+        t.annotate_provider(c, a); // C sells transit to A
+        t.annotate_peer(a, b);
+        assert!(t.has_relations());
+        assert_eq!(t.relation(a, c), Some(Role::Provider));
+        assert_eq!(t.relation(c, a), Some(Role::Customer));
+        assert_eq!(t.relation(a, b), Some(Role::Peer));
+        assert_eq!(t.relation(b, a), Some(Role::Peer));
+        assert_eq!(t.relation(b, c), None, "unannotated link stays agnostic");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent link")]
+    fn annotating_missing_link_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_router("A", AsNum(1), RouterKind::Internal);
+        let b = t.add_router("B", AsNum(2), RouterKind::External);
+        t.annotate_provider(b, a);
     }
 
     #[test]

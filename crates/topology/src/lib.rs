@@ -17,6 +17,6 @@ pub mod graph;
 pub mod path;
 pub mod prefix;
 
-pub use graph::{AsNum, Link, Router, RouterId, RouterKind, Topology};
+pub use graph::{AsNum, Link, Role, Router, RouterId, RouterKind, Topology};
 pub use path::Path;
 pub use prefix::Prefix;

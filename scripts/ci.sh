@@ -126,6 +126,47 @@ awk '
   END { if (!found) { print "no lift speedup in bench --json"; exit 1 } }
 ' "$OBS_DIR/bench.json"
 
+echo "==> network-lint smoke: dataflow pass clean on paper, exit codes honored"
+# The paper scenario must come through the network pass with zero errors.
+./target/release/netexpl lint --topology paper --spec "$OBS_DIR/spec.txt" \
+    --network --json > "$OBS_DIR/netlint.json"
+grep -q '"errors": 0' "$OBS_DIR/netlint.json"
+# A generated multi-router topology must also lint cleanly end to end.
+cat > "$OBS_DIR/ring.txt" <<'EOF'
+// @originate Pa 200.7.0.0/16
+// @originate Pb 201.0.0.0/16
+dest D1 = 200.7.0.0/16
+dest D2 = 201.0.0.0/16
+Req1 { !(Pa -> ... -> Pb) }
+EOF
+./target/release/netexpl lint --topology ring:4 --spec "$OBS_DIR/ring.txt" \
+    --network --json > "$OBS_DIR/netlint-ring.json"
+grep -q '"errors": 0' "$OBS_DIR/netlint-ring.json"
+# Exit-code contract: `!(P1 -> Customer)` is unrealizable (NE005, warning)
+# — plain lint exits 0, --deny-warnings promotes it to a failure.
+cat > "$OBS_DIR/warn.txt" <<'EOF'
+// @originate P1 200.7.0.0/16
+dest D1 = 200.7.0.0/16
+Req1 { !(P1 -> Customer) }
+EOF
+./target/release/netexpl lint --topology paper --spec "$OBS_DIR/warn.txt" \
+    > /dev/null
+if ./target/release/netexpl lint --topology paper --spec "$OBS_DIR/warn.txt" \
+    --deny-warnings > /dev/null 2>&1; then
+  echo "lint --deny-warnings did not fail on a warning"; exit 1
+fi
+
+echo "==> bench: SAT pre-filter eliminates a majority of probes"
+awk '
+  /"lint_network": \{/ { in_nl = 1 }
+  in_nl && /"filtered_majority":/ {
+    found = 1
+    if ($0 !~ /true/) { print "SAT pre-filter did not win a majority"; exit 1 }
+    exit 0
+  }
+  END { if (!found) { print "no lint_network section in bench --json"; exit 1 } }
+' "$OBS_DIR/bench.json"
+
 echo "==> explain-all smoke: every router reported, run bounded"
 ./target/release/netexpl explain --topology paper --spec "$OBS_DIR/spec.txt" \
     --all --workers 4 --timeout 10 --json > "$OBS_DIR/all.json"

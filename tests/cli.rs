@@ -491,3 +491,136 @@ fn explain_rejects_zero_coverage_selector() {
     assert!(stderr.contains("NE012"), "{stderr}");
     assert!(stderr.contains("selectable sessions"), "{stderr}");
 }
+
+#[test]
+fn lint_network_json_runs_the_dataflow_checks() {
+    let spec = spec_file("lintnet", SPEC);
+    let out = netexpl()
+        .args([
+            "lint",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--network",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    assert_eq!(v["errors"].as_u64().unwrap(), 0, "{v}");
+    // The network pass ran: no NE013+ error-severity finding on the
+    // paper scenario, and whatever it notes carries a span.
+    for f in v["findings"].as_array().unwrap() {
+        assert!(f["place"].as_str().is_some(), "{f}");
+    }
+}
+
+#[test]
+fn lint_deny_warnings_controls_the_exit_code() {
+    // `!(P1 -> Customer)`: the routers exist but are not adjacent, so the
+    // pattern is unrealizable — a warning (NE005), not an error.
+    let warn_spec = "\
+// @originate P1 200.7.0.0/16
+dest D1 = 200.7.0.0/16
+Req1 { !(P1 -> Customer) }
+";
+    let spec = spec_file("lintwarn", warn_spec);
+    let base = [
+        "lint",
+        "--topology",
+        "paper",
+        "--spec",
+        spec.to_str().unwrap(),
+    ];
+
+    // Warnings alone exit zero...
+    let out = netexpl().args(base).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NE005"), "{stdout}");
+
+    // ...and --deny-warnings promotes them to a failing exit.
+    let out = netexpl()
+        .args(base)
+        .args(["--deny-warnings", "--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--deny-warnings must fail the run");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    assert!(v["errors"].as_u64().unwrap() >= 1, "{v}");
+}
+
+#[test]
+fn lint_inline_suppressions_silence_findings() {
+    let suppressed = "\
+// @originate P1 200.7.0.0/16
+// netexpl-allow(NE005) netexpl-allow(NE011)
+dest D1 = 200.7.0.0/16
+Req1 { !(P1 -> Customer) }
+";
+    let spec = spec_file("lintallow", suppressed);
+    let out = netexpl()
+        .args([
+            "lint",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--deny-warnings",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "suppressed warning must not fail --deny-warnings: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    let codes: Vec<&str> = v["findings"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|f| f["code"].as_str())
+        .collect();
+    assert!(!codes.contains(&"NE005"), "{v}");
+
+    // A stale allow surfaces as an NE020 note (and stays exit-zero).
+    let stale = "\
+// @originate P1 200.7.0.0/16
+// netexpl-allow(NE013)
+dest D1 = 200.7.0.0/16
+Req1 { !(P1 -> ... -> P2) }
+";
+    let spec = spec_file("lintstale", stale);
+    let out = netexpl()
+        .args([
+            "lint",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    let codes: Vec<&str> = v["findings"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|f| f["code"].as_str())
+        .collect();
+    assert!(codes.contains(&"NE020"), "{v}");
+}
