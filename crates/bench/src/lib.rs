@@ -3,6 +3,7 @@
 //! workloads. Every experiment row in EXPERIMENTS.md is produced from the
 //! builders here, by either the Criterion benches or the `tables` binary.
 
+pub mod compare;
 pub mod report;
 
 use netexpl_bgp::{

@@ -10,7 +10,7 @@ use netexpl_lint::{
 };
 use netexpl_logic::budget::Budget;
 use netexpl_logic::term::Ctx;
-use netexpl_obs::{FileMetricsSink, HumanSink, JsonLinesSink, ObsGuard, Sink};
+use netexpl_obs::{ChromeTraceSink, FileMetricsSink, HumanSink, JsonLinesSink, ObsGuard, Sink};
 use netexpl_spec::check_specification;
 use netexpl_synth::sketch::HoleFactory;
 use netexpl_synth::synthesize::{default_sketch, synthesize, SynthOptions, SynthResult};
@@ -46,18 +46,27 @@ fn parse_budget(opts: &Options) -> Result<Budget, Error> {
     Ok(budget)
 }
 
-/// Install an observability session from the shared `--trace[=human|json]`
-/// and `--metrics-out <path>` options, if either was given. The returned
-/// guard must stay alive for the rest of the command: dropping it flushes
-/// the sinks and deactivates collection.
+/// Install an observability session from the shared
+/// `--trace[=human|json|chrome]` and `--metrics-out <path>` options, if
+/// either was given. `--trace=chrome` buffers the whole session and
+/// writes a Chrome `trace_event` JSON document to `--trace-out` (open it
+/// in `chrome://tracing` or Perfetto). The returned guard must stay
+/// alive for the rest of the command: dropping it flushes the sinks and
+/// deactivates collection.
 fn obs_setup(opts: &Options) -> Result<Option<ObsGuard>, Error> {
     let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
     match opts.get("trace") {
         Some("human") => sinks.push(Box::new(HumanSink::stderr())),
         Some("json") => sinks.push(Box::new(JsonLinesSink::stderr())),
+        Some("chrome") => {
+            let path = opts
+                .get("trace-out")
+                .ok_or_else(|| usage("--trace=chrome needs --trace-out <FILE>".to_string()))?;
+            sinks.push(Box::new(ChromeTraceSink::to_file(path)));
+        }
         Some(other) => {
             return Err(usage(format!(
-                "--trace must be human or json, not `{other}`"
+                "--trace must be human, json or chrome, not `{other}`"
             )))
         }
         // Bare `--trace` defaults to the human-readable tree.
@@ -73,6 +82,17 @@ fn obs_setup(opts: &Options) -> Result<Option<ObsGuard>, Error> {
     netexpl_obs::install(sinks)
         .map(Some)
         .map_err(|e| usage(e.to_string()))
+}
+
+/// Parse the shared `--workers <n>` option; 0/absent means auto
+/// (available parallelism, capped at the router count).
+fn parse_workers(opts: &Options) -> Result<usize, Error> {
+    match opts.get("workers") {
+        None => Ok(0),
+        Some(w) => w
+            .parse()
+            .map_err(|_| usage(format!("--workers takes a count, not `{w}`"))),
+    }
 }
 
 struct SynthReport {
@@ -191,13 +211,7 @@ pub fn lint(args: &[String]) -> Result<(), Error> {
     let topo = topology(opts.require("topology").map_err(usage)?)?;
     let spec_path = opts.require("spec").map_err(usage)?;
     let problem = load_problem(&topo, spec_path)?;
-    let workers = match opts.get("workers") {
-        // 0 = auto (available parallelism, capped at the router count).
-        None => 0,
-        Some(w) => w
-            .parse()
-            .map_err(|_| usage(format!("--workers takes a count, not `{w}`")))?,
-    };
+    let workers = parse_workers(&opts)?;
     // Inline `netexpl-allow(NExxx)` comments in the spec source suppress
     // matching findings (and unused allows are themselves reported).
     let suppressions = std::fs::read_to_string(spec_path)
@@ -482,13 +496,7 @@ fn explain_all_cmd(
     selector: &Selector,
     explain_opts: ExplainOptions,
 ) -> Result<(), Error> {
-    let workers = match opts.get("workers") {
-        // 0 = auto (available parallelism, capped at the router count).
-        None => 0,
-        Some(w) => w
-            .parse()
-            .map_err(|_| usage(format!("--workers takes a count, not `{w}`")))?,
-    };
+    let workers = parse_workers(opts)?;
     let all = explain_all(
         &mut p.ctx,
         &p.topo,
@@ -631,14 +639,125 @@ pub fn scenario(args: &[String]) -> Result<(), Error> {
     )))
 }
 
+/// `netexpl profile` — run a workload (`--router <R>` single explain,
+/// `--all` network-wide explain, or `--lint` the network lint) under
+/// full in-memory instrumentation and print the attribution report:
+/// critical path over the span tree, dominant router/stage, hot SAT
+/// queries attributed to their originating lift template or lint
+/// diagnostic, cache hit/miss counts, and latency quantiles. With
+/// `--trace-out <FILE>` the captured session is also written as Chrome
+/// `trace_event` JSON.
+pub fn profile(args: &[String]) -> Result<(), Error> {
+    let opts = Options::parse(args, &["all", "lint", "skip-lift", "fail-fast"]).map_err(usage)?;
+    let budget = parse_budget(&opts)?;
+    let top = match opts.get("top") {
+        None => 5,
+        Some(t) => t
+            .parse()
+            .map_err(|_| usage(format!("--top takes a count, not `{t}`")))?,
+    };
+    let modes = [
+        opts.flag("all"),
+        opts.flag("lint"),
+        opts.get("router").is_some(),
+    ];
+    if modes.iter().filter(|&&m| m).count() != 1 {
+        return Err(usage(
+            "profile needs exactly one workload: --router <NAME>, --all, or --lint".to_string(),
+        ));
+    }
+
+    // Everything from here to the guard drop records into the memory
+    // session — synthesis included, so the report shows its share too.
+    let (guard, handle) = netexpl_obs::install_memory();
+    let mut p = prepare(&opts, Budget::unlimited())?;
+    let explain_opts = ExplainOptions {
+        skip_lift: opts.flag("skip-lift"),
+        budget,
+        ..Default::default()
+    };
+    if opts.flag("lint") {
+        let workers = parse_workers(&opts)?;
+        let diags = lint_network(
+            &p.topo,
+            &p.problem.spec,
+            &p.result.config,
+            Some(&p.problem.vocab),
+            workers,
+        );
+        let (errors, warnings, notes) = diags.counts();
+        netexpl_obs::note(&format!(
+            "lint: {errors} error(s), {warnings} warning(s), {notes} note(s)"
+        ));
+    } else if opts.flag("all") {
+        let selector = parse_selector(&opts, &p.topo)?;
+        explain_all(
+            &mut p.ctx,
+            &p.topo,
+            &p.problem.vocab,
+            p.sorts,
+            &p.result.config,
+            &p.problem.spec,
+            &selector,
+            ExplainAllOptions {
+                explain: explain_opts,
+                workers: parse_workers(&opts)?,
+                fail_fast: opts.flag("fail-fast"),
+            },
+        )
+        .map_err(Error::Explain)?;
+    } else {
+        let router_name = opts.require("router").map_err(usage)?;
+        let router = p
+            .topo
+            .router_by_name(router_name)
+            .ok_or_else(|| Error::Topology(format!("unknown router `{router_name}`")))?;
+        let selector = parse_selector(&opts, &p.topo)?;
+        explain(
+            &mut p.ctx,
+            &p.topo,
+            &p.problem.vocab,
+            p.sorts,
+            &p.result.config,
+            &p.problem.spec,
+            router,
+            &selector,
+            explain_opts,
+        )
+        .map_err(Error::Explain)?;
+    }
+    // Dropping the guard flushes the metrics registry into the handle.
+    drop(guard);
+    let data = handle.data();
+
+    if let Some(path) = opts.get("trace-out") {
+        let json = netexpl_obs::chrome::trace_json(&data.spans, &data.samples);
+        std::fs::write(path, json).map_err(|e| Error::Io {
+            path: path.to_string(),
+            source: e,
+        })?;
+        eprintln!("wrote {path}");
+    }
+    print!("{}", netexpl_obs::profile::analyze(&data, top));
+    Ok(())
+}
+
 /// `netexpl bench` — run the explain pipeline over the paper's three
 /// scenarios under an in-memory obs session and write the per-scenario
 /// stage timings, sizes, and solver counters as a JSON report. With
 /// `--json` the report goes to stdout instead of a file, so scripts can
 /// pipe it without a temp file.
+///
+/// With `--compare <OLD>` the command becomes a regression gate instead:
+/// it diffs a new report (freshly measured, or read from `--in <FILE>`)
+/// against the old baseline and exits non-zero (NX701) when any timing
+/// section grew beyond `--threshold <PCT>` (default 25).
 pub fn bench(args: &[String]) -> Result<(), Error> {
     let opts = Options::parse(args, &["json"]).map_err(usage)?;
     let budget = parse_budget(&opts)?;
+    if let Some(old_path) = opts.get("compare") {
+        return bench_compare(&opts, old_path, budget);
+    }
     if opts.flag("json") {
         let report =
             netexpl_bench::report::explain_report_with(&budget).map_err(|e| Error::Io {
@@ -654,6 +773,42 @@ pub fn bench(args: &[String]) -> Result<(), Error> {
         source: std::io::Error::other(e),
     })?;
     println!("wrote {out}");
+    Ok(())
+}
+
+/// The `--compare` arm of [`bench`]: diff a new report against the
+/// baseline at `old_path` and fail on regressions beyond the threshold.
+fn bench_compare(opts: &Options, old_path: &str, budget: Budget) -> Result<(), Error> {
+    let threshold: f64 = match opts.get("threshold") {
+        None => 25.0,
+        Some(t) => t
+            .parse()
+            .ok()
+            .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+            .ok_or_else(|| usage(format!("--threshold takes non-negative percent, not `{t}`")))?,
+    };
+    let read_report = |path: &str| -> Result<Value, Error> {
+        let text = std::fs::read_to_string(path).map_err(|e| Error::Io {
+            path: path.to_string(),
+            source: e,
+        })?;
+        serde_json::from_str(&text).map_err(|e| usage(format!("{path}: invalid JSON: {e}")))
+    };
+    let old = read_report(old_path)?;
+    let new = match opts.get("in") {
+        Some(path) => read_report(path)?,
+        // No --in: measure a fresh report right now, same as plain `bench`.
+        None => netexpl_bench::report::explain_report_with(&budget).map_err(|e| Error::Io {
+            path: "<bench>".to_string(),
+            source: std::io::Error::other(e),
+        })?,
+    };
+    let cmp = netexpl_bench::compare::compare_reports(&old, &new, threshold);
+    print!("{}", netexpl_bench::compare::render(&cmp, threshold));
+    let regressions = cmp.regressions().len();
+    if regressions > 0 {
+        return Err(Error::BenchRegression { regressions });
+    }
     Ok(())
 }
 

@@ -10,13 +10,19 @@
 //!                  [--workers N] [--fail-fast] [--json]
 //! netexpl simulate --topology paper --spec spec.txt [--fail R1-R3]
 //! netexpl scenario <1|2|3>
+//! netexpl profile  --topology paper --spec spec.txt (--router R1 | --all | --lint) \
+//!                  [--top K] [--trace-out trace.json]
 //! netexpl bench    [--out BENCH_explain.json] [--json]
+//! netexpl bench    --compare old.json [--in new.json] [--threshold PCT]
 //! netexpl obs-check --trace-file trace.jsonl [--metrics-file metrics.json]
 //! ```
 //!
-//! `synth`, `lint`, and `explain` additionally accept `--trace[=human|json]`
-//! (stream pipeline spans and metrics to stderr) and `--metrics-out <FILE>`
-//! (write the metrics registry as JSON when the command finishes).
+//! `synth`, `lint`, and `explain` additionally accept
+//! `--trace[=human|json|chrome]` (stream pipeline spans and metrics to
+//! stderr, or with `chrome` write a `trace_event` JSON document to
+//! `--trace-out` for `chrome://tracing`/Perfetto) and
+//! `--metrics-out <FILE>` (write the metrics registry as JSON when the
+//! command finishes).
 //!
 //! The specification file uses the `netexpl-spec` DSL, extended with one
 //! CLI-level directive embedded in comments:
@@ -71,6 +77,7 @@ fn run(args: &[String]) -> Result<(), Error> {
         "assumptions" => commands::assumptions(rest),
         "simulate" => commands::simulate(rest),
         "scenario" => commands::scenario(rest),
+        "profile" => commands::profile(rest),
         "bench" => commands::bench(rest),
         "obs-check" => commands::obs_check(rest),
         "help" | "--help" | "-h" => {
@@ -108,11 +115,25 @@ fn print_usage() {
            netexpl assumptions --topology <T> --spec <FILE> --router <NAME>\n\
            netexpl simulate --topology <T> --spec <FILE> [--fail <A-B>]...\n\
            netexpl scenario <1|2|3>\n\
+           netexpl profile  --topology <T> --spec <FILE>\n\
+                            (--router <NAME> | --all [--workers <N>] | --lint [--workers <N>])\n\
+                            [--top <K>] [--trace-out <FILE>]\n\
+                            (run the workload under full instrumentation and\n\
+                            print the attribution report: critical path, dominant\n\
+                            router/stage, hot SAT queries by originating lift\n\
+                            template or lint diagnostic, cache hits, quantiles;\n\
+                            --trace-out also writes Chrome trace JSON)\n\
            netexpl bench    [--out <FILE>] [--json]   (default BENCH_explain.json)\n\
+           netexpl bench    --compare <OLD> [--in <NEW>] [--threshold <PCT>]\n\
+                            (regression gate: diff a new report — freshly measured,\n\
+                            or --in <NEW> — against the <OLD> baseline; exit NX701\n\
+                            if a timing section grew beyond the threshold, default 25%)\n\
            netexpl obs-check --trace-file <FILE> [--metrics-file <FILE>]\n\
          \n\
          OBSERVABILITY (synth, lint, explain):\n\
-           --trace[=human|json]   stream pipeline spans + metrics to stderr\n\
+           --trace[=human|json|chrome]  stream pipeline spans + metrics to stderr;\n\
+                                  chrome buffers the run and writes trace_event\n\
+                                  JSON to --trace-out (chrome://tracing, Perfetto)\n\
            --metrics-out <FILE>   write the metrics registry as JSON on exit\n\
          \n\
          RESOURCE BUDGETS (synth, explain, bench):\n\

@@ -23,6 +23,7 @@
 //! | NX401 | explanation pipeline                          |
 //! | NX501 | budget interrupt (deadline/caps/cancellation) |
 //! | NX601 | lint findings at error severity               |
+//! | NX701 | benchmark regression beyond threshold         |
 
 use netexpl_logic::budget::Interrupt;
 
@@ -57,6 +58,9 @@ pub enum Error {
     Interrupted(Interrupt),
     /// Lint reported findings at error severity (NX601).
     Lint { errors: usize },
+    /// `bench --compare` found timing regressions beyond the threshold
+    /// (NX701).
+    BenchRegression { regressions: usize },
 }
 
 impl Error {
@@ -77,6 +81,7 @@ impl Error {
             Error::Explain(_) => "NX401",
             Error::Interrupted(_) => "NX501",
             Error::Lint { .. } => "NX601",
+            Error::BenchRegression { .. } => "NX701",
         }
     }
 }
@@ -95,6 +100,9 @@ impl std::fmt::Display for Error {
             Error::Explain(e) => write!(f, "explain: {e}"),
             Error::Interrupted(i) => write!(f, "{i}"),
             Error::Lint { errors } => write!(f, "lint found {errors} error-severity finding(s)"),
+            Error::BenchRegression { regressions } => {
+                write!(f, "bench: {regressions} regression(s) beyond threshold")
+            }
         }
     }
 }
@@ -175,6 +183,7 @@ mod tests {
             "NX501"
         );
         assert_eq!(Error::Lint { errors: 2 }.code(), "NX601");
+        assert_eq!(Error::BenchRegression { regressions: 1 }.code(), "NX701");
         assert_eq!(
             Error::Synth(netexpl_synth::synthesize::SynthError::Unsat).code(),
             "NX202"

@@ -173,6 +173,17 @@ impl Checker {
         }
     }
 
+    /// Attribute subsequent solver queries to the candidate `label`, so
+    /// `session.query` spans name the lift template that issued them. The
+    /// fresh flavour builds a new solver per query and has no span stream
+    /// to label.
+    fn set_origin(&mut self, label: &str) {
+        if let Checker::Session { base, seed } = self {
+            base.set_origin(format!("lift:{label}"));
+            seed.set_origin(format!("lift:{label}"));
+        }
+    }
+
     /// Unsat-core indices into `req_groups` for `defs ∧ groups ∧ ¬cand`.
     fn provenance_core(
         &mut self,
@@ -269,6 +280,13 @@ pub fn lift(
         }
         let names: Vec<&str> = window.iter().map(|&r| topo.name(r)).collect();
         let pattern = PathPattern::routers(&names);
+        let template = format!("!({pattern})");
+        let span = netexpl_obs::Span::enter("lift.candidate");
+        if span.is_recording() {
+            span.attr("template", template.clone());
+            span.attr("kind", "forbidden");
+            checker.set_origin(&template);
+        }
         // The candidate's own constraint: every enumerated path matching the
         // window must be dead — the same availability semantics the encoder
         // gives a global forbidden requirement.
@@ -287,6 +305,7 @@ pub fn lift(
         // chosen (shorter) candidate.
         if matched.iter().all(|m| covered.contains(m)) {
             netexpl_obs::counter_add("lift.templates_pruned", 1);
+            span.attr("outcome", "filtered");
             continue;
         }
         let cand = {
@@ -296,9 +315,13 @@ pub fn lift(
         checked += 1;
         // Non-trivial: not already guaranteed by the frozen network.
         match checker.defs_entails(ctx, cand) {
-            Ok(true) => continue,
+            Ok(true) => {
+                span.attr("outcome", "trivial");
+                continue;
+            }
             Ok(false) => {}
             Err(i) => {
+                span.attr("outcome", "interrupted");
                 interrupt = Some(i);
                 break;
             }
@@ -306,13 +329,18 @@ pub fn lift(
         // Necessary: implied by the seed.
         match checker.seed_entails(ctx, cand) {
             Ok(true) => {}
-            Ok(false) => continue,
+            Ok(false) => {
+                span.attr("outcome", "unnecessary");
+                continue;
+            }
             Err(i) => {
+                span.attr("outcome", "interrupted");
                 interrupt = Some(i);
                 break;
             }
         }
         covered.extend(matched);
+        span.attr("outcome", "kept");
         kept.push((Requirement::Forbidden(pattern), cand));
     }
 
@@ -327,6 +355,13 @@ pub fn lift(
         let Some(local) = localize_preference(topo, router, chain) else {
             continue;
         };
+        let span = netexpl_obs::Span::enter("lift.candidate");
+        if span.is_recording() {
+            let template = local.to_string();
+            span.attr("template", template.clone());
+            span.attr("kind", "preference");
+            checker.set_origin(&template);
+        }
         // This requirement's own constraint conjunction.
         let own: Vec<TermId> = seed
             .encoded
@@ -341,13 +376,18 @@ pub fn lift(
         // Relevant only if the preference genuinely constrains this router —
         // i.e. the frozen rest of the network does not already guarantee it.
         match checker.defs_entails(ctx, own_conj) {
-            Ok(true) => continue,
+            Ok(true) => {
+                span.attr("outcome", "trivial");
+                continue;
+            }
             Ok(false) => {}
             Err(i) => {
+                span.attr("outcome", "interrupted");
                 interrupt = Some(i);
                 break;
             }
         }
+        span.attr("outcome", "kept");
         kept.push((local, own_conj));
     }
 
@@ -378,24 +418,42 @@ pub fn lift(
             if sels.is_empty() {
                 continue;
             }
+            let span = netexpl_obs::Span::enter("lift.candidate");
+            if span.is_recording() {
+                let template = format!("{} ~> {}", topo.name(x), dname);
+                span.attr("template", template.clone());
+                span.attr("kind", "reachable");
+                checker.set_origin(&template);
+            }
             let cand = ctx.or(&sels);
             checked += 1;
             match checker.defs_entails(ctx, cand) {
-                Ok(true) => continue, // guaranteed by the frozen network: not local
+                // Guaranteed by the frozen network: not local.
+                Ok(true) => {
+                    span.attr("outcome", "trivial");
+                    continue;
+                }
                 Ok(false) => {}
                 Err(i) => {
+                    span.attr("outcome", "interrupted");
                     interrupt = Some(i);
                     break;
                 }
             }
             match checker.seed_entails(ctx, cand) {
                 Ok(true) => {}
-                Ok(false) => continue, // not necessary
+                // Not necessary.
+                Ok(false) => {
+                    span.attr("outcome", "unnecessary");
+                    continue;
+                }
                 Err(i) => {
+                    span.attr("outcome", "interrupted");
                     interrupt = Some(i);
                     break;
                 }
             }
+            span.attr("outcome", "kept");
             kept.push((
                 Requirement::Reachable {
                     src: topo.name(x).to_string(),
@@ -410,6 +468,7 @@ pub fn lift(
     // An interrupted search cannot claim sufficiency: candidates it never
     // examined might have been required.
     let chosen_terms: Vec<TermId> = kept.iter().map(|(_, t)| *t).collect();
+    checker.set_origin("sufficiency");
     let complete = if interrupt.is_some() {
         false
     } else {
@@ -446,6 +505,7 @@ pub fn lift(
         })
         .collect();
     let mut provenance: Vec<Vec<String>> = Vec::with_capacity(kept.len());
+    checker.set_origin("provenance");
     for (_, cand) in &kept {
         if interrupt.is_some() {
             // Provenance is decoration; don't spend an exhausted budget on

@@ -22,9 +22,12 @@
 //!   failure) cancels the shared token and the remaining routers wind down
 //!   to partial results.
 //!
-//! Observability: workers run without a thread-local obs session, so the
-//! per-stage spans inside each pipeline are not recorded; instead the main
-//! thread emits an `explain_all` span and aggregates per-router latency
+//! Observability: when the caller has an obs session, each worker thread
+//! opens a memory-backed session time-aligned with it (shared epoch, own
+//! track) and its captured per-stage spans, solver samples, and metrics
+//! are replayed under the `explain_all` span after the pool joins — so
+//! traces and `netexpl profile` see inside every router's pipeline. The
+//! main thread additionally aggregates per-router latency
 //! (`explain_all.router_ms` histogram), `cache.hit` / `cache.miss`
 //! counters, and the `explain_all.workers` gauge.
 //!
@@ -236,17 +239,26 @@ pub fn explain_all(
     let cache_ref = &cache;
     let explain_opts = &options.explain;
     let fail_fast = options.fail_fast;
+    // Workers run on fresh threads with no obs session of their own. When
+    // the caller has one, each worker opens a memory-backed session sharing
+    // our epoch (so timestamps align) on its own track, and hands the
+    // captured spans/samples/metrics back for replay under this span —
+    // which is what puts per-stage worker timings into traces and the
+    // profile report instead of losing them to thread locality.
+    let capture_epoch = netexpl_obs::session_epoch();
     let started = Instant::now();
     let mut collected: Vec<Option<(RouterOutcome, Duration)>> = std::iter::repeat_with(|| None)
         .take(routers.len())
         .collect();
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers);
-        for share in shares.iter().take(workers) {
+        for (track, share) in shares.iter().take(workers).enumerate() {
             let next = &next;
             let routers = &routers;
             let token = &token;
             handles.push(s.spawn(move || {
+                let obs = capture_epoch
+                    .map(|epoch| netexpl_obs::install_memory_worker(epoch, track as u32 + 1));
                 let mut done: Vec<(usize, RouterOutcome, Duration)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -280,13 +292,21 @@ pub fn explain_all(
                     };
                     done.push((i, outcome, t0.elapsed()));
                 }
-                done
+                let captured = obs.map(|(guard, handle)| {
+                    drop(guard); // flush worker metrics into the handle
+                    handle.data()
+                });
+                (done, captured)
             }));
         }
         for h in handles {
             // A worker panic is a pipeline bug, not a degradable condition.
-            for (i, outcome, dur) in h.join().expect("explain worker panicked") {
+            let (done, captured) = h.join().expect("explain worker panicked");
+            for (i, outcome, dur) in done {
                 collected[i] = Some((outcome, dur));
+            }
+            if let Some(data) = captured {
+                netexpl_obs::absorb(&data, span.id());
             }
         }
     });

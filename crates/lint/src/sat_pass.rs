@@ -243,7 +243,12 @@ fn lint_map(
         }
         let contradictory = !witnessed_sat
             && match session.as_mut() {
-                Some(s) => matches!(s.check_assuming(ctx, &[m_i]).0, SmtResult::Unsat),
+                Some(s) => {
+                    // Attribute the query to the diagnostic probing it, so
+                    // `netexpl profile` can rank lint probes by solver cost.
+                    s.set_origin(format!("NE011:{}:{}", map.name, e.seq));
+                    matches!(s.check_assuming(ctx, &[m_i]).0, SmtResult::Unsat)
+                }
                 None => {
                     let matchable = ctx.and2(route.domain, m_i);
                     is_unsat(ctx, matchable)
@@ -275,6 +280,7 @@ fn lint_map(
         stats.solved += 1;
         let unreachable = match session.as_mut() {
             Some(s) => {
+                s.set_origin(format!("NE010:{}:{}", map.name, e.seq));
                 let mut assumptions = vec![m_i];
                 for &m_j in &match_terms[..i] {
                     assumptions.push(ctx.not(m_j));

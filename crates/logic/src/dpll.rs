@@ -172,6 +172,17 @@ impl Search<'_> {
                 match clause_status(assign, clause) {
                     ClauseStatus::Conflict => {
                         stats.conflicts += 1;
+                        let period = crate::sat::env_sample_period();
+                        if period > 0 && stats.conflicts.is_multiple_of(period) {
+                            netexpl_obs::sample(
+                                "dpll.timeline",
+                                &[
+                                    ("conflicts", stats.conflicts as f64),
+                                    ("decisions", stats.decisions as f64),
+                                    ("propagations", stats.propagations as f64),
+                                ],
+                            );
+                        }
                         for v in trail {
                             assign[v] = None;
                         }

@@ -126,6 +126,15 @@ impl Val {
 /// Solver statistics, exposed for the solver benchmark (E5).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SatStats {
+    /// Sum of learned-clause LBDs (for the running average in timeline
+    /// samples).
+    pub lbd_sum: u64,
+    /// Learned clauses with LBD ≤ 2 ("glue" — kept forever).
+    pub lbd_glue: u64,
+    /// Learned clauses with 2 < LBD ≤ 6.
+    pub lbd_mid: u64,
+    /// Learned clauses with LBD > 6 (first reduction victims).
+    pub lbd_high: u64,
     /// Number of decisions made.
     pub decisions: u64,
     /// Number of unit propagations.
@@ -188,8 +197,26 @@ pub struct SatSolver {
     last_core: Vec<Lit>,
     /// Resource bounds for `solve`; unlimited by default.
     budget: Budget,
+    /// Emit one introspection sample (via `netexpl_obs::sample`) every
+    /// this many conflicts; 0 disables. Defaults to
+    /// [`env_sample_period`].
+    sample_period: u64,
     /// Statistics for the current/last `solve` call.
     pub stats: SatStats,
+}
+
+/// The process-wide default sampling cadence, in conflicts: the
+/// `NETEXPL_SAMPLE_PERIOD` environment variable when set (0 disables),
+/// otherwise 256 — coarse enough to be free in hot loops, fine enough
+/// that multi-second queries show a usable timeline. Read once.
+pub fn env_sample_period() -> u64 {
+    static PERIOD: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *PERIOD.get_or_init(|| {
+        std::env::var("NETEXPL_SAMPLE_PERIOD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256)
+    })
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -217,6 +244,7 @@ impl Default for SatSolver {
             unsat: false,
             last_core: Vec::new(),
             budget: Budget::default(),
+            sample_period: env_sample_period(),
             stats: SatStats::default(),
         }
     }
@@ -764,6 +792,10 @@ impl SatSolver {
                 self.cancel_until(bt);
                 self.learn(learned, lbd);
                 self.decay_activities();
+                if self.sample_period > 0 && self.stats.conflicts.is_multiple_of(self.sample_period)
+                {
+                    self.emit_timeline_sample();
+                }
                 if conflicts >= conflict_budget {
                     return SearchOutcome::Restart;
                 }
@@ -844,8 +876,45 @@ impl SatSolver {
         self.last_core = core;
     }
 
+    /// One point of the solver introspection timeline, attached to the
+    /// enclosing obs span (the owning `session.query` or `smt.check`).
+    /// No-op when no obs session is installed on this thread.
+    fn emit_timeline_sample(&self) {
+        let s = &self.stats;
+        let lbd_avg = if s.learned > 0 {
+            s.lbd_sum as f64 / s.learned as f64
+        } else {
+            0.0
+        };
+        netexpl_obs::sample(
+            "sat.timeline",
+            &[
+                ("conflicts", s.conflicts as f64),
+                ("decisions", s.decisions as f64),
+                ("propagations", s.propagations as f64),
+                ("learned_db", self.num_learned as f64),
+                ("restarts", s.restarts as f64),
+                ("lbd_avg", lbd_avg),
+                ("lbd_glue", s.lbd_glue as f64),
+                ("lbd_mid", s.lbd_mid as f64),
+                ("lbd_high", s.lbd_high as f64),
+            ],
+        );
+    }
+
+    /// Override the sampling cadence (conflicts per sample; 0 disables).
+    pub fn set_sample_period(&mut self, period: u64) {
+        self.sample_period = period;
+    }
+
     fn learn(&mut self, learned: Vec<Lit>, lbd: u32) {
         self.stats.learned += 1;
+        self.stats.lbd_sum += lbd as u64;
+        match lbd {
+            0..=2 => self.stats.lbd_glue += 1,
+            3..=6 => self.stats.lbd_mid += 1,
+            _ => self.stats.lbd_high += 1,
+        }
         if learned.len() == 1 {
             // Asserting unit: must hold at level 0, but we may currently be
             // above it only if cancel_until already brought us to 0.

@@ -68,6 +68,10 @@ pub struct SmtSession {
     budget: Budget,
     /// Queries answered so far (successful or not).
     queries: u64,
+    /// Cost-attribution label for subsequent queries (the lift template or
+    /// lint diagnostic that issued them), emitted as the `origin` attr on
+    /// every `session.query` span until changed or cleared.
+    origin: Option<String>,
     /// Latched when an assertion (or a side constraint) folded to `false`
     /// or closed the clause set: every later query is `Unsat`.
     unsat: bool,
@@ -104,6 +108,25 @@ impl SmtSession {
     /// (0 disables). Exposed for tests; the default suits production.
     pub fn set_reduce_threshold(&mut self, n: usize) {
         self.sat.set_reduce_threshold(n);
+    }
+
+    /// Attribute subsequent queries to `origin` (a lift template like
+    /// `lift:!(R1 -> P1)` or a lint probe like `NE010:R1:export:20`). The
+    /// label lands on each `session.query` span, which is what lets
+    /// `netexpl profile` rank hot SAT queries by what *asked* for them.
+    pub fn set_origin(&mut self, origin: impl Into<String>) {
+        self.origin = Some(origin.into());
+    }
+
+    /// Stop attributing queries (subsequent spans carry no `origin`).
+    pub fn clear_origin(&mut self) {
+        self.origin = None;
+    }
+
+    /// Override the CDCL introspection sampling cadence for this session's
+    /// solver (conflicts per sample; 0 disables).
+    pub fn set_sample_period(&mut self, period: u64) {
+        self.sat.set_sample_period(period);
     }
 
     /// Permanently assert `t`. Encoding cost is paid now (only for subterms
@@ -180,6 +203,11 @@ impl SmtSession {
     ) -> (SmtResult, Vec<usize>) {
         let span = Span::enter("session.query");
         span.attr("assumptions", assumptions.len());
+        if span.is_recording() {
+            if let Some(origin) = &self.origin {
+                span.attr("origin", origin.clone());
+            }
+        }
         netexpl_obs::counter_add("session.queries", 1);
         self.queries += 1;
         if self.queries > 1 {

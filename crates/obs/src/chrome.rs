@@ -1,0 +1,265 @@
+//! Chrome `trace_event` exporter: renders captured spans and solver
+//! samples as a JSON trace that loads directly in `chrome://tracing` or
+//! Perfetto (`ui.perfetto.dev`).
+//!
+//! Mapping:
+//! - every [`SpanRecord`] becomes a balanced `B`/`E` duration pair on the
+//!   thread lane (`tid`) given by its `track` — the main session is lane
+//!   0, absorbed worker sessions keep the lane they were installed with,
+//!   so `explain --all` shows one row per worker;
+//! - every [`SampleRecord`] becomes a `C` (counter) event, which the
+//!   viewers plot as a timeline — this is how the CDCL introspection
+//!   samples (conflicts, learned clauses, LBD) appear under the query
+//!   span that produced them;
+//! - span attributes ride along in `args`, so clicking an event shows the
+//!   router, lift template, or SAT verdict.
+//!
+//! Events are emitted by a depth-first walk of the per-track span trees
+//! (children sorted by open time), which guarantees the `B`/`E` nesting
+//! discipline the viewers require even when two spans share a timestamp;
+//! child windows are clamped into their parent's so rounding can never
+//! produce a crossing pair.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::json::{escape, fmt_f64};
+use crate::metrics::MetricsRegistry;
+use crate::sink::Sink;
+use crate::span::{SampleRecord, SpanRecord};
+
+/// Render spans and samples as a complete Chrome trace JSON document
+/// (`{"traceEvents":[...]}`, one event per line).
+pub fn trace_json(spans: &[SpanRecord], samples: &[SampleRecord]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"netexpl\"}}"
+            .to_string(),
+    );
+
+    let mut tracks: BTreeMap<u32, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        tracks.entry(s.track).or_default().push(s);
+    }
+    for sample in samples {
+        tracks.entry(sample.track).or_default();
+    }
+
+    for (&track, recs) in &tracks {
+        let lane = if track == 0 {
+            "main".to_string()
+        } else {
+            format!("worker-{track}")
+        };
+        events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{track},\
+             \"args\":{{\"name\":\"{lane}\"}}}}"
+        ));
+
+        // Per-track span forest: a parent link is only honored when the
+        // parent closed on the same track (absorbed worker roots point at
+        // the main-thread span that spawned them; in the trace view those
+        // stay roots of their own lane).
+        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        let ids: std::collections::BTreeSet<u64> = recs.iter().map(|r| r.id).collect();
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        for r in recs {
+            match r.parent {
+                Some(p) if ids.contains(&p) => children.entry(p).or_default().push(r),
+                _ => roots.push(r),
+            }
+        }
+        roots.sort_by_key(|r| (r.start_us, r.id));
+        for kids in children.values_mut() {
+            kids.sort_by_key(|r| (r.start_us, r.id));
+        }
+        for root in roots {
+            emit_subtree(root, &children, track, 0, u64::MAX, &mut events);
+        }
+    }
+
+    for s in samples {
+        let mut args = String::from("{");
+        for (i, (k, v)) in s.values.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            args.push('"');
+            args.push_str(&escape(k));
+            args.push_str("\":");
+            args.push_str(&fmt_f64(*v));
+        }
+        args.push('}');
+        events.push(format!(
+            "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{}}}",
+            escape(s.name),
+            s.track,
+            s.at_us,
+            args
+        ));
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn emit_subtree(
+    rec: &SpanRecord,
+    children: &BTreeMap<u64, Vec<&SpanRecord>>,
+    track: u32,
+    lo: u64,
+    hi: u64,
+    events: &mut Vec<String>,
+) {
+    let start = rec.start_us.clamp(lo, hi);
+    let end = rec.start_us.saturating_add(rec.wall_us).clamp(start, hi);
+    let mut args = String::from("{");
+    for (i, (k, v)) in rec.attrs.iter().enumerate() {
+        if i > 0 {
+            args.push(',');
+        }
+        args.push('"');
+        args.push_str(&escape(k));
+        args.push_str("\":");
+        args.push_str(&v.to_json());
+    }
+    args.push('}');
+    events.push(format!(
+        "{{\"ph\":\"B\",\"name\":\"{}\",\"cat\":\"span\",\"pid\":1,\"tid\":{track},\
+         \"ts\":{start},\"args\":{args}}}",
+        escape(rec.name)
+    ));
+    if let Some(kids) = children.get(&rec.id) {
+        for kid in kids {
+            emit_subtree(kid, children, track, start, end, events);
+        }
+    }
+    events.push(format!(
+        "{{\"ph\":\"E\",\"name\":\"{}\",\"pid\":1,\"tid\":{track},\"ts\":{end}}}",
+        escape(rec.name)
+    ));
+}
+
+/// A [`Sink`] that buffers the whole session and writes the Chrome trace
+/// JSON to a file at flush. Backs the CLI's `--trace=chrome
+/// --trace-out <path>`.
+pub struct ChromeTraceSink {
+    path: PathBuf,
+    spans: Vec<SpanRecord>,
+    samples: Vec<SampleRecord>,
+}
+
+impl ChromeTraceSink {
+    /// A sink that will write the trace document to `path` when the
+    /// session ends.
+    pub fn to_file(path: impl Into<PathBuf>) -> ChromeTraceSink {
+        ChromeTraceSink {
+            path: path.into(),
+            spans: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn on_span(&mut self, record: &SpanRecord) {
+        self.spans.push(record.clone());
+    }
+
+    fn on_sample(&mut self, sample: &SampleRecord) {
+        self.samples.push(sample.clone());
+    }
+
+    fn on_flush(&mut self, _metrics: &MetricsRegistry) {
+        let json = trace_json(&self.spans, &self.samples);
+        if let Err(e) = std::fs::write(&self.path, json) {
+            eprintln!(
+                "warning: could not write trace to {}: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::AttrValue;
+
+    fn span(id: u64, parent: Option<u64>, name: &'static str, track: u32) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            depth: 0,
+            track,
+            start_us: id * 10,
+            wall_us: 100,
+            attrs: vec![("k", AttrValue::UInt(id))],
+        }
+    }
+
+    #[test]
+    fn events_are_balanced_and_nested() {
+        // parent(1) covers child(2); sibling track holds span 3.
+        let spans = vec![
+            SpanRecord {
+                wall_us: 1000,
+                ..span(1, None, "outer", 0)
+            },
+            span(2, Some(1), "inner", 0),
+            span(3, None, "worker_root", 1),
+        ];
+        let json = trace_json(&spans, &[]);
+        // DFS order on track 0: B outer, B inner, E inner, E outer.
+        let b_outer = json.find("\"ph\":\"B\",\"name\":\"outer\"").unwrap();
+        let b_inner = json.find("\"ph\":\"B\",\"name\":\"inner\"").unwrap();
+        let e_inner = json.find("\"ph\":\"E\",\"name\":\"inner\"").unwrap();
+        let e_outer = json.find("\"ph\":\"E\",\"name\":\"outer\"").unwrap();
+        assert!(b_outer < b_inner && b_inner < e_inner && e_inner < e_outer);
+        // Both lanes are named.
+        assert!(json.contains("\"name\":\"main\""));
+        assert!(json.contains("\"name\":\"worker-1\""));
+    }
+
+    #[test]
+    fn child_window_is_clamped_into_parent() {
+        // Child claims to end 5us after its parent (rounding artifact).
+        let parent = SpanRecord {
+            start_us: 100,
+            wall_us: 50,
+            ..span(1, None, "p", 0)
+        };
+        let child = SpanRecord {
+            start_us: 120,
+            wall_us: 35, // would end at 155 > parent end 150
+            ..span(2, Some(1), "c", 0)
+        };
+        let json = trace_json(&[parent, child], &[]);
+        assert!(json.contains("\"name\":\"c\",\"pid\":1,\"tid\":0,\"ts\":150}"));
+    }
+
+    #[test]
+    fn samples_become_counter_events() {
+        let samples = vec![SampleRecord {
+            span: Some(1),
+            track: 2,
+            at_us: 77,
+            name: "sat.timeline",
+            values: vec![("conflicts", 10.0), ("learned", 3.0)],
+        }];
+        let json = trace_json(&[], &samples);
+        assert!(json.contains(
+            "{\"ph\":\"C\",\"name\":\"sat.timeline\",\"pid\":1,\"tid\":2,\"ts\":77,\
+             \"args\":{\"conflicts\":10,\"learned\":3}}"
+        ));
+    }
+}

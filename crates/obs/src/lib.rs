@@ -21,14 +21,20 @@
 //! instrumented code paths stay hot-loop safe (the acceptance bar is no
 //! measurable overhead in the `seed_simplification` bench).
 
+pub mod chrome;
 mod json;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod span;
 
+pub use chrome::ChromeTraceSink;
 pub use metrics::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS_MS};
-pub use sink::{FileMetricsSink, HumanSink, JsonLinesSink, MemoryHandle, MemorySink, Sink};
-pub use span::{AttrValue, Span, SpanRecord};
+pub use profile::ProfileReport;
+pub use sink::{
+    FileMetricsSink, HumanSink, JsonLinesSink, MemoryData, MemoryHandle, MemorySink, Sink,
+};
+pub use span::{AttrValue, SampleRecord, Span, SpanRecord};
 
 use std::cell::RefCell;
 use std::time::Instant;
@@ -44,6 +50,7 @@ struct OpenSpan {
 /// sinks, and the metrics registry.
 pub(crate) struct Collector {
     epoch: Instant,
+    track: u32,
     next_id: u64,
     stack: Vec<OpenSpan>,
     sinks: Vec<Box<dyn Sink>>,
@@ -52,8 +59,13 @@ pub(crate) struct Collector {
 
 impl Collector {
     fn new(sinks: Vec<Box<dyn Sink>>) -> Collector {
+        Collector::at(sinks, Instant::now(), 0)
+    }
+
+    fn at(sinks: Vec<Box<dyn Sink>>, epoch: Instant, track: u32) -> Collector {
         Collector {
-            epoch: Instant::now(),
+            epoch,
+            track,
             next_id: 0,
             stack: Vec::new(),
             sinks,
@@ -99,6 +111,7 @@ impl Collector {
             parent: self.stack.last().map(|p| p.id),
             name: open.name,
             depth: self.stack.len() as u32,
+            track: self.track,
             start_us: open.start.duration_since(self.epoch).as_micros() as u64,
             wall_us,
             attrs: open.attrs,
@@ -107,6 +120,65 @@ impl Collector {
             .observe(&format!("span.{}.ms", record.name), record.wall_ms());
         for sink in &mut self.sinks {
             sink.on_span(&record);
+        }
+    }
+
+    fn emit_sample(&mut self, name: &'static str, values: &[(&'static str, f64)]) {
+        let record = SampleRecord {
+            span: self.stack.last().map(|s| s.id),
+            track: self.track,
+            at_us: self.epoch.elapsed().as_micros() as u64,
+            name,
+            values: values.to_vec(),
+        };
+        for sink in &mut self.sinks {
+            sink.on_sample(&record);
+        }
+    }
+
+    /// Replay a worker session's captured records into this session: span
+    /// and sample ids are rebased past this collector's id space, orphan
+    /// records are re-parented under `parent` (an open span of *this*
+    /// session), and everything is re-emitted to every sink. The worker's
+    /// metrics merge in; its `span.<name>.ms` histograms arrive through
+    /// that merge, so replayed spans are deliberately not re-observed.
+    fn absorb(&mut self, data: &MemoryData, parent: Option<u64>) {
+        let base = self.next_id;
+        let base_depth = match parent {
+            Some(pid) => self
+                .stack
+                .iter()
+                .position(|s| s.id == pid)
+                .map(|i| i as u32 + 1)
+                .unwrap_or(0),
+            None => 0,
+        };
+        let mut high = self.next_id;
+        for rec in &data.spans {
+            let mut rec = rec.clone();
+            rec.id += base;
+            rec.parent = rec.parent.map(|p| p + base).or(parent);
+            rec.depth += base_depth;
+            high = high.max(rec.id);
+            for sink in &mut self.sinks {
+                sink.on_span(&rec);
+            }
+        }
+        for sample in &data.samples {
+            let mut sample = sample.clone();
+            sample.span = sample.span.map(|s| s + base).or(parent);
+            for sink in &mut self.sinks {
+                sink.on_sample(&sample);
+            }
+        }
+        for note in &data.notes {
+            for sink in &mut self.sinks {
+                sink.on_note(note);
+            }
+        }
+        self.next_id = high;
+        if let Some(metrics) = &data.metrics {
+            self.metrics.merge(metrics);
         }
     }
 
@@ -182,6 +254,48 @@ pub fn install_memory() -> (ObsGuard, MemoryHandle) {
     let (sink, handle) = MemorySink::new();
     let guard = install(vec![Box::new(sink)]).expect("observability session already installed");
     (guard, handle)
+}
+
+/// Activate a memory-backed *worker* session on the current thread,
+/// time-aligned with a parent session: `epoch` should come from the
+/// parent's [`session_epoch`] so both sessions share a timestamp origin,
+/// and `track` tags every record for lane separation (use a nonzero,
+/// per-worker value; the main session is track 0). After the worker
+/// finishes and its guard drops, feed the handle's data back to the
+/// parent thread via [`absorb`].
+pub fn install_memory_worker(epoch: Instant, track: u32) -> (ObsGuard, MemoryHandle) {
+    let (sink, handle) = MemorySink::new();
+    let guard = COLLECTOR.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_some() {
+            return Err(AlreadyInstalled);
+        }
+        *slot = Some(Collector::at(vec![Box::new(sink)], epoch, track));
+        Ok(ObsGuard { _private: () })
+    });
+    (
+        guard.expect("observability session already installed"),
+        handle,
+    )
+}
+
+/// The installed session's timestamp origin, for handing to
+/// [`install_memory_worker`] on spawned threads.
+pub fn session_epoch() -> Option<Instant> {
+    with_collector(|c| c.epoch)
+}
+
+/// Replay a worker session's captured data into the current session,
+/// re-parenting its root spans under the open span with id `parent`
+/// (see [`Span::id`]). No-op when no session is active.
+pub fn absorb(data: &MemoryData, parent: Option<u64>) {
+    with_collector(|c| c.absorb(data, parent));
+}
+
+/// Emit a point-in-time sample attached to the innermost open span.
+/// No-op when no session is active.
+pub fn sample(name: &'static str, values: &[(&'static str, f64)]) {
+    with_collector(|c| c.emit_sample(name, values));
 }
 
 /// Is an observability session active on this thread?
@@ -304,6 +418,67 @@ mod tests {
         note("self-check: fine");
         drop(guard);
         assert_eq!(handle.notes(), vec!["self-check: fine".to_string()]);
+    }
+
+    #[test]
+    fn samples_attach_to_the_open_span() {
+        let (guard, handle) = install_memory();
+        {
+            let s = Span::enter("query");
+            sample("sat.timeline", &[("conflicts", 128.0), ("learned", 16.0)]);
+            drop(s);
+        }
+        sample("sat.timeline", &[("conflicts", 1.0)]);
+        drop(guard);
+        let samples = handle.samples();
+        assert_eq!(samples.len(), 2);
+        let spans = handle.spans();
+        assert_eq!(samples[0].span, Some(spans[0].id));
+        assert_eq!(samples[0].value("conflicts"), Some(128.0));
+        assert_eq!(samples[1].span, None);
+    }
+
+    #[test]
+    fn worker_session_absorbs_under_parent_span() {
+        let (guard, handle) = install_memory();
+        let root = Span::enter("explain_all");
+        let root_id = root.id();
+        let epoch = session_epoch().unwrap();
+        let worker = std::thread::spawn(move || {
+            let (wguard, whandle) = install_memory_worker(epoch, 3);
+            {
+                let s = Span::enter("explain");
+                s.attr("router", "R3");
+                let _inner = Span::enter("lift");
+            }
+            counter_add("lift.candidate_checks", 5);
+            drop(wguard);
+            whandle.data()
+        })
+        .join()
+        .unwrap();
+        absorb(&worker, root_id);
+        drop(root);
+        drop(guard);
+
+        let spans = handle.spans();
+        assert_eq!(spans.len(), 3); // lift, explain, explain_all
+        let explain = spans.iter().find(|s| s.name == "explain").unwrap();
+        let lift = spans.iter().find(|s| s.name == "lift").unwrap();
+        let root = spans.iter().find(|s| s.name == "explain_all").unwrap();
+        // Worker roots hang off the absorbing span; ids were rebased.
+        assert_eq!(explain.parent, Some(root.id));
+        assert_eq!(lift.parent, Some(explain.id));
+        assert_ne!(explain.id, root.id);
+        assert_eq!(explain.track, 3);
+        assert_eq!(root.track, 0);
+        // Shared epoch: worker spans sit inside the parent's window.
+        assert!(explain.start_us >= root.start_us);
+        assert!(explain.start_us + explain.wall_us <= root.start_us + root.wall_us);
+        // Worker metrics merged, including its span.*.ms histograms.
+        let metrics = handle.metrics().unwrap();
+        assert_eq!(metrics.counter("lift.candidate_checks"), 5);
+        assert_eq!(metrics.histogram("span.explain.ms").unwrap().count, 1);
     }
 
     #[test]

@@ -70,12 +70,49 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket holding the target rank, the standard
+    /// fixed-bucket estimator: observations are assumed uniform inside a
+    /// bucket, so the estimate is `lo + (hi - lo) * fraction-into-bucket`.
+    /// The overflow bucket has no upper bound and clamps to the last
+    /// finite bound (an underestimate, but a stable one). Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let next = cum + c;
+            if (next as f64) >= rank && *c > 0 {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = match self.bounds.get(i) {
+                    Some(b) => *b,
+                    // Overflow bucket: clamp to the last finite bound.
+                    None => return *self.bounds.last().unwrap_or(&0.0),
+                };
+                let into = (rank - cum as f64).max(0.0) / *c as f64;
+                return lo + (hi - lo) * into.min(1.0);
+            }
+            cum = next;
+        }
+        *self.bounds.last().unwrap_or(&0.0)
+    }
+
     /// Render as a JSON object fragment.
     fn to_json(&self) -> String {
         let mut out = String::from("{\"count\":");
         out.push_str(&self.count.to_string());
         out.push_str(",\"sum\":");
         out.push_str(&fmt_f64(self.sum));
+        out.push_str(",\"p50\":");
+        out.push_str(&fmt_f64(self.quantile(0.50)));
+        out.push_str(",\"p95\":");
+        out.push_str(&fmt_f64(self.quantile(0.95)));
+        out.push_str(",\"p99\":");
+        out.push_str(&fmt_f64(self.quantile(0.99)));
         out.push_str(",\"buckets\":[");
         for (i, c) in self.counts.iter().enumerate() {
             if i > 0 {
@@ -254,6 +291,43 @@ mod tests {
         h.observe(2.0);
         h.observe(4.0);
         assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), 0.0); // empty
+        for _ in 0..10 {
+            h.observe(0.5); // slot 0
+        }
+        for _ in 0..10 {
+            h.observe(1.5); // slot 1
+        }
+        // Rank 10 of 20 falls exactly at the top of bucket 0 (le=1.0).
+        assert!((h.quantile(0.50) - 1.0).abs() < 1e-9);
+        // Rank 15 is halfway through bucket 1 (1.0..2.0) -> 1.5.
+        assert!((h.quantile(0.75) - 1.5).abs() < 1e-9);
+        // Extremes stay within the observed bounds.
+        assert!(h.quantile(0.0) >= 0.0);
+        assert!((h.quantile(1.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_overflow_clamps_to_last_bound() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0]);
+        h.observe(100.0);
+        h.observe(200.0);
+        assert!((h.quantile(0.99) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_json_carries_quantiles() {
+        let mut h = Histogram::with_bounds(&[1.0]);
+        h.observe(0.5);
+        let j = h.to_json();
+        assert!(j.contains("\"p50\":"));
+        assert!(j.contains("\"p95\":"));
+        assert!(j.contains("\"p99\":"));
     }
 
     #[test]

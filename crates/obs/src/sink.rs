@@ -11,13 +11,16 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use crate::metrics::MetricsRegistry;
-use crate::span::SpanRecord;
+use crate::span::{SampleRecord, SpanRecord};
 
 /// A destination for observability events. Sinks are driven from the
 /// thread-local collector; they must not call back into the obs API.
 pub trait Sink {
     /// A span finished.
     fn on_span(&mut self, record: &SpanRecord);
+
+    /// A point-in-time sample was taken inside the current span.
+    fn on_sample(&mut self, _sample: &SampleRecord) {}
 
     /// A free-form diagnostic note was emitted.
     fn on_note(&mut self, _msg: &str) {}
@@ -159,6 +162,10 @@ impl Sink for JsonLinesSink {
         let _ = writeln!(self.out, "{}", record.to_json_line());
     }
 
+    fn on_sample(&mut self, sample: &SampleRecord) {
+        let _ = writeln!(self.out, "{}", sample.to_json_line());
+    }
+
     fn on_note(&mut self, msg: &str) {
         let _ = writeln!(
             self.out,
@@ -185,11 +192,15 @@ impl Sink for JsonLinesSink {
         for (name, h) in metrics.histograms() {
             let _ = writeln!(
                 self.out,
-                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"mean\":{}}}",
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"mean\":{},\
+                 \"p50\":{},\"p95\":{},\"p99\":{}}}",
                 crate::json::escape(name),
                 h.count,
                 crate::json::fmt_f64(h.sum),
                 crate::json::fmt_f64(h.mean()),
+                crate::json::fmt_f64(h.quantile(0.50)),
+                crate::json::fmt_f64(h.quantile(0.95)),
+                crate::json::fmt_f64(h.quantile(0.99)),
             );
         }
         let _ = self.out.flush();
@@ -201,10 +212,12 @@ impl Sink for JsonLinesSink {
 // ---------------------------------------------------------------------------
 
 /// Everything a [`MemorySink`] captured during a session.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MemoryData {
     /// Completed spans, in close order.
     pub spans: Vec<SpanRecord>,
+    /// Solver timeline samples, in emit order.
+    pub samples: Vec<SampleRecord>,
     /// Diagnostic notes, in emit order.
     pub notes: Vec<String>,
     /// The final metrics registry (set at flush).
@@ -254,6 +267,18 @@ impl MemoryHandle {
             .find(|s| s.name == name)
             .cloned()
     }
+
+    /// All captured timeline samples (clone).
+    pub fn samples(&self) -> Vec<SampleRecord> {
+        self.0.lock().unwrap().samples.clone()
+    }
+
+    /// A snapshot of everything captured so far (spans, samples, notes,
+    /// and — once the guard has dropped — the flushed metrics). This is
+    /// what worker threads hand back for [`crate::absorb`].
+    pub fn data(&self) -> MemoryData {
+        self.0.lock().unwrap().clone()
+    }
 }
 
 /// Captures spans, notes, and the final metrics into a [`MemoryHandle`].
@@ -270,6 +295,10 @@ impl MemorySink {
 impl Sink for MemorySink {
     fn on_span(&mut self, record: &SpanRecord) {
         self.0 .0.lock().unwrap().spans.push(record.clone());
+    }
+
+    fn on_sample(&mut self, sample: &SampleRecord) {
+        self.0 .0.lock().unwrap().samples.push(sample.clone());
     }
 
     fn on_note(&mut self, msg: &str) {

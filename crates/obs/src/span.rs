@@ -97,6 +97,10 @@ pub struct SpanRecord {
     pub name: &'static str,
     /// Nesting depth at open time (0 = root).
     pub depth: u32,
+    /// Execution track (0 = the main session thread; worker sessions
+    /// absorbed via [`crate::absorb`] keep the track they were installed
+    /// with, which becomes a thread lane in the Chrome trace).
+    pub track: u32,
     /// Open time in microseconds since the collector was installed.
     pub start_us: u64,
     /// Wall-clock duration in microseconds.
@@ -119,7 +123,7 @@ impl SpanRecord {
     /// Render the record as one JSON-lines event (no trailing newline).
     ///
     /// Schema: `{"type":"span","id":N,"parent":N|null,"name":S,"depth":N,
-    /// "start_us":N,"wall_us":N,"attrs":{...}}`.
+    /// "track":N,"start_us":N,"wall_us":N,"attrs":{...}}`.
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(96 + 24 * self.attrs.len());
         out.push_str("{\"type\":\"span\",\"id\":");
@@ -133,6 +137,8 @@ impl SpanRecord {
         out.push_str(&escape(self.name));
         out.push_str("\",\"depth\":");
         out.push_str(&self.depth.to_string());
+        out.push_str(",\"track\":");
+        out.push_str(&self.track.to_string());
         out.push_str(",\"start_us\":");
         out.push_str(&self.start_us.to_string());
         out.push_str(",\"wall_us\":");
@@ -146,6 +152,63 @@ impl SpanRecord {
             out.push_str(&escape(k));
             out.push_str("\":");
             out.push_str(&v.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A point-in-time measurement attached to the enclosing span: the CDCL
+/// solver emits one every `sample_period` conflicts (conflicts, decisions,
+/// propagations, learned clauses, LBD distribution, restarts), giving a
+/// timeline *inside* a long `session.query` span. Rendered as counter
+/// events on the owning track in the Chrome trace.
+#[derive(Debug, Clone)]
+pub struct SampleRecord {
+    /// The innermost span open when the sample was taken, if any.
+    pub span: Option<u64>,
+    /// Execution track of the emitting session (see [`SpanRecord::track`]).
+    pub track: u32,
+    /// Sample time in microseconds since the collector was installed.
+    pub at_us: u64,
+    /// Sample stream name (e.g. `"sat.timeline"`).
+    pub name: &'static str,
+    /// Named values at this instant.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+impl SampleRecord {
+    /// The value named `key`, if present.
+    pub fn value(&self, key: &str) -> Option<f64> {
+        self.values.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Render the record as one JSON-lines event (no trailing newline).
+    ///
+    /// Schema: `{"type":"sample","name":S,"span":N|null,"track":N,
+    /// "at_us":N,"values":{...}}`.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(80 + 24 * self.values.len());
+        out.push_str("{\"type\":\"sample\",\"name\":\"");
+        out.push_str(&escape(self.name));
+        out.push_str("\",\"span\":");
+        match self.span {
+            Some(s) => out.push_str(&s.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"track\":");
+        out.push_str(&self.track.to_string());
+        out.push_str(",\"at_us\":");
+        out.push_str(&self.at_us.to_string());
+        out.push_str(",\"values\":{");
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(k));
+            out.push_str("\":");
+            out.push_str(&fmt_f64(*v));
         }
         out.push_str("}}");
         out
@@ -176,6 +239,13 @@ impl Span {
     /// Is this guard actually recording?
     pub fn is_recording(&self) -> bool {
         self.id.is_some()
+    }
+
+    /// The collector-assigned id of this span, if recording. Useful as the
+    /// `parent` argument to [`crate::absorb`] when stitching worker-thread
+    /// sessions under the span that spawned them.
+    pub fn id(&self) -> Option<u64> {
+        self.id
     }
 
     /// Record a key/value attribute on this span.

@@ -167,6 +167,32 @@ awk '
   END { if (!found) { print "no lint_network section in bench --json"; exit 1 } }
 ' "$OBS_DIR/bench.json"
 
+echo "==> profile smoke: attribution report names a dominant router"
+./target/release/netexpl profile --topology paper --spec "$OBS_DIR/spec.txt" \
+    --all --trace-out "$OBS_DIR/profile_trace.json" > "$OBS_DIR/profile.txt"
+grep -Eq 'dominant router: R[0-9]' "$OBS_DIR/profile.txt"
+grep -q 'Amdahl:' "$OBS_DIR/profile.txt"
+grep -q 'critical path:' "$OBS_DIR/profile.txt"
+# The side-channel Chrome trace must be a parseable trace_event document.
+grep -q '"traceEvents"' "$OBS_DIR/profile_trace.json"
+
+echo "==> bench regression gate: fresh report vs committed baseline"
+# The threshold is deliberately generous (10x): CI machines differ wildly
+# from the one that recorded scripts/bench_baseline.json, so only
+# order-of-magnitude blowups should gate.
+./target/release/netexpl bench --compare scripts/bench_baseline.json \
+    --in "$OBS_DIR/bench.json" --threshold 900
+# The gate must actually fire: inflate one timing section ~100x and
+# expect the NX701 exit.
+sed 's/"sequential_ms": /"sequential_ms": 9/' "$OBS_DIR/bench.json" \
+    > "$OBS_DIR/bench-regressed.json"
+if ./target/release/netexpl bench --compare scripts/bench_baseline.json \
+    --in "$OBS_DIR/bench-regressed.json" --threshold 900 \
+    > "$OBS_DIR/compare-regressed.txt" 2>&1; then
+  echo "bench --compare did not fail on an inflated report"; exit 1
+fi
+grep -q 'REGRESSED' "$OBS_DIR/compare-regressed.txt"
+
 echo "==> explain-all smoke: every router reported, run bounded"
 ./target/release/netexpl explain --topology paper --spec "$OBS_DIR/spec.txt" \
     --all --workers 4 --timeout 10 --json > "$OBS_DIR/all.json"

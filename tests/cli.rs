@@ -624,3 +624,155 @@ Req1 { !(P1 -> ... -> P2) }
         .collect();
     assert!(codes.contains(&"NE020"), "{v}");
 }
+
+#[test]
+fn profile_reports_attribution_and_writes_chrome_trace() {
+    let spec = spec_file("profile", SPEC);
+    let mut trace = std::env::temp_dir();
+    trace.push(format!(
+        "netexpl-test-{}-profile-trace.json",
+        std::process::id()
+    ));
+    let out = netexpl()
+        .args([
+            "profile",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--all",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The golden sections of the attribution report, in order.
+    for needle in [
+        "netexpl profile — attribution report",
+        "critical path:",
+        "dominant router: R",
+        "dominant stage:",
+        "Amdahl:",
+        "stage totals",
+        "hot SAT queries",
+        "latency quantiles",
+    ] {
+        assert!(stdout.contains(needle), "missing `{needle}`:\n{stdout}");
+    }
+    // Hot queries carry their originating lift template.
+    assert!(stdout.contains("lift:"), "{stdout}");
+
+    // The side-channel trace is a valid Chrome trace_event document with
+    // balanced begin/end events.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("valid trace JSON");
+    let events = doc["traceEvents"].as_array().unwrap();
+    let begins = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("B"))
+        .count();
+    let ends = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("E"))
+        .count();
+    assert!(begins > 0, "{text}");
+    assert_eq!(begins, ends, "unbalanced trace events");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn profile_requires_exactly_one_workload() {
+    let spec = spec_file("profilemode", SPEC);
+    let out = netexpl()
+        .args([
+            "profile",
+            "--topology",
+            "paper",
+            "--spec",
+            spec.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("NX001"), "{stderr}");
+    assert!(stderr.contains("--router"), "{stderr}");
+}
+
+#[test]
+fn bench_compare_gates_on_regressions() {
+    let dir = std::env::temp_dir();
+    let old = dir.join(format!(
+        "netexpl-test-{}-bench-old.json",
+        std::process::id()
+    ));
+    let new = dir.join(format!(
+        "netexpl-test-{}-bench-new.json",
+        std::process::id()
+    ));
+    let baseline = r#"{
+      "scenarios": [{"scenario": "scenario1", "stage_ms": {"explain": 10.0, "lift": 8.0}}],
+      "network": {"sequential_ms": 50.0, "parallel_ms": 40.0},
+      "lift": {"fresh_ms": 30.0, "incremental_ms": 12.0},
+      "lint_network": {"wall_ms": 20.0}
+    }"#;
+    std::fs::write(&old, baseline).unwrap();
+    std::fs::write(&new, baseline.replace("\"lift\": 8.0", "\"lift\": 20.0")).unwrap();
+
+    // A 150% growth on one section against a 25% threshold: non-zero exit
+    // with the stable NX701 code, and the section named on stdout.
+    let out = netexpl()
+        .args([
+            "bench",
+            "--compare",
+            old.to_str().unwrap(),
+            "--in",
+            new.to_str().unwrap(),
+            "--threshold",
+            "25",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(
+        stdout.contains("scenarios.scenario1.stage_ms.lift"),
+        "{stdout}"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("NX701"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The identical report passes the gate.
+    let out = netexpl()
+        .args([
+            "bench",
+            "--compare",
+            old.to_str().unwrap(),
+            "--in",
+            old.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("no regressions"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_file(&old).ok();
+    std::fs::remove_file(&new).ok();
+}

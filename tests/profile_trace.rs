@@ -1,0 +1,120 @@
+//! Round-trip validation of the Chrome trace exporter on a real nested,
+//! multi-threaded workload: `explain_all` over the paper network with
+//! several workers, captured by an in-memory obs session, exported with
+//! [`netexpl_obs::chrome::trace_json`], and re-parsed. The exporter's
+//! contract is structural — every `B` has a matching `E` for the same
+//! name on the same track, timestamps are monotone per track, and worker
+//! spans land on their own tracks — because Chrome/Perfetto silently
+//! drop malformed nesting instead of reporting it.
+
+mod common;
+
+use std::collections::BTreeMap;
+
+use common::*;
+use netexpl_core::lift::LiftOptions;
+use netexpl_core::{explain_all, ExplainAllOptions, ExplainOptions, Selector};
+use netexpl_logic::term::Ctx;
+use serde_json::Value;
+
+#[test]
+fn chrome_trace_round_trips_on_multithreaded_explain_all() {
+    let (topo, _h, net, spec) = scenario2();
+    let vocab = paper_vocab(&topo, net.prefixes());
+    let mut ctx = Ctx::new();
+    let sorts = vocab.sorts(&mut ctx);
+
+    let (guard, handle) = netexpl_obs::install_memory();
+    let all = explain_all(
+        &mut ctx,
+        &topo,
+        &vocab,
+        sorts,
+        &net,
+        &spec,
+        &Selector::Router,
+        ExplainAllOptions {
+            explain: ExplainOptions {
+                // Small deterministic lift caps keep the debug build fast;
+                // the trace structure under test is the same either way.
+                lift: LiftOptions {
+                    max_window: 3,
+                    max_candidates: 24,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            workers: 3,
+            fail_fast: false,
+        },
+    )
+    .unwrap();
+    assert!(all.workers > 1, "need a genuinely parallel run");
+    drop(guard);
+    let data = handle.data();
+
+    assert!(
+        data.spans.iter().any(|s| s.track > 0),
+        "worker spans must carry nonzero tracks"
+    );
+
+    let json = netexpl_obs::chrome::trace_json(&data.spans, &data.samples);
+    let doc: Value = serde_json::from_str(&json).expect("exporter emits valid JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+
+    // Re-play the event stream: per track, `E` must close the innermost
+    // open `B` of the same name, and timestamps must never go backwards.
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut tracks: BTreeMap<u64, usize> = BTreeMap::new();
+    let (mut begins, mut ends) = (0usize, 0usize);
+    for ev in events {
+        let ph = ev["ph"].as_str().expect("every event has ph");
+        if ph == "M" {
+            continue; // process/thread metadata carries no timestamp
+        }
+        let tid = ev["tid"].as_u64().expect("every event has tid");
+        let ts = ev["ts"].as_u64().expect("every timed event has ts");
+        let prev = last_ts.entry(tid).or_insert(0);
+        assert!(*prev <= ts, "ts went backwards on tid {tid}: {prev} > {ts}");
+        *prev = ts;
+        match ph {
+            "B" => {
+                begins += 1;
+                *tracks.entry(tid).or_insert(0) += 1;
+                stacks
+                    .entry(tid)
+                    .or_default()
+                    .push(ev["name"].as_str().unwrap().to_string());
+            }
+            "E" => {
+                ends += 1;
+                let top = stacks.get_mut(&tid).and_then(Vec::pop);
+                assert_eq!(
+                    top.as_deref(),
+                    ev["name"].as_str(),
+                    "E must close the innermost B on tid {tid}"
+                );
+            }
+            "C" => {} // solver timeline counter samples
+            other => panic!("unexpected phase `{other}`"),
+        }
+    }
+    assert_eq!(begins, ends, "unbalanced B/E events");
+    assert!(
+        stacks.values().all(Vec::is_empty),
+        "unclosed spans: {stacks:?}"
+    );
+
+    // The run actually fanned out: pipeline spans on more than one track,
+    // and one `explain` span per internal router somewhere in the trace.
+    assert!(
+        tracks.len() > 1,
+        "expected spans on multiple tracks: {tracks:?}"
+    );
+    let explains = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("B") && e["name"].as_str() == Some("explain"))
+        .count();
+    assert_eq!(explains, all.routers.len(), "one explain span per router");
+}
