@@ -50,6 +50,7 @@ const NETWORK_KEYS: &[&str] = &["sequential_ms", "parallel_ms"];
 const LIFT_KEYS: &[&str] = &["fresh_ms", "incremental_ms"];
 const LINT_KEYS: &[&str] = &["wall_ms"];
 const STAGE_KEYS: &[&str] = &["explain", "lift"];
+const SERVE_KEYS: &[&str] = &["cold_ms", "warm_ms"];
 
 fn lookup(root: &Value, path: &[&str]) -> Option<f64> {
     let mut cur = root;
@@ -131,6 +132,13 @@ pub fn compare_reports(old: &Value, new: &Value, threshold_pct: f64) -> Comparis
             lookup(new, &["lint_network", key]),
         );
     }
+    for key in SERVE_KEYS {
+        push(
+            format!("serve.{key}"),
+            lookup(old, &["serve", key]),
+            lookup(new, &["serve", key]),
+        );
+    }
     out
 }
 
@@ -177,7 +185,8 @@ mod tests {
               ],
               "network": {{"sequential_ms": {seq_ms}, "parallel_ms": 40.0}},
               "lift": {{"fresh_ms": 30.0, "incremental_ms": 12.0}},
-              "lint_network": {{"wall_ms": 20.0}}
+              "lint_network": {{"wall_ms": 20.0}},
+              "serve": {{"cold_ms": 100.0, "warm_ms": 15.0}}
             }}"#
         ))
         .unwrap()
@@ -188,7 +197,7 @@ mod tests {
         let r = report(8.0, 50.0);
         let cmp = compare_reports(&r, &r, 25.0);
         assert!(cmp.regressions().is_empty(), "{cmp:?}");
-        assert_eq!(cmp.deltas.len(), 7);
+        assert_eq!(cmp.deltas.len(), 9);
         assert!(cmp.skipped.is_empty());
     }
 

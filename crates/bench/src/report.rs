@@ -421,6 +421,65 @@ pub fn lint_network_report_with(_budget: &Budget) -> Result<Value, String> {
     ]))
 }
 
+/// The serve warm-vs-cold experiment: drive the server's [`Engine`]
+/// directly (no sockets) with the same explain request twice. The first
+/// request builds the session — synthesis plus the shared encoding — and
+/// pools it; the second reuses the pooled session and should skip both.
+/// `warm_faster` is the acceptance criterion recorded alongside the raw
+/// times.
+///
+/// [`Engine`]: netexpl_serve::Engine
+pub fn serve_report_with(_budget: &Budget) -> Result<Value, String> {
+    use netexpl_serve::{Engine, EngineConfig, Op};
+
+    const SPEC: &str = "\
+// @originate P1 200.7.0.0/16
+dest D1 = 200.7.0.0/16
+Req1 { !(P1 -> ... -> P2) }
+";
+    let engine = Engine::new(EngineConfig::default(), netexpl_obs::SharedMetrics::new());
+    let op = Op::Explain {
+        topology: "paper".into(),
+        spec: SPEC.into(),
+        router: None,
+        skip_lift: true,
+        workers: 1,
+    };
+
+    let t0 = Instant::now();
+    let cold = engine.handle(&op, None).map_err(|e| e.to_string())?;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if cold.warm {
+        return Err("first serve request must be cold".into());
+    }
+
+    let t0 = Instant::now();
+    let warm = engine.handle(&op, None).map_err(|e| e.to_string())?;
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if !warm.warm {
+        return Err("second serve request must hit the session pool".into());
+    }
+
+    Ok(Value::object([
+        ("topology", Value::from("paper")),
+        ("cold_ms", Value::from(cold_ms)),
+        ("warm_ms", Value::from(warm_ms)),
+        (
+            "speedup",
+            Value::from(if warm_ms > 0.0 {
+                cold_ms / warm_ms
+            } else {
+                0.0
+            }),
+        ),
+        ("warm_faster", Value::from(warm_ms < cold_ms)),
+        (
+            "pool_hits",
+            Value::from(engine.metrics().counter("serve.pool.hits")),
+        ),
+    ]))
+}
+
 /// Build the full report over all three paper scenarios.
 pub fn explain_report() -> Result<Value, String> {
     explain_report_with(&Budget::unlimited())
@@ -441,6 +500,7 @@ pub fn explain_report_with(budget: &Budget) -> Result<Value, String> {
         ("network", network_report_with(budget, 4)?),
         ("lift", lift_report_with(budget)?),
         ("lint_network", lint_network_report_with(budget)?),
+        ("serve", serve_report_with(budget)?),
     ]))
 }
 
@@ -551,5 +611,17 @@ mod tests {
         }
         assert!(network["cache_hits"].as_u64().unwrap() > 0);
         assert!(network["counters"]["cache.hit"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn serve_section_records_a_cold_and_a_warm_request() {
+        let serve = serve_report_with(&Budget::unlimited()).unwrap();
+        assert!(serve["cold_ms"].as_f64().unwrap() > 0.0);
+        assert!(serve["warm_ms"].as_f64().unwrap() > 0.0);
+        assert!(serve["speedup"].as_f64().is_some());
+        assert_eq!(serve["pool_hits"].as_u64(), Some(1));
+        // Timing assertions are flaky in debug builds; the report records
+        // `warm_faster` and the release-profile CI smoke asserts it.
+        assert!(serve["warm_faster"].as_bool().is_some());
     }
 }

@@ -2,8 +2,8 @@
 
 use netexpl_core::symbolize::{Dir, Selector};
 use netexpl_core::{
-    explain, explain_all, Error, ExplainAllOptions, ExplainOptions, Explanation, RouterOutcome,
-    RouterReport,
+    explain, explain_all, synthesize_problem, Error, ExplainAllOptions, ExplainOptions,
+    Explanation, RouterOutcome, RouterReport,
 };
 use netexpl_lint::{
     lint_config, lint_network, lint_selector, lint_spec, Diagnostics, Suppressions,
@@ -12,8 +12,7 @@ use netexpl_logic::budget::Budget;
 use netexpl_logic::term::Ctx;
 use netexpl_obs::{ChromeTraceSink, FileMetricsSink, HumanSink, JsonLinesSink, ObsGuard, Sink};
 use netexpl_spec::check_specification;
-use netexpl_synth::sketch::HoleFactory;
-use netexpl_synth::synthesize::{default_sketch, synthesize, SynthOptions, SynthResult};
+use netexpl_synth::synthesize::SynthResult;
 use netexpl_topology::{Link, Topology};
 use serde_json::Value;
 
@@ -134,31 +133,6 @@ fn prepare(opts: &Options, budget: Budget) -> Result<Prepared, Error> {
         sorts,
         result,
     })
-}
-
-fn synthesize_problem(
-    topo: &Topology,
-    problem: &Problem,
-    ctx: &mut Ctx,
-    sorts: netexpl_synth::vocab::VocabSorts,
-    budget: Budget,
-) -> Result<SynthResult, Error> {
-    let factory = HoleFactory::new(&problem.vocab, sorts);
-    let sketch = default_sketch(ctx, topo, &factory, &problem.base);
-    synthesize(
-        ctx,
-        topo,
-        &problem.vocab,
-        sorts,
-        &sketch,
-        &problem.spec,
-        SynthOptions {
-            budget,
-            ..Default::default()
-        },
-    )
-    // `From<SynthError>` classifies: NX202 unsat, NX501 interrupted, ….
-    .map_err(Error::from)
 }
 
 /// Render a diagnostics collection as a JSON value (array of findings

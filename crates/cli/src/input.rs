@@ -1,12 +1,14 @@
 //! CLI input handling: argument parsing, topology selection, and spec files
 //! with `@originate` directives.
+//!
+//! The parsing itself lives in [`netexpl_core::problem`], shared with
+//! `netexpl serve` (which receives the same spec text over a socket);
+//! this module only adds the filesystem and flag-vocabulary layers.
 
-use netexpl_bgp::{Community, NetworkConfig};
 use netexpl_core::Error;
-use netexpl_spec::Specification;
-use netexpl_synth::vocab::Vocabulary;
-use netexpl_topology::builders;
-use netexpl_topology::{Prefix, Topology};
+use netexpl_topology::Topology;
+
+pub use netexpl_core::Problem;
 
 /// Parsed `--key value` / `--flag` arguments.
 #[derive(Debug, Default)]
@@ -81,33 +83,7 @@ impl Options {
 
 /// Build a topology from its CLI name.
 pub fn topology(name: &str) -> Result<Topology, Error> {
-    if name == "paper" {
-        return Ok(builders::paper_topology().0);
-    }
-    if let Some((kind, n)) = name.split_once(':') {
-        let n: usize = n
-            .parse()
-            .map_err(|_| Error::Topology(format!("bad size in `{name}`")))?;
-        return match kind {
-            "line" => Ok(builders::line(n)),
-            "ring" => Ok(builders::ring(n)),
-            "star" => Ok(builders::star(n)),
-            other => Err(Error::Topology(format!("unknown topology kind `{other}`"))),
-        };
-    }
-    Err(Error::Topology(format!(
-        "unknown topology `{name}` (try paper, line:N, ring:N, star:N)"
-    )))
-}
-
-/// A loaded problem: topology-independent pieces of a spec file.
-pub struct Problem {
-    /// The parsed specification.
-    pub spec: Specification,
-    /// The environment (originations from `@originate` directives).
-    pub base: NetworkConfig,
-    /// The derived vocabulary.
-    pub vocab: Vocabulary,
+    netexpl_core::topology_by_name(name)
 }
 
 /// Load a spec file, extracting `// @originate <Router> <prefix>`
@@ -117,42 +93,7 @@ pub fn load_problem(topo: &Topology, path: &str) -> Result<Problem, Error> {
         path: path.to_string(),
         source: e,
     })?;
-    let mut base = NetworkConfig::new();
-    let mut prefixes: Vec<Prefix> = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let Some(rest) = line.trim().strip_prefix("// @originate ") else {
-            continue;
-        };
-        let mut parts = rest.split_whitespace();
-        let (Some(router), Some(prefix)) = (parts.next(), parts.next()) else {
-            return Err(Error::Usage(format!(
-                "{path}:{}: @originate needs <Router> <prefix>",
-                lineno + 1
-            )));
-        };
-        let router_id = topo.router_by_name(router).ok_or_else(|| {
-            Error::Topology(format!("{path}:{}: unknown router `{router}`", lineno + 1))
-        })?;
-        let prefix: Prefix = prefix
-            .parse()
-            .map_err(|e| Error::Usage(format!("{path}:{}: {e}", lineno + 1)))?;
-        base.originate(router_id, prefix);
-        prefixes.push(prefix);
-    }
-    if base.originations().is_empty() {
-        return Err(Error::Usage(format!(
-            "{path}: no `// @originate <Router> <prefix>` directives — nothing is announced"
-        )));
-    }
-    let spec = netexpl_spec::parse(&text).map_err(Error::SpecParse)?;
-    prefixes.extend(spec.destinations.values().copied());
-    let vocab = Vocabulary::new(
-        topo,
-        vec![Community(100, 1), Community(100, 2)],
-        vec![50, 100, 200],
-        prefixes,
-    );
-    Ok(Problem { spec, base, vocab })
+    netexpl_core::parse_problem(topo, path, &text)
 }
 
 #[cfg(test)]

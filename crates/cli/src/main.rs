@@ -38,6 +38,7 @@
 
 mod commands;
 mod input;
+mod serve_cmd;
 
 use std::process::ExitCode;
 
@@ -80,6 +81,8 @@ fn run(args: &[String]) -> Result<(), Error> {
         "profile" => commands::profile(rest),
         "bench" => commands::bench(rest),
         "obs-check" => commands::obs_check(rest),
+        "serve" => serve_cmd::serve(rest),
+        "request" => serve_cmd::request(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -129,6 +132,21 @@ fn print_usage() {
                             or --in <NEW> — against the <OLD> baseline; exit NX701\n\
                             if a timing section grew beyond the threshold, default 25%)\n\
            netexpl obs-check --trace-file <FILE> [--metrics-file <FILE>]\n\
+           netexpl serve    [--addr <HOST:PORT>] [--workers <N>] [--queue <N>]\n\
+                            [--pool <N>] [--default-timeout <SECS>]\n\
+                            [--max-timeout <SECS>] [--read-timeout <SECS>]\n\
+                            [--max-request-bytes <N>] [--metrics-out <FILE>]\n\
+                            (long-lived JSON-over-TCP explanation service;\n\
+                            prints `listening on <ADDR>`, runs until a\n\
+                            `shutdown` request drains it. Full queue sheds\n\
+                            NX801; crashes isolate to NX804 per request)\n\
+           netexpl request  --addr <HOST:PORT> --op <OP> [--id <TAG>]\n\
+                            [--topology <T> --spec <FILE> [--router <NAME>]\n\
+                            [--skip-lift] [--workers <N>]] [--timeout-ms <N>]\n\
+                            [--site <FAULT-SITE> [--shots <N>]] [--mode <drain|cancel>]\n\
+                            (one request against a running server; OP is\n\
+                            ping|stats|explain|lint|arm-fault|shutdown; exits\n\
+                            with the server's error[NXnnn] classification)\n\
          \n\
          OBSERVABILITY (synth, lint, explain):\n\
            --trace[=human|json|chrome]  stream pipeline spans + metrics to stderr;\n\

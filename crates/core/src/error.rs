@@ -24,6 +24,17 @@
 //! | NX501 | budget interrupt (deadline/caps/cancellation) |
 //! | NX601 | lint findings at error severity               |
 //! | NX701 | benchmark regression beyond threshold         |
+//! | NX801 | server overloaded — request shed at admission |
+//! | NX802 | malformed/undecodable server request          |
+//! | NX803 | oversized server request                      |
+//! | NX804 | server worker crashed (isolated, respawned)   |
+//! | NX805 | server draining — request refused             |
+//! | NX806 | warm-session pool failure (entry discarded)   |
+//!
+//! The NX8xx classes are produced by `netexpl-serve` (which cannot be a
+//! dependency of this crate — it sits above it); they travel through
+//! [`Error::Serve`], which carries the code verbatim so the taxonomy
+//! extends across the wire to `netexpl request`.
 
 use netexpl_logic::budget::Interrupt;
 
@@ -61,11 +72,15 @@ pub enum Error {
     /// `bench --compare` found timing regressions beyond the threshold
     /// (NX701).
     BenchRegression { regressions: usize },
+    /// A serve-layer failure (NX8xx): produced locally by `netexpl serve`
+    /// or relayed verbatim from a remote server by `netexpl request`, so
+    /// the client exits with the same classified line the server logged.
+    Serve { code: String, message: String },
 }
 
 impl Error {
     /// The stable diagnostic code for this error class.
-    pub fn code(&self) -> &'static str {
+    pub fn code(&self) -> &str {
         match self {
             Error::Usage(_) => "NX001",
             Error::Io { .. } => "NX002",
@@ -82,6 +97,7 @@ impl Error {
             Error::Interrupted(_) => "NX501",
             Error::Lint { .. } => "NX601",
             Error::BenchRegression { .. } => "NX701",
+            Error::Serve { code, .. } => code,
         }
     }
 }
@@ -103,6 +119,7 @@ impl std::fmt::Display for Error {
             Error::BenchRegression { regressions } => {
                 write!(f, "bench: {regressions} regression(s) beyond threshold")
             }
+            Error::Serve { message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -184,6 +201,13 @@ mod tests {
         );
         assert_eq!(Error::Lint { errors: 2 }.code(), "NX601");
         assert_eq!(Error::BenchRegression { regressions: 1 }.code(), "NX701");
+        // Serve errors carry their NX8xx code verbatim across the wire.
+        let shed = Error::Serve {
+            code: "NX801".into(),
+            message: "server overloaded".into(),
+        };
+        assert_eq!(shed.code(), "NX801");
+        assert_eq!(shed.to_string(), "server overloaded");
         assert_eq!(
             Error::Synth(netexpl_synth::synthesize::SynthError::Unsat).code(),
             "NX202"

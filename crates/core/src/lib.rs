@@ -40,6 +40,7 @@ pub mod error;
 pub mod explain;
 pub mod lift;
 pub mod network;
+pub mod problem;
 pub mod seed;
 pub mod symbolize;
 
@@ -50,7 +51,9 @@ pub use explain::{
 };
 pub use lift::{lift, LiftOptions, LiftResult};
 pub use network::{
-    explain_all, ExplainAllOptions, NetworkExplanation, RouterOutcome, RouterReport,
+    explain_all, explain_all_cached, ExplainAllOptions, NetworkExplanation, RouterOutcome,
+    RouterReport,
 };
+pub use problem::{parse_problem, synthesize_problem, topology_by_name, Problem};
 pub use seed::{seed_spec, seed_spec_cached, SeedSpec};
 pub use symbolize::{symbolize, Dir, Field, Selector, SymbolInfo, SymbolTable};

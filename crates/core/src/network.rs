@@ -210,12 +210,6 @@ pub fn explain_all(
     selector: &Selector,
     options: ExplainAllOptions,
 ) -> Result<NetworkExplanation, ExplainError> {
-    let span = Span::enter("explain_all");
-    let routers: Vec<_> = topo.router_ids().collect();
-    let workers = effective_workers(options.workers, routers.len());
-    span.attr("routers", routers.len());
-    span.attr("workers", workers);
-
     // Build the shared encoding once, in the caller's context.
     let cache = {
         let build_span = Span::enter("encode_cache.build");
@@ -223,6 +217,33 @@ pub fn explain_all(
         build_span.attr("crossings", cache.len());
         cache
     };
+    explain_all_cached(
+        ctx, topo, vocab, sorts, config, spec, selector, options, &cache,
+    )
+}
+
+/// [`explain_all`] with a prebuilt [`EncodeCache`] — the warm entry point
+/// of `netexpl serve`, where the cache (and the context it was built in)
+/// persist across requests. `ctx` must be (a clone of) the context the
+/// cache was built in; the fan-out, budget split, and reporting are
+/// identical to [`explain_all`], minus the cache build.
+#[allow(clippy::too_many_arguments)]
+pub fn explain_all_cached(
+    ctx: &mut Ctx,
+    topo: &Topology,
+    vocab: &Vocabulary,
+    sorts: VocabSorts,
+    config: &NetworkConfig,
+    spec: &Specification,
+    selector: &Selector,
+    options: ExplainAllOptions,
+    cache: &EncodeCache,
+) -> Result<NetworkExplanation, ExplainError> {
+    let span = Span::enter("explain_all");
+    let routers: Vec<_> = topo.router_ids().collect();
+    let workers = effective_workers(options.workers, routers.len());
+    span.attr("routers", routers.len());
+    span.attr("workers", workers);
 
     // Split the run budget: countable caps divided per worker, deadline
     // shared. With fail-fast, all slices share one cancel token (reusing

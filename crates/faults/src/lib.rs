@@ -13,7 +13,7 @@
 //! that every armed site yields a *typed* error or an `Unknown` verdict —
 //! never a panic, and never a wrong `Sat`/`Unsat` answer.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -37,6 +37,19 @@ pub mod sites {
     /// in-flight query reports `Unknown`, previously returned answers stay
     /// valid, and the session remains usable once disarmed.
     pub const SESSION_QUERY: &str = "session.query";
+    /// Reject an accepted server connection at admission: the client gets
+    /// a typed overload error and the listener keeps accepting.
+    pub const SERVE_ACCEPT: &str = "serve.accept";
+    /// Fail the server's request decoder: the request gets a typed
+    /// bad-request error and the connection stays usable.
+    pub const SERVE_DECODE: &str = "serve.decode";
+    /// Panic inside a server worker's request pipeline: the request gets a
+    /// typed worker-crash error, the warm session it used is quarantined,
+    /// and the supervisor respawns the worker.
+    pub const SERVE_WORKER: &str = "serve.worker";
+    /// Fail the warm-session pool's eviction/insert path: the request gets
+    /// a typed pool error and the entry is discarded, never reused.
+    pub const SERVE_EVICT: &str = "serve.evict";
 
     /// Every site, for exhaustive injection matrices.
     pub const ALL: &[&str] = &[
@@ -48,6 +61,10 @@ pub mod sites {
         SIMPLIFY_PASS,
         LIFT_CANDIDATE,
         SESSION_QUERY,
+        SERVE_ACCEPT,
+        SERVE_DECODE,
+        SERVE_WORKER,
+        SERVE_EVICT,
     ];
 }
 
@@ -65,13 +82,62 @@ fn lock_armed() -> MutexGuard<'static, HashSet<String>> {
     armed_set().lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Counted (one-shot) armings: site → remaining trigger count. Used by the
+/// long-lived server, where a guard-scoped [`arm`] cannot express "fail the
+/// next N requests, then recover".
+fn shots_map() -> &'static Mutex<HashMap<String, u64>> {
+    static SHOTS: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    SHOTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_shots() -> MutexGuard<'static, HashMap<String, u64>> {
+    shots_map().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn recompute_any_armed() {
+    let any = !lock_armed().is_empty() || !lock_shots().is_empty();
+    ANY_ARMED.store(any, Ordering::Relaxed);
+}
+
 /// Returns true iff `site` is currently armed. Production code calls this at
 /// each injection point; the unarmed cost is one relaxed atomic load.
+/// A counted arming ([`arm_shots`]) is *consumed* by this check: each call
+/// burns one shot until the count reaches zero and the site disarms itself.
 pub fn triggered(site: &str) -> bool {
     if !ANY_ARMED.load(Ordering::Relaxed) {
         return false;
     }
-    lock_armed().contains(site)
+    if lock_armed().contains(site) {
+        return true;
+    }
+    let mut shots = lock_shots();
+    if let Some(remaining) = shots.get_mut(site) {
+        *remaining -= 1;
+        if *remaining == 0 {
+            shots.remove(site);
+            drop(shots);
+            recompute_any_armed();
+        }
+        return true;
+    }
+    false
+}
+
+/// Arm `site` for exactly `n` triggers, then self-disarm. Unlike [`arm`]
+/// this takes no serialization guard and returns no handle: it is meant for
+/// runtime injection into a long-lived process (the serve fault-matrix
+/// tests and `netexpl request --op arm-fault`), where the *consumer* of the
+/// fault is a different thread than the one arming it. `n == 0` disarms.
+pub fn arm_shots(site: &str, n: u64) {
+    {
+        let mut shots = lock_shots();
+        if n == 0 {
+            shots.remove(site);
+        } else {
+            shots.insert(site.to_string(), n);
+        }
+    }
+    recompute_any_armed();
 }
 
 /// Guard returned by [`arm`]: disarms the site (and releases the cross-test
@@ -83,17 +149,21 @@ pub struct FaultGuard {
 
 impl Drop for FaultGuard {
     fn drop(&mut self) {
-        let mut set = lock_armed();
-        set.remove(&self.site);
-        if set.is_empty() {
-            ANY_ARMED.store(false, Ordering::Relaxed);
-        }
+        lock_armed().remove(&self.site);
+        recompute_any_armed();
     }
 }
 
 fn test_serial() -> &'static Mutex<()> {
     static SERIAL: OnceLock<Mutex<()>> = OnceLock::new();
     SERIAL.get_or_init(|| Mutex::new(()))
+}
+
+/// Take the cross-test serialization lock without arming anything. Tests
+/// that arm process-global state through [`arm_shots`] (which returns no
+/// guard) hold this for their duration so parallel fault tests don't race.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    test_serial().lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Arm `site` for the lifetime of the returned guard. Fault state is
@@ -152,6 +222,24 @@ mod tests {
             assert!(triggered(sites::LIFT_CANDIDATE));
         }
         assert!(!triggered(sites::LIFT_CANDIDATE));
+    }
+
+    #[test]
+    fn counted_arming_consumes_shots_then_self_disarms() {
+        // Hold the serialization lock so parallel fault tests don't race us.
+        let _serial = test_serial().lock().unwrap_or_else(|e| e.into_inner());
+        arm_shots(sites::SERVE_WORKER, 2);
+        assert!(triggered(sites::SERVE_WORKER));
+        assert!(!triggered(sites::SERVE_DECODE), "other sites stay unarmed");
+        assert!(triggered(sites::SERVE_WORKER));
+        assert!(
+            !triggered(sites::SERVE_WORKER),
+            "shots exhausted — site must self-disarm"
+        );
+        // Explicit zero disarms a pending counted arming.
+        arm_shots(sites::SERVE_EVICT, 3);
+        arm_shots(sites::SERVE_EVICT, 0);
+        assert!(!triggered(sites::SERVE_EVICT));
     }
 
     #[test]

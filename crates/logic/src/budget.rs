@@ -150,6 +150,16 @@ impl Budget {
         self
     }
 
+    /// Tighten the deadline to at most `d` from now, keeping an existing
+    /// earlier deadline. This is how a server combines a client-supplied
+    /// timeout with its own per-request cap: whichever is sooner wins, and
+    /// a request can never *extend* the budget it was admitted under.
+    pub fn tighten_deadline(mut self, d: Duration) -> Self {
+        let candidate = Instant::now() + d;
+        self.deadline = Some(self.deadline.map_or(candidate, |e| e.min(candidate)));
+        self
+    }
+
     pub fn max_conflicts(mut self, n: u64) -> Self {
         self.max_conflicts = Some(n);
         self
@@ -178,8 +188,10 @@ impl Budget {
     /// Split this budget across `n` parallel workers.
     ///
     /// Countable caps (conflicts/decisions/propagations/memo entries) are
-    /// divided evenly — each worker gets `cap / n`, floored at 1 so a tight
-    /// cap never silently becomes "no work allowed at all". The wall-clock
+    /// divided evenly — each worker gets `cap / n`, **saturating at 1**
+    /// when `n` exceeds the cap, so a tight cap never silently becomes "no
+    /// work allowed at all": a 4-conflict budget split 8 ways gives every
+    /// worker one conflict, not an instant `Exhausted`. The wall-clock
     /// deadline and cancel token are *shared*: every worker races the same
     /// clock, and cancelling one cancels them all. This is the semantics a
     /// network-wide `explain --all` wants: one stuck router exhausts only
@@ -302,6 +314,40 @@ mod tests {
                 InterruptReason::Cancelled
             );
         }
+    }
+
+    #[test]
+    fn split_saturates_at_one_when_workers_exceed_a_small_cap() {
+        // A 4-conflict budget split 8 ways must give each worker one
+        // conflict — rounding down to 0 would make every worker start
+        // pre-exhausted and turn a tight-but-usable budget into no work
+        // at all.
+        let shares = Budget::unlimited()
+            .max_conflicts(4)
+            .max_decisions(1)
+            .max_propagations(3)
+            .max_memo_entries(2)
+            .split(8);
+        assert_eq!(shares.len(), 8);
+        for s in &shares {
+            assert_eq!(s.max_conflicts, Some(1));
+            assert_eq!(s.max_decisions, Some(1));
+            assert_eq!(s.max_propagations, Some(1));
+            assert_eq!(s.max_memo_entries, Some(1));
+        }
+    }
+
+    #[test]
+    fn tighten_deadline_keeps_the_earlier_deadline() {
+        // Tightening an unlimited budget installs the cap; tightening an
+        // already-tighter budget must not extend it.
+        let b = Budget::unlimited().tighten_deadline(Duration::from_secs(3600));
+        let d1 = b.deadline.expect("deadline installed");
+        let b = b.tighten_deadline(Duration::from_secs(7200));
+        assert_eq!(b.deadline, Some(d1), "a later deadline never wins");
+        let b = b.tighten_deadline(Duration::ZERO);
+        assert!(b.deadline.unwrap() < d1, "an earlier deadline does");
+        assert!(b.check_coarse("x").is_err());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod sink;
 pub mod span;
 
 pub use chrome::ChromeTraceSink;
-pub use metrics::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS_MS};
+pub use metrics::{Histogram, MetricsRegistry, SharedMetrics, DEFAULT_LATENCY_BUCKETS_MS};
 pub use profile::ProfileReport;
 pub use sink::{
     FileMetricsSink, HumanSink, JsonLinesSink, MemoryData, MemoryHandle, MemorySink, Sink,

@@ -265,9 +265,85 @@ impl MetricsRegistry {
     }
 }
 
+/// A thread-safe, shareable [`MetricsRegistry`] for long-lived components
+/// whose reporters live on many threads — the serve layer's queue, worker,
+/// and pool counters. Unlike the thread-local collector (scoped to one
+/// pipeline run), a `SharedMetrics` is owned by the component and survives
+/// across requests; its poisoning is ignored (metrics must stay readable
+/// after a worker panic — that is exactly when they matter).
+#[derive(Debug, Clone, Default)]
+pub struct SharedMetrics {
+    inner: std::sync::Arc<std::sync::Mutex<MetricsRegistry>>,
+}
+
+impl SharedMetrics {
+    /// An empty shared registry.
+    pub fn new() -> SharedMetrics {
+        SharedMetrics::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add `by` to counter `name`.
+    pub fn counter_add(&self, name: &str, by: u64) {
+        self.lock().counter_add(name, by);
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        self.lock().gauge_set(name, value);
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.lock().observe(name, value);
+    }
+
+    /// Current value of counter `name`, or 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counter(name)
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.lock().gauge(name)
+    }
+
+    /// Merge a per-request registry (e.g. a worker's collector output)
+    /// into the shared one.
+    pub fn merge(&self, other: &MetricsRegistry) {
+        self.lock().merge(other);
+    }
+
+    /// Snapshot the current state.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.lock().clone()
+    }
+
+    /// Serialize the current state as one JSON object.
+    pub fn to_json(&self) -> String {
+        self.lock().to_json()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_metrics_aggregates_across_clones() {
+        let m = SharedMetrics::new();
+        let m2 = m.clone();
+        m.counter_add("serve.requests", 1);
+        m2.counter_add("serve.requests", 2);
+        m2.gauge_set("serve.queue_depth", 4);
+        assert_eq!(m.counter("serve.requests"), 3);
+        assert_eq!(m.gauge("serve.queue_depth"), Some(4));
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("serve.requests"), 3);
+    }
 
     #[test]
     fn histogram_bucket_boundaries() {

@@ -1,0 +1,303 @@
+//! The warm-session pool.
+//!
+//! Building a session — parse the spec, synthesize the configuration,
+//! enumerate every propagation path into an [`EncodeCache`] — dominates a
+//! cold request. The pool keeps the finished artifacts keyed by
+//! `(topology name, spec-text hash)` so repeat requests skip straight to
+//! the per-router pipelines: they clone the base [`Ctx`] (term ids
+//! survive cloning) and replay the pooled cache.
+//!
+//! Safety rules, in order of importance:
+//!
+//! 1. **Fingerprint guard.** Each entry records the route-map fingerprint
+//!    ([`config_fingerprint`]) of the configuration its cache was built
+//!    from, and re-checks it on every acquire. A mismatch means the entry
+//!    no longer describes its own cache — it is discarded (NX806), never
+//!    reused.
+//! 2. **Quarantine.** A worker panic while a request held an entry
+//!    poisons it: the entry is removed immediately and in-flight holders
+//!    finish on their own `Arc` without it ever being handed out again.
+//! 3. **Retirement.** A budget interrupt or armed fault during a request
+//!    marks the session suspect — solver/cache state may be mid-flight —
+//!    so the entry is retired after the request instead of being reused.
+//! 4. **LRU eviction.** The pool holds at most `capacity` entries;
+//!    inserting beyond that evicts the least-recently-acquired one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use netexpl_bgp::NetworkConfig;
+use netexpl_core::{Error, Problem};
+use netexpl_logic::term::Ctx;
+use netexpl_obs::SharedMetrics;
+use netexpl_synth::encode::{config_fingerprint, EncodeCache};
+use netexpl_synth::vocab::VocabSorts;
+use netexpl_topology::Topology;
+
+use crate::protocol::pool_failure;
+
+/// Pool key: topology name plus a hash of the exact spec text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// Topology name as given on the wire (`paper`, `line:8`, …).
+    pub topology: String,
+    /// Hash of the raw spec text (directives included).
+    pub spec_hash: u64,
+}
+
+impl SessionKey {
+    /// Key for a request.
+    pub fn new(topology: &str, spec_text: &str) -> SessionKey {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        spec_text.hash(&mut h);
+        SessionKey {
+            topology: topology.to_string(),
+            spec_hash: h.finish(),
+        }
+    }
+}
+
+/// One warm session: everything the per-request pipelines need,
+/// immutable after construction. Requests clone the base context and
+/// share the rest by reference through the `Arc`.
+pub struct Session {
+    /// The resolved topology.
+    pub topo: Topology,
+    /// The parsed problem (spec, originations, vocabulary).
+    pub problem: Problem,
+    /// Base context with sorts declared and the cache's terms interned.
+    pub ctx: Ctx,
+    /// Sort handles matching `ctx`.
+    pub sorts: VocabSorts,
+    /// The synthesized configuration.
+    pub config: NetworkConfig,
+    /// The shared encoding built from `config` in `ctx`.
+    pub cache: EncodeCache,
+    /// Route-map fingerprint of `config` at build time.
+    pub fingerprint: u64,
+}
+
+impl Session {
+    /// Verify the entry still describes its own cache.
+    fn healthy(&self) -> bool {
+        config_fingerprint(&self.topo, &self.config) == self.fingerprint
+    }
+}
+
+struct Entry {
+    key: SessionKey,
+    session: Arc<Session>,
+    last_used: u64,
+}
+
+/// The LRU pool. All methods are short and lock-bounded; session
+/// *construction* happens outside the lock (in the calling worker).
+pub struct SessionPool {
+    entries: Mutex<Vec<Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    metrics: SharedMetrics,
+}
+
+/// What [`SessionPool::acquire`] found.
+pub enum Acquired {
+    /// A healthy warm session.
+    Warm(Arc<Session>),
+    /// No usable entry — the caller builds cold and offers the result
+    /// back via [`SessionPool::insert`].
+    Cold,
+}
+
+impl SessionPool {
+    /// A pool holding at most `capacity` sessions.
+    pub fn new(capacity: usize, metrics: SharedMetrics) -> SessionPool {
+        SessionPool {
+            entries: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            metrics,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<Entry>> {
+        // A panicking worker must not wedge the pool for everyone else;
+        // entries are only ever swapped whole, so the state is valid.
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn publish_size(&self, n: usize) {
+        self.metrics.gauge_set("serve.pool.size", n as i64);
+    }
+
+    /// Look up a warm session. The armed `serve.evict` fault and the
+    /// fingerprint guard both discard the entry and fail *this* request
+    /// (NX806); the next request rebuilds cold on a fresh session.
+    pub fn acquire(&self, key: &SessionKey) -> Result<Acquired, Error> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.lock();
+        let Some(pos) = entries.iter().position(|e| &e.key == key) else {
+            self.metrics.counter_add("serve.pool.misses", 1);
+            return Ok(Acquired::Cold);
+        };
+        if netexpl_faults::triggered(netexpl_faults::sites::SERVE_EVICT) {
+            entries.remove(pos);
+            self.publish_size(entries.len());
+            self.metrics.counter_add("serve.pool.quarantined", 1);
+            return Err(pool_failure("fault injected at serve.evict"));
+        }
+        if !entries[pos].session.healthy() {
+            entries.remove(pos);
+            self.publish_size(entries.len());
+            self.metrics.counter_add("serve.pool.quarantined", 1);
+            return Err(pool_failure("route-map fingerprint mismatch"));
+        }
+        entries[pos].last_used = tick;
+        self.metrics.counter_add("serve.pool.hits", 1);
+        Ok(Acquired::Warm(Arc::clone(&entries[pos].session)))
+    }
+
+    /// Offer a freshly built session to the pool, evicting the LRU entry
+    /// beyond capacity. Returns the `Arc` for the offering request to
+    /// use.
+    pub fn insert(&self, key: SessionKey, session: Session) -> Arc<Session> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let session = Arc::new(session);
+        let mut entries = self.lock();
+        entries.retain(|e| e.key != key);
+        entries.push(Entry {
+            key,
+            session: Arc::clone(&session),
+            last_used: tick,
+        });
+        while entries.len() > self.capacity {
+            let lru = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            entries.remove(lru);
+            self.metrics.counter_add("serve.pool.evictions", 1);
+        }
+        self.publish_size(entries.len());
+        session
+    }
+
+    /// Remove an entry outright (worker panic, interrupt, fault): the
+    /// session is never handed out again; in-flight holders keep their
+    /// `Arc`.
+    pub fn quarantine(&self, key: &SessionKey) {
+        let mut entries = self.lock();
+        let before = entries.len();
+        entries.retain(|e| &e.key != key);
+        if entries.len() < before {
+            self.metrics.counter_add("serve.pool.quarantined", 1);
+        }
+        self.publish_size(entries.len());
+    }
+
+    /// Entries currently pooled.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netexpl_core::{parse_problem, synthesize_problem, topology_by_name};
+    use netexpl_logic::budget::Budget;
+    use netexpl_synth::encode::EncodeOptions;
+
+    const SPEC: &str = "\
+// @originate P1 200.7.0.0/16
+dest D1 = 200.7.0.0/16
+Req1 { !(P1 -> ... -> P2) }
+";
+
+    fn build_session(topology: &str, spec: &str) -> Session {
+        let topo = topology_by_name(topology).unwrap();
+        let problem = parse_problem(&topo, "<test>", spec).unwrap();
+        let mut ctx = Ctx::new();
+        let sorts = problem.vocab.sorts(&mut ctx);
+        let result =
+            synthesize_problem(&topo, &problem, &mut ctx, sorts, Budget::unlimited()).unwrap();
+        let cache = EncodeCache::build(
+            &mut ctx,
+            &topo,
+            &problem.vocab,
+            sorts,
+            &result.config,
+            EncodeOptions::default(),
+        )
+        .unwrap();
+        let fingerprint = config_fingerprint(&topo, &result.config);
+        Session {
+            topo,
+            problem,
+            ctx,
+            sorts,
+            config: result.config,
+            cache,
+            fingerprint,
+        }
+    }
+
+    #[test]
+    fn cold_then_warm_then_quarantine() {
+        let pool = SessionPool::new(2, SharedMetrics::new());
+        let key = SessionKey::new("paper", SPEC);
+        assert!(matches!(pool.acquire(&key).unwrap(), Acquired::Cold));
+        pool.insert(key.clone(), build_session("paper", SPEC));
+        assert!(matches!(pool.acquire(&key).unwrap(), Acquired::Warm(_)));
+        pool.quarantine(&key);
+        assert!(matches!(pool.acquire(&key).unwrap(), Acquired::Cold));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_oldest() {
+        let metrics = SharedMetrics::new();
+        let pool = SessionPool::new(2, metrics.clone());
+        let spec_b = SPEC.replace("Req1", "ReqB");
+        let spec_c = SPEC.replace("Req1", "ReqC");
+        let (ka, kb, kc) = (
+            SessionKey::new("paper", SPEC),
+            SessionKey::new("paper", &spec_b),
+            SessionKey::new("paper", &spec_c),
+        );
+        pool.insert(ka.clone(), build_session("paper", SPEC));
+        pool.insert(kb.clone(), build_session("paper", &spec_b));
+        // Touch A so B becomes the LRU.
+        assert!(matches!(pool.acquire(&ka).unwrap(), Acquired::Warm(_)));
+        pool.insert(kc.clone(), build_session("paper", &spec_c));
+        assert_eq!(pool.len(), 2);
+        assert!(matches!(pool.acquire(&kb).unwrap(), Acquired::Cold));
+        assert!(matches!(pool.acquire(&ka).unwrap(), Acquired::Warm(_)));
+        assert!(matches!(pool.acquire(&kc).unwrap(), Acquired::Warm(_)));
+        assert_eq!(metrics.counter("serve.pool.evictions"), 1);
+    }
+
+    #[test]
+    fn evict_fault_discards_the_entry_with_a_typed_error() {
+        let _serial = netexpl_faults::test_lock();
+        let pool = SessionPool::new(2, SharedMetrics::new());
+        let key = SessionKey::new("paper", SPEC);
+        pool.insert(key.clone(), build_session("paper", SPEC));
+        netexpl_faults::arm_shots(netexpl_faults::sites::SERVE_EVICT, 1);
+        let err = match pool.acquire(&key) {
+            Err(e) => e,
+            Ok(_) => panic!("armed evict fault must fail the acquire"),
+        };
+        assert_eq!(err.code(), "NX806");
+        // The one-shot fault is consumed; the entry is gone; the next
+        // acquire rebuilds cold.
+        assert!(matches!(pool.acquire(&key).unwrap(), Acquired::Cold));
+    }
+}

@@ -1,0 +1,150 @@
+//! The bounded admission queue.
+//!
+//! Every heavy request (`explain`, `lint`) passes through one
+//! fixed-capacity queue between the connection threads (producers) and
+//! the worker pool (consumers). Admission is the *only* place load
+//! shedding happens, and it is explicit: a full queue rejects the push
+//! immediately ([`PushError::Full`] → NX801) instead of queueing
+//! unboundedly and timing everything out later. Draining closes the
+//! queue: queued jobs still drain to workers, new pushes are refused
+//! ([`PushError::Closed`] → NX805), and once empty the consumers see
+//! [`Queue::pop`] return `None` and exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — the request is shed (NX801).
+    Full,
+    /// The queue is closed (server draining) — the request is refused
+    /// (NX805).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue with explicit rejection.
+pub struct Queue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl<T> Queue<T> {
+    /// A queue admitting at most `capacity` pending items.
+    pub fn new(capacity: usize) -> Queue<T> {
+        Queue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            ready: Condvar::new(),
+        }
+    }
+
+    // Metrics must survive a consumer panicking while holding the lock,
+    // so poisoning is ignored everywhere: the state is a plain VecDeque
+    // whose invariants hold at every await point.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Try to admit an item; never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available or the queue is closed *and*
+    /// empty (then `None`: the consumer should exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue: refuse new pushes, drain what is queued, then
+    /// release all blocked consumers.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Pending items right now.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True once [`Queue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_respects_capacity() {
+        let q = Queue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_releases_consumers() {
+        let q = Arc::new(Queue::new(4));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        // Queued work still drains after close…
+        assert_eq!(q.pop(), Some(7));
+        // …then consumers are released.
+        assert_eq!(q.pop(), None);
+
+        // A consumer blocked *before* the close is released too.
+        let q2 = Arc::new(Queue::<u32>::new(1));
+        let qc = Arc::clone(&q2);
+        let h = std::thread::spawn(move || qc.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = Queue::new(0);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(PushError::Full));
+    }
+}

@@ -202,4 +202,49 @@ for router in R1 R2 R3 Customer P1 P2; do
 done
 grep -q '"cancelled": false' "$OBS_DIR/all.json"
 
+echo "==> serve smoke: warm reuse, fault isolation, clean drain"
+./target/release/netexpl serve --workers 2 --queue 8 > "$OBS_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+# A crashed smoke step must not leak the background server.
+trap 'kill "$SERVE_PID" 2> /dev/null; rm -rf "$OBS_DIR"' EXIT
+for _ in $(seq 1 100); do
+  grep -q 'listening on ' "$OBS_DIR/serve.log" && break
+  sleep 0.1
+done
+ADDR="$(sed -n 's/^listening on //p' "$OBS_DIR/serve.log" | head -1)"
+[ -n "$ADDR" ] || { echo "serve printed no listening line"; cat "$OBS_DIR/serve.log"; exit 1; }
+# Cold request, then the identical one warm, with the pool hit visible in
+# the server's own metrics. In a release build the warm path must also be
+# the faster one (the timing half of the bench `serve` section).
+./target/release/netexpl request --addr "$ADDR" --op explain --topology paper \
+    --spec "$OBS_DIR/spec.txt" --skip-lift > "$OBS_DIR/serve-cold.json"
+grep -q '"warm": false' "$OBS_DIR/serve-cold.json"
+./target/release/netexpl request --addr "$ADDR" --op explain --topology paper \
+    --spec "$OBS_DIR/spec.txt" --skip-lift > "$OBS_DIR/serve-warm.json"
+grep -q '"warm": true' "$OBS_DIR/serve-warm.json"
+./target/release/netexpl request --addr "$ADDR" --op stats > "$OBS_DIR/serve-stats.json"
+grep -q '"serve.pool.hits": 1' "$OBS_DIR/serve-stats.json"
+awk '
+  /"duration_ms":/ { v = $2; gsub(/,/, "", v); ms[++n] = v + 0 }
+  END {
+    if (n != 2) { print "expected two serve timings, got " n; exit 1 }
+    if (ms[2] >= ms[1]) { printf "warm (%sms) not faster than cold (%sms)\n", ms[2], ms[1]; exit 1 }
+  }
+' "$OBS_DIR/serve-cold.json" "$OBS_DIR/serve-warm.json"
+# One armed worker crash: that request fails with the relayed NX804, the
+# next one succeeds on a fresh session.
+./target/release/netexpl request --addr "$ADDR" --op arm-fault \
+    --site serve.worker --shots 1 > /dev/null
+if ./target/release/netexpl request --addr "$ADDR" --op explain --topology paper \
+    --spec "$OBS_DIR/spec.txt" --skip-lift > /dev/null 2> "$OBS_DIR/serve-fault.err"; then
+  echo "armed serve.worker fault did not fail the request"; exit 1
+fi
+grep -q 'error\[NX804\]' "$OBS_DIR/serve-fault.err"
+./target/release/netexpl request --addr "$ADDR" --op explain --topology paper \
+    --spec "$OBS_DIR/spec.txt" --skip-lift > /dev/null
+# Drain: the shutdown op is the only stop signal; the server must exit 0.
+./target/release/netexpl request --addr "$ADDR" --op shutdown > /dev/null
+wait "$SERVE_PID"
+grep -q 'drained' "$OBS_DIR/serve.log"
+
 echo "==> OK"

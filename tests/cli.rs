@@ -776,3 +776,123 @@ fn bench_compare_gates_on_regressions() {
     std::fs::remove_file(&old).ok();
     std::fs::remove_file(&new).ok();
 }
+
+#[test]
+fn serve_and_request_end_to_end() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let spec = spec_file("serve-e2e", SPEC);
+    let mut server = netexpl()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--queue",
+            "4",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(server.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .trim()
+        .to_string();
+
+    let request = |extra: &[&str]| {
+        let mut args = vec!["request", "--addr", addr.as_str()];
+        args.extend_from_slice(extra);
+        netexpl().args(&args).output().unwrap()
+    };
+
+    // Liveness.
+    let out = request(&["--op", "ping"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Cold explain, then warm: the client prints the response JSON.
+    let explain = [
+        "--op",
+        "explain",
+        "--topology",
+        "paper",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--skip-lift",
+    ];
+    let out = request(&explain);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("\"warm\": false"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let out = request(&explain);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("\"warm\": true"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // One armed crash: that request exits with the server's NX804, the
+    // next one succeeds again.
+    let out = request(&[
+        "--op",
+        "arm-fault",
+        "--site",
+        "serve.worker",
+        "--shots",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = request(&explain);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("NX804"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = request(&explain);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Drain: the server finishes `run` and exits 0.
+    let out = request(&["--op", "shutdown"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server exit: {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(rest.contains("drained"), "{rest}");
+    std::fs::remove_file(&spec).ok();
+}

@@ -6,6 +6,7 @@
 //! adds proptest generators for *randomized* scenarios.
 
 pub mod gen;
+pub mod serve;
 
 use netexpl_bgp::{
     Action, Community, MatchClause, NetworkConfig, RouteMap, RouteMapEntry, SetClause,

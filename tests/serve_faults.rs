@@ -1,0 +1,137 @@
+//! Fault matrix for the serve subsystem: each armed `serve.*` site must
+//! degrade to a typed error on *that request only*, with the next
+//! request succeeding on a fresh session. Faults are armed through the
+//! server's own `arm-fault` op, so the CI smoke path is exercised too.
+//!
+//! The fault registry is process-global, so every test here holds
+//! [`netexpl_faults::test_lock`] for its full duration.
+
+mod common;
+
+use common::serve::*;
+use serde_json::Value;
+
+fn arm(client: &mut Client, site: &str, shots: u64) {
+    let resp = client.roundtrip(&format!(
+        r#"{{"op":"arm-fault","site":"{site}","shots":{shots}}}"#
+    ));
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "arming {site}: {resp:?}"
+    );
+}
+
+#[test]
+fn accept_fault_sheds_one_connection_then_recovers() {
+    let _serial = netexpl_faults::test_lock();
+    let server = TestServer::start(test_config(1, 4));
+    let mut control = Client::connect(server.addr);
+    arm(&mut control, "serve.accept", 1);
+    // The next accepted connection is shed with a typed NX801 line…
+    let shed = try_roundtrip(server.addr, r#"{"op":"ping"}"#).unwrap();
+    assert_eq!(error_code(&shed), Some("NX801"), "{shed:?}");
+    // …and the one after that is served normally.
+    let pong = try_roundtrip(server.addr, r#"{"op":"ping"}"#).unwrap();
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    // The already-open control connection was never disturbed.
+    let pong = control.roundtrip(r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    drop(control);
+    let metrics = server.drain();
+    assert!(metrics.counter("serve.shed") >= 1);
+}
+
+#[test]
+fn decode_fault_fails_one_frame_then_recovers() {
+    let _serial = netexpl_faults::test_lock();
+    let server = TestServer::start(test_config(1, 4));
+    let mut client = Client::connect(server.addr);
+    arm(&mut client, "serve.decode", 1);
+    // The next frame — perfectly valid JSON — fails typed…
+    let resp = client.roundtrip(r#"{"op":"ping"}"#);
+    assert_eq!(error_code(&resp), Some("NX802"), "{resp:?}");
+    // …on the same, still-open connection; the next frame succeeds.
+    let pong = client.roundtrip(r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    drop(client);
+    server.drain();
+}
+
+#[test]
+fn worker_fault_crashes_one_request_quarantines_and_recovers() {
+    let _serial = netexpl_faults::test_lock();
+    let server = TestServer::start(test_config(1, 4));
+    let mut client = Client::connect(server.addr);
+    // Warm the pool so the crash has a session to quarantine.
+    let warmup = client.roundtrip(&explain_line("warmup", None));
+    assert_eq!(
+        warmup.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{warmup:?}"
+    );
+    arm(&mut client, "serve.worker", 1);
+    let crashed = client.roundtrip(&explain_line("crash", None));
+    assert_eq!(error_code(&crashed), Some("NX804"), "{crashed:?}");
+    // The session was quarantined: the next request rebuilds cold — and
+    // succeeds, proving the worker survived the panic.
+    let after = client.roundtrip(&explain_line("after", None));
+    assert_eq!(
+        after.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{after:?}"
+    );
+    assert_eq!(
+        after.get("warm").and_then(Value::as_bool),
+        Some(false),
+        "quarantine must force a cold rebuild: {after:?}"
+    );
+    drop(client);
+    let metrics = server.drain();
+    assert_eq!(metrics.counter("serve.worker.panics"), 1);
+    assert!(metrics.counter("serve.pool.quarantined") >= 1);
+}
+
+#[test]
+fn evict_fault_discards_the_warm_session_then_recovers() {
+    let _serial = netexpl_faults::test_lock();
+    let server = TestServer::start(test_config(1, 4));
+    let mut client = Client::connect(server.addr);
+    // Warm the pool: the evict fault only fires on a pooled entry.
+    let warmup = client.roundtrip(&explain_line("warmup", None));
+    assert_eq!(
+        warmup.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{warmup:?}"
+    );
+    arm(&mut client, "serve.evict", 1);
+    let evicted = client.roundtrip(&explain_line("evicted", None));
+    assert_eq!(error_code(&evicted), Some("NX806"), "{evicted:?}");
+    // The entry is gone; the next request rebuilds cold and succeeds.
+    let after = client.roundtrip(&explain_line("after", None));
+    assert_eq!(
+        after.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{after:?}"
+    );
+    assert_eq!(after.get("warm").and_then(Value::as_bool), Some(false));
+    // And once rebuilt, the session pools again.
+    let warm = client.roundtrip(&explain_line("warm", None));
+    assert_eq!(warm.get("warm").and_then(Value::as_bool), Some(true));
+    drop(client);
+    let metrics = server.drain();
+    assert!(metrics.counter("serve.pool.quarantined") >= 1);
+}
+
+#[test]
+fn unknown_fault_site_is_rejected_not_armed() {
+    let _serial = netexpl_faults::test_lock();
+    let server = TestServer::start(test_config(1, 4));
+    let mut client = Client::connect(server.addr);
+    let resp = client.roundtrip(r#"{"op":"arm-fault","site":"serve.nonsense"}"#);
+    assert_eq!(error_code(&resp), Some("NX802"), "{resp:?}");
+    let pong = client.roundtrip(r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    drop(client);
+    server.drain();
+}

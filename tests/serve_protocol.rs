@@ -1,0 +1,122 @@
+//! Serve request-decoder robustness, in the style of
+//! `robustness_parsers.rs`: garbage bytes, half-closed connections, and
+//! oversized payloads must produce *typed* NX80x errors — and the server
+//! must keep serving afterwards.
+
+mod common;
+
+use common::serve::*;
+use netexpl_serve::ServerConfig;
+use serde_json::Value;
+
+#[test]
+fn garbage_frames_get_typed_errors_and_the_connection_survives() {
+    let server = TestServer::start(test_config(1, 4));
+    let mut client = Client::connect(server.addr);
+    let garbage: &[&str] = &[
+        "not json at all",
+        "[1,2,3]",
+        r#""just a string""#,
+        r#"{"op":"warp-core"}"#,
+        r#"{"no_op":true}"#,
+        r#"{"op":"explain"}"#,
+        r#"{"op":"explain","topology":42,"spec":"x"}"#,
+        r#"{"op":"ping","id":[]}"#,
+        r#"{"op":"ping","timeout_ms":"soon"}"#,
+        "{\"op\":\"ping\"",
+        "}{",
+        "",
+        "   ",
+    ];
+    for (i, bad) in garbage.iter().enumerate() {
+        let resp = client.roundtrip(bad);
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(false),
+            "garbage #{i} {bad:?} must fail: {resp:?}"
+        );
+        assert_eq!(
+            error_code(&resp),
+            Some("NX802"),
+            "garbage #{i} {bad:?}: {resp:?}"
+        );
+    }
+    // The same connection still serves valid requests.
+    let pong = client.roundtrip(r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    drop(client);
+    server.drain();
+}
+
+#[test]
+fn binary_garbage_is_rejected_not_crashed() {
+    let server = TestServer::start(test_config(1, 4));
+    let mut client = Client::connect(server.addr);
+    // Invalid UTF-8 with a newline terminator: framing survives, decode
+    // rejects, the connection lives.
+    client.send_raw(&[0xff, 0xfe, 0x80, b'\n']);
+    let resp = client.recv().expect("response for non-UTF-8 frame");
+    assert_eq!(error_code(&resp), Some("NX802"), "{resp:?}");
+    let pong = client.roundtrip(r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    drop(client);
+    server.drain();
+}
+
+#[test]
+fn oversized_payloads_are_nx803_and_the_server_lives_on() {
+    let config = ServerConfig {
+        max_request_bytes: 256,
+        ..test_config(1, 4)
+    };
+    let server = TestServer::start(config);
+    let mut client = Client::connect(server.addr);
+    let huge = format!(r#"{{"op":"ping","id":"{}"}}"#, "x".repeat(4096));
+    let resp = client.roundtrip(&huge);
+    assert_eq!(error_code(&resp), Some("NX803"), "{resp:?}");
+    // Oversized frames close the connection (the stream is mid-frame)…
+    assert!(client.recv().is_none(), "connection must close after NX803");
+    // …but the server itself keeps accepting.
+    let pong = try_roundtrip(server.addr, r#"{"op":"ping"}"#).unwrap();
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    server.drain();
+}
+
+#[test]
+fn half_closed_connection_mid_frame_is_typed_not_hung() {
+    let server = TestServer::start(test_config(1, 4));
+    let mut client = Client::connect(server.addr);
+    // A frame with no terminating newline, then the client dies.
+    client.send_raw(br#"{"op":"ping"#);
+    client.shutdown_write();
+    let resp = client.recv().expect("typed response for the cut frame");
+    assert_eq!(error_code(&resp), Some("NX802"), "{resp:?}");
+    // The connection closes (the stream position is mid-frame)…
+    assert!(
+        client.recv().is_none(),
+        "connection must close after a cut frame"
+    );
+    // …but the server is still alive for the next client.
+    let pong = try_roundtrip(server.addr, r#"{"op":"ping"}"#).unwrap();
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    server.drain();
+}
+
+#[test]
+fn responses_echo_ids_and_carry_monotone_seq() {
+    let server = TestServer::start(test_config(1, 4));
+    let mut client = Client::connect(server.addr);
+    let mut last_seq = 0u64;
+    for i in 0..5 {
+        let resp = client.roundtrip(&format!(r#"{{"op":"ping","id":"req-{i}"}}"#));
+        assert_eq!(
+            resp.get("id").and_then(Value::as_str),
+            Some(format!("req-{i}").as_str())
+        );
+        let seq = resp.get("seq").and_then(Value::as_u64).unwrap();
+        assert!(seq > last_seq, "seq must increase: {seq} after {last_seq}");
+        last_seq = seq;
+    }
+    drop(client);
+    server.drain();
+}
