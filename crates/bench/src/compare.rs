@@ -48,6 +48,7 @@ impl Comparison {
 /// The fixed top-level timing keys compared between reports.
 const NETWORK_KEYS: &[&str] = &["sequential_ms", "parallel_ms"];
 const LIFT_KEYS: &[&str] = &["fresh_ms", "incremental_ms"];
+const LIFT_PARALLEL_KEYS: &[&str] = &["serial_ms", "sharded_ms"];
 const LINT_KEYS: &[&str] = &["wall_ms"];
 const STAGE_KEYS: &[&str] = &["explain", "lift"];
 const SERVE_KEYS: &[&str] = &["cold_ms", "warm_ms"];
@@ -125,6 +126,13 @@ pub fn compare_reports(old: &Value, new: &Value, threshold_pct: f64) -> Comparis
             lookup(new, &["lift", key]),
         );
     }
+    for key in LIFT_PARALLEL_KEYS {
+        push(
+            format!("lift_parallel.{key}"),
+            lookup(old, &["lift_parallel", key]),
+            lookup(new, &["lift_parallel", key]),
+        );
+    }
     for key in LINT_KEYS {
         push(
             format!("lint_network.{key}"),
@@ -185,6 +193,7 @@ mod tests {
               ],
               "network": {{"sequential_ms": {seq_ms}, "parallel_ms": 40.0}},
               "lift": {{"fresh_ms": 30.0, "incremental_ms": 12.0}},
+              "lift_parallel": {{"serial_ms": 25.0, "sharded_ms": 9.0}},
               "lint_network": {{"wall_ms": 20.0}},
               "serve": {{"cold_ms": 100.0, "warm_ms": 15.0}}
             }}"#
@@ -197,7 +206,7 @@ mod tests {
         let r = report(8.0, 50.0);
         let cmp = compare_reports(&r, &r, 25.0);
         assert!(cmp.regressions().is_empty(), "{cmp:?}");
-        assert_eq!(cmp.deltas.len(), 9);
+        assert_eq!(cmp.deltas.len(), 11);
         assert!(cmp.skipped.is_empty());
     }
 

@@ -389,6 +389,9 @@ pub fn explain_cached(
             candidates_checked,
             provenance,
             interrupt,
+            shards,
+            shards_stolen,
+            ..
         } = lift(ctx, topo, spec, &seed, router, lift_opts);
         if let Some(i) = interrupt {
             // An interrupted lift kept only verified-necessary entries; an
@@ -405,6 +408,10 @@ pub fn explain_cached(
         span.attr("kept", subspec.requirements.len());
         span.attr("complete", complete);
         span.attr("verdict", verdicts.lift.as_str());
+        if shards > 0 {
+            span.attr("shards", shards);
+            span.attr("shards_stolen", shards_stolen);
+        }
         (subspec, complete, candidates_checked, provenance)
     };
     drop(span);

@@ -28,18 +28,45 @@
 //! fresh-solver-per-query behaviour for ablation and differential testing;
 //! both paths answer identically.
 //!
+//! ## Parallel mode
+//!
+//! With [`LiftOptions::workers`] above one the candidate checks are
+//! *sharded*: a warm-up prefix of candidates is judged serially on the two
+//! freshly encoded sessions, the sessions are then cloned per shard —
+//! carrying the warm-up's learned clauses and VSIDS activity — and the
+//! remaining candidates are judged speculatively on worker threads (or, in
+//! an `explain --all` run, on whichever pool worker steals the shard; see
+//! [`crate::shard::ShardPool`]). Each per-candidate verdict (trivial /
+//! unnecessary / keep-worthy) is a solver *fact*, independent of the order
+//! the queries ran in, so a final merge pass replays the exact serial
+//! control flow — shortest-first order, greedy coverage dedup, counting —
+//! over the verdict table. The chosen [`SubSpec`], the rejected set, and
+//! `candidates_checked` are therefore byte-identical to the serial lifter
+//! for every worker count; the only cost of parallelism is a few
+//! speculative queries on candidates the serial path would have
+//! coverage-filtered (counted as `lift.speculative_checks`). Budgets are
+//! [split](netexpl_logic::budget::Budget::split) across shards and an
+//! interrupt (deadline, conflict cap, fault) degrades only the shard that
+//! observed it: its unjudged candidates are treated as unexamined — never
+//! kept — while sibling shards' verdicts still count.
+//!
 //! The result is a [`SubSpec`] in the same language as the global
 //! specification — Figures 2, 4 and 5 of the paper fall out of this search
 //! (see the workspace integration tests).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 
 use netexpl_logic::budget::{Budget, Interrupt, InterruptReason};
 use netexpl_logic::session::{incremental_enabled, SmtSession};
 use netexpl_logic::solver::{entails_under, SmtSolver};
 use netexpl_logic::term::{Ctx, TermId};
 use netexpl_spec::{PathPattern, Requirement, Seg, Specification, SubSpec};
-use netexpl_topology::{RouterId, RouterKind, Topology};
+use netexpl_topology::{Prefix, RouterId, RouterKind, Topology};
 
 use crate::seed::SeedSpec;
+use crate::shard::ShardPool;
 
 /// Options bounding the lifting search.
 #[derive(Debug, Clone)]
@@ -58,6 +85,16 @@ pub struct LiftOptions {
     /// solver per query. Defaults to [`incremental_enabled`]; disable for
     /// ablation or differential runs.
     pub incremental: bool,
+    /// Shards for the candidate checks: `1` (the default) runs the serial
+    /// lifter, `0` resolves to the machine's available parallelism, and
+    /// `n > 1` partitions the candidates across `n` cloned session pairs.
+    /// The chosen subspecification is byte-identical for every value — see
+    /// the module docs' determinism argument.
+    pub workers: usize,
+    /// Work-stealing pool to submit shards to instead of spawning local
+    /// helper threads. Set by `explain_all` so idle router workers execute
+    /// the dominant router's shards; leave `None` for a standalone lift.
+    pub pool: Option<Arc<ShardPool>>,
 }
 
 impl Default for LiftOptions {
@@ -67,6 +104,22 @@ impl Default for LiftOptions {
             max_candidates: 256,
             budget: Budget::unlimited(),
             incremental: incremental_enabled(),
+            workers: 1,
+            pool: None,
+        }
+    }
+}
+
+impl LiftOptions {
+    /// Resolve [`LiftOptions::workers`]: `0` means the machine's available
+    /// parallelism.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
         }
     }
 }
@@ -83,6 +136,12 @@ pub struct LiftResult {
     pub complete: bool,
     /// Number of candidates whose necessity was checked by the solver.
     pub candidates_checked: usize,
+    /// Candidates the solver examined and rejected (trivial or
+    /// unnecessary), in candidate order. Together with
+    /// `subspec.requirements` this is the lifter's full verdict table —
+    /// the differential and budget-soundness suites compare it across
+    /// worker counts and budgets.
+    pub rejected: Vec<Requirement>,
     /// For each subspecification entry (parallel to
     /// `subspec.requirements`), the global requirement blocks that force it
     /// — computed from solver unsat cores. Lets the operator trace every
@@ -92,6 +151,11 @@ pub struct LiftResult {
     /// search. The subspecification is still sound — every kept entry was
     /// verified necessary before the interrupt — but `complete` is `false`.
     pub interrupt: Option<Interrupt>,
+    /// Shards the candidate checks ran on (`0` = the serial path).
+    pub shards: usize,
+    /// Shards executed by a thread other than the one that submitted them
+    /// (work-stealing in `explain --all`, helper threads standalone).
+    pub shards_stolen: u64,
 }
 
 /// The solver backend behind the lifter's entailment queries. Both flavours
@@ -133,6 +197,29 @@ impl Checker {
                 defs,
                 seed_conj,
                 budget: options.budget.clone(),
+            }
+        }
+    }
+
+    /// A shard's private checker under its budget share. The session
+    /// flavour clones both sessions — warm-started with every learned
+    /// clause the warm-up prefix produced; the fresh flavour just carries
+    /// the base term ids (valid in any clone of the originating context).
+    fn fork(&self, budget: Budget) -> Checker {
+        match self {
+            Checker::Fresh {
+                defs, seed_conj, ..
+            } => Checker::Fresh {
+                defs: *defs,
+                seed_conj: *seed_conj,
+                budget,
+            },
+            Checker::Session { base, seed } => {
+                let mut base = base.clone();
+                let mut seed = seed.clone();
+                base.set_budget(budget.clone());
+                seed.set_budget(budget);
+                Checker::Session { base, seed }
             }
         }
     }
@@ -216,21 +303,69 @@ impl Checker {
     }
 }
 
-/// Lift the seed specification of `router` into the specification language.
-pub fn lift(
+/// A path a forbidden candidate would kill, keyed for coverage dedup.
+type PathKey = (Prefix, Vec<RouterId>);
+
+/// What shape of requirement a candidate is, with the data its greedy
+/// dedup needs.
+enum CandKind {
+    /// A forbidden-path window; `matched` are the enumerated paths it
+    /// kills. Redundancy is judged on *matched path sets* (a candidate
+    /// constraint is exactly "all matched paths dead"), which keeps
+    /// syntactically distinct but jointly needed statements — the paper's
+    /// Figure 5 lists both transit paths even though, with the rest of the
+    /// network frozen, their constraints coincide.
+    Forbidden { matched: Vec<PathKey> },
+    /// A localized preference chain. Kept on non-triviality alone (its
+    /// constraints come *from* the seed, so necessity is definitional).
+    Preference,
+    /// A localized reachability obligation.
+    Reachable,
+}
+
+/// One enumerated candidate: the requirement it would contribute, its
+/// constraint term (built in the base context, so the id is valid in every
+/// clone), and the judging policy its kind implies.
+struct Candidate {
+    req: Requirement,
+    term: TermId,
+    label: String,
+    kind: CandKind,
+}
+
+impl Candidate {
+    fn kind_str(&self) -> &'static str {
+        match self.kind {
+            CandKind::Forbidden { .. } => "forbidden",
+            CandKind::Preference => "preference",
+            CandKind::Reachable => "reachable",
+        }
+    }
+
+    /// Forbidden windows dominate the search, so only they pass through
+    /// per-candidate governance (fault site + coarse budget check), exactly
+    /// as the serial lifter always has.
+    fn governed(&self) -> bool {
+        matches!(self.kind, CandKind::Forbidden { .. })
+    }
+
+    fn needs_necessity(&self) -> bool {
+        !matches!(self.kind, CandKind::Preference)
+    }
+}
+
+/// Enumerate every candidate the lifter will judge, in the serial order:
+/// forbidden-path windows shortest-first (truncated to `max_candidates`),
+/// then localized preferences, then localized reachability.
+fn enumerate_candidates(
     ctx: &mut Ctx,
     topo: &Topology,
     spec: &Specification,
     seed: &SeedSpec,
     router: RouterId,
-    options: LiftOptions,
-) -> LiftResult {
-    let defs = seed.def_conjunction;
-    let reqs = seed.req_conjunction;
-    let budget = options.budget.clone();
-    let mut checker = Checker::new(ctx, defs, reqs, &options);
-    let mut checked = 0usize;
-    let mut interrupt: Option<Interrupt> = None;
+    options: &LiftOptions,
+) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = Vec::new();
 
     // ---- forbidden-path candidates -----------------------------------------
     let mut patterns: Vec<Vec<RouterId>> = Vec::new();
@@ -264,34 +399,15 @@ pub fn lift(
         (enumerated - patterns.len()) as u64,
     );
 
-    let mut kept: Vec<(Requirement, TermId)> = Vec::new();
-    // Paths already covered by a chosen forbidden candidate, identified by
-    // (prefix, path-routers). Redundancy is judged on *matched path sets*
-    // (a candidate constraint is exactly "all matched paths dead"), which
-    // keeps syntactically distinct but jointly needed statements — the
-    // paper's Figure 5 lists both transit paths even though, with the rest
-    // of the network frozen, their constraints coincide.
-    let mut covered: std::collections::HashSet<(netexpl_topology::Prefix, Vec<RouterId>)> =
-        std::collections::HashSet::new();
     for window in &patterns {
-        if let Err(i) = governance(&budget) {
-            interrupt = Some(i);
-            break;
-        }
         let names: Vec<&str> = window.iter().map(|&r| topo.name(r)).collect();
         let pattern = PathPattern::routers(&names);
-        let template = format!("!({pattern})");
-        let span = netexpl_obs::Span::enter("lift.candidate");
-        if span.is_recording() {
-            span.attr("template", template.clone());
-            span.attr("kind", "forbidden");
-            checker.set_origin(&template);
-        }
+        let label = format!("!({pattern})");
         // The candidate's own constraint: every enumerated path matching the
         // window must be dead — the same availability semantics the encoder
         // gives a global forbidden requirement.
         let mut dead_terms = Vec::new();
-        let mut matched: Vec<(netexpl_topology::Prefix, Vec<RouterId>)> = Vec::new();
+        let mut matched: Vec<PathKey> = Vec::new();
         for (prefix, infos) in &seed.encoded.paths {
             let dest_ok = |d: &str| spec.prefix_of(d) == Some(*prefix);
             for info in infos {
@@ -301,67 +417,26 @@ pub fn lift(
                 }
             }
         }
-        // Redundant: everything it would forbid is already forbidden by a
-        // chosen (shorter) candidate.
-        if matched.iter().all(|m| covered.contains(m)) {
-            netexpl_obs::counter_add("lift.templates_pruned", 1);
-            span.attr("outcome", "filtered");
-            continue;
-        }
-        let cand = {
+        let term = {
             let negs: Vec<TermId> = dead_terms.iter().map(|&a| ctx.not(a)).collect();
             ctx.and(&negs)
         };
-        checked += 1;
-        // Non-trivial: not already guaranteed by the frozen network.
-        match checker.defs_entails(ctx, cand) {
-            Ok(true) => {
-                span.attr("outcome", "trivial");
-                continue;
-            }
-            Ok(false) => {}
-            Err(i) => {
-                span.attr("outcome", "interrupted");
-                interrupt = Some(i);
-                break;
-            }
-        }
-        // Necessary: implied by the seed.
-        match checker.seed_entails(ctx, cand) {
-            Ok(true) => {}
-            Ok(false) => {
-                span.attr("outcome", "unnecessary");
-                continue;
-            }
-            Err(i) => {
-                span.attr("outcome", "interrupted");
-                interrupt = Some(i);
-                break;
-            }
-        }
-        covered.extend(matched);
-        span.attr("outcome", "kept");
-        kept.push((Requirement::Forbidden(pattern), cand));
+        out.push(Candidate {
+            req: Requirement::Forbidden(pattern),
+            term,
+            label,
+            kind: CandKind::Forbidden { matched },
+        });
     }
 
     // ---- localized preference candidates ------------------------------------
     for (idx, req) in spec.requirements().enumerate() {
-        if interrupt.is_some() {
-            break;
-        }
         let Requirement::Preference { chain } = req else {
             continue;
         };
         let Some(local) = localize_preference(topo, router, chain) else {
             continue;
         };
-        let span = netexpl_obs::Span::enter("lift.candidate");
-        if span.is_recording() {
-            let template = local.to_string();
-            span.attr("template", template.clone());
-            span.attr("kind", "preference");
-            checker.set_origin(&template);
-        }
         // This requirement's own constraint conjunction.
         let own: Vec<TermId> = seed
             .encoded
@@ -371,24 +446,14 @@ pub fn lift(
             .filter(|&(_, &o)| o == idx)
             .map(|(&t, _)| t)
             .collect();
-        let own_conj = ctx.and(&own);
-        checked += 1;
-        // Relevant only if the preference genuinely constrains this router —
-        // i.e. the frozen rest of the network does not already guarantee it.
-        match checker.defs_entails(ctx, own_conj) {
-            Ok(true) => {
-                span.attr("outcome", "trivial");
-                continue;
-            }
-            Ok(false) => {}
-            Err(i) => {
-                span.attr("outcome", "interrupted");
-                interrupt = Some(i);
-                break;
-            }
-        }
-        span.attr("outcome", "kept");
-        kept.push((local, own_conj));
+        let term = ctx.and(&own);
+        let label = local.to_string();
+        out.push(Candidate {
+            req: local,
+            term,
+            label,
+            kind: CandKind::Preference,
+        });
     }
 
     // ---- localized reachability candidates -----------------------------------
@@ -398,17 +463,11 @@ pub fn lift(
     let mut reach_holders: Vec<RouterId> = vec![router];
     reach_holders.extend(topo.neighbors(router).iter().copied());
     for (dname, prefix) in &spec.destinations {
-        if interrupt.is_some() {
-            break;
-        }
         let Some(fam) = seed.encoded.nominal_sel.get(prefix) else {
             continue;
         };
         let infos = &seed.encoded.paths[prefix];
         for &x in &reach_holders {
-            if interrupt.is_some() {
-                break;
-            }
             let sels: Vec<TermId> = infos
                 .iter()
                 .enumerate()
@@ -418,51 +477,544 @@ pub fn lift(
             if sels.is_empty() {
                 continue;
             }
-            let span = netexpl_obs::Span::enter("lift.candidate");
-            if span.is_recording() {
-                let template = format!("{} ~> {}", topo.name(x), dname);
-                span.attr("template", template.clone());
-                span.attr("kind", "reachable");
-                checker.set_origin(&template);
-            }
-            let cand = ctx.or(&sels);
-            checked += 1;
-            match checker.defs_entails(ctx, cand) {
-                // Guaranteed by the frozen network: not local.
-                Ok(true) => {
-                    span.attr("outcome", "trivial");
-                    continue;
-                }
-                Ok(false) => {}
-                Err(i) => {
-                    span.attr("outcome", "interrupted");
-                    interrupt = Some(i);
-                    break;
-                }
-            }
-            match checker.seed_entails(ctx, cand) {
-                Ok(true) => {}
-                // Not necessary.
-                Ok(false) => {
-                    span.attr("outcome", "unnecessary");
-                    continue;
-                }
-                Err(i) => {
-                    span.attr("outcome", "interrupted");
-                    interrupt = Some(i);
-                    break;
-                }
-            }
-            span.attr("outcome", "kept");
-            kept.push((
-                Requirement::Reachable {
+            let term = ctx.or(&sels);
+            out.push(Candidate {
+                req: Requirement::Reachable {
                     src: topo.name(x).to_string(),
                     dst: dname.clone(),
                 },
-                cand,
-            ));
+                term,
+                label: format!("{} ~> {}", topo.name(x), dname),
+                kind: CandKind::Reachable,
+            });
         }
     }
+
+    out
+}
+
+/// What the candidate loop produced, before sufficiency and provenance.
+struct CheckOutcome {
+    kept: Vec<(Requirement, TermId)>,
+    rejected: Vec<Requirement>,
+    checked: usize,
+    interrupt: Option<Interrupt>,
+    shards: usize,
+    shards_stolen: u64,
+}
+
+/// A single candidate's solver verdict — a fact about `defs` / `defs ∧
+/// reqs`, independent of query order and of every other candidate. The
+/// merge pass turns verdicts into keeps under the serial control flow.
+#[derive(Clone, Copy)]
+enum Judgement {
+    /// `defs ⊨ cand`: already guaranteed by the frozen network.
+    Trivial,
+    /// `defs ∧ reqs ⊭ cand`: not implied by the seed.
+    Unnecessary,
+    /// Non-trivial and (where required) necessary.
+    Keep,
+}
+
+/// Judge one candidate: governance (forbidden only), then the
+/// non-triviality and necessity queries, under a `lift.candidate` span.
+/// Used verbatim by the serial loop's judging tail, the warm-up prefix,
+/// and the shard workers — one implementation, one semantics.
+#[allow(clippy::too_many_arguments)]
+fn judge(
+    ctx: &mut Ctx,
+    checker: &mut Checker,
+    budget: &Budget,
+    term: TermId,
+    label: &str,
+    kind: &'static str,
+    governed: bool,
+    needs_necessity: bool,
+) -> Result<Judgement, Interrupt> {
+    if governed {
+        governance(budget)?;
+    }
+    let span = netexpl_obs::Span::enter("lift.candidate");
+    if span.is_recording() {
+        span.attr("template", label.to_string());
+        span.attr("kind", kind);
+        checker.set_origin(label);
+    }
+    // Non-trivial: not already guaranteed by the frozen network.
+    match checker.defs_entails(ctx, term) {
+        Ok(true) => {
+            span.attr("outcome", "trivial");
+            return Ok(Judgement::Trivial);
+        }
+        Ok(false) => {}
+        Err(i) => {
+            span.attr("outcome", "interrupted");
+            return Err(i);
+        }
+    }
+    // Necessary: implied by the seed.
+    if needs_necessity {
+        match checker.seed_entails(ctx, term) {
+            Ok(true) => {}
+            Ok(false) => {
+                span.attr("outcome", "unnecessary");
+                return Ok(Judgement::Unnecessary);
+            }
+            Err(i) => {
+                span.attr("outcome", "interrupted");
+                return Err(i);
+            }
+        }
+    }
+    span.attr("outcome", "kept");
+    Ok(Judgement::Keep)
+}
+
+fn judge_candidate(
+    ctx: &mut Ctx,
+    checker: &mut Checker,
+    budget: &Budget,
+    cand: &Candidate,
+) -> Result<Judgement, Interrupt> {
+    judge(
+        ctx,
+        checker,
+        budget,
+        cand.term,
+        &cand.label,
+        cand.kind_str(),
+        cand.governed(),
+        cand.needs_necessity(),
+    )
+}
+
+/// The serial candidate loop: judge in order, greedily dedup forbidden
+/// windows on matched-path coverage, stop at the first interrupt.
+fn check_serial(
+    ctx: &mut Ctx,
+    budget: &Budget,
+    checker: &mut Checker,
+    candidates: &[Candidate],
+) -> CheckOutcome {
+    let mut covered: HashSet<PathKey> = HashSet::new();
+    let mut kept: Vec<(Requirement, TermId)> = Vec::new();
+    let mut rejected: Vec<Requirement> = Vec::new();
+    let mut checked = 0usize;
+    let mut interrupt: Option<Interrupt> = None;
+    for cand in candidates {
+        // Redundant: everything it would forbid is already forbidden by a
+        // chosen (shorter) candidate. Filtered before it counts as checked
+        // — and before its queries run at all.
+        if let CandKind::Forbidden { matched } = &cand.kind {
+            if let Err(i) = governance(budget) {
+                interrupt = Some(i);
+                break;
+            }
+            if matched.iter().all(|m| covered.contains(m)) {
+                netexpl_obs::counter_add("lift.templates_pruned", 1);
+                let span = netexpl_obs::Span::enter("lift.candidate");
+                if span.is_recording() {
+                    span.attr("template", cand.label.clone());
+                    span.attr("kind", cand.kind_str());
+                    span.attr("outcome", "filtered");
+                }
+                continue;
+            }
+        }
+        checked += 1;
+        match judge_candidate(ctx, checker, budget, cand) {
+            Ok(Judgement::Trivial) | Ok(Judgement::Unnecessary) => {
+                rejected.push(cand.req.clone());
+            }
+            Ok(Judgement::Keep) => {
+                if let CandKind::Forbidden { matched } = &cand.kind {
+                    covered.extend(matched.iter().cloned());
+                }
+                kept.push((cand.req.clone(), cand.term));
+            }
+            Err(i) => {
+                interrupt = Some(i);
+                break;
+            }
+        }
+    }
+    CheckOutcome {
+        kept,
+        rejected,
+        checked,
+        interrupt,
+        shards: 0,
+        shards_stolen: 0,
+    }
+}
+
+/// Candidates judged serially on the freshly encoded sessions before the
+/// fork, so every shard clone inherits the learned clauses the shared
+/// prefix produced.
+const WARM_PREFIX: usize = 4;
+
+/// The per-shard slice of a candidate: everything a worker needs to judge
+/// it, nothing it doesn't (the requirement and matched paths stay on the
+/// merging thread).
+struct ShardItem {
+    idx: usize,
+    term: TermId,
+    label: String,
+    kind: &'static str,
+    governed: bool,
+    needs_necessity: bool,
+}
+
+/// One shard's report back to the merging thread.
+struct ShardReport {
+    shard: usize,
+    verdicts: Vec<(usize, Judgement)>,
+    /// The candidate index at which this shard was interrupted (its later
+    /// candidates are unjudged), and why.
+    interrupt: Option<(usize, Interrupt)>,
+}
+
+/// A shard worker: check the fault site, then judge this shard's
+/// candidates in order on its private cloned checker, stopping the shard
+/// (and only the shard) at the first interrupt.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    shard: usize,
+    items: &[ShardItem],
+    ctx: &mut Ctx,
+    checker: &mut Checker,
+    budget: &Budget,
+    router: &str,
+    stolen: bool,
+    stolen_total: &AtomicU64,
+    tx: &mpsc::Sender<ShardReport>,
+) {
+    let span = netexpl_obs::Span::enter("lift.shard");
+    if span.is_recording() {
+        span.attr("shard", shard);
+        span.attr("router", router.to_string());
+        span.attr("candidates", items.len());
+        span.attr("stolen", stolen);
+    }
+    netexpl_obs::counter_add("lift.shards", 1);
+    if stolen {
+        stolen_total.fetch_add(1, Ordering::Relaxed);
+        netexpl_obs::counter_add("lift.shards_stolen", 1);
+    }
+    let mut report = ShardReport {
+        shard,
+        verdicts: Vec::with_capacity(items.len()),
+        interrupt: None,
+    };
+    if netexpl_faults::triggered(netexpl_faults::sites::LIFT_SHARD) {
+        let i = Interrupt::new(InterruptReason::Fault, "lift.shard");
+        i.record();
+        span.attr("outcome", "poisoned");
+        report.interrupt = items.first().map(|item| (item.idx, i));
+    } else {
+        for item in items {
+            match judge(
+                ctx,
+                checker,
+                budget,
+                item.term,
+                &item.label,
+                item.kind,
+                item.governed,
+                item.needs_necessity,
+            ) {
+                Ok(j) => report.verdicts.push((item.idx, j)),
+                Err(i) => {
+                    report.interrupt = Some((item.idx, i));
+                    break;
+                }
+            }
+        }
+        span.attr(
+            "outcome",
+            if report.interrupt.is_some() {
+                "interrupted"
+            } else {
+                "completed"
+            },
+        );
+    }
+    // The merging thread may have given up on a dead pool; nothing left to
+    // do for this shard either way.
+    let _ = tx.send(report);
+}
+
+/// The sharded candidate loop: warm-up prefix on the main checker, fork a
+/// checker per shard, judge speculatively in parallel, then merge verdicts
+/// under the serial control flow. See the module docs for the determinism
+/// argument.
+fn check_sharded(
+    ctx: &mut Ctx,
+    topo: &Topology,
+    router: RouterId,
+    checker: &mut Checker,
+    candidates: &[Candidate],
+    options: &LiftOptions,
+    workers: usize,
+) -> CheckOutcome {
+    let budget = options.budget.clone();
+    let span = netexpl_obs::Span::enter("lift.parallel");
+    let mut verdicts: Vec<Option<Judgement>> = vec![None; candidates.len()];
+    // (candidate index, interrupt) pairs; the earliest is reported.
+    let mut interrupts: Vec<(usize, Interrupt)> = Vec::new();
+
+    // ---- warm-up prefix -----------------------------------------------------
+    let warm = WARM_PREFIX.min(candidates.len());
+    let mut first_sharded = warm;
+    for (i, cand) in candidates.iter().take(warm).enumerate() {
+        match judge_candidate(ctx, checker, &budget, cand) {
+            Ok(j) => verdicts[i] = Some(j),
+            Err(int) => {
+                // The warm-up degrades like a shard: skip the interrupted
+                // candidate, ship the rest to the shards.
+                interrupts.push((i, int));
+                first_sharded = i + 1;
+                break;
+            }
+        }
+    }
+
+    // ---- fork and fan out ---------------------------------------------------
+    let remaining: Vec<usize> = (first_sharded..candidates.len()).collect();
+    let shards = workers.min(remaining.len());
+    let stolen_total = Arc::new(AtomicU64::new(0));
+    if shards > 0 {
+        let shares = budget.split(shards);
+        let (tx, rx) = mpsc::channel::<ShardReport>();
+        let router_name = topo.name(router).to_string();
+        let mut jobs: Vec<Box<dyn FnOnce(bool) + Send>> = Vec::with_capacity(shards);
+        for (k, share) in shares.into_iter().take(shards).enumerate() {
+            // Round-robin partition: deterministic, balanced, and it keeps
+            // each shard's candidates in (shortest-first) global order.
+            let items: Vec<ShardItem> = remaining
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| j % shards == k)
+                .map(|(_, &idx)| {
+                    let c = &candidates[idx];
+                    ShardItem {
+                        idx,
+                        term: c.term,
+                        label: c.label.clone(),
+                        kind: c.kind_str(),
+                        governed: c.governed(),
+                        needs_necessity: c.needs_necessity(),
+                    }
+                })
+                .collect();
+            let mut shard_ctx = ctx.clone();
+            let mut shard_checker = checker.fork(share.clone());
+            let tx = tx.clone();
+            let stolen_total = stolen_total.clone();
+            let router_name = router_name.clone();
+            jobs.push(Box::new(move |was_stolen: bool| {
+                run_shard(
+                    k,
+                    &items,
+                    &mut shard_ctx,
+                    &mut shard_checker,
+                    &share,
+                    &router_name,
+                    was_stolen,
+                    &stolen_total,
+                    &tx,
+                );
+            }));
+        }
+        drop(tx);
+
+        let mut reports: Vec<Option<ShardReport>> = Vec::with_capacity(shards);
+        reports.resize_with(shards, || None);
+        // The owner always participates: it drains queued tasks (its own
+        // or, under a shared pool, another router's) whenever the queue is
+        // non-empty, and blocks on results only when every queued task is
+        // already running elsewhere — so no executor ever idles while work
+        // is queued, and the blocking recv cannot deadlock.
+        let drain = |pool: &ShardPool, reports: &mut Vec<Option<ShardReport>>| {
+            let mut pending = shards;
+            while pending > 0 {
+                if let Some(task) = pool.try_take() {
+                    pool.run(task);
+                    continue;
+                }
+                match rx.recv() {
+                    Ok(report) => {
+                        let k = report.shard;
+                        reports[k] = Some(report);
+                        pending -= 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+        };
+        match &options.pool {
+            Some(pool) => {
+                for job in jobs {
+                    pool.submit(job);
+                }
+                drain(pool, &mut reports);
+            }
+            None => {
+                // Standalone: a private pool plus shards-1 helper threads;
+                // the current thread is the remaining executor. Helpers
+                // mirror explain_all's workers: each opens a memory-backed
+                // obs session on its own track so shard spans and solver
+                // samples survive thread locality.
+                let pool = ShardPool::new(1);
+                let capture_epoch = netexpl_obs::session_epoch();
+                std::thread::scope(|s| {
+                    let mut handles = Vec::with_capacity(shards - 1);
+                    for t in 0..shards - 1 {
+                        let pool = pool.clone();
+                        handles.push(s.spawn(move || {
+                            let obs = capture_epoch.map(|epoch| {
+                                netexpl_obs::install_memory_worker(epoch, t as u32 + 1)
+                            });
+                            while let Some(task) = pool.steal_wait() {
+                                pool.run(task);
+                            }
+                            obs.map(|(guard, handle)| {
+                                drop(guard);
+                                handle.data()
+                            })
+                        }));
+                    }
+                    for job in jobs {
+                        pool.submit(job);
+                    }
+                    drain(&pool, &mut reports);
+                    pool.producer_done();
+                    for h in handles {
+                        let captured = h.join().expect("lift shard helper panicked");
+                        if let Some(data) = captured {
+                            netexpl_obs::absorb(&data, span.id());
+                        }
+                    }
+                });
+            }
+        }
+
+        for (k, slot) in reports.iter_mut().enumerate() {
+            match slot.take() {
+                Some(report) => {
+                    for (idx, j) in report.verdicts {
+                        verdicts[idx] = Some(j);
+                    }
+                    if let Some((idx, i)) = report.interrupt {
+                        interrupts.push((idx, i));
+                    }
+                }
+                None => {
+                    // The channel died before this shard reported (its job
+                    // was dropped unexecuted) — treat the whole shard as
+                    // interrupted at its first candidate.
+                    if let Some((_, &idx)) =
+                        remaining.iter().enumerate().find(|(j, _)| j % shards == k)
+                    {
+                        let i = Interrupt::new(InterruptReason::Cancelled, "lift.shard");
+                        i.record();
+                        interrupts.push((idx, i));
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- merge: replay the serial control flow over the verdict table ------
+    let mut covered: HashSet<PathKey> = HashSet::new();
+    let mut kept: Vec<(Requirement, TermId)> = Vec::new();
+    let mut rejected: Vec<Requirement> = Vec::new();
+    let mut checked = 0usize;
+    let mut speculative = 0u64;
+    for (i, cand) in candidates.iter().enumerate() {
+        if let CandKind::Forbidden { matched } = &cand.kind {
+            if matched.iter().all(|m| covered.contains(m)) {
+                netexpl_obs::counter_add("lift.templates_pruned", 1);
+                // Its speculative queries (if any) were wasted work — the
+                // price of parallelism, never a change in the answer.
+                if verdicts[i].is_some() {
+                    speculative += 1;
+                }
+                continue;
+            }
+        }
+        // No verdict = the owning shard was interrupted before judging
+        // this candidate: unexamined, so it can never be kept.
+        let Some(j) = verdicts[i] else { continue };
+        checked += 1;
+        match j {
+            Judgement::Trivial | Judgement::Unnecessary => rejected.push(cand.req.clone()),
+            Judgement::Keep => {
+                if let CandKind::Forbidden { matched } = &cand.kind {
+                    covered.extend(matched.iter().cloned());
+                }
+                kept.push((cand.req.clone(), cand.term));
+            }
+        }
+    }
+    if speculative > 0 {
+        netexpl_obs::counter_add("lift.speculative_checks", speculative);
+    }
+    let shards_stolen = stolen_total.load(Ordering::Relaxed);
+    span.attr("shards", shards);
+    span.attr("stolen", shards_stolen);
+    span.attr("checked", checked);
+    let interrupt = interrupts
+        .into_iter()
+        .min_by_key(|(idx, _)| *idx)
+        .map(|(_, i)| i);
+    CheckOutcome {
+        kept,
+        rejected,
+        checked,
+        interrupt,
+        shards,
+        shards_stolen,
+    }
+}
+
+/// Lift the seed specification of `router` into the specification language.
+pub fn lift(
+    ctx: &mut Ctx,
+    topo: &Topology,
+    spec: &Specification,
+    seed: &SeedSpec,
+    router: RouterId,
+    options: LiftOptions,
+) -> LiftResult {
+    let defs = seed.def_conjunction;
+    let reqs = seed.req_conjunction;
+    let budget = options.budget.clone();
+    let candidates = enumerate_candidates(ctx, topo, spec, seed, router, &options);
+    let mut checker = Checker::new(ctx, defs, reqs, &options);
+
+    let workers = options.effective_workers();
+    let outcome = if workers > 1 && candidates.len() > WARM_PREFIX {
+        check_sharded(
+            ctx,
+            topo,
+            router,
+            &mut checker,
+            &candidates,
+            &options,
+            workers,
+        )
+    } else {
+        check_serial(ctx, &budget, &mut checker, &candidates)
+    };
+    let CheckOutcome {
+        kept,
+        rejected,
+        checked,
+        mut interrupt,
+        shards,
+        shards_stolen,
+    } = outcome;
 
     // ---- sufficiency ---------------------------------------------------------
     // An interrupted search cannot claim sufficiency: candidates it never
@@ -533,8 +1085,11 @@ pub fn lift(
         },
         complete,
         candidates_checked: checked,
+        rejected,
         provenance,
         interrupt,
+        shards,
+        shards_stolen,
     }
 }
 
@@ -767,5 +1322,36 @@ mod option_tests {
         assert_eq!(i.reason, InterruptReason::Fault);
         assert!(!result.complete);
         assert!(result.subspec.is_empty(), "fault fires before any check");
+    }
+
+    #[test]
+    fn sharded_lift_matches_serial_and_reports_shards() {
+        let (mut ctx, topo, spec, seed, r1) = scenario_seed();
+        let serial = lift(&mut ctx, &topo, &spec, &seed, r1, LiftOptions::default());
+        assert_eq!(serial.shards, 0, "workers=1 is the serial path");
+        for workers in [2, 3] {
+            let sharded = lift(
+                &mut ctx,
+                &topo,
+                &spec,
+                &seed,
+                r1,
+                LiftOptions {
+                    workers,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(sharded.subspec.to_string(), serial.subspec.to_string());
+            assert_eq!(sharded.candidates_checked, serial.candidates_checked);
+            assert_eq!(sharded.rejected, serial.rejected);
+            assert_eq!(sharded.provenance, serial.provenance);
+            assert_eq!(sharded.complete, serial.complete);
+            assert!(sharded.interrupt.is_none());
+            assert!(
+                sharded.shards >= 1 && sharded.shards <= workers,
+                "shards={} workers={workers}",
+                sharded.shards
+            );
+        }
     }
 }

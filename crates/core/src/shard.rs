@@ -1,0 +1,232 @@
+//! Work-stealing shard pool for the parallel lifter.
+//!
+//! A [`ShardPool`] is a closed-world task queue shared by every worker of
+//! an `explain --all` run (or by the ad-hoc helper threads of a standalone
+//! sharded lift). Owners — the threads driving a router's lift — submit
+//! shard jobs and then *participate*: they drain the queue themselves while
+//! waiting for their own shards' results, so a task is never stranded.
+//! Idle workers whose router queue has emptied call [`ShardPool::steal_wait`]
+//! and execute other routers' shards instead of parking, which is what lets
+//! the dominant router's lift spread across the whole pool.
+//!
+//! The pool is *closed-world*: it is created with the number of producers
+//! (routers still able to submit), and [`ShardPool::producer_done`] counts
+//! them down. When the count reaches zero the pool closes and blocked
+//! stealers drain out — there is no other shutdown path, so a stealer can
+//! never wait on a pool that will still receive work.
+//!
+//! Determinism note: the pool affects only *where* a shard's solver queries
+//! run. Shard results are merged by the lifter in candidate order, so the
+//! chosen subspecification is independent of stealing, scheduling, and
+//! worker count (see `lift.rs`).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::ThreadId;
+
+/// A queued shard job. The closure receives `true` when it is being run by
+/// a thread other than the one that submitted it (a *steal*).
+type Job = Box<dyn FnOnce(bool) + Send + 'static>;
+
+/// A task popped from the pool, remembering who submitted it.
+pub struct ShardTask {
+    owner: ThreadId,
+    job: Job,
+}
+
+struct State {
+    queue: VecDeque<ShardTask>,
+    closed: bool,
+}
+
+/// A closed-world work-stealing queue of lift shards. See the module docs.
+pub struct ShardPool {
+    state: Mutex<State>,
+    available: Condvar,
+    /// Routers that may still submit shards; the pool closes at zero.
+    producers: AtomicUsize,
+    submitted: AtomicU64,
+    stolen: AtomicU64,
+}
+
+impl fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("producers", &self.producers.load(Ordering::Relaxed))
+            .field("submitted", &self.submitted.load(Ordering::Relaxed))
+            .field("stolen", &self.stolen.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardPool {
+    /// A pool that will close once `producers` calls to
+    /// [`ShardPool::producer_done`] have been made.
+    pub fn new(producers: usize) -> Arc<ShardPool> {
+        let pool = Arc::new(ShardPool {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: producers == 0,
+            }),
+            available: Condvar::new(),
+            producers: AtomicUsize::new(producers),
+            submitted: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        });
+        if producers == 0 {
+            pool.available.notify_all();
+        }
+        pool
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A panicking job poisons nothing we can't keep serving.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Queue a shard job on behalf of the current thread.
+    pub fn submit(&self, job: Job) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let task = ShardTask {
+            owner: std::thread::current().id(),
+            job,
+        };
+        self.lock().queue.push_back(task);
+        self.available.notify_one();
+    }
+
+    /// Pop a task without blocking. Owners call this in their wait loop so
+    /// queued work (their own or another router's) runs instead of idling.
+    pub fn try_take(&self) -> Option<ShardTask> {
+        self.lock().queue.pop_front()
+    }
+
+    /// Block until a task is available or the pool closes. Idle workers
+    /// loop on this after their router queue empties.
+    pub fn steal_wait(&self) -> Option<ShardTask> {
+        let mut state = self.lock();
+        loop {
+            if let Some(task) = state.queue.pop_front() {
+                return Some(task);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Execute a popped task, counting it as stolen when the executing
+    /// thread is not the submitter.
+    pub fn run(&self, task: ShardTask) {
+        let stolen = std::thread::current().id() != task.owner;
+        if stolen {
+            self.stolen.fetch_add(1, Ordering::Relaxed);
+        }
+        (task.job)(stolen);
+    }
+
+    /// One producer will submit no further work. At zero the pool closes
+    /// and blocked stealers return `None`.
+    pub fn producer_done(&self) {
+        if self.producers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.lock().closed = true;
+            self.available.notify_all();
+        }
+    }
+
+    /// Total shard jobs ever submitted.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Shard jobs executed by a thread other than their submitter.
+    pub fn stolen(&self) -> u64 {
+        self.stolen.load(Ordering::Relaxed)
+    }
+}
+
+/// Drop guard for one producer slot: guarantees [`ShardPool::producer_done`]
+/// runs even if the producing router's pipeline panics, so stealers blocked
+/// in [`ShardPool::steal_wait`] always drain out.
+pub struct ProducerGuard(Arc<ShardPool>);
+
+impl ProducerGuard {
+    pub fn new(pool: Arc<ShardPool>) -> Self {
+        ProducerGuard(pool)
+    }
+}
+
+impl Drop for ProducerGuard {
+    fn drop(&mut self) {
+        self.0.producer_done();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn own_tasks_are_not_counted_stolen() {
+        let pool = ShardPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move |stolen| tx.send(stolen).unwrap()));
+        let task = pool.try_take().expect("task queued");
+        pool.run(task);
+        assert!(!rx.recv().unwrap(), "same-thread execution is not a steal");
+        assert_eq!(pool.submitted(), 1);
+        assert_eq!(pool.stolen(), 0);
+    }
+
+    #[test]
+    fn stealers_drain_and_exit_when_producers_finish() {
+        let pool = ShardPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..4 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move |stolen| tx.send(stolen).unwrap()));
+        }
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let pool = &pool;
+                s.spawn(move || {
+                    while let Some(task) = pool.steal_wait() {
+                        pool.run(task);
+                    }
+                });
+            }
+            pool.producer_done(); // closes: stealers finish the queue and exit
+        });
+        let results: Vec<bool> = rx.try_iter().collect();
+        assert_eq!(results.len(), 4);
+        assert!(
+            results.iter().all(|&stolen| stolen),
+            "helper threads never submitted, so every run is a steal"
+        );
+        assert_eq!(pool.stolen(), 4);
+        assert!(pool.steal_wait().is_none(), "closed pool yields nothing");
+    }
+
+    #[test]
+    fn producer_guard_closes_on_drop() {
+        let pool = ShardPool::new(2);
+        {
+            let _a = ProducerGuard::new(pool.clone());
+            let _b = ProducerGuard::new(pool.clone());
+        }
+        assert!(pool.steal_wait().is_none());
+    }
+
+    #[test]
+    fn zero_producer_pool_is_born_closed() {
+        let pool = ShardPool::new(0);
+        assert!(pool.steal_wait().is_none());
+    }
+}

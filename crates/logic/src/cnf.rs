@@ -11,7 +11,7 @@ use crate::sat::Lit;
 use crate::term::{Ctx, TermId, TermNode, VarId};
 
 /// The result of CNF conversion.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Cnf {
     /// Clauses over SAT variable indices.
     pub clauses: Vec<Vec<Lit>>,
@@ -46,7 +46,7 @@ impl ELit {
 
 /// Incremental Tseitin encoder. Multiple roots can be encoded into the same
 /// CNF (sharing definitions), then each asserted or used as an assumption.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CnfBuilder {
     cnf: Cnf,
     memo: HashMap<TermId, ELit>,

@@ -60,7 +60,15 @@ pub fn incremental_enabled() -> bool {
 
 /// A persistent solver session: assertions are encoded once and every query
 /// runs under assumptions on the same long-lived [`SatSolver`].
-#[derive(Debug, Default)]
+///
+/// `Clone` forks the whole session — encoder memo tables, CNF, and the
+/// live solver with its learned clauses and VSIDS activity. A clone made
+/// after a warm-up prefix of queries answers from that shared learned
+/// state but evolves independently afterwards, which is the mechanism
+/// behind the parallel lifter's per-shard sessions. Term ids created in
+/// the originating [`Ctx`](crate::term::Ctx) before the fork stay valid
+/// in any clone of that context (the arena is append-only).
+#[derive(Debug, Default, Clone)]
 pub struct SmtSession {
     bb: BitBlaster,
     builder: CnfBuilder,
@@ -507,5 +515,40 @@ mod tests {
         assert_eq!(metrics.counter("session.queries"), 2);
         assert!(metrics.counter("session.reused_clauses") > 0);
         assert_eq!(handle.spans_named("session.query").len(), 2);
+    }
+
+    /// Cloning a warmed session — the warm-start behind sharded lifting —
+    /// yields an independent solver that starts from the original's
+    /// encoded clause database: its very first query counts reused
+    /// clauses, it answers like the original, and assertions made after
+    /// the clone stay local to the session they were made on.
+    #[test]
+    fn cloned_session_is_warm_and_independent() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let c = ctx.bool_var("c");
+        let ab = ctx.and2(a, b);
+        let mut session = SmtSession::new();
+        session.assert(&mut ctx, ab);
+        assert_eq!(session.entails(&mut ctx, a), Ok(true));
+
+        let mut clone = session.clone();
+        let (guard, handle) = netexpl_obs::install_memory();
+        assert_eq!(clone.entails(&mut ctx, b), Ok(true));
+        drop(guard);
+        let metrics = handle.metrics().unwrap();
+        assert!(
+            metrics.counter("session.reused_clauses") > 0,
+            "the clone's first query must reuse the original's clause database"
+        );
+
+        // Divergence stays local: constraining the clone must not leak
+        // into the original.
+        let nc = ctx.not(c);
+        clone.assert(&mut ctx, nc);
+        assert_eq!(clone.entails(&mut ctx, nc), Ok(true));
+        assert_eq!(session.entails(&mut ctx, nc), Ok(false));
+        assert_eq!(session.entails(&mut ctx, ab), Ok(true));
     }
 }

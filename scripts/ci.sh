@@ -73,7 +73,7 @@ echo "==> fault-injection smoke: every armed site degrades, never panics"
 ./target/release/netexpl explain --topology paper --spec "$OBS_DIR/spec.txt" \
     --router R1 --neighbor P1 --dir export --json > "$OBS_DIR/baseline.json"
 for site in smt.check sat.search dpll.search encode.paths seed.encode \
-            simplify.pass lift.candidate session.query; do
+            simplify.pass lift.candidate lift.shard session.query; do
   status=0
   NETEXPL_FAULT="$site" ./target/release/netexpl explain --topology paper \
       --spec "$OBS_DIR/spec.txt" --router R1 --neighbor P1 --dir export --json \
@@ -94,6 +94,20 @@ for site in smt.check sat.search dpll.search encode.paths seed.encode \
     echo "site $site: unexpected exit status $status"; exit 1
   fi
 done
+# lift.shard is off-path at the default --lift-workers 1 (covered above);
+# exercise it on the sharded path too: with the site armed for the whole
+# run every shard is poisoned, so the result must degrade to a partial —
+# warm-up verdicts only — and never panic.
+status=0
+NETEXPL_FAULT="lift.shard" ./target/release/netexpl explain --topology paper \
+    --spec "$OBS_DIR/spec.txt" --router R1 --neighbor P1 --dir export \
+    --lift-workers 4 --json > "$OBS_DIR/fault.json" 2> "$OBS_DIR/fault.err" || status=$?
+if grep -q 'panicked' "$OBS_DIR/fault.err"; then
+  echo "sharded lift.shard: panicked"; cat "$OBS_DIR/fault.err"; exit 1
+fi
+[ "$status" -eq 0 ] && grep -q '"partial": true' "$OBS_DIR/fault.json" \
+  || { echo "sharded lift.shard fault did not degrade to a partial result"; exit 1; }
+
 # Typos in NETEXPL_FAULT must be rejected, not silently ignored.
 status=0
 NETEXPL_FAULT="no.such.site" ./target/release/netexpl synth --topology paper \
@@ -107,6 +121,14 @@ echo "==> solver differential suite: session vs fresh vs DPLL oracle"
 PROPTEST_CASES="${PROPTEST_CASES:-8}" cargo test -q --test session_differential
 NETEXPL_FRESH_SOLVER=1 PROPTEST_CASES="${PROPTEST_CASES:-8}" \
     cargo test -q --test session_differential
+
+echo "==> lift determinism suite: sharded vs serial, both solver modes"
+# The sharded lifter must fingerprint identically to the serial one at
+# every worker count — on incremental sessions and (via the env leg) on
+# fresh solvers per query.
+PROPTEST_CASES="${PROPTEST_CASES:-8}" cargo test -q --test lift_parallel
+NETEXPL_FRESH_SOLVER=1 PROPTEST_CASES="${PROPTEST_CASES:-8}" \
+    cargo test -q --test lift_parallel
 
 echo "==> bench smoke: lift section present, session speedup >= 1"
 # The full report on stdout must carry the lift section, and the
@@ -124,6 +146,29 @@ awk '
     exit 0
   }
   END { if (!found) { print "no lift speedup in bench --json"; exit 1 } }
+' "$OBS_DIR/bench.json"
+
+echo "==> bench smoke: lift_parallel deterministic, sharded speedup on multicore"
+# Sharding must never change the answer. The >1.5x speedup gate only
+# applies where it is physically possible: on a single-core runner the
+# section records the overhead floor instead (see README), so the gate
+# keys on the report's own `cores` field.
+awk '
+  /"lift_parallel": \{/ { in_lp = 1 }
+  in_lp && /"cores":/   { c = $2; gsub(/[^0-9]/, "", c); cores = c + 0 }
+  in_lp && /"speedup":/ { v = $2; gsub(/[,"]/, "", v); speedup = v + 0 }
+  in_lp && /"subspec_agrees":/ {
+    found = 1
+    if ($0 !~ /true/) { print "lift_parallel: sharded subspec diverged from serial"; exit 1 }
+    if (cores > 1 && speedup < 1.5) {
+      printf "lift_parallel speedup %.2fx < 1.5x on %d cores\n", speedup, cores; exit 1
+    }
+    if (cores <= 1) {
+      printf "lift_parallel: single core, overhead floor %.2fx (speedup gate skipped)\n", speedup
+    }
+    exit 0
+  }
+  END { if (!found) { print "no lift_parallel section in bench --json"; exit 1 } }
 ' "$OBS_DIR/bench.json"
 
 echo "==> network-lint smoke: dataflow pass clean on paper, exit codes honored"
