@@ -610,6 +610,203 @@ Req1 { !(P1 -> ... -> P2) }
     ]))
 }
 
+/// The incremental re-explanation experiment on the paper scenario:
+///
+/// 1. explain every router on the base configuration (the prior run);
+/// 2. re-explain the *same* configuration from the same base context,
+///    measuring the warm lift-session reuse a serve deployment sees;
+/// 3. apply a one-clause cosmetic edit (an order-preserving seq
+///    renumber) and run [`explain_delta`], which diffs the route-map
+///    fingerprints, recomputes only the routers the edit can reach, and
+///    splices the prior reports in for the rest;
+/// 4. explain the edited configuration from scratch, the baseline the
+///    delta competes against — and the reference `delta_agrees` checks
+///    the merged explanation against, router by router.
+///
+/// `delta_faster` and the dirty-set size are the acceptance criteria the
+/// release-profile CI smoke gates on; the debug test only asserts
+/// structure and agreement.
+pub fn explain_delta_report_with(budget: &Budget) -> Result<Value, String> {
+    use netexpl_core::{explain_delta, LiftOptions, LiftSessionStore};
+    use netexpl_synth::encode::EncodeCache;
+
+    const WORKERS: usize = 4;
+    let (topo, _h, old_net, spec) = scenario3();
+    let spec = only_blocks(&spec, &["Req1"]);
+    let vocab = paper_vocab(&topo, old_net.prefixes());
+
+    // The edit: bump the seq of one route-map entry without reordering —
+    // exactly the kind of cosmetic churn a config-management system
+    // produces, and the best case for the dirty-set closure (one router,
+    // local reason, no neighborhood).
+    let mut new_net = old_net.clone();
+    let mut edited_router = None;
+    'edit: for r in old_net.configured_routers() {
+        let cfg = old_net.router(r).expect("configured router has a config");
+        for (n, map) in cfg.exports() {
+            if map.entries.is_empty() {
+                continue;
+            }
+            let keeps_order = map.entries.len() == 1 || map.entries[0].seq + 1 < map.entries[1].seq;
+            if !keeps_order {
+                continue;
+            }
+            let mut m = map.clone();
+            m.entries[0].seq += 1;
+            new_net.router_mut(r).set_export(n, m);
+            edited_router = Some(topo.name(r).to_string());
+            break 'edit;
+        }
+    }
+    let edited_router =
+        edited_router.ok_or_else(|| "no renumberable route-map entry".to_string())?;
+
+    let store = LiftSessionStore::new();
+    let options = || ExplainAllOptions {
+        explain: ExplainOptions {
+            budget: budget.clone(),
+            lift: LiftOptions {
+                session_store: Some(store.clone()),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        workers: WORKERS,
+        fail_fast: false,
+    };
+    let encode = ExplainOptions::default().encode;
+
+    // Prior run on the base configuration — the artifact the delta reuses.
+    let mut old_ctx = Ctx::new();
+    let old_sorts = vocab.sorts(&mut old_ctx);
+    let old_cache = EncodeCache::build(&mut old_ctx, &topo, &vocab, old_sorts, &old_net, encode)
+        .map_err(|e| format!("delta bench build: {e}"))?;
+    let mut opts = options();
+    opts.explain.lift.session_key = Some(netexpl_bgp::fingerprint_config(&old_net).exact);
+    let t0 = Instant::now();
+    let prior = netexpl_core::explain_all_cached(
+        &mut old_ctx,
+        &topo,
+        &vocab,
+        old_sorts,
+        &old_net,
+        &spec,
+        &Selector::Router,
+        opts,
+        &old_cache,
+    )
+    .map_err(|e| format!("delta bench prior: {e}"))?;
+    let prior_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Repeat leg: the same configuration again from the same base context.
+    // The pipeline re-mints identical term ids, so the lift sessions
+    // deposited above replay — the warm-reuse path a server lives on.
+    let mut opts = options();
+    opts.explain.lift.session_key = Some(netexpl_bgp::fingerprint_config(&old_net).exact);
+    let (h0, m0) = (store.hits(), store.misses());
+    let t0 = Instant::now();
+    let _repeat = netexpl_core::explain_all_cached(
+        &mut old_ctx,
+        &topo,
+        &vocab,
+        old_sorts,
+        &old_net,
+        &spec,
+        &Selector::Router,
+        opts,
+        &old_cache,
+    )
+    .map_err(|e| format!("delta bench repeat: {e}"))?;
+    let repeat_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (repeat_hits, repeat_misses) = (store.hits() - h0, store.misses() - m0);
+
+    // From-scratch baseline on the edited configuration: a fresh context,
+    // a fresh encoding, every router re-explained. This is what a
+    // non-incremental deployment pays for any edit — and the reference
+    // the delta result must agree with.
+    let mut full_ctx = Ctx::new();
+    let full_sorts = vocab.sorts(&mut full_ctx);
+    let t0 = Instant::now();
+    let full_cache = EncodeCache::build(&mut full_ctx, &topo, &vocab, full_sorts, &new_net, encode)
+        .map_err(|e| format!("delta bench full build: {e}"))?;
+    let full = netexpl_core::explain_all_cached(
+        &mut full_ctx,
+        &topo,
+        &vocab,
+        full_sorts,
+        &new_net,
+        &spec,
+        &Selector::Router,
+        options(),
+        &full_cache,
+    )
+    .map_err(|e| format!("delta bench full: {e}"))?;
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // The delta: diff, patch, recompute only the dirty set.
+    let t0 = Instant::now();
+    let report = explain_delta(
+        &mut old_ctx,
+        &topo,
+        &vocab,
+        old_sorts,
+        &old_net,
+        &new_net,
+        &spec,
+        &Selector::Router,
+        options(),
+        prior,
+        &old_cache,
+    )
+    .map_err(|e| format!("delta bench delta: {e}"))?;
+    let delta_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut delta_agrees = report.explanation.routers.len() == full.routers.len();
+    for (d, s) in report.explanation.routers.iter().zip(&full.routers) {
+        delta_agrees &= d.router == s.router && d.outcome.status() == s.outcome.status();
+        if let (Some(de), Some(se)) = (d.outcome.explanation(), s.outcome.explanation()) {
+            delta_agrees &= de.subspec.to_string() == se.subspec.to_string()
+                && de.lift_complete == se.lift_complete
+                && de.verdicts.simplify == se.verdicts.simplify
+                && de.verdicts.lift == se.verdicts.lift;
+        }
+    }
+
+    let dirty: Vec<Value> = report
+        .dirty
+        .iter()
+        .map(|(r, reason)| {
+            Value::object([
+                ("router", Value::from(r.as_str())),
+                ("reason", Value::from(reason.to_string().as_str())),
+            ])
+        })
+        .collect();
+    Ok(Value::object([
+        ("scenario", Value::from("scenario3")),
+        ("edited_router", Value::from(edited_router.as_str())),
+        ("workers", Value::from(WORKERS)),
+        ("routers", Value::from(report.explanation.routers.len())),
+        ("dirty_count", Value::from(report.dirty.len())),
+        ("dirty", Value::from(dirty)),
+        ("reused", Value::from(report.reused)),
+        ("recomputed", Value::from(report.recomputed)),
+        ("crossings_reused", Value::from(report.patch.reused)),
+        ("crossings_recomputed", Value::from(report.patch.recomputed)),
+        ("prior_ms", Value::from(prior_ms)),
+        ("repeat_ms", Value::from(repeat_ms)),
+        ("repeat_session_hits", Value::from(repeat_hits)),
+        ("repeat_session_misses", Value::from(repeat_misses)),
+        ("full_ms", Value::from(full_ms)),
+        ("delta_ms", Value::from(delta_ms)),
+        ("speedup", Value::from(full_ms / delta_ms.max(1e-9))),
+        ("delta_faster", Value::from(delta_ms < full_ms)),
+        ("delta_session_hits", Value::from(report.session_hits)),
+        ("delta_session_misses", Value::from(report.session_misses)),
+        ("delta_agrees", Value::from(delta_agrees)),
+    ]))
+}
+
 /// Build the full report over all three paper scenarios.
 pub fn explain_report() -> Result<Value, String> {
     explain_report_with(&Budget::unlimited())
@@ -632,6 +829,7 @@ pub fn explain_report_with(budget: &Budget) -> Result<Value, String> {
         ("lift_parallel", lift_parallel_report_with(budget)?),
         ("lint_network", lint_network_report_with(budget)?),
         ("serve", serve_report_with(budget)?),
+        ("explain_delta", explain_delta_report_with(budget)?),
     ]))
 }
 
@@ -759,6 +957,36 @@ mod tests {
         }
         assert!(network["cache_hits"].as_u64().unwrap() > 0);
         assert!(network["counters"]["cache.hit"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn explain_delta_section_reuses_clean_routers_and_agrees() {
+        let budget = Budget::unlimited().deadline_in(std::time::Duration::from_secs(60));
+        let delta = explain_delta_report_with(&budget).unwrap();
+        let routers = delta["routers"].as_u64().unwrap();
+        let dirty = delta["dirty_count"].as_u64().unwrap();
+        assert!(routers >= 6, "{delta:?}");
+        // A cosmetic one-clause edit dirties exactly its own router.
+        assert_eq!(dirty, 1, "{delta:?}");
+        assert_eq!(
+            delta["dirty"][0]["router"].as_str(),
+            delta["edited_router"].as_str()
+        );
+        assert_eq!(
+            delta["reused"].as_u64().unwrap() + delta["recomputed"].as_u64().unwrap(),
+            routers
+        );
+        assert!(delta["crossings_reused"].as_u64().unwrap() > 0);
+        assert!(delta["full_ms"].as_f64().unwrap() > 0.0);
+        assert!(delta["delta_ms"].as_f64().unwrap() > 0.0);
+        // The repeat leg replays the deposited lift sessions.
+        assert!(
+            delta["repeat_session_hits"].as_u64().unwrap() > 0,
+            "{delta:?}"
+        );
+        // Timing (delta_faster) is gated by the release-profile CI smoke;
+        // in debug the correctness bit is the invariant.
+        assert_eq!(delta["delta_agrees"], Value::Bool(true), "{delta:?}");
     }
 
     #[test]

@@ -1,0 +1,739 @@
+//! Structural route-map fingerprints for delta invalidation.
+//!
+//! The incremental re-explanation engine (`netexpl_core::delta`) decides
+//! which routers to recompute by diffing two [`NetworkConfig`]s at the
+//! granularity of one route map per (router, direction, neighbor) session.
+//! Each map carries **two** fingerprints with different contracts:
+//!
+//! * **exact** — changes whenever *anything* the symbolizer, renderer, or
+//!   encoder could observe changes: the map name, entry order, sequence
+//!   numbers, and every clause in written order. A router whose own maps
+//!   are exact-equal produces a bit-identical partially-symbolic
+//!   configuration and hence a bit-identical seed, so its prior
+//!   explanation can be reused verbatim (provided no *semantic* change
+//!   elsewhere reaches it — see below).
+//! * **semantic** — invariant under edits that provably cannot change the
+//!   map's input/output behaviour: sequence renumbering, reordering the
+//!   (conjunctive) match clauses within an entry, renaming the map, and
+//!   swapping adjacent entries that no single route can match both of.
+//!   A map whose semantic fingerprint is unchanged folds to a logically
+//!   equivalent policy, so routers that only see it *through the network*
+//!   (their own configs untouched) keep semantically-identical
+//!   explanations.
+//!
+//! Comments and whitespace never reach a fingerprint at all: both are
+//! computed over the parsed structure, which the config parser strips
+//! them from. The delta engine's soundness rests on the invariances above,
+//! which the test suite at the bottom of this file pins down.
+//!
+//! The canonicalization is deliberately *conservative*: when independence
+//! of two entries cannot be proven cheaply, the written order is kept and
+//! the fingerprints differ. A false "changed" verdict only costs a
+//! recompute; a false "unchanged" would be unsound.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use netexpl_topology::RouterId;
+
+use crate::config::NetworkConfig;
+use crate::policy::{MatchClause, RouteMap, RouteMapEntry, SetClause};
+
+/// Direction of the session a fingerprinted map is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MapDir {
+    /// Routes received from the neighbor.
+    Import,
+    /// Routes advertised to the neighbor.
+    Export,
+}
+
+impl std::fmt::Display for MapDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapDir::Import => write!(f, "import"),
+            MapDir::Export => write!(f, "export"),
+        }
+    }
+}
+
+/// The two fingerprints of one route map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapFingerprint {
+    /// Sensitive to everything observable (name, seqs, order, clauses).
+    pub exact: u64,
+    /// Invariant under provably behaviour-preserving edits.
+    pub semantic: u64,
+}
+
+/// Fingerprints of one router's whole configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouterFingerprint {
+    /// Per-session map fingerprints, keyed by (direction, neighbor).
+    pub maps: BTreeMap<(MapDir, RouterId), MapFingerprint>,
+    /// Combined exact fingerprint over all sessions.
+    pub exact: u64,
+    /// Combined semantic fingerprint over all sessions.
+    pub semantic: u64,
+}
+
+/// Fingerprints of a whole network configuration: the delta engine's and
+/// the serve pool's unit of comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FingerprintVector {
+    /// Per-router fingerprints (only routers with explicit configuration).
+    pub routers: BTreeMap<RouterId, RouterFingerprint>,
+    /// Hash of the environment's originations (order-sensitive — the
+    /// encoder enumerates paths per announced prefix).
+    pub originations: u64,
+    /// Global exact fingerprint: originations plus every router's exact.
+    pub exact: u64,
+}
+
+/// What changed about one session's map between two configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// Map exists only in the new configuration.
+    Added,
+    /// Map exists only in the old configuration.
+    Removed,
+    /// Semantic fingerprint changed: route behaviour may differ.
+    Semantic,
+    /// Exact changed but semantic held: rename/renumber/reorder only.
+    Cosmetic,
+}
+
+impl ChangeKind {
+    /// Stable lower-case label for display and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ChangeKind::Added => "added",
+            ChangeKind::Removed => "removed",
+            ChangeKind::Semantic => "semantic",
+            ChangeKind::Cosmetic => "cosmetic",
+        }
+    }
+}
+
+/// One changed session map in a [`ConfigDiff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapChange {
+    /// The router owning the map.
+    pub router: RouterId,
+    /// Session direction.
+    pub dir: MapDir,
+    /// Session neighbor.
+    pub neighbor: RouterId,
+    /// How it changed.
+    pub kind: ChangeKind,
+}
+
+/// A structural diff between two configurations' fingerprint vectors.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigDiff {
+    /// The environment (originations) changed — nothing local about that.
+    pub originations_changed: bool,
+    /// Every session map that was added, removed, or edited.
+    pub changes: Vec<MapChange>,
+}
+
+impl ConfigDiff {
+    /// No changes at all?
+    pub fn is_empty(&self) -> bool {
+        !self.originations_changed && self.changes.is_empty()
+    }
+
+    /// Routers whose own configuration changed in any way (exact diff).
+    pub fn changed_routers(&self) -> Vec<RouterId> {
+        let mut rs: Vec<RouterId> = self.changes.iter().map(|c| c.router).collect();
+        rs.sort();
+        rs.dedup();
+        rs
+    }
+
+    /// The subset of changes that may alter route behaviour.
+    pub fn semantic_changes(&self) -> impl Iterator<Item = &MapChange> {
+        self.changes
+            .iter()
+            .filter(|c| !matches!(c.kind, ChangeKind::Cosmetic))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clause hashing. MatchClause/SetClause do not derive Hash (Prefix holds
+// derived state), so the discriminant-tagged hashing lives here.
+// ---------------------------------------------------------------------------
+
+fn hash_match(h: &mut impl Hasher, m: &MatchClause) {
+    match m {
+        MatchClause::PrefixList(ps) => {
+            0u8.hash(h);
+            ps.len().hash(h);
+            for p in ps {
+                p.hash(h);
+            }
+        }
+        MatchClause::Community(c) => {
+            1u8.hash(h);
+            c.hash(h);
+        }
+        MatchClause::AsInPath(a) => {
+            2u8.hash(h);
+            a.hash(h);
+        }
+        MatchClause::FromNeighbor(n) => {
+            3u8.hash(h);
+            n.hash(h);
+        }
+    }
+}
+
+fn hash_set(h: &mut impl Hasher, s: &SetClause) {
+    match s {
+        SetClause::LocalPref(lp) => {
+            0u8.hash(h);
+            lp.hash(h);
+        }
+        SetClause::AddCommunity(c) => {
+            1u8.hash(h);
+            c.hash(h);
+        }
+        SetClause::ClearCommunities => 2u8.hash(h),
+        SetClause::NextHop(n) => {
+            3u8.hash(h);
+            n.hash(h);
+        }
+    }
+}
+
+/// Hash of one match clause alone — the sort key for canonicalizing the
+/// conjunctive match list of an entry.
+fn match_key(m: &MatchClause) -> u64 {
+    let mut h = DefaultHasher::new();
+    hash_match(&mut h, m);
+    h.finish()
+}
+
+/// Canonical hash of one entry: action, matches sorted by their own hash
+/// (match clauses are a conjunction, so written order is behaviourally
+/// irrelevant), sets in written order (later sets overwrite earlier ones).
+/// The seq number is deliberately absent.
+fn entry_semantic_key(e: &RouteMapEntry) -> u64 {
+    let mut h = DefaultHasher::new();
+    e.action.hash(&mut h);
+    let mut keys: Vec<u64> = e.matches.iter().map(match_key).collect();
+    keys.sort_unstable();
+    keys.hash(&mut h);
+    e.sets.len().hash(&mut h);
+    for s in &e.sets {
+        hash_set(&mut h, s);
+    }
+    h.finish()
+}
+
+fn hash_entry_exact(h: &mut impl Hasher, e: &RouteMapEntry) {
+    e.seq.hash(h);
+    e.action.hash(h);
+    e.matches.len().hash(h);
+    for m in &e.matches {
+        hash_match(h, m);
+    }
+    e.sets.len().hash(h);
+    for s in &e.sets {
+        hash_set(h, s);
+    }
+}
+
+/// Can a single route match both entries? `false` only when provably not:
+/// the entries carry prefix-list matches over disjoint prefix sets, or
+/// `FromNeighbor` matches naming different neighbors. Communities and AS
+/// paths never separate entries (a route can carry both), and an entry
+/// without the discriminating clause kind matches too broadly to exclude.
+fn provably_disjoint(a: &RouteMapEntry, b: &RouteMapEntry) -> bool {
+    // Disjoint prefix lists: every prefix pair across the two entries is
+    // containment-free in both directions.
+    fn plists(e: &RouteMapEntry) -> Option<&Vec<netexpl_topology::Prefix>> {
+        e.matches.iter().find_map(|m| match m {
+            MatchClause::PrefixList(ps) => Some(ps),
+            _ => None,
+        })
+    }
+    if let (Some(pa), Some(pb)) = (plists(a), plists(b)) {
+        let overlap = pa
+            .iter()
+            .any(|x| pb.iter().any(|y| x.contains(y) || y.contains(x)));
+        if !overlap && !pa.is_empty() && !pb.is_empty() {
+            return true;
+        }
+    }
+    // Different learned-from neighbors: one route has one next hop.
+    let neigh = |e: &RouteMapEntry| {
+        e.matches.iter().find_map(|m| match m {
+            MatchClause::FromNeighbor(n) => Some(*n),
+            _ => None,
+        })
+    };
+    if let (Some(na), Some(nb)) = (neigh(a), neigh(b)) {
+        if na != nb {
+            return true;
+        }
+    }
+    false
+}
+
+/// Canonical entry order for the semantic fingerprint: bounded bubble
+/// passes that swap adjacent entries only when they are provably
+/// independent (first-match-wins cannot tell them apart) and their
+/// canonical keys are out of order. Dependent entries never move past
+/// each other, so the written priority between them is preserved.
+fn canonical_entry_keys(entries: &[RouteMapEntry]) -> Vec<u64> {
+    let mut idx: Vec<usize> = (0..entries.len()).collect();
+    let keys: Vec<u64> = entries.iter().map(entry_semantic_key).collect();
+    for _pass in 0..entries.len() {
+        let mut swapped = false;
+        for i in 1..idx.len() {
+            let (x, y) = (idx[i - 1], idx[i]);
+            if keys[x] > keys[y] && provably_disjoint(&entries[x], &entries[y]) {
+                idx.swap(i - 1, i);
+                swapped = true;
+            }
+        }
+        if !swapped {
+            break;
+        }
+    }
+    idx.into_iter().map(|i| keys[i]).collect()
+}
+
+/// Fingerprint one route map both ways.
+pub fn fingerprint_map(map: &RouteMap) -> MapFingerprint {
+    let mut h = DefaultHasher::new();
+    map.name.hash(&mut h);
+    map.entries.len().hash(&mut h);
+    for e in &map.entries {
+        hash_entry_exact(&mut h, e);
+    }
+    let exact = h.finish();
+
+    let mut h = DefaultHasher::new();
+    map.entries.len().hash(&mut h);
+    canonical_entry_keys(&map.entries).hash(&mut h);
+    let semantic = h.finish();
+
+    MapFingerprint { exact, semantic }
+}
+
+/// Fingerprint every session map of a configuration.
+pub fn fingerprint_config(net: &NetworkConfig) -> FingerprintVector {
+    let mut routers = BTreeMap::new();
+    for r in net.configured_routers() {
+        let cfg = net.router(r).expect("configured router has a config");
+        let mut maps = BTreeMap::new();
+        for (n, map) in cfg.imports() {
+            maps.insert((MapDir::Import, n), fingerprint_map(map));
+        }
+        for (n, map) in cfg.exports() {
+            maps.insert((MapDir::Export, n), fingerprint_map(map));
+        }
+        let mut he = DefaultHasher::new();
+        let mut hs = DefaultHasher::new();
+        for (&(dir, n), fp) in &maps {
+            (dir, n, fp.exact).hash(&mut he);
+            (dir, n, fp.semantic).hash(&mut hs);
+        }
+        routers.insert(
+            r,
+            RouterFingerprint {
+                maps,
+                exact: he.finish(),
+                semantic: hs.finish(),
+            },
+        );
+    }
+    let mut ho = DefaultHasher::new();
+    net.originations().len().hash(&mut ho);
+    for o in net.originations() {
+        o.router.hash(&mut ho);
+        o.prefix.hash(&mut ho);
+    }
+    let originations = ho.finish();
+
+    let mut hg = DefaultHasher::new();
+    originations.hash(&mut hg);
+    for (&r, fp) in &routers {
+        (r, fp.exact).hash(&mut hg);
+    }
+    FingerprintVector {
+        routers,
+        originations,
+        exact: hg.finish(),
+    }
+}
+
+impl FingerprintVector {
+    /// Structural diff against a newer vector: which session maps were
+    /// added, removed, or edited, and whether the edit survived semantic
+    /// canonicalization.
+    pub fn diff(&self, new: &FingerprintVector) -> ConfigDiff {
+        let mut changes = Vec::new();
+        let routers: Vec<RouterId> = {
+            let mut rs: Vec<RouterId> = self
+                .routers
+                .keys()
+                .chain(new.routers.keys())
+                .copied()
+                .collect();
+            rs.sort();
+            rs.dedup();
+            rs
+        };
+        let empty = RouterFingerprint::default();
+        for r in routers {
+            let old_r = self.routers.get(&r).unwrap_or(&empty);
+            let new_r = new.routers.get(&r).unwrap_or(&empty);
+            if old_r.exact == new_r.exact {
+                continue;
+            }
+            let sessions: Vec<(MapDir, RouterId)> = {
+                let mut ss: Vec<_> = old_r
+                    .maps
+                    .keys()
+                    .chain(new_r.maps.keys())
+                    .copied()
+                    .collect();
+                ss.sort();
+                ss.dedup();
+                ss
+            };
+            for (dir, n) in sessions {
+                let kind = match (old_r.maps.get(&(dir, n)), new_r.maps.get(&(dir, n))) {
+                    (None, Some(_)) => ChangeKind::Added,
+                    (Some(_), None) => ChangeKind::Removed,
+                    (Some(a), Some(b)) if a.exact == b.exact => continue,
+                    (Some(a), Some(b)) if a.semantic == b.semantic => ChangeKind::Cosmetic,
+                    (Some(_), Some(_)) => ChangeKind::Semantic,
+                    (None, None) => continue,
+                };
+                changes.push(MapChange {
+                    router: r,
+                    dir,
+                    neighbor: n,
+                    kind,
+                });
+            }
+        }
+        ConfigDiff {
+            originations_changed: self.originations != new.originations,
+            changes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_config;
+    use crate::policy::Action;
+    use crate::route::Community;
+    use netexpl_topology::builders::paper_topology;
+    use netexpl_topology::Prefix;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn entry(
+        seq: u32,
+        action: Action,
+        matches: Vec<MatchClause>,
+        sets: Vec<SetClause>,
+    ) -> RouteMapEntry {
+        RouteMapEntry {
+            seq,
+            action,
+            matches,
+            sets,
+        }
+    }
+
+    // ---- satellite suite: fingerprint stability ------------------------
+
+    #[test]
+    fn comments_and_whitespace_never_reach_the_fingerprint() {
+        let (topo, _h) = paper_topology();
+        let plain = "\
+! ===== router R1 =====
+! export to P1
+route-map R1_to_P1 deny 100
+  match community 100:2
+";
+        let noisy = "\
+! a comment the parser drops
+! ===== router R1 =====
+
+! export to P1
+!
+route-map R1_to_P1 deny 100
+  match community 100:2
+
+! trailing commentary
+";
+        let a = fingerprint_config(&parse_config(&topo, plain).unwrap());
+        let b = fingerprint_config(&parse_config(&topo, noisy).unwrap());
+        assert_eq!(a, b, "comments/whitespace must be fingerprint-invariant");
+    }
+
+    #[test]
+    fn seq_renumbering_is_semantic_invariant_but_exact_visible() {
+        let m1 = RouteMap::new(
+            "m",
+            vec![
+                entry(
+                    10,
+                    Action::Deny,
+                    vec![MatchClause::Community(Community(100, 2))],
+                    vec![],
+                ),
+                entry(20, Action::Permit, vec![], vec![]),
+            ],
+        );
+        let m2 = RouteMap::new(
+            "m",
+            vec![
+                entry(
+                    5,
+                    Action::Deny,
+                    vec![MatchClause::Community(Community(100, 2))],
+                    vec![],
+                ),
+                entry(700, Action::Permit, vec![], vec![]),
+            ],
+        );
+        let (f1, f2) = (fingerprint_map(&m1), fingerprint_map(&m2));
+        assert_eq!(f1.semantic, f2.semantic, "seq renumbering is cosmetic");
+        assert_ne!(f1.exact, f2.exact, "but the exact fingerprint sees it");
+    }
+
+    #[test]
+    fn map_rename_is_semantic_invariant() {
+        let e = vec![entry(
+            10,
+            Action::Permit,
+            vec![],
+            vec![SetClause::LocalPref(50)],
+        )];
+        let f1 = fingerprint_map(&RouteMap::new("old_name", e.clone()));
+        let f2 = fingerprint_map(&RouteMap::new("new_name", e));
+        assert_eq!(f1.semantic, f2.semantic);
+        assert_ne!(f1.exact, f2.exact);
+    }
+
+    #[test]
+    fn match_clause_reordering_within_an_entry_is_semantic_invariant() {
+        let c = MatchClause::Community(Community(100, 2));
+        let a = MatchClause::AsInPath(netexpl_topology::AsNum(500));
+        let f1 = fingerprint_map(&RouteMap::new(
+            "m",
+            vec![entry(10, Action::Deny, vec![c.clone(), a.clone()], vec![])],
+        ));
+        let f2 = fingerprint_map(&RouteMap::new(
+            "m",
+            vec![entry(10, Action::Deny, vec![a, c], vec![])],
+        ));
+        assert_eq!(f1.semantic, f2.semantic, "matches are a conjunction");
+    }
+
+    #[test]
+    fn reordering_provably_independent_entries_is_semantic_invariant() {
+        // Disjoint prefix lists: no route matches both entries, so their
+        // relative order is unobservable.
+        let e1 = entry(
+            10,
+            Action::Permit,
+            vec![MatchClause::PrefixList(vec![p("10.0.0.0/8")])],
+            vec![SetClause::LocalPref(200)],
+        );
+        let e2 = entry(
+            20,
+            Action::Deny,
+            vec![MatchClause::PrefixList(vec![p("20.0.0.0/8")])],
+            vec![],
+        );
+        let f1 = fingerprint_map(&RouteMap::new("m", vec![e1.clone(), e2.clone()]));
+        let f2 = fingerprint_map(&RouteMap::new("m", vec![e2, e1]));
+        assert_eq!(f1.semantic, f2.semantic, "independent entries commute");
+
+        // Same with different learned-from neighbors.
+        let (_, h) = paper_topology();
+        let n1 = entry(
+            1,
+            Action::Deny,
+            vec![MatchClause::FromNeighbor(h.p1)],
+            vec![],
+        );
+        let n2 = entry(
+            2,
+            Action::Permit,
+            vec![MatchClause::FromNeighbor(h.p2)],
+            vec![],
+        );
+        let g1 = fingerprint_map(&RouteMap::new("m", vec![n1.clone(), n2.clone()]));
+        let g2 = fingerprint_map(&RouteMap::new("m", vec![n2, n1]));
+        assert_eq!(g1.semantic, g2.semantic);
+    }
+
+    #[test]
+    fn reordering_dependent_entries_changes_the_semantic_fingerprint() {
+        // Overlapping prefixes: first-match-wins makes the order observable.
+        let e1 = entry(
+            10,
+            Action::Deny,
+            vec![MatchClause::PrefixList(vec![p("10.0.0.0/8")])],
+            vec![],
+        );
+        let e2 = entry(
+            20,
+            Action::Permit,
+            vec![MatchClause::PrefixList(vec![p("10.1.0.0/16")])],
+            vec![],
+        );
+        let f1 = fingerprint_map(&RouteMap::new("m", vec![e1.clone(), e2.clone()]));
+        let f2 = fingerprint_map(&RouteMap::new("m", vec![e2, e1]));
+        assert_ne!(
+            f1.semantic, f2.semantic,
+            "overlapping entries must not commute"
+        );
+
+        // Community matches never commute: a route can carry both tags.
+        let c1 = entry(
+            1,
+            Action::Deny,
+            vec![MatchClause::Community(Community(1, 1))],
+            vec![],
+        );
+        let c2 = entry(
+            2,
+            Action::Permit,
+            vec![MatchClause::Community(Community(2, 2))],
+            vec![],
+        );
+        let g1 = fingerprint_map(&RouteMap::new("m", vec![c1.clone(), c2.clone()]));
+        let g2 = fingerprint_map(&RouteMap::new("m", vec![c2, c1]));
+        assert_ne!(g1.semantic, g2.semantic);
+    }
+
+    #[test]
+    fn semantic_edits_change_both_fingerprints() {
+        let base = RouteMap::new(
+            "m",
+            vec![entry(
+                10,
+                Action::Permit,
+                vec![MatchClause::Community(Community(100, 2))],
+                vec![SetClause::LocalPref(50)],
+            )],
+        );
+        let f0 = fingerprint_map(&base);
+
+        // Action flip.
+        let mut m = base.clone();
+        m.entries[0].action = Action::Deny;
+        assert_ne!(fingerprint_map(&m).semantic, f0.semantic);
+
+        // Local-pref value change.
+        let mut m = base.clone();
+        m.entries[0].sets = vec![SetClause::LocalPref(60)];
+        assert_ne!(fingerprint_map(&m).semantic, f0.semantic);
+
+        // Match community change.
+        let mut m = base.clone();
+        m.entries[0].matches = vec![MatchClause::Community(Community(100, 3))];
+        assert_ne!(fingerprint_map(&m).semantic, f0.semantic);
+
+        // Added entry.
+        let mut m = base.clone();
+        m.entries.push(entry(20, Action::Deny, vec![], vec![]));
+        assert_ne!(fingerprint_map(&m).semantic, f0.semantic);
+
+        // Set-clause *order* is semantic (later local-pref overwrites).
+        let two_sets = |sets: Vec<SetClause>| {
+            RouteMap::new("m", vec![entry(10, Action::Permit, vec![], sets)])
+        };
+        let s1 = two_sets(vec![SetClause::LocalPref(50), SetClause::LocalPref(200)]);
+        let s2 = two_sets(vec![SetClause::LocalPref(200), SetClause::LocalPref(50)]);
+        assert_ne!(
+            fingerprint_map(&s1).semantic,
+            fingerprint_map(&s2).semantic,
+            "set order is observable"
+        );
+    }
+
+    // ---- vector/diff behaviour ----------------------------------------
+
+    #[test]
+    fn config_diff_classifies_edits() {
+        let (_, h) = paper_topology();
+        let mut old = NetworkConfig::new();
+        old.originate(h.p1, p("200.7.0.0/16"));
+        old.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new("R1_to_P1", vec![entry(100, Action::Deny, vec![], vec![])]),
+        );
+        old.router_mut(h.r2).set_export(
+            h.p2,
+            RouteMap::new("R2_to_P2", vec![entry(100, Action::Deny, vec![], vec![])]),
+        );
+
+        // Identical configs: empty diff.
+        let fv_old = fingerprint_config(&old);
+        assert!(fv_old.diff(&fingerprint_config(&old.clone())).is_empty());
+
+        // Cosmetic rename on R1, semantic flip on R2, new import on R3.
+        let mut new = old.clone();
+        new.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new("R1_out", vec![entry(7, Action::Deny, vec![], vec![])]),
+        );
+        new.router_mut(h.r2).set_export(
+            h.p2,
+            RouteMap::new("R2_to_P2", vec![entry(100, Action::Permit, vec![], vec![])]),
+        );
+        new.router_mut(h.r3)
+            .set_import(h.r1, RouteMap::new("fresh", vec![]));
+        let diff = fv_old.diff(&fingerprint_config(&new));
+        assert!(!diff.originations_changed);
+        assert_eq!(diff.changes.len(), 3, "{diff:?}");
+        let kind_of = |r: RouterId| diff.changes.iter().find(|c| c.router == r).unwrap().kind;
+        assert_eq!(kind_of(h.r1), ChangeKind::Cosmetic);
+        assert_eq!(kind_of(h.r2), ChangeKind::Semantic);
+        assert_eq!(kind_of(h.r3), ChangeKind::Added);
+        assert_eq!(diff.changed_routers(), vec![h.r1, h.r2, h.r3]);
+        assert_eq!(diff.semantic_changes().count(), 2);
+
+        // Origination edits are global.
+        let mut new = old.clone();
+        new.originate(h.p2, p("201.0.0.0/16"));
+        let diff = fv_old.diff(&fingerprint_config(&new));
+        assert!(diff.originations_changed);
+    }
+
+    #[test]
+    fn global_exact_tracks_any_edit() {
+        let (_, h) = paper_topology();
+        let mut net = NetworkConfig::new();
+        net.originate(h.p1, p("200.7.0.0/16"));
+        net.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new("m", vec![entry(1, Action::Deny, vec![], vec![])]),
+        );
+        let f0 = fingerprint_config(&net);
+        let mut net2 = net.clone();
+        net2.router_mut(h.r1).set_export(
+            h.p1,
+            RouteMap::new("m", vec![entry(2, Action::Deny, vec![], vec![])]),
+        );
+        assert_ne!(f0.exact, fingerprint_config(&net2).exact);
+        assert_eq!(f0.exact, fingerprint_config(&net.clone()).exact);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod config;
 pub mod decision;
+pub mod fingerprint;
 pub mod parse;
 pub mod policy;
 pub mod route;
@@ -37,6 +38,10 @@ pub mod sim;
 
 pub use config::{NetworkConfig, Origination, RouterConfig};
 pub use decision::best_route;
+pub use fingerprint::{
+    fingerprint_config, fingerprint_map, ChangeKind, ConfigDiff, FingerprintVector, MapChange,
+    MapDir, MapFingerprint, RouterFingerprint,
+};
 pub use parse::parse_config;
 pub use policy::{Action, MatchClause, RouteMap, RouteMapEntry, SetClause};
 pub use route::{Community, Route};

@@ -166,7 +166,12 @@ pub fn parse_config(topo: &Topology, text: &str) -> Result<NetworkConfig, Config
             // beats a panic if that invariant ever slips.
             return Err(err(lineno, format!("clause outside a route-map: `{line}`")));
         };
-        if let Some(rest) = line.strip_prefix("match ip address prefix-list ") {
+        if let Some(rest) = line
+            .strip_prefix("match ip address prefix-list")
+            .filter(|r| r.is_empty() || r.starts_with(' '))
+        {
+            // An empty list is legal — the renderer emits it for a
+            // match-nothing clause, so the round trip must accept it.
             let mut prefixes = Vec::new();
             for p in rest.split_whitespace() {
                 prefixes.push(
@@ -341,6 +346,26 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("unrecognized"), "{err}");
+    }
+
+    #[test]
+    fn empty_prefix_list_round_trips() {
+        let (topo, h) = paper_topology();
+        let text = "\
+! ===== router R1 =====
+! export to P1
+route-map out deny 10
+  match ip address prefix-list
+";
+        let net = parse_config(&topo, text).unwrap();
+        let map = net.router(h.r1).unwrap().export(h.p1).unwrap();
+        assert_eq!(
+            map.entries[0].matches,
+            vec![MatchClause::PrefixList(vec![])]
+        );
+        // And the render comes back through the parser unchanged.
+        let rendered = net.render(&topo);
+        assert_eq!(parse_config(&topo, &rendered).unwrap(), net);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use netexpl_core::symbolize::{Dir, Selector};
 use netexpl_core::{
-    explain, explain_all, synthesize_problem, Error, ExplainAllOptions, ExplainOptions,
-    Explanation, LiftOptions, RouterOutcome, RouterReport,
+    explain, explain_all, explain_all_cached, explain_delta, synthesize_problem, DeltaProvenance,
+    Error, ExplainAllOptions, ExplainOptions, Explanation, LiftOptions, RouterOutcome,
+    RouterReport,
 };
 use netexpl_lint::{
     lint_config, lint_network, lint_selector, lint_spec, Diagnostics, Suppressions,
@@ -804,6 +805,258 @@ fn bench_compare(opts: &Options, old_path: &str, budget: Budget) -> Result<(), E
     let regressions = cmp.regressions().len();
     if regressions > 0 {
         return Err(Error::BenchRegression { regressions });
+    }
+    Ok(())
+}
+
+/// `netexpl diff` — incremental re-explanation across a configuration
+/// edit: `netexpl diff --topology <T> --spec <FILE> <OLD> <NEW>` loads two
+/// rendered configurations (as written by `netexpl synth`, plus optional
+/// `originate` lines; absent ones come from the spec's `@originate`
+/// directives), explains the old one in full, then re-explains only the
+/// routers the edit can reach ([`explain_delta`]) — printing which session
+/// maps changed and how (cosmetic vs semantic), which routers were
+/// recomputed and why, the full-vs-delta wall clocks, and every
+/// subspecification that actually changed.
+pub fn diff(args: &[String]) -> Result<(), Error> {
+    let opts = Options::parse(args, &["json", "skip-lift", "trace", "fail-fast"]).map_err(usage)?;
+    let _obs = obs_setup(&opts)?;
+    let budget = parse_budget(&opts)?;
+    let topo = topology(opts.require("topology").map_err(usage)?)?;
+    let problem = load_problem(&topo, opts.require("spec").map_err(usage)?)?;
+    let [old_path, new_path] = opts.positional() else {
+        return Err(usage(format!(
+            "diff takes exactly two config files (old, new), got {}",
+            opts.positional().len()
+        )));
+    };
+    let load_config = |path: &str| -> Result<netexpl_bgp::NetworkConfig, Error> {
+        let text = std::fs::read_to_string(path).map_err(|e| Error::Io {
+            path: path.to_string(),
+            source: e,
+        })?;
+        let mut cfg = netexpl_bgp::parse_config(&topo, &text).map_err(Error::ConfigParse)?;
+        // Rendered configs carry no environment; adopt the spec's.
+        if cfg.originations().is_empty() {
+            for o in problem.base.originations() {
+                cfg.originate(o.router, o.prefix);
+            }
+        }
+        Ok(cfg)
+    };
+    let old = load_config(old_path)?;
+    let new = load_config(new_path)?;
+
+    let all_opts = ExplainAllOptions {
+        explain: ExplainOptions {
+            skip_lift: opts.flag("skip-lift"),
+            budget,
+            lift: LiftOptions {
+                workers: parse_lift_workers(&opts)?,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        workers: parse_workers(&opts)?,
+        fail_fast: opts.flag("fail-fast"),
+    };
+
+    let mut ctx = Ctx::new();
+    let sorts = problem.vocab.sorts(&mut ctx);
+    let t_full = std::time::Instant::now();
+    let cache = netexpl_synth::EncodeCache::build(
+        &mut ctx,
+        &topo,
+        &problem.vocab,
+        sorts,
+        &old,
+        all_opts.explain.encode,
+    )
+    .map_err(Error::Encode)?;
+    let prior = explain_all_cached(
+        &mut ctx,
+        &topo,
+        &problem.vocab,
+        sorts,
+        &old,
+        &problem.spec,
+        &Selector::Router,
+        all_opts.clone(),
+        &cache,
+    )
+    .map_err(Error::Explain)?;
+    let full_ms = t_full.elapsed().as_secs_f64() * 1e3;
+
+    // `explain_delta` consumes the prior; keep what the diff prints first.
+    let old_subspecs: std::collections::HashMap<String, String> = prior
+        .explanations()
+        .map(|(n, e)| (n.to_string(), e.subspec.to_string()))
+        .collect();
+    let old_status: std::collections::HashMap<String, &'static str> = prior
+        .routers
+        .iter()
+        .map(|r| (r.router.clone(), r.outcome.status()))
+        .collect();
+
+    let t_delta = std::time::Instant::now();
+    let report = explain_delta(
+        &mut ctx,
+        &topo,
+        &problem.vocab,
+        sorts,
+        &old,
+        &new,
+        &problem.spec,
+        &Selector::Router,
+        all_opts,
+        prior,
+        &cache,
+    )
+    .map_err(Error::Explain)?;
+    let delta_ms = t_delta.elapsed().as_secs_f64() * 1e3;
+
+    // Which subspecifications actually changed (recomputed routers only —
+    // reused reports are the old artifacts by construction).
+    let mut subspec_changes: Vec<(String, String, String)> = Vec::new();
+    let mut status_changes: Vec<(String, &'static str, &'static str)> = Vec::new();
+    for r in &report.explanation.routers {
+        if !matches!(r.delta, Some(DeltaProvenance::Recomputed(_))) {
+            continue;
+        }
+        let was = old_status.get(&r.router).copied().unwrap_or("absent");
+        if was != r.outcome.status() {
+            status_changes.push((r.router.clone(), was, r.outcome.status()));
+        }
+        if let Some(e) = r.outcome.explanation() {
+            let now = e.subspec.to_string();
+            let before = old_subspecs.get(&r.router).cloned().unwrap_or_default();
+            if before != now {
+                subspec_changes.push((r.router.clone(), before, now));
+            }
+        }
+    }
+
+    if opts.flag("json") {
+        let changes: Vec<Value> = report
+            .diff
+            .changes
+            .iter()
+            .map(|c| {
+                Value::object([
+                    ("router", Value::from(topo.name(c.router))),
+                    ("dir", Value::from(c.dir.to_string().as_str())),
+                    ("neighbor", Value::from(topo.name(c.neighbor))),
+                    ("kind", Value::from(c.kind.as_str())),
+                ])
+            })
+            .collect();
+        let dirty: Vec<Value> = report
+            .dirty
+            .iter()
+            .map(|(name, reason)| {
+                Value::object([
+                    ("router", Value::from(name.as_str())),
+                    ("reason", Value::from(reason.to_string().as_str())),
+                ])
+            })
+            .collect();
+        let routers: Vec<Value> = report
+            .explanation
+            .routers
+            .iter()
+            .map(|r| {
+                Value::object([
+                    ("router", Value::from(r.router.as_str())),
+                    ("status", Value::from(r.outcome.status())),
+                    (
+                        "provenance",
+                        Value::from(r.delta.as_ref().map_or("full", |d| d.status())),
+                    ),
+                ])
+            })
+            .collect();
+        let specs: Vec<Value> = subspec_changes
+            .iter()
+            .map(|(name, before, now)| {
+                Value::object([
+                    ("router", Value::from(name.as_str())),
+                    ("old", Value::from(before.as_str())),
+                    ("new", Value::from(now.as_str())),
+                ])
+            })
+            .collect();
+        let json = Value::object([
+            ("old", Value::from(old_path.as_str())),
+            ("new", Value::from(new_path.as_str())),
+            (
+                "originations_changed",
+                Value::from(report.diff.originations_changed),
+            ),
+            ("changes", Value::from(changes)),
+            ("dirty", Value::from(dirty)),
+            ("reused", Value::from(report.reused)),
+            ("recomputed", Value::from(report.recomputed)),
+            ("crossings_reused", Value::from(report.patch.reused)),
+            ("crossings_recomputed", Value::from(report.patch.recomputed)),
+            ("session_hits", Value::from(report.session_hits)),
+            ("full_ms", Value::from(full_ms)),
+            ("delta_ms", Value::from(delta_ms)),
+            ("routers", Value::from(routers)),
+            ("subspec_changes", Value::from(specs)),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&json));
+        return Ok(());
+    }
+
+    println!("=== Config diff: {old_path} → {new_path} ===");
+    if report.diff.is_empty() {
+        println!("no configuration changes");
+    }
+    if report.diff.originations_changed {
+        println!("originations CHANGED — the whole path universe moved");
+    }
+    for c in &report.diff.changes {
+        println!(
+            "  {} {} → {}: {}",
+            topo.name(c.router),
+            c.dir,
+            topo.name(c.neighbor),
+            c.kind.as_str()
+        );
+    }
+    let total = report.explanation.routers.len();
+    println!("\ndirty: {} of {total} router(s)", report.dirty.len());
+    for (name, reason) in &report.dirty {
+        println!("  {name}: {reason}");
+    }
+    println!(
+        "\nrecomputed {}, reused {}; crossings {} replayed / {} recomputed",
+        report.recomputed, report.reused, report.patch.reused, report.patch.recomputed
+    );
+    println!(
+        "full run (old config): {full_ms:.1} ms; delta run: {delta_ms:.1} ms ({:.1}x)",
+        if delta_ms > 0.0 {
+            full_ms / delta_ms
+        } else {
+            f64::INFINITY
+        }
+    );
+    for (name, was, now) in &status_changes {
+        println!("status change: {name}: {was} → {now}");
+    }
+    if subspec_changes.is_empty() {
+        println!("\nsubspecifications: unchanged");
+    } else {
+        println!("\nsubspecification changes:");
+        for (name, before, now) in &subspec_changes {
+            println!("  {name}:");
+            for line in before.lines() {
+                println!("    - {line}");
+            }
+            for line in now.lines() {
+                println!("    + {line}");
+            }
+        }
     }
     Ok(())
 }

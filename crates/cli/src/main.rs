@@ -8,6 +8,7 @@
 //!                  [--neighbor P1 --dir export [--entry N]] [--skip-lift] [--json]
 //! netexpl explain  --topology paper --spec spec.txt --all \
 //!                  [--workers N] [--fail-fast] [--json]
+//! netexpl diff     --topology paper --spec spec.txt old.conf new.conf [--json]
 //! netexpl simulate --topology paper --spec spec.txt [--fail R1-R3]
 //! netexpl scenario <1|2|3>
 //! netexpl profile  --topology paper --spec spec.txt (--router R1 | --all | --lint) \
@@ -75,6 +76,7 @@ fn run(args: &[String]) -> Result<(), Error> {
         "synth" => commands::synth(rest),
         "lint" => commands::lint(rest),
         "explain" => commands::explain_cmd(rest),
+        "diff" => commands::diff(rest),
         "assumptions" => commands::assumptions(rest),
         "simulate" => commands::simulate(rest),
         "scenario" => commands::scenario(rest),
@@ -115,6 +117,12 @@ fn print_usage() {
                             [--workers <N>] [--fail-fast] [--json]\n\
                             (every router in parallel, sharing one encoding;\n\
                             --workers 0/absent picks the machine's parallelism)\n\
+           netexpl diff     --topology <T> --spec <FILE> <OLD.conf> <NEW.conf>\n\
+                            [--workers <N>] [--skip-lift] [--json]\n\
+                            (incremental re-explanation across a config edit:\n\
+                            diff the route maps, recompute only the routers the\n\
+                            edit can reach, reuse the rest, and report which\n\
+                            subspecifications changed and the full-vs-delta wall)\n\
            netexpl assumptions --topology <T> --spec <FILE> --router <NAME>\n\
            netexpl simulate --topology <T> --spec <FILE> [--fail <A-B>]...\n\
            netexpl scenario <1|2|3>\n\

@@ -36,6 +36,7 @@
 //! Figures 1, 2, 4 and 5.
 
 pub mod assume;
+pub mod delta;
 pub mod error;
 pub mod explain;
 pub mod lift;
@@ -46,11 +47,12 @@ pub mod shard;
 pub mod symbolize;
 
 pub use assume::{environment_assumptions, EnvironmentAssumptions};
+pub use delta::{explain_delta, plan_delta, DeltaPlan, DeltaProvenance, DeltaReport, DirtyReason};
 pub use error::Error;
 pub use explain::{
     explain, explain_cached, ExplainError, ExplainOptions, Explanation, StageVerdicts, Verdict,
 };
-pub use lift::{lift, LiftOptions, LiftResult};
+pub use lift::{lift, LiftOptions, LiftResult, LiftSessionStore};
 pub use network::{
     explain_all, explain_all_cached, ExplainAllOptions, NetworkExplanation, RouterOutcome,
     RouterReport,

@@ -54,9 +54,9 @@
 //! specification — Figures 2, 4 and 5 of the paper fall out of this search
 //! (see the workspace integration tests).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 
 use netexpl_logic::budget::{Budget, Interrupt, InterruptReason};
 use netexpl_logic::session::{incremental_enabled, SmtSession};
@@ -95,6 +95,16 @@ pub struct LiftOptions {
     /// helper threads. Set by `explain_all` so idle router workers execute
     /// the dominant router's shards; leave `None` for a standalone lift.
     pub pool: Option<Arc<ShardPool>>,
+    /// Warm-session store for incremental re-explanation: lifted session
+    /// pairs are deposited here and reused (cloned, learned clauses and
+    /// VSIDS activity intact) when the same router is lifted again under
+    /// an identical configuration. Requires [`LiftOptions::session_key`].
+    pub session_store: Option<Arc<LiftSessionStore>>,
+    /// The exact configuration fingerprint scoping
+    /// [`LiftOptions::session_store`] entries — reuse is only attempted
+    /// when the whole network configuration is byte-identical to the one
+    /// the sessions were deposited under (see the store's soundness note).
+    pub session_key: Option<u64>,
 }
 
 impl Default for LiftOptions {
@@ -106,7 +116,157 @@ impl Default for LiftOptions {
             incremental: incremental_enabled(),
             workers: 1,
             pool: None,
+            session_store: None,
+            session_key: None,
         }
+    }
+}
+
+/// A cross-run store of warm lifter session pairs, the session-reuse half
+/// of incremental re-explanation (`explain_delta`).
+///
+/// Entries are keyed by `(router, exact configuration fingerprint)` and
+/// additionally validated against the seed's `defs`/`reqs` term ids at
+/// lookup, so a clone is only handed out when the assertion base is
+/// provably the one the sessions encode. **Soundness contract:** a store
+/// must only be consulted from (clones of) the term-arena lineage its
+/// entries were deposited from — term ids are meaningless across unrelated
+/// arenas. `netexpl serve` scopes one store per pooled session; the delta
+/// engine threads one across runs sharing a patched [`EncodeCache`]'s base
+/// context. Within that lineage, an identical configuration re-derives an
+/// identical seed (the pipeline is deterministic), so matching ids imply
+/// matching terms; anything else — an edited router, a different selector
+/// — re-derives different ids and falls back to fresh sessions, exactly
+/// the "learned clauses carry over where the assertion base is unchanged"
+/// rule.
+///
+/// Each entry also snapshots the depositing worker's [`Ctx`]. The sessions
+/// internally reference terms minted *during* candidate checking (lowered
+/// forms in the bit-blaster memo, definition literals), which a later
+/// borrower's arena has not re-minted yet — worker arenas are clones whose
+/// growth is discarded after each run. A hit therefore fast-forwards the
+/// borrower's context to the snapshot: the borrower's arena is a strict
+/// prefix of it (identical derivation up to the consult point, checked),
+/// so the replacement preserves every id the borrower already holds while
+/// making every id the sessions reference live again.
+#[derive(Default)]
+pub struct LiftSessionStore {
+    entries: Mutex<HashMap<(RouterId, u64), StoredSessions>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct StoredSessions {
+    defs: TermId,
+    reqs: TermId,
+    /// The depositing worker's full term arena: the sessions' memoized
+    /// lowerings reference terms in it that exist in no other context.
+    ctx: Ctx,
+    base: SmtSession,
+    seed: SmtSession,
+}
+
+impl std::fmt::Debug for LiftSessionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiftSessionStore")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl LiftSessionStore {
+    /// An empty store, ready to share across runs.
+    pub fn new() -> Arc<LiftSessionStore> {
+        Arc::new(LiftSessionStore::default())
+    }
+
+    /// Number of stored session pairs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("session store poisoned").len()
+    }
+
+    /// True when nothing has been deposited.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Warm clones handed out so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell back to fresh sessions.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drop every entry recorded under a fingerprint other than `fp` —
+    /// called after a configuration edit so stale sessions never linger.
+    pub fn retain_fingerprint(&self, fp: u64) {
+        self.entries
+            .lock()
+            .expect("session store poisoned")
+            .retain(|&(_, key_fp), _| key_fp == fp);
+    }
+
+    /// Clone out the stored pair for `key` when its assertion base matches,
+    /// fast-forwarding `ctx` to the deposit-time arena snapshot so every
+    /// term the sessions reference is live. The borrower's arena must be a
+    /// prefix of the snapshot (same lineage, identical derivation up to the
+    /// consult point); anything else misses and falls back to fresh
+    /// sessions.
+    fn take_clone(
+        &self,
+        key: (RouterId, u64),
+        defs: TermId,
+        reqs: TermId,
+        ctx: &mut Ctx,
+    ) -> Option<(Box<SmtSession>, Box<SmtSession>)> {
+        let entries = self.entries.lock().expect("session store poisoned");
+        let stored = entries.get(&key)?;
+        if stored.defs != defs || stored.reqs != reqs {
+            return None;
+        }
+        let n = ctx.num_terms();
+        if stored.ctx.num_terms() < n || stored.ctx.num_vars() < ctx.num_vars() {
+            return None;
+        }
+        // Spot-check the prefix claim on the borrower's newest term: a
+        // diverged lineage (contract violation) almost surely differs here,
+        // and a miss is always safe.
+        if n > 0 {
+            let last = TermId((n - 1) as u32);
+            if stored.ctx.node(last) != ctx.node(last) {
+                return None;
+            }
+        }
+        *ctx = stored.ctx.clone();
+        Some((Box::new(stored.base.clone()), Box::new(stored.seed.clone())))
+    }
+
+    /// Deposit (or refresh) the pair for `key`, snapshotting the arena the
+    /// sessions' internals point into.
+    fn deposit(
+        &self,
+        key: (RouterId, u64),
+        defs: TermId,
+        reqs: TermId,
+        ctx: &Ctx,
+        base: SmtSession,
+        seed: SmtSession,
+    ) {
+        self.entries.lock().expect("session store poisoned").insert(
+            key,
+            StoredSessions {
+                defs,
+                reqs,
+                ctx: ctx.clone(),
+                base,
+                seed,
+            },
+        );
     }
 }
 
@@ -181,8 +341,29 @@ enum Checker {
 }
 
 impl Checker {
-    fn new(ctx: &mut Ctx, defs: TermId, reqs: TermId, options: &LiftOptions) -> Checker {
+    fn new(
+        ctx: &mut Ctx,
+        router: RouterId,
+        defs: TermId,
+        reqs: TermId,
+        options: &LiftOptions,
+    ) -> Checker {
         if options.incremental {
+            // Warm path: a prior lift of this router under an identical
+            // configuration deposited its sessions — clone them, learned
+            // clauses and VSIDS activity intact, instead of re-encoding.
+            if let (Some(store), Some(fp)) = (&options.session_store, options.session_key) {
+                if let Some((mut base, mut seed)) = store.take_clone((router, fp), defs, reqs, ctx)
+                {
+                    base.set_budget(options.budget.clone());
+                    seed.set_budget(options.budget.clone());
+                    store.hits.fetch_add(1, Ordering::Relaxed);
+                    netexpl_obs::counter_add("lift.session_store.hits", 1);
+                    return Checker::Session { base, seed };
+                }
+                store.misses.fetch_add(1, Ordering::Relaxed);
+                netexpl_obs::counter_add("lift.session_store.misses", 1);
+            }
             let mut base = Box::new(SmtSession::new());
             base.set_budget(options.budget.clone());
             base.assert(ctx, defs);
@@ -991,7 +1172,7 @@ pub fn lift(
     let reqs = seed.req_conjunction;
     let budget = options.budget.clone();
     let candidates = enumerate_candidates(ctx, topo, spec, seed, router, &options);
-    let mut checker = Checker::new(ctx, defs, reqs, &options);
+    let mut checker = Checker::new(ctx, router, defs, reqs, &options);
 
     let workers = options.effective_workers();
     let outcome = if workers > 1 && candidates.len() > WARM_PREFIX {
@@ -1077,6 +1258,12 @@ pub fn lift(
     }
 
     netexpl_obs::counter_add("lift.candidate_checks", checked as u64);
+    // Deposit the warm sessions for the next run over this configuration.
+    if let (Some(store), Some(fp)) = (&options.session_store, options.session_key) {
+        if let Checker::Session { base, seed } = checker {
+            store.deposit((router, fp), defs, reqs, ctx, *base, *seed);
+        }
+    }
     let requirements: Vec<Requirement> = kept.into_iter().map(|(r, _)| r).collect();
     LiftResult {
         subspec: SubSpec {

@@ -51,6 +51,9 @@ use netexpl_synth::encode::EncodeCache;
 use netexpl_synth::vocab::{VocabSorts, Vocabulary};
 use netexpl_topology::Topology;
 
+use netexpl_topology::RouterId;
+
+use crate::delta::DeltaProvenance;
 use crate::explain::{explain_cached, ExplainError, ExplainOptions, Explanation};
 use crate::shard::{ProducerGuard, ShardPool};
 use crate::symbolize::Selector;
@@ -110,6 +113,10 @@ pub struct RouterReport {
     pub duration: Duration,
     /// The pipeline result.
     pub outcome: RouterOutcome,
+    /// Incremental provenance: `None` on a full run; on an
+    /// [`explain_delta`](crate::delta::explain_delta) run, whether this
+    /// report was reused from the prior explanation or recomputed, and why.
+    pub delta: Option<DeltaProvenance>,
 }
 
 /// The aggregate result of [`explain_all`]: one report per router, in
@@ -256,9 +263,96 @@ pub fn explain_all_cached(
 ) -> Result<NetworkExplanation, ExplainError> {
     let span = Span::enter("explain_all");
     let routers: Vec<_> = topo.router_ids().collect();
-    let workers = effective_workers(options.workers, routers.len());
     span.attr("routers", routers.len());
+    let run = run_routers(
+        ctx, topo, vocab, sorts, config, spec, selector, &options, cache, &routers, &span,
+    );
+    let workers = run.workers;
     span.attr("workers", workers);
+    let wall = run.wall;
+
+    let mut reports = Vec::with_capacity(routers.len());
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut any_failed = false;
+    for (r, (outcome, duration)) in routers.iter().zip(run.outcomes) {
+        if let RouterOutcome::Explained(e) = &outcome {
+            hits += e.cache_hits;
+            misses += e.cache_misses;
+        }
+        any_failed |= matches!(outcome, RouterOutcome::Failed(_));
+        netexpl_obs::observe_ms("explain_all.router_ms", duration.as_secs_f64() * 1e3);
+        reports.push(RouterReport {
+            router: topo.name(*r).to_string(),
+            duration,
+            outcome,
+            delta: None,
+        });
+    }
+    if reports
+        .iter()
+        .all(|r| matches!(r.outcome, RouterOutcome::Skipped))
+    {
+        return Err(ExplainError::NothingSymbolized);
+    }
+
+    netexpl_obs::gauge_set("explain_all.workers", workers as i64);
+    netexpl_obs::counter_add("cache.hit", hits);
+    netexpl_obs::counter_add("cache.miss", misses);
+    span.attr("cache_hits", hits);
+    span.attr("cache_misses", misses);
+    span.attr("wall_ms", wall.as_secs_f64() * 1e3);
+    if run.lift_shards > 0 {
+        span.attr("lift_shards", run.lift_shards);
+        span.attr("lift_shards_stolen", run.lift_shards_stolen);
+    }
+
+    Ok(NetworkExplanation {
+        routers: reports,
+        workers,
+        wall,
+        cache_size: cache.len(),
+        cache_hits: hits,
+        cache_misses: misses,
+        cancelled: options.fail_fast && any_failed,
+        lift_shards: run.lift_shards,
+        lift_shards_stolen: run.lift_shards_stolen,
+    })
+}
+
+/// The result of one [`run_routers`] fan-out.
+pub(crate) struct SubsetRun {
+    /// `(outcome, duration)` parallel to the input router slice.
+    pub outcomes: Vec<(RouterOutcome, Duration)>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock duration of the fan-out.
+    pub wall: Duration,
+    /// Lift shards submitted to the shared pool.
+    pub lift_shards: u64,
+    /// Lift shards stolen by idle workers.
+    pub lift_shards_stolen: u64,
+}
+
+/// The worker fan-out shared by [`explain_all_cached`] and the delta
+/// engine: explain exactly the routers in `routers` (any subset of the
+/// topology, e.g. a delta run's dirty set), in parallel, against the
+/// shared cache. Budget splitting, fail-fast cancellation, shard-pool
+/// work-stealing, and worker-obs replay behave exactly as on a full run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_routers(
+    ctx: &mut Ctx,
+    topo: &Topology,
+    vocab: &Vocabulary,
+    sorts: VocabSorts,
+    config: &NetworkConfig,
+    spec: &Specification,
+    selector: &Selector,
+    options: &ExplainAllOptions,
+    cache: &EncodeCache,
+    routers: &[RouterId],
+    span: &Span,
+) -> SubsetRun {
+    let workers = effective_workers(options.workers, routers.len());
 
     // Split the run budget: countable caps divided per worker, deadline
     // shared. With fail-fast, all slices share one cancel token (reusing
@@ -370,57 +464,25 @@ pub fn explain_all_cached(
     });
     let wall = started.elapsed();
 
-    let mut reports = Vec::with_capacity(routers.len());
-    let (mut hits, mut misses) = (0u64, 0u64);
-    let mut any_failed = false;
-    for (r, slot) in routers.iter().zip(collected) {
-        // Every index below routers.len() is claimed by exactly one worker.
-        let (outcome, duration) = slot.expect("router left unprocessed");
-        if let RouterOutcome::Explained(e) = &outcome {
-            hits += e.cache_hits;
-            misses += e.cache_misses;
-        }
-        any_failed |= matches!(outcome, RouterOutcome::Failed(_));
-        netexpl_obs::observe_ms("explain_all.router_ms", duration.as_secs_f64() * 1e3);
-        reports.push(RouterReport {
-            router: topo.name(*r).to_string(),
-            duration,
-            outcome,
-        });
-    }
-    if reports
-        .iter()
-        .all(|r| matches!(r.outcome, RouterOutcome::Skipped))
-    {
-        return Err(ExplainError::NothingSymbolized);
-    }
-
-    netexpl_obs::gauge_set("explain_all.workers", workers as i64);
-    netexpl_obs::counter_add("cache.hit", hits);
-    netexpl_obs::counter_add("cache.miss", misses);
-    span.attr("cache_hits", hits);
-    span.attr("cache_misses", misses);
-    span.attr("wall_ms", wall.as_secs_f64() * 1e3);
+    let outcomes: Vec<(RouterOutcome, Duration)> = collected
+        .into_iter()
+        .map(|slot| {
+            // Every index below routers.len() is claimed by exactly one
+            // worker.
+            slot.expect("router left unprocessed")
+        })
+        .collect();
     let (lift_shards, lift_shards_stolen) = shard_pool
         .as_ref()
         .map(|p| (p.submitted(), p.stolen()))
         .unwrap_or((0, 0));
-    if lift_shards > 0 {
-        span.attr("lift_shards", lift_shards);
-        span.attr("lift_shards_stolen", lift_shards_stolen);
-    }
-
-    Ok(NetworkExplanation {
-        routers: reports,
+    SubsetRun {
+        outcomes,
         workers,
         wall,
-        cache_size: cache.len(),
-        cache_hits: hits,
-        cache_misses: misses,
-        cancelled: options.fail_fast && any_failed,
         lift_shards,
         lift_shards_stolen,
-    })
+    }
 }
 
 fn effective_workers(requested: usize, routers: usize) -> usize {

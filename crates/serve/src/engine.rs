@@ -10,10 +10,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use netexpl_bgp::fingerprint_config;
 use netexpl_core::symbolize::Selector;
 use netexpl_core::{
     explain_all_cached, explain_cached, parse_problem, synthesize_problem, topology_by_name, Error,
-    ExplainAllOptions, ExplainOptions, Explanation, RouterOutcome,
+    ExplainAllOptions, ExplainOptions, Explanation, LiftSessionStore, RouterOutcome,
 };
 use netexpl_lint::lint_network;
 use netexpl_logic::budget::{Budget, CancelToken};
@@ -101,6 +102,17 @@ impl Engine {
     /// Acquire a warm session or build one cold. The cold build runs
     /// under the request's budget: a request that times out synthesizing
     /// poisons nothing and pools nothing.
+    ///
+    /// Two delta paths cut the cold cost down:
+    ///
+    /// * A pooled entry whose configuration *drifted locally* (route-map
+    ///   edits, same environment) is salvaged — its cache is patched onto
+    ///   the current configuration, replaying every unchanged crossing —
+    ///   instead of being retired with NX806.
+    /// * A genuinely cold build for a key whose topology already has a
+    ///   pooled session with the same vocabulary and environment adopts
+    ///   that session's context and patches its cache instead of
+    ///   enumerating the encoding from scratch.
     fn session(
         &self,
         topology: &str,
@@ -108,25 +120,71 @@ impl Engine {
         budget: &Budget,
     ) -> Result<(Arc<Session>, bool), Error> {
         let key = SessionKey::new(topology, spec);
-        if let Acquired::Warm(s) = self.pool.acquire(&key)? {
-            return Ok((s, true));
+        match self.pool.acquire(&key)? {
+            Acquired::Warm(s) => return Ok((s, true)),
+            Acquired::Drifted(stale) => {
+                if let Some(s) = self.salvage(key.clone(), spec, &stale) {
+                    return Ok((s, true));
+                }
+                // Salvage failed — fall through to a full cold build.
+            }
+            Acquired::Cold => {}
         }
         let built = Instant::now();
         let topo = topology_by_name(topology)?;
         let problem = parse_problem(&topo, "<request>", spec)?;
-        let mut ctx = Ctx::new();
-        let sorts = problem.vocab.sorts(&mut ctx);
+        // Delta adoption: reuse a same-topology pooled context when the
+        // vocabularies agree, so the cache patch below can replay its
+        // recorded crossings (term ids resolve in the cloned arena).
+        let base = self.pool.delta_base(&key);
+        let (mut ctx, sorts, base) = match base {
+            Some(b) if b.problem.vocab == problem.vocab => {
+                let ctx = b.ctx.clone();
+                let sorts = b.sorts;
+                (ctx, sorts, Some(b))
+            }
+            _ => {
+                let mut ctx = Ctx::new();
+                let sorts = problem.vocab.sorts(&mut ctx);
+                (ctx, sorts, None)
+            }
+        };
         let result = synthesize_problem(&topo, &problem, &mut ctx, sorts, budget.clone())?;
-        let cache = EncodeCache::build(
-            &mut ctx,
-            &topo,
-            &problem.vocab,
-            sorts,
-            &result.config,
-            ExplainOptions::default().encode,
-        )
-        .map_err(Error::Encode)?;
+        let encode = ExplainOptions::default().encode;
+        let cache = base
+            .filter(|b| b.config.originations() == result.config.originations())
+            .and_then(|b| {
+                b.cache
+                    .patch(
+                        &mut ctx,
+                        &topo,
+                        &problem.vocab,
+                        sorts,
+                        &result.config,
+                        encode,
+                    )
+                    .ok()
+            })
+            .map(|(cache, stats)| {
+                self.metrics.counter_add("serve.pool.delta_builds", 1);
+                self.metrics
+                    .counter_add("serve.pool.delta_crossings_reused", stats.reused);
+                cache
+            });
+        let cache = match cache {
+            Some(c) => c,
+            None => EncodeCache::build(
+                &mut ctx,
+                &topo,
+                &problem.vocab,
+                sorts,
+                &result.config,
+                encode,
+            )
+            .map_err(Error::Encode)?,
+        };
         let fingerprint = config_fingerprint(&topo, &result.config);
+        let fingerprints = fingerprint_config(&result.config);
         self.metrics.observe(
             "serve.session.build_ms",
             built.elapsed().as_secs_f64() * 1e3,
@@ -141,9 +199,56 @@ impl Engine {
                 config: result.config,
                 cache,
                 fingerprint,
+                fingerprints,
+                lift_sessions: LiftSessionStore::new(),
             },
         );
         Ok((session, false))
+    }
+
+    /// Repair a locally drifted session: patch its cache onto its
+    /// current configuration on a clone of its own context, re-fingerprint,
+    /// and re-pool. Returns `None` when the patch (or the cheap re-parse
+    /// of the request inputs) fails — the caller then builds fully cold.
+    fn salvage(&self, key: SessionKey, spec: &str, stale: &Session) -> Option<Arc<Session>> {
+        let started = Instant::now();
+        let topo = stale.topo.clone();
+        let problem = parse_problem(&topo, "<request>", spec).ok()?;
+        let mut ctx = stale.ctx.clone();
+        let (cache, stats) = stale
+            .cache
+            .patch(
+                &mut ctx,
+                &topo,
+                &problem.vocab,
+                stale.sorts,
+                &stale.config,
+                ExplainOptions::default().encode,
+            )
+            .ok()?;
+        let fingerprint = config_fingerprint(&topo, &stale.config);
+        let fingerprints = fingerprint_config(&stale.config);
+        self.metrics.counter_add("serve.pool.delta_salvaged", 1);
+        self.metrics
+            .counter_add("serve.pool.delta_crossings_reused", stats.reused);
+        self.metrics.observe(
+            "serve.session.salvage_ms",
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        Some(self.pool.insert(
+            key,
+            Session {
+                topo,
+                problem,
+                ctx,
+                sorts: stale.sorts,
+                config: stale.config.clone(),
+                cache,
+                fingerprint,
+                fingerprints,
+                lift_sessions: LiftSessionStore::new(),
+            },
+        ))
     }
 
     /// Execute one heavy request (`explain` or `lint`). Called from a
@@ -229,6 +334,14 @@ impl Engine {
         self.pool.len()
     }
 
+    /// Surface this request's warm-lift-session reuse in the metrics.
+    fn publish_lift_session_hits(&self, session: &Session, hits_before: u64) {
+        let hits = session.lift_sessions.hits().saturating_sub(hits_before);
+        if hits > 0 {
+            self.metrics.counter_add("serve.lift.session_hits", hits);
+        }
+    }
+
     fn explain(
         &self,
         session: &Session,
@@ -240,11 +353,18 @@ impl Engine {
         // The pooled base context stays pristine; each request extends a
         // clone (term ids survive cloning — the arena is append-only).
         let mut ctx = session.ctx.clone();
-        let explain_opts = ExplainOptions {
+        let mut explain_opts = ExplainOptions {
             skip_lift,
             budget,
             ..Default::default()
         };
+        // Lifting requests on the same pooled session share warm solver
+        // sessions: every request context is a clone of the same base
+        // arena, so deposited term ids replay (the store validates them
+        // before reuse). Scoped by the exact config fingerprint.
+        explain_opts.lift.session_store = Some(Arc::clone(&session.lift_sessions));
+        explain_opts.lift.session_key = Some(session.fingerprints.exact);
+        let lift_hits_before = session.lift_sessions.hits();
         let selector = Selector::Router;
         if let Some(name) = router {
             let rid = session
@@ -264,6 +384,7 @@ impl Engine {
                 Some(&session.cache),
             )
             .map_err(Error::Explain)?;
+            self.publish_lift_session_hits(session, lift_hits_before);
             return Ok(explanation_json(&e));
         }
         let all = explain_all_cached(
@@ -282,6 +403,7 @@ impl Engine {
             &session.cache,
         )
         .map_err(Error::Explain)?;
+        self.publish_lift_session_hits(session, lift_hits_before);
         let routers: Vec<Value> = all
             .routers
             .iter()
@@ -406,6 +528,62 @@ Req1 { !(P1 -> ... -> P2) }
         };
         let err = engine.handle(&bad, None).map(|_| ()).unwrap_err();
         assert_eq!(err.code(), "NX103");
+    }
+
+    #[test]
+    fn cross_spec_cold_build_adopts_the_pooled_encoding() {
+        let engine = Engine::new(EngineConfig::default(), SharedMetrics::new());
+        let a = engine.handle(&explain_op(), None).unwrap();
+        assert!(!a.warm);
+        assert_eq!(engine.metrics().counter("serve.pool.delta_builds"), 0);
+        let op_b = Op::Explain {
+            topology: "paper".into(),
+            spec: SPEC.replace("Req1", "ReqB"),
+            router: None,
+            skip_lift: true,
+            workers: 1,
+        };
+        let b = engine.handle(&op_b, None).unwrap();
+        assert!(!b.warm, "a new spec hash is still a cold build");
+        assert_eq!(engine.metrics().counter("serve.pool.delta_builds"), 1);
+        assert!(
+            engine
+                .metrics()
+                .counter("serve.pool.delta_crossings_reused")
+                > 0
+        );
+        assert_eq!(engine.pool_len(), 2);
+        // Renaming the requirement does not change the problem: the
+        // adopted build answers exactly like the from-scratch one.
+        assert_eq!(a.result.get("routers"), b.result.get("routers"));
+    }
+
+    #[test]
+    fn locally_drifted_session_is_salvaged_not_retired() {
+        let engine = Engine::new(EngineConfig::default(), SharedMetrics::new());
+        let cold = engine.handle(&explain_op(), None).unwrap();
+        assert!(!cold.warm);
+        // Simulate in-place drift: swap the pooled entry for one whose
+        // config carries a cosmetic renumber its fingerprints predate.
+        let key = SessionKey::new("paper", SPEC);
+        engine.pool.insert(
+            key,
+            crate::pool::testutil::drifted_session("paper", SPEC, true),
+        );
+        let salvaged = engine.handle(&explain_op(), None).unwrap();
+        assert!(salvaged.warm, "drift must be repaired, not NX806-retired");
+        assert_eq!(engine.metrics().counter("serve.pool.drifted"), 1);
+        assert_eq!(engine.metrics().counter("serve.pool.delta_salvaged"), 1);
+        assert_eq!(
+            engine.metrics().counter("serve.pool.retired_fingerprint"),
+            0
+        );
+        // The repaired entry is healthy again: plainly warm from here on,
+        // and — the edit being cosmetic — it answers like the original.
+        let warm = engine.handle(&explain_op(), None).unwrap();
+        assert!(warm.warm);
+        assert_eq!(engine.metrics().counter("serve.pool.drifted"), 1);
+        assert_eq!(cold.result.get("routers"), warm.result.get("routers"));
     }
 
     #[test]

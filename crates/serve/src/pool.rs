@@ -12,8 +12,11 @@
 //! 1. **Fingerprint guard.** Each entry records the route-map fingerprint
 //!    ([`config_fingerprint`]) of the configuration its cache was built
 //!    from, and re-checks it on every acquire. A mismatch means the entry
-//!    no longer describes its own cache — it is discarded (NX806), never
-//!    reused.
+//!    no longer describes its own cache — it is pulled from the pool and
+//!    never reused as-is. When the per-router fingerprint vector shows
+//!    the drift is *local* (edited route maps, unchanged environment)
+//!    the stale session is handed back for delta-patch salvage;
+//!    otherwise the request fails typed (NX806).
 //! 2. **Quarantine.** A worker panic while a request held an entry
 //!    poisons it: the entry is removed immediately and in-flight holders
 //!    finish on their own `Arc` without it ever being handed out again.
@@ -26,8 +29,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use netexpl_bgp::NetworkConfig;
-use netexpl_core::{Error, Problem};
+use netexpl_bgp::{fingerprint_config, FingerprintVector, NetworkConfig};
+use netexpl_core::{Error, LiftSessionStore, Problem};
 use netexpl_logic::term::Ctx;
 use netexpl_obs::SharedMetrics;
 use netexpl_synth::encode::{config_fingerprint, EncodeCache};
@@ -76,6 +79,16 @@ pub struct Session {
     pub cache: EncodeCache,
     /// Route-map fingerprint of `config` at build time.
     pub fingerprint: u64,
+    /// Structured per-router fingerprint vector of `config` at build
+    /// time. When the scalar guard trips, diffing this against the
+    /// current configuration decides whether the drift is local (the
+    /// entry is salvaged by delta-patching its cache) or environmental
+    /// (the entry is retired outright).
+    pub fingerprints: FingerprintVector,
+    /// Warm lift solver sessions deposited by requests on this session;
+    /// repeat lifting explains reuse them instead of re-deriving the
+    /// solver state from scratch.
+    pub lift_sessions: Arc<LiftSessionStore>,
 }
 
 impl Session {
@@ -104,6 +117,12 @@ pub struct SessionPool {
 pub enum Acquired {
     /// A healthy warm session.
     Warm(Arc<Session>),
+    /// The entry's fingerprint no longer matches its own configuration,
+    /// but the drift is local (same originations): the stale entry has
+    /// been removed, and the caller rebuilds it by delta-patching the
+    /// pooled cache instead of paying a full cold build or failing the
+    /// request with NX806.
+    Drifted(Arc<Session>),
     /// No usable entry — the caller builds cold and offers the result
     /// back via [`SessionPool::insert`].
     Cold,
@@ -130,9 +149,12 @@ impl SessionPool {
         self.metrics.gauge_set("serve.pool.size", n as i64);
     }
 
-    /// Look up a warm session. The armed `serve.evict` fault and the
-    /// fingerprint guard both discard the entry and fail *this* request
-    /// (NX806); the next request rebuilds cold on a fresh session.
+    /// Look up a warm session. The armed `serve.evict` fault discards
+    /// the entry and fails *this* request (NX806). The fingerprint guard
+    /// removes a stale entry too, but hands it back as
+    /// [`Acquired::Drifted`] when the drift is local — the caller
+    /// repairs it by delta-patching — and only fails the request when
+    /// the environment itself changed.
     pub fn acquire(&self, key: &SessionKey) -> Result<Acquired, Error> {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let mut entries = self.lock();
@@ -147,14 +169,41 @@ impl SessionPool {
             return Err(pool_failure("fault injected at serve.evict"));
         }
         if !entries[pos].session.healthy() {
-            entries.remove(pos);
+            let stale = entries.remove(pos);
             self.publish_size(entries.len());
-            self.metrics.counter_add("serve.pool.quarantined", 1);
+            // Local drift (same environment) is salvageable: the caller
+            // delta-patches the stale cache onto the current
+            // configuration. An origination change invalidates the path
+            // enumeration wholesale — retire, counted separately from
+            // LRU evictions so `stats` shows why entries disappear.
+            let current = fingerprint_config(&stale.session.config);
+            let diff = stale.session.fingerprints.diff(&current);
+            if !diff.originations_changed {
+                self.metrics.counter_add("serve.pool.drifted", 1);
+                return Ok(Acquired::Drifted(stale.session));
+            }
+            self.metrics
+                .counter_add("serve.pool.retired_fingerprint", 1);
             return Err(pool_failure("route-map fingerprint mismatch"));
         }
         entries[pos].last_used = tick;
         self.metrics.counter_add("serve.pool.hits", 1);
         Ok(Acquired::Warm(Arc::clone(&entries[pos].session)))
+    }
+
+    /// The most-recently-used healthy session on the same topology under
+    /// a *different* key. A cold build for `key` can adopt its context
+    /// and delta-patch its cache — replaying every unchanged crossing —
+    /// instead of enumerating the whole encoding from scratch.
+    /// `last_used` is not bumped: reading an entry as a patch base is
+    /// not a use of its own key.
+    pub fn delta_base(&self, key: &SessionKey) -> Option<Arc<Session>> {
+        let entries = self.lock();
+        entries
+            .iter()
+            .filter(|e| e.key != *key && e.key.topology == key.topology && e.session.healthy())
+            .max_by_key(|e| e.last_used)
+            .map(|e| Arc::clone(&e.session))
     }
 
     /// Offer a freshly built session to the pool, evicting the LRU entry
@@ -208,20 +257,15 @@ impl SessionPool {
     }
 }
 
+/// Session builders shared by the pool and engine test modules.
 #[cfg(test)]
-mod tests {
+pub(crate) mod testutil {
     use super::*;
     use netexpl_core::{parse_problem, synthesize_problem, topology_by_name};
     use netexpl_logic::budget::Budget;
     use netexpl_synth::encode::EncodeOptions;
 
-    const SPEC: &str = "\
-// @originate P1 200.7.0.0/16
-dest D1 = 200.7.0.0/16
-Req1 { !(P1 -> ... -> P2) }
-";
-
-    fn build_session(topology: &str, spec: &str) -> Session {
+    pub(crate) fn build_session(topology: &str, spec: &str) -> Session {
         let topo = topology_by_name(topology).unwrap();
         let problem = parse_problem(&topo, "<test>", spec).unwrap();
         let mut ctx = Ctx::new();
@@ -238,6 +282,7 @@ Req1 { !(P1 -> ... -> P2) }
         )
         .unwrap();
         let fingerprint = config_fingerprint(&topo, &result.config);
+        let fingerprints = fingerprint_config(&result.config);
         Session {
             topo,
             problem,
@@ -246,8 +291,56 @@ Req1 { !(P1 -> ... -> P2) }
             config: result.config,
             cache,
             fingerprint,
+            fingerprints,
+            lift_sessions: LiftSessionStore::new(),
         }
     }
+
+    /// A session whose `config` no longer matches the fingerprints it
+    /// was built with — the seq of one route-map entry is bumped
+    /// (order-preserving, so the route-map drift is local). With
+    /// `keep_env` the originations carry over (salvageable drift);
+    /// without, the environment changed too (retiring drift).
+    pub(crate) fn drifted_session(topology: &str, spec: &str, keep_env: bool) -> Session {
+        let mut s = build_session(topology, spec);
+        let text = s.config.render(&s.topo);
+        let mut done = false;
+        let edited_text: String = text
+            .lines()
+            .map(|l| {
+                if !done && l.starts_with("route-map ") {
+                    if let Some((head, seq)) = l.rsplit_once(' ') {
+                        if let Ok(n) = seq.parse::<u32>() {
+                            done = true;
+                            return format!("{head} {}\n", n + 1);
+                        }
+                    }
+                }
+                format!("{l}\n")
+            })
+            .collect();
+        assert!(done, "no route-map line to edit in:\n{text}");
+        let mut edited = netexpl_bgp::parse_config(&s.topo, &edited_text).unwrap();
+        if keep_env {
+            for o in s.config.originations() {
+                edited.originate(o.router, o.prefix);
+            }
+        }
+        s.config = edited;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{build_session, drifted_session};
+    use super::*;
+
+    const SPEC: &str = "\
+// @originate P1 200.7.0.0/16
+dest D1 = 200.7.0.0/16
+Req1 { !(P1 -> ... -> P2) }
+";
 
     #[test]
     fn cold_then_warm_then_quarantine() {
@@ -282,6 +375,68 @@ Req1 { !(P1 -> ... -> P2) }
         assert!(matches!(pool.acquire(&ka).unwrap(), Acquired::Warm(_)));
         assert!(matches!(pool.acquire(&kc).unwrap(), Acquired::Warm(_)));
         assert_eq!(metrics.counter("serve.pool.evictions"), 1);
+    }
+
+    #[test]
+    fn local_drift_is_handed_back_for_salvage() {
+        let metrics = SharedMetrics::new();
+        let pool = SessionPool::new(2, metrics.clone());
+        let key = SessionKey::new("paper", SPEC);
+        pool.insert(key.clone(), drifted_session("paper", SPEC, true));
+        let drifted = match pool.acquire(&key).unwrap() {
+            Acquired::Drifted(s) => s,
+            _ => panic!("local drift must be salvageable, not discarded"),
+        };
+        // The stale entry is out of the pool; the caller repairs and
+        // re-inserts it.
+        assert!(pool.is_empty());
+        assert!(!drifted.healthy());
+        assert_eq!(metrics.counter("serve.pool.drifted"), 1);
+        assert_eq!(metrics.counter("serve.pool.retired_fingerprint"), 0);
+    }
+
+    #[test]
+    fn origination_drift_retires_with_a_typed_error() {
+        let metrics = SharedMetrics::new();
+        let pool = SessionPool::new(2, metrics.clone());
+        let key = SessionKey::new("paper", SPEC);
+        // The live config lost its environment along with the map edit:
+        // the drift is not local, so the entry must not be salvaged.
+        pool.insert(key.clone(), drifted_session("paper", SPEC, false));
+        let err = match pool.acquire(&key) {
+            Err(e) => e,
+            Ok(_) => panic!("origination drift must retire the entry"),
+        };
+        assert_eq!(err.code(), "NX806");
+        assert!(pool.is_empty());
+        assert_eq!(metrics.counter("serve.pool.retired_fingerprint"), 1);
+        assert_eq!(metrics.counter("serve.pool.drifted"), 0);
+    }
+
+    #[test]
+    fn delta_base_prefers_the_most_recent_same_topology_entry() {
+        let pool = SessionPool::new(3, SharedMetrics::new());
+        let spec_b = SPEC.replace("Req1", "ReqB");
+        let (ka, kb) = (
+            SessionKey::new("paper", SPEC),
+            SessionKey::new("paper", &spec_b),
+        );
+        let kc = SessionKey::new("paper", "missing");
+        assert!(pool.delta_base(&kc).is_none());
+        let sa = pool.insert(ka.clone(), build_session("paper", SPEC));
+        let sb = pool.insert(kb.clone(), build_session("paper", &spec_b));
+        // B was inserted last, so it is the MRU base for a fresh key —
+        // but never for its own key.
+        let base = pool.delta_base(&kc).expect("same-topology base");
+        assert!(Arc::ptr_eq(&base, &sb));
+        let base = pool.delta_base(&kb).expect("other-key base");
+        assert!(Arc::ptr_eq(&base, &sa));
+        // Touching A makes it the MRU.
+        assert!(matches!(pool.acquire(&ka).unwrap(), Acquired::Warm(_)));
+        let base = pool.delta_base(&kc).expect("same-topology base");
+        assert!(Arc::ptr_eq(&base, &sa));
+        // Never a different topology.
+        assert!(pool.delta_base(&SessionKey::new("line:3", "x")).is_none());
     }
 
     #[test]

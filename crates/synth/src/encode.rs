@@ -204,6 +204,15 @@ struct CrossOut {
     constraints: Vec<TermId>,
 }
 
+/// How much of a delta [`EncodeCache::patch`] could reuse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchStats {
+    /// Crossings replayed unchanged from the prior cache.
+    pub reused: u64,
+    /// Crossings recomputed because a route map or incoming state changed.
+    pub recomputed: u64,
+}
+
 /// A stable fingerprint of a concrete configuration, computed over its
 /// canonical rendering ([`NetworkConfig::render`](netexpl_bgp::NetworkConfig::render)).
 /// `netexpl serve` keys its warm-session pool on this: a pooled
@@ -246,6 +255,49 @@ impl EncodeCache {
             crossings: enc.recorded,
             fresh_floor: enc.fresh,
         })
+    }
+
+    /// Delta-patch the cache onto an edited configuration: re-enumerate
+    /// the new network's paths, replaying every crossing whose route maps
+    /// and incoming state are unchanged from this cache's base and
+    /// recomputing only the rest. `ctx` must be (a clone of) the context
+    /// this cache was built in — replayed term ids resolve there, and
+    /// recomputed crossings mint fresh definition variables above the old
+    /// floor, so the patched cache shares the arena lineage of the old
+    /// one. Equivalent to `EncodeCache::build(ctx, …, new_config, …)` up
+    /// to which crossings were recomputed (the replayed ones keep their
+    /// original definition variables).
+    pub fn patch(
+        &self,
+        ctx: &mut Ctx,
+        topo: &Topology,
+        vocab: &Vocabulary,
+        sorts: VocabSorts,
+        config: &netexpl_bgp::NetworkConfig,
+        options: EncodeOptions,
+    ) -> Result<(EncodeCache, PatchStats), EncodeError> {
+        let base_sym = SymNetworkConfig::from_concrete(config);
+        let mut enc = Encoder::new(topo, vocab, sorts, options).with_cache(self);
+        enc.recording = true;
+        let mut prefixes: Vec<Prefix> = base_sym.originations.iter().map(|o| o.prefix).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        let mut sink = Vec::new();
+        for prefix in prefixes {
+            enc.enumerate_paths(ctx, &base_sym, prefix, &mut sink);
+        }
+        let stats = PatchStats {
+            reused: enc.cache_hits,
+            recomputed: enc.cache_misses,
+        };
+        Ok((
+            EncodeCache {
+                base_sym,
+                crossings: enc.recorded,
+                fresh_floor: enc.fresh,
+            },
+            stats,
+        ))
     }
 
     /// Number of recorded crossings.
@@ -527,7 +579,20 @@ impl<'a> Encoder<'a> {
             if let Some(hit) = cache.lookup(sym, prefix, state, u, v) {
                 self.cache_hits += 1;
                 constraints.extend(hit.constraints.iter().copied());
-                return hit.out.clone();
+                let out = hit.out.clone();
+                if self.recording {
+                    // Delta patch: carry replayed crossings into the new
+                    // cache so the patched cache is as complete as a
+                    // from-scratch build.
+                    self.recorded.insert(
+                        CrossKey::new(prefix, state, u, v),
+                        CrossOut {
+                            out: out.clone(),
+                            constraints: hit.constraints.clone(),
+                        },
+                    );
+                }
+                return out;
             }
             self.cache_misses += 1;
         }

@@ -34,7 +34,7 @@ pub mod sketch;
 pub mod synthesize;
 pub mod vocab;
 
-pub use encode::{EncodeCache, EncodeOptions, Encoder};
+pub use encode::{EncodeCache, EncodeOptions, Encoder, PatchStats};
 pub use sketch::{
     Hole, SymEntry, SymMatch, SymNetworkConfig, SymRouteMap, SymRouterConfig, SymSet,
 };

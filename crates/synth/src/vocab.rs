@@ -19,7 +19,7 @@ use netexpl_logic::term::{Ctx, TermId};
 use netexpl_topology::{Prefix, RouterId, Topology};
 
 /// The finite universes for one encoding run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Vocabulary {
     /// Candidate community tags.
     pub communities: Vec<Community>,

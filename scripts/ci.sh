@@ -130,6 +130,40 @@ PROPTEST_CASES="${PROPTEST_CASES:-8}" cargo test -q --test lift_parallel
 NETEXPL_FRESH_SOLVER=1 PROPTEST_CASES="${PROPTEST_CASES:-8}" \
     cargo test -q --test lift_parallel
 
+echo "==> delta differential suite: explain_delta vs from-scratch, both solver modes"
+# Incremental re-explanation must agree with a from-scratch run on every
+# semantic artifact under random edits — on incremental sessions and (via
+# the env leg) on fresh solvers per query.
+PROPTEST_CASES="${PROPTEST_CASES:-8}" cargo test -q --test explain_delta
+NETEXPL_FRESH_SOLVER=1 PROPTEST_CASES="${PROPTEST_CASES:-8}" \
+    cargo test -q --test explain_delta
+
+echo "==> diff smoke: one-clause cosmetic edit recomputes one router"
+# Synthesize the paper configuration, renumber one route-map clause (a
+# cosmetic edit dirtying exactly its owner), and check the delta run
+# reuses the rest and beats the from-scratch wall.
+./target/release/netexpl synth --topology paper --spec "$OBS_DIR/spec.txt" \
+    | tail -n +3 > "$OBS_DIR/old.conf"
+awk '!done && /^route-map / { sub(/[0-9]+$/, $NF + 1); done = 1 } { print }' \
+    "$OBS_DIR/old.conf" > "$OBS_DIR/new.conf"
+! cmp -s "$OBS_DIR/old.conf" "$OBS_DIR/new.conf" \
+  || { echo "diff smoke: edit produced an identical config"; exit 1; }
+./target/release/netexpl diff --topology paper --spec "$OBS_DIR/spec.txt" \
+    "$OBS_DIR/old.conf" "$OBS_DIR/new.conf" --json > "$OBS_DIR/diff.json"
+grep -q '"reason": "local edit"' "$OBS_DIR/diff.json"
+awk '
+  /"delta_ms":/    { v = $2; gsub(/[,"]/, "", v); delta = v + 0; seen++ }
+  /"full_ms":/     { v = $2; gsub(/[,"]/, "", v); full = v + 0; seen++ }
+  /"recomputed":/  { v = $2; gsub(/[,"]/, "", v); rec = v + 0; seen++ }
+  /"reused":/      { v = $2; gsub(/[,"]/, "", v); reused = v + 0; seen++ }
+  END {
+    if (seen != 4) { print "diff --json missing delta/full/reused/recomputed"; exit 1 }
+    if (rec != 1) { printf "cosmetic edit recomputed %d routers, want 1\n", rec; exit 1 }
+    if (reused < 1) { print "cosmetic edit reused nothing"; exit 1 }
+    if (delta >= full) { printf "delta (%.1fms) not faster than full (%.1fms)\n", delta, full; exit 1 }
+  }
+' "$OBS_DIR/diff.json"
+
 echo "==> bench smoke: lift section present, session speedup >= 1"
 # The full report on stdout must carry the lift section, and the
 # incremental sessions must not be slower than fresh solvers on the
@@ -169,6 +203,27 @@ awk '
     exit 0
   }
   END { if (!found) { print "no lift_parallel section in bench --json"; exit 1 } }
+' "$OBS_DIR/bench.json"
+
+echo "==> bench: incremental delta reuses clean routers, agrees, and wins"
+# The report's own validation bit (`delta_agrees`) is the correctness
+# gate; the dirty-set and wall-clock checks are the performance claim:
+# a cosmetic one-clause edit must dirty fewer routers than the network
+# holds and re-explain faster than the from-scratch run.
+awk '
+  /"explain_delta": \{/   { in_d = 1 }
+  in_d && /"delta_agrees":/ { agrees = ($0 ~ /true/) }
+  in_d && /"delta_faster":/ { faster = ($0 ~ /true/) }
+  in_d && /"dirty_count":/  { v = $2; gsub(/[^0-9]/, "", v); dirty = v + 0 }
+  in_d && /"routers":/      { v = $2; gsub(/[^0-9]/, "", v); routers = v + 0 }
+  in_d && /"workers":/ {
+    found = 1
+    if (!agrees) { print "explain_delta: delta diverged from from-scratch"; exit 1 }
+    if (dirty >= routers) { printf "explain_delta: dirty %d not < routers %d\n", dirty, routers; exit 1 }
+    if (!faster) { print "explain_delta: delta not faster than full"; exit 1 }
+    exit 0
+  }
+  END { if (!found) { print "no explain_delta section in bench --json"; exit 1 } }
 ' "$OBS_DIR/bench.json"
 
 echo "==> network-lint smoke: dataflow pass clean on paper, exit codes honored"
@@ -251,7 +306,7 @@ echo "==> serve smoke: warm reuse, fault isolation, clean drain"
 ./target/release/netexpl serve --workers 2 --queue 8 > "$OBS_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 # A crashed smoke step must not leak the background server.
-trap 'kill "$SERVE_PID" 2> /dev/null; rm -rf "$OBS_DIR"' EXIT
+trap 'kill "$SERVE_PID" 2> /dev/null || true; rm -rf "$OBS_DIR"' EXIT
 for _ in $(seq 1 100); do
   grep -q 'listening on ' "$OBS_DIR/serve.log" && break
   sleep 0.1
